@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Ablation: end-to-end flow control (paper section 3.2.3). With it
+ * off, latency is lower but a stalled receiver backpressures links
+ * that unrelated traffic needs; with it on, the stall is contained
+ * at the sender at the cost of credit round trips.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hh"
+#include "net/network.hh"
+#include "sim/simulator.hh"
+
+using namespace bluedbm;
+using net::Endpoint;
+using net::Message;
+using net::StorageNetwork;
+using net::Topology;
+using sim::Tick;
+
+namespace {
+
+/**
+ * A stalled receiver on endpoint 2 shares the 0->1->2 line with a
+ * healthy stream on endpoint 3 from node 0 to node 1. Without e2e
+ * flow control the stalled stream's messages pile up in link buffers
+ * and slow the bystander; with it, the sender self-limits.
+ */
+double
+bystanderGbps(bool e2e)
+{
+    sim::Simulator sim;
+    StorageNetwork::Params p;
+    p.lane.bufferBytes = 32 * 1024; // small buffers show the effect
+    p.recvCapacity = 4;
+    StorageNetwork net(sim, Topology::line(3), p);
+
+    Endpoint &stalled_tx = net.endpoint(0, 2);
+    if (e2e)
+        stalled_tx.enableEndToEnd(4);
+    // Victim stream: node 0 -> node 1 (shares the first link).
+    int got = 0;
+    Tick last = 0;
+    net.endpoint(1, 3).setReceiveHandler([&](Message) {
+        ++got;
+        last = sim.now();
+    });
+
+    const int msgs = 1500;
+    for (int i = 0; i < msgs; ++i) {
+        stalled_tx.send(2, 4096, {}); // receiver never drains
+        net.endpoint(0, 3).send(1, 4096, {});
+    }
+    sim.run();
+    return sim::bytesPerSec(std::uint64_t(got) * 4096, last) * 8 /
+        1e9;
+}
+
+/** Latency cost of e2e on a long path with a small credit window. */
+double
+streamLatencyUs(bool e2e)
+{
+    sim::Simulator sim;
+    StorageNetwork net(sim, Topology::line(6),
+                       StorageNetwork::Params{});
+    Endpoint &tx = net.endpoint(0, 1);
+    if (e2e)
+        tx.enableEndToEnd(2);
+    Tick lastv = 0;
+    net.endpoint(5, 1).setReceiveHandler(
+        [&](Message) { lastv = sim.now(); });
+    for (int i = 0; i < 200; ++i)
+        tx.send(5, 512, {});
+    sim.run();
+    return sim::ticksToUs(lastv) / 200.0;
+}
+
+double victim_off = 0, victim_on = 0, lat_off = 0, lat_on = 0;
+
+void
+runAll()
+{
+    victim_off = bystanderGbps(false);
+    victim_on = bystanderGbps(true);
+    lat_off = streamLatencyUs(false);
+    lat_on = streamLatencyUs(true);
+}
+
+void
+printTable()
+{
+    bench::banner("Ablation: end-to-end flow control");
+    std::printf("Bystander throughput next to a stalled receiver:\n");
+    std::printf("  %-24s %8.2f Gb/s\n", "e2e off (link blocking)",
+                victim_off);
+    std::printf("  %-24s %8.2f Gb/s (%.1fx better)\n",
+                "e2e on (self-limiting)", victim_on,
+                victim_on / victim_off);
+    std::printf("\nPer-message cost of a tight credit window over "
+                "5 hops:\n");
+    std::printf("  %-24s %8.2f us/msg\n", "e2e off", lat_off);
+    std::printf("  %-24s %8.2f us/msg (%.1fx slower)\n", "e2e on",
+                lat_on, lat_on / lat_off);
+    std::printf("\nThis is the paper's stated trade-off: omit "
+                "end-to-end flow control\nonly when the receiver is "
+                "guaranteed to drain.\n");
+}
+
+void
+BM_AblationFlowControl(benchmark::State &state)
+{
+    for (auto _ : state)
+        runAll();
+    state.counters["victim_gbps_e2e_off"] = victim_off;
+    state.counters["victim_gbps_e2e_on"] = victim_on;
+}
+
+BENCHMARK(BM_AblationFlowControl)->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    if (victim_off == 0)
+        runAll();
+    printTable();
+    return 0;
+}

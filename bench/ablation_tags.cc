@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablation: in-flight command depth (paper section 3.1.1: "to
+ * saturate the bandwidth of the flash device, multiple commands must
+ * be in-flight at the same time, since flash operations can have
+ * latencies of 50 us or more").
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "core/cluster.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+using namespace bluedbm;
+using sim::Tick;
+
+namespace {
+
+struct Point
+{
+    unsigned window;
+    double gbps;
+};
+
+std::vector<Point> points;
+
+double
+measure(unsigned window)
+{
+    sim::Simulator sim;
+    core::ClusterParams params;
+    params.topology = net::Topology::line(2);
+    core::Cluster cluster(sim, params);
+    const auto &geo = params.node.geometry;
+    sim::Rng rng(3);
+    const std::uint64_t reads = 8000;
+    Tick last = 0;
+
+    bench::Window::run(
+        reads, window,
+        [&](std::uint64_t i, std::function<void()> done) {
+            flash::Address addr = flash::Address::fromLinear(
+                geo, rng.below(geo.pages()));
+            cluster.node(0).ispReadLocal(
+                unsigned(i & 1), addr,
+                [&, done](flash::PageBuffer) {
+                last = sim.now();
+                done();
+            });
+        });
+    sim.run();
+    return sim::bytesPerSec(reads * geo.pageSize, last) / 1e9;
+}
+
+void
+runAll()
+{
+    for (unsigned w : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u})
+        points.push_back({w, measure(w)});
+}
+
+void
+printTable()
+{
+    bench::banner("Ablation: in-flight commands vs. card "
+                  "bandwidth (random 8 KB reads, both cards)");
+    std::printf("%12s %14s %14s\n", "In-flight", "GB/s",
+                "%% of 2.4 GB/s");
+    for (const auto &p : points)
+        std::printf("%12u %14.2f %13.0f%%\n", p.window, p.gbps,
+                    100.0 * p.gbps / 2.4);
+    std::printf("\nOne outstanding read leaves the card ~99%% idle "
+                "(50 us sense + bus\ntransfer per page); saturating "
+                "2 cards x 8 buses needs dozens of\ntags -- exactly "
+                "why the controller exposes a deeply tagged "
+                "interface.\n");
+}
+
+void
+BM_AblationTags(benchmark::State &state)
+{
+    auto window = unsigned(state.range(0));
+    double gbps = 0;
+    for (auto _ : state)
+        gbps = measure(window);
+    state.counters["gbps"] = gbps;
+}
+
+BENCHMARK(BM_AblationTags)->Arg(1)->Arg(8)->Arg(64)
+    ->Iterations(1)->Unit(benchmark::kSecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    runAll();
+    printTable();
+    return 0;
+}

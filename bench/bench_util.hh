@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benches: paper-style
+ * table printing and windowed request issuing.
+ *
+ * Every bench binary regenerates one table or figure of the paper.
+ * It runs its simulation(s), registers the headline metrics as
+ * google-benchmark counters, and prints the rows/series the paper
+ * reports in plain text so outputs can be compared side by side.
+ */
+
+#ifndef BLUEDBM_BENCH_BENCH_UTIL_HH
+#define BLUEDBM_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/simulator.hh"
+#include "sim/types.hh"
+
+namespace bench {
+
+/** Print a section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n==============================================="
+                "===============\n  %s\n"
+                "================================================"
+                "==============\n",
+                title.c_str());
+}
+
+/**
+ * Issue @p total asynchronous requests keeping at most @p depth
+ * outstanding (models the bounded page buffers / request queues real
+ * software uses). @p issue receives the request index and a
+ * completion callback it must eventually invoke; @p all_done fires
+ * after the last completion.
+ */
+class Window
+{
+  public:
+    using Issue =
+        std::function<void(std::uint64_t, std::function<void()>)>;
+
+    static void
+    run(std::uint64_t total, unsigned depth, Issue issue,
+        std::function<void()> all_done = {})
+    {
+        auto st = std::make_shared<State>();
+        st->total = total;
+        st->issue = std::move(issue);
+        st->allDone = std::move(all_done);
+        pump(st, depth);
+    }
+
+  private:
+    struct State
+    {
+        std::uint64_t total = 0;
+        std::uint64_t issued = 0;
+        std::uint64_t completed = 0;
+        Issue issue;
+        std::function<void()> allDone;
+    };
+
+    static void
+    pump(std::shared_ptr<State> st, unsigned depth)
+    {
+        while (st->issued < st->total &&
+               st->issued - st->completed < depth) {
+            std::uint64_t idx = st->issued++;
+            st->issue(idx, [st, depth]() {
+                ++st->completed;
+                if (st->completed == st->total) {
+                    if (st->allDone)
+                        st->allDone();
+                    return;
+                }
+                pump(st, depth);
+            });
+        }
+    }
+};
+
+} // namespace bench
+
+#endif // BLUEDBM_BENCH_BENCH_UTIL_HH

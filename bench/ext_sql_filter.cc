@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Extension experiment (paper section 8 planned work): SQL filter
+ * offload. A selection query scans a table; the in-store engine
+ * returns only matching records, while the conventional path ships
+ * every page over PCIe for the host to filter.
+ *
+ * Sweeps selectivity to show where offload wins and why: the
+ * in-store scan runs at card bandwidth (2.4 GB/s here) and its PCIe
+ * traffic scales with selectivity, while the host scan is pinned at
+ * the 1.6 GB/s host link regardless of the query.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "core/cluster.hh"
+#include "isp/table_scan.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+using namespace bluedbm;
+using sim::Tick;
+
+namespace {
+
+struct Row
+{
+    double selectivity;
+    double ispGbps;    //!< table scan rate, in store
+    double hostGbps;   //!< table scan rate, host filtering
+    double pcieBytesPct; //!< ISP PCIe traffic as % of table size
+};
+
+std::vector<Row> rows;
+
+constexpr std::uint64_t kTablePages = 4096; // 32 MB of records
+
+Row
+measure(double selectivity)
+{
+    sim::Simulator sim;
+    core::ClusterParams params;
+    params.topology = net::Topology::line(2);
+    core::Cluster cluster(sim, params);
+    auto &node = cluster.node(0);
+    const auto &geo = params.node.geometry;
+
+    // Table: key u64 | payload u64 x 7 (64-byte records).
+    isp::RecordSchema schema({8, 8, 8, 8, 8, 8, 8, 8});
+    std::uint32_t per_page = schema.recordsPerPage(geo.pageSize);
+
+    // Store pages directly (a prior load phase); keys uniform in
+    // [0, 1e6), predicate keeps key < selectivity * 1e6. The table
+    // stripes across BOTH cards so the scan runs at 2.4 GB/s.
+    sim::Rng rng(5);
+    std::vector<flash::Address> addrs[2];
+    for (std::uint64_t p = 0; p < kTablePages; ++p) {
+        unsigned c = unsigned(p & 1);
+        flash::Address a = flash::Address::fromStriped(geo, p / 2);
+        addrs[c].push_back(a);
+        flash::PageBuffer page(geo.pageSize, 0);
+        for (std::uint32_t r = 0; r < per_page; ++r) {
+            schema.store(page.data() + r * schema.recordBytes(),
+                         0, rng.below(1000000));
+        }
+        node.card(c).nand().store().program(a, std::move(page));
+    }
+    node.ispServer(0).defineHandle(11, addrs[0]);
+    node.ispServer(1).defineHandle(11, addrs[1]);
+
+    // --- In-store scan: one engine per card, concurrent.
+    isp::TableScanEngine engine0(sim, node.ispServer(0));
+    isp::TableScanEngine engine1(sim, node.ispServer(1));
+    auto threshold = std::uint64_t(selectivity * 1e6);
+    Tick start = sim.now();
+    std::uint64_t out_bytes = 0;
+    int done = 0;
+    auto collect = [&](isp::ScanResult r) {
+        out_bytes += r.records.size();
+        ++done;
+    };
+    std::vector<isp::Predicate> preds{
+        {0, isp::CmpOp::Lt, threshold}};
+    engine0.scan(11, schema,
+                 addrs[0].size() * per_page, geo.pageSize, preds,
+                 collect);
+    engine1.scan(11, schema,
+                 addrs[1].size() * per_page, geo.pageSize, preds,
+                 collect);
+    sim.run();
+    Tick isp_elapsed = sim.now() - start;
+    // Matching records stream over PCIe *while* the scan runs (the
+    // engine emits them as it goes); the elapsed time is whichever
+    // pipe drains last.
+    Tick out_xfer = sim::transferTicks(
+        out_bytes, node.params().pcie.devToHostBytesPerSec);
+    if (out_xfer > isp_elapsed)
+        isp_elapsed = out_xfer;
+
+    // --- Host scan: every page crosses PCIe, host CPU filters.
+    Tick host_start = sim.now();
+    Tick host_last = 0;
+    const auto &sw = node.software();
+    bench::Window::run(
+        kTablePages, 128,
+        [&](std::uint64_t i, std::function<void()> done_cb) {
+            flash::Address a = addrs[i & 1][i / 2];
+            node.hostReadLocal(unsigned(i & 1), a,
+                               [&, done_cb](flash::PageBuffer) {
+                node.cpu().execute(sw.grepComputePerPage,
+                                   [&, done_cb]() {
+                    host_last = sim.now();
+                    done_cb();
+                });
+            });
+        });
+    sim.run();
+
+    std::uint64_t table_bytes = kTablePages * geo.pageSize;
+    Row row;
+    row.selectivity = selectivity;
+    row.ispGbps = sim::bytesPerSec(table_bytes, isp_elapsed) / 1e9;
+    row.hostGbps =
+        sim::bytesPerSec(table_bytes, host_last - host_start) / 1e9;
+    row.pcieBytesPct =
+        100.0 * double(out_bytes) / double(table_bytes);
+    (void)done;
+    return row;
+}
+
+void
+runAll()
+{
+    for (double s : {0.0001, 0.001, 0.01, 0.1, 0.5, 1.0})
+        rows.push_back(measure(s));
+}
+
+void
+printTable()
+{
+    bench::banner("Extension: SQL selection offload (section 8 "
+                  "planned work; cf. Ibex)");
+    std::printf("%12s %14s %14s %16s\n", "Selectivity",
+                "ISP (GB/s)", "Host (GB/s)", "ISP PCIe traffic");
+    for (const auto &r : rows)
+        std::printf("%11.2f%% %14.2f %14.2f %15.2f%%\n",
+                    r.selectivity * 100, r.ispGbps, r.hostGbps,
+                    r.pcieBytesPct);
+    std::printf("\nIn-store filtering scans at card bandwidth and "
+                "ships only matches;\nthe host path is capped by "
+                "PCIe (1.6 GB/s) and burns CPU on every\nrecord. "
+                "At full selectivity the two converge -- offload "
+                "pays off\nexactly when queries are selective, the "
+                "common analytics case.\n");
+}
+
+void
+BM_ExtSqlFilter(benchmark::State &state)
+{
+    for (auto _ : state) {
+        rows.clear();
+        runAll();
+    }
+    for (const auto &r : rows)
+        state.counters[std::to_string(r.selectivity)] = r.ispGbps;
+}
+
+BENCHMARK(BM_ExtSqlFilter)->Iterations(1)->Unit(benchmark::kSecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    if (rows.empty())
+        runAll();
+    printTable();
+    return 0;
+}

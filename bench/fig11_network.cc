@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Reproduces Figure 11: integrated network bandwidth and latency
+ * versus hop count, plus the section-6.3 ring arithmetic (20-node
+ * ring: ~5 hops / 2.5 us average, 32.8 Gb/s ring throughput).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "net/network.hh"
+#include "sim/simulator.hh"
+
+using namespace bluedbm;
+using net::Message;
+using net::StorageNetwork;
+using net::Topology;
+using sim::Tick;
+
+namespace {
+
+struct Point
+{
+    unsigned hops;
+    double gbps;
+    double latencyUs;
+};
+
+/** Stream messages across @p hops hops; measure bw and latency. */
+Point
+measure(unsigned hops)
+{
+    sim::Simulator sim;
+    StorageNetwork net(sim, Topology::line(hops + 1),
+                       StorageNetwork::Params{});
+
+    // Latency: one 16-byte packet (a 128-bit flit) on an idle net.
+    Tick lat = 0;
+    net.endpoint(net::NodeId(hops), 1)
+        .setReceiveHandler([&](Message) { lat = sim.now(); });
+    net.endpoint(0, 1).send(net::NodeId(hops), 16, {});
+    sim.run();
+    Tick single_latency = lat;
+
+    // Bandwidth: a single stream of 2 KB messages.
+    const int messages = 5000;
+    const std::uint32_t bytes = 2048;
+    int got = 0;
+    Tick last = 0;
+    net.endpoint(net::NodeId(hops), 2)
+        .setReceiveHandler([&](Message) {
+        ++got;
+        last = sim.now();
+    });
+    Tick start = sim.now();
+    for (int i = 0; i < messages; ++i)
+        net.endpoint(0, 2).send(net::NodeId(hops), bytes, {});
+    sim.run();
+
+    Point p;
+    p.hops = hops;
+    p.gbps = sim::bytesPerSec(std::uint64_t(messages) * bytes,
+                              last - start) * 8 / 1e9;
+    p.latencyUs = sim::ticksToUs(single_latency) / hops;
+    (void)got;
+    return p;
+}
+
+std::vector<Point> results;
+
+void
+printTable()
+{
+    bench::banner("Figure 11: integrated network performance");
+    std::printf("%6s %18s %18s\n", "Hops", "Bandwidth (Gb/s)",
+                "Latency (us/hop)");
+    for (const auto &p : results)
+        std::printf("%6u %18.2f %18.3f\n", p.hops, p.gbps,
+                    p.latencyUs);
+    std::printf("\nPaper: ~8.2 Gb/s per stream across 1-5 hops, "
+                "0.48 us per hop,\nprotocol overhead under 18%% of "
+                "the 10 Gb/s physical rate.\n");
+
+    // Section 6.3 secondary claims.
+    sim::Simulator sim;
+    StorageNetwork ring(sim, Topology::ring(20, 4),
+                        StorageNetwork::Params{});
+    double total_hops = 0;
+    for (net::NodeId dst = 1; dst < 20; ++dst)
+        total_hops += ring.routeHops(1, 0, dst);
+    double avg_hops = total_hops / 19.0;
+    double per_hop_us = results.empty() ? 0.48
+                                        : results.front().latencyUs;
+    double lane_gbps = results.empty() ? 8.2 : results.front().gbps;
+    std::printf("\n20-node ring, 4 lanes each way (section 6.3):\n");
+    std::printf("  average distance: %.1f hops -> %.2f us "
+                "(paper: 5 hops, 2.5 us)\n",
+                avg_hops, avg_hops * per_hop_us);
+    std::printf("  ring throughput: 4 lanes x %.1f Gb/s = %.1f Gb/s "
+                "(paper: 32.8 Gb/s)\n",
+                lane_gbps, 4 * lane_gbps);
+    std::printf("  network adds %.0f%% to a 50 us flash access at "
+                "4 hops (paper: <= 5%%)\n",
+                100.0 * (4 * per_hop_us) / 50.0);
+}
+
+void
+BM_Fig11Network(benchmark::State &state)
+{
+    auto hops = unsigned(state.range(0));
+    Point p{};
+    for (auto _ : state)
+        p = measure(hops);
+    state.counters["gbps"] = p.gbps;
+    state.counters["us_per_hop"] = p.latencyUs;
+    results.push_back(p);
+}
+
+BENCHMARK(BM_Fig11Network)
+    ->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

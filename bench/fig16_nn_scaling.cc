@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces Figure 16: nearest neighbor with BlueDBM versus
+ * DRAM-resident processing, across thread counts.
+ *
+ * Series: H-DRAM (multithreaded host over DRAM), 1 Node (BlueDBM
+ * ISP, full flash speed -- flat in threads), Throttled (BlueDBM ISP
+ * at 600 MB/s).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "bench/nn_common.hh"
+
+namespace {
+
+struct Row
+{
+    unsigned threads;
+    double dram;
+    double oneNode;
+    double throttled;
+};
+
+std::vector<Row> rows;
+double one_node = 0, throttled = 0;
+
+void
+runAll()
+{
+    one_node = bench::ispNnThroughput(1.0);
+    throttled = bench::ispNnThroughput(0.25);
+    for (unsigned t = 2; t <= 16; t += 2) {
+        Row r;
+        r.threads = t;
+        r.dram = bench::dramNnThroughput(t, 0.0, 0);
+        r.oneNode = one_node;
+        r.throttled = throttled;
+        rows.push_back(r);
+    }
+}
+
+void
+printTable()
+{
+    bench::banner("Figure 16: nearest neighbour, BlueDBM vs DRAM "
+                  "(K comparisons/s)");
+    std::printf("%8s %12s %12s %12s\n", "Threads", "DRAM", "1 Node",
+                "Throttled");
+    for (const auto &r : rows)
+        std::printf("%8u %12.0f %12.0f %12.0f\n", r.threads,
+                    r.dram / 1e3, r.oneNode / 1e3,
+                    r.throttled / 1e3);
+    std::printf("\nPaper shape: BlueDBM baseline ~320K "
+                "comparisons/s; it keeps up with\nDRAM at low "
+                "thread counts (host compute-bound), DRAM wins with "
+                "enough\nthreads; throttling flash to 1/4 cuts ISP "
+                "throughput accordingly.\n");
+    std::printf("Measured: 1 Node = %.0fK, Throttled = %.0fK, "
+                "DRAM crossover at ~%u threads\n",
+                one_node / 1e3, throttled / 1e3,
+                unsigned(one_node /
+                         (rows.empty() ? 1.0
+                                       : rows[0].dram /
+                                             rows[0].threads)));
+}
+
+void
+BM_Fig16(benchmark::State &state)
+{
+    for (auto _ : state) {
+        rows.clear();
+        runAll();
+    }
+    state.counters["one_node"] = one_node;
+    state.counters["throttled"] = throttled;
+}
+
+BENCHMARK(BM_Fig16)->Iterations(1)->Unit(benchmark::kSecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    if (rows.empty())
+        runAll();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Reproduces Figure 20: graph traversal performance -- dependent
+ * page lookups over six access paths (paper section 7.2).
+ *
+ * The vertex pages live on a remote node's flash; each step's target
+ * is only known after the previous page arrives, so throughput is
+ * the reciprocal of access latency.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "analytics/graph.hh"
+#include "bench/bench_util.hh"
+#include "core/cluster.hh"
+#include "isp/graph_engine.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+using namespace bluedbm;
+using core::Cluster;
+using core::ClusterParams;
+using flash::PageBuffer;
+using sim::Tick;
+
+namespace {
+
+constexpr std::uint64_t kVertices = 4096;
+constexpr std::uint64_t kSteps = 1500;
+
+struct Result
+{
+    std::string name;
+    double stepsPerSec;
+};
+
+std::vector<Result> results;
+
+/**
+ * Build a 2-node cluster; vertex pages are synthesized on demand by
+ * writing the graph's pages into node 1's card 0.
+ */
+struct Bench
+{
+    sim::Simulator sim;
+    ClusterParams params;
+    std::unique_ptr<Cluster> cluster;
+    analytics::PageGraph graph;
+
+    Bench()
+        : graph(analytics::PageGraph::random(kVertices, 8, 23))
+    {
+        params.topology = net::Topology::line(2);
+        cluster = std::make_unique<Cluster>(sim, params);
+        // Preload vertex pages into node 1's backing store
+        // (instantaneous: simulates a prior loading phase).
+        const auto &geo = params.node.geometry;
+        auto &store = cluster->node(1).card(0).nand().store();
+        for (std::uint64_t v = 0; v < kVertices; ++v) {
+            flash::Address addr =
+                flash::Address::fromStriped(geo, v);
+            store.program(addr, graph.serialize(v, geo.pageSize));
+        }
+    }
+
+    flash::Address
+    vertexAddr(std::uint64_t v) const
+    {
+        return flash::Address::fromStriped(params.node.geometry, v);
+    }
+
+    double
+    run(const std::string &name,
+        isp::GraphTraversalEngine::Fetch fetch)
+    {
+        isp::GraphTraversalEngine engine(std::move(fetch), 29);
+        Tick start = sim.now();
+        Tick finish = 0;
+        engine.walk(0, kSteps, [&](isp::TraversalResult r) {
+            finish = sim.now();
+            if (r.steps != kSteps)
+                sim::panic("walk lost steps");
+        });
+        sim.run();
+        double rate = double(kSteps) / sim::ticksToSec(finish - start);
+        results.push_back({name, rate});
+        return rate;
+    }
+};
+
+void
+runAll()
+{
+    // Each path gets a fresh bench so device state never leaks.
+    {
+        Bench b;
+        b.run("ISP-F", [&b](std::uint64_t v, auto cb) {
+            b.cluster->node(0).ispReadRemote(1, 0, b.vertexAddr(v),
+                                             cb);
+        });
+    }
+    {
+        Bench b;
+        b.run("H-F", [&b](std::uint64_t v, auto cb) {
+            b.cluster->node(0).hostReadRemote(1, 0, b.vertexAddr(v),
+                                              cb);
+        });
+    }
+    {
+        Bench b;
+        b.run("H-RH-F", [&b](std::uint64_t v, auto cb) {
+            b.cluster->node(0).hostReadRemoteViaHost(
+                1, 0, b.vertexAddr(v), cb);
+        });
+    }
+    // DRAM-mix paths: x% of lookups still hit remote flash via the
+    // remote host; the rest are served from the remote host's DRAM.
+    auto mixed = [](double flash_fraction, const std::string &name) {
+        Bench b;
+        auto rng = std::make_shared<sim::Rng>(31);
+        b.run(name, [&b, rng, flash_fraction](std::uint64_t v,
+                                              auto cb) {
+            if (rng->uniform() < flash_fraction) {
+                b.cluster->node(0).hostReadRemoteViaHost(
+                    1, 0, b.vertexAddr(v), cb);
+            } else {
+                // Serve the same vertex content from remote DRAM:
+                // model the timing with a DRAM-service request, and
+                // deliver real page bytes for the walk to parse.
+                auto page = b.graph.serialize(
+                    v, b.params.node.geometry.pageSize);
+                b.cluster->node(0).hostReadRemoteDram(
+                    1, b.params.node.geometry.pageSize,
+                    [cb, page = std::move(page)](PageBuffer) {
+                    cb(page);
+                });
+            }
+        });
+    };
+    mixed(0.5, "50%F");
+    mixed(0.3, "30%F");
+    {
+        Bench b;
+        b.run("H-DRAM", [&b](std::uint64_t v, auto cb) {
+            auto page = b.graph.serialize(
+                v, b.params.node.geometry.pageSize);
+            b.cluster->node(0).hostReadRemoteDram(
+                1, b.params.node.geometry.pageSize,
+                [cb, page = std::move(page)](PageBuffer) {
+                cb(page);
+            });
+        });
+    }
+}
+
+void
+printTable()
+{
+    bench::banner("Figure 20: graph traversal throughput "
+                  "(dependent lookups/s)");
+    std::printf("%-10s %16s\n", "Access", "Lookups/s");
+    for (const auto &r : results)
+        std::printf("%-10s %16.0f\n", r.name.c_str(),
+                    r.stepsPerSec);
+    double ispf = results[0].stepsPerSec;
+    double hrhf = results[2].stepsPerSec;
+    std::printf("\nPaper: ISP + integrated network give ~3x over "
+                "the generic distributed\nSSD path (H-RH-F); even "
+                "with 50%% DRAM hits the conventional path stays\n"
+                "well below BlueDBM.\nMeasured ISP-F / H-RH-F = "
+                "%.1fx; ISP-F vs 50%%F = %.1fx.\n",
+                ispf / hrhf, ispf / results[3].stepsPerSec);
+}
+
+void
+BM_Fig20(benchmark::State &state)
+{
+    for (auto _ : state) {
+        results.clear();
+        runAll();
+    }
+    for (const auto &r : results)
+        state.counters[r.name] = r.stepsPerSec;
+}
+
+BENCHMARK(BM_Fig20)->Iterations(1)->Unit(benchmark::kSecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    if (results.empty())
+        runAll();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Shared machinery for the nearest-neighbor benches (Figures 16-19):
+ * the same LSH-style workload measured on the BlueDBM ISP (full and
+ * throttled), on host software over DRAM/SSD/disk, and on host
+ * software driving a throttled BlueDBM.
+ *
+ * Throughput unit everywhere: 8 KB hamming comparisons per second
+ * (the paper's "Throughput" axis; its baseline is 320K/s at the full
+ * 2.4 GB/s of one node's flash).
+ */
+
+#ifndef BLUEDBM_BENCH_NN_COMMON_HH
+#define BLUEDBM_BENCH_NN_COMMON_HH
+
+#include <functional>
+#include <memory>
+
+#include "baseline/ram_cloud.hh"
+#include "baseline/ssd.hh"
+#include "core/cluster.hh"
+#include "isp/nearest_neighbor.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+namespace bench {
+
+using namespace bluedbm;
+
+/** Comparisons per ISP measurement run. */
+constexpr std::uint64_t kIspComparisons = 20000;
+/** Items per host-side measurement run. */
+constexpr std::uint64_t kHostItems = 4000;
+
+/**
+ * In-store NN throughput on one node whose flash is scaled by
+ * @p throttle (1.0 = full 2.4 GB/s, 0.25 = the paper's 600 MB/s
+ * throttled configuration).
+ */
+inline double
+ispNnThroughput(double throttle)
+{
+    sim::Simulator sim;
+    core::ClusterParams params;
+    params.topology = net::Topology::line(2);
+    params.node.timing.busBytesPerSec *= throttle;
+    core::Cluster cluster(sim, params);
+    const auto &geo = params.node.geometry;
+
+    sim::Rng rng(11);
+    std::vector<core::GlobalAddress> candidates;
+    candidates.reserve(kIspComparisons);
+    for (std::uint64_t i = 0; i < kIspComparisons; ++i) {
+        core::GlobalAddress ga;
+        ga.node = 0;
+        ga.card = std::uint8_t(i & 1);
+        ga.addr = flash::Address::fromLinear(geo,
+                                             rng.below(geo.pages()));
+        candidates.push_back(ga);
+    }
+
+    isp::NearestNeighborEngine engine(cluster.node(0), 256);
+    sim::Tick finish = 0;
+    engine.query(flash::PageBuffer(geo.pageSize, 0x55),
+                 std::move(candidates), [&](isp::NnResult r) {
+        finish = sim.now();
+        if (r.comparisons != kIspComparisons)
+            sim::panic("lost comparisons");
+    });
+    sim.run();
+    return double(kIspComparisons) / sim::ticksToSec(finish);
+}
+
+/**
+ * Host software NN over (mostly) DRAM with optional paging misses
+ * (the ram-cloud configurations of figures 16 and 17).
+ */
+inline double
+dramNnThroughput(unsigned threads, double miss_fraction,
+                 sim::Tick miss_penalty)
+{
+    sim::Simulator sim;
+    host::HostCpu cpu(sim, 24);
+    baseline::RamCloudParams p;
+    p.missFraction = miss_fraction;
+    p.missPenalty = miss_penalty;
+    baseline::RamCloudWorkload work(sim, cpu, p, 13);
+    sim::Tick finish = 0;
+    work.run(threads, kHostItems, [&] { finish = sim.now(); });
+    sim.run();
+    return double(kHostItems) / sim::ticksToSec(finish);
+}
+
+/**
+ * Host software NN reading candidates from the off-the-shelf SSD
+ * (H-RFlash), optionally with accesses artificially arranged to be
+ * sequential (H-SFlash) -- figure 18.
+ */
+inline double
+ssdNnThroughput(unsigned threads, bool sequential)
+{
+    sim::Simulator sim;
+    host::HostCpu cpu(sim, 24);
+    baseline::OffTheShelfSsd ssd(sim, baseline::SsdParams{});
+    host::SoftwareParams sw;
+    sim::Rng rng(17);
+
+    sim::Tick finish = 0;
+    std::uint64_t seq_lba = 0;
+    std::uint64_t remaining_start = kHostItems;
+    auto remaining_finish =
+        std::make_shared<std::uint64_t>(kHostItems);
+
+    std::function<void()> worker = [&, remaining_finish]() mutable {
+        if (remaining_start == 0)
+            return;
+        --remaining_start;
+        // Kernel block layer, then the device, then the compare.
+        cpu.execute(sw.kernelBlockIo, [&, remaining_finish]() {
+            std::uint64_t lba = sequential
+                ? seq_lba++
+                : rng.below(1ull << 24) * 2;
+            ssd.read(lba, 8192, [&, remaining_finish]() {
+                cpu.execute(sw.hammingComputePerPage,
+                            [&, remaining_finish]() {
+                    if (--*remaining_finish == 0) {
+                        finish = sim.now();
+                        return;
+                    }
+                    worker();
+                });
+            });
+        });
+    };
+    for (unsigned t = 0; t < threads; ++t)
+        worker();
+    sim.run();
+    return double(kHostItems) / sim::ticksToSec(finish);
+}
+
+/**
+ * Host software NN over the (throttled) BlueDBM device itself
+ * (BlueDBM+SW in figure 19): every candidate crosses PCIe and the
+ * software stack before the host compares it.
+ */
+inline double
+hostSwNnThroughput(unsigned threads, double throttle)
+{
+    sim::Simulator sim;
+    core::ClusterParams params;
+    params.topology = net::Topology::line(2);
+    params.node.timing.busBytesPerSec *= throttle;
+    core::Cluster cluster(sim, params);
+    const auto &geo = params.node.geometry;
+    auto &node = cluster.node(0);
+    sim::Rng rng(19);
+
+    sim::Tick finish = 0;
+    std::uint64_t remaining_start = kHostItems;
+    auto remaining_finish =
+        std::make_shared<std::uint64_t>(kHostItems);
+
+    std::function<void()> worker = [&, remaining_finish]() mutable {
+        if (remaining_start == 0)
+            return;
+        --remaining_start;
+        flash::Address addr = flash::Address::fromLinear(
+            geo, rng.below(geo.pages()));
+        node.hostReadLocal(
+            unsigned(remaining_start & 1), addr,
+            [&, remaining_finish](flash::PageBuffer) {
+            node.cpu().execute(
+                node.software().hammingComputePerPage,
+                [&, remaining_finish]() {
+                if (--*remaining_finish == 0) {
+                    finish = sim.now();
+                    return;
+                }
+                worker();
+            });
+        });
+    };
+    // Each thread overlaps one read with the previous compare
+    // (readahead), i.e. two request chains per thread.
+    for (unsigned t = 0; t < threads * 2; ++t)
+        worker();
+    sim.run();
+    return double(kHostItems) / sim::ticksToSec(finish);
+}
+
+} // namespace bench
+
+#endif // BLUEDBM_BENCH_NN_COMMON_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces Table 1: flash controller resource usage on the
+ * Artix-7 of one custom flash card.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hh"
+#include "resource/fpga_model.hh"
+
+using namespace bluedbm;
+
+namespace {
+
+void
+printTable()
+{
+    bench::banner("Table 1: Flash controller on Artix 7 resource "
+                  "usage");
+    auto cfg = resource::FlashControllerConfig{};
+    auto rows = resource::flashControllerUsage(cfg);
+    auto total = resource::totalUsage(rows, "Artix-7 Total");
+    auto device = resource::artix7();
+
+    std::printf("%-22s %4s %8s %10s %6s\n", "Module Name", "#",
+                "LUTs", "Registers", "BRAM");
+    for (const auto &r : rows) {
+        if (r.name == "Controller glue")
+            continue; // implicit in the paper's table as well
+        std::printf("%-22s %4u %8u %10u %6u\n", r.name.c_str(),
+                    r.instances, r.luts, r.registers, r.bram36);
+    }
+    std::printf("%-22s %4s %7u(%2.0f%%) %8u(%2.0f%%) %4u(%2.0f%%)\n",
+                total.name.c_str(), "",
+                total.luts,
+                resource::percent(total.luts, device.luts),
+                total.registers,
+                resource::percent(total.registers, device.registers),
+                total.bram36,
+                resource::percent(total.bram36, device.bram36));
+    std::printf("\nPaper: total 75225 (56%%) LUTs, 62801 (23%%) "
+                "registers, 181 (50%%) BRAM\n");
+}
+
+void
+BM_Table1FlashResources(benchmark::State &state)
+{
+    resource::Usage total;
+    for (auto _ : state) {
+        auto rows = resource::flashControllerUsage(
+            resource::FlashControllerConfig{});
+        total = resource::totalUsage(rows, "total");
+        benchmark::DoNotOptimize(total);
+    }
+    state.counters["luts"] = double(total.luts);
+    state.counters["registers"] = double(total.registers);
+    state.counters["bram"] = double(total.bram36);
+}
+
+BENCHMARK(BM_Table1FlashResources)->Iterations(1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces Table 2: host Virtex-7 resource usage.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hh"
+#include "resource/fpga_model.hh"
+
+using namespace bluedbm;
+
+namespace {
+
+void
+printTable()
+{
+    bench::banner("Table 2: Host Virtex 7 resource usage");
+    auto cfg = resource::HostFpgaConfig{};
+    auto rows = resource::hostFpgaUsage(cfg);
+    auto total = resource::totalUsage(rows, "Virtex-7 Total");
+    auto device = resource::virtex7();
+
+    std::printf("%-20s %4s %8s %10s %8s %8s\n", "Module Name", "#",
+                "LUTs", "Registers", "RAMB36", "RAMB18");
+    for (const auto &r : rows) {
+        if (r.name == "Platform glue")
+            continue;
+        std::printf("%-20s %4u %8u %10u %8u %8u\n", r.name.c_str(),
+                    r.instances, r.luts, r.registers, r.bram36,
+                    r.bram18);
+    }
+    std::printf("%-20s %4s %7u(%2.0f%%) %8u(%2.0f%%) %5u(%2.0f%%) "
+                "%5u(%1.0f%%)\n",
+                total.name.c_str(), "", total.luts,
+                resource::percent(total.luts, device.luts),
+                total.registers,
+                resource::percent(total.registers, device.registers),
+                total.bram36,
+                resource::percent(total.bram36, device.bram36),
+                total.bram18,
+                resource::percent(total.bram18, device.bram18));
+    std::printf("\nPaper: total 135271 (45%%) LUTs, 135897 (22%%) "
+                "registers, 224 (22%%) RAMB36, 18 (1%%) RAMB18\n");
+    std::printf("Enough space remains for accelerator development "
+                "(%2.0f%% LUTs free).\n",
+                100.0 - resource::percent(total.luts, device.luts));
+}
+
+void
+BM_Table2HostResources(benchmark::State &state)
+{
+    resource::Usage total;
+    for (auto _ : state) {
+        auto rows =
+            resource::hostFpgaUsage(resource::HostFpgaConfig{});
+        total = resource::totalUsage(rows, "total");
+        benchmark::DoNotOptimize(total);
+    }
+    state.counters["luts"] = double(total.luts);
+    state.counters["registers"] = double(total.registers);
+}
+
+BENCHMARK(BM_Table2HostResources)->Iterations(1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Table 3: estimated node power, plus the rack-level
+ * power comparison against a ram cloud sized for the same dataset
+ * (paper sections 6.2 and 8).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hh"
+#include "resource/power_model.hh"
+
+using namespace bluedbm;
+
+namespace {
+
+void
+printTable()
+{
+    bench::banner("Table 3: BlueDBM estimated power consumption");
+    resource::NodePower p;
+    std::printf("%-18s %10s\n", "Component", "Power (W)");
+    std::printf("%-18s %10.0f\n", "VC707", p.vc707Watts);
+    std::printf("%-18s %10.0f\n", "Flash Board x2",
+                p.flashBoardWatts * p.flashBoards);
+    std::printf("%-18s %10.0f\n", "Xeon Server", p.xeonServerWatts);
+    std::printf("%-18s %10.0f\n", "Node Total", p.totalWatts());
+    std::printf("\nBlueDBM adds %.0f%% to node power (paper: "
+                "\"less than 20%%\").\n",
+                100.0 * p.deviceFraction());
+
+    bench::banner("Rack vs. ram cloud for a 20 TB dataset "
+                  "(sections 1, 8)");
+    resource::ClusterComparison cmp;
+    std::printf("BlueDBM:  %3u nodes x %3.0f W = %7.0f W\n",
+                cmp.bluedbmNodes, cmp.nodePower.totalWatts(),
+                cmp.bluedbmWatts());
+    std::printf("RamCloud: %3u servers (%u GB DRAM each) x %3.0f W "
+                "= %7.0f W\n",
+                cmp.ramcloudServers(), cmp.ramcloudServerGB,
+                cmp.ramcloudServerWatts, cmp.ramcloudWatts());
+    std::printf("Power advantage: %.1fx (paper claims an order of "
+                "magnitude including cost)\n",
+                cmp.powerAdvantage());
+}
+
+void
+BM_Table3Power(benchmark::State &state)
+{
+    resource::NodePower p;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(p.totalWatts());
+    state.counters["node_watts"] = p.totalWatts();
+    state.counters["device_fraction"] = p.deviceFraction();
+}
+
+BENCHMARK(BM_Table3Power)->Iterations(1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,94 @@
+#include "analytics/graph.hh"
+
+#include <cstring>
+#include <queue>
+
+#include "sim/logging.hh"
+
+namespace bluedbm {
+namespace analytics {
+
+PageGraph
+PageGraph::random(std::uint64_t vertices, unsigned out_degree,
+                  std::uint64_t seed)
+{
+    if (vertices < 2)
+        sim::fatal("graph needs at least 2 vertices");
+    if (out_degree >= vertices)
+        sim::fatal("out-degree must be below vertex count");
+    PageGraph g;
+    g.adj_.resize(vertices);
+    sim::Rng rng(seed);
+    for (std::uint64_t v = 0; v < vertices; ++v) {
+        auto &nbrs = g.adj_[v];
+        // A Hamiltonian-cycle backbone guarantees strong
+        // connectivity (no unreachable vertices, no sinks); the
+        // remaining successors are uniform random.
+        nbrs.push_back((v + 1) % vertices);
+        while (nbrs.size() < out_degree) {
+            std::uint64_t u = rng.below(vertices);
+            if (u == v)
+                continue;
+            bool dup = false;
+            for (std::uint64_t w : nbrs)
+                dup = dup || w == u;
+            if (!dup)
+                nbrs.push_back(u);
+        }
+    }
+    return g;
+}
+
+flash::PageBuffer
+PageGraph::serialize(std::uint64_t v, std::uint32_t page_size) const
+{
+    const auto &nbrs = adj_.at(v);
+    std::size_t need = 4 + nbrs.size() * 8;
+    if (need > page_size)
+        sim::fatal("vertex %llu does not fit a %u-byte page",
+                   static_cast<unsigned long long>(v), page_size);
+    flash::PageBuffer page(page_size, 0);
+    auto degree = static_cast<std::uint32_t>(nbrs.size());
+    std::memcpy(page.data(), &degree, 4);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+        std::memcpy(page.data() + 4 + i * 8, &nbrs[i], 8);
+    return page;
+}
+
+std::vector<std::uint64_t>
+PageGraph::parse(const flash::PageBuffer &page)
+{
+    if (page.size() < 4)
+        sim::fatal("page too small to hold a vertex");
+    std::uint32_t degree = 0;
+    std::memcpy(&degree, page.data(), 4);
+    if (4 + std::size_t(degree) * 8 > page.size())
+        sim::fatal("corrupt vertex page (degree %u)", degree);
+    std::vector<std::uint64_t> nbrs(degree);
+    for (std::uint32_t i = 0; i < degree; ++i)
+        std::memcpy(&nbrs[i], page.data() + 4 + i * 8, 8);
+    return nbrs;
+}
+
+std::vector<std::int64_t>
+PageGraph::bfs(std::uint64_t start) const
+{
+    std::vector<std::int64_t> dist(adj_.size(), -1);
+    std::queue<std::uint64_t> q;
+    dist[start] = 0;
+    q.push(start);
+    while (!q.empty()) {
+        std::uint64_t v = q.front();
+        q.pop();
+        for (std::uint64_t u : adj_[v]) {
+            if (dist[u] < 0) {
+                dist[u] = dist[v] + 1;
+                q.push(u);
+            }
+        }
+    }
+    return dist;
+}
+
+} // namespace analytics
+} // namespace bluedbm

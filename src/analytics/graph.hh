@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Page-resident graphs for the traversal experiments (paper
+ * section 7.2).
+ *
+ * Each vertex occupies one flash page holding its serialized
+ * adjacency list; traversals are dependent page lookups ("like a
+ * linked-list traversal at the page level"). The generator builds
+ * random regular digraphs; the serializer packs adjacency into page
+ * bytes so the in-store graph engine operates on real data.
+ */
+
+#ifndef BLUEDBM_ANALYTICS_GRAPH_HH
+#define BLUEDBM_ANALYTICS_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/types.hh"
+#include "sim/random.hh"
+
+namespace bluedbm {
+namespace analytics {
+
+/**
+ * An in-memory directed graph with page serialization.
+ */
+class PageGraph
+{
+  public:
+    /**
+     * Generate a random digraph where every vertex has @p out_degree
+     * distinct successors.
+     */
+    static PageGraph random(std::uint64_t vertices,
+                            unsigned out_degree,
+                            std::uint64_t seed = 1);
+
+    /** Number of vertices. */
+    std::uint64_t vertices() const { return adj_.size(); }
+
+    /** Successors of @p v. */
+    const std::vector<std::uint64_t> &
+    neighbors(std::uint64_t v) const
+    {
+        return adj_[v];
+    }
+
+    /**
+     * Serialize vertex @p v into a page of @p page_size bytes:
+     * [u32 degree][u64 neighbor]*  (zero-padded).
+     */
+    flash::PageBuffer serialize(std::uint64_t v,
+                                std::uint32_t page_size) const;
+
+    /** Parse a serialized vertex page back into neighbor ids. */
+    static std::vector<std::uint64_t>
+    parse(const flash::PageBuffer &page);
+
+    /**
+     * Reference BFS from @p start; returns hop distance per vertex
+     * (-1 when unreachable). Used to validate traversal engines.
+     */
+    std::vector<std::int64_t> bfs(std::uint64_t start) const;
+
+  private:
+    std::vector<std::vector<std::uint64_t>> adj_;
+};
+
+} // namespace analytics
+} // namespace bluedbm
+
+#endif // BLUEDBM_ANALYTICS_GRAPH_HH

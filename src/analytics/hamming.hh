@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Hamming distance kernels (the nearest-neighbor compute of paper
+ * section 7.1).
+ */
+
+#ifndef BLUEDBM_ANALYTICS_HAMMING_HH
+#define BLUEDBM_ANALYTICS_HAMMING_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace bluedbm {
+namespace analytics {
+
+/**
+ * Number of differing bits between two equal-length byte buffers.
+ */
+inline std::uint64_t
+hammingDistance(const std::uint8_t *a, const std::uint8_t *b,
+                std::size_t len)
+{
+    std::uint64_t distance = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        std::uint64_t wa, wb;
+        std::memcpy(&wa, a + i, 8);
+        std::memcpy(&wb, b + i, 8);
+        distance += std::uint64_t(std::popcount(wa ^ wb));
+    }
+    for (; i < len; ++i) {
+        distance += std::uint64_t(
+            std::popcount(unsigned(a[i] ^ b[i])));
+    }
+    return distance;
+}
+
+/** Convenience overload for vectors (must be equal length). */
+inline std::uint64_t
+hammingDistance(const std::vector<std::uint8_t> &a,
+                const std::vector<std::uint8_t> &b)
+{
+    return hammingDistance(a.data(), b.data(),
+                           a.size() < b.size() ? a.size() : b.size());
+}
+
+} // namespace analytics
+} // namespace bluedbm
+
+#endif // BLUEDBM_ANALYTICS_HAMMING_HH

@@ -1,0 +1,63 @@
+#include "analytics/lsh.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bluedbm {
+namespace analytics {
+
+LshIndex::LshIndex(unsigned tables, unsigned bits_per_key,
+                   std::size_t item_bytes, std::uint64_t seed)
+    : itemBytes_(item_bytes)
+{
+    if (tables == 0 || bits_per_key == 0 || bits_per_key > 64)
+        sim::fatal("LshIndex needs 1..64 bits per key and >=1 table");
+    sim::Rng rng(seed);
+    positions_.resize(tables);
+    buckets_.resize(tables);
+    std::uint64_t total_bits = std::uint64_t(item_bytes) * 8;
+    for (auto &pos : positions_) {
+        pos.reserve(bits_per_key);
+        for (unsigned k = 0; k < bits_per_key; ++k)
+            pos.push_back(
+                static_cast<std::uint32_t>(rng.below(total_bits)));
+    }
+}
+
+std::uint64_t
+LshIndex::hash(unsigned t, const std::uint8_t *data) const
+{
+    std::uint64_t key = 0;
+    for (std::uint32_t bit : positions_[t]) {
+        key <<= 1;
+        key |= (data[bit / 8] >> (bit % 8)) & 1u;
+    }
+    return key;
+}
+
+void
+LshIndex::insert(std::uint64_t id, const std::uint8_t *data)
+{
+    for (unsigned t = 0; t < tables(); ++t)
+        buckets_[t][hash(t, data)].push_back(id);
+    ++items_;
+}
+
+std::vector<std::uint64_t>
+LshIndex::candidates(const std::uint8_t *query) const
+{
+    std::vector<std::uint64_t> out;
+    for (unsigned t = 0; t < tables(); ++t) {
+        auto it = buckets_[t].find(hash(t, query));
+        if (it == buckets_[t].end())
+            continue;
+        out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+} // namespace analytics
+} // namespace bluedbm

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Locality Sensitive Hashing for Hamming space (paper section 7.1).
+ *
+ * Bit-sampling LSH: each of L tables hashes an item by sampling K
+ * random bit positions; items within small Hamming distance land in
+ * the same bucket with high probability. Queries read the matching
+ * buckets and compute exact distances on the candidates -- the
+ * scattered, random page reads that motivate BlueDBM's flash-level
+ * random access performance (figure 15).
+ */
+
+#ifndef BLUEDBM_ANALYTICS_LSH_HH
+#define BLUEDBM_ANALYTICS_LSH_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/random.hh"
+
+namespace bluedbm {
+namespace analytics {
+
+/**
+ * In-memory LSH index over fixed-size binary items.
+ */
+class LshIndex
+{
+  public:
+    /**
+     * @param tables       number of hash tables (L)
+     * @param bits_per_key sampled bit positions per table (K)
+     * @param item_bytes   size of every item
+     * @param seed         RNG seed for position sampling
+     */
+    LshIndex(unsigned tables, unsigned bits_per_key,
+             std::size_t item_bytes, std::uint64_t seed = 42);
+
+    /** Number of tables. */
+    unsigned tables() const { return unsigned(positions_.size()); }
+
+    /** Hash @p data for table @p t. */
+    std::uint64_t hash(unsigned t, const std::uint8_t *data) const;
+
+    /** Insert item @p id with content @p data. */
+    void insert(std::uint64_t id, const std::uint8_t *data);
+
+    /**
+     * Candidate ids whose buckets match @p query in at least one
+     * table (deduplicated, unordered).
+     */
+    std::vector<std::uint64_t>
+    candidates(const std::uint8_t *query) const;
+
+    /** Total items inserted. */
+    std::uint64_t size() const { return items_; }
+
+  private:
+    std::size_t itemBytes_;
+    //! positions_[t] = sampled bit indices for table t
+    std::vector<std::vector<std::uint32_t>> positions_;
+    //! buckets_[t] : key -> item ids
+    std::vector<std::unordered_map<std::uint64_t,
+                                   std::vector<std::uint64_t>>>
+        buckets_;
+    std::uint64_t items_ = 0;
+};
+
+} // namespace analytics
+} // namespace bluedbm
+
+#endif // BLUEDBM_ANALYTICS_LSH_HH

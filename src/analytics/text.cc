@@ -1,0 +1,65 @@
+#include "analytics/text.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace bluedbm {
+namespace analytics {
+
+Corpus
+makeCorpus(std::uint64_t bytes, const std::string &needle,
+           unsigned occurrences, std::uint64_t seed)
+{
+    if (needle.empty())
+        sim::fatal("needle must not be empty");
+    if (needle.size() * (occurrences + 1) > bytes)
+        sim::fatal("corpus too small for %u occurrences",
+                   occurrences);
+    bool has_special = false;
+    for (char c : needle)
+        has_special = has_special || !(c == ' ' ||
+                                       (c >= 'a' && c <= 'z'));
+    if (!has_special)
+        sim::fatal("needle needs a character outside [a-z ] so the "
+                   "filler cannot contain it by accident");
+
+    Corpus corpus;
+    corpus.text.resize(bytes);
+    sim::Rng rng(seed);
+
+    // Word-like filler: 2-9 letter words separated by spaces.
+    std::uint64_t i = 0;
+    while (i < bytes) {
+        std::uint64_t word = 2 + rng.below(8);
+        for (std::uint64_t w = 0; w < word && i < bytes; ++w, ++i)
+            corpus.text[i] =
+                static_cast<std::uint8_t>('a' + rng.below(26));
+        if (i < bytes)
+            corpus.text[i++] = ' ';
+    }
+
+    // Plant needles at non-overlapping positions.
+    std::vector<std::uint64_t> positions;
+    std::uint64_t span = needle.size();
+    while (positions.size() < occurrences) {
+        std::uint64_t pos = rng.below(bytes - span);
+        bool clash = false;
+        for (std::uint64_t p : positions)
+            clash = clash || (pos + span > p && p + span > pos);
+        if (clash)
+            continue;
+        positions.push_back(pos);
+    }
+    std::sort(positions.begin(), positions.end());
+    for (std::uint64_t pos : positions)
+        std::copy(needle.begin(), needle.end(),
+                  corpus.text.begin() +
+                      std::vector<std::uint8_t>::difference_type(pos));
+    corpus.needlePositions = std::move(positions);
+    return corpus;
+}
+
+} // namespace analytics
+} // namespace bluedbm

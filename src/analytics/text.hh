@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Text corpus generation for the string search experiments (paper
+ * section 7.3): haystacks of pseudo-words with a needle planted at
+ * known positions, so search engines can be validated exactly.
+ */
+
+#ifndef BLUEDBM_ANALYTICS_TEXT_HH
+#define BLUEDBM_ANALYTICS_TEXT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bluedbm {
+namespace analytics {
+
+/**
+ * A generated corpus with ground truth.
+ */
+struct Corpus
+{
+    std::vector<std::uint8_t> text;
+    std::vector<std::uint64_t> needlePositions; //!< byte offsets
+};
+
+/**
+ * Generate @p bytes of word-like text with @p occurrences of
+ * @p needle planted at deterministic pseudo-random positions.
+ *
+ * The filler text is guaranteed not to contain the needle by
+ * accident (the needle must contain at least one character outside
+ * [a-z space]).
+ */
+Corpus makeCorpus(std::uint64_t bytes, const std::string &needle,
+                  unsigned occurrences, std::uint64_t seed = 1);
+
+} // namespace analytics
+} // namespace bluedbm
+
+#endif // BLUEDBM_ANALYTICS_TEXT_HH

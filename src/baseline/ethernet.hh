@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Conventional Ethernet path model.
+ *
+ * The paper notes that accessing a remote server over Ethernet costs
+ * at least 100x the latency of the integrated storage network
+ * (section 6.4), so it is not measured further; we keep a simple
+ * model for comparison benches: kernel TCP stack latency on both
+ * sides plus a 10 GbE wire.
+ */
+
+#ifndef BLUEDBM_BASELINE_ETHERNET_HH
+#define BLUEDBM_BASELINE_ETHERNET_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/bandwidth.hh"
+#include "sim/simulator.hh"
+
+namespace bluedbm {
+namespace baseline {
+
+/**
+ * Ethernet model parameters.
+ */
+struct EthernetParams
+{
+    /** Wire rate (10 GbE). */
+    double bytesPerSec = 10e9 / 8.0;
+    /** One-way latency including both kernel stacks. */
+    sim::Tick oneWayLatency = sim::usToTicks(50);
+};
+
+/**
+ * Point-to-point kernel-TCP transfer model.
+ */
+class EthernetLink
+{
+  public:
+    EthernetLink(sim::Simulator &sim, const EthernetParams &params)
+        : sim_(sim), params_(params),
+          wire_(params.bytesPerSec, params.oneWayLatency)
+    {
+    }
+
+    /** Send @p bytes; @p done runs at delivery on the far side. */
+    void
+    send(std::uint32_t bytes, std::function<void()> done)
+    {
+        sim::Tick t = wire_.occupy(sim_.now(), bytes);
+        sim_.scheduleAt(t, std::move(done));
+    }
+
+    /** Parameters in use. */
+    const EthernetParams &params() const { return params_; }
+
+  private:
+    sim::Simulator &sim_;
+    EthernetParams params_;
+    sim::LatencyRateServer wire_;
+};
+
+} // namespace baseline
+} // namespace bluedbm
+
+#endif // BLUEDBM_BASELINE_ETHERNET_HH

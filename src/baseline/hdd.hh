@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Hard disk model for the grep comparison (paper section 7.3) and
+ * the DRAM + disk miss experiments (section 7.1).
+ */
+
+#ifndef BLUEDBM_BASELINE_HDD_HH
+#define BLUEDBM_BASELINE_HDD_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/bandwidth.hh"
+#include "sim/simulator.hh"
+
+namespace bluedbm {
+namespace baseline {
+
+/**
+ * HDD model parameters (a 2015 7200 rpm SATA drive).
+ */
+struct HddParams
+{
+    /** Sustained sequential transfer rate. */
+    double seqBytesPerSec = 150e6;
+    /** Average seek plus rotational latency for a random access. */
+    sim::Tick randomAccess = sim::msToTicks(8);
+};
+
+/**
+ * Single-actuator disk: one operation at a time; sequential
+ * continuations skip the seek.
+ */
+class HardDisk
+{
+  public:
+    HardDisk(sim::Simulator &sim, const HddParams &params)
+        : sim_(sim), params_(params),
+          platter_(params.seqBytesPerSec, 0)
+    {
+    }
+
+    /** Read @p bytes at page address @p lba. */
+    void
+    read(std::uint64_t lba, std::uint32_t bytes,
+         std::function<void()> done)
+    {
+        bool sequential = lba == lastLba_ + 1;
+        lastLba_ = lba;
+        ++reads_;
+        sim::Tick start = sim_.now();
+        if (!sequential) {
+            // The single head seeks; it is busy for the whole op.
+            start = std::max(start, platter_.busyUntil());
+            start += params_.randomAccess;
+            ++seeks_;
+        }
+        sim::Tick t = platter_.occupy(start, bytes);
+        sim_.scheduleAt(t, std::move(done));
+    }
+
+    /** Total reads. */
+    std::uint64_t reads() const { return reads_; }
+
+    /** Reads that paid a seek. */
+    std::uint64_t seeks() const { return seeks_; }
+
+  private:
+    sim::Simulator &sim_;
+    HddParams params_;
+    sim::LatencyRateServer platter_;
+    std::uint64_t lastLba_ = ~std::uint64_t(0) - 1;
+    std::uint64_t reads_ = 0;
+    std::uint64_t seeks_ = 0;
+};
+
+} // namespace baseline
+} // namespace bluedbm
+
+#endif // BLUEDBM_BASELINE_HDD_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Ram-cloud-style host processing model (paper sections 7.1, 7.2).
+ *
+ * Models a multithreaded application on the host whose working set
+ * lives (mostly) in DRAM: each item costs CPU compute plus, with some
+ * probability, a demand-paging miss to secondary storage. This is
+ * the system whose performance the paper shows "falls sharply even
+ * if only 5%-10% of the references are to the secondary storage".
+ *
+ * The miss penalty is the *measured-equivalent* cost of a demand
+ * fault through the 2015 Linux paging path (fault, kernel block
+ * layer, device, readahead pollution), calibrated so the paper's
+ * reported throughput collapse is reproduced; see EXPERIMENTS.md.
+ */
+
+#ifndef BLUEDBM_BASELINE_RAM_CLOUD_HH
+#define BLUEDBM_BASELINE_RAM_CLOUD_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "host/host_cpu.hh"
+#include "sim/bandwidth.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+namespace bluedbm {
+namespace baseline {
+
+/**
+ * Ram-cloud workload parameters.
+ */
+struct RamCloudParams
+{
+    /** CPU time to process one 8 KB item (hamming comparison). */
+    sim::Tick computePerItem = sim::usToTicks(23);
+    /** Effective DRAM bandwidth for streaming items to the cores. */
+    double dramBytesPerSec = 6e9;
+    /** Item size. */
+    std::uint32_t itemBytes = 8192;
+    /** Fraction of items that miss DRAM. */
+    double missFraction = 0.0;
+    /** Blocking cost of one miss (device + paging path). */
+    sim::Tick missPenalty = 0;
+};
+
+/**
+ * Multithreaded host loop processing items from (mostly) DRAM.
+ */
+class RamCloudWorkload
+{
+  public:
+    /**
+     * @param sim     simulation kernel
+     * @param cpu     host CPU (shared with other software)
+     * @param params  workload parameters
+     * @param seed    RNG seed for miss sampling
+     */
+    RamCloudWorkload(sim::Simulator &sim, host::HostCpu &cpu,
+                     const RamCloudParams &params,
+                     std::uint64_t seed = 1)
+        : sim_(sim), cpu_(cpu), params_(params),
+          dram_(params.dramBytesPerSec, sim::nsToTicks(100)),
+          rng_(seed)
+    {
+    }
+
+    /**
+     * Run @p threads worker threads each processing items until
+     * @p total items have completed, then call @p done.
+     */
+    void
+    run(unsigned threads, std::uint64_t total,
+        std::function<void()> done)
+    {
+        auto st = std::make_shared<State>();
+        st->remainingToStart = total;
+        st->remainingToFinish = total;
+        st->done = std::move(done);
+        for (unsigned t = 0; t < threads && t < total; ++t)
+            workerStep(st);
+    }
+
+    /** Items processed across all runs. */
+    std::uint64_t processed() const { return processed_; }
+
+  private:
+    struct State
+    {
+        std::uint64_t remainingToStart = 0;
+        std::uint64_t remainingToFinish = 0;
+        std::function<void()> done;
+    };
+
+    void
+    workerStep(std::shared_ptr<State> st)
+    {
+        if (st->remainingToStart == 0)
+            return;
+        --st->remainingToStart;
+        // Fetch the item: DRAM stream, or a paging miss.
+        sim::Tick ready;
+        if (params_.missFraction > 0.0 &&
+            rng_.chance(params_.missFraction)) {
+            ready = sim_.now() + params_.missPenalty;
+        } else {
+            ready = dram_.occupy(sim_.now(), params_.itemBytes);
+        }
+        sim_.scheduleAt(ready, [this, st]() {
+            cpu_.execute(params_.computePerItem, [this, st]() {
+                ++processed_;
+                if (--st->remainingToFinish == 0) {
+                    st->done();
+                    return;
+                }
+                workerStep(st);
+            });
+        });
+    }
+
+    sim::Simulator &sim_;
+    host::HostCpu &cpu_;
+    RamCloudParams params_;
+    sim::LatencyRateServer dram_;
+    sim::Rng rng_;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace baseline
+} // namespace bluedbm
+
+#endif // BLUEDBM_BASELINE_RAM_CLOUD_HH

@@ -1,0 +1,48 @@
+#include "core/cluster.hh"
+
+#include "sim/logging.hh"
+
+namespace bluedbm {
+namespace core {
+
+Cluster::Cluster(sim::Simulator &sim, const ClusterParams &params)
+    : sim_(sim), params_(params)
+{
+    net_ = std::make_unique<net::StorageNetwork>(
+        sim_, params_.topology, params_.network);
+    for (unsigned n = 0; n < params_.topology.nodes; ++n) {
+        nodes_.emplace_back(std::make_unique<Node>(
+            sim_, *net_, net::NodeId(n), params_.node));
+    }
+}
+
+GlobalAddress
+Cluster::globalPage(std::uint64_t index) const
+{
+    if (index >= globalPages())
+        sim::fatal("global page index out of range");
+    GlobalAddress ga;
+    ga.node = net::NodeId(index % size());
+    index /= size();
+    ga.card = std::uint8_t(index % params_.node.cards);
+    index /= params_.node.cards;
+    ga.addr = flash::Address::fromStriped(params_.node.geometry,
+                                          index);
+    return ga;
+}
+
+std::uint64_t
+Cluster::globalIndex(const GlobalAddress &ga) const
+{
+    const flash::Geometry &g = params_.node.geometry;
+    // Invert Address::fromStriped.
+    std::uint64_t within =
+        ((std::uint64_t(ga.addr.block) * g.pagesPerBlock +
+          ga.addr.page) * g.chipsPerBus + ga.addr.chip) * g.buses +
+        ga.addr.bus;
+    return (within * params_.node.cards + ga.card) * size() +
+        ga.node;
+}
+
+} // namespace core
+} // namespace bluedbm

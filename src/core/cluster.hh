@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The BlueDBM appliance: a rack of nodes whose storage devices form
+ * one global address space over the integrated network (paper
+ * section 3, figure 1).
+ */
+
+#ifndef BLUEDBM_CORE_CLUSTER_HH
+#define BLUEDBM_CORE_CLUSTER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/node.hh"
+#include "net/network.hh"
+#include "net/topology.hh"
+#include "sim/simulator.hh"
+
+namespace bluedbm {
+namespace core {
+
+/**
+ * A page address in the cluster-wide global address space.
+ */
+struct GlobalAddress
+{
+    net::NodeId node = 0;
+    std::uint8_t card = 0;
+    flash::Address addr;
+};
+
+/**
+ * Cluster configuration.
+ */
+struct ClusterParams
+{
+    net::Topology topology;              //!< physical wiring
+    net::StorageNetwork::Params network; //!< lane/endpoint params
+    NodeParams node;                     //!< per-node configuration
+};
+
+/**
+ * A BlueDBM cluster: network plus nodes.
+ */
+class Cluster
+{
+  public:
+    /**
+     * Build the appliance. The number of nodes comes from the
+     * topology.
+     */
+    Cluster(sim::Simulator &sim, const ClusterParams &params);
+
+    /** Number of nodes. */
+    unsigned size() const { return unsigned(nodes_.size()); }
+
+    /** Node @p i. */
+    Node &node(unsigned i) { return *nodes_.at(i); }
+
+    /** The integrated storage network. */
+    net::StorageNetwork &network() { return *net_; }
+
+    /** Cluster parameters. */
+    const ClusterParams &params() const { return params_; }
+
+    /** Total raw flash capacity in bytes. */
+    std::uint64_t
+    capacityBytes() const
+    {
+        return std::uint64_t(size()) * params_.node.cards *
+            params_.node.geometry.capacityBytes();
+    }
+
+    /** Number of pages in the global address space. */
+    std::uint64_t
+    globalPages() const
+    {
+        return std::uint64_t(size()) * params_.node.cards *
+            params_.node.geometry.pages();
+    }
+
+    /**
+     * Map a dense global page index onto (node, card, address).
+     * Consecutive indices stripe across nodes, then cards, then
+     * buses, maximizing parallelism for sequential scans -- this is
+     * the "near-uniform latency global address space" layout.
+     */
+    GlobalAddress globalPage(std::uint64_t index) const;
+
+    /** Inverse of globalPage(). */
+    std::uint64_t globalIndex(const GlobalAddress &ga) const;
+
+  private:
+    sim::Simulator &sim_;
+    ClusterParams params_;
+    std::unique_ptr<net::StorageNetwork> net_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+} // namespace core
+} // namespace bluedbm
+
+#endif // BLUEDBM_CORE_CLUSTER_HH

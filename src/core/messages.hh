@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Wire payloads of the BlueDBM remote-access protocol.
+ *
+ * These ride inside net::Message::payload; their timed size is the
+ * Message::bytes field set by the sender (small fixed-size requests,
+ * page-sized responses).
+ */
+
+#ifndef BLUEDBM_CORE_MESSAGES_HH
+#define BLUEDBM_CORE_MESSAGES_HH
+
+#include <cstdint>
+
+#include "flash/types.hh"
+#include "net/message.hh"
+
+namespace bluedbm {
+namespace core {
+
+/** Endpoint assignment on every node. */
+enum : net::EndpointId
+{
+    epReadService = 1, //!< remote flash read requests (ISP-F, H-F)
+    epIspData = 2,     //!< page responses consumed by the ISP
+    epHostData = 3,    //!< page responses destined for host memory
+    epHostService = 4, //!< requests serviced by remote host software
+    epIspData1 = 5,    //!< extra ISP data endpoints: striping them
+    epIspData2 = 6,    //!< across endpoints spreads page responses
+    epIspData3 = 7,    //!< over parallel lanes (section 3.2.3)
+};
+
+/** Reply endpoints ISP page data is striped across. */
+constexpr net::EndpointId ispDataEndpoints[] = {
+    epIspData, epIspData1, epIspData2, epIspData3};
+constexpr unsigned ispDataEndpointCount = 4;
+
+/** On-wire size of a read request (command + address + tag). */
+constexpr std::uint32_t readRequestBytes = 32;
+
+/**
+ * Ask a remote storage device for one flash page.
+ */
+struct ReadRequest
+{
+    std::uint64_t reqId = 0;
+    std::uint8_t card = 0;
+    flash::Address addr;
+    /** Endpoint the response should be sent to. */
+    net::EndpointId replyEndpoint = epIspData;
+};
+
+/**
+ * Ask a remote *host server* (not its ISP) for data: flash or DRAM
+ * (the H-RH-F and H-D experiments).
+ */
+struct HostServiceRequest
+{
+    std::uint64_t reqId = 0;
+    std::uint8_t card = 0;
+    flash::Address addr;
+    /** When true the remote host serves from its DRAM instead. */
+    bool fromDram = false;
+    std::uint32_t bytes = 8192;
+    net::EndpointId replyEndpoint = epHostData;
+};
+
+/**
+ * One flash page (or DRAM block) coming back.
+ */
+struct ReadResponse
+{
+    std::uint64_t reqId = 0;
+    flash::PageBuffer data;
+    flash::Status status = flash::Status::Ok;
+};
+
+} // namespace core
+} // namespace bluedbm
+
+#endif // BLUEDBM_CORE_MESSAGES_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Convenience composition of one custom flash card: NAND array,
+ * controller, and interface splitter (paper figure 3). A BlueDBM node
+ * carries two of these.
+ */
+
+#ifndef BLUEDBM_FLASH_FLASH_CARD_HH
+#define BLUEDBM_FLASH_FLASH_CARD_HH
+
+#include <memory>
+
+#include "flash/flash_controller.hh"
+#include "flash/flash_splitter.hh"
+#include "flash/nand_array.hh"
+
+namespace bluedbm {
+namespace flash {
+
+/**
+ * One custom flash board: 512 GB of NAND behind an error-corrected,
+ * tag-based controller shared through a splitter.
+ */
+class FlashCard
+{
+  public:
+    /**
+     * @param sim    simulation kernel
+     * @param geo    card geometry
+     * @param timing NAND timing
+     * @param tags   controller hardware tags
+     * @param seed   content/error seed
+     */
+    FlashCard(sim::Simulator &sim, const Geometry &geo,
+              const Timing &timing, unsigned tags = 128,
+              std::uint64_t seed = 1)
+        : nand_(sim, geo, timing, seed),
+          controller_(sim, nand_, tags),
+          splitter_(sim, controller_)
+    {
+    }
+
+    /** NAND array (timing + backing store). */
+    NandArray &nand() { return nand_; }
+
+    /** Low-level controller. */
+    FlashController &controller() { return controller_; }
+
+    /** Interface splitter; add ports for each agent. */
+    FlashSplitter &splitter() { return splitter_; }
+
+    /** Card geometry. */
+    const Geometry &geometry() const { return nand_.geometry(); }
+
+  private:
+    NandArray nand_;
+    FlashController controller_;
+    FlashSplitter splitter_;
+};
+
+} // namespace flash
+} // namespace bluedbm
+
+#endif // BLUEDBM_FLASH_FLASH_CARD_HH

@@ -1,0 +1,220 @@
+#include "flash/flash_server.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace bluedbm {
+namespace flash {
+
+FlashServer::FlashServer(sim::Simulator &sim,
+                         FlashSplitter::Port &port,
+                         unsigned interfaces, unsigned queue_depth)
+    : sim_(sim), port_(port), depth_(queue_depth)
+{
+    if (interfaces == 0 || queue_depth == 0)
+        sim::fatal("FlashServer needs >=1 interface and depth");
+    if (interfaces * queue_depth > port.tagCount())
+        sim::fatal("FlashServer needs %u tags but port has %u",
+                   interfaces * queue_depth, port.tagCount());
+    ifcs_.resize(interfaces);
+    tagInfo_.resize(interfaces * queue_depth);
+    port_.setClient(this);
+}
+
+void
+FlashServer::defineHandle(std::uint32_t handle,
+                          std::vector<Address> pages)
+{
+    atu_[handle] = std::move(pages);
+}
+
+void
+FlashServer::dropHandle(std::uint32_t handle)
+{
+    atu_.erase(handle);
+}
+
+const std::vector<Address> *
+FlashServer::handlePages(std::uint32_t handle) const
+{
+    auto it = atu_.find(handle);
+    return it == atu_.end() ? nullptr : &it->second;
+}
+
+void
+FlashServer::streamRead(unsigned ifc, std::uint32_t handle,
+                        std::uint64_t first, std::uint64_t count,
+                        PageSink sink)
+{
+    if (ifc >= ifcs_.size())
+        sim::panic("interface %u out of range", ifc);
+    auto it = atu_.find(handle);
+    if (it == atu_.end())
+        sim::fatal("streamRead on undefined handle %u", handle);
+    const auto &pages = it->second;
+    if (first + count > pages.size())
+        sim::fatal("streamRead past end of handle %u "
+                   "(%llu + %llu > %zu)", handle,
+                   static_cast<unsigned long long>(first),
+                   static_cast<unsigned long long>(count),
+                   pages.size());
+
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Job job;
+        job.op = Op::ReadPage;
+        job.addr = pages[first + i];
+        job.pageSink = sink;
+        ifcs_[ifc].pending.push_back(std::move(job));
+    }
+    pump(ifc);
+}
+
+void
+FlashServer::readPage(unsigned ifc, const Address &addr, PageSink sink)
+{
+    if (ifc >= ifcs_.size())
+        sim::panic("interface %u out of range", ifc);
+    Job job;
+    job.op = Op::ReadPage;
+    job.addr = addr;
+    job.pageSink = std::move(sink);
+    ifcs_[ifc].pending.push_back(std::move(job));
+    pump(ifc);
+}
+
+void
+FlashServer::writePage(unsigned ifc, const Address &addr,
+                       PageBuffer data, WriteSink sink)
+{
+    if (ifc >= ifcs_.size())
+        sim::panic("interface %u out of range", ifc);
+    Job job;
+    job.op = Op::WritePage;
+    job.addr = addr;
+    job.writeData = std::move(data);
+    job.writeSink = std::move(sink);
+    ifcs_[ifc].pending.push_back(std::move(job));
+    pump(ifc);
+}
+
+void
+FlashServer::eraseBlock(unsigned ifc, const Address &addr,
+                        WriteSink sink)
+{
+    if (ifc >= ifcs_.size())
+        sim::panic("interface %u out of range", ifc);
+    Job job;
+    job.op = Op::EraseBlock;
+    job.addr = addr;
+    job.writeSink = std::move(sink);
+    ifcs_[ifc].pending.push_back(std::move(job));
+    pump(ifc);
+}
+
+void
+FlashServer::pump(unsigned ifc)
+{
+    Interface &itf = ifcs_[ifc];
+    while (itf.inFlight < depth_ && !itf.pending.empty()) {
+        // Find a free tag in this interface's tag window.
+        Tag tag = FlashSplitter::Port::noTag;
+        for (unsigned t = 0; t < depth_; ++t) {
+            if (!tagInfo_[tagBase(ifc) + t].busy) {
+                tag = tagBase(ifc) + t;
+                break;
+            }
+        }
+        if (tag == FlashSplitter::Port::noTag)
+            sim::panic("inFlight below depth but no free tag");
+
+        TagInfo &info = tagInfo_[tag];
+        info.busy = true;
+        info.ifc = ifc;
+        info.seq = itf.nextIssueSeq++;
+        info.job = std::move(itf.pending.front());
+        itf.pending.pop_front();
+        ++itf.inFlight;
+
+        Command cmd;
+        cmd.op = info.job.op;
+        cmd.addr = info.job.addr;
+        cmd.tag = tag;
+        port_.sendCommand(cmd);
+    }
+}
+
+void
+FlashServer::complete(Tag tag, PageBuffer data, Status status)
+{
+    TagInfo &info = tagInfo_[tag];
+    if (!info.busy)
+        sim::panic("completion for idle tag %u", tag);
+    unsigned ifc = info.ifc;
+    Interface &itf = ifcs_[ifc];
+
+    Completion done;
+    done.job = std::move(info.job);
+    done.data = std::move(data);
+    done.status = status;
+    itf.reorder.emplace(info.seq, std::move(done));
+
+    info.busy = false;
+    --itf.inFlight;
+
+    deliver(ifc);
+    pump(ifc);
+}
+
+void
+FlashServer::deliver(unsigned ifc)
+{
+    Interface &itf = ifcs_[ifc];
+    // Page buffers restore FIFO order: only the next sequence number
+    // may leave the reorder buffer.
+    while (true) {
+        auto it = itf.reorder.find(itf.nextDeliverSeq);
+        if (it == itf.reorder.end())
+            return;
+        Completion c = std::move(it->second);
+        itf.reorder.erase(it);
+        ++itf.nextDeliverSeq;
+        if (c.job.op == Op::ReadPage) {
+            if (c.job.pageSink)
+                c.job.pageSink(std::move(c.data), c.status);
+        } else {
+            if (c.job.writeSink)
+                c.job.writeSink(c.status);
+        }
+    }
+}
+
+void
+FlashServer::readDone(Tag tag, PageBuffer data, Status status)
+{
+    complete(tag, std::move(data), status);
+}
+
+void
+FlashServer::writeDataRequest(Tag tag)
+{
+    TagInfo &info = tagInfo_[tag];
+    if (!info.busy)
+        sim::panic("writeDataRequest for idle tag %u", tag);
+    port_.sendWriteData(tag, std::move(info.job.writeData));
+}
+
+void
+FlashServer::writeDone(Tag tag, Status status)
+{
+    complete(tag, PageBuffer{}, status);
+}
+
+void
+FlashServer::eraseDone(Tag tag, Status status)
+{
+    complete(tag, PageBuffer{}, status);
+}
+
+} // namespace flash
+} // namespace bluedbm

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Flash Server (paper section 3.1.2): converts the out-of-order,
+ * interleaved flash interface into multiple simple in-order
+ * request/response interfaces using page buffers, and contains an
+ * Address Translation Unit mapping file handles to streams of physical
+ * addresses supplied by the host file system.
+ *
+ * An in-store processor simply requests (handle, offset, length) and
+ * receives pages in order; the width (interfaces), command queue depth
+ * and buffering are adjustable per application, as in the paper.
+ */
+
+#ifndef BLUEDBM_FLASH_FLASH_SERVER_HH
+#define BLUEDBM_FLASH_FLASH_SERVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "flash/flash_splitter.hh"
+#include "flash/types.hh"
+#include "sim/simulator.hh"
+
+namespace bluedbm {
+namespace flash {
+
+/**
+ * In-order page server over a splitter port.
+ */
+class FlashServer : public Client
+{
+  public:
+    /** Callback delivering one in-order page. */
+    using PageSink = std::function<void(PageBuffer, Status)>;
+    /** Callback signalling completion of a write. */
+    using WriteSink = std::function<void(Status)>;
+
+    /**
+     * @param sim         simulation kernel
+     * @param port        splitter port to drive
+     * @param interfaces  number of independent in-order interfaces
+     * @param queue_depth per-interface commands kept in flight
+     */
+    FlashServer(sim::Simulator &sim, FlashSplitter::Port &port,
+                unsigned interfaces, unsigned queue_depth);
+
+    /** Number of in-order interfaces. */
+    unsigned interfaces() const { return unsigned(ifcs_.size()); }
+
+    /** Per-interface command queue depth. */
+    unsigned queueDepth() const { return depth_; }
+
+    /**
+     * @name Address Translation Unit
+     * The host file system pushes the physical locations of a file
+     * once; in-store processors then reference the file by handle.
+     */
+    ///@{
+
+    /** Define (or replace) the page list of @p handle. */
+    void defineHandle(std::uint32_t handle, std::vector<Address> pages);
+
+    /** Remove a handle. */
+    void dropHandle(std::uint32_t handle);
+
+    /** Pages of a handle; null if unknown. */
+    const std::vector<Address> *handlePages(std::uint32_t handle) const;
+
+    ///@}
+
+    /**
+     * Read @p count pages of file @p handle starting at page
+     * @p first, delivering pages in order on interface @p ifc.
+     *
+     * @param ifc    interface index
+     * @param handle file handle previously defined
+     * @param first  first file page
+     * @param count  number of pages
+     * @param sink   called once per page, in file order
+     */
+    void streamRead(unsigned ifc, std::uint32_t handle,
+                    std::uint64_t first, std::uint64_t count,
+                    PageSink sink);
+
+    /** Read one physical page in order on interface @p ifc. */
+    void readPage(unsigned ifc, const Address &addr, PageSink sink);
+
+    /** Write one physical page via interface @p ifc. */
+    void writePage(unsigned ifc, const Address &addr, PageBuffer data,
+                   WriteSink sink);
+
+    /** Erase one physical block via interface @p ifc. */
+    void eraseBlock(unsigned ifc, const Address &addr, WriteSink sink);
+
+    /** @name Client interface (driven by the splitter port) */
+    ///@{
+    void readDone(Tag tag, PageBuffer data, Status status) override;
+    void writeDataRequest(Tag tag) override;
+    void writeDone(Tag tag, Status status) override;
+    void eraseDone(Tag tag, Status status) override;
+    ///@}
+
+  private:
+    struct Job
+    {
+        Op op = Op::ReadPage;
+        Address addr;
+        PageBuffer writeData;
+        PageSink pageSink;
+        WriteSink writeSink;
+    };
+
+    struct Completion
+    {
+        Job job;
+        PageBuffer data;
+        Status status = Status::Ok;
+    };
+
+    /** Per-interface in-order machinery. */
+    struct Interface
+    {
+        std::deque<Job> pending;     //!< not yet issued
+        std::uint64_t nextIssueSeq = 0;
+        std::uint64_t nextDeliverSeq = 0;
+        unsigned inFlight = 0;
+        //! completion reorder buffer keyed by sequence number
+        std::map<std::uint64_t, Completion> reorder;
+    };
+
+    struct TagInfo
+    {
+        unsigned ifc = 0;
+        std::uint64_t seq = 0;
+        Job job;
+        bool busy = false;
+    };
+
+    void pump(unsigned ifc);
+    void complete(Tag tag, PageBuffer data, Status status);
+    void deliver(unsigned ifc);
+    unsigned tagBase(unsigned ifc) const { return ifc * depth_; }
+
+    sim::Simulator &sim_;
+    FlashSplitter::Port &port_;
+    unsigned depth_;
+    std::vector<Interface> ifcs_;
+    std::vector<TagInfo> tagInfo_;
+    std::unordered_map<std::uint32_t, std::vector<Address>> atu_;
+};
+
+} // namespace flash
+} // namespace bluedbm
+
+#endif // BLUEDBM_FLASH_FLASH_SERVER_HH

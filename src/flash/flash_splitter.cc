@@ -1,0 +1,128 @@
+#include "flash/flash_splitter.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace bluedbm {
+namespace flash {
+
+void
+FlashSplitter::Port::sendCommand(const Command &cmd)
+{
+    if (cmd.tag >= tags_)
+        sim::panic("port tag %u out of range (%u tags)", cmd.tag,
+                   tags_);
+    if (!tagFree(cmd.tag))
+        sim::panic("port %u reuses busy tag %u", index_, cmd.tag);
+    owner_.issue(*this, cmd);
+}
+
+void
+FlashSplitter::Port::sendWriteData(Tag tag, PageBuffer data)
+{
+    if (tag >= tags_)
+        sim::panic("port tag %u out of range", tag);
+    Tag ctrl_tag = ctrlTagOf_[tag];
+    if (ctrl_tag == noTag)
+        sim::panic("write data for unmapped port tag %u", tag);
+    owner_.ctrl_.sendWriteData(ctrl_tag, std::move(data));
+}
+
+FlashSplitter::FlashSplitter(sim::Simulator &sim, FlashController &ctrl)
+    : sim_(sim), ctrl_(ctrl)
+{
+    ctrl_.setClient(this);
+    owner_.resize(ctrl_.tagCount());
+    freeCtrlTags_.reserve(ctrl_.tagCount());
+    // Hand tags out in ascending order for determinism.
+    for (unsigned t = ctrl_.tagCount(); t-- > 0;)
+        freeCtrlTags_.push_back(t);
+}
+
+FlashSplitter::Port &
+FlashSplitter::addPort(unsigned tags)
+{
+    if (tags == 0)
+        sim::fatal("splitter port needs at least one tag");
+    ports_.emplace_back(new Port(*this, unsigned(ports_.size()), tags));
+    return *ports_.back();
+}
+
+void
+FlashSplitter::issue(Port &port, const Command &cmd)
+{
+    if (freeCtrlTags_.empty()) {
+        port.queuedTag_[cmd.tag] = true;
+        waiting_.push_back(Queued{&port, cmd});
+        ++queuedCommands_;
+        return;
+    }
+    Tag ctrl_tag = freeCtrlTags_.back();
+    freeCtrlTags_.pop_back();
+
+    owner_[ctrl_tag] = Owner{&port, cmd.tag};
+    port.ctrlTagOf_[cmd.tag] = ctrl_tag;
+    port.queuedTag_[cmd.tag] = false;
+
+    Command renamed = cmd;
+    renamed.tag = ctrl_tag;
+    ctrl_.sendCommand(renamed);
+}
+
+void
+FlashSplitter::releaseAndRefill(Tag ctrl_tag)
+{
+    Owner &own = owner_[ctrl_tag];
+    own.port->ctrlTagOf_[own.portTag] = Port::noTag;
+    own.port = nullptr;
+    freeCtrlTags_.push_back(ctrl_tag);
+
+    if (!waiting_.empty()) {
+        Queued q = waiting_.front();
+        waiting_.pop_front();
+        issue(*q.port, q.cmd);
+    }
+}
+
+void
+FlashSplitter::readDone(Tag tag, PageBuffer data, Status status)
+{
+    Owner own = owner_[tag];
+    if (!own.port)
+        sim::panic("readDone for unowned controller tag %u", tag);
+    releaseAndRefill(tag);
+    own.port->client_->readDone(own.portTag, std::move(data), status);
+}
+
+void
+FlashSplitter::writeDataRequest(Tag tag)
+{
+    Owner &own = owner_[tag];
+    if (!own.port)
+        sim::panic("writeDataRequest for unowned tag %u", tag);
+    own.port->client_->writeDataRequest(own.portTag);
+}
+
+void
+FlashSplitter::writeDone(Tag tag, Status status)
+{
+    Owner own = owner_[tag];
+    if (!own.port)
+        sim::panic("writeDone for unowned controller tag %u", tag);
+    releaseAndRefill(tag);
+    own.port->client_->writeDone(own.portTag, status);
+}
+
+void
+FlashSplitter::eraseDone(Tag tag, Status status)
+{
+    Owner own = owner_[tag];
+    if (!own.port)
+        sim::panic("eraseDone for unowned controller tag %u", tag);
+    releaseAndRefill(tag);
+    own.port->client_->eraseDone(own.portTag, status);
+}
+
+} // namespace flash
+} // namespace bluedbm

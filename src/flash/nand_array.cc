@@ -1,0 +1,199 @@
+#include "flash/nand_array.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace bluedbm {
+namespace flash {
+
+NandArray::NandArray(sim::Simulator &sim, const Geometry &geo,
+                     const Timing &timing, std::uint64_t seed)
+    : sim_(sim), timing_(timing), store_(geo, seed),
+      errorRng_(seed ^ 0xecc0ecc0ecc0ecc0ull)
+{
+    chipBusy_.assign(geo.chips(), 0);
+    buses_.resize(geo.buses);
+}
+
+std::uint32_t
+NandArray::injectErrors(PageBuffer &data,
+                        std::vector<std::uint8_t> &check)
+{
+    if (bitErrorRate_ <= 0.0)
+        return 0;
+    // The expected number of flipped bits per page is small; draw a
+    // count from the binomial's Poisson approximation and place the
+    // flips uniformly.
+    double total_bits =
+        static_cast<double>(data.size() + check.size()) * 8.0;
+    double expect = total_bits * bitErrorRate_;
+    std::uint32_t flips = 0;
+    // Inverse-transform Poisson sampling (expect is tiny).
+    double p = std::exp(-expect);
+    double cum = p;
+    double u = errorRng_.uniform();
+    while (u > cum && flips < 64) {
+        ++flips;
+        p *= expect / static_cast<double>(flips);
+        cum += p;
+    }
+    for (std::uint32_t i = 0; i < flips; ++i) {
+        std::uint64_t bit =
+            errorRng_.below(static_cast<std::uint64_t>(total_bits));
+        std::uint64_t byte = bit / 8;
+        auto mask = static_cast<std::uint8_t>(1u << (bit % 8));
+        if (byte < data.size())
+            data[byte] ^= mask;
+        else
+            check[byte - data.size()] ^= mask;
+    }
+    return flips;
+}
+
+void
+NandArray::busTransfer(std::uint32_t bus, std::uint64_t wire_bytes,
+                       std::function<void()> deliver)
+{
+    BusState &state = buses_[bus];
+    sim::Tick xfer =
+        sim::transferTicks(wire_bytes, timing_.busBytesPerSec);
+    state.ready.push_back(
+        [this, bus, xfer, deliver = std::move(deliver)]() {
+        BusState &s = buses_[bus];
+        s.busy = true;
+        s.freeAt = sim_.now() + xfer;
+        sim_.scheduleAt(s.freeAt, [this, bus, deliver]() {
+            buses_[bus].busy = false;
+            deliver();
+            busPump(bus);
+        });
+    });
+    busPump(bus);
+}
+
+void
+NandArray::busPump(std::uint32_t bus)
+{
+    BusState &state = buses_[bus];
+    if (state.busy || state.ready.empty())
+        return;
+    auto next = std::move(state.ready.front());
+    state.ready.pop_front();
+    next();
+}
+
+void
+NandArray::read(const Address &addr,
+                std::function<void(ReadResult)> done)
+{
+    const Geometry &geo = geometry();
+    if (!addr.validFor(geo))
+        sim::panic("NAND read at invalid address %s",
+                   addr.toString().c_str());
+
+    sim::Tick now = sim_.now();
+    sim::Tick &chip_busy = chipBusy_[chipIndex(addr)];
+    sim::Tick sense_start = std::max(now, chip_busy);
+    sim::Tick sense_done = sense_start + timing_.readUs;
+    chip_busy = sense_done;
+
+    std::uint64_t wire_bytes =
+        geo.pageSize + Secded72::checkBytes(geo.pageSize);
+
+    // The array senses the page contents now; a concurrent erase or
+    // program completing later must not affect this read's data.
+    auto res = std::make_shared<ReadResult>();
+    auto check = std::make_shared<std::vector<std::uint8_t>>();
+    res->data = store_.read(addr, check.get());
+    ++pagesRead_;
+
+    std::uint32_t bus = addr.bus;
+    sim_.scheduleAt(sense_done, [this, bus, wire_bytes, res, check,
+                                 done = std::move(done)]() mutable {
+        // Data is latched in the chip's page register; it now queues
+        // for the shared bus.
+        busTransfer(bus, wire_bytes,
+                    [this, res, check,
+                     done = std::move(done)]() mutable {
+            sim_.scheduleAfter(timing_.controllerOverhead,
+                               [this, res, check,
+                                done = std::move(done)]() {
+                std::uint32_t injected =
+                    injectErrors(res->data, *check);
+                if (injected > 0 || alwaysDecode_) {
+                    EccResult ecc =
+                        Secded72::decode(res->data, *check);
+                    bitsCorrected_ += ecc.correctedBits;
+                    if (ecc.uncorrectable) {
+                        ++uncorrectable_;
+                        res->status = Status::Uncorrectable;
+                    } else if (ecc.correctedBits > 0) {
+                        res->status = Status::Corrected;
+                    }
+                    res->correctedBits = ecc.correctedBits;
+                }
+                done(std::move(*res));
+            });
+        });
+    });
+}
+
+void
+NandArray::write(const Address &addr, PageBuffer data,
+                 std::function<void(Status)> done)
+{
+    const Geometry &geo = geometry();
+    if (!addr.validFor(geo))
+        sim::panic("NAND write at invalid address %s",
+                   addr.toString().c_str());
+    if (data.size() != geo.pageSize)
+        sim::panic("NAND write size %zu != page size %u",
+                   data.size(), geo.pageSize);
+
+    std::uint64_t wire_bytes =
+        geo.pageSize + Secded72::checkBytes(geo.pageSize);
+    ++pagesWritten_;
+    Address a = addr;
+    auto payload = std::make_shared<PageBuffer>(std::move(data));
+
+    // Write data crosses the bus first, then the chip programs.
+    busTransfer(addr.bus, wire_bytes,
+                [this, a, payload,
+                 done = std::move(done)]() mutable {
+        sim::Tick &chip_busy = chipBusy_[chipIndex(a)];
+        sim::Tick prog_start = std::max(sim_.now(), chip_busy);
+        sim::Tick prog_done = prog_start + timing_.programUs;
+        chip_busy = prog_done;
+        sim_.scheduleAt(prog_done + timing_.controllerOverhead,
+                        [this, a, payload,
+                         done = std::move(done)]() mutable {
+            Status st = store_.program(a, std::move(*payload));
+            done(st);
+        });
+    });
+}
+
+void
+NandArray::erase(const Address &addr, std::function<void(Status)> done)
+{
+    if (!addr.validFor(geometry()))
+        sim::panic("NAND erase at invalid address %s",
+                   addr.toString().c_str());
+
+    sim::Tick now = sim_.now();
+    sim::Tick &chip_busy = chipBusy_[chipIndex(addr)];
+    sim::Tick start = std::max(now, chip_busy);
+    sim::Tick finish = start + timing_.eraseUs;
+    chip_busy = finish;
+
+    ++blocksErased_;
+    Address a = addr;
+    sim_.scheduleAt(finish + timing_.controllerOverhead,
+                    [this, a, done = std::move(done)]() {
+        done(store_.eraseBlock(a));
+    });
+}
+
+} // namespace flash
+} // namespace bluedbm

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Timing-accurate model of the NAND array of one flash card: chips
+ * that occupy themselves for sense/program/erase times, and buses that
+ * serialize data transfers, with ECC applied on the way out.
+ *
+ * Parallelism model (matches the paper's controller description):
+ * chips on different buses are fully independent; chips sharing a bus
+ * overlap array operations but serialize page data transfers on the
+ * bus; a single chip processes one array operation at a time.
+ */
+
+#ifndef BLUEDBM_FLASH_NAND_ARRAY_HH
+#define BLUEDBM_FLASH_NAND_ARRAY_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "flash/geometry.hh"
+#include "flash/page_store.hh"
+#include "flash/timing.hh"
+#include "flash/types.hh"
+#include "sim/bandwidth.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+namespace bluedbm {
+namespace flash {
+
+/**
+ * Completion payload for a page read.
+ */
+struct ReadResult
+{
+    PageBuffer data;
+    Status status = Status::Ok;
+    std::uint32_t correctedBits = 0;
+};
+
+/**
+ * The NAND chips and buses of one flash card.
+ */
+class NandArray
+{
+  public:
+    /**
+     * @param sim    simulation kernel
+     * @param geo    card geometry
+     * @param timing NAND/bus timing parameters
+     * @param seed   synthetic-content / error-injection seed
+     */
+    NandArray(sim::Simulator &sim, const Geometry &geo,
+              const Timing &timing, std::uint64_t seed = 1);
+
+    /** Card geometry. */
+    const Geometry &geometry() const { return store_.geometry(); }
+
+    /** Backing store (for test inspection and preloading). */
+    PageStore &store() { return store_; }
+
+    /**
+     * Start a page read; @p done fires when the last byte has crossed
+     * the bus.
+     */
+    void read(const Address &addr,
+              std::function<void(ReadResult)> done);
+
+    /**
+     * Start a page write with data in hand; @p done fires when the
+     * program completes.
+     */
+    void write(const Address &addr, PageBuffer data,
+               std::function<void(Status)> done);
+
+    /** Start a block erase. */
+    void erase(const Address &addr, std::function<void(Status)> done);
+
+    /**
+     * Raw NAND bit error rate applied to data read off the array
+     * (errors are then corrected -- or not -- by the SECDED code).
+     */
+    void setBitErrorRate(double ber) { bitErrorRate_ = ber; }
+
+    /** Always run the ECC decoder, even when no errors are injected. */
+    void setAlwaysDecode(bool on) { alwaysDecode_ = on; }
+
+    /** Tick at which the given chip becomes idle. */
+    sim::Tick
+    chipBusyUntil(std::uint32_t bus, std::uint32_t chip) const
+    {
+        return chipBusy_[bus * geometry().chipsPerBus + chip];
+    }
+
+    /** @name Statistics */
+    ///@{
+    std::uint64_t pagesRead() const { return pagesRead_; }
+    std::uint64_t pagesWritten() const { return pagesWritten_; }
+    std::uint64_t blocksErased() const { return blocksErased_; }
+    std::uint64_t bitsCorrected() const { return bitsCorrected_; }
+    std::uint64_t uncorrectablePages() const { return uncorrectable_; }
+    ///@}
+
+  private:
+    /**
+     * Work-conserving per-bus transfer scheduler: pages whose array
+     * sense has completed queue here and the bus serves them in
+     * readiness order, never idling while any chip has data waiting.
+     */
+    struct BusState
+    {
+        sim::Tick freeAt = 0;
+        std::deque<std::function<void()>> ready;
+        bool busy = false;
+    };
+
+    std::size_t
+    chipIndex(const Address &a) const
+    {
+        return a.bus * geometry().chipsPerBus + a.chip;
+    }
+
+    /** Queue a transfer of @p wire_bytes on @p bus; @p deliver runs
+     * when the last byte has crossed. */
+    void busTransfer(std::uint32_t bus, std::uint64_t wire_bytes,
+                     std::function<void()> deliver);
+
+    /** Start the next queued transfer if the bus is idle. */
+    void busPump(std::uint32_t bus);
+
+    /** Corrupt @p data / @p check in place per the bit error rate. */
+    std::uint32_t injectErrors(PageBuffer &data,
+                               std::vector<std::uint8_t> &check);
+
+    sim::Simulator &sim_;
+    Timing timing_;
+    PageStore store_;
+    sim::Rng errorRng_;
+    double bitErrorRate_ = 0.0;
+    bool alwaysDecode_ = false;
+
+    std::vector<sim::Tick> chipBusy_;
+    std::vector<BusState> buses_;
+
+    std::uint64_t pagesRead_ = 0;
+    std::uint64_t pagesWritten_ = 0;
+    std::uint64_t blocksErased_ = 0;
+    std::uint64_t bitsCorrected_ = 0;
+    std::uint64_t uncorrectable_ = 0;
+};
+
+} // namespace flash
+} // namespace bluedbm
+
+#endif // BLUEDBM_FLASH_NAND_ARRAY_HH

@@ -1,0 +1,157 @@
+#include "flash/page_store.hh"
+
+#include <cstring>
+#include <utility>
+
+#include "sim/random.hh"
+
+namespace bluedbm {
+namespace flash {
+
+PageStore::PageStore(const Geometry &geo, std::uint64_t seed)
+    : geo_(geo), seed_(seed)
+{
+}
+
+std::uint64_t
+PageStore::blockKey(const Address &addr) const
+{
+    return (std::uint64_t(addr.bus) * geo_.chipsPerBus + addr.chip) *
+        geo_.blocksPerChip + addr.block;
+}
+
+std::uint64_t
+PageStore::pageKey(const Address &addr) const
+{
+    return blockKey(addr) * geo_.pagesPerBlock + addr.page;
+}
+
+PageBuffer
+PageStore::synthesize(std::uint64_t page_key) const
+{
+    sim::Rng rng(seed_ ^ (page_key * 0x2545f4914f6cdd1dull));
+    PageBuffer data(geo_.pageSize);
+    std::size_t i = 0;
+    while (i + 8 <= data.size()) {
+        std::uint64_t w = rng.next();
+        std::memcpy(data.data() + i, &w, 8);
+        i += 8;
+    }
+    for (std::uint64_t w = rng.next(); i < data.size(); ++i, w >>= 8)
+        data[i] = static_cast<std::uint8_t>(w);
+    return data;
+}
+
+Status
+PageStore::program(const Address &addr, PageBuffer data)
+{
+    if (!addr.validFor(geo_))
+        sim::panic("program at invalid address %s",
+                   addr.toString().c_str());
+    if (data.size() != geo_.pageSize)
+        sim::panic("program with %zu bytes, page size is %u",
+                   data.size(), geo_.pageSize);
+
+    std::uint64_t bkey = blockKey(addr);
+    if (badBlocks_.count(bkey))
+        return Status::BadBlock;
+
+    BlockState &blk = blocks_[bkey];
+    if (blk.programmed.empty())
+        blk.programmed.assign(geo_.pagesPerBlock, false);
+    if (blk.programmed[addr.page])
+        return Status::IllegalWrite;
+    if (requireSequential_ && addr.page != blk.nextPage)
+        return Status::IllegalWrite;
+
+    blk.programmed[addr.page] = true;
+    blk.nextPage = addr.page + 1;
+
+    StoredPage sp;
+    sp.check = Secded72::encode(data);
+    sp.data = std::move(data);
+    pages_[pageKey(addr)] = std::move(sp);
+    ++programs_;
+    return Status::Ok;
+}
+
+PageBuffer
+PageStore::read(const Address &addr,
+                std::vector<std::uint8_t> *check) const
+{
+    if (!addr.validFor(geo_))
+        sim::panic("read at invalid address %s",
+                   addr.toString().c_str());
+    auto it = pages_.find(pageKey(addr));
+    if (it == pages_.end()) {
+        PageBuffer data = synthesize(pageKey(addr));
+        if (check)
+            *check = Secded72::encode(data);
+        return data;
+    }
+    if (check)
+        *check = it->second.check;
+    return it->second.data;
+}
+
+Status
+PageStore::eraseBlock(const Address &addr)
+{
+    if (!addr.validFor(geo_))
+        sim::panic("erase at invalid address %s",
+                   addr.toString().c_str());
+    std::uint64_t bkey = blockKey(addr);
+    if (badBlocks_.count(bkey))
+        return Status::BadBlock;
+
+    BlockState &blk = blocks_[bkey];
+    if (blk.programmed.empty())
+        blk.programmed.assign(geo_.pagesPerBlock, false);
+
+    ++blk.eraseCount;
+    ++erases_;
+    if (eraseLimit_ != 0 && blk.eraseCount >= eraseLimit_) {
+        badBlocks_.insert(bkey);
+        return Status::BadBlock;
+    }
+
+    Address page_addr = addr;
+    for (std::uint32_t p = 0; p < geo_.pagesPerBlock; ++p) {
+        page_addr.page = p;
+        pages_.erase(pageKey(page_addr));
+    }
+    blk.programmed.assign(geo_.pagesPerBlock, false);
+    blk.nextPage = 0;
+    return Status::Ok;
+}
+
+bool
+PageStore::isProgrammed(const Address &addr) const
+{
+    auto it = blocks_.find(blockKey(addr));
+    if (it == blocks_.end() || it->second.programmed.empty())
+        return false;
+    return it->second.programmed[addr.page];
+}
+
+std::uint32_t
+PageStore::eraseCount(const Address &addr) const
+{
+    auto it = blocks_.find(blockKey(addr));
+    return it == blocks_.end() ? 0 : it->second.eraseCount;
+}
+
+void
+PageStore::markBad(const Address &addr)
+{
+    badBlocks_.insert(blockKey(addr));
+}
+
+bool
+PageStore::isBad(const Address &addr) const
+{
+    return badBlocks_.count(blockKey(addr)) != 0;
+}
+
+} // namespace flash
+} // namespace bluedbm

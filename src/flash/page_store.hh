@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Byte-accurate sparse backing store for one flash card, with NAND
+ * program/erase semantics.
+ *
+ * Pages that were never programmed return deterministic synthetic
+ * content derived from the address, so multi-terabyte workloads can be
+ * simulated without allocating the dataset (the content is stable, as
+ * if it had been written by a prior loading phase). Pages that are
+ * programmed store their real bytes plus ECC check bytes, and the NAND
+ * rules are enforced: a page must be erased before it is programmed
+ * again, and erases wear blocks out.
+ */
+
+#ifndef BLUEDBM_FLASH_PAGE_STORE_HH
+#define BLUEDBM_FLASH_PAGE_STORE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "flash/ecc.hh"
+#include "flash/geometry.hh"
+#include "flash/types.hh"
+
+namespace bluedbm {
+namespace flash {
+
+/**
+ * Sparse page/block state for a flash card.
+ */
+class PageStore
+{
+  public:
+    /**
+     * @param geo  card geometry
+     * @param seed seed for synthetic content of never-written pages
+     */
+    explicit PageStore(const Geometry &geo, std::uint64_t seed = 1);
+
+    /** Card geometry. */
+    const Geometry &geometry() const { return geo_; }
+
+    /**
+     * Program a page.
+     *
+     * @param addr target page
+     * @param data exactly geometry().pageSize bytes
+     * @return Ok, or IllegalWrite if the page is not erased
+     */
+    Status program(const Address &addr, PageBuffer data);
+
+    /**
+     * Read a page's stored bytes (or synthetic content when never
+     * programmed).
+     *
+     * @param addr  source page
+     * @param check out: ECC check bytes stored with the page
+     * @return page contents
+     */
+    PageBuffer read(const Address &addr,
+                    std::vector<std::uint8_t> *check = nullptr) const;
+
+    /**
+     * Erase a block: all pages return to the erased state.
+     *
+     * @return Ok, or BadBlock if the block is marked bad or has
+     *         exceeded its program/erase endurance
+     */
+    Status eraseBlock(const Address &addr);
+
+    /** Whether @p addr has been programmed since its last erase. */
+    bool isProgrammed(const Address &addr) const;
+
+    /** Lifetime erase count of the block containing @p addr. */
+    std::uint32_t eraseCount(const Address &addr) const;
+
+    /** Mark a block as factory-bad. */
+    void markBad(const Address &addr);
+
+    /** Whether the block containing @p addr is bad. */
+    bool isBad(const Address &addr) const;
+
+    /**
+     * Program/erase endurance. Blocks whose erase count reaches the
+     * limit turn bad on the next erase. 0 disables wear-out.
+     */
+    void setEraseLimit(std::uint32_t limit) { eraseLimit_ = limit; }
+
+    /**
+     * Enforce in-block sequential programming (real NAND requires
+     * pages within a block to be programmed in order).
+     */
+    void setRequireSequential(bool on) { requireSequential_ = on; }
+
+    /** Number of distinct pages currently holding real data. */
+    std::size_t storedPages() const { return pages_.size(); }
+
+    /** Total program operations accepted. */
+    std::uint64_t programs() const { return programs_; }
+    /** Total erase operations accepted. */
+    std::uint64_t erases() const { return erases_; }
+
+  private:
+    struct BlockState
+    {
+        std::uint32_t eraseCount = 0;
+        std::uint32_t nextPage = 0; //!< for sequential enforcement
+        std::vector<bool> programmed;
+    };
+
+    struct StoredPage
+    {
+        PageBuffer data;
+        std::vector<std::uint8_t> check;
+    };
+
+    std::uint64_t blockKey(const Address &addr) const;
+    std::uint64_t pageKey(const Address &addr) const;
+
+    /** Deterministic content for never-programmed pages. */
+    PageBuffer synthesize(std::uint64_t page_key) const;
+
+    Geometry geo_;
+    std::uint64_t seed_;
+    std::uint32_t eraseLimit_ = 0;
+    bool requireSequential_ = false;
+    std::unordered_map<std::uint64_t, StoredPage> pages_;
+    std::unordered_map<std::uint64_t, BlockState> blocks_;
+    std::unordered_set<std::uint64_t> badBlocks_;
+    std::uint64_t programs_ = 0;
+    std::uint64_t erases_ = 0;
+};
+
+} // namespace flash
+} // namespace bluedbm
+
+#endif // BLUEDBM_FLASH_PAGE_STORE_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * NAND and bus timing parameters.
+ *
+ * Defaults are calibrated to the paper: ~50 us array read (section
+ * 3.1.1 cites "latencies of 50 us or more"), and a per-card streaming
+ * bandwidth of 1.2 GB/s (section 6.5) which with 8 buses means
+ * 150 MB/s per bus.
+ */
+
+#ifndef BLUEDBM_FLASH_TIMING_HH
+#define BLUEDBM_FLASH_TIMING_HH
+
+#include "sim/types.hh"
+
+namespace bluedbm {
+namespace flash {
+
+/**
+ * Timing model parameters for one flash card.
+ */
+struct Timing
+{
+    /** Array sense time for a page read (tR). */
+    sim::Tick readUs = sim::usToTicks(50);
+    /** Array program time for a page write (tPROG). */
+    sim::Tick programUs = sim::usToTicks(400);
+    /** Block erase time (tBERS). */
+    sim::Tick eraseUs = sim::usToTicks(3000);
+    /**
+     * Bus transfer rate in bytes/second. Pages cross the bus with
+     * their ECC check bytes (9216 wire bytes per 8192-byte page), so
+     * the wire rate is set to deliver 150 MB/s of *payload* per bus:
+     * 8 buses x 150 MB/s = the paper's 1.2 GB/s per card.
+     */
+    double busBytesPerSec = 150e6 * 9216.0 / 8192.0;
+    /** Fixed controller pipeline overhead per command. */
+    sim::Tick controllerOverhead = sim::usToTicks(1);
+
+    /** A fast timing set for unit tests. */
+    static Timing
+    fast()
+    {
+        Timing t;
+        t.readUs = sim::usToTicks(5);
+        t.programUs = sim::usToTicks(20);
+        t.eraseUs = sim::usToTicks(100);
+        t.busBytesPerSec = 1e9;
+        t.controllerOverhead = sim::usToTicks(0.1);
+        return t;
+    }
+};
+
+} // namespace flash
+} // namespace bluedbm
+
+#endif // BLUEDBM_FLASH_TIMING_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Common flash interface types: commands, tags, results and the client
+ * callback interface of the low-level controller (paper section 3.1.1).
+ */
+
+#ifndef BLUEDBM_FLASH_TYPES_HH
+#define BLUEDBM_FLASH_TYPES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/geometry.hh"
+
+namespace bluedbm {
+namespace flash {
+
+/** Request identifier; the controller supports many in flight. */
+using Tag = std::uint32_t;
+
+/** One 8 KB page worth of data. */
+using PageBuffer = std::vector<std::uint8_t>;
+
+/** Operations of the thin flash interface. */
+enum class Op { ReadPage, WritePage, EraseBlock };
+
+/** Completion status of a flash operation. */
+enum class Status
+{
+    Ok,            //!< success, data (if any) is valid
+    Corrected,     //!< success after ECC correction
+    Uncorrectable, //!< ECC failed; data is unreliable
+    BadBlock,      //!< erase discovered a worn-out block
+    IllegalWrite,  //!< program on a non-erased page
+};
+
+/**
+ * A command as issued by a user of the flash interface: operation,
+ * address and a tag identifying the request (section 3.1.1).
+ */
+struct Command
+{
+    Op op = Op::ReadPage;
+    Address addr;
+    Tag tag = 0;
+};
+
+/**
+ * Callback interface of a flash controller user.
+ *
+ * Read data is returned tagged and possibly out of order and
+ * interleaved with other reads; completion buffers on the user side
+ * restore FIFO order where needed (exactly the contract of the paper's
+ * controller).
+ */
+class Client
+{
+  public:
+    virtual ~Client() = default;
+
+    /**
+     * A page read finished.
+     *
+     * @param tag    the request's tag
+     * @param data   page contents (moved to the client)
+     * @param status Ok / Corrected / Uncorrectable
+     */
+    virtual void readDone(Tag tag, PageBuffer data, Status status) = 0;
+
+    /**
+     * The controller scheduler is ready to accept write data for a
+     * previously issued write command (the "write data request" of
+     * section 3.1.1).
+     */
+    virtual void writeDataRequest(Tag tag) = 0;
+
+    /** A page program finished. */
+    virtual void writeDone(Tag tag, Status status) = 0;
+
+    /** A block erase finished. */
+    virtual void eraseDone(Tag tag, Status status) = 0;
+};
+
+} // namespace flash
+} // namespace bluedbm
+
+#endif // BLUEDBM_FLASH_TYPES_HH

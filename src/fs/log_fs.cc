@@ -1,0 +1,475 @@
+#include "fs/log_fs.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace bluedbm {
+namespace fs {
+
+using flash::Address;
+using flash::PageBuffer;
+using flash::Status;
+
+LogFs::LogFs(sim::Simulator &sim, flash::FlashServer &server,
+             unsigned ifc, const flash::Geometry &geo,
+             const FsParams &params)
+    : sim_(sim), server_(server), ifc_(ifc), params_(params), geo_(geo)
+{
+    std::uint64_t total_blocks =
+        std::uint64_t(geo_.buses) * geo_.chipsPerBus *
+        geo_.blocksPerChip;
+    blocks_.assign(total_blocks, BlockInfo{});
+    for (std::uint32_t blk = 0; blk < geo_.blocksPerChip; ++blk) {
+        for (std::uint32_t chip = 0; chip < geo_.chipsPerBus; ++chip) {
+            for (std::uint32_t bus = 0; bus < geo_.buses; ++bus) {
+                Address a{bus, chip, blk, 0};
+                freeBlocks_.push_back(blockIndex(a));
+            }
+        }
+    }
+    active_.assign(geo_.buses, ActiveBlock{});
+}
+
+std::uint64_t
+LogFs::blockIndex(const Address &a) const
+{
+    return (std::uint64_t(a.bus) * geo_.chipsPerBus + a.chip) *
+        geo_.blocksPerChip + a.block;
+}
+
+Address
+LogFs::blockAddress(std::uint64_t bidx) const
+{
+    Address a;
+    a.block = static_cast<std::uint32_t>(bidx % geo_.blocksPerChip);
+    bidx /= geo_.blocksPerChip;
+    a.chip = static_cast<std::uint32_t>(bidx % geo_.chipsPerBus);
+    bidx /= geo_.chipsPerBus;
+    a.bus = static_cast<std::uint32_t>(bidx);
+    a.page = 0;
+    return a;
+}
+
+bool
+LogFs::create(const std::string &name)
+{
+    if (names_.count(name))
+        return false;
+    std::uint32_t id = nextFileId_++;
+    names_[name] = id;
+    inodes_[id] = Inode{};
+    return true;
+}
+
+bool
+LogFs::exists(const std::string &name) const
+{
+    return names_.count(name) != 0;
+}
+
+std::uint64_t
+LogFs::size(const std::string &name) const
+{
+    auto it = names_.find(name);
+    if (it == names_.end())
+        return 0;
+    return inodes_.at(it->second).bytes;
+}
+
+std::vector<std::string>
+LogFs::list() const
+{
+    std::vector<std::string> out;
+    out.reserve(names_.size());
+    for (const auto &[name, id] : names_)
+        out.push_back(name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool
+LogFs::remove(const std::string &name)
+{
+    auto it = names_.find(name);
+    if (it == names_.end())
+        return false;
+    Inode &ino = inodes_.at(it->second);
+    for (std::uint64_t phys : ino.pages) {
+        if (phys == invalidPage)
+            continue;
+        auto rit = reverse_.find(phys);
+        if (rit != reverse_.end()) {
+            reverse_.erase(rit);
+            --blocks_[phys / geo_.pagesPerBlock].livePages;
+        }
+    }
+    inodes_.erase(it->second);
+    names_.erase(it);
+    return true;
+}
+
+std::vector<Address>
+LogFs::physicalAddresses(const std::string &name) const
+{
+    auto it = names_.find(name);
+    if (it == names_.end())
+        sim::fatal("physicalAddresses of missing file '%s'",
+                   name.c_str());
+    const Inode &ino = inodes_.at(it->second);
+    std::vector<Address> out;
+    out.reserve(ino.pages.size());
+    for (std::uint64_t phys : ino.pages) {
+        if (phys == invalidPage)
+            sim::panic("file '%s' has a hole", name.c_str());
+        out.push_back(Address::fromLinear(geo_, phys));
+    }
+    return out;
+}
+
+void
+LogFs::publishHandle(const std::string &name, std::uint32_t handle)
+{
+    server_.defineHandle(handle, physicalAddresses(name));
+}
+
+void
+LogFs::append(const std::string &name, std::vector<std::uint8_t> data,
+              Done done)
+{
+    auto it = names_.find(name);
+    if (it == names_.end())
+        sim::fatal("append to missing file '%s'", name.c_str());
+    std::uint32_t file_id = it->second;
+    Inode &ino = inodes_.at(file_id);
+
+    // Stage the new bytes after any partial tail already on flash.
+    std::vector<std::uint8_t> staged = std::move(ino.tail);
+    ino.tail.clear();
+    staged.insert(staged.end(), data.begin(), data.end());
+    std::uint64_t first_page = ino.bytes / geo_.pageSize;
+    ino.bytes += data.size();
+
+    // Cut into page-sized writes; the final partial page is padded
+    // with zeroes on flash and mirrored in the in-memory tail.
+    struct Ctx
+    {
+        unsigned outstanding = 0;
+        bool issued_all = false;
+        bool ok = true;
+        Done done;
+    };
+    auto ctx = std::make_shared<Ctx>();
+    ctx->done = std::move(done);
+    auto finish_one = [this, ctx](bool ok) {
+        ctx->ok = ctx->ok && ok;
+        if (--ctx->outstanding == 0 && ctx->issued_all) {
+            sim_.scheduleAfter(0, [ctx]() { ctx->done(ctx->ok); });
+        }
+    };
+
+    std::uint64_t fpage = first_page;
+    std::size_t off = 0;
+    while (off < staged.size()) {
+        std::size_t take =
+            std::min<std::size_t>(geo_.pageSize, staged.size() - off);
+        PageBuffer page(geo_.pageSize, 0);
+        std::memcpy(page.data(), staged.data() + off, take);
+        if (take < geo_.pageSize) {
+            ino.tail.assign(staged.begin() +
+                                std::vector<std::uint8_t>::
+                                    difference_type(off),
+                            staged.end());
+        }
+        ++ctx->outstanding;
+        writeFilePage(file_id, fpage, std::move(page), finish_one);
+        off += take;
+        ++fpage;
+    }
+    ctx->issued_all = true;
+    if (ctx->outstanding == 0) {
+        // Zero-length append.
+        sim_.scheduleAfter(0, [ctx]() { ctx->done(true); });
+    }
+}
+
+void
+LogFs::writeFilePage(std::uint32_t file_id, std::uint64_t fpage,
+                     PageBuffer data, Done done)
+{
+    allocatePage([this, file_id, fpage, data = std::move(data),
+                  done = std::move(done)](Address addr) mutable {
+        std::uint64_t linear = addr.linearize(geo_);
+        ++blocks_[linear / geo_.pagesPerBlock].pendingWrites;
+        server_.writePage(ifc_, addr, std::move(data),
+                          [this, file_id, fpage, linear,
+                           done = std::move(done)](Status st) {
+            --blocks_[linear / geo_.pagesPerBlock].pendingWrites;
+            if (st != Status::Ok) {
+                done(false);
+                return;
+            }
+            auto iit = inodes_.find(file_id);
+            if (iit == inodes_.end()) {
+                // File deleted while the write was in flight; the
+                // page is dead on arrival.
+                done(true);
+                return;
+            }
+            Inode &ino = iit->second;
+            if (ino.pages.size() <= fpage)
+                ino.pages.resize(fpage + 1, invalidPage);
+            if (ino.pages[fpage] != invalidPage) {
+                std::uint64_t old = ino.pages[fpage];
+                auto rit = reverse_.find(old);
+                if (rit != reverse_.end()) {
+                    reverse_.erase(rit);
+                    --blocks_[old / geo_.pagesPerBlock].livePages;
+                }
+            }
+            ino.pages[fpage] = linear;
+            reverse_[linear] = RevEntry{file_id, fpage};
+            ++blocks_[linear / geo_.pagesPerBlock].livePages;
+            ++pagesWritten_;
+            done(true);
+        });
+    });
+}
+
+void
+LogFs::read(const std::string &name, std::uint64_t offset,
+            std::uint64_t len, ReadDone done)
+{
+    auto it = names_.find(name);
+    if (it == names_.end())
+        sim::fatal("read of missing file '%s'", name.c_str());
+    const Inode &ino = inodes_.at(it->second);
+    if (offset > ino.bytes)
+        offset = ino.bytes;
+    if (offset + len > ino.bytes)
+        len = ino.bytes - offset;
+
+    struct Ctx
+    {
+        std::vector<std::uint8_t> out;
+        unsigned outstanding = 0;
+        bool issued_all = false;
+        bool ok = true;
+        ReadDone done;
+    };
+    auto ctx = std::make_shared<Ctx>();
+    ctx->out.assign(len, 0);
+    ctx->done = std::move(done);
+    auto maybe_finish = [this, ctx]() {
+        if (ctx->outstanding == 0 && ctx->issued_all) {
+            sim_.scheduleAfter(0, [ctx]() {
+                ctx->done(std::move(ctx->out), ctx->ok);
+            });
+        }
+    };
+
+    std::uint64_t pos = offset;
+    while (pos < offset + len) {
+        std::uint64_t fpage = pos / geo_.pageSize;
+        std::uint32_t in_page =
+            static_cast<std::uint32_t>(pos % geo_.pageSize);
+        std::uint32_t take = std::min<std::uint32_t>(
+            geo_.pageSize - in_page,
+            static_cast<std::uint32_t>(offset + len - pos));
+        std::uint64_t out_off = pos - offset;
+        if (fpage >= ino.pages.size() ||
+            ino.pages[fpage] == invalidPage) {
+            // An append to this range is still in flight; the bytes
+            // are not durable yet and read as zeroes.
+            pos += take;
+            continue;
+        }
+        std::uint64_t phys = ino.pages[fpage];
+        ++ctx->outstanding;
+        server_.readPage(
+            ifc_, Address::fromLinear(geo_, phys),
+            [ctx, in_page, take, out_off,
+             maybe_finish](PageBuffer page, Status st) {
+            if (st == Status::Uncorrectable)
+                ctx->ok = false;
+            std::memcpy(ctx->out.data() + out_off,
+                        page.data() + in_page, take);
+            --ctx->outstanding;
+            maybe_finish();
+        });
+        pos += take;
+    }
+    ctx->issued_all = true;
+    maybe_finish();
+}
+
+void
+LogFs::allocatePage(std::function<void(Address)> got)
+{
+    allocWaiters_.push_back(std::move(got));
+    pumpAlloc();
+}
+
+void
+LogFs::pumpAlloc()
+{
+    const std::uint64_t blocks_per_bus =
+        std::uint64_t(geo_.chipsPerBus) * geo_.blocksPerChip;
+    while (!allocWaiters_.empty()) {
+        bool granted = false;
+        for (std::uint32_t attempt = 0; attempt < geo_.buses;
+             ++attempt) {
+            std::uint32_t bus = nextBus_;
+            nextBus_ = (nextBus_ + 1) % geo_.buses;
+            ActiveBlock &frontier = active_[bus];
+            if (!frontier.open) {
+                auto it = freeBlocks_.begin();
+                for (; it != freeBlocks_.end(); ++it) {
+                    if (*it / blocks_per_bus == bus)
+                        break;
+                }
+                if (it == freeBlocks_.end())
+                    continue; // this bus is out of free blocks
+                frontier.block = *it;
+                freeBlocks_.erase(it);
+                blocks_[frontier.block].state = BlockState::Active;
+                frontier.nextPage = 0;
+                frontier.open = true;
+                maybeClean();
+            }
+            Address addr = blockAddress(frontier.block);
+            addr.page = frontier.nextPage++;
+            if (frontier.nextPage == geo_.pagesPerBlock) {
+                blocks_[frontier.block].state = BlockState::Closed;
+                frontier.open = false;
+            }
+            auto got = std::move(allocWaiters_.front());
+            allocWaiters_.pop_front();
+            got(addr);
+            granted = true;
+            break;
+        }
+        if (!granted) {
+            maybeClean();
+            return;
+        }
+    }
+}
+
+void
+LogFs::maybeClean()
+{
+    if (cleaning_ || freeBlocks_.size() >= params_.cleanLowWater)
+        return;
+    cleaning_ = true;
+    cleanStep();
+}
+
+void
+LogFs::cleanStep()
+{
+    if (freeBlocks_.size() >= params_.cleanHighWater) {
+        cleaning_ = false;
+        return;
+    }
+    std::uint64_t victim = invalidPage;
+    std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+        if (blocks_[b].state != BlockState::Closed)
+            continue;
+        if (blocks_[b].pendingWrites > 0)
+            continue; // pages still being programmed
+        if (blocks_[b].livePages < best) {
+            best = blocks_[b].livePages;
+            victim = b;
+        }
+    }
+    if (victim == invalidPage) {
+        cleaning_ = false;
+        return;
+    }
+    std::vector<std::uint64_t> live;
+    std::uint64_t base = victim * geo_.pagesPerBlock;
+    for (std::uint32_t p = 0; p < geo_.pagesPerBlock; ++p) {
+        if (reverse_.count(base + p))
+            live.push_back(base + p);
+    }
+    relocate(std::move(live), 0, [this, victim]() {
+        server_.eraseBlock(ifc_, blockAddress(victim),
+                           [this, victim](Status st) {
+            if (st == Status::Ok) {
+                if (blocks_[victim].livePages != 0)
+                    sim::panic("cleaned block with %u live pages",
+                               blocks_[victim].livePages);
+                ++blocksErased_;
+                blocks_[victim].state = BlockState::Free;
+                freeBlocks_.push_back(victim);
+            }
+            pumpAlloc();
+            cleanStep();
+        });
+    });
+}
+
+void
+LogFs::relocate(std::vector<std::uint64_t> pages, std::size_t next,
+                std::function<void()> then)
+{
+    while (next < pages.size() && !reverse_.count(pages[next]))
+        ++next;
+    if (next >= pages.size()) {
+        then();
+        return;
+    }
+    std::uint64_t phys = pages[next];
+    server_.readPage(
+        ifc_, Address::fromLinear(geo_, phys),
+        [this, pages = std::move(pages), next, phys,
+         then = std::move(then)](PageBuffer data, Status) mutable {
+        allocatePage([this, pages = std::move(pages), next, phys,
+                      data = std::move(data),
+                      then = std::move(then)](Address dst) mutable {
+            std::uint64_t new_linear = dst.linearize(geo_);
+            ++blocks_[new_linear / geo_.pagesPerBlock].pendingWrites;
+            server_.writePage(
+                ifc_, dst, std::move(data),
+                [this, pages = std::move(pages), next, phys,
+                 new_linear, then = std::move(then)](Status st)
+                    mutable {
+                --blocks_[new_linear / geo_.pagesPerBlock]
+                      .pendingWrites;
+                if (st == Status::Ok) {
+                    auto rit = reverse_.find(phys);
+                    if (rit != reverse_.end()) {
+                        RevEntry entry = rit->second;
+                        auto iit = inodes_.find(entry.fileId);
+                        if (iit != inodes_.end() &&
+                            entry.filePage <
+                                iit->second.pages.size() &&
+                            iit->second.pages[entry.filePage] ==
+                                phys) {
+                            reverse_.erase(rit);
+                            --blocks_[phys / geo_.pagesPerBlock]
+                                  .livePages;
+                            iit->second.pages[entry.filePage] =
+                                new_linear;
+                            reverse_[new_linear] = entry;
+                            ++blocks_[new_linear /
+                                      geo_.pagesPerBlock].livePages;
+                            ++pagesCleaned_;
+                        }
+                    }
+                }
+                relocate(std::move(pages), next + 1,
+                         std::move(then));
+            });
+        });
+    });
+}
+
+} // namespace fs
+} // namespace bluedbm

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Log-structured flash file system in the style of RFS (paper
+ * section 4).
+ *
+ * Instead of hiding flash behind an FTL, the file system itself
+ * performs logical-to-physical mapping and garbage collection, and --
+ * crucially for BlueDBM -- can hand applications the *physical
+ * locations* of a file's pages (figure 8 step 1), which user code
+ * streams to in-store processors so the hardware can read flash
+ * directly (steps 2-3).
+ *
+ * Data is written out-of-place at a log frontier striped across
+ * buses; a segment cleaner relocates live pages from mostly-dead
+ * blocks. Metadata (directory, inodes) lives in host memory; metadata
+ * persistence is out of scope for the simulation (the paper's
+ * evaluation does not exercise it either).
+ */
+
+#ifndef BLUEDBM_FS_LOG_FS_HH
+#define BLUEDBM_FS_LOG_FS_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "flash/flash_server.hh"
+#include "sim/simulator.hh"
+
+namespace bluedbm {
+namespace fs {
+
+/**
+ * File-system tuning knobs.
+ */
+struct FsParams
+{
+    /** Blocks kept in reserve for the cleaner. */
+    unsigned cleanLowWater = 4;
+    /** Cleaner frees blocks until this many are free. */
+    unsigned cleanHighWater = 8;
+};
+
+/**
+ * Log-structured file system over one flash card.
+ */
+class LogFs
+{
+  public:
+    using Done = std::function<void(bool ok)>;
+    using ReadDone = std::function<void(std::vector<std::uint8_t>,
+                                        bool ok)>;
+
+    /**
+     * @param sim    simulation kernel
+     * @param server in-order flash interface
+     * @param ifc    FlashServer interface reserved for FS traffic
+     * @param geo    geometry of the card behind @p server
+     * @param params tuning knobs
+     */
+    LogFs(sim::Simulator &sim, flash::FlashServer &server,
+          unsigned ifc, const flash::Geometry &geo,
+          const FsParams &params = FsParams{});
+
+    /** Page size in bytes. */
+    std::uint32_t pageSize() const { return geo_.pageSize; }
+
+    /** Create an empty file. False if it already exists. */
+    bool create(const std::string &name);
+
+    /** Whether @p name exists. */
+    bool exists(const std::string &name) const;
+
+    /** Size of @p name in bytes; 0 if missing. */
+    std::uint64_t size(const std::string &name) const;
+
+    /** Delete @p name, invalidating its pages. */
+    bool remove(const std::string &name);
+
+    /** Names of all files. */
+    std::vector<std::string> list() const;
+
+    /**
+     * Append @p data to @p name. Data is buffered into page-sized
+     * log writes; @p done fires when everything is on flash.
+     */
+    void append(const std::string &name,
+                std::vector<std::uint8_t> data, Done done);
+
+    /**
+     * Read @p len bytes at @p offset of @p name.
+     */
+    void read(const std::string &name, std::uint64_t offset,
+              std::uint64_t len, ReadDone done);
+
+    /**
+     * Physical locations of the file's pages, in file order: the
+     * query user applications issue before streaming addresses to an
+     * in-store processor (figure 8 step 1).
+     */
+    std::vector<flash::Address>
+    physicalAddresses(const std::string &name) const;
+
+    /**
+     * Publish @p name's physical locations to the flash server's
+     * address translation unit under @p handle, so in-store
+     * processors can reference the file by handle.
+     */
+    void publishHandle(const std::string &name, std::uint32_t handle);
+
+    /** @name Statistics */
+    ///@{
+    std::uint64_t pagesWritten() const { return pagesWritten_; }
+    std::uint64_t pagesCleaned() const { return pagesCleaned_; }
+    std::uint64_t blocksErased() const { return blocksErased_; }
+    unsigned freeBlocks() const { return unsigned(freeBlocks_.size()); }
+    ///@}
+
+  private:
+    static constexpr std::uint64_t invalidPage = ~std::uint64_t(0);
+
+    enum class BlockState : std::uint8_t { Free, Active, Closed };
+
+    struct Inode
+    {
+        std::uint64_t bytes = 0;
+        //! physical linear page per file page (in file order)
+        std::vector<std::uint64_t> pages;
+        //! bytes buffered but not yet flushed into the last page
+        std::vector<std::uint8_t> tail;
+    };
+
+    struct BlockInfo
+    {
+        std::uint32_t livePages = 0;
+        /** Programs issued but not yet completed; the cleaner must
+         * not erase a block whose pages are still being written. */
+        std::uint32_t pendingWrites = 0;
+        BlockState state = BlockState::Free;
+    };
+
+    struct RevEntry
+    {
+        std::uint32_t fileId = 0;
+        std::uint64_t filePage = 0;
+    };
+
+    std::uint64_t blockIndex(const flash::Address &a) const;
+    flash::Address blockAddress(std::uint64_t bidx) const;
+
+    void allocatePage(std::function<void(flash::Address)> got);
+    void pumpAlloc();
+    void maybeClean();
+    void cleanStep();
+    void relocate(std::vector<std::uint64_t> pages, std::size_t next,
+                  std::function<void()> then);
+
+    /** Write one full page of @p inode at file page @p fpage. */
+    void writeFilePage(std::uint32_t file_id, std::uint64_t fpage,
+                       flash::PageBuffer data, Done done);
+
+    sim::Simulator &sim_;
+    flash::FlashServer &server_;
+    unsigned ifc_;
+    FsParams params_;
+    flash::Geometry geo_;
+
+    std::unordered_map<std::string, std::uint32_t> names_;
+    std::unordered_map<std::uint32_t, Inode> inodes_;
+    std::uint32_t nextFileId_ = 1;
+
+    std::unordered_map<std::uint64_t, RevEntry> reverse_;
+    std::vector<BlockInfo> blocks_;
+    std::deque<std::uint64_t> freeBlocks_;
+    std::deque<std::function<void(flash::Address)>> allocWaiters_;
+
+    /** One log frontier per bus: file data stripes across channels
+     * so in-store processors can stream at full card bandwidth. */
+    struct ActiveBlock
+    {
+        bool open = false;
+        std::uint64_t block = 0;
+        std::uint32_t nextPage = 0;
+    };
+    std::vector<ActiveBlock> active_;
+    std::uint32_t nextBus_ = 0;
+    bool cleaning_ = false;
+
+    std::uint64_t pagesWritten_ = 0;
+    std::uint64_t pagesCleaned_ = 0;
+    std::uint64_t blocksErased_ = 0;
+};
+
+} // namespace fs
+} // namespace bluedbm
+
+#endif // BLUEDBM_FS_LOG_FS_HH

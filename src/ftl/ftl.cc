@@ -1,0 +1,328 @@
+#include "ftl/ftl.hh"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace bluedbm {
+namespace ftl {
+
+using flash::Address;
+using flash::PageBuffer;
+using flash::Status;
+
+Ftl::Ftl(sim::Simulator &sim, flash::FlashServer &server, unsigned ifc,
+         const flash::Geometry &geo, const FtlParams &params)
+    : sim_(sim), server_(server), ifc_(ifc), params_(params), geo_(geo)
+{
+    std::uint64_t total_blocks =
+        std::uint64_t(geo_.buses) * geo_.chipsPerBus *
+        geo_.blocksPerChip;
+    blocks_.assign(total_blocks, BlockInfo{});
+
+    // Free blocks striped bus-first so consecutive active blocks land
+    // on different buses and writes parallelize.
+    for (std::uint32_t blk = 0; blk < geo_.blocksPerChip; ++blk) {
+        for (std::uint32_t chip = 0; chip < geo_.chipsPerBus; ++chip) {
+            for (std::uint32_t bus = 0; bus < geo_.buses; ++bus) {
+                Address a{bus, chip, blk, 0};
+                freeBlocks_.push_back(blockIndex(a));
+            }
+        }
+    }
+
+    auto reserve = static_cast<std::uint64_t>(
+        static_cast<double>(total_blocks) * params_.overProvision);
+    if (reserve < params_.gcHighWater)
+        reserve = params_.gcHighWater;
+    if (reserve >= total_blocks)
+        sim::fatal("over-provisioning leaves no logical capacity");
+    logicalPages_ = (total_blocks - reserve) * geo_.pagesPerBlock;
+    active_.assign(geo_.buses, ActiveBlock{});
+}
+
+std::uint64_t
+Ftl::blockIndex(const Address &a) const
+{
+    return (std::uint64_t(a.bus) * geo_.chipsPerBus + a.chip) *
+        geo_.blocksPerChip + a.block;
+}
+
+Address
+Ftl::blockAddress(std::uint64_t bidx) const
+{
+    Address a;
+    a.block = static_cast<std::uint32_t>(bidx % geo_.blocksPerChip);
+    bidx /= geo_.blocksPerChip;
+    a.chip = static_cast<std::uint32_t>(bidx % geo_.chipsPerBus);
+    bidx /= geo_.chipsPerBus;
+    a.bus = static_cast<std::uint32_t>(bidx);
+    a.page = 0;
+    return a;
+}
+
+bool
+Ftl::isMapped(std::uint64_t lpn) const
+{
+    return map_.count(lpn) != 0;
+}
+
+void
+Ftl::read(std::uint64_t lpn, ReadDone done)
+{
+    if (lpn >= logicalPages_)
+        sim::fatal("read past logical capacity (lpn %llu)",
+                   static_cast<unsigned long long>(lpn));
+    auto it = map_.find(lpn);
+    if (it == map_.end()) {
+        // Unwritten logical page: zeroes, immediately.
+        sim_.scheduleAfter(0, [this, done = std::move(done)]() {
+            done(PageBuffer(geo_.pageSize, 0), true);
+        });
+        return;
+    }
+    Address addr = Address::fromLinear(geo_, it->second);
+    server_.readPage(ifc_, addr,
+                     [done = std::move(done)](PageBuffer data,
+                                              Status st) {
+        done(std::move(data), st != Status::Uncorrectable);
+    });
+}
+
+void
+Ftl::write(std::uint64_t lpn, PageBuffer data, Done done)
+{
+    if (lpn >= logicalPages_)
+        sim::fatal("write past logical capacity (lpn %llu)",
+                   static_cast<unsigned long long>(lpn));
+    if (data.size() != geo_.pageSize)
+        sim::fatal("write of %zu bytes, page size is %u", data.size(),
+                   geo_.pageSize);
+    ++hostWrites_;
+    allocatePage([this, lpn, data = std::move(data),
+                  done = std::move(done)](Address addr) mutable {
+        std::uint64_t linear = addr.linearize(geo_);
+        ++blocks_[linear / geo_.pagesPerBlock].pendingWrites;
+        server_.writePage(ifc_, addr, std::move(data),
+                          [this, lpn, linear,
+                           done = std::move(done)](Status st) {
+            --blocks_[linear / geo_.pagesPerBlock].pendingWrites;
+            if (st != Status::Ok) {
+                // Program failure: retire the block. The page was
+                // already consumed from the frontier; report failure
+                // (a production FTL would retry on a fresh block).
+                std::uint64_t bidx = linear / geo_.pagesPerBlock;
+                blocks_[bidx].state = BlockState::Bad;
+                done(false);
+                return;
+            }
+            ++flashWrites_;
+            auto old = map_.find(lpn);
+            if (old != map_.end())
+                invalidate(old->second);
+            map_[lpn] = linear;
+            reverse_[linear] = lpn;
+            ++blocks_[linear / geo_.pagesPerBlock].validPages;
+            done(true);
+        });
+    });
+}
+
+void
+Ftl::trim(std::uint64_t lpn, Done done)
+{
+    auto it = map_.find(lpn);
+    if (it != map_.end()) {
+        invalidate(it->second);
+        map_.erase(it);
+    }
+    sim_.scheduleAfter(0, [done = std::move(done)]() { done(true); });
+}
+
+void
+Ftl::invalidate(std::uint64_t phys_linear)
+{
+    reverse_.erase(phys_linear);
+    BlockInfo &blk = blocks_[phys_linear / geo_.pagesPerBlock];
+    if (blk.validPages == 0)
+        sim::panic("invalidate underflow");
+    --blk.validPages;
+}
+
+void
+Ftl::allocatePage(std::function<void(Address)> got)
+{
+    allocWaiters_.push_back(std::move(got));
+    pumpAlloc();
+}
+
+void
+Ftl::pumpAlloc()
+{
+    const std::uint64_t blocks_per_bus =
+        std::uint64_t(geo_.chipsPerBus) * geo_.blocksPerChip;
+    while (!allocWaiters_.empty()) {
+        // Round-robin across buses; open a frontier on a bus that
+        // has free blocks (wear-aware pick within the bus).
+        bool granted = false;
+        for (std::uint32_t attempt = 0; attempt < geo_.buses;
+             ++attempt) {
+            std::uint32_t bus = nextBus_;
+            nextBus_ = (nextBus_ + 1) % geo_.buses;
+            ActiveBlock &frontier = active_[bus];
+            if (!frontier.open) {
+                auto best = freeBlocks_.end();
+                for (auto it = freeBlocks_.begin();
+                     it != freeBlocks_.end(); ++it) {
+                    if (*it / blocks_per_bus != bus)
+                        continue;
+                    if (best == freeBlocks_.end() ||
+                        blocks_[*it].eraseCount <
+                            blocks_[*best].eraseCount)
+                        best = it;
+                }
+                if (best == freeBlocks_.end())
+                    continue; // this bus is out of free blocks
+                frontier.block = *best;
+                freeBlocks_.erase(best);
+                blocks_[frontier.block].state = BlockState::Active;
+                frontier.nextPage = 0;
+                frontier.open = true;
+                maybeStartGc();
+            }
+            Address addr = blockAddress(frontier.block);
+            addr.page = frontier.nextPage++;
+            if (frontier.nextPage == geo_.pagesPerBlock) {
+                blocks_[frontier.block].state = BlockState::Closed;
+                frontier.open = false;
+            }
+            auto got = std::move(allocWaiters_.front());
+            allocWaiters_.pop_front();
+            got(addr);
+            granted = true;
+            break;
+        }
+        if (!granted) {
+            maybeStartGc();
+            return; // GC's erases will pump again
+        }
+    }
+}
+
+void
+Ftl::maybeStartGc()
+{
+    if (gcInProgress_ || freeBlocks_.size() >= params_.gcLowWater)
+        return;
+    gcInProgress_ = true;
+    ++gcRuns_;
+    gcStep();
+}
+
+void
+Ftl::gcStep()
+{
+    if (freeBlocks_.size() >= params_.gcHighWater) {
+        gcInProgress_ = false;
+        return;
+    }
+    // Greedy victim: fewest valid pages among closed blocks.
+    std::uint64_t victim = unmapped;
+    std::uint32_t best_valid =
+        std::numeric_limits<std::uint32_t>::max();
+    for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+        if (blocks_[b].state != BlockState::Closed)
+            continue;
+        if (blocks_[b].pendingWrites > 0)
+            continue; // pages still being programmed
+        if (blocks_[b].validPages < best_valid) {
+            best_valid = blocks_[b].validPages;
+            victim = b;
+        }
+    }
+    if (victim == unmapped) {
+        // Nothing to collect (all space genuinely live).
+        gcInProgress_ = false;
+        return;
+    }
+
+    // Gather the victim's currently valid physical pages.
+    std::vector<std::uint64_t> live;
+    std::uint64_t base = victim * geo_.pagesPerBlock;
+    for (std::uint32_t p = 0; p < geo_.pagesPerBlock; ++p) {
+        if (reverse_.count(base + p))
+            live.push_back(base + p);
+    }
+    relocate(victim, std::move(live), 0, [this, victim]() {
+        Address addr = blockAddress(victim);
+        server_.eraseBlock(ifc_, addr, [this, victim](Status st) {
+            if (st == Status::Ok) {
+                if (blocks_[victim].validPages != 0)
+                    sim::panic("erased block with %u live pages",
+                               blocks_[victim].validPages);
+                ++erased_;
+                ++blocks_[victim].eraseCount;
+                blocks_[victim].state = BlockState::Free;
+                freeBlocks_.push_back(victim);
+            } else {
+                blocks_[victim].state = BlockState::Bad;
+            }
+            pumpAlloc();
+            gcStep();
+        });
+    });
+}
+
+void
+Ftl::relocate(std::uint64_t victim, std::vector<std::uint64_t> pages,
+              std::size_t next, std::function<void()> then)
+{
+    // Skip pages that were invalidated while GC was running.
+    while (next < pages.size() && !reverse_.count(pages[next]))
+        ++next;
+    if (next >= pages.size()) {
+        then();
+        return;
+    }
+    std::uint64_t phys = pages[next];
+    Address src = Address::fromLinear(geo_, phys);
+    server_.readPage(ifc_, src,
+                     [this, victim, pages = std::move(pages), next,
+                      phys, then = std::move(then)](
+                         PageBuffer data, Status) mutable {
+        allocatePage([this, victim, pages = std::move(pages), next,
+                      phys, data = std::move(data),
+                      then = std::move(then)](Address dst) mutable {
+            std::uint64_t new_linear = dst.linearize(geo_);
+            ++blocks_[new_linear / geo_.pagesPerBlock].pendingWrites;
+            server_.writePage(
+                ifc_, dst, std::move(data),
+                [this, victim, pages = std::move(pages), next, phys,
+                 new_linear, then = std::move(then)](Status st)
+                    mutable {
+                --blocks_[new_linear / geo_.pagesPerBlock]
+                      .pendingWrites;
+                if (st == Status::Ok) {
+                    auto rit = reverse_.find(phys);
+                    if (rit != reverse_.end()) {
+                        std::uint64_t lpn = rit->second;
+                        invalidate(phys);
+                        map_[lpn] = new_linear;
+                        reverse_[new_linear] = lpn;
+                        ++blocks_[new_linear / geo_.pagesPerBlock]
+                              .validPages;
+                        ++relocated_;
+                        ++flashWrites_;
+                    }
+                }
+                relocate(victim, std::move(pages), next + 1,
+                         std::move(then));
+            });
+        });
+    });
+}
+
+} // namespace ftl
+} // namespace bluedbm

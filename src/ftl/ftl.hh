@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Page-mapping Flash Translation Layer (paper section 4).
+ *
+ * For compatibility with existing software, BlueDBM offers a
+ * full-fledged FTL implemented in the device driver (like Fusion-IO),
+ * so ordinary file systems and databases can sit on a block device.
+ * This FTL performs logical-to-physical page mapping, greedy garbage
+ * collection with over-provisioning, wear-aware free-block selection
+ * and bad-block management, all over the raw in-order flash interface
+ * of one card.
+ */
+
+#ifndef BLUEDBM_FTL_FTL_HH
+#define BLUEDBM_FTL_FTL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "flash/flash_server.hh"
+#include "sim/simulator.hh"
+
+namespace bluedbm {
+namespace ftl {
+
+/**
+ * FTL configuration.
+ */
+struct FtlParams
+{
+    /**
+     * Fraction of physical blocks reserved as over-provisioning;
+     * the logical capacity is (1 - op) of the physical one.
+     */
+    double overProvision = 0.125;
+    /** Start GC when free blocks drop below this count. */
+    unsigned gcLowWater = 4;
+    /** GC frees blocks until this many are free. */
+    unsigned gcHighWater = 8;
+};
+
+/**
+ * Block-device-style page FTL over one flash card.
+ *
+ * All operations are asynchronous: completion callbacks run when the
+ * flash operations (including any garbage collection the op had to
+ * wait behind) finish.
+ */
+class Ftl
+{
+  public:
+    /** Completion callback for writes/trims. */
+    using Done = std::function<void(bool ok)>;
+    /** Completion callback for reads. */
+    using ReadDone = std::function<void(flash::PageBuffer, bool ok)>;
+
+    /**
+     * @param sim    simulation kernel
+     * @param server in-order flash interface of the card
+     * @param ifc    FlashServer interface index reserved for the FTL
+     * @param geo    geometry of the card behind @p server
+     * @param params tuning knobs
+     */
+    Ftl(sim::Simulator &sim, flash::FlashServer &server, unsigned ifc,
+        const flash::Geometry &geo,
+        const FtlParams &params = FtlParams{});
+
+    /** Logical capacity in pages. */
+    std::uint64_t logicalPages() const { return logicalPages_; }
+
+    /** Page size in bytes. */
+    std::uint32_t pageSize() const { return geo_.pageSize; }
+
+    /**
+     * Read logical page @p lpn. Unwritten pages return zeroes.
+     */
+    void read(std::uint64_t lpn, ReadDone done);
+
+    /**
+     * Write logical page @p lpn (out-of-place; the old version is
+     * invalidated).
+     */
+    void write(std::uint64_t lpn, flash::PageBuffer data, Done done);
+
+    /** Discard logical page @p lpn. */
+    void trim(std::uint64_t lpn, Done done);
+
+    /** Whether @p lpn currently maps to flash. */
+    bool isMapped(std::uint64_t lpn) const;
+
+    /** @name Statistics */
+    ///@{
+    std::uint64_t hostWrites() const { return hostWrites_; }
+    std::uint64_t flashWrites() const { return flashWrites_; }
+    std::uint64_t gcRuns() const { return gcRuns_; }
+    std::uint64_t relocatedPages() const { return relocated_; }
+    std::uint64_t erasedBlocks() const { return erased_; }
+    unsigned freeBlocks() const { return unsigned(freeBlocks_.size()); }
+
+    /** Write amplification factor so far. */
+    double
+    writeAmplification() const
+    {
+        return hostWrites_ == 0
+            ? 1.0
+            : static_cast<double>(flashWrites_) /
+                static_cast<double>(hostWrites_);
+    }
+    ///@}
+
+  private:
+    static constexpr std::uint64_t unmapped = ~std::uint64_t(0);
+
+    enum class BlockState : std::uint8_t { Free, Active, Closed, Bad };
+
+    struct BlockInfo
+    {
+        std::uint32_t validPages = 0;
+        std::uint32_t eraseCount = 0;
+        /** Programs issued but not yet completed; GC must not erase
+         * a block whose pages are still being written. */
+        std::uint32_t pendingWrites = 0;
+        BlockState state = BlockState::Free;
+    };
+
+    /** Dense block index across the card. */
+    std::uint64_t blockIndex(const flash::Address &a) const;
+    flash::Address blockAddress(std::uint64_t bidx) const;
+
+    /**
+     * Allocate the next physical page at the write frontier; the
+     * callback may be deferred while garbage collection frees space.
+     */
+    void allocatePage(std::function<void(flash::Address)> got);
+
+    /** Serve queued allocations while the frontier has room. */
+    void pumpAlloc();
+
+    /** Kick background GC if free space is low. */
+    void maybeStartGc();
+
+    /** One GC round: pick a victim, relocate, erase, repeat. */
+    void gcStep();
+
+    /** Relocate valid pages of @p victim one by one, then @p then. */
+    void relocate(std::uint64_t victim,
+                  std::vector<std::uint64_t> pages, std::size_t next,
+                  std::function<void()> then);
+
+    void invalidate(std::uint64_t phys_linear);
+
+    sim::Simulator &sim_;
+    flash::FlashServer &server_;
+    unsigned ifc_;
+    FtlParams params_;
+    flash::Geometry geo_;
+
+    std::uint64_t logicalPages_ = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> map_;
+    std::unordered_map<std::uint64_t, std::uint64_t> reverse_;
+    std::vector<BlockInfo> blocks_;
+    std::deque<std::uint64_t> freeBlocks_;
+    std::deque<std::function<void(flash::Address)>> allocWaiters_;
+
+    /** One write frontier per bus so streams stripe across channels
+     * (the parallelism the raw interface exposes, section 3.1.1). */
+    struct ActiveBlock
+    {
+        bool open = false;
+        std::uint64_t block = 0;
+        std::uint32_t nextPage = 0;
+    };
+    std::vector<ActiveBlock> active_;
+    std::uint32_t nextBus_ = 0;
+    bool gcInProgress_ = false;
+
+    std::uint64_t hostWrites_ = 0;
+    std::uint64_t flashWrites_ = 0;
+    std::uint64_t gcRuns_ = 0;
+    std::uint64_t relocated_ = 0;
+    std::uint64_t erased_ = 0;
+};
+
+} // namespace ftl
+} // namespace bluedbm
+
+#endif // BLUEDBM_FTL_FTL_HH

@@ -1,0 +1,32 @@
+#include "host/host_cpu.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace bluedbm {
+namespace host {
+
+HostCpu::HostCpu(sim::Simulator &sim, unsigned cores)
+    : sim_(sim)
+{
+    if (cores == 0)
+        sim::fatal("HostCpu needs at least one core");
+    coreFree_.assign(cores, 0);
+}
+
+void
+HostCpu::execute(sim::Tick duration, std::function<void()> done)
+{
+    // Earliest-free core, FCFS beyond that.
+    auto it = std::min_element(coreFree_.begin(), coreFree_.end());
+    sim::Tick start = std::max(sim_.now(), *it);
+    sim::Tick finish = start + duration;
+    *it = finish;
+    busyTime_ += duration;
+    sim_.scheduleAt(finish, std::move(done));
+}
+
+} // namespace host
+} // namespace bluedbm

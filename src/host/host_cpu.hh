@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Host server CPU model.
+ *
+ * Each BlueDBM node is a Xeon server with 24 cores (paper section 5).
+ * Software work is modeled as compute segments executed on a pool of
+ * cores: a segment occupies one core for its duration, and segments
+ * beyond the core count queue FCFS. This reproduces the two effects
+ * the paper's host-side experiments hinge on: thread-count scaling
+ * until the host is compute-bound, and the CPU utilization cost of
+ * software I/O paths (figure 21).
+ */
+
+#ifndef BLUEDBM_HOST_HOST_CPU_HH
+#define BLUEDBM_HOST_HOST_CPU_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/types.hh"
+
+namespace bluedbm {
+namespace host {
+
+/**
+ * A pool of identical cores executing compute segments.
+ */
+class HostCpu
+{
+  public:
+    /**
+     * @param sim   simulation kernel
+     * @param cores number of cores (24 in the paper's servers)
+     */
+    HostCpu(sim::Simulator &sim, unsigned cores = 24);
+
+    /**
+     * Execute a compute segment of @p duration on the earliest
+     * available core, then invoke @p done.
+     */
+    void execute(sim::Tick duration, std::function<void()> done);
+
+    /** Number of cores. */
+    unsigned cores() const { return unsigned(coreFree_.size()); }
+
+    /** Total core-busy time accumulated. */
+    sim::Tick busyTime() const { return busyTime_; }
+
+    /**
+     * Average utilization over [0, now]: busy core-time divided by
+     * total core-time.
+     */
+    double
+    utilization() const
+    {
+        sim::Tick elapsed = sim_.now();
+        if (elapsed == 0)
+            return 0.0;
+        return static_cast<double>(busyTime_) /
+            (static_cast<double>(elapsed) * cores());
+    }
+
+    /** Reset the utilization accounting (start of a measurement). */
+    void resetAccounting() { busyTime_ = 0; }
+
+  private:
+    sim::Simulator &sim_;
+    std::vector<sim::Tick> coreFree_;
+    sim::Tick busyTime_ = 0;
+};
+
+} // namespace host
+} // namespace bluedbm
+
+#endif // BLUEDBM_HOST_HOST_CPU_HH

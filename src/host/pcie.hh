@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Host link model: the Connectal PCIe Gen1 endpoint (paper sections
+ * 3.3 and 5.3).
+ *
+ * Connectal's implementation caps the host link at 1.6 GB/s for
+ * device-to-host DMA and 1.0 GB/s for host-to-device DMA. Four read
+ * and four write DMA engines share those caps; RPC doorbells and
+ * completion interrupts add fixed latencies.
+ */
+
+#ifndef BLUEDBM_HOST_PCIE_HH
+#define BLUEDBM_HOST_PCIE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/bandwidth.hh"
+#include "sim/simulator.hh"
+#include "sim/types.hh"
+
+namespace bluedbm {
+namespace host {
+
+/**
+ * Parameters of the Connectal host link.
+ */
+struct PcieParams
+{
+    /** Device-to-host DMA cap (reads from storage). */
+    double devToHostBytesPerSec = 1.6e9;
+    /** Host-to-device DMA cap (writes to storage). */
+    double hostToDevBytesPerSec = 1.0e9;
+    /** DMA engines per direction. */
+    unsigned dmaEngines = 4;
+    /** PCIe transaction latency per DMA transfer. */
+    sim::Tick dmaLatency = sim::usToTicks(1);
+    /** RPC doorbell latency (user request reaching the FPGA). */
+    sim::Tick rpcLatency = sim::usToTicks(2);
+    /** Completion interrupt + driver + user wakeup latency. */
+    sim::Tick interruptLatency = sim::usToTicks(4);
+};
+
+/**
+ * The host link of one node.
+ *
+ * Both directions are shared channels: transfers serialize at the
+ * direction's cap regardless of which engine carries them (the four
+ * engines exist to keep the pipe busy; the cap is the bottleneck the
+ * paper measures, e.g. Host-Local tops out at 1.6 GB/s in figure 13).
+ */
+class PcieLink
+{
+  public:
+    PcieLink(sim::Simulator &sim, const PcieParams &params)
+        : sim_(sim), params_(params),
+          devToHost_(params.devToHostBytesPerSec, params.dmaLatency),
+          hostToDev_(params.hostToDevBytesPerSec, params.dmaLatency)
+    {
+    }
+
+    /** Parameters in use. */
+    const PcieParams &params() const { return params_; }
+
+    /**
+     * DMA @p bytes from the device into host memory; @p done runs
+     * when the transfer completes (before any interrupt latency).
+     */
+    void
+    deviceToHost(std::uint32_t bytes, std::function<void()> done)
+    {
+        sim::Tick t = devToHost_.occupy(sim_.now(), bytes);
+        sim_.scheduleAt(t, std::move(done));
+    }
+
+    /**
+     * DMA @p bytes from host memory into the device.
+     */
+    void
+    hostToDevice(std::uint32_t bytes, std::function<void()> done)
+    {
+        sim::Tick t = hostToDev_.occupy(sim_.now(), bytes);
+        sim_.scheduleAt(t, std::move(done));
+    }
+
+    /**
+     * Deliver an RPC doorbell to the device: @p fn runs on the
+     * "hardware side" after the doorbell latency.
+     */
+    void
+    rpc(std::function<void()> fn)
+    {
+        sim_.scheduleAfter(params_.rpcLatency, std::move(fn));
+    }
+
+    /**
+     * Raise a completion interrupt: @p fn runs on the "software
+     * side" after interrupt + driver + wakeup latency.
+     */
+    void
+    interrupt(std::function<void()> fn)
+    {
+        sim_.scheduleAfter(params_.interruptLatency, std::move(fn));
+    }
+
+    /** Total bytes moved device-to-host. */
+    std::uint64_t
+    devToHostBytes() const
+    {
+        return devToHost_.totalBytes();
+    }
+
+    /** Total bytes moved host-to-device. */
+    std::uint64_t
+    hostToDevBytes() const
+    {
+        return hostToDev_.totalBytes();
+    }
+
+  private:
+    sim::Simulator &sim_;
+    PcieParams params_;
+    sim::LatencyRateServer devToHost_;
+    sim::LatencyRateServer hostToDev_;
+};
+
+} // namespace host
+} // namespace bluedbm
+
+#endif // BLUEDBM_HOST_PCIE_HH

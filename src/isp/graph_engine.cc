@@ -1,0 +1,46 @@
+#include "isp/graph_engine.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace bluedbm {
+namespace isp {
+
+void
+GraphTraversalEngine::walk(std::uint64_t start, std::uint64_t steps,
+                           Done done)
+{
+    auto res = std::make_shared<TraversalResult>();
+    res->lastVertex = start;
+    if (keepPath_)
+        res->path.push_back(start);
+    step(res, start, steps, std::move(done));
+}
+
+void
+GraphTraversalEngine::step(std::shared_ptr<TraversalResult> res,
+                           std::uint64_t vertex,
+                           std::uint64_t remaining, Done done)
+{
+    if (remaining == 0) {
+        done(std::move(*res));
+        return;
+    }
+    fetch_(vertex, [this, res, remaining,
+                    done = std::move(done)](
+                       flash::PageBuffer page) mutable {
+        auto nbrs = analytics::PageGraph::parse(page);
+        if (nbrs.empty())
+            sim::fatal("walk reached a sink vertex");
+        std::uint64_t next = nbrs[rng_.below(nbrs.size())];
+        ++res->steps;
+        res->lastVertex = next;
+        if (keepPath_)
+            res->path.push_back(next);
+        step(res, next, remaining - 1, std::move(done));
+    });
+}
+
+} // namespace isp
+} // namespace bluedbm

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * In-store graph traversal engine (paper section 7.2).
+ *
+ * Graph traversal is dependent page lookups: the data from one
+ * request determines the next, so throughput is 1/latency. The
+ * engine walks vertices stored one-per-page across the cluster's
+ * global address space. Its fetch path is pluggable so the same
+ * walk can be timed over ISP-F, H-F, H-RH-F or DRAM-mix paths
+ * (figure 20).
+ */
+
+#ifndef BLUEDBM_ISP_GRAPH_ENGINE_HH
+#define BLUEDBM_ISP_GRAPH_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "analytics/graph.hh"
+#include "core/cluster.hh"
+#include "sim/random.hh"
+
+namespace bluedbm {
+namespace isp {
+
+/**
+ * Outcome of a traversal run.
+ */
+struct TraversalResult
+{
+    std::uint64_t steps = 0;
+    std::uint64_t lastVertex = 0;
+    std::vector<std::uint64_t> path; //!< visited vertices (optional)
+};
+
+/**
+ * Dependent-lookup graph walker.
+ */
+class GraphTraversalEngine
+{
+  public:
+    using Done = std::function<void(TraversalResult)>;
+    /**
+     * Fetch one vertex page by global index; implementations choose
+     * the access path (ISP-F, H-F, ...).
+     */
+    using Fetch = std::function<void(
+        std::uint64_t vertex,
+        std::function<void(flash::PageBuffer)>)>;
+
+    /**
+     * @param fetch     page fetch path
+     * @param seed      RNG seed for successor choice
+     * @param keep_path record visited vertices in the result
+     */
+    GraphTraversalEngine(Fetch fetch, std::uint64_t seed = 1,
+                         bool keep_path = false)
+        : fetch_(std::move(fetch)), rng_(seed), keepPath_(keep_path)
+    {
+    }
+
+    /**
+     * Random-walk @p steps dependent lookups starting at vertex
+     * @p start. Every hop waits for the previous page -- the
+     * latency-bound pattern of the paper.
+     */
+    void walk(std::uint64_t start, std::uint64_t steps, Done done);
+
+  private:
+    void step(std::shared_ptr<TraversalResult> res,
+              std::uint64_t vertex, std::uint64_t remaining,
+              Done done);
+
+    Fetch fetch_;
+    sim::Rng rng_;
+    bool keepPath_;
+};
+
+} // namespace isp
+} // namespace bluedbm
+
+#endif // BLUEDBM_ISP_GRAPH_ENGINE_HH

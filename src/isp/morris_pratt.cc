@@ -1,0 +1,27 @@
+#include "isp/morris_pratt.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace bluedbm {
+namespace isp {
+
+MpPattern::MpPattern(std::string needle)
+    : needle_(std::move(needle))
+{
+    if (needle_.empty())
+        sim::fatal("Morris-Pratt needle must not be empty");
+    failure_.assign(needle_.size(), 0);
+    std::uint32_t k = 0;
+    for (std::size_t i = 1; i < needle_.size(); ++i) {
+        while (k > 0 && needle_[i] != needle_[k])
+            k = failure_[k - 1];
+        if (needle_[i] == needle_[k])
+            ++k;
+        failure_[i] = k;
+    }
+}
+
+} // namespace isp
+} // namespace bluedbm

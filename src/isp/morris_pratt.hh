@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Morris-Pratt string matching (paper section 7.3).
+ *
+ * The in-store string search engines are hardware Morris-Pratt
+ * matchers: the host transfers the needle and its precomputed MP
+ * constants (the failure function) once, then streams haystack pages
+ * through the engine. The streaming matcher below is the exact
+ * algorithm: O(1) amortized work per input byte, no backtracking in
+ * the text, so it consumes data at line rate -- which is why the
+ * hardware engines run at flash bandwidth.
+ */
+
+#ifndef BLUEDBM_ISP_MORRIS_PRATT_HH
+#define BLUEDBM_ISP_MORRIS_PRATT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bluedbm {
+namespace isp {
+
+/**
+ * Precomputed Morris-Pratt constants for one needle.
+ */
+class MpPattern
+{
+  public:
+    /** @param needle pattern to search for (non-empty) */
+    explicit MpPattern(std::string needle);
+
+    /** The pattern. */
+    const std::string &needle() const { return needle_; }
+
+    /** MP failure function (the "precomputed MP constants"). */
+    const std::vector<std::uint32_t> &failure() const
+    {
+        return failure_;
+    }
+
+  private:
+    std::string needle_;
+    std::vector<std::uint32_t> failure_;
+};
+
+/**
+ * Streaming Morris-Pratt matcher: feed bytes (across page
+ * boundaries), collect match end positions.
+ */
+class MpMatcher
+{
+  public:
+    /** @param pattern precomputed constants (must outlive matcher) */
+    explicit MpMatcher(const MpPattern &pattern)
+        : pattern_(pattern)
+    {
+    }
+
+    /**
+     * Consume one byte; returns true when a match *ends* at this
+     * byte.
+     */
+    bool
+    feed(std::uint8_t byte)
+    {
+        const std::string &n = pattern_.needle();
+        const auto &fail = pattern_.failure();
+        while (state_ > 0 &&
+               byte != static_cast<std::uint8_t>(n[state_]))
+            state_ = fail[state_ - 1];
+        if (byte == static_cast<std::uint8_t>(n[state_]))
+            ++state_;
+        if (state_ == n.size()) {
+            state_ = fail[state_ - 1];
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Consume a buffer; match *start* offsets (relative to the
+     * stream position @p base) append to @p matches.
+     */
+    void
+    feed(const std::uint8_t *data, std::size_t len,
+         std::uint64_t base, std::vector<std::uint64_t> &matches)
+    {
+        for (std::size_t i = 0; i < len; ++i) {
+            if (feed(data[i]))
+                matches.push_back(base + i + 1 -
+                                  pattern_.needle().size());
+        }
+    }
+
+    /** Reset the stream state. */
+    void reset() { state_ = 0; }
+
+  private:
+    const MpPattern &pattern_;
+    std::size_t state_ = 0;
+};
+
+} // namespace isp
+} // namespace bluedbm
+
+#endif // BLUEDBM_ISP_MORRIS_PRATT_HH

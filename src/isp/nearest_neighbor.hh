@@ -1,0 +1,78 @@
+/**
+ * @file
+ * In-store nearest-neighbor (Hamming) accelerator (paper section
+ * 7.1).
+ *
+ * The software sends a stream of page addresses from an LSH hash
+ * bucket along with the query page; the engine reads each candidate
+ * from flash -- local or remote via the integrated network -- and
+ * computes the Hamming distance in store, returning only the index
+ * of the closest item.
+ */
+
+#ifndef BLUEDBM_ISP_NEAREST_NEIGHBOR_HH
+#define BLUEDBM_ISP_NEAREST_NEIGHBOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "analytics/hamming.hh"
+#include "core/cluster.hh"
+#include "sim/simulator.hh"
+
+namespace bluedbm {
+namespace isp {
+
+/**
+ * Outcome of one nearest-neighbor query.
+ */
+struct NnResult
+{
+    std::uint64_t bestIndex = 0; //!< position in the candidate list
+    std::uint64_t bestDistance =
+        std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t comparisons = 0;
+};
+
+/**
+ * Nearest-neighbor engine bound to one node's in-store processor.
+ */
+class NearestNeighborEngine
+{
+  public:
+    using Done = std::function<void(NnResult)>;
+
+    /**
+     * @param node   node whose ISP runs the engine
+     * @param window candidate reads kept in flight (hardware
+     *               pipelining depth)
+     */
+    NearestNeighborEngine(core::Node &node, unsigned window = 32)
+        : node_(node), window_(window)
+    {
+    }
+
+    /**
+     * Find the candidate closest to @p query.
+     *
+     * @param query      query page content
+     * @param candidates global addresses of the candidate pages
+     *                   (may span remote nodes)
+     * @param done       result callback
+     */
+    void query(flash::PageBuffer query,
+               std::vector<core::GlobalAddress> candidates,
+               Done done);
+
+  private:
+    core::Node &node_;
+    unsigned window_;
+};
+
+} // namespace isp
+} // namespace bluedbm
+
+#endif // BLUEDBM_ISP_NEAREST_NEIGHBOR_HH

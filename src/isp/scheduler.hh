@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Accelerator scheduler (paper section 4).
+ *
+ * Multiple instances of user applications compete for the same
+ * hardware acceleration units; BlueDBM runs a scheduler that assigns
+ * available units to waiting applications with a simple FIFO policy.
+ */
+
+#ifndef BLUEDBM_ISP_SCHEDULER_HH
+#define BLUEDBM_ISP_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+namespace bluedbm {
+namespace isp {
+
+/**
+ * FIFO scheduler for a pool of identical accelerator units.
+ */
+class AcceleratorScheduler
+{
+  public:
+    /**
+     * A job receives the unit index it was granted and a release
+     * callback it must invoke when the accelerator is free again.
+     */
+    using Job = std::function<void(unsigned unit,
+                                   std::function<void()> release)>;
+
+    /**
+     * @param sim   simulation kernel
+     * @param units number of identical accelerator units
+     */
+    AcceleratorScheduler(sim::Simulator &sim, unsigned units)
+        : sim_(sim)
+    {
+        if (units == 0)
+            sim::fatal("scheduler needs at least one unit");
+        for (unsigned u = units; u-- > 0;)
+            freeUnits_.push_back(u);
+    }
+
+    /** Queue @p job; it runs when a unit frees, FIFO order. */
+    void
+    submit(Job job)
+    {
+        queue_.push_back(std::move(job));
+        pump();
+    }
+
+    /** Jobs waiting for a unit. */
+    std::size_t queued() const { return queue_.size(); }
+
+    /** Units currently free. */
+    std::size_t freeUnits() const { return freeUnits_.size(); }
+
+    /** Jobs granted so far. */
+    std::uint64_t granted() const { return granted_; }
+
+  private:
+    void
+    pump()
+    {
+        while (!queue_.empty() && !freeUnits_.empty()) {
+            unsigned unit = freeUnits_.back();
+            freeUnits_.pop_back();
+            Job job = std::move(queue_.front());
+            queue_.pop_front();
+            ++granted_;
+            // Run the job from the event loop so submit() never
+            // reenters user code synchronously.
+            sim_.scheduleAfter(0, [this, unit,
+                                   job = std::move(job)]() {
+                job(unit, [this, unit]() {
+                    freeUnits_.push_back(unit);
+                    pump();
+                });
+            });
+        }
+    }
+
+    sim::Simulator &sim_;
+    std::deque<Job> queue_;
+    std::vector<unsigned> freeUnits_;
+    std::uint64_t granted_ = 0;
+};
+
+} // namespace isp
+} // namespace bluedbm
+
+#endif // BLUEDBM_ISP_SCHEDULER_HH

@@ -1,0 +1,77 @@
+#include "net/link.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace bluedbm {
+namespace net {
+
+Lane::Lane(sim::Simulator &sim, const LaneParams &params)
+    : sim_(sim), params_(params),
+      wire_(params.physBytesPerSec, params.hopLatency),
+      credits_(params.bufferBytes)
+{
+}
+
+void
+Lane::send(Message msg, std::function<void()> on_start)
+{
+    if (msg.bytes > params_.bufferBytes)
+        sim::fatal("message of %u bytes exceeds lane buffer %u",
+                   msg.bytes, params_.bufferBytes);
+    queue_.push_back(Pending{std::move(msg), std::move(on_start)});
+    pump();
+}
+
+void
+Lane::releaseCredits(std::uint32_t bytes)
+{
+    // The token travels back across the link before the sender can
+    // use it.
+    sim_.scheduleAfter(params_.hopLatency, [this, bytes]() {
+        credits_ += bytes;
+        if (credits_ > params_.bufferBytes)
+            sim::panic("lane credit overflow");
+        pump();
+    });
+}
+
+void
+Lane::pump()
+{
+    while (!queue_.empty() && credits_ >= queue_.front().msg.bytes) {
+        Pending pending = std::move(queue_.front());
+        queue_.pop_front();
+        Message msg = std::move(pending.msg);
+        credits_ -= msg.bytes;
+        if (pending.onStart)
+            pending.onStart();
+
+        // Cut-through: serialization begins when the *head* reached
+        // this switch (possibly before this forwarding event, which
+        // runs at tail arrival), subject to the wire being free.
+        std::uint64_t wb = wireBytes(msg.bytes);
+        sim::Tick tail_arrival = wire_.occupy(msg.headArrival, wb);
+        // The tail itself only got here "now" and still needs the
+        // hop to cross.
+        sim::Tick min_tail = sim_.now() + params_.hopLatency;
+        if (tail_arrival < min_tail)
+            tail_arrival = min_tail;
+        sim::Tick serialization =
+            sim::transferTicks(wb, params_.physBytesPerSec);
+        msg.headArrival = tail_arrival - serialization;
+
+        sim_.scheduleAt(tail_arrival,
+                        [this, m = std::move(msg)]() mutable {
+            deliveredBytes_ += m.bytes;
+            ++deliveredMsgs_;
+            if (!deliver_)
+                sim::panic("lane delivers with no receiver");
+            deliver_(std::move(m));
+        });
+    }
+}
+
+} // namespace net
+} // namespace bluedbm

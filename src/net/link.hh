@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Serial link lanes with token-based flow control (paper section
+ * 3.2.2).
+ *
+ * A Lane is one direction of a serial cable: a latency-rate wire plus
+ * a receiver buffer whose occupancy is governed by byte credits. The
+ * sender may only place a message on the wire when the receiver has
+ * buffer space; credits return to the sender (after the wire latency)
+ * when the receiver forwards the message onward. This provides
+ * loss-free backpressure across the link exactly like the paper's
+ * token scheme: if a receiver stops draining, the sender's queue
+ * grows and upstream traffic stalls.
+ */
+
+#ifndef BLUEDBM_NET_LINK_HH
+#define BLUEDBM_NET_LINK_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/message.hh"
+#include "sim/bandwidth.hh"
+#include "sim/simulator.hh"
+#include "sim/types.hh"
+
+namespace bluedbm {
+namespace net {
+
+/**
+ * Physical parameters of one serial lane.
+ */
+struct LaneParams
+{
+    /** Physical signalling rate in bytes/second (10 Gb/s default). */
+    double physBytesPerSec = 10e9 / 8.0;
+    /**
+     * Protocol efficiency: effective data rate / physical rate.
+     * The paper measures 8.2 Gb/s effective on a 10 Gb/s link.
+     */
+    double efficiency = 0.82;
+    /** Per-hop latency (wire + switch), 0.48 us in the paper. */
+    sim::Tick hopLatency = sim::nsToTicks(480);
+    /** Receiver buffer capacity in bytes (token pool). */
+    std::uint32_t bufferBytes = 64 * 1024;
+
+    /** Effective data rate in bytes/second. */
+    double
+    effectiveBytesPerSec() const
+    {
+        return physBytesPerSec * efficiency;
+    }
+};
+
+/**
+ * One direction of a serial link.
+ */
+class Lane
+{
+  public:
+    /** Callback receiving a delivered message. */
+    using Deliver = std::function<void(Message)>;
+
+    /**
+     * @param sim    simulation kernel
+     * @param params physical parameters
+     */
+    Lane(sim::Simulator &sim, const LaneParams &params);
+
+    /** Install the receiving switch's delivery callback. */
+    void setDeliver(Deliver deliver) { deliver_ = std::move(deliver); }
+
+    /**
+     * Queue a message for transmission. Transmission starts when
+     * credits and the wire allow; messages leave in FIFO order.
+     *
+     * @param msg      message to transmit
+     * @param on_start optional callback fired when the message leaves
+     *                 the queue and starts serializing; switches use
+     *                 it to release the upstream lane's credits so
+     *                 that backpressure chains across hops
+     */
+    void send(Message msg, std::function<void()> on_start = {});
+
+    /**
+     * Return credits for @p bytes of receiver buffer. Called by the
+     * receiver when a message leaves its buffer; the token flows back
+     * over the reverse direction and arrives after the hop latency.
+     */
+    void releaseCredits(std::uint32_t bytes);
+
+    /** Messages waiting for credits or wire. */
+    std::size_t queued() const { return queue_.size(); }
+
+    /** Bytes of receiver buffer currently available to this sender. */
+    std::uint32_t credits() const { return credits_; }
+
+    /** Total payload bytes delivered. */
+    std::uint64_t deliveredBytes() const { return deliveredBytes_; }
+
+    /** Total messages delivered. */
+    std::uint64_t deliveredMessages() const { return deliveredMsgs_; }
+
+    /** Lane parameters. */
+    const LaneParams &params() const { return params_; }
+
+    /** Wire-level bytes for a payload (adds protocol overhead). */
+    std::uint64_t
+    wireBytes(std::uint32_t payload_bytes) const
+    {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(payload_bytes) / params_.efficiency +
+            0.5);
+    }
+
+  private:
+    /** Try to start transmitting queued messages. */
+    void pump();
+
+    struct Pending
+    {
+        Message msg;
+        std::function<void()> onStart;
+    };
+
+    sim::Simulator &sim_;
+    LaneParams params_;
+    sim::LatencyRateServer wire_;
+    Deliver deliver_;
+    std::deque<Pending> queue_;
+    std::uint32_t credits_;
+    std::uint64_t deliveredBytes_ = 0;
+    std::uint64_t deliveredMsgs_ = 0;
+    bool pumpScheduled_ = false;
+};
+
+} // namespace net
+} // namespace bluedbm
+
+#endif // BLUEDBM_NET_LINK_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Topology description and builders for the integrated storage
+ * network.
+ *
+ * BlueDBM nodes have a fan-out of 8 serial ports; any topology wirable
+ * within that budget is possible (paper figure 5). Physical cabling is
+ * a list of point-to-point links; routing is computed separately and
+ * can be re-generated without re-wiring, as in the paper where routing
+ * tables come from a network configuration file.
+ */
+
+#ifndef BLUEDBM_NET_TOPOLOGY_HH
+#define BLUEDBM_NET_TOPOLOGY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/message.hh"
+
+namespace bluedbm {
+namespace net {
+
+/**
+ * One full-duplex serial cable between two node ports.
+ */
+struct LinkSpec
+{
+    NodeId nodeA = 0;
+    std::uint8_t portA = 0;
+    NodeId nodeB = 0;
+    std::uint8_t portB = 0;
+};
+
+/**
+ * Physical shape of a storage network.
+ */
+struct Topology
+{
+    unsigned nodes = 0;
+    unsigned portsPerNode = 8;
+    std::vector<LinkSpec> links;
+
+    /**
+     * Validate the wiring: port budget respected, no port used twice,
+     * no self-loops, and the graph is connected.
+     *
+     * @return empty string when valid, else a description of the
+     *         violation
+     */
+    std::string validate() const;
+
+    /** Whether the wiring is valid. */
+    bool valid() const { return validate().empty(); }
+
+    /**
+     * Ring of @p n nodes with @p lanes_each_dir parallel cables to
+     * each neighbor (the paper discusses a 20-node ring with 4 lanes
+     * each way: 32.8 Gb/s of ring throughput).
+     */
+    static Topology ring(unsigned n, unsigned lanes_each_dir = 1);
+
+    /** Full 2-D mesh of @p w x @p h nodes (paper figure 5b). */
+    static Topology mesh2d(unsigned w, unsigned h);
+
+    /**
+     * Distributed star (paper figure 5a): @p hubs fully
+     * interconnected star centers, remaining nodes attached
+     * round-robin as leaves with one uplink each.
+     */
+    static Topology distributedStar(unsigned n, unsigned hubs);
+
+    /**
+     * Fat tree (paper figure 5c): complete @p fanout -ary tree over
+     * @p n nodes where the number of parallel cables doubles each
+     * level toward the root, within the port budget.
+     */
+    static Topology fatTree(unsigned n, unsigned fanout = 2);
+
+    /** All-pairs direct wiring (small clusters only). */
+    static Topology fullyConnected(unsigned n);
+
+    /** Chain (line) of @p n nodes, handy for hop-count experiments. */
+    static Topology line(unsigned n, unsigned lanes = 1);
+
+    /**
+     * Parse a network configuration (the paper populates routing
+     * from such a file rather than running discovery). Format, one
+     * directive per line, '#' comments:
+     *
+     *   nodes <count>
+     *   ports <count>          (optional, default 8)
+     *   link <nodeA> <portA> <nodeB> <portB>
+     *
+     * Fatal on malformed input or an invalid resulting topology.
+     */
+    static Topology fromConfig(const std::string &text);
+
+    /** Serialize into the fromConfig() format. */
+    std::string toConfig() const;
+};
+
+} // namespace net
+} // namespace bluedbm
+
+#endif // BLUEDBM_NET_TOPOLOGY_HH

@@ -1,0 +1,134 @@
+#include "resource/fpga_model.hh"
+
+#include <utility>
+
+namespace bluedbm {
+namespace resource {
+
+Device
+artix7()
+{
+    // XC7A200T-class device on the custom flash card.
+    return Device{"Artix-7 (XC7A200T)", 134600, 269200, 365, 730};
+}
+
+Device
+virtex7()
+{
+    // XC7VX485T on the VC707.
+    return Device{"Virtex-7 (XC7VX485T)", 303600, 607200, 1030, 2060};
+}
+
+std::vector<Usage>
+flashControllerUsage(const FlashControllerConfig &cfg)
+{
+    std::vector<Usage> rows;
+
+    // Sub-module groups of one bus controller (Table 1 indented
+    // rows): the LUT/reg numbers are the group's contribution per
+    // bus controller, the instance column is the count within it.
+    Usage ecc_dec{"-> ECC Decoder", cfg.eccDecodersPerBus,
+                  1790 * cfg.eccDecodersPerBus / 2,
+                  1233 * cfg.eccDecodersPerBus / 2,
+                  2 * cfg.eccDecodersPerBus / 2, 0, true};
+    Usage scoreboard{"-> Scoreboard", 1, 1149, 780, 0, 0, true};
+    Usage phy{"-> PHY", 1, 1635, 607, 0, 0, true};
+    Usage ecc_enc{"-> ECC Encoder", cfg.eccEncodersPerBus,
+                  565 * cfg.eccEncodersPerBus / 2,
+                  222 * cfg.eccEncodersPerBus / 2, 0, 0, true};
+
+    // One bus controller = the groups above + per-bus glue;
+    // calibrated to the paper's 7131/4870/21 per bus controller.
+    std::uint32_t bus_luts = 1992 + ecc_dec.luts + scoreboard.luts +
+        phy.luts + ecc_enc.luts;
+    std::uint32_t bus_regs = 2028 + ecc_dec.registers +
+        scoreboard.registers + phy.registers + ecc_enc.registers;
+    std::uint32_t bus_bram = 19 + ecc_dec.bram36;
+    Usage bus{"Bus Controller", cfg.busControllers, bus_luts,
+              bus_regs, bus_bram, 0, false};
+
+    // SerDes (aurora) scales with lane count; 3061/3463/13 at 4.
+    Usage serdes{"SerDes", 1, 501 + 640 * cfg.serdesLanes,
+                 403 + 765 * cfg.serdesLanes,
+                 1 + 3 * cfg.serdesLanes, 0, false};
+
+    // Top-level glue (tag tables, request muxing, FMC interface).
+    Usage glue{"Controller glue", 1, 15116, 20378, 0, 0, false};
+
+    rows.push_back(bus);
+    rows.push_back(ecc_dec);
+    rows.push_back(scoreboard);
+    rows.push_back(phy);
+    rows.push_back(ecc_enc);
+    rows.push_back(serdes);
+    rows.push_back(glue);
+    return rows;
+}
+
+std::vector<Usage>
+hostFpgaUsage(const HostFpgaConfig &cfg)
+{
+    std::vector<Usage> rows;
+
+    // Flash interface: per-card aurora endpoints + request muxing;
+    // 1389/2139 at two cards.
+    rows.push_back(Usage{"Flash Interface", 1,
+                         99 + 645 * cfg.flashCards,
+                         139 + 1000 * cfg.flashCards, 0, 0});
+
+    // Network interface: router + per-port serdes and buffers;
+    // 29591/27509 at fan-out 8.
+    rows.push_back(Usage{"Network Interface", 1,
+                         1591 + 3500 * cfg.networkPorts,
+                         2309 + 3150 * cfg.networkPorts, 0, 0});
+
+    // DRAM interface (MIG controller): fixed.
+    rows.push_back(Usage{"DRAM Interface", 1, 11045, 7937, 0, 0});
+
+    // Host interface: DMA engines plus the 128+128 page buffers with
+    // their per-buffer burst FIFOs; 88376/46065/169/14 at defaults.
+    unsigned engines = cfg.dmaReadEngines + cfg.dmaWriteEngines;
+    unsigned buffers = cfg.readBuffers + cfg.writeBuffers;
+    rows.push_back(Usage{"Host Interface", 1,
+                         29976 + 2500 * engines + 150 * buffers,
+                         10865 + 1200 * engines + 100 * buffers,
+                         9 + (buffers * 5) / 8, 6 + engines});
+
+    // Connectal platform glue, clock crossings, PCIe endpoint.
+    rows.push_back(Usage{"Platform glue", 1, 4870, 52247, 55, 4});
+    return rows;
+}
+
+Usage
+totalUsage(const std::vector<Usage> &rows, std::string name)
+{
+    Usage total;
+    total.name = std::move(name);
+    total.instances = 1;
+    std::uint64_t luts = 0, regs = 0, b36 = 0, b18 = 0;
+    for (const auto &r : rows) {
+        if (r.subModule)
+            continue; // already counted inside its parent
+        luts += r.totalLuts();
+        regs += r.totalRegs();
+        b36 += std::uint64_t(r.bram36) * r.instances;
+        b18 += std::uint64_t(r.bram18) * r.instances;
+    }
+    total.luts = static_cast<std::uint32_t>(luts);
+    total.registers = static_cast<std::uint32_t>(regs);
+    total.bram36 = static_cast<std::uint32_t>(b36);
+    total.bram18 = static_cast<std::uint32_t>(b18);
+    return total;
+}
+
+double
+percent(std::uint64_t used, std::uint64_t capacity)
+{
+    return capacity == 0
+        ? 0.0
+        : 100.0 * static_cast<double>(used) /
+            static_cast<double>(capacity);
+}
+
+} // namespace resource
+} // namespace bluedbm

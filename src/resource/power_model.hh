@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Power model reproducing Table 3 and the cost/power comparison
+ * against a ram-cloud deployment (paper sections 6.2 and 8).
+ */
+
+#ifndef BLUEDBM_RESOURCE_POWER_MODEL_HH
+#define BLUEDBM_RESOURCE_POWER_MODEL_HH
+
+#include <cstdint>
+
+namespace bluedbm {
+namespace resource {
+
+/**
+ * Per-node power budget (datasheet values, Table 3).
+ */
+struct NodePower
+{
+    double vc707Watts = 30.0;
+    double flashBoardWatts = 5.0;
+    unsigned flashBoards = 2;
+    double xeonServerWatts = 200.0;
+
+    /** Power of the BlueDBM additions (FPGA + flash boards). */
+    double
+    deviceWatts() const
+    {
+        return vc707Watts + flashBoardWatts * flashBoards;
+    }
+
+    /** Whole node including the host server. */
+    double
+    totalWatts() const
+    {
+        return deviceWatts() + xeonServerWatts;
+    }
+
+    /** Fraction of node power added by the storage device. */
+    double
+    deviceFraction() const
+    {
+        return deviceWatts() / totalWatts();
+    }
+};
+
+/**
+ * Compare a BlueDBM rack against a ram-cloud sized for the same
+ * dataset.
+ */
+struct ClusterComparison
+{
+    std::uint64_t datasetTB = 20;
+    unsigned bluedbmNodes = 20;
+    NodePower nodePower;
+
+    /** DRAM per ram-cloud server in GB. */
+    unsigned ramcloudServerGB = 256;
+    /** Power of one ram-cloud server (large DRAM loadout). */
+    double ramcloudServerWatts = 350.0;
+
+    /** Servers the ram cloud needs to hold the dataset. */
+    unsigned
+    ramcloudServers() const
+    {
+        std::uint64_t gb = datasetTB * 1024;
+        return unsigned((gb + ramcloudServerGB - 1) /
+                        ramcloudServerGB);
+    }
+
+    /** Total BlueDBM power. */
+    double
+    bluedbmWatts() const
+    {
+        return bluedbmNodes * nodePower.totalWatts();
+    }
+
+    /** Total ram-cloud power. */
+    double
+    ramcloudWatts() const
+    {
+        return ramcloudServers() * ramcloudServerWatts;
+    }
+
+    /** Power advantage factor. */
+    double
+    powerAdvantage() const
+    {
+        return ramcloudWatts() / bluedbmWatts();
+    }
+};
+
+} // namespace resource
+} // namespace bluedbm
+
+#endif // BLUEDBM_RESOURCE_POWER_MODEL_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Latency-rate resource models.
+ *
+ * LatencyRateServer is the workhorse for modeling any pipelined channel
+ * (a flash bus, a serial link, a PCIe DMA engine): requests serialize
+ * at a fixed byte rate and then experience a fixed latency. It captures
+ * exactly the first-order behaviour the paper's measurements reflect.
+ */
+
+#ifndef BLUEDBM_SIM_BANDWIDTH_HH
+#define BLUEDBM_SIM_BANDWIDTH_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace bluedbm {
+namespace sim {
+
+/**
+ * Pipelined channel with a serialization rate and a propagation delay.
+ *
+ * occupy() returns the completion time of a transfer issued "now":
+ * the channel is busy until max(busyUntil, now) + size/rate, and the
+ * payload arrives a further @p latency later. Back-to-back transfers
+ * pipeline; the channel is the only serialized resource.
+ */
+class LatencyRateServer
+{
+  public:
+    /**
+     * @param bytes_per_sec serialization rate
+     * @param latency       propagation delay added after serialization
+     */
+    LatencyRateServer(double bytes_per_sec, Tick latency)
+        : rate_(bytes_per_sec), latency_(latency)
+    {
+        if (rate_ <= 0.0)
+            fatal("LatencyRateServer rate must be positive");
+    }
+
+    /**
+     * Serialize @p bytes starting no earlier than @p now.
+     *
+     * @param now   issue time
+     * @param bytes payload size
+     * @return tick at which the last byte arrives at the far end
+     */
+    Tick
+    occupy(Tick now, std::uint64_t bytes)
+    {
+        Tick start = std::max(now, busyUntil_);
+        busyUntil_ = start + transferTicks(bytes, rate_);
+        totalBytes_ += bytes;
+        return busyUntil_ + latency_;
+    }
+
+    /** Time at which the channel next becomes free. */
+    Tick busyUntil() const { return busyUntil_; }
+
+    /** Whether the channel is free at @p now. */
+    bool idleAt(Tick now) const { return busyUntil_ <= now; }
+
+    /** Total bytes ever pushed through the channel. */
+    std::uint64_t totalBytes() const { return totalBytes_; }
+
+    /** Configured rate in bytes per second. */
+    double rate() const { return rate_; }
+
+    /** Configured propagation latency. */
+    Tick latency() const { return latency_; }
+
+  private:
+    double rate_;
+    Tick latency_;
+    Tick busyUntil_ = 0;
+    std::uint64_t totalBytes_ = 0;
+};
+
+/**
+ * Pool of identical parallel servers (e.g. the four Connectal DMA read
+ * engines). A transfer occupies whichever engine frees first.
+ */
+class ServerPool
+{
+  public:
+    /**
+     * @param servers       number of parallel engines
+     * @param bytes_per_sec per-engine rate
+     * @param latency       per-transfer latency
+     */
+    ServerPool(unsigned servers, double bytes_per_sec, Tick latency)
+    {
+        if (servers == 0)
+            fatal("ServerPool needs at least one server");
+        for (unsigned i = 0; i < servers; ++i)
+            servers_.emplace_back(bytes_per_sec, latency);
+    }
+
+    /** Issue a transfer on the earliest-free engine. */
+    Tick
+    occupy(Tick now, std::uint64_t bytes)
+    {
+        auto best = &servers_.front();
+        for (auto &s : servers_) {
+            if (s.busyUntil() < best->busyUntil())
+                best = &s;
+        }
+        return best->occupy(now, bytes);
+    }
+
+    /** Total bytes across all engines. */
+    std::uint64_t
+    totalBytes() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &s : servers_)
+            sum += s.totalBytes();
+        return sum;
+    }
+
+    /** Number of engines. */
+    std::size_t size() const { return servers_.size(); }
+
+  private:
+    std::vector<LatencyRateServer> servers_;
+};
+
+/**
+ * Credit counter for token-based link-level flow control (paper
+ * section 3.2.2). The sender consumes one token per flit and the
+ * receiver returns tokens as it drains its buffer.
+ */
+class TokenCredits
+{
+  public:
+    /** @param tokens initial (and maximum) credit count */
+    explicit TokenCredits(unsigned tokens)
+        : max_(tokens), avail_(tokens)
+    {
+        if (tokens == 0)
+            fatal("TokenCredits needs at least one token");
+    }
+
+    /** Whether a token is available to send. */
+    bool available() const { return avail_ > 0; }
+
+    /** Consume one token; caller must check available(). */
+    void
+    take()
+    {
+        if (avail_ == 0)
+            panic("TokenCredits::take with no tokens");
+        --avail_;
+    }
+
+    /** Return one token (receiver drained a flit). */
+    void
+    give()
+    {
+        if (avail_ >= max_)
+            panic("TokenCredits overflow: give past max %u", max_);
+        ++avail_;
+    }
+
+    /** Currently available tokens. */
+    unsigned count() const { return avail_; }
+
+    /** Maximum tokens (buffer depth at the receiver). */
+    unsigned max() const { return max_; }
+
+  private:
+    unsigned max_;
+    unsigned avail_;
+};
+
+} // namespace sim
+} // namespace bluedbm
+
+#endif // BLUEDBM_SIM_BANDWIDTH_HH

@@ -1,0 +1,85 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace bluedbm {
+namespace sim {
+
+EventId
+EventQueue::schedule(Tick when, std::function<void()> fn)
+{
+    if (when < curTick_)
+        panic("scheduling event in the past: when=%llu now=%llu",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(curTick_));
+    EventId id = nextId_++;
+    heap_.push(Entry{when, id, std::move(fn)});
+    pending_.insert(id);
+    ++liveEvents_;
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == invalidEventId)
+        return false;
+    // We cannot remove from the middle of the heap; remember the id and
+    // drop the entry lazily when it reaches the front.
+    if (pending_.erase(id) == 0)
+        return false;
+    cancelled_.insert(id);
+    --liveEvents_;
+    return true;
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap_.empty()) {
+        const Entry &top = heap_.top();
+        auto it = cancelled_.find(top.id);
+        if (it == cancelled_.end())
+            return;
+        cancelled_.erase(it);
+        heap_.pop();
+    }
+}
+
+bool
+EventQueue::step()
+{
+    skipCancelled();
+    if (heap_.empty())
+        return false;
+    // Copy out before pop so the callback may schedule/cancel freely.
+    Entry e = heap_.top();
+    heap_.pop();
+    pending_.erase(e.id);
+    curTick_ = e.when;
+    --liveEvents_;
+    ++executed_;
+    e.fn();
+    return true;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    for (;;) {
+        skipCancelled();
+        if (heap_.empty())
+            break;
+        if (heap_.top().when > limit) {
+            curTick_ = limit;
+            return curTick_;
+        }
+        step();
+    }
+    return curTick_;
+}
+
+} // namespace sim
+} // namespace bluedbm

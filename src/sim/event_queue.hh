@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Discrete event queue: the heart of the simulator.
+ *
+ * Events are (tick, sequence, callback) triples ordered by tick and, for
+ * equal ticks, by insertion order, giving deterministic execution.
+ * Cancellation is supported through EventId handles.
+ */
+
+#ifndef BLUEDBM_SIM_EVENT_QUEUE_HH
+#define BLUEDBM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace bluedbm {
+namespace sim {
+
+/** Handle identifying a scheduled event, usable for cancellation. */
+using EventId = std::uint64_t;
+
+/** Sentinel meaning "no event". */
+constexpr EventId invalidEventId = 0;
+
+/**
+ * Time-ordered queue of callbacks.
+ *
+ * Within one tick, events run in the order they were scheduled, so the
+ * simulation is fully deterministic for a given seed and schedule.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     *
+     * @param when absolute tick; must be >= now()
+     * @param fn   callback to execute
+     * @return a handle usable with cancel()
+     */
+    EventId schedule(Tick when, std::function<void()> fn);
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @return true if the event existed and had not yet fired
+     */
+    bool cancel(EventId id);
+
+    /** Current simulated time. */
+    Tick now() const { return curTick_; }
+
+    /** Whether any live (non-cancelled) events remain. */
+    bool empty() const { return liveEvents_ == 0; }
+
+    /** Number of live events pending. */
+    std::uint64_t pending() const { return liveEvents_; }
+
+    /** Number of events executed since construction. */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Run events until the queue drains or @p limit is reached.
+     *
+     * Events scheduled exactly at @p limit still execute.
+     *
+     * @param limit inclusive time bound
+     * @return the tick at which execution stopped
+     */
+    Tick runUntil(Tick limit);
+
+    /** Run until the queue is empty. */
+    Tick run() { return runUntil(maxTick); }
+
+    /**
+     * Execute exactly one event if one exists.
+     *
+     * @return true if an event ran
+     */
+    bool step();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventId id;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    /** Pop cancelled entries off the front of the heap. */
+    void skipCancelled();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> pending_;
+    std::unordered_set<EventId> cancelled_;
+    Tick curTick_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t liveEvents_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace sim
+} // namespace bluedbm
+
+#endif // BLUEDBM_SIM_EVENT_QUEUE_HH

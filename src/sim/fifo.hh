@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Bounded latency-insensitive FIFO with backpressure, the universal
+ * interface idiom of the BlueDBM hardware (the paper builds everything
+ * from guarded FIFOs in Bluespec).
+ *
+ * Producers test canPush()/push(); consumers test canPop()/pop().
+ * Components that must react to availability register wakeup callbacks
+ * which fire (via the event queue, at the current tick) on the
+ * empty->nonempty and full->nonfull transitions. Scheduling the wakeup
+ * instead of calling it inline avoids unbounded reentrancy between
+ * producer and consumer state machines.
+ */
+
+#ifndef BLUEDBM_SIM_FIFO_HH
+#define BLUEDBM_SIM_FIFO_HH
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+namespace bluedbm {
+namespace sim {
+
+/**
+ * Bounded FIFO of T with transition callbacks.
+ *
+ * @tparam T element type (moved in and out)
+ */
+template <typename T>
+class Fifo
+{
+  public:
+    /**
+     * @param sim      simulation kernel used to schedule wakeups
+     * @param capacity maximum occupancy; must be >= 1
+     */
+    Fifo(Simulator &sim, std::size_t capacity)
+        : sim_(sim), capacity_(capacity)
+    {
+        if (capacity_ == 0)
+            fatal("Fifo capacity must be >= 1");
+    }
+
+    Fifo(const Fifo &) = delete;
+    Fifo &operator=(const Fifo &) = delete;
+
+    /** Whether an element can be accepted. */
+    bool canPush() const { return items_.size() < capacity_; }
+
+    /** Whether an element is available. */
+    bool canPop() const { return !items_.empty(); }
+
+    /** Current occupancy. */
+    std::size_t size() const { return items_.size(); }
+
+    /** Configured capacity. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Remaining space. */
+    std::size_t space() const { return capacity_ - items_.size(); }
+
+    /**
+     * Enqueue an element. The FIFO must not be full.
+     */
+    void
+    push(T item)
+    {
+        if (!canPush())
+            panic("push into full Fifo (capacity %zu)", capacity_);
+        bool was_empty = items_.empty();
+        items_.push_back(std::move(item));
+        if (was_empty)
+            fire(dataWaiters_);
+    }
+
+    /**
+     * Dequeue the oldest element. The FIFO must not be empty.
+     */
+    T
+    pop()
+    {
+        if (!canPop())
+            panic("pop from empty Fifo");
+        bool was_full = items_.size() == capacity_;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        if (was_full)
+            fire(spaceWaiters_);
+        return item;
+    }
+
+    /** Peek at the oldest element without removing it. */
+    const T &
+    front() const
+    {
+        if (!canPop())
+            panic("front of empty Fifo");
+        return items_.front();
+    }
+
+    /**
+     * Register a callback fired when the FIFO becomes non-empty.
+     * Callbacks persist and fire on every transition.
+     */
+    void
+    onDataAvailable(std::function<void()> fn)
+    {
+        dataWaiters_.push_back(std::move(fn));
+    }
+
+    /**
+     * Register a callback fired when the FIFO stops being full.
+     * Callbacks persist and fire on every transition.
+     */
+    void
+    onSpaceAvailable(std::function<void()> fn)
+    {
+        spaceWaiters_.push_back(std::move(fn));
+    }
+
+  private:
+    void
+    fire(const std::vector<std::function<void()>> &waiters)
+    {
+        for (const auto &fn : waiters)
+            sim_.scheduleAfter(0, fn);
+    }
+
+    Simulator &sim_;
+    std::size_t capacity_;
+    std::deque<T> items_;
+    std::vector<std::function<void()>> dataWaiters_;
+    std::vector<std::function<void()>> spaceWaiters_;
+};
+
+} // namespace sim
+} // namespace bluedbm
+
+#endif // BLUEDBM_SIM_FIFO_HH

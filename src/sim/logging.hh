@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Status and error reporting helpers, in the spirit of gem5's
+ * logging.hh.
+ *
+ * - inform(): normal operating messages.
+ * - warn():   something is off but the simulation can continue.
+ * - fatal():  the *user* asked for something impossible (bad config,
+ *             bad arguments); exits with an error code.
+ * - panic():  an internal invariant was violated (a bug); aborts.
+ */
+
+#ifndef BLUEDBM_SIM_LOGGING_HH
+#define BLUEDBM_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace bluedbm {
+namespace sim {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel { Silent, Warn, Info, Debug };
+
+/** Set the global verbosity threshold. */
+void setLogLevel(LogLevel level);
+
+/** Get the global verbosity threshold. */
+LogLevel logLevel();
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, std::va_list ap);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message (LogLevel::Info and above). */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a debug message (LogLevel::Debug only). */
+void debug(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning (LogLevel::Warn and above). */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a user-caused error and exit(1). Use for bad configuration or
+ * invalid arguments, not for simulator bugs.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation and abort(). Use when
+ * something happened that should never happen regardless of user input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace sim
+} // namespace bluedbm
+
+#endif // BLUEDBM_SIM_LOGGING_HH

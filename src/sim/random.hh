@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Implements xoshiro256** (Blackman & Vigna) so that simulations are
+ * reproducible across platforms and standard-library versions, which
+ * std::mt19937 distributions are not.
+ */
+
+#ifndef BLUEDBM_SIM_RANDOM_HH
+#define BLUEDBM_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace bluedbm {
+namespace sim {
+
+/**
+ * xoshiro256** PRNG with splitmix64 seeding.
+ */
+class Rng
+{
+  public:
+    /** @param seed any 64-bit seed; equal seeds give equal streams */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 to spread the seed across the state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded generation.
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            std::uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                m = static_cast<unsigned __int128>(next()) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace sim
+} // namespace bluedbm
+
+#endif // BLUEDBM_SIM_RANDOM_HH

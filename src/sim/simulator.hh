@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Simulator facade: owns the event queue and offers convenience
+ * scheduling. All hardware models hold a Simulator reference.
+ */
+
+#ifndef BLUEDBM_SIM_SIMULATOR_HH
+#define BLUEDBM_SIM_SIMULATOR_HH
+
+#include <functional>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace bluedbm {
+namespace sim {
+
+/**
+ * Top-level simulation kernel.
+ *
+ * Thin wrapper over EventQueue that components use to read the clock
+ * and schedule work. A single Simulator instance is shared by every
+ * model in one simulated cluster.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time in ticks. */
+    Tick now() const { return events_.now(); }
+
+    /** Schedule @p fn at absolute tick @p when. */
+    EventId
+    scheduleAt(Tick when, std::function<void()> fn)
+    {
+        return events_.schedule(when, std::move(fn));
+    }
+
+    /** Schedule @p fn @p delay ticks from now. */
+    EventId
+    scheduleAfter(Tick delay, std::function<void()> fn)
+    {
+        return events_.schedule(now() + delay, std::move(fn));
+    }
+
+    /** Cancel a scheduled event; true if it had not fired. */
+    bool cancel(EventId id) { return events_.cancel(id); }
+
+    /** Run until no events remain. */
+    Tick run() { return events_.run(); }
+
+    /** Run until @p limit (inclusive) or until the queue drains. */
+    Tick runUntil(Tick limit) { return events_.runUntil(limit); }
+
+    /** Execute one event; false if the queue is empty. */
+    bool step() { return events_.step(); }
+
+    /** Whether the event queue is empty. */
+    bool idle() const { return events_.empty(); }
+
+    /** Total events executed so far. */
+    std::uint64_t eventsExecuted() const { return events_.executed(); }
+
+  private:
+    EventQueue events_;
+};
+
+} // namespace sim
+} // namespace bluedbm
+
+#endif // BLUEDBM_SIM_SIMULATOR_HH

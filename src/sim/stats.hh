@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Lightweight statistics: counters, accumulators and histograms used
+ * by models and benchmark harnesses.
+ */
+
+#ifndef BLUEDBM_SIM_STATS_HH
+#define BLUEDBM_SIM_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace bluedbm {
+namespace sim {
+
+/**
+ * Running scalar statistic: count, sum, min, max, mean, stddev.
+ */
+class Accumulator
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        sumSq_ += v * v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Arithmetic mean, or 0 with no samples. */
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+
+    /** Population standard deviation. */
+    double
+    stddev() const
+    {
+        if (count_ == 0)
+            return 0.0;
+        double m = mean();
+        double var = sumSq_ / static_cast<double>(count_) - m * m;
+        return var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+
+    /** Smallest sample (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Largest sample (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Forget all samples. */
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = sumSq_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width-bucket histogram with overflow bucket, suitable for
+ * latency distributions.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width width of each bucket (same unit as samples)
+     * @param buckets      number of regular buckets
+     */
+    Histogram(double bucket_width, std::size_t buckets)
+        : width_(bucket_width), counts_(buckets + 1, 0)
+    {
+    }
+
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        acc_.sample(v);
+        auto idx = static_cast<std::size_t>(v / width_);
+        if (idx >= counts_.size() - 1)
+            idx = counts_.size() - 1;
+        ++counts_[idx];
+    }
+
+    /** Count in bucket @p i (last bucket is overflow). */
+    std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+
+    /** Number of buckets including overflow. */
+    std::size_t buckets() const { return counts_.size(); }
+
+    /** Underlying scalar statistics. */
+    const Accumulator &acc() const { return acc_; }
+
+    /**
+     * Approximate quantile from bucket boundaries.
+     *
+     * @param q quantile in [0,1]
+     * @return upper bound of the bucket containing the quantile
+     */
+    double
+    quantile(double q) const
+    {
+        std::uint64_t target =
+            static_cast<std::uint64_t>(q * static_cast<double>(
+                acc_.count()));
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            seen += counts_[i];
+            if (seen > target)
+                return width_ * static_cast<double>(i + 1);
+        }
+        return width_ * static_cast<double>(counts_.size());
+    }
+
+  private:
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    Accumulator acc_;
+};
+
+} // namespace sim
+} // namespace bluedbm
+
+#endif // BLUEDBM_SIM_STATS_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the analytics library: hamming kernels, LSH properties,
+ * page graphs and corpus generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "analytics/graph.hh"
+#include "analytics/hamming.hh"
+#include "analytics/lsh.hh"
+#include "analytics/text.hh"
+#include "sim/random.hh"
+
+using namespace bluedbm;
+using analytics::Corpus;
+using analytics::hammingDistance;
+using analytics::LshIndex;
+using analytics::PageGraph;
+
+TEST(Hamming, IdenticalIsZero)
+{
+    std::vector<std::uint8_t> a(1000, 0x5a);
+    EXPECT_EQ(hammingDistance(a, a), 0u);
+}
+
+TEST(Hamming, KnownDistances)
+{
+    std::vector<std::uint8_t> a{0x00, 0xff, 0x0f};
+    std::vector<std::uint8_t> b{0x01, 0xff, 0xf0};
+    // 1 bit + 0 bits + 8 bits.
+    EXPECT_EQ(hammingDistance(a, b), 9u);
+}
+
+TEST(Hamming, ComplementIsAllBits)
+{
+    std::vector<std::uint8_t> a(64, 0xaa);
+    std::vector<std::uint8_t> b(64, 0x55);
+    EXPECT_EQ(hammingDistance(a, b), 64u * 8);
+}
+
+TEST(Hamming, UnalignedTailHandled)
+{
+    std::vector<std::uint8_t> a(13, 0);
+    std::vector<std::uint8_t> b(13, 0);
+    b[12] = 0x80;
+    EXPECT_EQ(hammingDistance(a, b), 1u);
+}
+
+TEST(Lsh, IdenticalItemsAlwaysCollide)
+{
+    LshIndex idx(4, 12, 256);
+    sim::Rng rng(1);
+    std::vector<std::uint8_t> item(256);
+    for (auto &b : item)
+        b = std::uint8_t(rng.next());
+    idx.insert(7, item.data());
+    auto cands = idx.candidates(item.data());
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0], 7u);
+}
+
+TEST(Lsh, SimilarItemsCollideMoreThanRandom)
+{
+    // Property: near items (small hamming distance) are found far
+    // more often than random items.
+    LshIndex idx(8, 10, 256);
+    sim::Rng rng(2);
+    const int items = 400;
+    std::vector<std::vector<std::uint8_t>> data(items);
+    for (int i = 0; i < items; ++i) {
+        data[i].resize(256);
+        for (auto &b : data[i])
+            b = std::uint8_t(rng.next());
+        idx.insert(std::uint64_t(i), data[i].data());
+    }
+    int near_found = 0, far_found = 0;
+    const int queries = 100;
+    for (int q = 0; q < queries; ++q) {
+        int base = int(rng.below(items));
+        // Near query: flip 8 of 2048 bits.
+        auto near = data[base];
+        for (int f = 0; f < 8; ++f) {
+            auto bit = rng.below(2048);
+            near[bit / 8] ^= std::uint8_t(1u << (bit % 8));
+        }
+        auto cands = idx.candidates(near.data());
+        near_found += std::binary_search(cands.begin(), cands.end(),
+                                         std::uint64_t(base));
+        // Far query: fresh random item.
+        std::vector<std::uint8_t> far(256);
+        for (auto &b : far)
+            b = std::uint8_t(rng.next());
+        auto fcands = idx.candidates(far.data());
+        far_found += std::binary_search(fcands.begin(), fcands.end(),
+                                        std::uint64_t(base));
+    }
+    EXPECT_GT(near_found, 80);
+    EXPECT_LT(far_found, 10);
+}
+
+TEST(Lsh, CandidatesAreDeduplicated)
+{
+    LshIndex idx(8, 4, 64);
+    std::vector<std::uint8_t> item(64, 0xcc);
+    idx.insert(1, item.data());
+    auto cands = idx.candidates(item.data());
+    // Item collides in all 8 tables but must appear once.
+    ASSERT_EQ(cands.size(), 1u);
+}
+
+TEST(PageGraphTest, RandomGraphHasRequestedDegree)
+{
+    auto g = PageGraph::random(100, 4, 3);
+    EXPECT_EQ(g.vertices(), 100u);
+    for (std::uint64_t v = 0; v < 100; ++v) {
+        EXPECT_EQ(g.neighbors(v).size(), 4u);
+        for (auto u : g.neighbors(v)) {
+            EXPECT_NE(u, v);
+            EXPECT_LT(u, 100u);
+        }
+    }
+}
+
+TEST(PageGraphTest, SerializeParseRoundTrip)
+{
+    auto g = PageGraph::random(50, 6, 9);
+    for (std::uint64_t v = 0; v < 50; ++v) {
+        auto page = g.serialize(v, 512);
+        EXPECT_EQ(page.size(), 512u);
+        EXPECT_EQ(PageGraph::parse(page), g.neighbors(v));
+    }
+}
+
+TEST(PageGraphTest, BfsDistancesAreSane)
+{
+    auto g = PageGraph::random(200, 4, 11);
+    auto dist = g.bfs(0);
+    EXPECT_EQ(dist[0], 0);
+    // Random 4-regular digraph on 200 vertices: everything within a
+    // few hops.
+    for (std::uint64_t v = 0; v < 200; ++v) {
+        ASSERT_GE(dist[v], 0) << v;
+        EXPECT_LE(dist[v], 12) << v;
+    }
+}
+
+TEST(PageGraphTest, BfsMatchesNeighborRelation)
+{
+    auto g = PageGraph::random(80, 3, 13);
+    auto dist = g.bfs(5);
+    for (std::uint64_t v = 0; v < 80; ++v) {
+        if (dist[v] < 0)
+            continue;
+        for (auto u : g.neighbors(v))
+            EXPECT_LE(dist[u], dist[v] + 1);
+    }
+}
+
+TEST(Text, CorpusHasExactlyPlantedNeedles)
+{
+    std::string needle = "X7q";
+    Corpus c = analytics::makeCorpus(100000, needle, 25, 3);
+    ASSERT_EQ(c.text.size(), 100000u);
+    ASSERT_EQ(c.needlePositions.size(), 25u);
+
+    // Exhaustive scan finds exactly the planted occurrences.
+    std::vector<std::uint64_t> found;
+    for (std::size_t i = 0; i + needle.size() <= c.text.size(); ++i) {
+        if (std::equal(needle.begin(), needle.end(),
+                       c.text.begin() + long(i)))
+            found.push_back(i);
+    }
+    EXPECT_EQ(found, c.needlePositions);
+}
+
+TEST(Text, PositionsAreSortedAndNonOverlapping)
+{
+    Corpus c = analytics::makeCorpus(50000, "Z9z", 40, 5);
+    for (std::size_t i = 1; i < c.needlePositions.size(); ++i) {
+        EXPECT_GT(c.needlePositions[i],
+                  c.needlePositions[i - 1] + 2);
+    }
+}
+
+TEST(Text, DeterministicForSeed)
+{
+    Corpus a = analytics::makeCorpus(10000, "Q1", 5, 7);
+    Corpus b = analytics::makeCorpus(10000, "Q1", 5, 7);
+    EXPECT_EQ(a.text, b.text);
+    EXPECT_EQ(a.needlePositions, b.needlePositions);
+}

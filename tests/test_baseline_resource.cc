@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the baseline device models and the resource/power
+ * models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/ethernet.hh"
+#include "baseline/hdd.hh"
+#include "baseline/ram_cloud.hh"
+#include "baseline/ssd.hh"
+#include "resource/fpga_model.hh"
+#include "resource/power_model.hh"
+#include "sim/simulator.hh"
+
+using namespace bluedbm;
+using baseline::EthernetLink;
+using baseline::EthernetParams;
+using baseline::HardDisk;
+using baseline::HddParams;
+using baseline::OffTheShelfSsd;
+using baseline::RamCloudParams;
+using baseline::RamCloudWorkload;
+using baseline::SsdParams;
+using sim::Tick;
+
+TEST(Ssd, SequentialReachesRatedBandwidth)
+{
+    sim::Simulator sim;
+    OffTheShelfSsd ssd(sim, SsdParams{});
+    const int pages = 2000;
+    Tick last = 0;
+    for (int i = 0; i < pages; ++i)
+        ssd.read(std::uint64_t(i), 8192, [&] { last = sim.now(); });
+    sim.run();
+    double rate = sim::bytesPerSec(8192ull * pages, last);
+    EXPECT_NEAR(rate, 600e6, 600e6 * 0.05);
+    EXPECT_EQ(ssd.sequentialReads(), std::uint64_t(pages) - 1);
+}
+
+TEST(Ssd, RandomIsMuchSlowerThanSequential)
+{
+    sim::Simulator sim;
+    OffTheShelfSsd ssd(sim, SsdParams{});
+    const int pages = 2000;
+    Tick last = 0;
+    sim::Rng rng(3);
+    for (int i = 0; i < pages; ++i) {
+        ssd.read(rng.below(1u << 20) * 2, 8192,
+                 [&] { last = sim.now(); });
+    }
+    sim.run();
+    double rate = sim::bytesPerSec(8192ull * pages, last);
+    // 4 channels x ~10K IOPS = ~40K IOPS = ~327 MB/s ceiling.
+    EXPECT_LT(rate, 400e6);
+    EXPECT_GT(rate, 200e6);
+}
+
+TEST(Hdd, SequentialStreamsAtPlatterRate)
+{
+    sim::Simulator sim;
+    HardDisk disk(sim, HddParams{});
+    const int pages = 1000;
+    Tick last = 0;
+    for (int i = 0; i < pages; ++i)
+        disk.read(std::uint64_t(i), 8192, [&] { last = sim.now(); });
+    sim.run();
+    double rate = sim::bytesPerSec(8192ull * pages, last);
+    // First access seeks; the rest stream.
+    EXPECT_GT(rate, 100e6);
+    EXPECT_EQ(disk.seeks(), 1u);
+}
+
+TEST(Hdd, RandomAccessesPaySeeks)
+{
+    sim::Simulator sim;
+    HardDisk disk(sim, HddParams{});
+    Tick last = 0;
+    const int n = 50;
+    sim::Rng rng(5);
+    for (int i = 0; i < n; ++i)
+        disk.read(rng.below(1u << 24) * 2, 8192,
+                  [&] { last = sim.now(); });
+    sim.run();
+    // ~8 ms per op: 50 ops take ~400 ms.
+    EXPECT_GT(last, sim::msToTicks(350));
+    EXPECT_EQ(disk.seeks(), std::uint64_t(n));
+}
+
+TEST(RamCloud, PureDramScalesWithThreadsUntilBandwidth)
+{
+    auto throughput = [](unsigned threads) {
+        sim::Simulator sim;
+        host::HostCpu cpu(sim, 24);
+        RamCloudWorkload work(sim, cpu, RamCloudParams{});
+        Tick finish = 0;
+        const std::uint64_t items = 4000;
+        work.run(threads, items, [&] { finish = sim.now(); });
+        sim.run();
+        return double(items) / sim::ticksToSec(finish);
+    };
+    double t1 = throughput(1);
+    double t4 = throughput(4);
+    double t16 = throughput(16);
+    EXPECT_NEAR(t4 / t1, 4.0, 0.5);      // linear at low threads
+    EXPECT_LT(t16 / t1, 16.0);           // saturates eventually
+    EXPECT_NEAR(t1, 43500, 4000);        // ~1/23us per thread
+}
+
+TEST(RamCloud, SmallMissFractionCollapsesThroughput)
+{
+    // The paper's headline ram-cloud result: 10% flash misses or 5%
+    // disk misses crater performance (figure 17).
+    auto throughput = [](double miss, Tick penalty) {
+        sim::Simulator sim;
+        host::HostCpu cpu(sim, 24);
+        RamCloudParams p;
+        p.missFraction = miss;
+        p.missPenalty = penalty;
+        RamCloudWorkload work(sim, cpu, p);
+        Tick finish = 0;
+        const std::uint64_t items = 3000;
+        work.run(8, items, [&] { finish = sim.now(); });
+        sim.run();
+        return double(items) / sim::ticksToSec(finish);
+    };
+    double pure = throughput(0.0, 0);
+    double flash10 = throughput(0.10, sim::usToTicks(750));
+    double disk5 = throughput(0.05, sim::msToTicks(12));
+    EXPECT_GT(pure, 300000.0);
+    EXPECT_LT(flash10, 90000.0);
+    EXPECT_LT(disk5, 15000.0);
+    EXPECT_GT(pure / flash10, 3.5);
+    EXPECT_GT(pure / disk5, 20.0);
+}
+
+TEST(Ethernet, LatencyIs100xIntegratedNetwork)
+{
+    sim::Simulator sim;
+    EthernetLink eth(sim, EthernetParams{});
+    Tick at = 0;
+    eth.send(16, [&] { at = sim.now(); });
+    sim.run();
+    // Integrated network: 0.48 us/hop. Ethernet: >= 50 us.
+    EXPECT_GE(at, sim::usToTicks(50));
+    EXPECT_GE(double(at) / double(sim::nsToTicks(480)), 100.0);
+}
+
+TEST(ResourceModel, Table1TotalsMatchPaper)
+{
+    auto rows = resource::flashControllerUsage(
+        resource::FlashControllerConfig{});
+    auto total = resource::totalUsage(rows, "Artix-7 Total");
+    EXPECT_EQ(total.luts, 75225u);
+    EXPECT_EQ(total.registers, 62801u);
+    EXPECT_EQ(total.bram36, 181u);
+
+    // Utilization percentages as published: 56% LUTs, 23% regs,
+    // 50% BRAM.
+    auto device = resource::artix7();
+    EXPECT_NEAR(resource::percent(total.luts, device.luts), 56, 1);
+    EXPECT_NEAR(resource::percent(total.registers, device.registers),
+                23, 1);
+    EXPECT_NEAR(resource::percent(total.bram36, device.bram36), 50,
+                1);
+}
+
+TEST(ResourceModel, Table1RowsMatchPaper)
+{
+    auto rows = resource::flashControllerUsage(
+        resource::FlashControllerConfig{});
+    // Bus controller row: 8 instances of 7131/4870/21.
+    EXPECT_EQ(rows[0].instances, 8u);
+    EXPECT_EQ(rows[0].luts, 7131u);
+    EXPECT_EQ(rows[0].registers, 4870u);
+    EXPECT_EQ(rows[0].bram36, 21u);
+    // ECC decoder group: 1790/1233/2.
+    EXPECT_EQ(rows[1].luts, 1790u);
+    EXPECT_EQ(rows[1].registers, 1233u);
+    // SerDes: 3061/3463/13.
+    EXPECT_EQ(rows[5].luts, 3061u);
+    EXPECT_EQ(rows[5].registers, 3463u);
+    EXPECT_EQ(rows[5].bram36, 13u);
+}
+
+TEST(ResourceModel, Table2TotalsMatchPaper)
+{
+    auto rows = resource::hostFpgaUsage(resource::HostFpgaConfig{});
+    auto total = resource::totalUsage(rows, "Virtex-7 Total");
+    EXPECT_EQ(total.luts, 135271u);
+    EXPECT_EQ(total.registers, 135897u);
+    EXPECT_EQ(total.bram36, 224u);
+    EXPECT_EQ(total.bram18, 18u);
+
+    auto device = resource::virtex7();
+    EXPECT_NEAR(resource::percent(total.luts, device.luts), 45, 1);
+    EXPECT_NEAR(resource::percent(total.registers, device.registers),
+                22, 1);
+}
+
+TEST(ResourceModel, CostsScaleWithDesignKnobs)
+{
+    resource::HostFpgaConfig small;
+    small.networkPorts = 2;
+    resource::HostFpgaConfig big;
+    big.networkPorts = 8;
+    auto s = resource::totalUsage(resource::hostFpgaUsage(small),
+                                  "s");
+    auto b = resource::totalUsage(resource::hostFpgaUsage(big), "b");
+    EXPECT_LT(s.luts, b.luts);
+
+    resource::FlashControllerConfig strong;
+    strong.eccDecodersPerBus = 4;
+    auto base = resource::totalUsage(
+        resource::flashControllerUsage(
+            resource::FlashControllerConfig{}),
+        "base");
+    auto ecc = resource::totalUsage(
+        resource::flashControllerUsage(strong), "ecc");
+    EXPECT_GT(ecc.luts, base.luts);
+}
+
+TEST(PowerModel, Table3MatchesPaper)
+{
+    resource::NodePower power;
+    EXPECT_DOUBLE_EQ(power.vc707Watts, 30.0);
+    EXPECT_DOUBLE_EQ(power.deviceWatts(), 40.0);
+    EXPECT_DOUBLE_EQ(power.totalWatts(), 240.0);
+    // "BlueDBM adds less than 20% of power consumption."
+    EXPECT_LT(power.deviceFraction(), 0.20);
+}
+
+TEST(PowerModel, RamCloudComparisonIsOrderOfMagnitude)
+{
+    resource::ClusterComparison cmp;
+    EXPECT_EQ(cmp.ramcloudServers(), 80u);
+    EXPECT_GT(cmp.powerAdvantage(), 5.0);
+    EXPECT_DOUBLE_EQ(cmp.bluedbmWatts(), 4800.0);
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the discrete event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/simulator.hh"
+
+using namespace bluedbm;
+using sim::EventQueue;
+using sim::Tick;
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickRunsInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue q;
+    std::vector<Tick> fired;
+    q.schedule(1, [&] {
+        fired.push_back(q.now());
+        q.schedule(q.now() + 4, [&] { fired.push_back(q.now()); });
+    });
+    q.run();
+    EXPECT_EQ(fired, (std::vector<Tick>{1, 5}));
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    auto id = q.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    q.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(q.executed(), 0u);
+}
+
+TEST(EventQueue, CancelUnknownIdReturnsFalse)
+{
+    EventQueue q;
+    auto id = q.schedule(1, [] {});
+    q.run();
+    EXPECT_FALSE(q.cancel(id));       // already fired
+    EXPECT_FALSE(q.cancel(987654));   // never existed
+    EXPECT_FALSE(q.cancel(sim::invalidEventId));
+}
+
+TEST(EventQueue, DoubleCancelIsSafe)
+{
+    EventQueue q;
+    auto id = q.schedule(10, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+    q.run();
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&] { ++count; });
+    q.schedule(20, [&] { ++count; });
+    q.schedule(30, [&] { ++count; });
+    q.runUntil(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.now(), 20u);
+    q.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, PendingAndExecutedCounts)
+{
+    EventQueue q;
+    q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    q.step();
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_EQ(q.executed(), 1u);
+    q.run();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StepOnEmptyReturnsFalse)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.step();
+    EXPECT_DEATH(q.schedule(50, [] {}), "past");
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime)
+{
+    sim::Simulator s;
+    std::vector<Tick> at;
+    s.scheduleAt(100, [&] {
+        s.scheduleAfter(50, [&] { at.push_back(s.now()); });
+    });
+    s.run();
+    EXPECT_EQ(at, (std::vector<Tick>{150}));
+}
+
+TEST(Simulator, CancelThroughFacade)
+{
+    sim::Simulator s;
+    bool ran = false;
+    auto id = s.scheduleAfter(5, [&] { ran = true; });
+    EXPECT_TRUE(s.cancel(id));
+    s.run();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(s.idle());
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the latency-insensitive bounded FIFO.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/fifo.hh"
+#include "sim/simulator.hh"
+
+using namespace bluedbm;
+
+TEST(Fifo, PreservesFifoOrder)
+{
+    sim::Simulator s;
+    sim::Fifo<int> f(s, 8);
+    for (int i = 0; i < 5; ++i)
+        f.push(i);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(f.pop(), i);
+}
+
+TEST(Fifo, CapacityAndSpace)
+{
+    sim::Simulator s;
+    sim::Fifo<int> f(s, 3);
+    EXPECT_EQ(f.capacity(), 3u);
+    EXPECT_TRUE(f.canPush());
+    f.push(1);
+    f.push(2);
+    EXPECT_EQ(f.space(), 1u);
+    f.push(3);
+    EXPECT_FALSE(f.canPush());
+    EXPECT_EQ(f.size(), 3u);
+}
+
+TEST(Fifo, FrontPeeksWithoutRemoving)
+{
+    sim::Simulator s;
+    sim::Fifo<std::string> f(s, 2);
+    f.push("a");
+    f.push("b");
+    EXPECT_EQ(f.front(), "a");
+    EXPECT_EQ(f.size(), 2u);
+    EXPECT_EQ(f.pop(), "a");
+    EXPECT_EQ(f.front(), "b");
+}
+
+TEST(Fifo, DataAvailableFiresOnEmptyToNonEmpty)
+{
+    sim::Simulator s;
+    sim::Fifo<int> f(s, 4);
+    int wakeups = 0;
+    f.onDataAvailable([&] { ++wakeups; });
+
+    f.push(1); // empty -> nonempty: fires
+    f.push(2); // no transition
+    s.run();
+    EXPECT_EQ(wakeups, 1);
+
+    f.pop();
+    f.pop();
+    f.push(3); // empty -> nonempty again
+    s.run();
+    EXPECT_EQ(wakeups, 2);
+}
+
+TEST(Fifo, SpaceAvailableFiresOnFullToNonFull)
+{
+    sim::Simulator s;
+    sim::Fifo<int> f(s, 2);
+    int wakeups = 0;
+    f.onSpaceAvailable([&] { ++wakeups; });
+
+    f.push(1);
+    f.pop(); // never was full: no wakeup
+    s.run();
+    EXPECT_EQ(wakeups, 0);
+
+    f.push(1);
+    f.push(2); // full
+    f.pop();   // full -> nonfull: fires
+    s.run();
+    EXPECT_EQ(wakeups, 1);
+}
+
+TEST(Fifo, ProducerConsumerPipeline)
+{
+    // A producer that pushes when space opens and a consumer that pops
+    // when data arrives must move every element despite capacity 1.
+    sim::Simulator s;
+    sim::Fifo<int> f(s, 1);
+    int next = 0;
+    const int total = 100;
+    std::vector<int> received;
+
+    std::function<void()> produce = [&] {
+        while (next < total && f.canPush())
+            f.push(next++);
+    };
+    f.onSpaceAvailable([&] { produce(); });
+    f.onDataAvailable([&] {
+        while (f.canPop())
+            received.push_back(f.pop());
+    });
+
+    produce();
+    s.run();
+    ASSERT_EQ(received.size(), size_t(total));
+    for (int i = 0; i < total; ++i)
+        EXPECT_EQ(received[i], i);
+}
+
+TEST(FifoDeath, PushWhenFullPanics)
+{
+    sim::Simulator s;
+    sim::Fifo<int> f(s, 1);
+    f.push(1);
+    EXPECT_DEATH(f.push(2), "full");
+}
+
+TEST(FifoDeath, PopWhenEmptyPanics)
+{
+    sim::Simulator s;
+    sim::Fifo<int> f(s, 1);
+    EXPECT_DEATH(f.pop(), "empty");
+}

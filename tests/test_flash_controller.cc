@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the tag-based flash controller protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "flash/flash_controller.hh"
+#include "sim/simulator.hh"
+
+using namespace bluedbm;
+using flash::Address;
+using flash::Command;
+using flash::FlashController;
+using flash::Geometry;
+using flash::NandArray;
+using flash::Op;
+using flash::PageBuffer;
+using flash::Status;
+using flash::Tag;
+using flash::Timing;
+
+namespace {
+
+/** Records completions; supplies write data on request. */
+struct RecordingClient : flash::Client
+{
+    std::vector<std::pair<Tag, Status>> reads;
+    std::vector<std::pair<Tag, Status>> writes;
+    std::vector<std::pair<Tag, Status>> erases;
+    std::vector<Tag> dataRequests;
+    std::map<Tag, PageBuffer> dataToSend;
+    FlashController *ctrl = nullptr;
+    std::map<Tag, PageBuffer> readData;
+
+    void
+    readDone(Tag tag, PageBuffer data, Status status) override
+    {
+        reads.emplace_back(tag, status);
+        readData[tag] = std::move(data);
+    }
+
+    void
+    writeDataRequest(Tag tag) override
+    {
+        dataRequests.push_back(tag);
+        auto it = dataToSend.find(tag);
+        if (it != dataToSend.end() && ctrl)
+            ctrl->sendWriteData(tag, std::move(it->second));
+    }
+
+    void
+    writeDone(Tag tag, Status status) override
+    {
+        writes.emplace_back(tag, status);
+    }
+
+    void
+    eraseDone(Tag tag, Status status) override
+    {
+        erases.emplace_back(tag, status);
+    }
+};
+
+struct Fixture
+{
+    sim::Simulator sim;
+    Geometry geo = Geometry::tiny();
+    Timing timing = Timing::fast();
+    NandArray nand{sim, geo, timing};
+    FlashController ctrl{sim, nand, 16};
+    RecordingClient client;
+
+    Fixture()
+    {
+        client.ctrl = &ctrl;
+        ctrl.setClient(&client);
+    }
+};
+
+} // namespace
+
+TEST(FlashController, ReadCompletesWithTag)
+{
+    Fixture f;
+    f.ctrl.sendCommand(Command{Op::ReadPage, Address{0, 0, 0, 0}, 5});
+    EXPECT_FALSE(f.ctrl.tagFree(5));
+    f.sim.run();
+    ASSERT_EQ(f.client.reads.size(), 1u);
+    EXPECT_EQ(f.client.reads[0].first, 5u);
+    EXPECT_EQ(f.client.reads[0].second, Status::Ok);
+    EXPECT_TRUE(f.ctrl.tagFree(5));
+    EXPECT_EQ(f.ctrl.readsIssued(), 1u);
+}
+
+TEST(FlashController, TagIsReusableAfterCompletion)
+{
+    Fixture f;
+    f.ctrl.sendCommand(Command{Op::ReadPage, Address{0, 0, 0, 0}, 1});
+    f.sim.run();
+    f.ctrl.sendCommand(Command{Op::ReadPage, Address{0, 0, 0, 1}, 1});
+    f.sim.run();
+    EXPECT_EQ(f.client.reads.size(), 2u);
+}
+
+TEST(FlashController, WriteFlowDataRequestThenDone)
+{
+    Fixture f;
+    f.client.dataToSend[3] = PageBuffer(f.geo.pageSize, 0xab);
+    f.ctrl.sendCommand(Command{Op::WritePage, Address{0, 0, 0, 0}, 3});
+    f.sim.run();
+    ASSERT_EQ(f.client.dataRequests.size(), 1u);
+    EXPECT_EQ(f.client.dataRequests[0], 3u);
+    ASSERT_EQ(f.client.writes.size(), 1u);
+    EXPECT_EQ(f.client.writes[0], std::make_pair(Tag(3), Status::Ok));
+
+    // Verify the data landed.
+    f.ctrl.sendCommand(Command{Op::ReadPage, Address{0, 0, 0, 0}, 3});
+    f.sim.run();
+    EXPECT_EQ(f.client.readData[3], PageBuffer(f.geo.pageSize, 0xab));
+}
+
+TEST(FlashController, EraseCompletes)
+{
+    Fixture f;
+    f.ctrl.sendCommand(Command{Op::EraseBlock, Address{0, 0, 1, 0}, 7});
+    f.sim.run();
+    ASSERT_EQ(f.client.erases.size(), 1u);
+    EXPECT_EQ(f.client.erases[0], std::make_pair(Tag(7), Status::Ok));
+}
+
+TEST(FlashController, ReadsReturnOutOfOrderAcrossBuses)
+{
+    Fixture f;
+    // Tag 0 on a chip already busy with a long erase; tag 1 on an
+    // idle bus. Tag 1 must complete first.
+    f.ctrl.sendCommand(Command{Op::EraseBlock, Address{0, 0, 0, 0}, 9});
+    f.ctrl.sendCommand(Command{Op::ReadPage, Address{0, 0, 1, 0}, 0});
+    f.ctrl.sendCommand(Command{Op::ReadPage, Address{1, 0, 0, 0}, 1});
+    f.sim.run();
+    ASSERT_EQ(f.client.reads.size(), 2u);
+    EXPECT_EQ(f.client.reads[0].first, 1u);
+    EXPECT_EQ(f.client.reads[1].first, 0u);
+}
+
+TEST(FlashController, ManyOutstandingReadsAllComplete)
+{
+    Fixture f;
+    for (Tag t = 0; t < 16; ++t) {
+        Address a = Address::fromStriped(f.geo, t);
+        f.ctrl.sendCommand(Command{Op::ReadPage, a, t});
+    }
+    f.sim.run();
+    EXPECT_EQ(f.client.reads.size(), 16u);
+    for (Tag t = 0; t < 16; ++t)
+        EXPECT_TRUE(f.ctrl.tagFree(t));
+}
+
+TEST(FlashController, IllegalRewriteReportsStatus)
+{
+    Fixture f;
+    f.client.dataToSend[0] = PageBuffer(f.geo.pageSize, 1);
+    f.ctrl.sendCommand(Command{Op::WritePage, Address{0, 0, 0, 0}, 0});
+    f.sim.run();
+    f.client.dataToSend[0] = PageBuffer(f.geo.pageSize, 2);
+    f.ctrl.sendCommand(Command{Op::WritePage, Address{0, 0, 0, 0}, 0});
+    f.sim.run();
+    ASSERT_EQ(f.client.writes.size(), 2u);
+    EXPECT_EQ(f.client.writes[1].second, Status::IllegalWrite);
+}
+
+TEST(FlashControllerDeath, TagReusePanics)
+{
+    Fixture f;
+    f.ctrl.sendCommand(Command{Op::ReadPage, Address{0, 0, 0, 0}, 2});
+    EXPECT_DEATH(
+        f.ctrl.sendCommand(Command{Op::ReadPage, Address{0, 0, 0, 1},
+                                   2}),
+        "reuses");
+}
+
+TEST(FlashControllerDeath, OutOfRangeTagPanics)
+{
+    Fixture f;
+    EXPECT_DEATH(
+        f.ctrl.sendCommand(Command{Op::ReadPage, Address{0, 0, 0, 0},
+                                   99}),
+        "out of range");
+}

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the Flash Server: in-order delivery over an out-of-order
+ * flash interface, the address translation unit, and multi-interface
+ * independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flash/flash_card.hh"
+#include "flash/flash_server.hh"
+#include "sim/simulator.hh"
+
+using namespace bluedbm;
+using flash::Address;
+using flash::FlashCard;
+using flash::FlashServer;
+using flash::Geometry;
+using flash::PageBuffer;
+using flash::Status;
+using flash::Timing;
+
+namespace {
+
+struct Fixture
+{
+    sim::Simulator sim;
+    FlashCard card{sim, Geometry::tiny(), Timing::fast(), 32};
+    flash::FlashSplitter::Port &port{card.splitter().addPort(32)};
+    FlashServer server{sim, port, 2, 8};
+};
+
+} // namespace
+
+TEST(FlashServer, SinglePageRead)
+{
+    Fixture f;
+    PageBuffer got;
+    f.server.readPage(0, Address{0, 0, 0, 0},
+                      [&](PageBuffer data, Status st) {
+        EXPECT_EQ(st, Status::Ok);
+        got = std::move(data);
+    });
+    f.sim.run();
+    EXPECT_EQ(got.size(), f.card.geometry().pageSize);
+    EXPECT_EQ(got, f.card.nand().store().read(Address{0, 0, 0, 0}));
+}
+
+TEST(FlashServer, WriteThenReadBack)
+{
+    Fixture f;
+    const auto ps = f.card.geometry().pageSize;
+    bool wrote = false;
+    f.server.writePage(0, Address{1, 0, 0, 0}, PageBuffer(ps, 0x3c),
+                       [&](Status st) {
+        EXPECT_EQ(st, Status::Ok);
+        wrote = true;
+    });
+    f.sim.run();
+    ASSERT_TRUE(wrote);
+
+    PageBuffer got;
+    f.server.readPage(0, Address{1, 0, 0, 0},
+                      [&](PageBuffer data, Status) {
+        got = std::move(data);
+    });
+    f.sim.run();
+    EXPECT_EQ(got, PageBuffer(ps, 0x3c));
+}
+
+TEST(FlashServer, InOrderDeliveryDespiteOutOfOrderFlash)
+{
+    Fixture f;
+    const Geometry &g = f.card.geometry();
+    // Mix addresses so that later requests complete earlier at the
+    // flash level: first page on a chip made busy by an erase.
+    bool erased = false;
+    f.server.eraseBlock(0, Address{0, 0, 0, 0},
+                        [&](Status) { erased = true; });
+
+    std::vector<Address> addrs;
+    addrs.push_back(Address{0, 0, 1, 0}); // slow: behind the erase
+    addrs.push_back(Address{1, 0, 0, 0}); // fast: idle bus
+    addrs.push_back(Address{1, 1, 0, 0}); // fast: idle chip
+
+    f.server.defineHandle(42, addrs);
+    std::vector<PageBuffer> pages;
+    f.server.streamRead(0, 42, 0, 3, [&](PageBuffer data, Status st) {
+        EXPECT_EQ(st, Status::Ok);
+        pages.push_back(std::move(data));
+    });
+    f.sim.run();
+    ASSERT_TRUE(erased);
+    ASSERT_EQ(pages.size(), 3u);
+    // Delivery must match file order, not completion order.
+    for (std::size_t i = 0; i < addrs.size(); ++i)
+        EXPECT_EQ(pages[i], f.card.nand().store().read(addrs[i]))
+            << "page " << i;
+    (void)g;
+}
+
+TEST(FlashServer, StreamReadWholeHandle)
+{
+    Fixture f;
+    const Geometry &g = f.card.geometry();
+    std::vector<Address> addrs;
+    for (std::uint64_t i = 0; i < 32; ++i)
+        addrs.push_back(Address::fromStriped(g, i));
+    f.server.defineHandle(1, addrs);
+
+    int delivered = 0;
+    f.server.streamRead(0, 1, 0, 32,
+                        [&](PageBuffer, Status) { ++delivered; });
+    f.sim.run();
+    EXPECT_EQ(delivered, 32);
+}
+
+TEST(FlashServer, StreamReadSubRange)
+{
+    Fixture f;
+    const Geometry &g = f.card.geometry();
+    std::vector<Address> addrs;
+    for (std::uint64_t i = 0; i < 16; ++i)
+        addrs.push_back(Address::fromStriped(g, i));
+    f.server.defineHandle(2, addrs);
+
+    std::vector<PageBuffer> pages;
+    f.server.streamRead(0, 2, 4, 3, [&](PageBuffer data, Status) {
+        pages.push_back(std::move(data));
+    });
+    f.sim.run();
+    ASSERT_EQ(pages.size(), 3u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(pages[i],
+                  f.card.nand().store().read(addrs[4 + i]));
+}
+
+TEST(FlashServer, AtuDefineDropReplace)
+{
+    Fixture f;
+    std::vector<Address> a1{Address{0, 0, 0, 0}};
+    std::vector<Address> a2{Address{1, 0, 0, 0}, Address{1, 1, 0, 0}};
+    f.server.defineHandle(9, a1);
+    ASSERT_NE(f.server.handlePages(9), nullptr);
+    EXPECT_EQ(f.server.handlePages(9)->size(), 1u);
+    f.server.defineHandle(9, a2); // replace
+    EXPECT_EQ(f.server.handlePages(9)->size(), 2u);
+    f.server.dropHandle(9);
+    EXPECT_EQ(f.server.handlePages(9), nullptr);
+}
+
+TEST(FlashServer, InterfacesAreIndependentlyOrdered)
+{
+    Fixture f;
+    const Geometry &g = f.card.geometry();
+    std::vector<int> events; // 0/1 per interface completion
+    std::vector<Address> addrs0, addrs1;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        addrs0.push_back(Address::fromStriped(g, i));
+        addrs1.push_back(Address::fromStriped(g, 8 + i));
+    }
+    f.server.defineHandle(0, addrs0);
+    f.server.defineHandle(1, addrs1);
+    int done0 = 0, done1 = 0;
+    f.server.streamRead(0, 0, 0, 8,
+                        [&](PageBuffer, Status) { ++done0; });
+    f.server.streamRead(1, 1, 0, 8,
+                        [&](PageBuffer, Status) { ++done1; });
+    f.sim.run();
+    EXPECT_EQ(done0, 8);
+    EXPECT_EQ(done1, 8);
+}
+
+TEST(FlashServer, BackPressureRespectsQueueDepth)
+{
+    // Queue depth 8: even with 100 pages requested, at most 8 port
+    // tags may be busy at any instant. We check it indirectly: the
+    // run completes and in-order delivery holds.
+    Fixture f;
+    const Geometry &g = f.card.geometry();
+    std::vector<Address> addrs;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        addrs.push_back(Address::fromStriped(g, i % g.pages()));
+    f.server.defineHandle(3, addrs);
+    int count = 0;
+    f.server.streamRead(0, 3, 0, 100,
+                        [&](PageBuffer, Status) { ++count; });
+    f.sim.run();
+    EXPECT_EQ(count, 100);
+}
+
+TEST(FlashServerDeath, UnknownHandleIsFatal)
+{
+    Fixture f;
+    EXPECT_DEATH(f.server.streamRead(0, 12345, 0, 1,
+                                     [](PageBuffer, Status) {}),
+                 "undefined handle");
+}
+
+TEST(FlashServerDeath, RangePastEndIsFatal)
+{
+    Fixture f;
+    f.server.defineHandle(1, {Address{0, 0, 0, 0}});
+    EXPECT_DEATH(f.server.streamRead(0, 1, 0, 2,
+                                     [](PageBuffer, Status) {}),
+                 "past end");
+}

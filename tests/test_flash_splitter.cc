@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the flash interface splitter: tag renaming, port
+ * isolation, and FIFO queueing when controller tags run out.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "flash/flash_card.hh"
+#include "sim/simulator.hh"
+
+using namespace bluedbm;
+using flash::Address;
+using flash::Command;
+using flash::FlashCard;
+using flash::Geometry;
+using flash::Op;
+using flash::PageBuffer;
+using flash::Status;
+using flash::Tag;
+using flash::Timing;
+
+namespace {
+
+struct PortClient : flash::Client
+{
+    flash::FlashSplitter::Port *port = nullptr;
+    std::vector<Tag> readTags;
+    std::map<Tag, PageBuffer> writeData;
+    std::vector<Tag> writeTags;
+    std::vector<Tag> eraseTags;
+
+    void
+    readDone(Tag tag, PageBuffer, Status status) override
+    {
+        EXPECT_NE(status, Status::Uncorrectable);
+        readTags.push_back(tag);
+    }
+
+    void
+    writeDataRequest(Tag tag) override
+    {
+        auto it = writeData.find(tag);
+        ASSERT_NE(it, writeData.end());
+        port->sendWriteData(tag, std::move(it->second));
+    }
+
+    void
+    writeDone(Tag tag, Status status) override
+    {
+        EXPECT_EQ(status, Status::Ok);
+        writeTags.push_back(tag);
+    }
+
+    void
+    eraseDone(Tag tag, Status) override
+    {
+        eraseTags.push_back(tag);
+    }
+};
+
+} // namespace
+
+TEST(FlashSplitter, TwoPortsShareOneController)
+{
+    sim::Simulator sim;
+    FlashCard card(sim, Geometry::tiny(), Timing::fast(), 16);
+    auto &p0 = card.splitter().addPort(4);
+    auto &p1 = card.splitter().addPort(4);
+    PortClient c0, c1;
+    c0.port = &p0;
+    c1.port = &p1;
+    p0.setClient(&c0);
+    p1.setClient(&c1);
+
+    // Both ports use the *same local tags*; renaming keeps them apart.
+    p0.sendCommand(Command{Op::ReadPage, Address{0, 0, 0, 0}, 0});
+    p1.sendCommand(Command{Op::ReadPage, Address{1, 0, 0, 0}, 0});
+    sim.run();
+    ASSERT_EQ(c0.readTags.size(), 1u);
+    ASSERT_EQ(c1.readTags.size(), 1u);
+    EXPECT_EQ(c0.readTags[0], 0u);
+    EXPECT_EQ(c1.readTags[0], 0u);
+}
+
+TEST(FlashSplitter, PortTagFreedAfterCompletion)
+{
+    sim::Simulator sim;
+    FlashCard card(sim, Geometry::tiny(), Timing::fast(), 16);
+    auto &p0 = card.splitter().addPort(2);
+    PortClient c0;
+    c0.port = &p0;
+    p0.setClient(&c0);
+
+    EXPECT_TRUE(p0.tagFree(1));
+    p0.sendCommand(Command{Op::ReadPage, Address{0, 0, 0, 0}, 1});
+    EXPECT_FALSE(p0.tagFree(1));
+    sim.run();
+    EXPECT_TRUE(p0.tagFree(1));
+}
+
+TEST(FlashSplitter, QueuesWhenControllerTagsExhausted)
+{
+    sim::Simulator sim;
+    // Controller with only 2 hardware tags; port with 8 local tags.
+    FlashCard card(sim, Geometry::tiny(), Timing::fast(), 2);
+    auto &p0 = card.splitter().addPort(8);
+    PortClient c0;
+    c0.port = &p0;
+    p0.setClient(&c0);
+
+    for (Tag t = 0; t < 8; ++t) {
+        Address a = Address::fromStriped(card.geometry(), t);
+        p0.sendCommand(Command{Op::ReadPage, a, t});
+    }
+    sim.run();
+    EXPECT_EQ(c0.readTags.size(), 8u);
+    EXPECT_GT(card.splitter().queuedCommands(), 0u);
+}
+
+TEST(FlashSplitter, WriteDataRoutedThroughRenamedTag)
+{
+    sim::Simulator sim;
+    FlashCard card(sim, Geometry::tiny(), Timing::fast(), 16);
+    auto &p0 = card.splitter().addPort(4);
+    auto &p1 = card.splitter().addPort(4);
+    PortClient c0, c1;
+    c0.port = &p0;
+    c1.port = &p1;
+    p0.setClient(&c0);
+    p1.setClient(&c1);
+
+    const auto page_size = card.geometry().pageSize;
+    c0.writeData[2] = PageBuffer(page_size, 0x11);
+    c1.writeData[2] = PageBuffer(page_size, 0x22);
+    p0.sendCommand(Command{Op::WritePage, Address{0, 0, 0, 0}, 2});
+    p1.sendCommand(Command{Op::WritePage, Address{0, 0, 1, 0}, 2});
+    sim.run();
+    ASSERT_EQ(c0.writeTags.size(), 1u);
+    ASSERT_EQ(c1.writeTags.size(), 1u);
+
+    // Each port's data went to its own address.
+    EXPECT_EQ(card.nand().store().read(Address{0, 0, 0, 0}),
+              PageBuffer(page_size, 0x11));
+    EXPECT_EQ(card.nand().store().read(Address{0, 0, 1, 0}),
+              PageBuffer(page_size, 0x22));
+}
+
+TEST(FlashSplitter, ManyPortsStressAllComplete)
+{
+    sim::Simulator sim;
+    FlashCard card(sim, Geometry::tiny(), Timing::fast(), 8);
+    constexpr int ports = 4, per_port = 16;
+    std::vector<PortClient> clients(ports);
+    std::vector<flash::FlashSplitter::Port *> port_ptrs;
+    for (int p = 0; p < ports; ++p) {
+        auto &port = card.splitter().addPort(per_port);
+        clients[p].port = &port;
+        port.setClient(&clients[p]);
+        port_ptrs.push_back(&port);
+    }
+    for (int p = 0; p < ports; ++p) {
+        for (Tag t = 0; t < per_port; ++t) {
+            Address a = Address::fromStriped(
+                card.geometry(),
+                std::uint64_t(p) * per_port + t);
+            port_ptrs[p]->sendCommand(Command{Op::ReadPage, a, t});
+        }
+    }
+    sim.run();
+    for (int p = 0; p < ports; ++p)
+        EXPECT_EQ(clients[p].readTags.size(), size_t(per_port));
+}
+
+TEST(FlashSplitterDeath, BusyPortTagPanics)
+{
+    sim::Simulator sim;
+    FlashCard card(sim, Geometry::tiny(), Timing::fast(), 16);
+    auto &p0 = card.splitter().addPort(2);
+    PortClient c0;
+    c0.port = &p0;
+    p0.setClient(&c0);
+    p0.sendCommand(Command{Op::ReadPage, Address{0, 0, 0, 0}, 0});
+    EXPECT_DEATH(
+        p0.sendCommand(Command{Op::ReadPage, Address{0, 0, 0, 1}, 0}),
+        "busy tag");
+}

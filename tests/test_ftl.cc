@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the page-mapping FTL: mapping, out-of-place updates,
+ * garbage collection, wear leveling and a randomized torture test
+ * against a reference map.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "flash/flash_card.hh"
+#include "flash/flash_server.hh"
+#include "ftl/ftl.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+using namespace bluedbm;
+using flash::FlashCard;
+using flash::FlashServer;
+using flash::Geometry;
+using flash::PageBuffer;
+using flash::Timing;
+using ftl::Ftl;
+using ftl::FtlParams;
+
+namespace {
+
+struct Fixture
+{
+    sim::Simulator sim;
+    Geometry geo = Geometry::tiny();
+    FlashCard card{sim, geo, Timing::fast(), 64};
+    flash::FlashSplitter::Port &port{card.splitter().addPort(64)};
+    FlashServer server{sim, port, 1, 16};
+    Ftl ftl{sim, server, 0, geo};
+
+    PageBuffer
+    pattern(std::uint32_t seed)
+    {
+        PageBuffer p(geo.pageSize);
+        for (std::size_t i = 0; i < p.size(); ++i)
+            p[i] = static_cast<std::uint8_t>(seed * 31 + i);
+        return p;
+    }
+
+    void
+    writeSync(std::uint64_t lpn, std::uint32_t seed)
+    {
+        bool ok = false, fired = false;
+        ftl.write(lpn, pattern(seed), [&](bool o) {
+            ok = o;
+            fired = true;
+        });
+        sim.run();
+        ASSERT_TRUE(fired);
+        ASSERT_TRUE(ok);
+    }
+
+    PageBuffer
+    readSync(std::uint64_t lpn)
+    {
+        PageBuffer out;
+        ftl.read(lpn, [&](PageBuffer data, bool ok) {
+            EXPECT_TRUE(ok);
+            out = std::move(data);
+        });
+        sim.run();
+        return out;
+    }
+};
+
+} // namespace
+
+TEST(Ftl, LogicalCapacityReflectsOverProvisioning)
+{
+    Fixture f;
+    std::uint64_t phys = f.geo.pages();
+    EXPECT_LT(f.ftl.logicalPages(), phys);
+    EXPECT_GT(f.ftl.logicalPages(), phys / 2);
+}
+
+TEST(Ftl, UnwrittenPageReadsZeroes)
+{
+    Fixture f;
+    EXPECT_FALSE(f.ftl.isMapped(7));
+    PageBuffer data = f.readSync(7);
+    EXPECT_EQ(data, PageBuffer(f.geo.pageSize, 0));
+}
+
+TEST(Ftl, WriteReadRoundTrip)
+{
+    Fixture f;
+    f.writeSync(3, 42);
+    EXPECT_TRUE(f.ftl.isMapped(3));
+    EXPECT_EQ(f.readSync(3), f.pattern(42));
+}
+
+TEST(Ftl, OverwriteIsOutOfPlace)
+{
+    Fixture f;
+    f.writeSync(5, 1);
+    std::uint64_t writes_before = f.ftl.flashWrites();
+    f.writeSync(5, 2);
+    EXPECT_EQ(f.readSync(5), f.pattern(2));
+    // Overwrite consumed a fresh flash page (no in-place update).
+    EXPECT_EQ(f.ftl.flashWrites(), writes_before + 1);
+}
+
+TEST(Ftl, TrimUnmapsPage)
+{
+    Fixture f;
+    f.writeSync(9, 9);
+    bool fired = false;
+    f.ftl.trim(9, [&](bool ok) {
+        EXPECT_TRUE(ok);
+        fired = true;
+    });
+    f.sim.run();
+    ASSERT_TRUE(fired);
+    EXPECT_FALSE(f.ftl.isMapped(9));
+    EXPECT_EQ(f.readSync(9), PageBuffer(f.geo.pageSize, 0));
+}
+
+TEST(Ftl, SequentialFillWithinLogicalCapacity)
+{
+    Fixture f;
+    std::uint64_t n = f.ftl.logicalPages() / 2;
+    int done = 0;
+    for (std::uint64_t lpn = 0; lpn < n; ++lpn)
+        f.ftl.write(lpn, f.pattern(std::uint32_t(lpn)),
+                    [&](bool ok) {
+            EXPECT_TRUE(ok);
+            ++done;
+        });
+    f.sim.run();
+    EXPECT_EQ(done, int(n));
+    for (std::uint64_t lpn = 0; lpn < n; lpn += n / 7 + 1)
+        EXPECT_EQ(f.readSync(lpn), f.pattern(std::uint32_t(lpn)));
+}
+
+TEST(Ftl, GarbageCollectionReclaimsOverwrittenSpace)
+{
+    Fixture f;
+    // Keep rewriting a small working set until total flash pages
+    // written far exceed physical pages of free headroom: GC must
+    // have run and the data must remain intact.
+    const std::uint64_t hot = 8;
+    const int rounds = 300;
+    int done = 0;
+    for (int r = 0; r < rounds; ++r) {
+        for (std::uint64_t lpn = 0; lpn < hot; ++lpn) {
+            f.ftl.write(lpn,
+                        f.pattern(std::uint32_t(r * hot + lpn)),
+                        [&](bool ok) {
+                EXPECT_TRUE(ok);
+                ++done;
+            });
+        }
+        f.sim.run();
+    }
+    EXPECT_EQ(done, int(hot) * rounds);
+    EXPECT_GT(f.ftl.gcRuns(), 0u);
+    EXPECT_GT(f.ftl.erasedBlocks(), 0u);
+    for (std::uint64_t lpn = 0; lpn < hot; ++lpn) {
+        EXPECT_EQ(f.readSync(lpn),
+                  f.pattern(std::uint32_t((rounds - 1) * hot + lpn)));
+    }
+}
+
+TEST(Ftl, WriteAmplificationIsReasonable)
+{
+    Fixture f;
+    const std::uint64_t hot = 16;
+    for (int r = 0; r < 150; ++r) {
+        for (std::uint64_t lpn = 0; lpn < hot; ++lpn)
+            f.ftl.write(lpn, f.pattern(std::uint32_t(r)),
+                        [](bool) {});
+        f.sim.run();
+    }
+    // A hot working set far smaller than a block means GC victims are
+    // mostly invalid: WAF should stay modest.
+    EXPECT_LT(f.ftl.writeAmplification(), 1.6);
+    EXPECT_GE(f.ftl.writeAmplification(), 1.0);
+}
+
+TEST(Ftl, RandomTortureMatchesReferenceMap)
+{
+    Fixture f;
+    sim::Rng rng(99);
+    std::map<std::uint64_t, std::uint32_t> reference;
+    std::uint64_t space = f.ftl.logicalPages() / 4;
+    for (int op = 0; op < 1500; ++op) {
+        std::uint64_t lpn = rng.below(space);
+        if (rng.chance(0.75)) {
+            auto seed = static_cast<std::uint32_t>(rng.next());
+            f.ftl.write(lpn, f.pattern(seed), [](bool ok) {
+                EXPECT_TRUE(ok);
+            });
+            reference[lpn] = seed;
+        } else {
+            f.ftl.trim(lpn, [](bool) {});
+            reference.erase(lpn);
+        }
+        if (op % 50 == 0)
+            f.sim.run();
+    }
+    f.sim.run();
+    for (const auto &[lpn, seed] : reference)
+        EXPECT_EQ(f.readSync(lpn), f.pattern(seed)) << "lpn " << lpn;
+    // Trimmed/never-written pages must read zero.
+    for (std::uint64_t lpn = 0; lpn < space; lpn += space / 11 + 1) {
+        if (!reference.count(lpn)) {
+            EXPECT_EQ(f.readSync(lpn),
+                      PageBuffer(f.geo.pageSize, 0));
+        }
+    }
+}
+
+TEST(Ftl, WearLevelingSpreadsErases)
+{
+    Fixture f;
+    // Hammer a tiny hot set; wear-aware free-block selection should
+    // keep the max erase count within a small factor of the mean.
+    const std::uint64_t hot = 4;
+    for (int r = 0; r < 400; ++r) {
+        for (std::uint64_t lpn = 0; lpn < hot; ++lpn)
+            f.ftl.write(lpn, f.pattern(std::uint32_t(r)),
+                        [](bool) {});
+        f.sim.run();
+    }
+    // Collect per-block erase counts from the store.
+    std::uint64_t total = 0, max_count = 0, blocks = 0;
+    for (std::uint32_t bus = 0; bus < f.geo.buses; ++bus) {
+        for (std::uint32_t c = 0; c < f.geo.chipsPerBus; ++c) {
+            for (std::uint32_t b = 0; b < f.geo.blocksPerChip; ++b) {
+                flash::Address a{bus, c, b, 0};
+                std::uint64_t e =
+                    f.card.nand().store().eraseCount(a);
+                total += e;
+                max_count = std::max(max_count, e);
+                ++blocks;
+            }
+        }
+    }
+    ASSERT_GT(total, 0u);
+    double mean = double(total) / double(blocks);
+    EXPECT_LT(double(max_count), mean * 4 + 3);
+}

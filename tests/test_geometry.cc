@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit and property tests for flash geometry and addressing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "flash/geometry.hh"
+#include "sim/random.hh"
+
+using namespace bluedbm;
+using flash::Address;
+using flash::Geometry;
+
+TEST(Geometry, DefaultCapacityIs512GB)
+{
+    Geometry g;
+    // 8 buses x 8 chips x 4096 blocks x 256 pages x 8 KB = 512 GiB.
+    EXPECT_EQ(g.capacityBytes(), 549755813888ull);
+    EXPECT_EQ(g.chips(), 64u);
+}
+
+TEST(Geometry, TinyGeometryIsConsistent)
+{
+    Geometry g = Geometry::tiny();
+    EXPECT_EQ(g.pages(),
+              std::uint64_t(g.buses) * g.chipsPerBus * g.blocksPerChip *
+                  g.pagesPerBlock);
+}
+
+TEST(Address, ValidityChecks)
+{
+    Geometry g = Geometry::tiny();
+    Address ok{0, 0, 0, 0};
+    EXPECT_TRUE(ok.validFor(g));
+    Address bad_bus{g.buses, 0, 0, 0};
+    EXPECT_FALSE(bad_bus.validFor(g));
+    Address bad_page{0, 0, 0, g.pagesPerBlock};
+    EXPECT_FALSE(bad_page.validFor(g));
+}
+
+TEST(Address, LinearizeRoundTripProperty)
+{
+    Geometry g = Geometry::tiny();
+    sim::Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t linear = rng.below(g.pages());
+        Address a = Address::fromLinear(g, linear);
+        EXPECT_TRUE(a.validFor(g));
+        EXPECT_EQ(a.linearize(g), linear);
+    }
+}
+
+TEST(Address, LinearizeIsBijective)
+{
+    Geometry g = Geometry::tiny();
+    std::vector<bool> seen(g.pages(), false);
+    for (std::uint32_t bus = 0; bus < g.buses; ++bus) {
+        for (std::uint32_t chip = 0; chip < g.chipsPerBus; ++chip) {
+            for (std::uint32_t blk = 0; blk < g.blocksPerChip; ++blk) {
+                for (std::uint32_t p = 0; p < g.pagesPerBlock; ++p) {
+                    Address a{bus, chip, blk, p};
+                    auto l = a.linearize(g);
+                    ASSERT_LT(l, g.pages());
+                    EXPECT_FALSE(seen[l]);
+                    seen[l] = true;
+                }
+            }
+        }
+    }
+}
+
+TEST(Address, StripedSpreadsAcrossBuses)
+{
+    Geometry g;
+    // Consecutive striped indices must hit distinct buses until all
+    // buses are covered (maximum bus parallelism for sequential I/O).
+    for (std::uint64_t base = 0; base < 4; ++base) {
+        std::set<std::uint32_t> buses;
+        for (std::uint32_t i = 0; i < g.buses; ++i) {
+            Address a = Address::fromStriped(g, base * g.buses + i);
+            buses.insert(a.bus);
+        }
+        EXPECT_EQ(buses.size(), g.buses);
+    }
+}
+
+TEST(Address, StripedStaysValidAcrossRange)
+{
+    Geometry g = Geometry::tiny();
+    for (std::uint64_t i = 0; i < g.pages(); ++i) {
+        Address a = Address::fromStriped(g, i);
+        ASSERT_TRUE(a.validFor(g)) << "index " << i;
+    }
+}
+
+TEST(Address, EqualityAndToString)
+{
+    Address a{1, 2, 3, 4};
+    Address b{1, 2, 3, 4};
+    Address c{1, 2, 3, 5};
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+    EXPECT_EQ(a.toString(), "b1.c2.blk3.p4");
+}

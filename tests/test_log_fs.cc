@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Tests for the RFS-style log-structured file system, including the
+ * physical-address query that feeds in-store processors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "flash/flash_card.hh"
+#include "flash/flash_server.hh"
+#include "fs/log_fs.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+using namespace bluedbm;
+using flash::FlashCard;
+using flash::FlashServer;
+using flash::Geometry;
+using flash::PageBuffer;
+using flash::Status;
+using flash::Timing;
+using fs::LogFs;
+
+namespace {
+
+struct Fixture
+{
+    sim::Simulator sim;
+    Geometry geo = Geometry::tiny();
+    FlashCard card{sim, geo, Timing::fast(), 64};
+    flash::FlashSplitter::Port &port{card.splitter().addPort(64)};
+    FlashServer server{sim, port, 2, 16};
+    LogFs fs{sim, server, 0, geo};
+
+    std::vector<std::uint8_t>
+    bytes(std::size_t n, std::uint8_t seed)
+    {
+        std::vector<std::uint8_t> v(n);
+        for (std::size_t i = 0; i < n; ++i)
+            v[i] = static_cast<std::uint8_t>(seed + i * 7);
+        return v;
+    }
+
+    void
+    appendSync(const std::string &name,
+               std::vector<std::uint8_t> data)
+    {
+        bool ok = false;
+        fs.append(name, std::move(data), [&](bool o) { ok = o; });
+        sim.run();
+        ASSERT_TRUE(ok);
+    }
+
+    std::vector<std::uint8_t>
+    readSync(const std::string &name, std::uint64_t off,
+             std::uint64_t len)
+    {
+        std::vector<std::uint8_t> out;
+        fs.read(name, off, len,
+                [&](std::vector<std::uint8_t> data, bool ok) {
+            EXPECT_TRUE(ok);
+            out = std::move(data);
+        });
+        sim.run();
+        return out;
+    }
+};
+
+} // namespace
+
+TEST(LogFs, CreateExistsRemove)
+{
+    Fixture f;
+    EXPECT_FALSE(f.fs.exists("a"));
+    EXPECT_TRUE(f.fs.create("a"));
+    EXPECT_FALSE(f.fs.create("a")); // duplicate
+    EXPECT_TRUE(f.fs.exists("a"));
+    EXPECT_EQ(f.fs.size("a"), 0u);
+    EXPECT_TRUE(f.fs.remove("a"));
+    EXPECT_FALSE(f.fs.exists("a"));
+    EXPECT_FALSE(f.fs.remove("a"));
+}
+
+TEST(LogFs, ListIsSorted)
+{
+    Fixture f;
+    f.fs.create("zeta");
+    f.fs.create("alpha");
+    f.fs.create("mid");
+    auto names = f.fs.list();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "mid");
+    EXPECT_EQ(names[2], "zeta");
+}
+
+TEST(LogFs, AppendReadRoundTripPageAligned)
+{
+    Fixture f;
+    f.fs.create("data");
+    auto payload = f.bytes(f.geo.pageSize * 3, 5);
+    f.appendSync("data", payload);
+    EXPECT_EQ(f.fs.size("data"), payload.size());
+    EXPECT_EQ(f.readSync("data", 0, payload.size()), payload);
+}
+
+TEST(LogFs, AppendReadRoundTripUnaligned)
+{
+    Fixture f;
+    f.fs.create("data");
+    auto payload = f.bytes(f.geo.pageSize + 100, 3);
+    f.appendSync("data", payload);
+    EXPECT_EQ(f.fs.size("data"), payload.size());
+    EXPECT_EQ(f.readSync("data", 0, payload.size()), payload);
+}
+
+TEST(LogFs, MultipleAppendsConcatenate)
+{
+    Fixture f;
+    f.fs.create("log");
+    auto a = f.bytes(300, 1);
+    auto b = f.bytes(f.geo.pageSize, 2);
+    auto c = f.bytes(77, 3);
+    f.appendSync("log", a);
+    f.appendSync("log", b);
+    f.appendSync("log", c);
+    ASSERT_EQ(f.fs.size("log"), a.size() + b.size() + c.size());
+
+    auto all = f.readSync("log", 0, f.fs.size("log"));
+    std::vector<std::uint8_t> expect = a;
+    expect.insert(expect.end(), b.begin(), b.end());
+    expect.insert(expect.end(), c.begin(), c.end());
+    EXPECT_EQ(all, expect);
+}
+
+TEST(LogFs, SubRangeReads)
+{
+    Fixture f;
+    f.fs.create("data");
+    auto payload = f.bytes(f.geo.pageSize * 2 + 50, 9);
+    f.appendSync("data", payload);
+    for (std::uint64_t off : {0ul, 100ul, 511ul, 512ul, 1000ul}) {
+        auto got = f.readSync("data", off, 64);
+        std::vector<std::uint8_t> expect(
+            payload.begin() + long(off),
+            payload.begin() + long(off) + 64);
+        EXPECT_EQ(got, expect) << "offset " << off;
+    }
+}
+
+TEST(LogFs, ReadPastEndIsClipped)
+{
+    Fixture f;
+    f.fs.create("small");
+    f.appendSync("small", f.bytes(100, 4));
+    auto got = f.readSync("small", 50, 1000);
+    EXPECT_EQ(got.size(), 50u);
+}
+
+TEST(LogFs, PhysicalAddressesMatchContent)
+{
+    Fixture f;
+    f.fs.create("data");
+    auto payload = f.bytes(f.geo.pageSize * 4, 6);
+    f.appendSync("data", payload);
+
+    auto addrs = f.fs.physicalAddresses("data");
+    ASSERT_EQ(addrs.size(), 4u);
+    // Reading the raw physical pages must reproduce the file.
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        PageBuffer raw = f.card.nand().store().read(addrs[i]);
+        for (std::uint32_t b = 0; b < f.geo.pageSize; ++b)
+            ASSERT_EQ(raw[b], payload[i * f.geo.pageSize + b]);
+    }
+}
+
+TEST(LogFs, PhysicalAddressesStripeAcrossBuses)
+{
+    Fixture f;
+    f.fs.create("data");
+    f.appendSync("data", f.bytes(f.geo.pageSize * 8, 7));
+    auto addrs = f.fs.physicalAddresses("data");
+    std::set<std::uint32_t> buses;
+    for (const auto &a : addrs)
+        buses.insert(a.bus);
+    // Log allocation stripes blocks across buses for parallelism.
+    EXPECT_GT(buses.size(), 1u);
+}
+
+TEST(LogFs, PublishHandleFeedsFlashServerAtu)
+{
+    Fixture f;
+    f.fs.create("data");
+    auto payload = f.bytes(f.geo.pageSize * 3, 8);
+    f.appendSync("data", payload);
+    f.fs.publishHandle("data", 77);
+
+    // Stream through the flash server as an ISP would.
+    std::vector<std::uint8_t> streamed;
+    f.server.streamRead(1, 77, 0, 3,
+                        [&](PageBuffer page, Status st) {
+        EXPECT_NE(st, Status::Uncorrectable);
+        streamed.insert(streamed.end(), page.begin(), page.end());
+    });
+    f.sim.run();
+    ASSERT_EQ(streamed.size(), payload.size());
+    EXPECT_EQ(streamed, payload);
+}
+
+TEST(LogFs, OverwriteTailDoesNotCorruptEarlierData)
+{
+    Fixture f;
+    f.fs.create("grow");
+    // Many small appends force repeated tail-page rewrites.
+    std::vector<std::uint8_t> expect;
+    for (int i = 0; i < 40; ++i) {
+        auto chunk = f.bytes(97, std::uint8_t(i));
+        expect.insert(expect.end(), chunk.begin(), chunk.end());
+        f.appendSync("grow", chunk);
+    }
+    EXPECT_EQ(f.fs.size("grow"), expect.size());
+    EXPECT_EQ(f.readSync("grow", 0, expect.size()), expect);
+}
+
+TEST(LogFs, CleanerReclaimsDeletedFiles)
+{
+    Fixture f;
+    // Fill a good part of the card with short-lived files; the
+    // cleaner must keep up and data must stay correct.
+    std::uint64_t file_pages = 16;
+    int generations = 30;
+    for (int g = 0; g < generations; ++g) {
+        std::string name = "tmp" + std::to_string(g % 3);
+        if (f.fs.exists(name))
+            f.fs.remove(name);
+        f.fs.create(name);
+        f.appendSync(name,
+                     f.bytes(f.geo.pageSize * file_pages,
+                             std::uint8_t(g)));
+    }
+    EXPECT_GT(f.fs.blocksErased(), 0u);
+    // Last three generations intact.
+    for (int g = generations - 3; g < generations; ++g) {
+        std::string name = "tmp" + std::to_string(g % 3);
+        auto got = f.readSync(name, 0, f.fs.size(name));
+        auto expect = f.bytes(f.geo.pageSize * file_pages,
+                              std::uint8_t(g));
+        EXPECT_EQ(got, expect) << name;
+    }
+}
+
+TEST(LogFs, RandomWorkloadTorture)
+{
+    Fixture f;
+    sim::Rng rng(7);
+    std::map<std::string, std::vector<std::uint8_t>> reference;
+    for (int op = 0; op < 200; ++op) {
+        std::string name = "f" + std::to_string(rng.below(5));
+        double dice = rng.uniform();
+        if (dice < 0.55) {
+            if (!f.fs.exists(name)) {
+                f.fs.create(name);
+                reference[name] = {};
+            }
+            auto chunk = f.bytes(
+                rng.below(2 * f.geo.pageSize) + 1,
+                std::uint8_t(rng.next()));
+            reference[name].insert(reference[name].end(),
+                                   chunk.begin(), chunk.end());
+            f.appendSync(name, chunk);
+        } else if (dice < 0.75) {
+            if (f.fs.exists(name)) {
+                f.fs.remove(name);
+                reference.erase(name);
+            }
+        } else {
+            if (f.fs.exists(name) && !reference[name].empty()) {
+                auto &expect = reference[name];
+                std::uint64_t off = rng.below(expect.size());
+                std::uint64_t len =
+                    rng.below(expect.size() - off) + 1;
+                auto got = f.readSync(name, off, len);
+                std::vector<std::uint8_t> want(
+                    expect.begin() + long(off),
+                    expect.begin() + long(off + len));
+                ASSERT_EQ(got, want) << name << "@" << off;
+            }
+        }
+    }
+    // Final audit of every live file.
+    for (const auto &[name, expect] : reference) {
+        ASSERT_EQ(f.fs.size(name), expect.size());
+        if (!expect.empty()) {
+            EXPECT_EQ(f.readSync(name, 0, expect.size()), expect);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Timing and ECC tests for the NAND array model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flash/nand_array.hh"
+#include "sim/simulator.hh"
+
+using namespace bluedbm;
+using flash::Address;
+using flash::Geometry;
+using flash::NandArray;
+using flash::PageBuffer;
+using flash::ReadResult;
+using flash::Status;
+using flash::Timing;
+using sim::Tick;
+
+namespace {
+
+struct Fixture
+{
+    sim::Simulator sim;
+    Geometry geo = Geometry::tiny();
+    Timing timing = Timing::fast();
+};
+
+Tick
+wireTime(const Geometry &g, const Timing &t)
+{
+    std::uint64_t bytes =
+        g.pageSize + flash::Secded72::checkBytes(g.pageSize);
+    return sim::transferTicks(bytes, t.busBytesPerSec);
+}
+
+} // namespace
+
+TEST(NandArray, SingleReadLatency)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    Tick done_at = 0;
+    nand.read(Address{0, 0, 0, 0}, [&](ReadResult res) {
+        EXPECT_EQ(res.status, Status::Ok);
+        EXPECT_EQ(res.data.size(), f.geo.pageSize);
+        done_at = f.sim.now();
+    });
+    f.sim.run();
+    Tick expected = f.timing.readUs + wireTime(f.geo, f.timing) +
+        f.timing.controllerOverhead;
+    EXPECT_EQ(done_at, expected);
+    EXPECT_EQ(nand.pagesRead(), 1u);
+}
+
+TEST(NandArray, SameChipReadsSerialize)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    std::vector<Tick> done;
+    for (int i = 0; i < 2; ++i) {
+        nand.read(Address{0, 0, 0, std::uint32_t(i)},
+                  [&](ReadResult) { done.push_back(f.sim.now()); });
+    }
+    f.sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    // Second read's sense cannot start until the first finishes.
+    EXPECT_GE(done[1] - done[0], f.timing.readUs);
+}
+
+TEST(NandArray, DifferentChipsOverlapSenseSameBusSerializesXfer)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    std::vector<Tick> done;
+    // Two chips on the same bus: senses overlap, transfers serialize.
+    nand.read(Address{0, 0, 0, 0},
+              [&](ReadResult) { done.push_back(f.sim.now()); });
+    nand.read(Address{0, 1, 0, 0},
+              [&](ReadResult) { done.push_back(f.sim.now()); });
+    f.sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[1] - done[0], wireTime(f.geo, f.timing));
+}
+
+TEST(NandArray, DifferentBusesFullyParallel)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    std::vector<Tick> done;
+    nand.read(Address{0, 0, 0, 0},
+              [&](ReadResult) { done.push_back(f.sim.now()); });
+    nand.read(Address{1, 0, 0, 0},
+              [&](ReadResult) { done.push_back(f.sim.now()); });
+    f.sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0], done[1]);
+}
+
+TEST(NandArray, WriteReadRoundTripData)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    PageBuffer data(f.geo.pageSize);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 3);
+
+    bool wrote = false;
+    nand.write(Address{0, 0, 0, 0}, data, [&](Status st) {
+        EXPECT_EQ(st, Status::Ok);
+        wrote = true;
+    });
+    f.sim.run();
+    ASSERT_TRUE(wrote);
+
+    PageBuffer got;
+    nand.read(Address{0, 0, 0, 0},
+              [&](ReadResult res) { got = std::move(res.data); });
+    f.sim.run();
+    EXPECT_EQ(got, data);
+}
+
+TEST(NandArray, WriteTimingIncludesProgram)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    Tick done_at = 0;
+    nand.write(Address{0, 0, 0, 0}, PageBuffer(f.geo.pageSize, 1),
+               [&](Status) { done_at = f.sim.now(); });
+    f.sim.run();
+    Tick expected = wireTime(f.geo, f.timing) + f.timing.programUs +
+        f.timing.controllerOverhead;
+    EXPECT_EQ(done_at, expected);
+}
+
+TEST(NandArray, EraseTimingAndEffect)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    nand.write(Address{0, 0, 2, 0}, PageBuffer(f.geo.pageSize, 1),
+               [](Status) {});
+    f.sim.run();
+
+    Tick start = f.sim.now();
+    Tick done_at = 0;
+    nand.erase(Address{0, 0, 2, 0}, [&](Status st) {
+        EXPECT_EQ(st, Status::Ok);
+        done_at = f.sim.now();
+    });
+    f.sim.run();
+    EXPECT_EQ(done_at - start,
+              f.timing.eraseUs + f.timing.controllerOverhead);
+    EXPECT_FALSE(nand.store().isProgrammed(Address{0, 0, 2, 0}));
+    EXPECT_EQ(nand.blocksErased(), 1u);
+}
+
+TEST(NandArray, EnoughChipsInFlightSaturateBusBandwidth)
+{
+    // Keeping many reads in flight on one bus must achieve the bus's
+    // configured rate (the paper: "multiple commands must be in-flight
+    // ... to saturate the bandwidth"). tR/transfer ~ 9 here, so 16
+    // chips provide enough overlap.
+    sim::Simulator sim;
+    Geometry geo = Geometry::tiny();
+    geo.buses = 1;
+    geo.chipsPerBus = 16;
+    Timing timing = Timing::fast();
+    NandArray nand(sim, geo, timing);
+    const int reads = 256;
+    int done = 0;
+    Tick last = 0;
+    for (int i = 0; i < reads; ++i) {
+        Address a{0, std::uint32_t(i % geo.chipsPerBus),
+                  std::uint32_t((i / geo.chipsPerBus) % 8),
+                  std::uint32_t(i % 16)};
+        nand.read(a, [&](ReadResult) {
+            ++done;
+            last = sim.now();
+        });
+    }
+    sim.run();
+    ASSERT_EQ(done, reads);
+    std::uint64_t wire_bytes = std::uint64_t(reads) *
+        (geo.pageSize + flash::Secded72::checkBytes(geo.pageSize));
+    double rate = sim::bytesPerSec(wire_bytes, last);
+    EXPECT_GT(rate, timing.busBytesPerSec * 0.9);
+}
+
+TEST(NandArray, TooFewChipsCannotSaturateBus)
+{
+    // Counter-property: with 2 chips and tR >> transfer, the bus
+    // cannot be kept busy; achieved rate is chip-limited.
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    const int reads = 64;
+    int done = 0;
+    Tick last = 0;
+    for (int i = 0; i < reads; ++i) {
+        Address a{0, std::uint32_t(i % f.geo.chipsPerBus),
+                  std::uint32_t(i / 16), std::uint32_t(i % 16)};
+        nand.read(a, [&](ReadResult) {
+            ++done;
+            last = f.sim.now();
+        });
+    }
+    f.sim.run();
+    ASSERT_EQ(done, reads);
+    std::uint64_t wire = f.geo.pageSize +
+        flash::Secded72::checkBytes(f.geo.pageSize);
+    double rate = sim::bytesPerSec(std::uint64_t(reads) * wire, last);
+    // Chip-limited bound: chips * wire / tR.
+    double chip_bound = 2.0 * static_cast<double>(wire) /
+        sim::ticksToSec(f.timing.readUs);
+    EXPECT_LT(rate, chip_bound * 1.05);
+    EXPECT_GT(rate, chip_bound * 0.85);
+}
+
+TEST(NandArray, ErrorInjectionGetsCorrected)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing, 77);
+    // ~1e-5 BER over (512+64)*8 = 4608 bits => ~0.046 flips/page;
+    // over 2000 reads expect ~90 corrected pages, ~0 uncorrectable.
+    nand.setBitErrorRate(1e-5);
+    int corrected_pages = 0, uncorrectable = 0, clean = 0;
+    for (int i = 0; i < 2000; ++i) {
+        Address a = Address::fromLinear(
+            f.geo, std::uint64_t(i) % f.geo.pages());
+        nand.read(a, [&](ReadResult res) {
+            switch (res.status) {
+              case Status::Ok: ++clean; break;
+              case Status::Corrected: ++corrected_pages; break;
+              case Status::Uncorrectable: ++uncorrectable; break;
+              default: FAIL();
+            }
+        });
+    }
+    f.sim.run();
+    EXPECT_GT(corrected_pages, 20);
+    // A page may hold several corrected bits (one per word), so the
+    // bit count dominates the page count.
+    EXPECT_GE(static_cast<int>(nand.bitsCorrected()),
+              corrected_pages);
+    EXPECT_LE(uncorrectable, 2);
+    EXPECT_GT(clean, 1000);
+}
+
+TEST(NandArray, CorrectedDataMatchesOriginal)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing, 33);
+    PageBuffer data(f.geo.pageSize, 0x5a);
+    nand.write(Address{0, 0, 0, 0}, data, [](Status) {});
+    f.sim.run();
+
+    nand.setBitErrorRate(5e-5);
+    int checked = 0;
+    for (int i = 0; i < 200; ++i) {
+        nand.read(Address{0, 0, 0, 0}, [&](ReadResult res) {
+            if (res.status != Status::Uncorrectable) {
+                EXPECT_EQ(res.data, data);
+                ++checked;
+            }
+        });
+        f.sim.run();
+    }
+    EXPECT_GT(checked, 150);
+}
+
+TEST(NandArray, AlwaysDecodeVerifiesCleanPages)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    nand.setAlwaysDecode(true);
+    Status st = Status::Uncorrectable;
+    nand.read(Address{0, 0, 0, 0},
+              [&](ReadResult res) { st = res.status; });
+    f.sim.run();
+    EXPECT_EQ(st, Status::Ok);
+    EXPECT_EQ(nand.bitsCorrected(), 0u);
+}

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the sparse NAND page store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "flash/page_store.hh"
+#include "sim/random.hh"
+
+using namespace bluedbm;
+using flash::Address;
+using flash::Geometry;
+using flash::PageBuffer;
+using flash::PageStore;
+using flash::Status;
+
+namespace {
+
+PageBuffer
+pattern(const Geometry &g, std::uint8_t seed)
+{
+    PageBuffer data(g.pageSize);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(seed + i);
+    return data;
+}
+
+} // namespace
+
+TEST(PageStore, ProgramReadRoundTrip)
+{
+    Geometry g = Geometry::tiny();
+    PageStore store(g);
+    Address a{0, 1, 2, 3};
+    PageBuffer data = pattern(g, 7);
+    EXPECT_EQ(store.program(a, data), Status::Ok);
+    EXPECT_EQ(store.read(a), data);
+    EXPECT_TRUE(store.isProgrammed(a));
+}
+
+TEST(PageStore, ReprogramWithoutEraseIsIllegal)
+{
+    Geometry g = Geometry::tiny();
+    PageStore store(g);
+    Address a{0, 0, 0, 0};
+    EXPECT_EQ(store.program(a, pattern(g, 1)), Status::Ok);
+    EXPECT_EQ(store.program(a, pattern(g, 2)), Status::IllegalWrite);
+    // Original data still intact.
+    EXPECT_EQ(store.read(a), pattern(g, 1));
+}
+
+TEST(PageStore, EraseEnablesReprogram)
+{
+    Geometry g = Geometry::tiny();
+    PageStore store(g);
+    Address a{1, 0, 3, 5};
+    ASSERT_EQ(store.program(a, pattern(g, 1)), Status::Ok);
+    ASSERT_EQ(store.eraseBlock(a), Status::Ok);
+    EXPECT_FALSE(store.isProgrammed(a));
+    EXPECT_EQ(store.program(a, pattern(g, 9)), Status::Ok);
+    EXPECT_EQ(store.read(a), pattern(g, 9));
+}
+
+TEST(PageStore, EraseClearsWholeBlockOnly)
+{
+    Geometry g = Geometry::tiny();
+    PageStore store(g);
+    Address in_block{0, 0, 2, 0};
+    Address other_block{0, 0, 3, 0};
+    ASSERT_EQ(store.program(in_block, pattern(g, 1)), Status::Ok);
+    ASSERT_EQ(store.program(other_block, pattern(g, 2)), Status::Ok);
+    ASSERT_EQ(store.eraseBlock(in_block), Status::Ok);
+    EXPECT_FALSE(store.isProgrammed(in_block));
+    EXPECT_TRUE(store.isProgrammed(other_block));
+    EXPECT_EQ(store.read(other_block), pattern(g, 2));
+}
+
+TEST(PageStore, SyntheticContentIsDeterministic)
+{
+    Geometry g = Geometry::tiny();
+    PageStore s1(g, 99), s2(g, 99), s3(g, 100);
+    Address a{1, 1, 4, 7};
+    EXPECT_EQ(s1.read(a), s2.read(a));
+    EXPECT_NE(s1.read(a), s3.read(a)); // different seed
+    Address b{1, 1, 4, 8};
+    EXPECT_NE(s1.read(a), s1.read(b)); // different address
+}
+
+TEST(PageStore, SyntheticPagesCarryValidEcc)
+{
+    Geometry g = Geometry::tiny();
+    PageStore store(g);
+    Address a{0, 1, 0, 2};
+    std::vector<std::uint8_t> check;
+    PageBuffer data = store.read(a, &check);
+    auto expected = flash::Secded72::encode(data);
+    EXPECT_EQ(check, expected);
+}
+
+TEST(PageStore, EraseCountsAccumulate)
+{
+    Geometry g = Geometry::tiny();
+    PageStore store(g);
+    Address a{0, 0, 1, 0};
+    EXPECT_EQ(store.eraseCount(a), 0u);
+    store.eraseBlock(a);
+    store.eraseBlock(a);
+    EXPECT_EQ(store.eraseCount(a), 2u);
+    EXPECT_EQ(store.erases(), 2u);
+}
+
+TEST(PageStore, WearOutTurnsBlockBad)
+{
+    Geometry g = Geometry::tiny();
+    PageStore store(g);
+    store.setEraseLimit(3);
+    Address a{0, 0, 0, 0};
+    EXPECT_EQ(store.eraseBlock(a), Status::Ok);
+    EXPECT_EQ(store.eraseBlock(a), Status::Ok);
+    EXPECT_EQ(store.eraseBlock(a), Status::BadBlock);
+    EXPECT_TRUE(store.isBad(a));
+    EXPECT_EQ(store.program(a, pattern(g, 1)), Status::BadBlock);
+}
+
+TEST(PageStore, FactoryBadBlockRejectsOperations)
+{
+    Geometry g = Geometry::tiny();
+    PageStore store(g);
+    Address a{1, 0, 5, 0};
+    store.markBad(a);
+    EXPECT_EQ(store.program(a, pattern(g, 1)), Status::BadBlock);
+    EXPECT_EQ(store.eraseBlock(a), Status::BadBlock);
+}
+
+TEST(PageStore, SequentialProgramEnforcement)
+{
+    Geometry g = Geometry::tiny();
+    PageStore store(g);
+    store.setRequireSequential(true);
+    Address p0{0, 0, 0, 0}, p1{0, 0, 0, 1}, p3{0, 0, 0, 3};
+    EXPECT_EQ(store.program(p0, pattern(g, 0)), Status::Ok);
+    EXPECT_EQ(store.program(p3, pattern(g, 3)), Status::IllegalWrite);
+    EXPECT_EQ(store.program(p1, pattern(g, 1)), Status::Ok);
+}
+
+TEST(PageStore, StoredPagesTracksRealData)
+{
+    Geometry g = Geometry::tiny();
+    PageStore store(g);
+    EXPECT_EQ(store.storedPages(), 0u);
+    store.read(Address{0, 0, 0, 0}); // synthetic read stores nothing
+    EXPECT_EQ(store.storedPages(), 0u);
+    store.program(Address{0, 0, 0, 0}, pattern(g, 1));
+    EXPECT_EQ(store.storedPages(), 1u);
+    store.eraseBlock(Address{0, 0, 0, 0});
+    EXPECT_EQ(store.storedPages(), 0u);
+}
+
+/** Property: random program/erase sequences never corrupt other pages. */
+TEST(PageStore, RandomOpsPreserveIndependence)
+{
+    Geometry g = Geometry::tiny();
+    PageStore store(g);
+    sim::Rng rng(21);
+    std::map<std::uint64_t, std::uint8_t> expect; // linear -> seed
+
+    for (int op = 0; op < 500; ++op) {
+        Address a = Address::fromLinear(g, rng.below(g.pages()));
+        if (rng.chance(0.7)) {
+            auto seed = static_cast<std::uint8_t>(rng.next());
+            if (store.program(a, pattern(g, seed)) == Status::Ok)
+                expect[a.linearize(g)] = seed;
+        } else {
+            a.page = 0;
+            if (store.eraseBlock(a) == Status::Ok) {
+                for (std::uint32_t p = 0; p < g.pagesPerBlock; ++p) {
+                    Address pa = a;
+                    pa.page = p;
+                    expect.erase(pa.linearize(g));
+                }
+            }
+        }
+    }
+    for (const auto &[linear, seed] : expect) {
+        Address a = Address::fromLinear(g, linear);
+        EXPECT_EQ(store.read(a), pattern(g, seed));
+    }
+}
