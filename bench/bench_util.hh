@@ -12,16 +12,57 @@
 #ifndef BLUEDBM_BENCH_BENCH_UTIL_HH
 #define BLUEDBM_BENCH_BENCH_UTIL_HH
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/simulator.hh"
 #include "sim/types.hh"
 
 namespace bench {
+
+/** Ordered (name, value) counters destined for a JSON report. */
+using JsonCounters = std::vector<std::pair<std::string, double>>;
+
+/**
+ * Write @p counters as a flat JSON object to @p path, so the perf
+ * trajectory of every bench is machine-readable across PRs (the
+ * BENCH_*.json files at the repo root).
+ *
+ * Non-finite values are emitted as null. Returns false (with a
+ * warning on stderr) when the file cannot be written.
+ */
+inline bool
+writeJson(const std::string &path, const JsonCounters &counters)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        const auto &[name, value] = counters[i];
+        std::fprintf(f, "  \"%s\": ", name.c_str());
+        if (std::isfinite(value))
+            std::fprintf(f, "%.6g", value);
+        else
+            std::fprintf(f, "null");
+        std::fprintf(f, "%s\n", i + 1 < counters.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    bool ok = std::ferror(f) == 0;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok)
+        std::fprintf(stderr, "bench: short write to %s\n",
+                     path.c_str());
+    return ok;
+}
 
 /** Print a section banner. */
 inline void

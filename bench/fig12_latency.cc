@@ -134,6 +134,14 @@ printTable()
                 "all software latency; H-RH-F pays both hosts' "
                 "software and\nsits ~3x above ISP-F; ISP-F overlaps "
                 "storage and network access.\n");
+
+    bench::JsonCounters counters;
+    for (const auto &b : results) {
+        counters.emplace_back(b.name + "_total_us", b.total());
+        counters.emplace_back(b.name + "_software_us", b.softwareUs);
+        counters.emplace_back(b.name + "_transfer_us", b.transferUs);
+    }
+    bench::writeJson("BENCH_fig12.json", counters);
 }
 
 void

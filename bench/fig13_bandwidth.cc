@@ -171,6 +171,11 @@ printTable()
                 "ISP-2Nodes is capped by the single 8.2 Gb/s\nlink "
                 "(local 2.4 + remote ~1.0); ISP-3Nodes adds two "
                 "2-link remotes\n(local 2.4 + 4 x ~1.0).\n");
+
+    bench::JsonCounters counters;
+    for (const auto &r : results)
+        counters.emplace_back(r.name + "_gbps", r.gbps);
+    bench::writeJson("BENCH_fig13.json", counters);
 }
 
 void

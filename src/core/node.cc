@@ -73,7 +73,7 @@ Node::installServices()
     // integrated network; the agent reads flash and streams the page
     // straight back -- no host software anywhere (section 3.2).
     endpoint(epReadService).setReceiveHandler([this](Message msg) {
-        auto req = std::any_cast<ReadRequest>(msg.payload);
+        auto req = msg.payload.take<ReadRequest>();
         auto &server = *agentServers_.at(req.card);
         unsigned ifc = agentIfcRotor_++ % agentIfcs;
         net::NodeId requester = msg.src;
@@ -98,8 +98,7 @@ Node::installServices()
     for (unsigned e = 0; e < ispDataEndpointCount; ++e) {
         endpoint(ispDataEndpoints[e])
             .setReceiveHandler([this](Message msg) {
-            auto resp =
-                std::any_cast<ReadResponse>(std::move(msg.payload));
+            auto resp = msg.payload.take<ReadResponse>();
             complete(resp.reqId, std::move(resp.data));
         });
     }
@@ -107,7 +106,7 @@ Node::installServices()
     // Host data responses: cross PCIe into a read buffer, then an
     // interrupt wakes the waiting software.
     endpoint(epHostData).setReceiveHandler([this](Message msg) {
-        auto resp = std::any_cast<ReadResponse>(std::move(msg.payload));
+        auto resp = msg.payload.take<ReadResponse>();
         std::uint64_t req_id = resp.reqId;
         auto data = std::make_shared<PageBuffer>(
             std::move(resp.data));
@@ -124,7 +123,7 @@ Node::installServices()
     // scheduling, then a local storage (or DRAM) access, then the
     // data is handed back to the device for the return trip.
     endpoint(epHostService).setReceiveHandler([this](Message msg) {
-        auto req = std::any_cast<HostServiceRequest>(msg.payload);
+        auto req = msg.payload.take<HostServiceRequest>();
         net::NodeId requester = msg.src;
         pcie_->interrupt([this, req, requester]() {
             cpu_->execute(params_.software.remoteService,
@@ -135,17 +134,20 @@ Node::installServices()
                     resp.reqId = req.reqId;
                     resp.data = std::move(data);
                     resp.status = st;
+                    // Hoist the length: the capture below moves resp
+                    // *during argument evaluation*, so reading
+                    // resp.data.size() in the same argument list is
+                    // order-dependent (and gcc picked the empty one).
+                    const auto len = std::uint32_t(resp.data.size());
                     // The daemon pushes the payload through its
                     // device (host-to-device DMA) and the device
                     // ships it over the integrated network.
                     pcie_->hostToDevice(
-                        std::uint32_t(resp.data.size()),
-                        [this, req, requester,
+                        len,
+                        [this, req, requester, len,
                          resp = std::move(resp)]() mutable {
                         endpoint(req.replyEndpoint)
-                            .send(requester,
-                                  std::uint32_t(resp.data.size()) +
-                                      readRequestBytes,
+                            .send(requester, len + readRequestBytes,
                                   std::move(resp));
                     });
                 };

@@ -62,14 +62,20 @@ Lane::pump()
             sim::transferTicks(wb, params_.physBytesPerSec);
         msg.headArrival = tail_arrival - serialization;
 
-        sim_.scheduleAt(tail_arrival,
-                        [this, m = std::move(msg)]() mutable {
+        auto deliverEvent = [this, m = std::move(msg)]() mutable {
             deliveredBytes_ += m.bytes;
             ++deliveredMsgs_;
             if (!deliver_)
                 sim::panic("lane delivers with no receiver");
             deliver_(std::move(m));
-        });
+        };
+        // The per-hop forwarding event is the hottest capture in the
+        // simulator; it must ride the event slot, not the heap.
+        static_assert(sim::EventQueue::Callback::storedInline<
+                          decltype(deliverEvent)>(),
+                      "message delivery capture must fit the inline "
+                      "event buffer");
+        sim_.scheduleAt(tail_arrival, std::move(deliverEvent));
     }
 }
 

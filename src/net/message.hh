@@ -12,9 +12,9 @@
 #ifndef BLUEDBM_NET_MESSAGE_HH
 #define BLUEDBM_NET_MESSAGE_HH
 
-#include <any>
 #include <cstdint>
 
+#include "net/payload.hh"
 #include "sim/types.hh"
 
 namespace bluedbm {
@@ -30,7 +30,12 @@ using EndpointId = std::uint16_t;
 constexpr EndpointId controlEndpoint = 0;
 
 /**
- * One message in flight.
+ * One message in flight. Move-only: the payload handle owns pooled
+ * storage, so messages hand off rather than duplicate.
+ *
+ * Kept at 48 bytes so a per-hop delivery capture (this-pointer +
+ * Message) fits the event queue's 56-byte inline callback buffer --
+ * forwarding a message across a switch must not allocate.
  */
 struct Message
 {
@@ -38,9 +43,9 @@ struct Message
     NodeId dst = 0;
     EndpointId endpoint = 0;
     std::uint32_t bytes = 0; //!< payload size
-    std::any payload;        //!< user data riding along (untimed)
     /** Sender consumed an end-to-end credit; receiver returns it. */
     bool flowControlled = false;
+    PayloadRef payload;      //!< user data riding along (untimed)
 
     /**
      * Arrival time of the *head* of the message at the current switch;
@@ -48,6 +53,10 @@ struct Message
      */
     sim::Tick headArrival = 0;
 };
+
+static_assert(sizeof(Message) <= 48,
+              "Message must fit a one-cache-line event capture "
+              "alongside a this-pointer");
 
 } // namespace net
 } // namespace bluedbm

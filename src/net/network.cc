@@ -13,7 +13,7 @@ namespace net {
 // ---------------------------------------------------------------- //
 
 void
-Endpoint::send(NodeId dst, std::uint32_t bytes, std::any payload)
+Endpoint::send(NodeId dst, std::uint32_t bytes, PayloadRef payload)
 {
     if (dst >= net_.nodeCount())
         sim::fatal("send to node %u but network has %u nodes", dst,
@@ -36,12 +36,10 @@ Endpoint::pumpSend()
     while (!sendQueue_.empty()) {
         Message &head = sendQueue_.front();
         if (e2eCredits_ > 0) {
-            auto it = e2eAvail_.find(head.dst);
-            if (it == e2eAvail_.end())
-                it = e2eAvail_.emplace(head.dst, e2eCredits_).first;
-            if (it->second == 0)
+            unsigned &avail = e2eAvail_[head.dst];
+            if (avail == 0)
                 return; // wait for a credit to come back
-            --it->second;
+            --avail;
             head.flowControlled = true;
         }
         Message msg = std::move(head);
@@ -89,7 +87,8 @@ Endpoint::enableEndToEnd(unsigned credits)
     if (credits == 0)
         sim::fatal("end-to-end flow control needs >= 1 credit");
     e2eCredits_ = credits;
-    e2eAvail_.clear();
+    // Flat per-destination credit table, sized once at enable time.
+    e2eAvail_.assign(net_.nodeCount(), credits);
 }
 
 void
@@ -118,11 +117,13 @@ Endpoint::deliver(Message msg, std::function<void()> release)
 void
 Endpoint::creditReturned(NodeId from)
 {
-    auto it = e2eAvail_.find(from);
-    if (it == e2eAvail_.end())
-        it = e2eAvail_.emplace(from, e2eCredits_).first;
-    else if (it->second < e2eCredits_)
-        ++it->second;
+    // Tokens only flow back to the endpoint that consumed a credit,
+    // but guard anyway: without flow control there is no table.
+    if (e2eCredits_ == 0)
+        return;
+    unsigned &avail = e2eAvail_[from];
+    if (avail < e2eCredits_)
+        ++avail;
     pumpSend();
 }
 
@@ -133,8 +134,13 @@ Endpoint::creditReturned(NodeId from)
 StorageNetwork::StorageNetwork(sim::Simulator &sim,
                                const Topology &topo,
                                const Params &params)
-    : sim_(sim), topo_(topo), params_(params)
+    : sim_(sim), topo_(topo), params_(params),
+      payloadPool_(std::make_shared<PayloadPool>())
 {
+    // Pending events capture Messages whose payloads live in this
+    // pool; the simulator keeps it alive past our destruction.
+    sim_.retainResource(payloadPool_);
+
     std::string err = topo_.validate();
     if (!err.empty())
         sim::fatal("invalid topology: %s", err.c_str());
@@ -151,7 +157,7 @@ StorageNetwork::StorageNetwork(sim::Simulator &sim,
             end.lane = std::make_unique<Lane>(sim_, params_.lane);
             std::size_t idx = lanes_.size();
             end.lane->setDeliver([this, idx](Message msg) {
-                arrive(lanes_[idx].peer, idx, msg);
+                arrive(lanes_[idx].peer, idx, std::move(msg));
             });
             outLanes_[end.owner].push_back(idx);
             lanes_.push_back(std::move(end));
@@ -267,9 +273,10 @@ StorageNetwork::inject(Message msg)
     msg.headArrival = std::max(msg.headArrival, sim_.now());
     if (msg.dst == msg.src) {
         // Local loopback through the internal switch: no serial hop.
-        NodeId here = msg.dst;
-        sim_.scheduleAfter(0, [this, here,
-                               m = std::move(msg)]() mutable {
+        // (The capture recovers the node from the message itself to
+        // stay within the inline event buffer.)
+        sim_.scheduleAfter(0, [this, m = std::move(msg)]() mutable {
+            NodeId here = m.dst;
             route(here, std::move(m), {});
         });
         return;
@@ -294,7 +301,7 @@ StorageNetwork::route(NodeId node, Message msg,
     if (msg.dst == node) {
         if (msg.endpoint == controlEndpoint) {
             // Credit token: payload is the endpoint index.
-            auto e = std::any_cast<EndpointId>(msg.payload);
+            auto e = msg.payload.take<EndpointId>();
             if (release)
                 release();
             endpoints_[node][e]->creditReturned(msg.src);
@@ -319,7 +326,7 @@ StorageNetwork::returnE2eCredit(const Message &msg)
     token.dst = msg.src;
     token.endpoint = controlEndpoint;
     token.bytes = 8; // tiny control packet
-    token.payload = std::any(msg.endpoint);
+    token.payload = PayloadRef::inlineOf(msg.endpoint);
     token.headArrival = sim_.now();
     inject(std::move(token));
 }

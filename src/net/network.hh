@@ -27,11 +27,12 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
+#include <type_traits>
 #include <vector>
 
 #include "net/link.hh"
 #include "net/message.hh"
+#include "net/payload.hh"
 #include "net/topology.hh"
 #include "sim/simulator.hh"
 
@@ -59,7 +60,19 @@ class Endpoint
      * @param bytes   payload size for timing purposes
      * @param payload untimed data carried to the receiver
      */
-    void send(NodeId dst, std::uint32_t bytes, std::any payload);
+    void send(NodeId dst, std::uint32_t bytes,
+              PayloadRef payload = PayloadRef());
+
+    /**
+     * Convenience overload boxing @p payload through the network's
+     * payload pool (inline for small trivial types, a recycled slab
+     * slot for protocol structs -- no per-send allocation).
+     */
+    template <typename T,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::remove_cv_t<std::remove_reference_t<T>>,
+                  PayloadRef>>>
+    void send(NodeId dst, std::uint32_t bytes, T &&payload);
 
     /**
      * Pop the oldest received message, if any. Draining the receive
@@ -131,7 +144,9 @@ class Endpoint
     std::deque<Parked> parked_; //!< arrived but receive buffer full
 
     unsigned e2eCredits_ = 0; //!< 0 = end-to-end flow control off
-    std::unordered_map<NodeId, unsigned> e2eAvail_;
+    /** Credits available per destination node; flat, indexed by
+     * NodeId, sized at enable time -- no hashing on the send path. */
+    std::vector<unsigned> e2eAvail_;
 
     std::uint64_t sent_ = 0;
     std::uint64_t received_ = 0;
@@ -195,6 +210,9 @@ class StorageNetwork
     /** Total payload bytes delivered by all lanes. */
     std::uint64_t totalLaneBytes() const;
 
+    /** Slab the payloads of this network's messages live in. */
+    PayloadPool &payloadPool() { return *payloadPool_; }
+
   private:
     friend class Endpoint;
 
@@ -225,6 +243,15 @@ class StorageNetwork
     Topology topo_;
     Params params_;
 
+    /** Shared with the Simulator (retainResource): messages escape
+     * into the event queue as captured lambdas, so the pool must
+     * survive this network if events are still pending (their
+     * *destruction* is then safe; running them would still touch
+     * freed lanes -- don't run a simulator past its network's
+     * lifetime). Declared before anything that can hold Messages so
+     * it also outlives every member holding a PayloadRef. */
+    std::shared_ptr<PayloadPool> payloadPool_;
+
     std::vector<LaneEnd> lanes_;
     //! node -> list of outgoing lane indices (ordered by port)
     std::vector<std::vector<std::size_t>> outLanes_;
@@ -233,6 +260,13 @@ class StorageNetwork
     //! endpoints_[node][e]
     std::vector<std::vector<std::unique_ptr<Endpoint>>> endpoints_;
 };
+
+template <typename T, typename>
+void
+Endpoint::send(NodeId dst, std::uint32_t bytes, T &&payload)
+{
+    send(dst, bytes, net_.payloadPool().make(std::forward<T>(payload)));
+}
 
 } // namespace net
 } // namespace bluedbm

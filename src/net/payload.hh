@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Pooled, move-only message payloads.
+ *
+ * `std::any` cost one heap allocation (plus RTTI) per message send --
+ * the dominant allocator traffic of a saturated network simulation.
+ * Payloads now travel as a `PayloadRef`, a move-only handle with
+ * three allocation-free representations:
+ *
+ *  - *inline*: trivially-copyable values up to 16 bytes (credit
+ *    tokens, test integers) live inside the handle itself;
+ *  - *pooled*: protocol structs (read requests/responses) are
+ *    constructed in a fixed-size slot of the per-network
+ *    `PayloadPool` slab and recycled through a LIFO free list, so a
+ *    steady-state simulation performs no allocation per message;
+ *  - *heap*: anything larger than a slot falls back to one `new`,
+ *    keeping the API fully generic.
+ *
+ * Type safety comes from a per-type tag address compared on access;
+ * a mismatch panics (the simulator's moral equivalent of
+ * `bad_any_cast`). The pool must outlive every handle it issued.
+ * Messages (and the handles inside them) escape into the simulator's
+ * event queue as captured lambdas, so `StorageNetwork` shares
+ * ownership of its pool with the `Simulator` (which destroys retained
+ * resources only after its event queue): *destroying* a network with
+ * events still queued releases every payload safely. Note this covers
+ * payload storage only -- those pending events also capture pointers
+ * to network internals, so the simulator must not *run* further after
+ * a network it served is gone.
+ */
+
+#ifndef BLUEDBM_NET_PAYLOAD_HH
+#define BLUEDBM_NET_PAYLOAD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace bluedbm {
+namespace net {
+
+namespace detail {
+
+/** One tag object per payload type; its address is the type id.
+ * 4-byte alignment leaves the two low bits free for the handle's
+ * storage-mode field. Deliberately non-const: identical read-only
+ * globals may be folded to one address by ICF linkers, which would
+ * collapse distinct type ids; writable data is never folded. */
+template <typename T>
+inline std::uint32_t payloadTypeTag = 0;
+
+using PayloadTypeId = const void *;
+
+template <typename T>
+constexpr PayloadTypeId
+payloadTypeId()
+{
+    return &payloadTypeTag<std::remove_cv_t<std::remove_reference_t<T>>>;
+}
+
+} // namespace detail
+
+class PayloadPool;
+
+/**
+ * Move-only handle to one in-flight payload. See file comment for the
+ * three storage modes.
+ */
+class PayloadRef
+{
+  public:
+    /** Payloads at most this big and trivially copyable ride inline. */
+    static constexpr std::size_t inlineBytes = 16;
+
+    PayloadRef() noexcept = default;
+
+    PayloadRef(PayloadRef &&other) noexcept { moveFrom(other); }
+
+    PayloadRef &
+    operator=(PayloadRef &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    PayloadRef(const PayloadRef &) = delete;
+    PayloadRef &operator=(const PayloadRef &) = delete;
+
+    ~PayloadRef() { reset(); }
+
+    /** Whether a payload is attached. */
+    explicit operator bool() const noexcept { return tm_ != 0; }
+
+    /** Whether the payload is a @p T. */
+    template <typename T>
+    bool
+    is() const noexcept
+    {
+        return typeId() ==
+               reinterpret_cast<std::uintptr_t>(
+                   detail::payloadTypeId<T>()) &&
+               tm_ != 0;
+    }
+
+    /**
+     * Move the payload out, releasing its storage.
+     * Panics when empty or holding a different type.
+     */
+    template <typename T>
+    T take();
+
+    /** Drop the payload, releasing its storage. */
+    void reset() noexcept;
+
+    /**
+     * Wrap a small trivially-copyable value with no pool involved
+     * (usable for pool-less unit tests and control tokens).
+     */
+    template <typename T>
+    static PayloadRef
+    inlineOf(T value) noexcept
+    {
+        static_assert(std::is_trivially_copyable_v<T> &&
+                          std::is_trivially_default_constructible_v<T> &&
+                          sizeof(T) <= inlineBytes &&
+                          alignof(T) <= alignof(std::max_align_t),
+                      "value not eligible for inline payload storage");
+        PayloadRef ref;
+        ref.setTypeMode(detail::payloadTypeId<T>(), Mode::Inline);
+        std::memcpy(ref.store_.inlineData, &value, sizeof(T));
+        return ref;
+    }
+
+  private:
+    friend class PayloadPool;
+
+    /** Storage mode, packed into the type-id pointer's low bits so
+     * the handle is 24 bytes (and Message one cache line minus the
+     * event-capture this-pointer). Empty is represented by tm_ == 0
+     * (type ids are real object addresses, never null). */
+    enum class Mode : std::uintptr_t { Empty = 0, Inline, Pooled, Heap };
+
+    Mode mode() const noexcept { return static_cast<Mode>(tm_ & 3); }
+
+    std::uintptr_t typeId() const noexcept { return tm_ & ~std::uintptr_t(3); }
+
+    void
+    setTypeMode(detail::PayloadTypeId type, Mode mode) noexcept
+    {
+        tm_ = reinterpret_cast<std::uintptr_t>(type) |
+              static_cast<std::uintptr_t>(mode);
+    }
+
+    void
+    moveFrom(PayloadRef &other) noexcept
+    {
+        tm_ = other.tm_;
+        store_ = other.store_;
+        other.tm_ = 0;
+    }
+
+    [[noreturn]] static void
+    typeMismatch()
+    {
+        sim::panic("payload accessed as a different type than stored");
+    }
+
+    union Store
+    {
+        unsigned char inlineData[inlineBytes];
+        struct
+        {
+            PayloadPool *pool;
+            std::uint32_t slot;
+        } pooled;
+        struct
+        {
+            void *ptr;
+            void (*destroy)(void *);
+        } heap;
+    };
+
+    std::uintptr_t tm_ = 0; //!< type id | storage mode (see Mode)
+    Store store_ = {};
+};
+
+/**
+ * Slab of fixed-size payload slots with a LIFO free list.
+ *
+ * Slots are stored in a deque so they never move; the pool grows to
+ * the high-water mark of simultaneously in-flight payloads and then
+ * recycles forever. One pool per StorageNetwork.
+ */
+class PayloadPool
+{
+  public:
+    /** In-slot capacity; covers every built-in protocol struct. */
+    static constexpr std::size_t slotBytes = 64;
+
+    PayloadPool() = default;
+
+    PayloadPool(const PayloadPool &) = delete;
+    PayloadPool &operator=(const PayloadPool &) = delete;
+
+    ~PayloadPool()
+    {
+        if (liveSlots_ != 0)
+            sim::panic("payload pool destroyed with %llu live slots",
+                       static_cast<unsigned long long>(liveSlots_));
+    }
+
+    /**
+     * Box @p value into the cheapest representation: inline when
+     * small and trivial, a pooled slot when it fits, one heap
+     * allocation otherwise.
+     */
+    template <typename T>
+    PayloadRef
+    make(T &&value)
+    {
+        using V = std::remove_cv_t<std::remove_reference_t<T>>;
+        if constexpr (std::is_trivially_copyable_v<V> &&
+                      std::is_trivially_default_constructible_v<V> &&
+                      sizeof(V) <= PayloadRef::inlineBytes) {
+            return PayloadRef::inlineOf<V>(std::forward<T>(value));
+        } else if constexpr (sizeof(V) <= slotBytes &&
+                             alignof(V) <= alignof(std::max_align_t)) {
+            std::uint32_t idx = acquireSlot();
+            Slot &s = slots_[idx];
+            ::new (static_cast<void *>(s.data)) V(std::forward<T>(value));
+            s.destroy = [](void *p) { static_cast<V *>(p)->~V(); };
+            PayloadRef ref;
+            ref.setTypeMode(detail::payloadTypeId<V>(),
+                            PayloadRef::Mode::Pooled);
+            ref.store_.pooled.pool = this;
+            ref.store_.pooled.slot = idx;
+            return ref;
+        } else {
+            PayloadRef ref;
+            ref.setTypeMode(detail::payloadTypeId<V>(),
+                            PayloadRef::Mode::Heap);
+            ref.store_.heap.ptr = new V(std::forward<T>(value));
+            ref.store_.heap.destroy = [](void *p) {
+                delete static_cast<V *>(p);
+            };
+            return ref;
+        }
+    }
+
+    /** Slots ever allocated (high-water mark diagnostics). */
+    std::size_t slotCount() const { return slots_.size(); }
+
+    /** Slots currently holding a live payload. */
+    std::uint64_t liveSlots() const { return liveSlots_; }
+
+  private:
+    friend class PayloadRef;
+
+    struct Slot
+    {
+        void (*destroy)(void *) = nullptr; //!< null while free
+        alignas(std::max_align_t) unsigned char data[slotBytes];
+    };
+
+    std::uint32_t
+    acquireSlot()
+    {
+        ++liveSlots_;
+        if (!freeSlots_.empty()) {
+            std::uint32_t idx = freeSlots_.back();
+            freeSlots_.pop_back();
+            return idx;
+        }
+        slots_.emplace_back();
+        return static_cast<std::uint32_t>(slots_.size() - 1);
+    }
+
+    void
+    releaseSlot(std::uint32_t idx) noexcept
+    {
+        Slot &s = slots_[idx];
+        if (s.destroy) {
+            s.destroy(s.data);
+            s.destroy = nullptr;
+        }
+        freeSlots_.push_back(idx);
+        --liveSlots_;
+    }
+
+    void *slotData(std::uint32_t idx) { return slots_[idx].data; }
+
+    std::deque<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::uint64_t liveSlots_ = 0;
+};
+
+template <typename T>
+T
+PayloadRef::take()
+{
+    if (!is<T>())
+        typeMismatch();
+    switch (mode()) {
+      case Mode::Inline: {
+        // Only small trivially-copyable types are ever stored inline,
+        // so this branch is unreachable for other instantiations.
+        if constexpr (std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_default_constructible_v<T> &&
+                      sizeof(T) <= inlineBytes) {
+            T out;
+            std::memcpy(&out, store_.inlineData, sizeof(T));
+            tm_ = 0;
+            return out;
+        } else {
+            typeMismatch();
+        }
+      }
+      case Mode::Pooled: {
+        PayloadPool *pool = store_.pooled.pool;
+        std::uint32_t idx = store_.pooled.slot;
+        T *p = std::launder(
+            reinterpret_cast<T *>(pool->slotData(idx)));
+        T out = std::move(*p);
+        pool->releaseSlot(idx);
+        tm_ = 0;
+        return out;
+      }
+      case Mode::Heap: {
+        T *p = static_cast<T *>(store_.heap.ptr);
+        T out = std::move(*p);
+        store_.heap.destroy(store_.heap.ptr);
+        tm_ = 0;
+        return out;
+      }
+      case Mode::Empty:
+      default:
+        typeMismatch();
+    }
+}
+
+inline void
+PayloadRef::reset() noexcept
+{
+    switch (mode()) {
+      case Mode::Pooled:
+        store_.pooled.pool->releaseSlot(store_.pooled.slot);
+        break;
+      case Mode::Heap:
+        store_.heap.destroy(store_.heap.ptr);
+        break;
+      case Mode::Inline:
+      case Mode::Empty:
+        break;
+    }
+    tm_ = 0;
+}
+
+} // namespace net
+} // namespace bluedbm
+
+#endif // BLUEDBM_NET_PAYLOAD_HH

@@ -7,18 +7,117 @@
 namespace bluedbm {
 namespace sim {
 
+std::uint32_t
+EventQueue::acquireSlot()
+{
+    if (!freeSlots_.empty()) {
+        std::uint32_t slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        return slot;
+    }
+    if (fns_.size() >= 0xffffffffu)
+        panic("event pool exhausted (2^32 simultaneous events)");
+    fns_.emplace_back();
+    meta_.emplace_back();
+    return static_cast<std::uint32_t>(fns_.size() - 1);
+}
+
+void
+EventQueue::retireSlot(std::uint32_t slot)
+{
+    fns_[slot].fn.reset();
+    SlotMeta &m = meta_[slot];
+    m.activeSeq = noSeq;
+    if (++m.gen == 0) {
+        // Generation space exhausted: retire the slot permanently so
+        // a stale EventId can never alias a future occupant (costs
+        // one 64-byte slot per 2^32 events of churn). Handles stay
+        // unique for the queue's lifetime, like the legacy 64-bit
+        // ids. gen 0 is never issued, so old handles stay dead.
+        return;
+    }
+    freeSlots_.push_back(slot);
+}
+
+void
+EventQueue::heapPush(HeapNode nd)
+{
+    std::size_t k = heapSize_++;
+    if (heapSize_ + 3 > heap_.size() * 4)
+        heap_.resize(heap_.size() < 16 ? 16 : heap_.size() * 2);
+    while (k > 0) {
+        std::size_t parent = (k - 1) / 4;
+        HeapNode &pn = node(parent);
+        if (!before(nd, pn))
+            break;
+        node(k) = pn;
+        k = parent;
+    }
+    node(k) = nd;
+}
+
+void
+EventQueue::heapPopRoot()
+{
+    HeapNode last = node(--heapSize_);
+    if (heapSize_ == 0)
+        return;
+    std::size_t k = 0;
+    for (;;) {
+        std::size_t first = 4 * k + 1;
+        std::size_t best;
+        if (first + 4 <= heapSize_) {
+            // Full sibling group (one cache line): pick the minimum
+            // with a branchless tournament -- the winner is data
+            // dependent and would mispredict as a branch.
+            std::size_t b0 = first + before(node(first + 1),
+                                            node(first));
+            std::size_t b1 = first + 2 + before(node(first + 3),
+                                                node(first + 2));
+            best = before(node(b1), node(b0)) ? b1 : b0;
+        } else if (first >= heapSize_) {
+            break;
+        } else {
+            best = first;
+            for (std::size_t c = first + 1; c < heapSize_; ++c) {
+                if (before(node(c), node(best)))
+                    best = c;
+            }
+        }
+        if (!before(node(best), last))
+            break;
+        node(k) = node(best);
+        k = best;
+    }
+    node(k) = last;
+}
+
+void
+EventQueue::dropStale()
+{
+    while (heapSize_ != 0 && !liveRecord(node(0)))
+        heapPopRoot();
+}
+
 EventId
-EventQueue::schedule(Tick when, std::function<void()> fn)
+EventQueue::schedule(Tick when, Callback fn)
 {
     if (when < curTick_)
         panic("scheduling event in the past: when=%llu now=%llu",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(curTick_));
-    EventId id = nextId_++;
-    heap_.push(Entry{when, id, std::move(fn)});
-    pending_.insert(id);
+    if (!fn)
+        panic("scheduling an empty callback");
+    std::uint32_t slot = acquireSlot();
+    fns_[slot].fn = std::move(fn);
+    std::uint32_t seq = nextSeq_++;
+    if (seq == noSeq) // sentinel is never a live seq
+        seq = nextSeq_++;
+    meta_[slot].activeSeq = seq;
+    meta_[slot].when = when;
+    heapPush(HeapNode{when, seq, slot});
     ++liveEvents_;
-    return id;
+    return (static_cast<EventId>(slot) << 32) | meta_[slot].gen;
 }
 
 bool
@@ -26,53 +125,47 @@ EventQueue::cancel(EventId id)
 {
     if (id == invalidEventId)
         return false;
-    // We cannot remove from the middle of the heap; remember the id and
-    // drop the entry lazily when it reaches the front.
-    if (pending_.erase(id) == 0)
-        return false;
-    cancelled_.insert(id);
+    std::uint32_t slot = eventIdSlot(id);
+    std::uint32_t gen = eventIdGeneration(id);
+    if (slot >= meta_.size() || meta_[slot].gen != gen)
+        return false; // fired, cancelled, or slot reused since
+    // The seq/generation bump invalidates the heap record lazily;
+    // the slot is free for reuse immediately.
+    retireSlot(slot);
     --liveEvents_;
     return true;
-}
-
-void
-EventQueue::skipCancelled()
-{
-    while (!heap_.empty()) {
-        const Entry &top = heap_.top();
-        auto it = cancelled_.find(top.id);
-        if (it == cancelled_.end())
-            return;
-        cancelled_.erase(it);
-        heap_.pop();
-    }
 }
 
 bool
 EventQueue::step()
 {
-    skipCancelled();
-    if (heap_.empty())
+    dropStale();
+    if (heapSize_ == 0)
         return false;
-    // Copy out before pop so the callback may schedule/cancel freely.
-    Entry e = heap_.top();
-    heap_.pop();
-    pending_.erase(e.id);
-    curTick_ = e.when;
+    HeapNode top = node(0);
+    heapPopRoot();
+    curTick_ = top.when;
+    // Move the callback out of its slot and recycle the slot *before*
+    // running: the callback may freely schedule into or cancel from
+    // the queue (including reusing this very slot).
+    Callback fn = std::move(fns_[top.slot].fn);
+    retireSlot(top.slot);
     --liveEvents_;
     ++executed_;
-    e.fn();
+    fn();
     return true;
 }
 
 Tick
 EventQueue::runUntil(Tick limit)
 {
+    if (limit < curTick_)
+        return curTick_; // never move time backwards
     for (;;) {
-        skipCancelled();
-        if (heap_.empty())
+        dropStale();
+        if (heapSize_ == 0)
             break;
-        if (heap_.top().when > limit) {
+        if (node(0).when > limit) {
             curTick_ = limit;
             return curTick_;
         }

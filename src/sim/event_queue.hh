@@ -2,30 +2,91 @@
  * @file
  * Discrete event queue: the heart of the simulator.
  *
- * Events are (tick, sequence, callback) triples ordered by tick and, for
- * equal ticks, by insertion order, giving deterministic execution.
+ * Events are (tick, sequence, callback) triples ordered by tick and,
+ * for equal ticks, by insertion order, giving deterministic execution.
  * Cancellation is supported through EventId handles.
+ *
+ * ## Design: pooled slots + 4-ary heap + generation handles
+ *
+ * The hot path is allocation-free. Event callbacks live in a slab of
+ * reusable 64-byte slots (one cache line each); scheduling order is
+ * kept by a 4-ary min-heap of 16-byte (tick, seq, slot) records laid
+ * out so that every sibling quadruple occupies exactly one aligned
+ * cache line -- a sift-down touches one line per level instead of
+ * two, which is where a simulator popping millions of events spends
+ * its time. Neither structure allocates per event: slots recycle
+ * through a LIFO free list and all arrays only ever grow to the
+ * high-water mark of simultaneously pending events. Callbacks are
+ * stored as `InlineFunction<void(), 56>`, so the common capture --
+ * a this-pointer plus a couple of integers, or a moved-in network
+ * message -- sits inside the slot instead of on the heap, and
+ * `step()` *moves* the callback out before firing (copies are
+ * impossible: the callback type is move-only).
+ *
+ * An `EventId` encodes {slot, generation}: the slot index in the high
+ * 32 bits and the slot's generation at schedule time in the low 32.
+ * `cancel()` is O(1): it validates the generation, bumps it, destroys
+ * the callback and recycles the slot -- no hash lookup, no heap
+ * surgery. The heap record is left behind and lazily discarded when
+ * it reaches the root: each slot remembers the `(seq, tick)` of its
+ * live heap record, so a record that no longer matches both is stale
+ * (cancelled, fired, or the slot was reused; matching the tick too
+ * makes a post-wrap seq alias harmless). Firing or cancelling
+ * bumps the slot generation, so a handle can never cancel a newer
+ * event that happens to reuse its slot; a slot whose 32-bit
+ * generation space is exhausted is retired permanently (one 64-byte
+ * slot per 2^32 events of churn), so EventIds are unique for the
+ * queue's lifetime.
+ *
+ * `seq` is the global schedule counter and doubles as the same-tick
+ * FIFO tie-break. It is 32-bit with wrap-aware comparison: ordering
+ * of two *coexisting equal-tick* events is exact as long as fewer
+ * than 2^31 schedules separate them, which holds for any realistic
+ * pending set. Same-seed runs are bit-reproducible regardless.
+ *
+ * ## Zero-allocation invariant
+ *
+ * After warm-up (steady-state pending count reached), schedule(),
+ * cancel() and step() perform no heap allocation as long as callback
+ * captures fit the 56-byte inline buffer. `bench/ablation_kernel.cc`
+ * tracks this: the pooled queue must stay >= 3x the events/sec of the
+ * legacy std::function + priority_queue + hash-set implementation.
  */
 
 #ifndef BLUEDBM_SIM_EVENT_QUEUE_HH
 #define BLUEDBM_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace bluedbm {
 namespace sim {
 
-/** Handle identifying a scheduled event, usable for cancellation. */
+/**
+ * Handle identifying a scheduled event, usable for cancellation.
+ * Encodes {slot index, slot generation}; see eventIdSlot().
+ */
 using EventId = std::uint64_t;
 
 /** Sentinel meaning "no event". */
 constexpr EventId invalidEventId = 0;
+
+/** Slot index an EventId refers to (diagnostics / tests). */
+constexpr std::uint32_t
+eventIdSlot(EventId id)
+{
+    return static_cast<std::uint32_t>(id >> 32);
+}
+
+/** Slot generation an EventId was issued for (diagnostics / tests). */
+constexpr std::uint32_t
+eventIdGeneration(EventId id)
+{
+    return static_cast<std::uint32_t>(id);
+}
 
 /**
  * Time-ordered queue of callbacks.
@@ -36,6 +97,11 @@ constexpr EventId invalidEventId = 0;
 class EventQueue
 {
   public:
+    /** Callback storage: move-only, 56 bytes of inline capture --
+     * one cache line including the vtable pointer, enough for a
+     * this-pointer plus a whole 48-byte net::Message. */
+    using Callback = InlineFunction<void(), 56>;
+
     EventQueue() = default;
 
     EventQueue(const EventQueue &) = delete;
@@ -48,10 +114,10 @@ class EventQueue
      * @param fn   callback to execute
      * @return a handle usable with cancel()
      */
-    EventId schedule(Tick when, std::function<void()> fn);
+    EventId schedule(Tick when, Callback fn);
 
     /**
-     * Cancel a previously scheduled event.
+     * Cancel a previously scheduled event in O(1).
      *
      * @return true if the event existed and had not yet fired
      */
@@ -68,6 +134,9 @@ class EventQueue
 
     /** Number of events executed since construction. */
     std::uint64_t executed() const { return executed_; }
+
+    /** Slots ever allocated (high-water mark of pending events). */
+    std::size_t poolSlots() const { return fns_.size(); }
 
     /**
      * Run events until the queue drains or @p limit is reached.
@@ -90,32 +159,88 @@ class EventQueue
     bool step();
 
   private:
-    struct Entry
+    /** activeSeq value meaning "no live heap record". nextSeq_ skips
+     * it, so a live record can never alias the sentinel. */
+    static constexpr std::uint32_t noSeq = 0xffffffffu;
+
+    /** Callback storage: exactly one cache line per event. */
+    struct alignas(64) CallbackSlot
+    {
+        Callback fn;
+    };
+
+    /** Cold per-slot bookkeeping, dense so stale checks stay cheap.
+     * A heap record is live iff BOTH its seq and its tick match the
+     * slot: seq alone could alias after a 2^32 wrap when a stale
+     * record lingers in the heap, and the tick disambiguates (an
+     * alias at the very same tick is behaviorally identical). */
+    struct SlotMeta
+    {
+        std::uint32_t gen = 1;        //!< bumped on fire/cancel
+        std::uint32_t activeSeq = noSeq; //!< seq of the live record
+        Tick when = 0;                //!< tick of the live record
+    };
+
+    /** Heap record: 16 bytes so one sibling group is one line. */
+    struct HeapNode
     {
         Tick when;
-        EventId id;
-        std::function<void()> fn;
+        std::uint32_t seq;  //!< schedule order; ties equal ticks
+        std::uint32_t slot;
     };
 
-    struct Later
+    /** Sibling quadruples are cache-line aligned (see node()). */
+    struct alignas(64) NodeGroup
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.id > b.id;
-        }
+        HeapNode n[4];
     };
 
-    /** Pop cancelled entries off the front of the heap. */
-    void skipCancelled();
+    /** (tick, seq) ordering; seq compare is wrap-aware (see file
+     * comment). */
+    static bool
+    before(const HeapNode &a, const HeapNode &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return static_cast<std::int32_t>(a.seq - b.seq) < 0;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::unordered_set<EventId> pending_;
-    std::unordered_set<EventId> cancelled_;
+    /**
+     * Logical heap index -> storage. Three leading slots are skipped
+     * so every sibling group {4k+1 .. 4k+4} lands in one aligned
+     * NodeGroup.
+     */
+    HeapNode &
+    node(std::size_t k)
+    {
+        return heap_[(k + 3) >> 2].n[(k + 3) & 3];
+    }
+
+    std::uint32_t acquireSlot();
+    void retireSlot(std::uint32_t slot);
+
+    /** Whether @p nd is the current occupant of its slot. */
+    bool
+    liveRecord(const HeapNode &nd) const
+    {
+        const SlotMeta &m = meta_[nd.slot];
+        return m.activeSeq == nd.seq && m.when == nd.when;
+    }
+
+    void heapPush(HeapNode nd);
+    /** Remove the root and restore heap order (hole-based sift). */
+    void heapPopRoot();
+    /** Drop stale (cancelled / superseded) records off the root. */
+    void dropStale();
+
+    std::vector<CallbackSlot> fns_;
+    std::vector<SlotMeta> meta_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::vector<NodeGroup> heap_;
+    std::size_t heapSize_ = 0;
+
     Tick curTick_ = 0;
-    EventId nextId_ = 1;
+    std::uint32_t nextSeq_ = 0;
     std::uint64_t liveEvents_ = 0;
     std::uint64_t executed_ = 0;
 };

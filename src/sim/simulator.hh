@@ -7,7 +7,9 @@
 #ifndef BLUEDBM_SIM_SIMULATOR_HH
 #define BLUEDBM_SIM_SIMULATOR_HH
 
-#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
@@ -35,14 +37,14 @@ class Simulator
 
     /** Schedule @p fn at absolute tick @p when. */
     EventId
-    scheduleAt(Tick when, std::function<void()> fn)
+    scheduleAt(Tick when, EventQueue::Callback fn)
     {
         return events_.schedule(when, std::move(fn));
     }
 
     /** Schedule @p fn @p delay ticks from now. */
     EventId
-    scheduleAfter(Tick delay, std::function<void()> fn)
+    scheduleAfter(Tick delay, EventQueue::Callback fn)
     {
         return events_.schedule(now() + delay, std::move(fn));
     }
@@ -65,7 +67,23 @@ class Simulator
     /** Total events executed so far. */
     std::uint64_t eventsExecuted() const { return events_.executed(); }
 
+    /**
+     * Keep @p resource alive until after the event queue is
+     * destroyed. Pending events may capture handles into
+     * model-owned arenas (e.g. a network's payload pool); models
+     * register those arenas here so that tearing a model down while
+     * its events are still queued can never dangle.
+     */
+    void
+    retainResource(std::shared_ptr<void> resource)
+    {
+        retained_.push_back(std::move(resource));
+    }
+
   private:
+    /** Declared before events_: destroyed only after every pending
+     * event (and any resource handle it captured) is gone. */
+    std::vector<std::shared_ptr<void>> retained_;
     EventQueue events_;
 };
 

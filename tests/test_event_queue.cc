@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -114,12 +115,148 @@ TEST(EventQueue, StepOnEmptyReturnsFalse)
     EXPECT_FALSE(q.step());
 }
 
+TEST(EventQueue, CancelAfterFireReturnsFalse)
+{
+    EventQueue q;
+    auto id = q.schedule(10, [] {});
+    q.run();
+    EXPECT_EQ(q.executed(), 1u);
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id)); // and stays false
+}
+
+TEST(EventQueue, GenerationReuseCannotCancelNewerEvent)
+{
+    EventQueue q;
+    bool a_ran = false, b_ran = false;
+    auto a = q.schedule(10, [&] { a_ran = true; });
+    EXPECT_TRUE(q.cancel(a));
+
+    // The freed slot is reused (LIFO free list) by the next event.
+    auto b = q.schedule(20, [&] { b_ran = true; });
+    EXPECT_EQ(sim::eventIdSlot(a), sim::eventIdSlot(b));
+    EXPECT_NE(sim::eventIdGeneration(a), sim::eventIdGeneration(b));
+
+    // The stale handle must not touch the slot's new occupant.
+    EXPECT_FALSE(q.cancel(a));
+    q.run();
+    EXPECT_FALSE(a_ran);
+    EXPECT_TRUE(b_ran);
+
+    // And after B fired, both handles are dead.
+    EXPECT_FALSE(q.cancel(a));
+    EXPECT_FALSE(q.cancel(b));
+}
+
+TEST(EventQueue, SameTickOrderSurvivesCancellations)
+{
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<sim::EventId> ids;
+    for (int i = 0; i < 20; ++i)
+        ids.push_back(q.schedule(5, [&order, i] { order.push_back(i); }));
+    // Cancel every third event; the rest must still run in schedule
+    // order (slot recycling must not perturb the tie-break).
+    for (int i = 0; i < 20; i += 3)
+        EXPECT_TRUE(q.cancel(ids[std::size_t(i)]));
+    for (int i = 20; i < 25; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.run();
+    std::vector<int> expect;
+    for (int i = 0; i < 25; ++i)
+        if (i >= 20 || i % 3 != 0)
+            expect.push_back(i);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueue, SlotsAreRecycledInSteadyState)
+{
+    EventQueue q;
+    // A self-rescheduling chain keeps exactly one event pending, so
+    // the pool must never grow past the initial high-water mark.
+    struct Chain
+    {
+        EventQueue *q;
+        int remaining;
+        void
+        operator()()
+        {
+            if (remaining > 0)
+                q->schedule(q->now() + 1, Chain{q, remaining - 1});
+        }
+    };
+    q.schedule(1, Chain{&q, 9999});
+    q.run();
+    EXPECT_EQ(q.executed(), 10000u);
+    EXPECT_EQ(q.poolSlots(), 1u);
+}
+
+namespace {
+
+/** Callable that counts copies and moves of itself. */
+struct CopyCounter
+{
+    int *copies;
+    int *moves;
+    int *calls;
+
+    CopyCounter(int *cp, int *mv, int *cl)
+        : copies(cp), moves(mv), calls(cl)
+    {
+    }
+    CopyCounter(const CopyCounter &o)
+        : copies(o.copies), moves(o.moves), calls(o.calls)
+    {
+        ++*copies;
+    }
+    CopyCounter(CopyCounter &&o) noexcept
+        : copies(o.copies), moves(o.moves), calls(o.calls)
+    {
+        ++*moves;
+    }
+    void operator()() { ++*calls; }
+};
+
+} // namespace
+
+TEST(EventQueue, CallbacksAreMovedNotCopied)
+{
+    // Regression for the legacy `Entry e = heap_.top()` copy: from
+    // the moment the callable enters schedule(), the queue may move
+    // it but must never copy it.
+    EventQueue q;
+    int copies = 0, moves = 0, calls = 0;
+    q.schedule(1, CopyCounter(&copies, &moves, &calls));
+    q.schedule(2, CopyCounter(&copies, &moves, &calls));
+    q.run();
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(copies, 0);
+    EXPECT_GT(moves, 0);
+}
+
+TEST(EventQueue, MoveOnlyCallablesAreSupported)
+{
+    EventQueue q;
+    auto payload = std::make_unique<int>(42);
+    int got = 0;
+    q.schedule(1, [&got, p = std::move(payload)] { got = *p; });
+    q.run();
+    EXPECT_EQ(got, 42);
+}
+
 TEST(EventQueueDeath, SchedulingInThePastPanics)
 {
     EventQueue q;
     q.schedule(100, [] {});
     q.step();
     EXPECT_DEATH(q.schedule(50, [] {}), "past");
+}
+
+TEST(EventQueueDeath, SchedulingEmptyCallbackPanics)
+{
+    EventQueue q;
+    EXPECT_DEATH(q.schedule(1, EventQueue::Callback()),
+                 "empty callback");
 }
 
 TEST(Simulator, ScheduleAfterUsesCurrentTime)

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for InlineFunction: the move-only SBO callable the event
+ * queue stores callbacks in.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "sim/inline_function.hh"
+
+using bluedbm::sim::InlineFunction;
+
+namespace {
+
+using Fn = InlineFunction<void(), 56>;
+using IntFn = InlineFunction<int(int), 56>;
+
+TEST(InlineFunction, DefaultIsEmpty)
+{
+    Fn f;
+    EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, InvokesSmallCapture)
+{
+    int hits = 0;
+    Fn f([&hits] { ++hits; });
+    ASSERT_TRUE(static_cast<bool>(f));
+    f();
+    f();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, ForwardsArgumentsAndReturn)
+{
+    IntFn f([](int x) { return x * 3; });
+    EXPECT_EQ(f(14), 42);
+}
+
+TEST(InlineFunction, SmallCapturesAreStoredInline)
+{
+    struct Small
+    {
+        std::uint64_t a, b, c;
+        void operator()() const {}
+    };
+    struct Big
+    {
+        std::uint64_t a[9];
+        void operator()() const {}
+    };
+    EXPECT_TRUE(Fn::storedInline<Small>());
+    EXPECT_FALSE(Fn::storedInline<Big>());
+}
+
+TEST(InlineFunction, LargeCapturesFallBackToHeapAndStillWork)
+{
+    std::uint64_t big[9] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+    std::uint64_t sum = 0;
+    Fn f([big, &sum] {
+        for (auto v : big)
+            sum += v;
+    });
+    Fn g(std::move(f));
+    g();
+    EXPECT_EQ(sum, 45u);
+}
+
+TEST(InlineFunction, MoveTransfersState)
+{
+    int hits = 0;
+    Fn f([&hits] { ++hits; });
+    Fn g(std::move(f));
+    EXPECT_FALSE(static_cast<bool>(f)); // NOLINT: testing moved-from
+    ASSERT_TRUE(static_cast<bool>(g));
+    g();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunction, MoveAssignReplacesAndDestroysOld)
+{
+    auto counter = std::make_shared<int>(0);
+    EXPECT_EQ(counter.use_count(), 1);
+    Fn f([counter] { ++*counter; });
+    EXPECT_EQ(counter.use_count(), 2);
+    f = Fn([counter] { *counter += 10; });
+    EXPECT_EQ(counter.use_count(), 2); // old capture released
+    f();
+    EXPECT_EQ(*counter, 10);
+}
+
+TEST(InlineFunction, MoveOnlyCallable)
+{
+    auto p = std::make_unique<int>(7);
+    int got = 0;
+    Fn f([p = std::move(p), &got] { got = *p; });
+    Fn g;
+    g = std::move(f);
+    g();
+    EXPECT_EQ(got, 7);
+}
+
+TEST(InlineFunction, ResetReleasesCapture)
+{
+    auto counter = std::make_shared<int>(0);
+    Fn f([counter] { ++*counter; });
+    EXPECT_EQ(counter.use_count(), 2);
+    f.reset();
+    EXPECT_FALSE(static_cast<bool>(f));
+    EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFunction, DestructorReleasesHeapFallback)
+{
+    auto counter = std::make_shared<int>(0);
+    {
+        std::uint64_t pad[8] = {};
+        Fn f([counter, pad] { (void)pad[0]; });
+        EXPECT_EQ(counter.use_count(), 2);
+    }
+    EXPECT_EQ(counter.use_count(), 1);
+}
+
+} // namespace

@@ -64,7 +64,8 @@ TEST(Lane, CreditsConsumeAndReturn)
     p.bufferBytes = 4096;
     Lane lane(sim, p);
     std::vector<Message> delivered;
-    lane.setDeliver([&](Message m) { delivered.push_back(m); });
+    lane.setDeliver(
+        [&](Message m) { delivered.push_back(std::move(m)); });
 
     lane.send(msg(4096));
     EXPECT_EQ(lane.credits(), 0u); // consumed at transmit start
@@ -92,12 +93,12 @@ TEST(Lane, MessagesDeliverInFifoOrder)
     Lane lane(sim, p);
     std::vector<int> order;
     lane.setDeliver([&](Message m) {
-        order.push_back(std::any_cast<int>(m.payload));
+        order.push_back(m.payload.take<int>());
         lane.releaseCredits(m.bytes);
     });
     for (int i = 0; i < 20; ++i) {
         Message m = msg(2000 + 100 * (i % 3));
-        m.payload = std::any(i);
+        m.payload = net::PayloadRef::inlineOf(i);
         lane.send(std::move(m));
     }
     sim.run();

@@ -125,10 +125,10 @@ TEST(Network, PerEndpointFifoOrderProperty)
     StorageNetwork net(sim, Topology::ring(6, 2), defaultParams());
     std::vector<int> order;
     net.endpoint(3, 2).setReceiveHandler([&](Message m) {
-        order.push_back(std::any_cast<int>(m.payload));
+        order.push_back(m.payload.take<int>());
     });
     for (int i = 0; i < 200; ++i)
-        net.endpoint(0, 2).send(3, 64 + (i % 7) * 100, std::any(i));
+        net.endpoint(0, 2).send(3, 64 + (i % 7) * 100, i);
     sim.run();
     ASSERT_EQ(order.size(), 200u);
     for (int i = 0; i < 200; ++i)
@@ -222,7 +222,7 @@ TEST(Network, StalledReceiverBlocksWithoutLosingData)
     StorageNetwork net(sim, Topology::line(3), p);
     const int n = 50;
     for (int i = 0; i < n; ++i)
-        net.endpoint(0, 1).send(2, 4096, std::any(i));
+        net.endpoint(0, 1).send(2, 4096, i);
     sim.run(); // receiver never drains; network must quiesce
     Endpoint &rx = net.endpoint(2, 1);
     EXPECT_LE(rx.pendingReceive(), 2u);
@@ -230,7 +230,7 @@ TEST(Network, StalledReceiverBlocksWithoutLosingData)
     // Now drain; parked and in-flight messages flow in order.
     std::vector<int> order;
     rx.setReceiveHandler([&](Message m) {
-        order.push_back(std::any_cast<int>(m.payload));
+        order.push_back(m.payload.take<int>());
     });
     sim.run();
     ASSERT_EQ(order.size(), std::size_t(n));
@@ -248,14 +248,14 @@ TEST(Network, EndToEndFlowControlBoundsInFlight)
     tx.enableEndToEnd(4);
     const int n = 40;
     for (int i = 0; i < n; ++i)
-        tx.send(1, 1024, std::any(i));
+        tx.send(1, 1024, i);
     sim.run(); // no drain: at most credits+capacity messages moved
     Endpoint &rx = net.endpoint(1, 1);
     EXPECT_LE(rx.pendingReceive(), 4u);
 
     std::vector<int> order;
     rx.setReceiveHandler([&](Message m) {
-        order.push_back(std::any_cast<int>(m.payload));
+        order.push_back(m.payload.take<int>());
     });
     sim.run();
     ASSERT_EQ(order.size(), std::size_t(n));

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the pooled message payloads (PayloadPool /
+ * PayloadRef) that replaced std::any in net::Message.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/network.hh"
+#include "net/payload.hh"
+#include "net/topology.hh"
+#include "sim/simulator.hh"
+
+using bluedbm::net::PayloadPool;
+using bluedbm::net::PayloadRef;
+
+namespace {
+
+TEST(Payload, DefaultIsEmpty)
+{
+    PayloadRef ref;
+    EXPECT_FALSE(static_cast<bool>(ref));
+    EXPECT_FALSE(ref.is<int>());
+}
+
+TEST(Payload, InlineRoundTrip)
+{
+    PayloadRef ref = PayloadRef::inlineOf(42);
+    ASSERT_TRUE(ref.is<int>());
+    EXPECT_FALSE(ref.is<unsigned>());
+    EXPECT_EQ(ref.take<int>(), 42);
+    EXPECT_FALSE(static_cast<bool>(ref)); // consumed
+}
+
+TEST(Payload, PoolChoosesInlineForSmallTrivialTypes)
+{
+    PayloadPool pool;
+    PayloadRef ref = pool.make(std::uint64_t(7));
+    EXPECT_EQ(pool.slotCount(), 0u); // no slab slot consumed
+    EXPECT_EQ(ref.take<std::uint64_t>(), 7u);
+}
+
+TEST(Payload, PooledRoundTripAndSlotReuse)
+{
+    struct Request
+    {
+        std::uint64_t id;
+        std::array<std::uint8_t, 24> blob;
+        std::vector<int> live; // non-trivial => pooled
+    };
+
+    PayloadPool pool;
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        Request rq{i, {}, {int(i), int(i + 1)}};
+        PayloadRef ref = pool.make(std::move(rq));
+        ASSERT_TRUE(ref.is<Request>());
+        Request out = ref.take<Request>();
+        EXPECT_EQ(out.id, i);
+        EXPECT_EQ(out.live.size(), 2u);
+    }
+    // One payload in flight at a time: the slab never grows past one
+    // slot and every release recycles it.
+    EXPECT_EQ(pool.slotCount(), 1u);
+    EXPECT_EQ(pool.liveSlots(), 0u);
+}
+
+TEST(Payload, DropWithoutTakeReleasesSlot)
+{
+    PayloadPool pool;
+    {
+        PayloadRef ref = pool.make(std::string("payload data"));
+        EXPECT_TRUE(static_cast<bool>(ref));
+    }
+    EXPECT_EQ(pool.liveSlots(), 0u);
+    {
+        PayloadRef ref = pool.make(std::string("again"));
+        ref.reset();
+        EXPECT_FALSE(static_cast<bool>(ref));
+    }
+    EXPECT_EQ(pool.liveSlots(), 0u);
+    EXPECT_EQ(pool.slotCount(), 1u);
+}
+
+TEST(Payload, MoveTransfersOwnership)
+{
+    PayloadPool pool;
+    PayloadRef a = pool.make(std::string("moved"));
+    PayloadRef b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a)); // NOLINT: testing moved-from
+    ASSERT_TRUE(b.is<std::string>());
+    EXPECT_EQ(b.take<std::string>(), "moved");
+    EXPECT_EQ(pool.liveSlots(), 0u);
+}
+
+TEST(Payload, OversizedTypesFallBackToHeap)
+{
+    struct Huge
+    {
+        std::array<std::uint8_t, 256> blob{};
+        std::vector<int> live;
+    };
+    static_assert(sizeof(Huge) > PayloadPool::slotBytes);
+
+    PayloadPool pool;
+    Huge h;
+    h.blob[0] = 0xab;
+    h.live = {1, 2, 3};
+    PayloadRef ref = pool.make(std::move(h));
+    EXPECT_EQ(pool.slotCount(), 0u); // slab bypassed
+    Huge out = ref.take<Huge>();
+    EXPECT_EQ(out.blob[0], 0xab);
+    EXPECT_EQ(out.live.size(), 3u);
+}
+
+TEST(Payload, ManyInFlightGrowToHighWaterMarkOnly)
+{
+    PayloadPool pool;
+    std::vector<PayloadRef> inflight;
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 64; ++i)
+            inflight.push_back(pool.make(std::string("x")));
+        EXPECT_EQ(pool.liveSlots(), 64u);
+        inflight.clear();
+        EXPECT_EQ(pool.liveSlots(), 0u);
+    }
+    EXPECT_EQ(pool.slotCount(), 64u); // high-water mark, no more
+}
+
+TEST(Payload, PoolSurvivesNetworkTeardownWithEventsPending)
+{
+    // Messages escape into the simulator's event queue as captured
+    // lambdas. Destroying the network before those events fire must
+    // not dangle or abort: the simulator retains the payload pool
+    // until after its queue destructs. (Only destruction is safe --
+    // the sim must not *run* further, as pending events also hold
+    // pointers into the dead network.)
+    using namespace bluedbm;
+    sim::Simulator sim;
+    {
+        net::StorageNetwork net(sim, net::Topology::line(2));
+        for (int i = 0; i < 8; ++i)
+            net.endpoint(0, 1).send(1, 4096,
+                                    std::string("page payload"));
+        // Stop mid-flight: serialization + hop take ~4.5us.
+        sim.runUntil(sim::nsToTicks(100));
+    }
+    // Network gone; pending delivery events still hold payloads.
+    // Draining (into destroyed endpoints is impossible -- the events
+    // captured lane pointers) must not run; just destroy the sim
+    // with the queue non-empty.
+    EXPECT_FALSE(sim.idle());
+}
+
+TEST(PayloadDeath, WrongTypePanics)
+{
+    PayloadRef ref = PayloadRef::inlineOf(5);
+    EXPECT_DEATH((void)ref.take<float>(), "different type");
+}
+
+TEST(PayloadDeath, EmptyTakePanics)
+{
+    PayloadRef ref;
+    EXPECT_DEATH((void)ref.take<int>(), "different type");
+}
+
+} // namespace

@@ -88,11 +88,10 @@ TEST_P(NetworkTopologyProperty, PerEndpointOrderHolds)
     net::NodeId dst = net::NodeId(topo.nodes - 1);
     std::vector<int> order;
     net.endpoint(dst, 2).setReceiveHandler([&](Message m) {
-        order.push_back(std::any_cast<int>(m.payload));
+        order.push_back(m.payload.take<int>());
     });
     for (int i = 0; i < 100; ++i)
-        net.endpoint(0, 2).send(dst, 64 + (i % 5) * 200,
-                                std::any(i));
+        net.endpoint(0, 2).send(dst, 64 + (i % 5) * 200, i);
     sim.run();
     ASSERT_EQ(order.size(), 100u);
     for (int i = 0; i < 100; ++i)
