@@ -1,0 +1,237 @@
+/**
+ * @file
+ * KV service bench: throughput vs tail latency over the global
+ * flash address space (the serving scenario behind figure 17's
+ * RAMCloud comparison, with the ROADMAP's 20-node ring as the
+ * headline configuration).
+ *
+ * Three experiments, all YCSB-style 95/5 read/write over 8 KB
+ * flash pages with 256-byte values, replication R=2 (write-all /
+ * read-one):
+ *  - scaling: closed-loop throughput and p50/p99/p99.9 at 4, 8 and
+ *    20 nodes (clients scale with nodes; throughput must scale
+ *    monotonically);
+ *  - skew: Zipfian theta sweep plus uniform at 8 nodes (hot keys
+ *    concentrate on few shards; read-one replica spreading is what
+ *    keeps p99 flat);
+ *  - open loop: Poisson arrivals below saturation at 8 nodes,
+ *    where queueing delay becomes visible in the tail.
+ *
+ * Emits BENCH_kv.json. Acceptance: the 20-node run sustains
+ * >= 100k ops/s and scaling is monotone 4 -> 8 -> 20.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "core/cluster.hh"
+#include "kv/kv_router.hh"
+#include "kv/kv_service.hh"
+#include "sim/simulator.hh"
+#include "workload/workload.hh"
+
+using namespace bluedbm;
+
+namespace {
+
+/** Mid-size card: 1 GB (8 buses x 2 chips x 128 blocks x 64 pages
+ * of 8 KB) -- big enough that the cleaner stays idle, small enough
+ * to build twenty nodes of it per config. */
+flash::Geometry
+kvGeometry()
+{
+    flash::Geometry g;
+    g.buses = 8;
+    g.chipsPerBus = 2;
+    g.blocksPerChip = 128;
+    g.pagesPerBlock = 64;
+    g.pageSize = 8192;
+    return g;
+}
+
+struct RunResult
+{
+    unsigned nodes = 0;
+    double theta = 0.0; //!< 0 = uniform
+    bool openLoop = false;
+    double tput = 0.0;  //!< accepted ops per simulated second
+    double p50us = 0.0, p99us = 0.0, p999us = 0.0;
+    double meanUs = 0.0;
+    std::uint64_t rejected = 0;
+    std::uint64_t remoteOps = 0, localOps = 0;
+};
+
+RunResult
+runConfig(unsigned nodes, bool zipfian, double theta, bool open_loop,
+          double arrivals_per_sec, std::uint64_t total_ops)
+{
+    sim::Simulator sim;
+    core::ClusterParams cp;
+    cp.topology = net::Topology::ring(nodes, nodes >= 20 ? 4 : 2);
+    cp.node.geometry = kvGeometry();
+    cp.node.timing = flash::Timing{}; // paper NAND timing
+    cp.node.cards = 2;
+    cp.node.controllerTags = 128;
+    cp.network.endpoints = kv::kvRequiredEndpoints;
+    core::Cluster cluster(sim, cp);
+
+    kv::KvParams kp;
+    kp.replication = 2;
+    kv::KvRouter router(sim, cluster, kp);
+    kv::KvService service(sim, router);
+
+    workload::WorkloadParams wp;
+    wp.keys = 10000;
+    wp.valueBytes = 256;
+    wp.mix.readFrac = 0.95;
+    wp.zipfian = zipfian;
+    wp.theta = theta;
+    wp.clientsPerNode = 8;
+    wp.pipeline = 4;
+    wp.client.window = 8;
+    wp.client.queueCap = 1024;
+    wp.openLoop = open_loop;
+    wp.arrivalsPerSec = arrivals_per_sec;
+    wp.totalOps = total_ops;
+    wp.seed = 99;
+    workload::WorkloadEngine engine(sim, cluster, router, service,
+                                    wp);
+
+    bool loaded = false;
+    engine.preload([&]() { loaded = true; });
+    sim.run();
+    if (!loaded)
+        sim::fatal("kv bench preload did not finish");
+    bool finished = false;
+    engine.run([&]() { finished = true; });
+    sim.run();
+    if (!finished)
+        sim::fatal("kv bench run did not finish");
+
+    RunResult r;
+    r.nodes = nodes;
+    r.theta = zipfian ? theta : 0.0;
+    r.openLoop = open_loop;
+    r.tput = engine.throughputOpsPerSec();
+    const auto &lat = engine.allLatency();
+    r.p50us = sim::ticksToUs(lat.p50());
+    r.p99us = sim::ticksToUs(lat.p99());
+    r.p999us = sim::ticksToUs(lat.p999());
+    r.meanUs = lat.mean() / double(sim::oneUs);
+    r.rejected = engine.rejectedOps();
+    r.remoteOps = router.remoteOps();
+    r.localOps = router.localOps();
+    return r;
+}
+
+std::vector<RunResult> scaling;
+std::vector<RunResult> skew;
+RunResult open_loop_run;
+
+void
+runAll()
+{
+    // Scaling: the headline. 95/5, Zipfian 0.99, closed loop.
+    for (unsigned nodes : {4u, 8u, 20u})
+        scaling.push_back(runConfig(nodes, true, 0.99, false, 0.0,
+                                    3000ull * nodes));
+
+    // Skew sweep at 8 nodes: uniform, then rising Zipfian theta.
+    skew.push_back(runConfig(8, false, 0.0, false, 0.0, 24000));
+    for (double theta : {0.5, 0.8, 0.9, 0.99})
+        skew.push_back(
+            runConfig(8, true, theta, false, 0.0, 24000));
+
+    // Open loop at 8 nodes: Poisson arrivals, 64 clients x 2000/s
+    // = 128k ops/s offered, well under the closed-loop ceiling.
+    open_loop_run = runConfig(8, true, 0.99, true, 2000.0, 24000);
+}
+
+void
+printTable()
+{
+    bench::banner("KV service: throughput vs tail latency "
+                  "(R=2, 95/5, 256 B values)");
+    std::printf("%22s %12s %9s %9s %9s %10s\n", "config",
+                "ops/s", "p50(us)", "p99(us)", "p99.9(us)",
+                "remote%");
+    auto row = [](const std::string &name, const RunResult &r) {
+        double remote_frac = 100.0 * double(r.remoteOps) /
+            double(r.remoteOps + r.localOps);
+        std::printf("%22s %12.0f %9.1f %9.1f %9.1f %9.1f%%\n",
+                    name.c_str(), r.tput, r.p50us, r.p99us,
+                    r.p999us, remote_frac);
+    };
+    for (const auto &r : scaling)
+        row(std::to_string(r.nodes) + " nodes zipf0.99", r);
+    for (const auto &r : skew)
+        row(r.theta == 0.0
+                ? std::string("8 nodes uniform")
+                : "8 nodes zipf" + std::to_string(r.theta)
+                      .substr(0, 4),
+            r);
+    row("8 nodes open-loop", open_loop_run);
+    std::printf("\nClosed-loop scaling must be monotone: %.0f -> "
+                "%.0f -> %.0f ops/s (target >= 100k at 20 "
+                "nodes).\nOpen loop: %llu rejected at admission "
+                "of %u offered.\n",
+                scaling[0].tput, scaling[1].tput, scaling[2].tput,
+                (unsigned long long)open_loop_run.rejected, 24000u);
+}
+
+void
+BM_KvService(benchmark::State &state)
+{
+    for (auto _ : state) {
+        scaling.clear();
+        skew.clear();
+        runAll();
+    }
+    state.counters["tput_20n"] = scaling.back().tput;
+    state.counters["p99us_20n"] = scaling.back().p99us;
+}
+
+BENCHMARK(BM_KvService)->Iterations(1)->Unit(benchmark::kSecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    if (scaling.empty())
+        runAll();
+    printTable();
+
+    bench::JsonCounters counters;
+    for (const auto &r : scaling) {
+        std::string p = "nodes" + std::to_string(r.nodes) + "_";
+        counters.emplace_back(p + "tput_ops", r.tput);
+        counters.emplace_back(p + "p50_us", r.p50us);
+        counters.emplace_back(p + "p99_us", r.p99us);
+        counters.emplace_back(p + "p999_us", r.p999us);
+        counters.emplace_back(p + "mean_us", r.meanUs);
+    }
+    for (const auto &r : skew) {
+        std::string label = r.theta == 0.0
+            ? std::string("uniform")
+            : "theta" + std::to_string(int(r.theta * 100));
+        counters.emplace_back("skew_" + label + "_tput_ops",
+                              r.tput);
+        counters.emplace_back("skew_" + label + "_p99_us",
+                              r.p99us);
+    }
+    counters.emplace_back("open_tput_ops", open_loop_run.tput);
+    counters.emplace_back("open_p50_us", open_loop_run.p50us);
+    counters.emplace_back("open_p99_us", open_loop_run.p99us);
+    counters.emplace_back("open_p999_us", open_loop_run.p999us);
+    counters.emplace_back("open_rejected",
+                          double(open_loop_run.rejected));
+    bench::writeJson("BENCH_kv.json", counters);
+    return 0;
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+#
+# CI gate: build the release and sanitizer presets, run the full
+# test suite on both (any ASan/UBSan finding fails the run), then
+# regenerate the tracked perf JSONs (BENCH_kernel.json from the
+# kernel ablation, BENCH_kv.json from the KV service bench) so the
+# perf trajectory stays machine-readable across PRs.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+
+echo "=== release: configure + build ==="
+cmake --preset release
+cmake --build --preset release -j"${JOBS}"
+
+echo "=== release: ctest ==="
+ctest --preset release -j"${JOBS}"
+
+echo "=== sanitize (ASan+UBSan): configure + build ==="
+cmake --preset sanitize
+cmake --build --preset sanitize -j"${JOBS}"
+
+echo "=== sanitize: ctest ==="
+# halt_on_error turns any UBSan diagnostic into a test failure
+# (ASan aborts on its own); leak detection stays on by default.
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --preset sanitize -j"${JOBS}"
+
+echo "=== regenerate tracked bench JSONs ==="
+if [[ -x build/ablation_kernel && -x build/svc_kv ]]; then
+    ./build/ablation_kernel
+    ./build/svc_kv
+else
+    echo "bench binaries missing (google-benchmark not found?)" >&2
+    exit 1
+fi
+
+echo "=== CI OK ==="

@@ -223,6 +223,11 @@ LogFs::writeFilePage(std::uint32_t file_id, std::uint64_t fpage,
             Inode &ino = iit->second;
             if (ino.pages.size() <= fpage)
                 ino.pages.resize(fpage + 1, invalidPage);
+            // Overlapping appends rewrite the same tail file page;
+            // installing unconditionally is safe only because all
+            // FS I/O rides one in-order FlashServer interface, so
+            // completions arrive in issue order and the newest
+            // rewrite always installs last.
             if (ino.pages[fpage] != invalidPage) {
                 std::uint64_t old = ino.pages[fpage];
                 auto rit = reverse_.find(old);

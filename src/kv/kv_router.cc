@@ -1,0 +1,310 @@
+#include "kv/kv_router.hh"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace bluedbm {
+namespace kv {
+
+using flash::PageBuffer;
+using net::NodeId;
+
+KvRouter::KvRouter(sim::Simulator &sim, core::Cluster &cluster,
+                   const KvParams &params)
+    : sim_(sim), cluster_(cluster), params_(params)
+{
+    if (cluster_.network().endpointCount() < kvRequiredEndpoints)
+        sim::fatal("KV service needs >= %u network endpoints, "
+                   "cluster has %u",
+                   kvRequiredEndpoints,
+                   cluster_.network().endpointCount());
+    if (params_.replication == 0 ||
+        params_.replication > cluster_.size() ||
+        params_.replication > maxReplication)
+        sim::fatal("replication factor %u invalid for %u nodes",
+                   params_.replication, cluster_.size());
+    if (params_.vnodes == 0)
+        sim::fatal("consistent hashing needs >= 1 vnode");
+
+    // Fixed hash ring: vnodes points per node, sorted once. Every
+    // node derives identical owners with no directory service.
+    ring_.reserve(std::size_t(cluster_.size()) * params_.vnodes);
+    for (unsigned n = 0; n < cluster_.size(); ++n) {
+        for (unsigned v = 0; v < params_.vnodes; ++v)
+            ring_.emplace_back(
+                mix64((std::uint64_t(n) << 32) | v), NodeId(n));
+    }
+    std::sort(ring_.begin(), ring_.end());
+
+    for (unsigned n = 0; n < cluster_.size(); ++n) {
+        shards_.emplace_back(std::make_unique<KvShard>(
+            sim_, cluster_.node(n).fs(), params_.shardLog));
+    }
+
+    installAgents();
+}
+
+unsigned
+KvRouter::ownersInto(Key key, NodeId *out, unsigned max) const
+{
+    std::uint64_t h = mix64(key);
+    auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                               std::make_pair(h, NodeId(0)));
+    unsigned count = 0;
+    for (std::size_t step = 0;
+         step < ring_.size() && count < max; ++step) {
+        if (it == ring_.end())
+            it = ring_.begin();
+        NodeId n = it->second;
+        if (std::find(out, out + count, n) == out + count)
+            out[count++] = n;
+        ++it;
+    }
+    return count;
+}
+
+std::vector<NodeId>
+KvRouter::owners(Key key) const
+{
+    std::vector<NodeId> out(params_.replication);
+    out.resize(ownersInto(key, out.data(), params_.replication));
+    return out;
+}
+
+NodeId
+KvRouter::readReplica(NodeId origin, Key key) const
+{
+    // Allocation-free: gets are the 95% case and run once per op.
+    NodeId own[maxReplication];
+    unsigned count = ownersInto(key, own, params_.replication);
+    for (unsigned i = 0; i < count; ++i) {
+        if (own[i] == origin)
+            return origin; // a local replica: zero network hops
+    }
+    // Spread different origins across the replica set so hot keys
+    // draw read bandwidth from every copy.
+    return own[origin % count];
+}
+
+void
+KvRouter::get(NodeId origin, Key key, GetDone done)
+{
+    NodeId replica = readReplica(origin, key);
+    if (replica == origin) {
+        ++localOps_;
+        shards_[origin]->get(key, std::move(done));
+        return;
+    }
+    ++remoteOps_;
+    std::uint64_t id = nextReqId_++;
+    PendingOp &op = pending_[id];
+    op.remaining = 1;
+    op.getDone = std::move(done);
+
+    KvRequest req;
+    req.reqId = id;
+    req.key = key;
+    req.op = KvOp::Get;
+    cluster_.network()
+        .endpoint(origin, epKvService)
+        .send(replica, kvHeaderBytes, std::move(req));
+}
+
+void
+KvRouter::put(NodeId origin, Key key, PageBuffer value, AckDone done)
+{
+    std::vector<NodeId> own = owners(key);
+    std::uint64_t id = nextReqId_++;
+    PendingOp &op = pending_[id];
+    op.remaining = unsigned(own.size());
+    op.ackDone = std::move(done);
+
+    auto bytes = kvHeaderBytes +
+        static_cast<std::uint32_t>(value.size());
+    for (std::size_t i = 0; i < own.size(); ++i) {
+        // The last replica takes the buffer, the others a copy.
+        PageBuffer copy =
+            i + 1 < own.size() ? value : std::move(value);
+        if (own[i] == origin) {
+            ++localOps_;
+            shards_[origin]->put(key, std::move(copy),
+                                 [this, id](KvStatus st) {
+                completeOne(id, st, PageBuffer{});
+            });
+            continue;
+        }
+        ++remoteOps_;
+        KvRequest req;
+        req.reqId = id;
+        req.key = key;
+        req.op = KvOp::Put;
+        req.value = std::move(copy);
+        cluster_.network()
+            .endpoint(origin, epKvService)
+            .send(own[i], bytes, std::move(req));
+    }
+}
+
+void
+KvRouter::del(NodeId origin, Key key, AckDone done)
+{
+    std::vector<NodeId> own = owners(key);
+    std::uint64_t id = nextReqId_++;
+    PendingOp &op = pending_[id];
+    op.remaining = unsigned(own.size());
+    op.ackDone = std::move(done);
+
+    for (NodeId n : own) {
+        if (n == origin) {
+            ++localOps_;
+            shards_[origin]->del(key, [this, id](KvStatus st) {
+                completeOne(id, st, PageBuffer{});
+            });
+            continue;
+        }
+        ++remoteOps_;
+        KvRequest req;
+        req.reqId = id;
+        req.key = key;
+        req.op = KvOp::Delete;
+        cluster_.network()
+            .endpoint(origin, epKvService)
+            .send(n, kvHeaderBytes, std::move(req));
+    }
+}
+
+void
+KvRouter::multiGet(NodeId origin, std::vector<Key> keys,
+                   MultiGetDone done)
+{
+    struct Ctx
+    {
+        std::vector<PageBuffer> values;
+        std::vector<KvStatus> statuses;
+        std::size_t remaining = 0;
+        MultiGetDone done;
+    };
+    auto ctx = std::make_shared<Ctx>();
+    ctx->values.resize(keys.size());
+    ctx->statuses.assign(keys.size(), KvStatus::NotFound);
+    ctx->remaining = keys.size();
+    ctx->done = std::move(done);
+    if (keys.empty()) {
+        sim_.scheduleAfter(0, [ctx]() {
+            ctx->done(std::move(ctx->values),
+                      std::move(ctx->statuses));
+        });
+        return;
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        get(origin, keys[i],
+            [ctx, i](PageBuffer v, KvStatus st) {
+            ctx->values[i] = std::move(v);
+            ctx->statuses[i] = st;
+            if (--ctx->remaining == 0)
+                ctx->done(std::move(ctx->values),
+                          std::move(ctx->statuses));
+        });
+    }
+}
+
+void
+KvRouter::installAgents()
+{
+    auto &net = cluster_.network();
+    for (unsigned n = 0; n < cluster_.size(); ++n) {
+        // Shard agent: serve get/put/delete arriving from peers.
+        net.endpoint(NodeId(n), epKvService)
+            .setReceiveHandler([this, n](net::Message msg) {
+            auto req = msg.payload.take<KvRequest>();
+            NodeId requester = msg.src;
+            net::EndpointId reply_ep = req.replyEndpoint;
+            serveLocal(NodeId(n), std::move(req),
+                       [this, n, requester,
+                        reply_ep](KvResponse resp) {
+                auto bytes = kvHeaderBytes +
+                    static_cast<std::uint32_t>(resp.value.size());
+                cluster_.network()
+                    .endpoint(NodeId(n), reply_ep)
+                    .send(requester, bytes, std::move(resp));
+            });
+        });
+        // Response sink: complete the origin's pending operation.
+        net.endpoint(NodeId(n), epKvData)
+            .setReceiveHandler([this](net::Message msg) {
+            auto resp = msg.payload.take<KvResponse>();
+            completeOne(resp.reqId, resp.status,
+                        std::move(resp.value));
+        });
+    }
+}
+
+void
+KvRouter::serveLocal(NodeId node, KvRequest req,
+                     std::function<void(KvResponse)> reply)
+{
+    std::uint64_t id = req.reqId;
+    switch (req.op) {
+      case KvOp::Get:
+        shards_[node]->get(req.key,
+                           [id, reply = std::move(reply)](
+                               PageBuffer v, KvStatus st) {
+            KvResponse resp;
+            resp.reqId = id;
+            resp.status = st;
+            resp.value = std::move(v);
+            reply(std::move(resp));
+        });
+        return;
+      case KvOp::Put:
+        shards_[node]->put(req.key, std::move(req.value),
+                           [id, reply = std::move(reply)](
+                               KvStatus st) {
+            KvResponse resp;
+            resp.reqId = id;
+            resp.status = st;
+            reply(std::move(resp));
+        });
+        return;
+      case KvOp::Delete:
+        shards_[node]->del(req.key,
+                           [id, reply = std::move(reply)](
+                               KvStatus st) {
+            KvResponse resp;
+            resp.reqId = id;
+            resp.status = st;
+            reply(std::move(resp));
+        });
+        return;
+    }
+    sim::panic("unknown KV op");
+}
+
+void
+KvRouter::completeOne(std::uint64_t req_id, KvStatus st,
+                      PageBuffer value)
+{
+    auto it = pending_.find(req_id);
+    if (it == pending_.end())
+        sim::panic("response for unknown KV request %llu",
+                   static_cast<unsigned long long>(req_id));
+    PendingOp &op = it->second;
+    if (st != KvStatus::Ok && op.status == KvStatus::Ok)
+        op.status = st;
+    if (!value.empty())
+        op.value = std::move(value);
+    if (--op.remaining != 0)
+        return;
+    PendingOp fin = std::move(op);
+    pending_.erase(it);
+    if (fin.getDone)
+        fin.getDone(std::move(fin.value), fin.status);
+    else
+        fin.ackDone(fin.status);
+}
+
+} // namespace kv
+} // namespace bluedbm

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Key routing over the cluster: consistent hashing onto per-node
+ * shards, replication, and the shard request/response protocol over
+ * the integrated storage network.
+ *
+ * The router is what turns twenty independent flash nodes into one
+ * key-value appliance (the paper's figure 17 RAMCloud scenario with
+ * the roles reversed: instead of DRAM nodes that collapse when
+ * storage gets involved, every node IS storage and the network is
+ * the uniform-latency fabric of section 3.2). Keys map to owner
+ * nodes through a fixed ring of hashed virtual nodes; writes go to
+ * all R replicas (write-all), reads to one (read-one, preferring a
+ * local replica so a well-placed client pays no network hop at
+ * all).
+ */
+
+#ifndef BLUEDBM_KV_KV_ROUTER_HH
+#define BLUEDBM_KV_KV_ROUTER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/cluster.hh"
+#include "kv/kv_shard.hh"
+#include "kv/kv_types.hh"
+#include "sim/simulator.hh"
+
+namespace bluedbm {
+namespace kv {
+
+/**
+ * Router / replication tuning.
+ */
+struct KvParams
+{
+    /** Copies of every key (write-all / read-one). */
+    unsigned replication = 2;
+    /** Ring points per node; more points, smoother balance. */
+    unsigned vnodes = 64;
+    /** Shard log file name (one per node's file system). */
+    std::string shardLog = "kv.shard.log";
+};
+
+/**
+ * Cluster-wide key-value routing layer. Owns one KvShard per node
+ * and the network agents that serve remote shard requests.
+ */
+class KvRouter
+{
+  public:
+    using GetDone = KvShard::GetDone;
+    using AckDone = KvShard::AckDone;
+    /** Values and statuses aligned with the requested key order. */
+    using MultiGetDone =
+        std::function<void(std::vector<flash::PageBuffer>,
+                           std::vector<KvStatus>)>;
+
+    /**
+     * Build shards and install network agents on every node of
+     * @p cluster. The cluster's network must have been built with
+     * at least kvRequiredEndpoints endpoints.
+     */
+    KvRouter(sim::Simulator &sim, core::Cluster &cluster,
+             const KvParams &params = KvParams{});
+
+    /** Replication factor in use. */
+    unsigned replication() const { return params_.replication; }
+
+    /**
+     * The R owner nodes of @p key, primary first. Deterministic:
+     * every node computes the same owners with no directory
+     * service.
+     */
+    std::vector<net::NodeId> owners(Key key) const;
+
+    /** Replica @p origin reads @p key from (local when possible). */
+    net::NodeId readReplica(net::NodeId origin, Key key) const;
+
+    /** Fetch @p key on behalf of a client attached to @p origin. */
+    void get(net::NodeId origin, Key key, GetDone done);
+
+    /** Store @p key on all replicas; acks when every copy landed. */
+    void put(net::NodeId origin, Key key, flash::PageBuffer value,
+             AckDone done);
+
+    /** Delete @p key on all replicas. */
+    void del(net::NodeId origin, Key key, AckDone done);
+
+    /** Fetch several keys concurrently (read-one per key). */
+    void multiGet(net::NodeId origin, std::vector<Key> keys,
+                  MultiGetDone done);
+
+    /** Node @p n's shard (stats / tests). */
+    KvShard &shard(net::NodeId n) { return *shards_.at(n); }
+
+    /** @name Statistics */
+    ///@{
+    /** Operations whose shard was on the requesting node. */
+    std::uint64_t localOps() const { return localOps_; }
+    /** Shard requests that crossed the network. */
+    std::uint64_t remoteOps() const { return remoteOps_; }
+    ///@}
+
+    /** Upper bound on R, so read routing can use a stack buffer. */
+    static constexpr unsigned maxReplication = 8;
+
+  private:
+    unsigned ownersInto(Key key, net::NodeId *out,
+                        unsigned max) const;
+
+    struct PendingOp
+    {
+        unsigned remaining = 0;      //!< outstanding replica acks
+        KvStatus status = KvStatus::Ok;
+        GetDone getDone;             //!< set for gets
+        AckDone ackDone;             //!< set for puts/deletes
+        flash::PageBuffer value;     //!< get result
+    };
+
+    void installAgents();
+    /** Serve one shard request arriving at (or issued on) @p node. */
+    void serveLocal(net::NodeId node, KvRequest req,
+                    std::function<void(KvResponse)> reply);
+    /** One replica (or the get replica) finished. */
+    void completeOne(std::uint64_t req_id, KvStatus st,
+                     flash::PageBuffer value);
+
+    sim::Simulator &sim_;
+    core::Cluster &cluster_;
+    KvParams params_;
+
+    /** Hash ring: (point, node), sorted by point. */
+    std::vector<std::pair<std::uint64_t, net::NodeId>> ring_;
+    std::vector<std::unique_ptr<KvShard>> shards_;
+
+    std::uint64_t nextReqId_ = 1;
+    std::unordered_map<std::uint64_t, PendingOp> pending_;
+
+    std::uint64_t localOps_ = 0;
+    std::uint64_t remoteOps_ = 0;
+};
+
+} // namespace kv
+} // namespace bluedbm
+
+#endif // BLUEDBM_KV_KV_ROUTER_HH

@@ -1,0 +1,151 @@
+#include "kv/kv_service.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace bluedbm {
+namespace kv {
+
+using flash::PageBuffer;
+
+KvService::ClientId
+KvService::addClient(net::NodeId origin, const ClientParams &params)
+{
+    if (params.window == 0)
+        sim::fatal("client window must be >= 1");
+    Client c;
+    c.origin = origin;
+    c.params = params;
+    clients_.push_back(std::move(c));
+    return ClientId(clients_.size() - 1);
+}
+
+void
+KvService::submit(ClientId client, Launch launch,
+                  std::function<void()> reject)
+{
+    Client &c = clients_.at(client);
+    if (c.queue.size() >= c.params.queueCap) {
+        ++rejected_;
+        // Completes on a fresh event like every other path: callers
+        // may rely on done never firing re-entrantly.
+        sim_.scheduleAfter(0, [reject = std::move(reject)]() {
+            reject();
+        });
+        return;
+    }
+    ++admitted_;
+    c.queue.push_back(std::move(launch));
+    pump(client);
+    // High-water mark of operations actually left waiting (an op
+    // that dispatched straight into a window slot never queued).
+    maxQueued_ =
+        std::max(maxQueued_, clients_.at(client).queue.size());
+}
+
+void
+KvService::pump(ClientId client)
+{
+    Client &c = clients_.at(client);
+    while (c.inFlight < c.params.window && !c.queue.empty()) {
+        Launch launch = std::move(c.queue.front());
+        c.queue.pop_front();
+        ++c.inFlight;
+        launch([this, client]() {
+            Client &cl = clients_.at(client);
+            if (cl.inFlight == 0)
+                sim::panic("KV window underflow");
+            --cl.inFlight;
+            pump(client);
+        });
+    }
+}
+
+void
+KvService::get(ClientId client, Key key, KvRouter::GetDone done)
+{
+    net::NodeId origin = clients_.at(client).origin;
+    auto done_sh =
+        std::make_shared<KvRouter::GetDone>(std::move(done));
+    submit(client,
+           [this, origin, key, done_sh](std::function<void()> slot) {
+        router_.get(origin, key,
+                    [done_sh, slot = std::move(slot)](
+                        PageBuffer v, KvStatus st) {
+            slot();
+            (*done_sh)(std::move(v), st);
+        });
+    },
+           [done_sh]() {
+        (*done_sh)(PageBuffer{}, KvStatus::Overloaded);
+    });
+}
+
+void
+KvService::put(ClientId client, Key key, PageBuffer value,
+               KvRouter::AckDone done)
+{
+    net::NodeId origin = clients_.at(client).origin;
+    auto done_sh =
+        std::make_shared<KvRouter::AckDone>(std::move(done));
+    auto value_sh = std::make_shared<PageBuffer>(std::move(value));
+    submit(client,
+           [this, origin, key, done_sh,
+            value_sh](std::function<void()> slot) {
+        router_.put(origin, key, std::move(*value_sh),
+                    [done_sh, slot = std::move(slot)](KvStatus st) {
+            slot();
+            (*done_sh)(st);
+        });
+    },
+           [done_sh]() { (*done_sh)(KvStatus::Overloaded); });
+}
+
+void
+KvService::del(ClientId client, Key key, KvRouter::AckDone done)
+{
+    net::NodeId origin = clients_.at(client).origin;
+    auto done_sh =
+        std::make_shared<KvRouter::AckDone>(std::move(done));
+    submit(client,
+           [this, origin, key, done_sh](std::function<void()> slot) {
+        router_.del(origin, key,
+                    [done_sh, slot = std::move(slot)](KvStatus st) {
+            slot();
+            (*done_sh)(st);
+        });
+    },
+           [done_sh]() { (*done_sh)(KvStatus::Overloaded); });
+}
+
+void
+KvService::multiGet(ClientId client, std::vector<Key> keys,
+                    KvRouter::MultiGetDone done)
+{
+    net::NodeId origin = clients_.at(client).origin;
+    auto done_sh =
+        std::make_shared<KvRouter::MultiGetDone>(std::move(done));
+    auto keys_sh =
+        std::make_shared<std::vector<Key>>(std::move(keys));
+    submit(client,
+           [this, origin, done_sh,
+            keys_sh](std::function<void()> slot) {
+        router_.multiGet(origin, std::move(*keys_sh),
+                         [done_sh, slot = std::move(slot)](
+                             std::vector<PageBuffer> values,
+                             std::vector<KvStatus> sts) {
+            slot();
+            (*done_sh)(std::move(values), std::move(sts));
+        });
+    },
+           [done_sh, keys_sh]() {
+        (*done_sh)(std::vector<PageBuffer>(keys_sh->size()),
+                   std::vector<KvStatus>(keys_sh->size(),
+                                         KvStatus::Overloaded));
+    });
+}
+
+} // namespace kv
+} // namespace bluedbm

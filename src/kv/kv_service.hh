@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Client-facing request front-end of the KV appliance.
+ *
+ * Models the serving side of the paper's figure 17 scenario: many
+ * concurrent clients (the "millions of users" traffic of the
+ * ROADMAP north star) each hold a session against one node of the
+ * rack. The service applies per-client admission control -- a
+ * bounded in-flight window plus a bounded wait queue -- so a
+ * misbehaving or bursty client saturates neither the node's flash
+ * servers nor the integrated network; excess load is rejected with
+ * KvStatus::Overloaded instead of growing queues without bound
+ * (the difference between an open-loop melt-down and a served
+ * SLO).
+ */
+
+#ifndef BLUEDBM_KV_KV_SERVICE_HH
+#define BLUEDBM_KV_KV_SERVICE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "kv/kv_router.hh"
+#include "kv/kv_types.hh"
+#include "sim/simulator.hh"
+
+namespace bluedbm {
+namespace kv {
+
+/**
+ * Admission-controlled session multiplexer over a KvRouter.
+ */
+class KvService
+{
+  public:
+    /** Session handle returned by addClient(). */
+    using ClientId = std::uint32_t;
+
+    /** Per-client admission knobs. */
+    struct ClientParams
+    {
+        /** Operations dispatched concurrently for this client. */
+        unsigned window = 8;
+        /** Operations parked awaiting a window slot before the
+         * service starts rejecting with Overloaded. */
+        unsigned queueCap = 256;
+    };
+
+    KvService(sim::Simulator &sim, KvRouter &router)
+        : sim_(sim), router_(router)
+    {
+    }
+
+    /** Open a session homed on node @p origin. */
+    ClientId addClient(net::NodeId origin,
+                       const ClientParams &params);
+
+    /** Open a session with default admission parameters. */
+    ClientId
+    addClient(net::NodeId origin)
+    {
+        return addClient(origin, ClientParams{});
+    }
+
+    /** Number of sessions. */
+    std::size_t clientCount() const { return clients_.size(); }
+
+    /**
+     * @name Operations
+     * Each call either enters the client's window (possibly after
+     * queueing) or completes promptly with Overloaded. The done
+     * callback always fires exactly once.
+     */
+    ///@{
+    void get(ClientId client, Key key, KvRouter::GetDone done);
+    void put(ClientId client, Key key, flash::PageBuffer value,
+             KvRouter::AckDone done);
+    void del(ClientId client, Key key, KvRouter::AckDone done);
+    void multiGet(ClientId client, std::vector<Key> keys,
+                  KvRouter::MultiGetDone done);
+    ///@}
+
+    /** Operations currently dispatched for @p client. */
+    unsigned inFlight(ClientId client) const
+    {
+        return clients_.at(client).inFlight;
+    }
+
+    /** Operations currently queued for @p client. */
+    std::size_t queued(ClientId client) const
+    {
+        return clients_.at(client).queue.size();
+    }
+
+    /** @name Statistics */
+    ///@{
+    std::uint64_t admitted() const { return admitted_; }
+    std::uint64_t rejected() const { return rejected_; }
+    /** High-water mark of any client's wait queue. */
+    std::size_t maxQueued() const { return maxQueued_; }
+    ///@}
+
+  private:
+    /** A queued operation: fires the real dispatch when a window
+     * slot frees up, receiving the completion hook to call when the
+     * operation finishes. */
+    using Launch = std::function<void(std::function<void()>)>;
+
+    struct Client
+    {
+        net::NodeId origin = 0;
+        ClientParams params;
+        unsigned inFlight = 0;
+        std::deque<Launch> queue;
+    };
+
+    /** Admit (or reject) one operation for @p client. @p reject
+     * must complete the caller's callback with Overloaded. */
+    void submit(ClientId client, Launch launch,
+                std::function<void()> reject);
+
+    /** Dispatch queued work while the window has room. */
+    void pump(ClientId client);
+
+    sim::Simulator &sim_;
+    KvRouter &router_;
+    std::deque<Client> clients_; //!< stable storage, index = id
+
+    std::uint64_t admitted_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::size_t maxQueued_ = 0;
+};
+
+} // namespace kv
+} // namespace bluedbm
+
+#endif // BLUEDBM_KV_KV_SERVICE_HH

@@ -1,0 +1,106 @@
+#include "kv/kv_shard.hh"
+
+#include <cstring>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace bluedbm {
+namespace kv {
+
+using flash::PageBuffer;
+
+KvShard::KvShard(sim::Simulator &sim, fs::LogFs &fs,
+                 std::string log_name)
+    : sim_(sim), fs_(fs), logName_(std::move(log_name))
+{
+    if (!fs_.create(logName_))
+        sim::fatal("shard log '%s' already exists", logName_.c_str());
+}
+
+void
+KvShard::put(Key key, PageBuffer value, AckDone done)
+{
+    ++puts_;
+    auto len = static_cast<std::uint32_t>(value.size());
+
+    // Log record: [key][len][value bytes], appended at the frontier.
+    std::vector<std::uint8_t> record(recordHeaderBytes + value.size());
+    std::memcpy(record.data(), &key, sizeof(key));
+    std::memcpy(record.data() + sizeof(key), &len, sizeof(len));
+    std::memcpy(record.data() + recordHeaderBytes, value.data(),
+                value.size());
+    std::uint64_t value_offset = fs_.size(logName_) + recordHeaderBytes;
+
+    Entry &e = index_[key];
+    if (e.version != 0)
+        liveBytes_ -= e.valueLen; // overwrite: old version is dead
+    e.valueOffset = value_offset;
+    e.valueLen = len;
+    // Shard-global version: a delete + re-put must never collide
+    // with a still-in-flight append of the key's previous life.
+    std::uint64_t version = e.version = ++nextVersion_;
+    liveBytes_ += len;
+    logBytes_ += record.size();
+
+    // Reads must see this version immediately (read-your-writes):
+    // park it in the memtable until the append is durable.
+    memtable_[key] = std::move(value);
+
+    fs_.append(logName_, std::move(record),
+               [this, key, version, done = std::move(done)](bool ok) {
+        auto it = index_.find(key);
+        if (it != index_.end() && it->second.version == version)
+            memtable_.erase(key); // no newer in-flight version
+        done(ok ? KvStatus::Ok : KvStatus::Error);
+    });
+}
+
+void
+KvShard::get(Key key, GetDone done)
+{
+    ++gets_;
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        sim_.scheduleAfter(0, [done = std::move(done)]() {
+            done(PageBuffer{}, KvStatus::NotFound);
+        });
+        return;
+    }
+    auto mem = memtable_.find(key);
+    if (mem != memtable_.end()) {
+        ++memtableHits_;
+        PageBuffer value = mem->second; // copy: append still owns it
+        sim_.scheduleAfter(0, [value = std::move(value),
+                               done = std::move(done)]() mutable {
+            done(std::move(value), KvStatus::Ok);
+        });
+        return;
+    }
+    fs_.read(logName_, it->second.valueOffset, it->second.valueLen,
+             [done = std::move(done)](std::vector<std::uint8_t> data,
+                                      bool ok) {
+        done(std::move(data),
+             ok ? KvStatus::Ok : KvStatus::Error);
+    });
+}
+
+void
+KvShard::del(Key key, AckDone done)
+{
+    ++deletes_;
+    auto it = index_.find(key);
+    KvStatus st = KvStatus::NotFound;
+    if (it != index_.end()) {
+        liveBytes_ -= it->second.valueLen;
+        index_.erase(it);
+        memtable_.erase(key);
+        st = KvStatus::Ok;
+    }
+    sim_.scheduleAfter(0,
+                       [st, done = std::move(done)]() { done(st); });
+}
+
+} // namespace kv
+} // namespace bluedbm

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Per-node key-value shard: a log-structured value store over the
+ * node's flash file system.
+ *
+ * Values are appended to one shard log file in fs::LogFs (which
+ * stripes pages across the card's buses and garbage-collects
+ * blocks); the shard keeps the key -> byte-range index in host
+ * memory, exactly as the paper's RFS keeps file metadata in memory
+ * (section 4). A small write-back memtable holds values whose log
+ * append is still in flight so that reads are always
+ * read-your-writes without waiting for NAND program latency --
+ * the same role as the paper's host-side page buffers.
+ *
+ * This is the storage half of the figure 17 scenario: every value
+ * lives in flash, none are assumed cached in DRAM, and a get costs
+ * one (queued) flash page read.
+ */
+
+#ifndef BLUEDBM_KV_KV_SHARD_HH
+#define BLUEDBM_KV_KV_SHARD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "fs/log_fs.hh"
+#include "kv/kv_types.hh"
+#include "sim/simulator.hh"
+
+namespace bluedbm {
+namespace kv {
+
+/**
+ * One node's slice of the key space.
+ */
+class KvShard
+{
+  public:
+    /** Delivers a get result (value is empty unless status is Ok). */
+    using GetDone = std::function<void(flash::PageBuffer, KvStatus)>;
+    /** Acknowledges a put or delete. */
+    using AckDone = std::function<void(KvStatus)>;
+
+    /**
+     * @param sim      simulation kernel
+     * @param fs       the node's log-structured file system
+     * @param log_name shard log file, created here (must be fresh)
+     */
+    KvShard(sim::Simulator &sim, fs::LogFs &fs, std::string log_name);
+
+    /**
+     * Store @p value under @p key. The index and memtable are
+     * updated immediately (reads see the new version at once); the
+     * ack fires when the log append is durable on flash.
+     */
+    void put(Key key, flash::PageBuffer value, AckDone done);
+
+    /**
+     * Fetch the live version of @p key: from the memtable when the
+     * append is still in flight, else one flash read of the log.
+     */
+    void get(Key key, GetDone done);
+
+    /**
+     * Drop @p key. Index-only (metadata persistence is out of scope
+     * for the simulation, as in LogFs); acks NotFound when absent.
+     */
+    void del(Key key, AckDone done);
+
+    /** Whether a live version of @p key exists. */
+    bool contains(Key key) const { return index_.count(key) != 0; }
+
+    /** Number of live keys. */
+    std::size_t keyCount() const { return index_.size(); }
+
+    /** Bytes of live values (excludes dead log versions). */
+    std::uint64_t liveBytes() const { return liveBytes_; }
+
+    /** @name Statistics */
+    ///@{
+    std::uint64_t gets() const { return gets_; }
+    std::uint64_t puts() const { return puts_; }
+    std::uint64_t deletes() const { return deletes_; }
+    std::uint64_t misses() const { return misses_; }
+    /** Gets served from the in-flight write-back memtable. */
+    std::uint64_t memtableHits() const { return memtableHits_; }
+    /** Bytes appended to the shard log (live + since-dead). */
+    std::uint64_t logBytes() const { return logBytes_; }
+    ///@}
+
+  private:
+    /** Per-record log header: key + value length. */
+    static constexpr std::uint32_t recordHeaderBytes = 12;
+
+    struct Entry
+    {
+        std::uint64_t valueOffset = 0; //!< byte offset in the log
+        std::uint32_t valueLen = 0;
+        /** Shard-global monotonic version; gates memtable
+         * retirement (0 = freshly default-constructed). */
+        std::uint64_t version = 0;
+    };
+
+    sim::Simulator &sim_;
+    fs::LogFs &fs_;
+    std::string logName_;
+
+    std::unordered_map<Key, Entry> index_;
+    /** Values whose append has not completed yet, newest version. */
+    std::unordered_map<Key, flash::PageBuffer> memtable_;
+    std::uint64_t nextVersion_ = 0;
+
+    std::uint64_t liveBytes_ = 0;
+    std::uint64_t logBytes_ = 0;
+    std::uint64_t gets_ = 0;
+    std::uint64_t puts_ = 0;
+    std::uint64_t deletes_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t memtableHits_ = 0;
+};
+
+} // namespace kv
+} // namespace bluedbm
+
+#endif // BLUEDBM_KV_KV_SHARD_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared types of the sharded key-value service.
+ *
+ * The KV layer is the serving scenario of the paper's figure 17: a
+ * RAMCloud-style low-latency store whose working set does NOT fit in
+ * DRAM. Instead of a DRAM cluster that falls off a cliff when even
+ * 5-10% of accesses miss to storage, BlueDBM keeps *all* values in
+ * the cluster-wide flash address space and serves them at
+ * near-uniform latency over the integrated storage network. These
+ * types define the wire protocol that rides net::Message payloads
+ * between the requesting node and the owning shards.
+ */
+
+#ifndef BLUEDBM_KV_KV_TYPES_HH
+#define BLUEDBM_KV_KV_TYPES_HH
+
+#include <cstdint>
+
+#include "flash/types.hh"
+#include "net/message.hh"
+#include "net/payload.hh"
+
+namespace bluedbm {
+namespace kv {
+
+/** Application key: a 64-bit identifier (hashes spread it anyway). */
+using Key = std::uint64_t;
+
+/**
+ * Endpoint assignment of the KV service. Endpoints 1..7 belong to
+ * the core remote-read protocol (core/messages.hh); the KV service
+ * claims two more, so clusters hosting it must be built with
+ * network endpoints >= kvRequiredEndpoints.
+ */
+enum : net::EndpointId
+{
+    epKvService = 8, //!< shard requests (get/put/delete)
+    epKvData = 9,    //!< responses back to the requesting node
+};
+
+/** Network endpoints a KV-serving cluster needs. */
+constexpr unsigned kvRequiredEndpoints = 10;
+
+/** Completion status of a KV operation. */
+enum class KvStatus : std::uint8_t
+{
+    Ok,         //!< success; value (if any) is valid
+    NotFound,   //!< no live version of the key
+    Overloaded, //!< rejected at admission (client queue full)
+    Error,      //!< storage error underneath
+};
+
+/** Operations of the shard protocol. */
+enum class KvOp : std::uint8_t { Get, Put, Delete };
+
+/** On-wire size of the fixed request/response header (command, key,
+ * request id, routing fields). Value bytes ride on top. */
+constexpr std::uint32_t kvHeaderBytes = 32;
+
+/**
+ * Ask a shard to perform one operation. Travels origin -> owner on
+ * epKvService; `value` carries put data (untimed -- the timed size
+ * is Message::bytes, header plus value length).
+ */
+struct KvRequest
+{
+    std::uint64_t reqId = 0;
+    Key key = 0;
+    KvOp op = KvOp::Get;
+    net::EndpointId replyEndpoint = epKvData;
+    flash::PageBuffer value; //!< put payload; empty otherwise
+};
+
+/**
+ * One operation's result, owner -> origin on epKvData.
+ */
+struct KvResponse
+{
+    std::uint64_t reqId = 0;
+    KvStatus status = KvStatus::Ok;
+    flash::PageBuffer value; //!< get result; empty otherwise
+};
+
+static_assert(sizeof(KvRequest) <= net::PayloadPool::slotBytes &&
+                  sizeof(KvResponse) <= net::PayloadPool::slotBytes,
+              "KV protocol structs must recycle through the payload "
+              "pool, not the heap");
+
+/**
+ * splitmix64 finalizer: the KV layer's hash for keys and ring
+ * points. Deterministic across platforms (unlike std::hash).
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace kv
+} // namespace bluedbm
+
+#endif // BLUEDBM_KV_KV_TYPES_HH

@@ -15,7 +15,7 @@ Lane::Lane(sim::Simulator &sim, const LaneParams &params)
 }
 
 void
-Lane::send(Message msg, std::function<void()> on_start)
+Lane::send(Message msg, HopHook on_start)
 {
     if (msg.bytes > params_.bufferBytes)
         sim::fatal("message of %u bytes exceeds lane buffer %u",

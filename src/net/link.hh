@@ -18,15 +18,25 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "net/message.hh"
 #include "sim/bandwidth.hh"
+#include "sim/inline_function.hh"
 #include "sim/simulator.hh"
 #include "sim/types.hh"
 
 namespace bluedbm {
 namespace net {
+
+/**
+ * Per-hop completion hook: fires when a message leaves a buffer so
+ * the upstream stage can release credits (backpressure chaining).
+ * An InlineFunction rather than std::function so the move-only,
+ * allocation-free property of the forwarding path is guaranteed by
+ * the type (16 bytes cover the common capture: a lane pointer plus a
+ * byte count) instead of depending on the standard library's SBO.
+ */
+using HopHook = sim::InlineFunction<void(), 16>;
 
 /**
  * Physical parameters of one serial lane.
@@ -59,8 +69,9 @@ struct LaneParams
 class Lane
 {
   public:
-    /** Callback receiving a delivered message. */
-    using Deliver = std::function<void(Message)>;
+    /** Callback receiving a delivered message (a switch's arrival
+     * hook: one pointer plus a lane index stays inline). */
+    using Deliver = sim::InlineFunction<void(Message), 16>;
 
     /**
      * @param sim    simulation kernel
@@ -81,7 +92,7 @@ class Lane
      *                 it to release the upstream lane's credits so
      *                 that backpressure chains across hops
      */
-    void send(Message msg, std::function<void()> on_start = {});
+    void send(Message msg, HopHook on_start = {});
 
     /**
      * Return credits for @p bytes of receiver buffer. Called by the
@@ -121,7 +132,7 @@ class Lane
     struct Pending
     {
         Message msg;
-        std::function<void()> onStart;
+        HopHook onStart;
     };
 
     sim::Simulator &sim_;

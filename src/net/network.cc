@@ -92,7 +92,7 @@ Endpoint::enableEndToEnd(unsigned credits)
 }
 
 void
-Endpoint::deliver(Message msg, std::function<void()> release)
+Endpoint::deliver(Message msg, HopHook release)
 {
     if (recvQueue_.size() >= recvCapacity_) {
         // Hold the upstream buffer: this is where backpressure
@@ -156,9 +156,13 @@ StorageNetwork::StorageNetwork(sim::Simulator &sim,
             end.peer = dir == 0 ? spec.nodeB : spec.nodeA;
             end.lane = std::make_unique<Lane>(sim_, params_.lane);
             std::size_t idx = lanes_.size();
-            end.lane->setDeliver([this, idx](Message msg) {
+            auto on_deliver = [this, idx](Message msg) {
                 arrive(lanes_[idx].peer, idx, std::move(msg));
-            });
+            };
+            static_assert(Lane::Deliver::storedInline<
+                              decltype(on_deliver)>(),
+                          "lane delivery capture must stay inline");
+            end.lane->setDeliver(std::move(on_deliver));
             outLanes_[end.owner].push_back(idx);
             lanes_.push_back(std::move(end));
         }
@@ -290,13 +294,16 @@ StorageNetwork::arrive(NodeId node, std::size_t lane_idx, Message msg)
 {
     Lane *upstream = lanes_[lane_idx].lane.get();
     std::uint32_t bytes = msg.bytes;
-    route(node, std::move(msg),
-          [upstream, bytes]() { upstream->releaseCredits(bytes); });
+    auto release = [upstream, bytes]() {
+        upstream->releaseCredits(bytes);
+    };
+    static_assert(HopHook::storedInline<decltype(release)>(),
+                  "credit release capture must stay inline");
+    route(node, std::move(msg), std::move(release));
 }
 
 void
-StorageNetwork::route(NodeId node, Message msg,
-                      std::function<void()> release)
+StorageNetwork::route(NodeId node, Message msg, HopHook release)
 {
     if (msg.dst == node) {
         if (msg.endpoint == controlEndpoint) {

@@ -24,7 +24,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <type_traits>
@@ -48,8 +47,11 @@ class StorageNetwork;
 class Endpoint
 {
   public:
-    /** Handler invoked for each received message (auto-drain mode). */
-    using Handler = std::function<void(Message)>;
+    /** Handler invoked for each received message (auto-drain mode).
+     * InlineFunction so installing and invoking receive handlers
+     * never allocates for the typical capture (a this-pointer or a
+     * few references; 48 bytes of room, heap fallback beyond). */
+    using Handler = sim::InlineFunction<void(Message), 48>;
 
     /**
      * Send @p bytes to endpoint @p endpoint-equivalent on node
@@ -123,7 +125,7 @@ class Endpoint
     void pumpSend();
 
     /** Called by the network when a message arrives for us. */
-    void deliver(Message msg, std::function<void()> release);
+    void deliver(Message msg, HopHook release);
 
     /** Called when an end-to-end credit comes back from @p from. */
     void creditReturned(NodeId from);
@@ -138,7 +140,7 @@ class Endpoint
     struct Parked
     {
         Message msg;
-        std::function<void()> release;
+        HopHook release;
     };
     std::deque<Message> recvQueue_;
     std::deque<Parked> parked_; //!< arrived but receive buffer full
@@ -234,7 +236,7 @@ class StorageNetwork
 
     /** Forward or deliver @p msg at @p node; @p release frees the
      * upstream buffer once the message moves on. */
-    void route(NodeId node, Message msg, std::function<void()> release);
+    void route(NodeId node, Message msg, HopHook release);
 
     /** Send an end-to-end credit token back to @p msg's sender. */
     void returnE2eCredit(const Message &msg);

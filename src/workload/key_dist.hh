@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Key-distribution and arrival-process generators for the workload
+ * engine.
+ *
+ * The mixes that matter for a flash-backed serving appliance are
+ * skewed: a handful of hot keys absorb most traffic (the Zipfian
+ * request distributions YCSB standardized, also used by recent
+ * near-data KV evaluations). The Zipfian generator below is the
+ * Gray et al. rejection-free algorithm YCSB uses, built on the
+ * simulator's deterministic Rng so runs are reproducible across
+ * platforms. Poisson arrivals drive the open-loop client model.
+ */
+
+#ifndef BLUEDBM_WORKLOAD_KEY_DIST_HH
+#define BLUEDBM_WORKLOAD_KEY_DIST_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace bluedbm {
+namespace workload {
+
+/**
+ * Uniform keys over [0, n).
+ */
+class UniformKeys
+{
+  public:
+    UniformKeys(std::uint64_t n, std::uint64_t seed) : rng_(seed), n_(n)
+    {
+        if (n == 0)
+            sim::fatal("key space must be non-empty");
+    }
+
+    /** Next key. */
+    std::uint64_t next() { return rng_.below(n_); }
+
+    /** Restart the stream from @p seed. */
+    void reseed(std::uint64_t seed) { rng_ = sim::Rng(seed); }
+
+  private:
+    sim::Rng rng_;
+    std::uint64_t n_;
+};
+
+/**
+ * Zipfian keys over [0, n): key 0 is the most popular, with
+ * P(rank r) proportional to 1/(r+1)^theta.
+ *
+ * Implements the Gray et al. "Quickly generating billion-record
+ * synthetic databases" algorithm (the YCSB generator): constant
+ * time per sample after an O(n) zeta precomputation. theta must be
+ * in (0, 1); YCSB's default of 0.99 is the classic "hot" serving
+ * skew.
+ */
+class ZipfianKeys
+{
+  public:
+    ZipfianKeys(std::uint64_t n, double theta, std::uint64_t seed)
+        : rng_(seed), n_(n), theta_(theta)
+    {
+        if (n == 0)
+            sim::fatal("key space must be non-empty");
+        if (!(theta > 0.0) || !(theta < 1.0))
+            sim::fatal("zipfian theta must be in (0, 1)");
+        zetan_ = zeta(n_, theta_);
+        zeta2_ = zeta(2, theta_);
+        alpha_ = 1.0 / (1.0 - theta_);
+        eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) /
+            (1.0 - zeta2_ / zetan_);
+    }
+
+    /** Next key (0 = hottest rank). */
+    std::uint64_t
+    next()
+    {
+        double u = rng_.uniform();
+        double uz = u * zetan_;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + std::pow(0.5, theta_))
+            return 1;
+        auto k = static_cast<std::uint64_t>(
+            double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+        return k >= n_ ? n_ - 1 : k;
+    }
+
+    /** Key-space size. */
+    std::uint64_t size() const { return n_; }
+
+    /** Restart the stream from @p seed (reuses the zeta
+     * precomputation -- copy one prototype per client). */
+    void reseed(std::uint64_t seed) { rng_ = sim::Rng(seed); }
+
+  private:
+    static double
+    zeta(std::uint64_t n, double theta)
+    {
+        double sum = 0.0;
+        for (std::uint64_t i = 1; i <= n; ++i)
+            sum += 1.0 / std::pow(double(i), theta);
+        return sum;
+    }
+
+    sim::Rng rng_;
+    std::uint64_t n_;
+    double theta_;
+    double zetan_ = 0.0;
+    double zeta2_ = 0.0;
+    double alpha_ = 0.0;
+    double eta_ = 0.0;
+};
+
+/**
+ * Poisson process: exponential interarrival gaps at a fixed rate,
+ * the open-loop client model (arrivals do not wait for
+ * completions, which is what exposes tail-latency collapse).
+ */
+class PoissonArrivals
+{
+  public:
+    /** @param per_sec mean arrival rate in events per second */
+    PoissonArrivals(double per_sec, std::uint64_t seed)
+        : rng_(seed), perSec_(per_sec)
+    {
+        if (!(per_sec > 0.0))
+            sim::fatal("arrival rate must be positive");
+    }
+
+    /** Ticks until the next arrival. */
+    sim::Tick
+    nextGap()
+    {
+        // Inverse CDF; 1-u avoids log(0).
+        double gap_sec = -std::log(1.0 - rng_.uniform()) / perSec_;
+        return sim::secToTicks(gap_sec);
+    }
+
+  private:
+    sim::Rng rng_;
+    double perSec_;
+};
+
+} // namespace workload
+} // namespace bluedbm
+
+#endif // BLUEDBM_WORKLOAD_KEY_DIST_HH

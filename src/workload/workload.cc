@@ -1,0 +1,260 @@
+#include "workload/workload.hh"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace bluedbm {
+namespace workload {
+
+using flash::PageBuffer;
+using kv::Key;
+using kv::KvStatus;
+
+WorkloadEngine::WorkloadEngine(sim::Simulator &sim,
+                               core::Cluster &cluster,
+                               kv::KvRouter &router,
+                               kv::KvService &service,
+                               const WorkloadParams &params)
+    : sim_(sim), router_(router), service_(service), params_(params),
+      clusterSize_(cluster.size())
+{
+    if (params_.mix.readFrac + params_.mix.scanFrac > 1.0)
+        sim::fatal("operation mix fractions exceed 1");
+    if (params_.openLoop && !(params_.arrivalsPerSec > 0.0))
+        sim::fatal("open-loop workload needs an arrival rate");
+    if (params_.pipeline == 0)
+        sim::fatal("closed-loop pipeline must be >= 1");
+
+    unsigned total_clients = clusterSize_ * params_.clientsPerNode;
+    if (total_clients == 0)
+        sim::fatal("workload needs at least one client");
+
+    // One Zipfian prototype shares the O(n) zeta precomputation.
+    std::unique_ptr<ZipfianKeys> proto;
+    if (params_.zipfian) {
+        proto = std::make_unique<ZipfianKeys>(
+            params_.keys, params_.theta, params_.seed);
+    }
+
+    clients_.resize(total_clients);
+    for (unsigned i = 0; i < total_clients; ++i) {
+        ClientState &c = clients_[i];
+        net::NodeId origin =
+            net::NodeId(i % clusterSize_); // spread across nodes
+        c.id = service_.addClient(origin, params_.client);
+        std::uint64_t cseed = kv::mix64(
+            params_.seed ^ (0x9e3779b97f4a7c15ull * (i + 1)));
+        c.opRng = sim::Rng(cseed);
+        if (params_.zipfian) {
+            c.zipf = std::make_unique<ZipfianKeys>(*proto);
+            c.zipf->reseed(cseed ^ 0x5bf036350c488d15ull);
+        } else {
+            c.uniform = std::make_unique<UniformKeys>(
+                params_.keys, cseed ^ 0x5bf036350c488d15ull);
+        }
+        if (params_.openLoop) {
+            c.arrivals = std::make_unique<PoissonArrivals>(
+                params_.arrivalsPerSec,
+                cseed ^ 0xc2b2ae3d27d4eb4full);
+        }
+        c.quota = params_.totalOps / total_clients +
+            (i < params_.totalOps % total_clients ? 1 : 0);
+    }
+    targetOps_ = params_.totalOps;
+}
+
+PageBuffer
+WorkloadEngine::makeValue(Key key, std::uint32_t bytes)
+{
+    PageBuffer value(bytes);
+    std::uint64_t h = kv::mix64(key);
+    for (std::uint32_t i = 0; i < bytes; ++i)
+        value[i] = std::uint8_t((h >> ((i % 8) * 8)) ^ i);
+    return value;
+}
+
+void
+WorkloadEngine::preload(std::function<void()> done)
+{
+    preloadNext_ = 0;
+    preloadCompleted_ = 0;
+    preloadDone_ = std::move(done);
+    if (params_.keys == 0) {
+        sim_.scheduleAfter(0, [this]() {
+            auto fin = std::move(preloadDone_);
+            preloadDone_ = nullptr;
+            fin();
+        });
+        return;
+    }
+    pumpPreload();
+}
+
+void
+WorkloadEngine::pumpPreload()
+{
+    // Bounded bulk load straight through the router: admission
+    // control is a serving-phase concern. Origins rotate so the
+    // load exercises every node's request path.
+    constexpr unsigned window = 64;
+    while (preloadNext_ < params_.keys &&
+           preloadNext_ - preloadCompleted_ < window) {
+        Key key = preloadNext_++;
+        router_.put(net::NodeId(key % clusterSize_), key,
+                    makeValue(key, params_.valueBytes),
+                    [this](KvStatus st) {
+            if (st != KvStatus::Ok)
+                sim::fatal("preload put failed");
+            if (++preloadCompleted_ == params_.keys) {
+                auto fin = std::move(preloadDone_);
+                preloadDone_ = nullptr;
+                fin();
+                return;
+            }
+            pumpPreload();
+        });
+    }
+}
+
+Key
+WorkloadEngine::nextKey(ClientState &c)
+{
+    return c.zipf ? c.zipf->next() : c.uniform->next();
+}
+
+void
+WorkloadEngine::opFinished(std::size_t ci, sim::Tick start,
+                           sim::LatencyHistogram &hist, bool accepted)
+{
+    if (accepted) {
+        sim::Tick lat = sim_.now() - start;
+        hist.record(lat);
+        allLat_.record(lat);
+    } else {
+        ++rejected_;
+    }
+    ++completed_;
+    endTick_ = sim_.now();
+    if (completed_ == targetOps_) {
+        auto fin = std::move(runDone_);
+        runDone_ = nullptr;
+        if (fin)
+            fin();
+        return;
+    }
+    if (!params_.openLoop)
+        refill(ci); // closed loop: completion begets the next op
+}
+
+void
+WorkloadEngine::issueOne(std::size_t ci)
+{
+    ClientState &c = clients_[ci];
+    double u = c.opRng.uniform();
+    sim::Tick start = sim_.now();
+
+    if (u < params_.mix.readFrac) {
+        service_.get(c.id, nextKey(c),
+                     [this, ci, start](PageBuffer, KvStatus st) {
+            if (st == KvStatus::NotFound)
+                ++notFound_;
+            opFinished(ci, start, readLat_,
+                       st != KvStatus::Overloaded);
+        });
+        return;
+    }
+    if (u < params_.mix.readFrac + params_.mix.scanFrac) {
+        std::vector<Key> keys(params_.mix.scanLen);
+        for (auto &k : keys)
+            k = nextKey(c);
+        service_.multiGet(c.id, std::move(keys),
+                          [this, ci, start](
+                              std::vector<PageBuffer>,
+                              std::vector<KvStatus> sts) {
+            bool accepted = true;
+            for (KvStatus st : sts) {
+                if (st == KvStatus::Overloaded)
+                    accepted = false;
+                else if (st == KvStatus::NotFound)
+                    ++notFound_;
+            }
+            opFinished(ci, start, scanLat_, accepted);
+        });
+        return;
+    }
+    Key key = nextKey(c);
+    service_.put(c.id, key, makeValue(key, params_.valueBytes),
+                 [this, ci, start](KvStatus st) {
+        opFinished(ci, start, writeLat_,
+                   st != KvStatus::Overloaded);
+    });
+}
+
+void
+WorkloadEngine::refill(std::size_t ci)
+{
+    ClientState &c = clients_[ci];
+    if (c.issued >= c.quota)
+        return;
+    ++c.issued;
+    issueOne(ci);
+}
+
+void
+WorkloadEngine::scheduleArrival(std::size_t ci)
+{
+    ClientState &c = clients_[ci];
+    if (c.issued >= c.quota)
+        return;
+    sim_.scheduleAfter(c.arrivals->nextGap(), [this, ci]() {
+        ClientState &cl = clients_[ci];
+        if (cl.issued >= cl.quota)
+            return;
+        ++cl.issued;
+        issueOne(ci);
+        scheduleArrival(ci);
+    });
+}
+
+void
+WorkloadEngine::run(std::function<void()> done)
+{
+    runDone_ = std::move(done);
+    startTick_ = sim_.now();
+    endTick_ = startTick_;
+    if (targetOps_ == 0) {
+        sim_.scheduleAfter(0, [this]() {
+            auto fin = std::move(runDone_);
+            runDone_ = nullptr;
+            if (fin)
+                fin();
+        });
+        return;
+    }
+    for (std::size_t ci = 0; ci < clients_.size(); ++ci) {
+        if (params_.openLoop) {
+            scheduleArrival(ci);
+        } else {
+            auto burst = std::min<std::uint64_t>(
+                params_.pipeline, clients_[ci].quota);
+            for (std::uint64_t p = 0; p < burst; ++p)
+                refill(ci);
+        }
+    }
+}
+
+double
+WorkloadEngine::throughputOpsPerSec() const
+{
+    std::uint64_t accepted = completed_ - rejected_;
+    sim::Tick elapsed = endTick_ - startTick_;
+    if (elapsed == 0)
+        return 0.0;
+    return double(accepted) / sim::ticksToSec(elapsed);
+}
+
+} // namespace workload
+} // namespace bluedbm

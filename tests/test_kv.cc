@@ -1,0 +1,495 @@
+/**
+ * @file
+ * Unit and integration tests for the sharded key-value service:
+ * shard storage semantics, consistent-hash routing with
+ * replication, and the admission-controlled front-end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/cluster.hh"
+#include "kv/kv_router.hh"
+#include "kv/kv_service.hh"
+#include "kv/kv_shard.hh"
+#include "sim/simulator.hh"
+
+using namespace bluedbm;
+using flash::PageBuffer;
+using kv::Key;
+using kv::KvStatus;
+
+namespace {
+
+core::ClusterParams
+kvCluster(unsigned nodes)
+{
+    core::ClusterParams p;
+    p.topology = nodes == 2 ? net::Topology::line(2)
+                            : net::Topology::ring(nodes, 2);
+    p.node.geometry = flash::Geometry::tiny();
+    p.node.timing = flash::Timing::fast();
+    p.node.cards = 2;
+    p.node.controllerTags = 64;
+    p.network.endpoints = kv::kvRequiredEndpoints;
+    return p;
+}
+
+PageBuffer
+val(std::uint8_t fill, std::size_t n = 64)
+{
+    return PageBuffer(n, fill);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- //
+// KvShard
+// ---------------------------------------------------------------- //
+
+TEST(KvShard, PutGetRoundTrip)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(2));
+    kv::KvShard shard(sim, cluster.node(0).fs(), "t");
+
+    bool put_ok = false;
+    shard.put(7, val(0xaa), [&](KvStatus st) {
+        put_ok = st == KvStatus::Ok;
+    });
+    sim.run();
+    EXPECT_TRUE(put_ok);
+    EXPECT_TRUE(shard.contains(7));
+    EXPECT_EQ(shard.keyCount(), 1u);
+
+    PageBuffer got;
+    KvStatus st = KvStatus::Error;
+    shard.get(7, [&](PageBuffer v, KvStatus s) {
+        got = std::move(v);
+        st = s;
+    });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Ok);
+    EXPECT_EQ(got, val(0xaa));
+}
+
+TEST(KvShard, ReadYourWritesBeforeDurable)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(2));
+    kv::KvShard shard(sim, cluster.node(0).fs(), "t");
+
+    // Get issued immediately after put, before the log append has
+    // any chance to reach flash: served from the memtable.
+    shard.put(1, val(0x11), [](KvStatus) {});
+    PageBuffer got;
+    shard.get(1, [&](PageBuffer v, KvStatus) { got = std::move(v); });
+    sim.run();
+    EXPECT_EQ(got, val(0x11));
+    EXPECT_GE(shard.memtableHits(), 1u);
+
+    // After the append is durable the memtable entry retires and
+    // the value comes back from flash.
+    PageBuffer again;
+    shard.get(1, [&](PageBuffer v, KvStatus) { again = std::move(v); });
+    sim.run();
+    EXPECT_EQ(again, val(0x11));
+    EXPECT_EQ(shard.memtableHits(), 1u);
+}
+
+TEST(KvShard, OverwriteReturnsLatest)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(2));
+    kv::KvShard shard(sim, cluster.node(0).fs(), "t");
+
+    shard.put(3, val(0x01), [](KvStatus) {});
+    sim.run();
+    shard.put(3, val(0x02), [](KvStatus) {});
+    sim.run();
+    PageBuffer got;
+    shard.get(3, [&](PageBuffer v, KvStatus) { got = std::move(v); });
+    sim.run();
+    EXPECT_EQ(got, val(0x02));
+    EXPECT_EQ(shard.keyCount(), 1u);
+    EXPECT_EQ(shard.liveBytes(), 64u);
+    EXPECT_GT(shard.logBytes(), shard.liveBytes());
+}
+
+TEST(KvShard, DeleteThenMiss)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(2));
+    kv::KvShard shard(sim, cluster.node(0).fs(), "t");
+
+    shard.put(5, val(0x05), [](KvStatus) {});
+    sim.run();
+    KvStatus del_st = KvStatus::Error;
+    shard.del(5, [&](KvStatus st) { del_st = st; });
+    sim.run();
+    EXPECT_EQ(del_st, KvStatus::Ok);
+    EXPECT_FALSE(shard.contains(5));
+
+    KvStatus get_st = KvStatus::Ok;
+    shard.get(5, [&](PageBuffer, KvStatus st) { get_st = st; });
+    KvStatus del2_st = KvStatus::Ok;
+    shard.del(5, [&](KvStatus st) { del2_st = st; });
+    sim.run();
+    EXPECT_EQ(get_st, KvStatus::NotFound);
+    EXPECT_EQ(del2_st, KvStatus::NotFound);
+}
+
+TEST(KvShard, DeleteAndReputWhileAppendInFlight)
+{
+    // Regression: a still-in-flight append of the key's previous
+    // life must not retire the new life's memtable entry.
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(2));
+    kv::KvShard shard(sim, cluster.node(0).fs(), "t");
+
+    shard.put(9, val(0x0a), [](KvStatus) {});
+    shard.del(9, [](KvStatus) {});
+    shard.put(9, val(0x0b), [](KvStatus) {});
+    sim.run();
+
+    PageBuffer got;
+    KvStatus st = KvStatus::Error;
+    shard.get(9, [&](PageBuffer v, KvStatus s) {
+        got = std::move(v);
+        st = s;
+    });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Ok);
+    EXPECT_EQ(got, val(0x0b));
+}
+
+// ---------------------------------------------------------------- //
+// KvRouter
+// ---------------------------------------------------------------- //
+
+TEST(KvRouter, OwnersAreDeterministicAndDistinct)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvParams kp;
+    kp.replication = 3;
+    kv::KvRouter router(sim, cluster, kp);
+
+    for (Key k = 0; k < 200; ++k) {
+        auto own = router.owners(k);
+        ASSERT_EQ(own.size(), 3u);
+        std::set<net::NodeId> uniq(own.begin(), own.end());
+        EXPECT_EQ(uniq.size(), 3u);
+        EXPECT_EQ(own, router.owners(k));
+        for (net::NodeId n : own)
+            EXPECT_LT(n, 4u);
+    }
+}
+
+TEST(KvRouter, PrimariesBalanceAcrossNodes)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, kv::KvParams{});
+
+    std::vector<unsigned> counts(4, 0);
+    const unsigned keys = 4000;
+    for (Key k = 0; k < keys; ++k)
+        ++counts[router.owners(k)[0]];
+    for (unsigned n = 0; n < 4; ++n) {
+        // Mean is 25%; consistent hashing with 64 vnodes stays well
+        // inside a 2x envelope.
+        EXPECT_GT(counts[n], keys / 8) << "node " << n;
+        EXPECT_LT(counts[n], keys / 2) << "node " << n;
+    }
+}
+
+TEST(KvRouter, PutReplicatesToAllOwners)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, kv::KvParams{});
+
+    const Key key = 42;
+    KvStatus st = KvStatus::Error;
+    router.put(0, key, val(0x42), [&](KvStatus s) { st = s; });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Ok);
+
+    auto own = router.owners(key);
+    ASSERT_EQ(own.size(), 2u);
+    for (net::NodeId n : own)
+        EXPECT_TRUE(router.shard(n).contains(key))
+            << "replica on node " << n;
+    // Only the owners hold it.
+    for (unsigned n = 0; n < 4; ++n) {
+        if (std::find(own.begin(), own.end(), n) == own.end()) {
+            EXPECT_FALSE(
+                router.shard(net::NodeId(n)).contains(key));
+        }
+    }
+}
+
+TEST(KvRouter, RemoteGetCrossesNetwork)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, kv::KvParams{});
+
+    // A key owned by neither replica on node 0.
+    Key key = 0;
+    while (true) {
+        auto own = router.owners(key);
+        if (std::find(own.begin(), own.end(), 0) == own.end())
+            break;
+        ++key;
+    }
+    router.put(0, key, val(0x77), [](KvStatus) {});
+    sim.run();
+    std::uint64_t remote_before = router.remoteOps();
+
+    PageBuffer got;
+    KvStatus st = KvStatus::Error;
+    router.get(0, key, [&](PageBuffer v, KvStatus s) {
+        got = std::move(v);
+        st = s;
+    });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Ok);
+    EXPECT_EQ(got, val(0x77));
+    EXPECT_GT(router.remoteOps(), remote_before);
+}
+
+TEST(KvRouter, ReadPrefersLocalReplica)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, kv::KvParams{});
+
+    // A key with a replica on node 2.
+    Key key = 0;
+    while (true) {
+        auto own = router.owners(key);
+        if (std::find(own.begin(), own.end(), 2) != own.end())
+            break;
+        ++key;
+    }
+    EXPECT_EQ(router.readReplica(2, key), 2u);
+    router.put(2, key, val(0x33), [](KvStatus) {});
+    sim.run();
+
+    std::uint64_t local_before = router.localOps();
+    PageBuffer got;
+    router.get(2, key, [&](PageBuffer v, KvStatus) {
+        got = std::move(v);
+    });
+    sim.run();
+    EXPECT_EQ(got, val(0x33));
+    EXPECT_GT(router.localOps(), local_before);
+}
+
+TEST(KvRouter, DeleteRemovesEveryReplica)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, kv::KvParams{});
+
+    const Key key = 19;
+    router.put(1, key, val(0x19), [](KvStatus) {});
+    sim.run();
+    KvStatus st = KvStatus::Error;
+    router.del(3, key, [&](KvStatus s) { st = s; });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Ok);
+    for (unsigned n = 0; n < 4; ++n)
+        EXPECT_FALSE(router.shard(net::NodeId(n)).contains(key));
+
+    KvStatus get_st = KvStatus::Ok;
+    router.get(0, key, [&](PageBuffer, KvStatus s) { get_st = s; });
+    sim.run();
+    EXPECT_EQ(get_st, KvStatus::NotFound);
+}
+
+TEST(KvRouter, MultiGetAlignsValuesWithKeys)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, kv::KvParams{});
+
+    router.put(0, 1, val(0x01), [](KvStatus) {});
+    router.put(1, 2, val(0x02), [](KvStatus) {});
+    sim.run();
+
+    std::vector<PageBuffer> values;
+    std::vector<KvStatus> sts;
+    router.multiGet(3, {2, 99, 1},
+                    [&](std::vector<PageBuffer> v,
+                        std::vector<KvStatus> s) {
+        values = std::move(v);
+        sts = std::move(s);
+    });
+    sim.run();
+    ASSERT_EQ(values.size(), 3u);
+    EXPECT_EQ(sts[0], KvStatus::Ok);
+    EXPECT_EQ(values[0], val(0x02));
+    EXPECT_EQ(sts[1], KvStatus::NotFound);
+    EXPECT_EQ(sts[2], KvStatus::Ok);
+    EXPECT_EQ(values[2], val(0x01));
+}
+
+TEST(KvRouter, ManyMixedOpsAllComplete)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, kv::KvParams{});
+
+    const int keys = 150;
+    int acks = 0;
+    for (int k = 0; k < keys; ++k) {
+        router.put(net::NodeId(k % 4), Key(k),
+                   val(std::uint8_t(k), 32),
+                   [&](KvStatus st) {
+            EXPECT_EQ(st, KvStatus::Ok);
+            ++acks;
+        });
+    }
+    sim.run();
+    EXPECT_EQ(acks, keys);
+
+    int gets = 0;
+    for (int k = 0; k < keys; ++k) {
+        router.get(net::NodeId((k + 1) % 4), Key(k),
+                   [&, k](PageBuffer v, KvStatus st) {
+            EXPECT_EQ(st, KvStatus::Ok);
+            EXPECT_EQ(v, val(std::uint8_t(k), 32));
+            ++gets;
+        });
+    }
+    sim.run();
+    EXPECT_EQ(gets, keys);
+}
+
+// ---------------------------------------------------------------- //
+// KvService
+// ---------------------------------------------------------------- //
+
+TEST(KvService, WindowBoundsInFlight)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(2));
+    kv::KvRouter router(sim, cluster, kv::KvParams{});
+    kv::KvService service(sim, router);
+
+    router.put(0, 1, val(0x01), [](KvStatus) {});
+    sim.run();
+
+    kv::KvService::ClientParams cp;
+    cp.window = 2;
+    cp.queueCap = 64;
+    auto client = service.addClient(0, cp);
+
+    int done = 0;
+    for (int i = 0; i < 10; ++i) {
+        service.get(client, 1,
+                    [&](PageBuffer, KvStatus st) {
+            EXPECT_EQ(st, KvStatus::Ok);
+            ++done;
+        });
+    }
+    // Submission is synchronous: exactly window ops dispatched, the
+    // rest parked in the client's queue.
+    EXPECT_EQ(service.inFlight(client), 2u);
+    EXPECT_EQ(service.queued(client), 8u);
+    sim.run();
+    EXPECT_EQ(done, 10);
+    EXPECT_EQ(service.inFlight(client), 0u);
+    EXPECT_EQ(service.admitted(), 10u);
+    EXPECT_EQ(service.rejected(), 0u);
+}
+
+TEST(KvService, AdmissionRejectsBeyondQueueCap)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(2));
+    kv::KvRouter router(sim, cluster, kv::KvParams{});
+    kv::KvService service(sim, router);
+
+    kv::KvService::ClientParams cp;
+    cp.window = 1;
+    cp.queueCap = 2;
+    auto client = service.addClient(0, cp);
+
+    int overloaded = 0, completed = 0;
+    for (int i = 0; i < 6; ++i) {
+        service.put(client, Key(i), val(std::uint8_t(i), 16),
+                    [&](KvStatus st) {
+            ++completed;
+            if (st == KvStatus::Overloaded)
+                ++overloaded;
+        });
+    }
+    sim.run();
+    EXPECT_EQ(completed, 6);
+    // 1 in flight + 2 queued admitted; 3 rejected.
+    EXPECT_EQ(overloaded, 3);
+    EXPECT_EQ(service.rejected(), 3u);
+    EXPECT_EQ(service.admitted(), 3u);
+}
+
+TEST(KvService, MultiGetCountsAsOneWindowSlot)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, kv::KvParams{});
+    kv::KvService service(sim, router);
+
+    for (Key k = 0; k < 8; ++k)
+        router.put(0, k, val(std::uint8_t(k), 16), [](KvStatus) {});
+    sim.run();
+
+    kv::KvService::ClientParams cp;
+    cp.window = 1;
+    auto client = service.addClient(1, cp);
+    int done = 0;
+    service.multiGet(client, {0, 1, 2, 3, 4, 5, 6, 7},
+                     [&](std::vector<PageBuffer> values,
+                         std::vector<KvStatus> sts) {
+        EXPECT_EQ(values.size(), 8u);
+        for (KvStatus st : sts)
+            EXPECT_EQ(st, KvStatus::Ok);
+        ++done;
+    });
+    EXPECT_EQ(service.inFlight(client), 1u);
+    sim.run();
+    EXPECT_EQ(done, 1);
+}
+
+TEST(KvService, RejectedMultiGetReportsPerKeyOverload)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(2));
+    kv::KvRouter router(sim, cluster, kv::KvParams{});
+    kv::KvService service(sim, router);
+
+    kv::KvService::ClientParams cp;
+    cp.window = 1;
+    cp.queueCap = 0;
+    auto client = service.addClient(0, cp);
+
+    // queueCap 0: everything beyond... even the first op needs a
+    // queue slot, so it is rejected outright.
+    bool saw = false;
+    service.multiGet(client, {1, 2, 3},
+                     [&](std::vector<PageBuffer> values,
+                         std::vector<KvStatus> sts) {
+        saw = true;
+        EXPECT_EQ(values.size(), 3u);
+        for (KvStatus st : sts)
+            EXPECT_EQ(st, KvStatus::Overloaded);
+    });
+    sim.run();
+    EXPECT_TRUE(saw);
+}

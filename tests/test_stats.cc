@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hh"
 #include "sim/stats.hh"
 
 using namespace bluedbm;
@@ -88,4 +93,101 @@ TEST(Histogram, TracksUnderlyingAccumulator)
     h.sample(3.0);
     EXPECT_EQ(h.acc().count(), 2u);
     EXPECT_DOUBLE_EQ(h.acc().mean(), 2.0);
+}
+
+namespace {
+
+/** Exact quantile of a sorted sample vector (ceil-rank definition,
+ * matching LatencyHistogram). */
+std::uint64_t
+oracleQuantile(std::vector<std::uint64_t> sorted, double q)
+{
+    auto n = sorted.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    return sorted[rank - 1];
+}
+
+void
+expectCloseToOracle(const sim::LatencyHistogram &h,
+                    std::vector<std::uint64_t> values, double q)
+{
+    std::sort(values.begin(), values.end());
+    std::uint64_t exact = oracleQuantile(values, q);
+    std::uint64_t approx = h.quantile(q);
+    // One sub-bucket of slack: 1/64 relative plus the integer edge.
+    double tol = static_cast<double>(exact) / 64.0 + 1.0;
+    EXPECT_NEAR(static_cast<double>(approx),
+                static_cast<double>(exact), tol)
+        << "quantile " << q;
+    // The reported value never undershoots the exact quantile: the
+    // bucket's upper edge is at or above every sample in it.
+    EXPECT_GE(approx, exact);
+}
+
+} // namespace
+
+TEST(LatencyHistogram, EmptyIsZero)
+{
+    sim::LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact)
+{
+    // Values below 128 land in unit-wide buckets: quantiles exact.
+    sim::LatencyHistogram h;
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.record(v);
+    EXPECT_EQ(h.quantile(0.5), 49u);
+    EXPECT_EQ(h.quantile(0.99), 98u);
+    EXPECT_EQ(h.quantile(1.0), 99u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 99u);
+}
+
+TEST(LatencyHistogram, PercentilesMatchSortedOracle)
+{
+    // Latency-shaped distribution: a tight body plus a long tail,
+    // spanning five decades like ns-resolution tick values do.
+    sim::Rng rng(42);
+    sim::LatencyHistogram h;
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 200000; ++i) {
+        std::uint64_t v = 100000 + rng.below(30000);
+        if (rng.chance(0.02))
+            v += rng.below(5000000); // tail
+        values.push_back(v);
+        h.record(v);
+    }
+    for (double q : {0.10, 0.50, 0.90, 0.95, 0.99, 0.999})
+        expectCloseToOracle(h, values, q);
+    EXPECT_EQ(h.quantile(1.0),
+              *std::max_element(values.begin(), values.end()));
+}
+
+TEST(LatencyHistogram, HugeValuesDoNotOverflow)
+{
+    sim::LatencyHistogram h;
+    std::uint64_t huge = ~std::uint64_t(0);
+    h.record(huge);
+    h.record(1);
+    EXPECT_EQ(h.max(), huge);
+    EXPECT_EQ(h.quantile(1.0), huge);
+    EXPECT_EQ(h.quantile(0.25), 1u);
+}
+
+TEST(LatencyHistogram, ResetClearsState)
+{
+    sim::LatencyHistogram h;
+    h.record(1000);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    h.record(7);
+    EXPECT_EQ(h.quantile(1.0), 7u);
 }
