@@ -11,14 +11,19 @@
  *  - scaling: closed-loop throughput and p50/p99/p99.9 at 4, 8 and
  *    20 nodes (clients scale with nodes; throughput must scale
  *    monotonically);
- *  - skew: Zipfian theta sweep plus uniform at 8 nodes (hot keys
- *    concentrate on few shards; read-one replica spreading is what
- *    keeps p99 flat);
+ *  - skew: Zipfian theta sweep plus uniform at 8 nodes, run both
+ *    with and without the hot-key read cache (hot keys concentrate
+ *    on few shards; validated cache hits + read coalescing + read
+ *    spreading are what keep p99 flat);
  *  - open loop: Poisson arrivals below saturation at 8 nodes,
  *    where queueing delay becomes visible in the tail.
  *
  * Emits BENCH_kv.json. Acceptance: the 20-node run sustains
- * >= 100k ops/s and scaling is monotone 4 -> 8 -> 20.
+ * >= 100k ops/s, scaling is monotone 4 -> 8 -> 20, and the cached
+ * hot-shard p99 stays several-fold under the uncached one.
+ *
+ * `--smoke` runs one tiny hot-key config end to end (no JSON): the
+ * sanitizer-preset CI gate.
  */
 
 #include <benchmark/benchmark.h>
@@ -58,16 +63,21 @@ struct RunResult
     unsigned nodes = 0;
     double theta = 0.0; //!< 0 = uniform
     bool openLoop = false;
+    bool cached = true;
     double tput = 0.0;  //!< accepted ops per simulated second
     double p50us = 0.0, p99us = 0.0, p999us = 0.0;
+    double readP99us = 0.0, writeP99us = 0.0; //!< tail attribution
     double meanUs = 0.0;
     std::uint64_t rejected = 0;
     std::uint64_t remoteOps = 0, localOps = 0;
+    std::uint64_t cacheServed = 0, cacheStale = 0;
+    std::uint64_t coalesced = 0, validated = 0;
 };
 
 RunResult
 runConfig(unsigned nodes, bool zipfian, double theta, bool open_loop,
-          double arrivals_per_sec, std::uint64_t total_ops)
+          double arrivals_per_sec, std::uint64_t total_ops,
+          bool cached = true)
 {
     sim::Simulator sim;
     core::ClusterParams cp;
@@ -81,6 +91,7 @@ runConfig(unsigned nodes, bool zipfian, double theta, bool open_loop,
 
     kv::KvParams kp;
     kp.replication = 2;
+    kp.cacheSlots = cached ? 256 : 0;
     kv::KvRouter router(sim, cluster, kp);
     kv::KvService service(sim, router);
 
@@ -116,20 +127,30 @@ runConfig(unsigned nodes, bool zipfian, double theta, bool open_loop,
     r.nodes = nodes;
     r.theta = zipfian ? theta : 0.0;
     r.openLoop = open_loop;
+    r.cached = cached;
     r.tput = engine.throughputOpsPerSec();
     const auto &lat = engine.allLatency();
     r.p50us = sim::ticksToUs(lat.p50());
     r.p99us = sim::ticksToUs(lat.p99());
     r.p999us = sim::ticksToUs(lat.p999());
+    r.readP99us = sim::ticksToUs(engine.readLatency().p99());
+    r.writeP99us = sim::ticksToUs(engine.writeLatency().p99());
     r.meanUs = lat.mean() / double(sim::oneUs);
     r.rejected = engine.rejectedOps();
     r.remoteOps = router.remoteOps();
     r.localOps = router.localOps();
+    r.cacheServed = router.cacheServedGets();
+    r.cacheStale = router.cacheStaleGets();
+    for (unsigned n = 0; n < nodes; ++n) {
+        r.coalesced += router.shard(net::NodeId(n)).coalescedGets();
+        r.validated += router.shard(net::NodeId(n)).validatedGets();
+    }
     return r;
 }
 
 std::vector<RunResult> scaling;
 std::vector<RunResult> skew;
+std::vector<RunResult> skewNoCache;
 RunResult open_loop_run;
 
 void
@@ -140,11 +161,17 @@ runAll()
         scaling.push_back(runConfig(nodes, true, 0.99, false, 0.0,
                                     3000ull * nodes));
 
-    // Skew sweep at 8 nodes: uniform, then rising Zipfian theta.
+    // Skew sweep at 8 nodes: uniform, then rising Zipfian theta,
+    // with the hot-key cache on (default) and off (ablation).
     skew.push_back(runConfig(8, false, 0.0, false, 0.0, 24000));
     for (double theta : {0.5, 0.8, 0.9, 0.99})
         skew.push_back(
             runConfig(8, true, theta, false, 0.0, 24000));
+    skewNoCache.push_back(
+        runConfig(8, false, 0.0, false, 0.0, 24000, false));
+    for (double theta : {0.5, 0.8, 0.9, 0.99})
+        skewNoCache.push_back(
+            runConfig(8, true, theta, false, 0.0, 24000, false));
 
     // Open loop at 8 nodes: Poisson arrivals, 64 clients x 2000/s
     // = 128k ops/s offered, well under the closed-loop ceiling.
@@ -168,19 +195,30 @@ printTable()
     };
     for (const auto &r : scaling)
         row(std::to_string(r.nodes) + " nodes zipf0.99", r);
+    auto skew_label = [](const RunResult &r) {
+        return r.theta == 0.0
+            ? std::string("uniform")
+            : "zipf" + std::to_string(r.theta).substr(0, 4);
+    };
     for (const auto &r : skew)
-        row(r.theta == 0.0
-                ? std::string("8 nodes uniform")
-                : "8 nodes zipf" + std::to_string(r.theta)
-                      .substr(0, 4),
-            r);
+        row("8 nodes " + skew_label(r), r);
+    for (const auto &r : skewNoCache)
+        row("8n nocache " + skew_label(r), r);
     row("8 nodes open-loop", open_loop_run);
+    const auto &head = scaling.back();
     std::printf("\nClosed-loop scaling must be monotone: %.0f -> "
                 "%.0f -> %.0f ops/s (target >= 100k at 20 "
                 "nodes).\nOpen loop: %llu rejected at admission "
                 "of %u offered.\n",
                 scaling[0].tput, scaling[1].tput, scaling[2].tput,
                 (unsigned long long)open_loop_run.rejected, 24000u);
+    std::printf("Hot-key path at 20 nodes: %llu cache-served, "
+                "%llu stale-detected, %llu coalesced, %llu "
+                "validated at the shards.\n",
+                (unsigned long long)head.cacheServed,
+                (unsigned long long)head.cacheStale,
+                (unsigned long long)head.coalesced,
+                (unsigned long long)head.validated);
 }
 
 void
@@ -202,6 +240,26 @@ BENCHMARK(BM_KvService)->Iterations(1)->Unit(benchmark::kSecond);
 int
 main(int argc, char **argv)
 {
+    // Smoke mode (CI, sanitizer preset): one tiny hot-key config
+    // end to end -- preload, skewed traffic, cache + coalescing +
+    // spreading exercised -- with no JSON side effects.
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--smoke") {
+            RunResult r = runConfig(4, true, 0.99, false, 0.0, 4000);
+            std::printf("smoke: %.0f ops/s, p99 %.1f us "
+                        "(read %.1f / write %.1f), "
+                        "%llu cache-served, %llu coalesced\n",
+                        r.tput, r.p99us, r.readP99us, r.writeP99us,
+                        (unsigned long long)r.cacheServed,
+                        (unsigned long long)r.coalesced);
+            if (r.tput <= 0.0) {
+                std::fprintf(stderr, "smoke run made no progress\n");
+                return 1;
+            }
+            return 0;
+        }
+    }
+
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     if (scaling.empty())
@@ -215,16 +273,33 @@ main(int argc, char **argv)
         counters.emplace_back(p + "p50_us", r.p50us);
         counters.emplace_back(p + "p99_us", r.p99us);
         counters.emplace_back(p + "p999_us", r.p999us);
+        counters.emplace_back(p + "read_p99_us", r.readP99us);
+        counters.emplace_back(p + "write_p99_us", r.writeP99us);
         counters.emplace_back(p + "mean_us", r.meanUs);
     }
-    for (const auto &r : skew) {
-        std::string label = r.theta == 0.0
+    const auto &head = scaling.back();
+    counters.emplace_back("nodes20_cache_served",
+                          double(head.cacheServed));
+    counters.emplace_back("nodes20_cache_stale",
+                          double(head.cacheStale));
+    counters.emplace_back("nodes20_coalesced_gets",
+                          double(head.coalesced));
+    auto theta_label = [](const RunResult &r) {
+        return r.theta == 0.0
             ? std::string("uniform")
             : "theta" + std::to_string(int(r.theta * 100));
-        counters.emplace_back("skew_" + label + "_tput_ops",
-                              r.tput);
-        counters.emplace_back("skew_" + label + "_p99_us",
+    };
+    for (const auto &r : skew) {
+        counters.emplace_back("skew_" + theta_label(r) +
+                                  "_tput_ops", r.tput);
+        counters.emplace_back("skew_" + theta_label(r) + "_p99_us",
                               r.p99us);
+    }
+    for (const auto &r : skewNoCache) {
+        counters.emplace_back("skew_nocache_" + theta_label(r) +
+                                  "_tput_ops", r.tput);
+        counters.emplace_back("skew_nocache_" + theta_label(r) +
+                                  "_p99_us", r.p99us);
     }
     counters.emplace_back("open_tput_ops", open_loop_run.tput);
     counters.emplace_back("open_p50_us", open_loop_run.p50us);

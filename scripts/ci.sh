@@ -29,6 +29,18 @@ echo "=== sanitize: ctest ==="
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ctest --preset sanitize -j"${JOBS}"
 
+echo "=== sanitize: hot-key KV smoke ==="
+# One tiny skewed serving run end to end (preload + Zipfian traffic
+# + hot-key cache + read coalescing/spreading + group commit) under
+# ASan/UBSan; --smoke writes no JSON.
+if [[ -x build-sanitize/svc_kv ]]; then
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        ./build-sanitize/svc_kv --smoke
+else
+    echo "build-sanitize/svc_kv missing (google-benchmark not found?)" >&2
+    exit 1
+fi
+
 echo "=== regenerate tracked bench JSONs ==="
 if [[ -x build/ablation_kernel && -x build/svc_kv ]]; then
     ./build/ablation_kernel

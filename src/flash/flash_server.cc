@@ -112,6 +112,13 @@ FlashServer::eraseBlock(unsigned ifc, const Address &addr,
     pump(ifc);
 }
 
+unsigned
+FlashServer::queueLength(unsigned ifc) const
+{
+    const Interface &itf = ifcs_.at(ifc);
+    return unsigned(itf.pending.size()) + itf.inFlight;
+}
+
 void
 FlashServer::pump(unsigned ifc)
 {
@@ -135,6 +142,17 @@ FlashServer::pump(unsigned ifc)
         info.job = std::move(itf.pending.front());
         itf.pending.pop_front();
         ++itf.inFlight;
+
+        if (info.job.op == Op::WritePage && writeFault_ &&
+            writeFault_(info.job.addr)) {
+            // Injected program failure: the command never reaches
+            // the card, so the page keeps its previous contents.
+            ++injectedWriteFaults_;
+            sim_.scheduleAfter(0, [this, tag]() {
+                complete(tag, PageBuffer{}, Status::IllegalWrite);
+            });
+            continue;
+        }
 
         Command cmd;
         cmd.op = info.job.op;

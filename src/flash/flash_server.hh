@@ -96,6 +96,29 @@ class FlashServer : public Client
     /** Erase one physical block via interface @p ifc. */
     void eraseBlock(unsigned ifc, const Address &addr, WriteSink sink);
 
+    /**
+     * Commands queued plus in flight on interface @p ifc: the
+     * congestion signal read-spreading clients (fs::LogFs) key off.
+     */
+    unsigned queueLength(unsigned ifc) const;
+
+    /**
+     * @name Fault injection (tests)
+     * Arm a write-fault hook: every page program whose address the
+     * hook claims (returns true) is dropped before it reaches the
+     * flash card and completes with Status::IllegalWrite. The NAND
+     * contents are left untouched -- exactly an aborted program --
+     * so durability bugs (an index trusting a failed append) surface
+     * as wrong bytes instead of hiding behind a magically-written
+     * page. Pass nullptr to disarm.
+     */
+    ///@{
+    using WriteFault = std::function<bool(const Address &)>;
+    void setWriteFault(WriteFault hook) { writeFault_ = std::move(hook); }
+    /** Programs failed by the armed hook. */
+    std::uint64_t injectedWriteFaults() const { return injectedWriteFaults_; }
+    ///@}
+
     /** @name Client interface (driven by the splitter port) */
     ///@{
     void readDone(Tag tag, PageBuffer data, Status status) override;
@@ -151,6 +174,8 @@ class FlashServer : public Client
     std::vector<Interface> ifcs_;
     std::vector<TagInfo> tagInfo_;
     std::unordered_map<std::uint32_t, std::vector<Address>> atu_;
+    WriteFault writeFault_;
+    std::uint64_t injectedWriteFaults_ = 0;
 };
 
 } // namespace flash

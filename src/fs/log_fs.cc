@@ -20,6 +20,12 @@ LogFs::LogFs(sim::Simulator &sim, flash::FlashServer &server,
              const FsParams &params)
     : sim_(sim), server_(server), ifc_(ifc), params_(params), geo_(geo)
 {
+    if (params_.spillInterface >= 0 &&
+        (unsigned(params_.spillInterface) >= server_.interfaces() ||
+         unsigned(params_.spillInterface) == ifc_))
+        sim::fatal("spill interface %d invalid (primary %u of %u)",
+                   params_.spillInterface, ifc_,
+                   server_.interfaces());
     std::uint64_t total_blocks =
         std::uint64_t(geo_.buses) * geo_.chipsPerBus *
         geo_.blocksPerChip;
@@ -100,7 +106,7 @@ LogFs::remove(const std::string &name)
         return false;
     Inode &ino = inodes_.at(it->second);
     for (std::uint64_t phys : ino.pages) {
-        if (phys == invalidPage)
+        if (phys == invalidPage || phys == failedPage)
             continue;
         auto rit = reverse_.find(phys);
         if (rit != reverse_.end()) {
@@ -124,7 +130,7 @@ LogFs::physicalAddresses(const std::string &name) const
     std::vector<Address> out;
     out.reserve(ino.pages.size());
     for (std::uint64_t phys : ino.pages) {
-        if (phys == invalidPage)
+        if (phys == invalidPage || phys == failedPage)
             sim::panic("file '%s' has a hole", name.c_str());
         out.push_back(Address::fromLinear(geo_, phys));
     }
@@ -186,7 +192,7 @@ LogFs::append(const std::string &name, std::vector<std::uint8_t> data,
                             staged.end());
         }
         ++ctx->outstanding;
-        writeFilePage(file_id, fpage, std::move(page), finish_one);
+        queuePageWrite(file_id, fpage, std::move(page), finish_one);
         off += take;
         ++fpage;
     }
@@ -195,6 +201,54 @@ LogFs::append(const std::string &name, std::vector<std::uint8_t> data,
         // Zero-length append.
         sim_.scheduleAfter(0, [ctx]() { ctx->done(true); });
     }
+}
+
+void
+LogFs::queuePageWrite(std::uint32_t file_id, std::uint64_t fpage,
+                      PageBuffer data, Done done)
+{
+    WriteSlot &slot = writeSlots_[slotKey(file_id, fpage)];
+    if (!slot.flightWaiters.empty()) {
+        // A program for this page is already in flight: batch. The
+        // new staging contains every byte of the earlier pending
+        // one (tail stagings grow monotonically from the page
+        // boundary), so the latest content serves all waiters.
+        ++batchedWrites_;
+        slot.hasPending = true;
+        slot.pendingData = std::move(data);
+        slot.pendingWaiters.push_back(std::move(done));
+        return;
+    }
+    slot.flightWaiters.push_back(std::move(done));
+    issueSlot(file_id, fpage, std::move(data));
+}
+
+void
+LogFs::issueSlot(std::uint32_t file_id, std::uint64_t fpage,
+                 PageBuffer data)
+{
+    writeFilePage(file_id, fpage, std::move(data),
+                  [this, file_id, fpage](bool ok) {
+        auto it = writeSlots_.find(slotKey(file_id, fpage));
+        std::vector<Done> waiters =
+            std::move(it->second.flightWaiters);
+        if (it->second.hasPending) {
+            // Rewrites accumulated during the program: one
+            // follow-up program absorbs them all. Re-arm before
+            // firing callbacks, which may queue further rewrites.
+            PageBuffer next = std::move(it->second.pendingData);
+            it->second.flightWaiters =
+                std::move(it->second.pendingWaiters);
+            it->second.pendingWaiters.clear();
+            it->second.hasPending = false;
+            it->second.pendingData.clear();
+            issueSlot(file_id, fpage, std::move(next));
+        } else {
+            writeSlots_.erase(it);
+        }
+        for (auto &w : waiters)
+            w(ok);
+    });
 }
 
 void
@@ -210,6 +264,21 @@ LogFs::writeFilePage(std::uint32_t file_id, std::uint64_t fpage,
                            done = std::move(done)](Status st) {
             --blocks_[linear / geo_.pagesPerBlock].pendingWrites;
             if (st != Status::Ok) {
+                // Failed program: the page keeps whatever it held.
+                // A previously-written page stays mapped (its old
+                // contents are intact and still serve the bytes
+                // before this append); a fresh page becomes a
+                // poisoned hole so reads of the range report
+                // failure instead of silently returning zeroes.
+                ++writeFailures_;
+                auto iit = inodes_.find(file_id);
+                if (iit != inodes_.end()) {
+                    Inode &ino = iit->second;
+                    if (ino.pages.size() <= fpage)
+                        ino.pages.resize(fpage + 1, invalidPage);
+                    if (ino.pages[fpage] == invalidPage)
+                        ino.pages[fpage] = failedPage;
+                }
                 done(false);
                 return;
             }
@@ -225,10 +294,12 @@ LogFs::writeFilePage(std::uint32_t file_id, std::uint64_t fpage,
                 ino.pages.resize(fpage + 1, invalidPage);
             // Overlapping appends rewrite the same tail file page;
             // installing unconditionally is safe only because all
-            // FS I/O rides one in-order FlashServer interface, so
+            // FS writes ride one in-order FlashServer interface, so
             // completions arrive in issue order and the newest
-            // rewrite always installs last.
-            if (ino.pages[fpage] != invalidPage) {
+            // rewrite always installs last. A successful rewrite
+            // also heals a poisoned hole left by a failed one.
+            if (ino.pages[fpage] != invalidPage &&
+                ino.pages[fpage] != failedPage) {
                 std::uint64_t old = ino.pages[fpage];
                 auto rit = reverse_.find(old);
                 if (rit != reverse_.end()) {
@@ -293,10 +364,26 @@ LogFs::read(const std::string &name, std::uint64_t offset,
             pos += take;
             continue;
         }
+        if (ino.pages[fpage] == failedPage) {
+            // Poisoned hole: a failed append's fresh page. Zeroes,
+            // and the read as a whole reports failure.
+            ctx->ok = false;
+            pos += take;
+            continue;
+        }
         std::uint64_t phys = ino.pages[fpage];
+        // Read spreading: a deep primary queue diverts page reads
+        // to the reserved spill interface so a read-hot file is not
+        // serialized behind the write path's command queue.
+        unsigned read_ifc = ifc_;
+        if (params_.spillInterface >= 0 &&
+            server_.queueLength(ifc_) >= params_.readSpreadDepth) {
+            read_ifc = unsigned(params_.spillInterface);
+            ++spreadReads_;
+        }
         ++ctx->outstanding;
         server_.readPage(
-            ifc_, Address::fromLinear(geo_, phys),
+            read_ifc, Address::fromLinear(geo_, phys),
             [ctx, in_page, take, out_off,
              maybe_finish](PageBuffer page, Status st) {
             if (st == Status::Uncorrectable)

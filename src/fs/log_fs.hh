@@ -15,6 +15,25 @@
  * blocks. Metadata (directory, inodes) lives in host memory; metadata
  * persistence is out of scope for the simulation (the paper's
  * evaluation does not exercise it either).
+ *
+ * Small appends group-commit: every page has at most one program
+ * in flight, and rewrites of a page that arrive while one is in
+ * flight (the tail page of a hot log under back-to-back appends)
+ * accumulate and are absorbed by a single follow-up program -- the
+ * staged content of a page always supersedes earlier stagings, so
+ * the newest rewrite carries every waiter's bytes. This turns K
+ * queued tail rewrites into ~2 programs per NAND program window
+ * without giving up bus parallelism across distinct pages.
+ *
+ * Append-failure semantics (see append()): an append reserves its
+ * byte range in the file immediately -- size() grows before
+ * durability and never rolls back, so concurrent appends compute
+ * stable offsets. done(false) is the durability-failure signal; the
+ * affected range reads as each page's previous contents (zeroes for
+ * fresh pages, which additionally report ok=false) until a later
+ * append rewrites the shared tail page from the in-memory tail,
+ * which heals it. Callers that index into the log (kv::KvShard)
+ * own rolling back their pointers into a failed range.
  */
 
 #ifndef BLUEDBM_FS_LOG_FS_HH
@@ -42,6 +61,18 @@ struct FsParams
     unsigned cleanLowWater = 4;
     /** Cleaner frees blocks until this many are free. */
     unsigned cleanHighWater = 8;
+    /**
+     * Optional second FlashServer interface reserved for reads:
+     * when the primary interface's queue (pending + in flight)
+     * reaches readSpreadDepth, page reads stripe onto this one so a
+     * read-hot file is not serialized behind one command queue.
+     * Writes and erases stay on the primary interface, whose
+     * in-order completion the tail-rewrite protocol depends on.
+     * -1 disables spreading.
+     */
+    int spillInterface = -1;
+    /** Primary-interface queue depth that triggers read spreading. */
+    unsigned readSpreadDepth = 8;
 };
 
 /**
@@ -86,12 +117,24 @@ class LogFs
     /**
      * Append @p data to @p name. Data is buffered into page-sized
      * log writes; @p done fires when everything is on flash.
+     *
+     * Failure semantics: the byte range is reserved immediately
+     * (size() includes it whether or not the programs succeed, so
+     * offsets handed to concurrent appends stay stable). If any
+     * page program fails, @p done fires with false; a page that had
+     * earlier contents keeps them (the aborted program touched
+     * nothing), a fresh page becomes a poisoned hole that reads as
+     * zeroes with ok=false. The failed bytes stay staged in the
+     * in-memory tail when they fall in the tail page, so the next
+     * successful append rewrites -- and heals -- that page.
      */
     void append(const std::string &name,
                 std::vector<std::uint8_t> data, Done done);
 
     /**
-     * Read @p len bytes at @p offset of @p name.
+     * Read @p len bytes at @p offset of @p name. ok is false when
+     * the range covers an uncorrectable page or a poisoned hole
+     * left by a failed append.
      */
     void read(const std::string &name, std::uint64_t offset,
               std::uint64_t len, ReadDone done);
@@ -117,10 +160,19 @@ class LogFs
     std::uint64_t pagesCleaned() const { return pagesCleaned_; }
     std::uint64_t blocksErased() const { return blocksErased_; }
     unsigned freeBlocks() const { return unsigned(freeBlocks_.size()); }
+    /** Page programs that completed with a failure status. */
+    std::uint64_t pageWriteFailures() const { return writeFailures_; }
+    /** Page reads diverted to the spill interface. */
+    std::uint64_t spreadReads() const { return spreadReads_; }
+    /** Page rewrites absorbed by an already-pending program
+     * (group commit of back-to-back tail appends). */
+    std::uint64_t batchedPageWrites() const { return batchedWrites_; }
     ///@}
 
   private:
     static constexpr std::uint64_t invalidPage = ~std::uint64_t(0);
+    /** A fresh page whose program failed: a poisoned hole. */
+    static constexpr std::uint64_t failedPage = ~std::uint64_t(0) - 1;
 
     enum class BlockState : std::uint8_t { Free, Active, Closed };
 
@@ -148,6 +200,20 @@ class LogFs
         std::uint64_t filePage = 0;
     };
 
+    /**
+     * Single-writer slot of one (file, page): at most one program
+     * in flight; rewrites arriving meanwhile batch into pending and
+     * are issued as one follow-up program. Lives outside the inode
+     * so completions survive a concurrent remove().
+     */
+    struct WriteSlot
+    {
+        std::vector<Done> flightWaiters; //!< served by the program in flight
+        bool hasPending = false;
+        flash::PageBuffer pendingData;   //!< latest staging supersedes
+        std::vector<Done> pendingWaiters;
+    };
+
     std::uint64_t blockIndex(const flash::Address &a) const;
     flash::Address blockAddress(std::uint64_t bidx) const;
 
@@ -157,6 +223,19 @@ class LogFs
     void cleanStep();
     void relocate(std::vector<std::uint64_t> pages, std::size_t next,
                   std::function<void()> then);
+
+    /** Queue one page program through the page's write slot
+     * (batches rewrites while a program is in flight). */
+    void queuePageWrite(std::uint32_t file_id, std::uint64_t fpage,
+                        flash::PageBuffer data, Done done);
+    /** Issue the slot's program for (file, page). */
+    void issueSlot(std::uint32_t file_id, std::uint64_t fpage,
+                   flash::PageBuffer data);
+    static std::uint64_t
+    slotKey(std::uint32_t file_id, std::uint64_t fpage)
+    {
+        return (std::uint64_t(file_id) << 32) | fpage;
+    }
 
     /** Write one full page of @p inode at file page @p fpage. */
     void writeFilePage(std::uint32_t file_id, std::uint64_t fpage,
@@ -173,6 +252,8 @@ class LogFs
     std::uint32_t nextFileId_ = 1;
 
     std::unordered_map<std::uint64_t, RevEntry> reverse_;
+    /** Active write slots, keyed by slotKey(file, page). */
+    std::unordered_map<std::uint64_t, WriteSlot> writeSlots_;
     std::vector<BlockInfo> blocks_;
     std::deque<std::uint64_t> freeBlocks_;
     std::deque<std::function<void(flash::Address)>> allocWaiters_;
@@ -192,6 +273,9 @@ class LogFs
     std::uint64_t pagesWritten_ = 0;
     std::uint64_t pagesCleaned_ = 0;
     std::uint64_t blocksErased_ = 0;
+    std::uint64_t writeFailures_ = 0;
+    std::uint64_t spreadReads_ = 0;
+    std::uint64_t batchedWrites_ = 0;
 };
 
 } // namespace fs

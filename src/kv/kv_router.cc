@@ -42,6 +42,14 @@ KvRouter::KvRouter(sim::Simulator &sim, core::Cluster &cluster,
     for (unsigned n = 0; n < cluster_.size(); ++n) {
         shards_.emplace_back(std::make_unique<KvShard>(
             sim_, cluster_.node(n).fs(), params_.shardLog));
+        if (params_.cacheSlots > 0) {
+            KvCache::Params cp;
+            cp.slots = params_.cacheSlots;
+            cp.admitHits = params_.cacheAdmitHits;
+            caches_.emplace_back(std::make_unique<KvCache>(cp));
+        } else {
+            caches_.emplace_back(nullptr);
+        }
     }
 
     installAgents();
@@ -95,19 +103,38 @@ KvRouter::get(NodeId origin, Key key, GetDone done)
     NodeId replica = readReplica(origin, key);
     if (replica == origin) {
         ++localOps_;
-        shards_[origin]->get(key, std::move(done));
+        shards_[origin]->get(key,
+                             [done = std::move(done)](
+                                 PageBuffer v, KvStatus st,
+                                 std::uint64_t) {
+            done(std::move(v), st);
+        });
         return;
     }
     ++remoteOps_;
+    // Hot-key cache: a cached (value, version) pair turns this into
+    // a conditional get. The replica confirms an unchanged version
+    // with a header-only reply and the value is served locally.
+    std::uint64_t cached_version = 0;
+    if (KvCache *cache = cacheFor(origin)) {
+        cache->touch(key);
+        if (const KvCache::Entry *e = cache->lookup(key))
+            cached_version = e->version;
+    }
     std::uint64_t id = nextReqId_++;
     PendingOp &op = pending_[id];
     op.remaining = 1;
+    op.total = 1;
     op.getDone = std::move(done);
+    op.key = key;
+    op.origin = origin;
+    op.cachedVersion = cached_version;
 
     KvRequest req;
     req.reqId = id;
     req.key = key;
     req.op = KvOp::Get;
+    req.cachedVersion = cached_version;
     cluster_.network()
         .endpoint(origin, epKvService)
         .send(replica, kvHeaderBytes, std::move(req));
@@ -116,11 +143,20 @@ KvRouter::get(NodeId origin, Key key, GetDone done)
 void
 KvRouter::put(NodeId origin, Key key, PageBuffer value, AckDone done)
 {
+    // The origin's cached copy (if any) is dead the moment the
+    // overwrite is issued; validation would catch it, but dropping
+    // it now saves the wasted conditional round.
+    if (KvCache *cache = cacheFor(origin))
+        cache->invalidate(key);
+
     std::vector<NodeId> own = owners(key);
     std::uint64_t id = nextReqId_++;
     PendingOp &op = pending_[id];
     op.remaining = unsigned(own.size());
+    op.total = unsigned(own.size());
     op.ackDone = std::move(done);
+    op.key = key;
+    op.origin = origin;
 
     auto bytes = kvHeaderBytes +
         static_cast<std::uint32_t>(value.size());
@@ -132,7 +168,7 @@ KvRouter::put(NodeId origin, Key key, PageBuffer value, AckDone done)
             ++localOps_;
             shards_[origin]->put(key, std::move(copy),
                                  [this, id](KvStatus st) {
-                completeOne(id, st, PageBuffer{});
+                completeOne(id, st, PageBuffer{}, 0);
             });
             continue;
         }
@@ -151,17 +187,23 @@ KvRouter::put(NodeId origin, Key key, PageBuffer value, AckDone done)
 void
 KvRouter::del(NodeId origin, Key key, AckDone done)
 {
+    if (KvCache *cache = cacheFor(origin))
+        cache->invalidate(key);
+
     std::vector<NodeId> own = owners(key);
     std::uint64_t id = nextReqId_++;
     PendingOp &op = pending_[id];
     op.remaining = unsigned(own.size());
+    op.total = unsigned(own.size());
     op.ackDone = std::move(done);
+    op.key = key;
+    op.origin = origin;
 
     for (NodeId n : own) {
         if (n == origin) {
             ++localOps_;
             shards_[origin]->del(key, [this, id](KvStatus st) {
-                completeOne(id, st, PageBuffer{});
+                completeOne(id, st, PageBuffer{}, 0);
             });
             continue;
         }
@@ -237,7 +279,7 @@ KvRouter::installAgents()
             .setReceiveHandler([this](net::Message msg) {
             auto resp = msg.payload.take<KvResponse>();
             completeOne(resp.reqId, resp.status,
-                        std::move(resp.value));
+                        std::move(resp.value), resp.version);
         });
     }
 }
@@ -249,12 +291,14 @@ KvRouter::serveLocal(NodeId node, KvRequest req,
     std::uint64_t id = req.reqId;
     switch (req.op) {
       case KvOp::Get:
-        shards_[node]->get(req.key,
-                           [id, reply = std::move(reply)](
-                               PageBuffer v, KvStatus st) {
+        shards_[node]->getIfNewer(
+            req.key, req.cachedVersion,
+            [id, reply = std::move(reply)](PageBuffer v, KvStatus st,
+                                           std::uint64_t version) {
             KvResponse resp;
             resp.reqId = id;
             resp.status = st;
+            resp.version = version;
             resp.value = std::move(v);
             reply(std::move(resp));
         });
@@ -285,25 +329,67 @@ KvRouter::serveLocal(NodeId node, KvRequest req,
 
 void
 KvRouter::completeOne(std::uint64_t req_id, KvStatus st,
-                      PageBuffer value)
+                      PageBuffer value, std::uint64_t version)
 {
     auto it = pending_.find(req_id);
     if (it == pending_.end())
         sim::panic("response for unknown KV request %llu",
                    static_cast<unsigned long long>(req_id));
     PendingOp &op = it->second;
-    if (st != KvStatus::Ok && op.status == KvStatus::Ok)
-        op.status = st;
+    if (st != KvStatus::Ok) {
+        ++op.failed;
+        if (op.status == KvStatus::Ok)
+            op.status = st;
+    }
     if (!value.empty())
         op.value = std::move(value);
+    if (version != 0)
+        op.version = version;
     if (--op.remaining != 0)
         return;
     PendingOp fin = std::move(op);
     pending_.erase(it);
-    if (fin.getDone)
-        fin.getDone(std::move(fin.value), fin.status);
-    else
-        fin.ackDone(fin.status);
+    if (fin.getDone) {
+        finishGet(std::move(fin));
+        return;
+    }
+    // Write-all epilogue: a mixed outcome (some replicas applied,
+    // some failed) leaves the copies divergent until the client
+    // retries -- count it (see kv_types.hh for the contract).
+    if (fin.failed != 0 && fin.failed < fin.total)
+        ++divergentWrites_;
+    fin.ackDone(fin.status);
+}
+
+void
+KvRouter::finishGet(PendingOp fin)
+{
+    KvCache *cache = cacheFor(fin.origin);
+    if (fin.status == KvStatus::Ok && fin.cachedVersion != 0 &&
+        fin.version == fin.cachedVersion) {
+        // "Not modified": the replica confirmed our cached copy.
+        if (cache) {
+            if (const KvCache::Entry *e = cache->lookup(fin.key)) {
+                ++cacheServed_;
+                fin.getDone(e->value, KvStatus::Ok);
+                return;
+            }
+        }
+        // Evicted while the validation was in flight (rare): fall
+        // back to a plain fetch, which cannot loop -- the entry is
+        // gone, so the retry goes out unconditional.
+        get(fin.origin, fin.key, std::move(fin.getDone));
+        return;
+    }
+    if (fin.status == KvStatus::Ok) {
+        if (fin.cachedVersion != 0)
+            ++cacheStale_; // self-detected: fresh value came back
+        if (cache)
+            cache->fill(fin.key, fin.version, fin.value);
+    } else if (fin.status == KvStatus::NotFound && cache) {
+        cache->invalidate(fin.key);
+    }
+    fin.getDone(std::move(fin.value), fin.status);
 }
 
 } // namespace kv

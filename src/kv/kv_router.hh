@@ -1,8 +1,8 @@
 /**
  * @file
  * Key routing over the cluster: consistent hashing onto per-node
- * shards, replication, and the shard request/response protocol over
- * the integrated storage network.
+ * shards, replication, the shard request/response protocol over
+ * the integrated storage network, and the hot-key read path.
  *
  * The router is what turns twenty independent flash nodes into one
  * key-value appliance (the paper's figure 17 RAMCloud scenario with
@@ -13,6 +13,14 @@
  * all R replicas (write-all), reads to one (read-one, preferring a
  * local replica so a well-placed client pays no network hop at
  * all).
+ *
+ * Hot-key read path: before a remote get leaves the origin node,
+ * the router consults that node's KvCache. On a cached (value,
+ * version) pair the get goes out conditional -- the owning shard
+ * answers a version match with a header-only "not modified" and
+ * the cached value is served locally, skipping the flash read AND
+ * the value bytes on the wire. See kv_cache.hh for the coherence
+ * argument and kv_types.hh for the replication/failure contract.
  */
 
 #ifndef BLUEDBM_KV_KV_ROUTER_HH
@@ -27,6 +35,7 @@
 #include <vector>
 
 #include "core/cluster.hh"
+#include "kv/kv_cache.hh"
 #include "kv/kv_shard.hh"
 #include "kv/kv_types.hh"
 #include "sim/simulator.hh"
@@ -45,16 +54,24 @@ struct KvParams
     unsigned vnodes = 64;
     /** Shard log file name (one per node's file system). */
     std::string shardLog = "kv.shard.log";
+    /** Hot-key cache slots per node (0 disables the cache). */
+    unsigned cacheSlots = 128;
+    /** Sketch estimate required before a key may occupy a cache
+     * slot (1 admits on the first fill). */
+    unsigned cacheAdmitHits = 2;
 };
 
 /**
- * Cluster-wide key-value routing layer. Owns one KvShard per node
- * and the network agents that serve remote shard requests.
+ * Cluster-wide key-value routing layer. Owns one KvShard (and one
+ * hot-key KvCache) per node and the network agents that serve
+ * remote shard requests.
  */
 class KvRouter
 {
   public:
-    using GetDone = KvShard::GetDone;
+    /** Delivers a get result (value is empty unless status is Ok). */
+    using GetDone =
+        std::function<void(flash::PageBuffer, KvStatus)>;
     using AckDone = KvShard::AckDone;
     /** Values and statuses aligned with the requested key order. */
     using MultiGetDone =
@@ -85,7 +102,8 @@ class KvRouter
     /** Fetch @p key on behalf of a client attached to @p origin. */
     void get(net::NodeId origin, Key key, GetDone done);
 
-    /** Store @p key on all replicas; acks when every copy landed. */
+    /** Store @p key on all replicas; acks when every copy landed.
+     * See kv_types.hh for the partial-failure contract. */
     void put(net::NodeId origin, Key key, flash::PageBuffer value,
              AckDone done);
 
@@ -99,12 +117,25 @@ class KvRouter
     /** Node @p n's shard (stats / tests). */
     KvShard &shard(net::NodeId n) { return *shards_.at(n); }
 
+    /** Node @p n's hot-key cache; null when disabled. */
+    KvCache *cache(net::NodeId n) { return caches_.at(n).get(); }
+
     /** @name Statistics */
     ///@{
     /** Operations whose shard was on the requesting node. */
     std::uint64_t localOps() const { return localOps_; }
     /** Shard requests that crossed the network. */
     std::uint64_t remoteOps() const { return remoteOps_; }
+    /** Remote gets served from the origin's cache after a
+     * header-only version validation (no flash read, no value
+     * bytes on the wire). */
+    std::uint64_t cacheServedGets() const { return cacheServed_; }
+    /** Conditional gets whose cached version had gone stale (the
+     * fresh value came back instead -- the self-detect path). */
+    std::uint64_t cacheStaleGets() const { return cacheStale_; }
+    /** Write-alls that left replicas divergent: some replicas
+     * applied the write, at least one failed (see kv_types.hh). */
+    std::uint64_t divergentWrites() const { return divergentWrites_; }
     ///@}
 
     /** Upper bound on R, so read routing can use a stack buffer. */
@@ -117,11 +148,19 @@ class KvRouter
     struct PendingOp
     {
         unsigned remaining = 0;      //!< outstanding replica acks
+        unsigned total = 0;          //!< replicas addressed
+        unsigned failed = 0;         //!< replicas that reported failure
         KvStatus status = KvStatus::Ok;
         GetDone getDone;             //!< set for gets
         AckDone ackDone;             //!< set for puts/deletes
         flash::PageBuffer value;     //!< get result
+        Key key = 0;
+        net::NodeId origin = 0;
+        std::uint64_t cachedVersion = 0; //!< conditional get in flight
+        std::uint64_t version = 0;       //!< version of the result
     };
+
+    KvCache *cacheFor(net::NodeId n) { return caches_[n].get(); }
 
     void installAgents();
     /** Serve one shard request arriving at (or issued on) @p node. */
@@ -129,7 +168,9 @@ class KvRouter
                     std::function<void(KvResponse)> reply);
     /** One replica (or the get replica) finished. */
     void completeOne(std::uint64_t req_id, KvStatus st,
-                     flash::PageBuffer value);
+                     flash::PageBuffer value, std::uint64_t version);
+    /** Finish a get: cache bookkeeping + the user callback. */
+    void finishGet(PendingOp fin);
 
     sim::Simulator &sim_;
     core::Cluster &cluster_;
@@ -138,12 +179,16 @@ class KvRouter
     /** Hash ring: (point, node), sorted by point. */
     std::vector<std::pair<std::uint64_t, net::NodeId>> ring_;
     std::vector<std::unique_ptr<KvShard>> shards_;
+    std::vector<std::unique_ptr<KvCache>> caches_;
 
     std::uint64_t nextReqId_ = 1;
     std::unordered_map<std::uint64_t, PendingOp> pending_;
 
     std::uint64_t localOps_ = 0;
     std::uint64_t remoteOps_ = 0;
+    std::uint64_t cacheServed_ = 0;
+    std::uint64_t cacheStale_ = 0;
+    std::uint64_t divergentWrites_ = 0;
 };
 
 } // namespace kv

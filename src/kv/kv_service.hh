@@ -12,6 +12,13 @@
  * KvStatus::Overloaded instead of growing queues without bound
  * (the difference between an open-loop melt-down and a served
  * SLO).
+ *
+ * Failure semantics seen by clients: every done callback fires
+ * exactly once. Ok means the operation applied on every replica;
+ * Error on a put means at least one replica failed and the copies
+ * may be divergent until the client retries (kv_types.hh spells
+ * out the full write-all/read-one contract); Overloaded means the
+ * operation was never dispatched and changed nothing.
  */
 
 #ifndef BLUEDBM_KV_KV_SERVICE_HH

@@ -31,8 +31,20 @@ KvShard::put(Key key, PageBuffer value, AckDone done)
     std::memcpy(record.data() + recordHeaderBytes, value.data(),
                 value.size());
     std::uint64_t value_offset = fs_.size(logName_) + recordHeaderBytes;
+    std::uint64_t record_bytes = record.size();
 
     Entry &e = index_[key];
+    // With no append in flight, the current entry (or absence) IS
+    // the durable state: snapshot it as the rollback target for the
+    // in-flight chain this put starts. The snapshot lives exactly
+    // as long as the chain does.
+    if (inflightPuts_[key]++ == 0) {
+        Durable &d = durable_[key];
+        d.valueOffset = e.valueOffset;
+        d.valueLen = e.valueLen;
+        d.version = e.version;
+        d.live = e.version != 0;
+    }
     if (e.version != 0)
         liveBytes_ -= e.valueLen; // overwrite: old version is dead
     e.valueOffset = value_offset;
@@ -41,30 +53,99 @@ KvShard::put(Key key, PageBuffer value, AckDone done)
     // with a still-in-flight append of the key's previous life.
     std::uint64_t version = e.version = ++nextVersion_;
     liveBytes_ += len;
-    logBytes_ += record.size();
+    logBytes_ += record_bytes;
 
     // Reads must see this version immediately (read-your-writes):
     // park it in the memtable until the append is durable.
     memtable_[key] = std::move(value);
 
     fs_.append(logName_, std::move(record),
-               [this, key, version, done = std::move(done)](bool ok) {
+               [this, key, version, value_offset, len, record_bytes,
+                done = std::move(done)](bool ok) {
         auto it = index_.find(key);
-        if (it != index_.end() && it->second.version == version)
+        bool current =
+            it != index_.end() && it->second.version == version;
+        // Last completion of the key's in-flight chain: the
+        // rollback snapshot is no longer reachable after this
+        // handler, so drop it (bounds durable_ by in-flight keys,
+        // not every key ever written).
+        auto cit = inflightPuts_.find(key);
+        bool last_inflight = --cit->second == 0;
+        if (last_inflight)
+            inflightPuts_.erase(cit);
+        if (!ok) {
+            // The record never became durable: charge it off and,
+            // if no newer operation superseded this one, roll the
+            // key back to its last durable version so a later get
+            // can never serve never-written flash bytes as Ok.
+            ++failedPuts_;
+            logBytes_ -= record_bytes;
+            if (current) {
+                memtable_.erase(key);
+                liveBytes_ -= it->second.valueLen;
+                const Durable &d = durable_.at(key);
+                if (d.live) {
+                    it->second.valueOffset = d.valueOffset;
+                    it->second.valueLen = d.valueLen;
+                    it->second.version = d.version;
+                    liveBytes_ += d.valueLen;
+                } else {
+                    index_.erase(it);
+                }
+            }
+            if (last_inflight)
+                durable_.erase(key);
+            done(KvStatus::Error);
+            return;
+        }
+        if (last_inflight) {
+            durable_.erase(key);
+        } else {
+            // Durable: remember this version as the rollback target
+            // for the rest of the in-flight chain. Appends to one
+            // log complete in issue order, but a delete's tombstone
+            // is applied instantly, so only ever advance.
+            Durable &d = durable_.at(key);
+            if (version > d.version) {
+                d.valueOffset = value_offset;
+                d.valueLen = len;
+                d.version = version;
+                d.live = true;
+            }
+        }
+        if (current)
             memtable_.erase(key); // no newer in-flight version
-        done(ok ? KvStatus::Ok : KvStatus::Error);
+        done(KvStatus::Ok);
     });
 }
 
 void
 KvShard::get(Key key, GetDone done)
 {
+    getIfNewer(key, 0, std::move(done));
+}
+
+void
+KvShard::getIfNewer(Key key, std::uint64_t cached_version,
+                    GetDone done)
+{
     ++gets_;
     auto it = index_.find(key);
     if (it == index_.end()) {
         ++misses_;
         sim_.scheduleAfter(0, [done = std::move(done)]() {
-            done(PageBuffer{}, KvStatus::NotFound);
+            done(PageBuffer{}, KvStatus::NotFound, 0);
+        });
+        return;
+    }
+    std::uint64_t version = it->second.version;
+    if (cached_version != 0 && version == cached_version) {
+        // The requester's cached copy is current: an O(1) index
+        // probe is the whole cost -- no memtable copy, no flash
+        // read, no value bytes.
+        ++validatedGets_;
+        sim_.scheduleAfter(0, [version, done = std::move(done)]() {
+            done(PageBuffer{}, KvStatus::Ok, version);
         });
         return;
     }
@@ -72,17 +153,32 @@ KvShard::get(Key key, GetDone done)
     if (mem != memtable_.end()) {
         ++memtableHits_;
         PageBuffer value = mem->second; // copy: append still owns it
-        sim_.scheduleAfter(0, [value = std::move(value),
+        sim_.scheduleAfter(0, [version, value = std::move(value),
                                done = std::move(done)]() mutable {
-            done(std::move(value), KvStatus::Ok);
+            done(std::move(value), KvStatus::Ok, version);
         });
         return;
     }
+    // Read coalescing: duplicate gets of the same version join the
+    // in-flight flash read instead of issuing their own.
+    auto rit = reads_.find(version);
+    if (rit != reads_.end()) {
+        ++coalescedGets_;
+        rit->second.waiters.push_back(std::move(done));
+        return;
+    }
+    reads_[version].waiters.push_back(std::move(done));
     fs_.read(logName_, it->second.valueOffset, it->second.valueLen,
-             [done = std::move(done)](std::vector<std::uint8_t> data,
-                                      bool ok) {
-        done(std::move(data),
-             ok ? KvStatus::Ok : KvStatus::Error);
+             [this, version](std::vector<std::uint8_t> data,
+                             bool ok) {
+        auto git = reads_.find(version);
+        std::vector<GetDone> waiters =
+            std::move(git->second.waiters);
+        reads_.erase(git); // before callbacks: they may re-enter
+        KvStatus st = ok ? KvStatus::Ok : KvStatus::Error;
+        for (std::size_t i = 0; i + 1 < waiters.size(); ++i)
+            waiters[i](data, st, version); // copy for all but last
+        waiters.back()(std::move(data), st, version);
     });
 }
 
@@ -96,6 +192,16 @@ KvShard::del(Key key, AckDone done)
         liveBytes_ -= it->second.valueLen;
         index_.erase(it);
         memtable_.erase(key);
+        // Tombstone at a fresh version while appends are in
+        // flight: a pending older append that completes (or fails)
+        // after this delete must neither reinstate nor roll back
+        // to a resurrected value. With nothing in flight there is
+        // nothing to guard.
+        auto d = durable_.find(key);
+        if (d != durable_.end()) {
+            d->second.version = ++nextVersion_;
+            d->second.live = false;
+        }
         st = KvStatus::Ok;
     }
     sim_.scheduleAfter(0,

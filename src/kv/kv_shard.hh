@@ -12,9 +12,25 @@
  * read-your-writes without waiting for NAND program latency --
  * the same role as the paper's host-side page buffers.
  *
+ * Failure semantics: the index only ever points at durable log
+ * records. While an append is in flight its value is served from
+ * the memtable; if the append fails, the shard rolls the key back
+ * to its last durable version (or absence when there is none), the
+ * memtable entry is discarded, and the put acks KvStatus::Error.
+ * A failed append is therefore never later served as Ok with bytes
+ * that did not reach flash. A get issued during the doomed window
+ * returns the in-flight value (ordinary read-your-writes of a
+ * write that subsequently fails).
+ *
+ * Hot-key reads: every get result carries the entry's shard-global
+ * version, so requesters can cache (value, version) pairs and
+ * revalidate with getIfNewer() -- a version match costs one O(1)
+ * index probe, no flash read, no value bytes. Duplicate in-flight
+ * gets on the same key coalesce onto one LogFs read.
+ *
  * This is the storage half of the figure 17 scenario: every value
  * lives in flash, none are assumed cached in DRAM, and a get costs
- * one (queued) flash page read.
+ * at most one (queued) flash page read.
  */
 
 #ifndef BLUEDBM_KV_KV_SHARD_HH
@@ -24,6 +40,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "fs/log_fs.hh"
 #include "kv/kv_types.hh"
@@ -38,8 +55,14 @@ namespace kv {
 class KvShard
 {
   public:
-    /** Delivers a get result (value is empty unless status is Ok). */
-    using GetDone = std::function<void(flash::PageBuffer, KvStatus)>;
+    /**
+     * Delivers a get result: the value (empty unless status is Ok),
+     * the status, and the entry's shard-global version (0 on a
+     * miss). A conditional get whose version matched delivers an
+     * empty value with the unchanged version ("not modified").
+     */
+    using GetDone = std::function<void(flash::PageBuffer, KvStatus,
+                                       std::uint64_t version)>;
     /** Acknowledges a put or delete. */
     using AckDone = std::function<void(KvStatus)>;
 
@@ -53,15 +76,28 @@ class KvShard
     /**
      * Store @p value under @p key. The index and memtable are
      * updated immediately (reads see the new version at once); the
-     * ack fires when the log append is durable on flash.
+     * ack fires when the log append is durable on flash, or with
+     * KvStatus::Error after rolling the key back to its last
+     * durable version when the append fails.
      */
     void put(Key key, flash::PageBuffer value, AckDone done);
 
     /**
      * Fetch the live version of @p key: from the memtable when the
-     * append is still in flight, else one flash read of the log.
+     * append is still in flight, else one flash read of the log
+     * (shared with any identical get already in flight).
      */
     void get(Key key, GetDone done);
+
+    /**
+     * Conditional fetch: like get(), but when the live entry's
+     * version equals @p cached_version (and it is non-zero) the
+     * shard skips the flash read entirely and delivers an empty
+     * value with the unchanged version -- the requester's cached
+     * copy is current. 0 means unconditional.
+     */
+    void getIfNewer(Key key, std::uint64_t cached_version,
+                    GetDone done);
 
     /**
      * Drop @p key. Index-only (metadata persistence is out of scope
@@ -86,7 +122,15 @@ class KvShard
     std::uint64_t misses() const { return misses_; }
     /** Gets served from the in-flight write-back memtable. */
     std::uint64_t memtableHits() const { return memtableHits_; }
-    /** Bytes appended to the shard log (live + since-dead). */
+    /** Conditional gets answered "not modified" (no flash read). */
+    std::uint64_t validatedGets() const { return validatedGets_; }
+    /** Gets that joined an in-flight flash read instead of issuing
+     * their own. */
+    std::uint64_t coalescedGets() const { return coalescedGets_; }
+    /** Puts whose log append failed (rolled back, acked Error). */
+    std::uint64_t failedPuts() const { return failedPuts_; }
+    /** Bytes appended to the shard log (live + since-dead; failed
+     * appends are rolled back out). */
     std::uint64_t logBytes() const { return logBytes_; }
     ///@}
 
@@ -99,8 +143,29 @@ class KvShard
         std::uint64_t valueOffset = 0; //!< byte offset in the log
         std::uint32_t valueLen = 0;
         /** Shard-global monotonic version; gates memtable
-         * retirement (0 = freshly default-constructed). */
+         * retirement and read-cache validation (0 = freshly
+         * default-constructed). */
         std::uint64_t version = 0;
+    };
+
+    /**
+     * Last known-durable state of a key: the rollback target when
+     * a newer append fails. live=false records a tombstone (the
+     * key was deleted at that version) so a failed re-put cannot
+     * resurrect an older value.
+     */
+    struct Durable
+    {
+        std::uint64_t valueOffset = 0;
+        std::uint32_t valueLen = 0;
+        std::uint64_t version = 0;
+        bool live = false;
+    };
+
+    /** Waiters coalesced onto one in-flight flash read. */
+    struct ReadGroup
+    {
+        std::vector<GetDone> waiters;
     };
 
     sim::Simulator &sim_;
@@ -110,6 +175,15 @@ class KvShard
     std::unordered_map<Key, Entry> index_;
     /** Values whose append has not completed yet, newest version. */
     std::unordered_map<Key, flash::PageBuffer> memtable_;
+    /** Rollback targets; an entry exists only while the key has
+     * appends in flight (see Durable). */
+    std::unordered_map<Key, Durable> durable_;
+    /** In-flight appends per key: gates durable_ lifetime. */
+    std::unordered_map<Key, unsigned> inflightPuts_;
+    /** In-flight flash reads, keyed by the entry version they
+     * serve (shard-global versions are never reused, so a version
+     * pins both the key and the byte range). */
+    std::unordered_map<std::uint64_t, ReadGroup> reads_;
     std::uint64_t nextVersion_ = 0;
 
     std::uint64_t liveBytes_ = 0;
@@ -119,6 +193,9 @@ class KvShard
     std::uint64_t deletes_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t memtableHits_ = 0;
+    std::uint64_t validatedGets_ = 0;
+    std::uint64_t coalescedGets_ = 0;
+    std::uint64_t failedPuts_ = 0;
 };
 
 } // namespace kv

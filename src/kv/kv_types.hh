@@ -42,7 +42,24 @@ enum : net::EndpointId
 /** Network endpoints a KV-serving cluster needs. */
 constexpr unsigned kvRequiredEndpoints = 10;
 
-/** Completion status of a KV operation. */
+/**
+ * Completion status of a KV operation.
+ *
+ * Replication / failure contract (write-all, read-one):
+ *  - A put or delete acks Ok only when EVERY replica applied it.
+ *  - A put that fails on some replica acks Error, and the replicas
+ *    are left divergent: the failed replica rolls its index back to
+ *    its last durable version (or absence), the others keep the new
+ *    value. Until the client retries, read-one may return either
+ *    the new or the previous value depending on which replica the
+ *    (deterministic, origin-keyed) read routing picks. The router
+ *    counts these outcomes (KvRouter::divergentWrites()); an
+ *    anti-entropy repair pass is future work.
+ *  - A failed append is never served as Ok with bytes that did not
+ *    reach flash: the shard's index only ever points at durable log
+ *    records (in-flight values are served from the memtable, which
+ *    the failure path discards).
+ */
 enum class KvStatus : std::uint8_t
 {
     Ok,         //!< success; value (if any) is valid
@@ -67,6 +84,16 @@ struct KvRequest
 {
     std::uint64_t reqId = 0;
     Key key = 0;
+    /**
+     * Conditional get: the shard-global version of the requester's
+     * cached copy (0 = none). When the owner's live version still
+     * matches, it replies with an empty, header-only response
+     * instead of reading flash and shipping the value -- the cache
+     * invalidation ride-along that keeps hot-key caching coherent
+     * (a stale cached version simply fails the comparison and the
+     * fresh value comes back).
+     */
+    std::uint64_t cachedVersion = 0;
     KvOp op = KvOp::Get;
     net::EndpointId replyEndpoint = epKvData;
     flash::PageBuffer value; //!< put payload; empty otherwise
@@ -78,6 +105,13 @@ struct KvRequest
 struct KvResponse
 {
     std::uint64_t reqId = 0;
+    /**
+     * Shard-global version of the key's live entry at the serving
+     * shard (0 for misses). A get result equal to the request's
+     * cachedVersion means "not modified": the value is empty and
+     * the requester serves its cached copy.
+     */
+    std::uint64_t version = 0;
     KvStatus status = KvStatus::Ok;
     flash::PageBuffer value; //!< get result; empty otherwise
 };

@@ -207,3 +207,50 @@ TEST(FlashServerDeath, RangePastEndIsFatal)
                                      [](PageBuffer, Status) {}),
                  "past end");
 }
+
+TEST(FlashServer, InjectedWriteFaultLeavesPageUntouched)
+{
+    Fixture f;
+    const auto ps = f.card.geometry().pageSize;
+    const Address addr{1, 0, 1, 0};
+    PageBuffer before = f.card.nand().store().read(addr);
+
+    // The armed hook fails the program before it reaches the card:
+    // the completion reports failure, in order, and the NAND
+    // contents are unchanged.
+    f.server.setWriteFault(
+        [&](const Address &a) { return a.block == addr.block; });
+    Status got = Status::Ok;
+    f.server.writePage(0, addr, PageBuffer(ps, 0x5d),
+                       [&](Status st) { got = st; });
+    f.sim.run();
+    EXPECT_NE(got, Status::Ok);
+    EXPECT_EQ(f.server.injectedWriteFaults(), 1u);
+    EXPECT_EQ(f.card.nand().store().read(addr), before);
+
+    // Unarmed addresses (and the hook removed) program normally.
+    f.server.setWriteFault(nullptr);
+    f.server.writePage(0, addr, PageBuffer(ps, 0x5d),
+                       [&](Status st) { got = st; });
+    f.sim.run();
+    EXPECT_EQ(got, Status::Ok);
+    EXPECT_EQ(f.card.nand().store().read(addr),
+              PageBuffer(ps, 0x5d));
+}
+
+TEST(FlashServer, QueueLengthTracksPendingAndInFlight)
+{
+    Fixture f;
+    EXPECT_EQ(f.server.queueLength(0), 0u);
+    int done = 0;
+    for (int i = 0; i < 12; ++i) {
+        f.server.readPage(0, Address{0, 0, 0, std::uint32_t(i)},
+                          [&](PageBuffer, Status) { ++done; });
+    }
+    // Depth is 8: eight in flight, four still pending.
+    EXPECT_EQ(f.server.queueLength(0), 12u);
+    EXPECT_EQ(f.server.queueLength(1), 0u);
+    f.sim.run();
+    EXPECT_EQ(done, 12);
+    EXPECT_EQ(f.server.queueLength(0), 0u);
+}

@@ -67,7 +67,7 @@ TEST(KvShard, PutGetRoundTrip)
 
     PageBuffer got;
     KvStatus st = KvStatus::Error;
-    shard.get(7, [&](PageBuffer v, KvStatus s) {
+    shard.get(7, [&](PageBuffer v, KvStatus s, std::uint64_t) {
         got = std::move(v);
         st = s;
     });
@@ -86,7 +86,9 @@ TEST(KvShard, ReadYourWritesBeforeDurable)
     // any chance to reach flash: served from the memtable.
     shard.put(1, val(0x11), [](KvStatus) {});
     PageBuffer got;
-    shard.get(1, [&](PageBuffer v, KvStatus) { got = std::move(v); });
+    shard.get(1, [&](PageBuffer v, KvStatus, std::uint64_t) {
+        got = std::move(v);
+    });
     sim.run();
     EXPECT_EQ(got, val(0x11));
     EXPECT_GE(shard.memtableHits(), 1u);
@@ -94,7 +96,9 @@ TEST(KvShard, ReadYourWritesBeforeDurable)
     // After the append is durable the memtable entry retires and
     // the value comes back from flash.
     PageBuffer again;
-    shard.get(1, [&](PageBuffer v, KvStatus) { again = std::move(v); });
+    shard.get(1, [&](PageBuffer v, KvStatus, std::uint64_t) {
+        again = std::move(v);
+    });
     sim.run();
     EXPECT_EQ(again, val(0x11));
     EXPECT_EQ(shard.memtableHits(), 1u);
@@ -111,7 +115,9 @@ TEST(KvShard, OverwriteReturnsLatest)
     shard.put(3, val(0x02), [](KvStatus) {});
     sim.run();
     PageBuffer got;
-    shard.get(3, [&](PageBuffer v, KvStatus) { got = std::move(v); });
+    shard.get(3, [&](PageBuffer v, KvStatus, std::uint64_t) {
+        got = std::move(v);
+    });
     sim.run();
     EXPECT_EQ(got, val(0x02));
     EXPECT_EQ(shard.keyCount(), 1u);
@@ -134,7 +140,9 @@ TEST(KvShard, DeleteThenMiss)
     EXPECT_FALSE(shard.contains(5));
 
     KvStatus get_st = KvStatus::Ok;
-    shard.get(5, [&](PageBuffer, KvStatus st) { get_st = st; });
+    shard.get(5, [&](PageBuffer, KvStatus st, std::uint64_t) {
+        get_st = st;
+    });
     KvStatus del2_st = KvStatus::Ok;
     shard.del(5, [&](KvStatus st) { del2_st = st; });
     sim.run();
@@ -157,7 +165,7 @@ TEST(KvShard, DeleteAndReputWhileAppendInFlight)
 
     PageBuffer got;
     KvStatus st = KvStatus::Error;
-    shard.get(9, [&](PageBuffer v, KvStatus s) {
+    shard.get(9, [&](PageBuffer v, KvStatus s, std::uint64_t) {
         got = std::move(v);
         st = s;
     });
@@ -492,4 +500,431 @@ TEST(KvService, RejectedMultiGetReportsPerKeyOverload)
     });
     sim.run();
     EXPECT_TRUE(saw);
+}
+
+// ---------------------------------------------------------------- //
+// Append-failure durability (fault injection)
+// ---------------------------------------------------------------- //
+
+namespace {
+
+/** Fail every page program on @p node's FS flash server. */
+void
+armWriteFault(core::Cluster &cluster, unsigned node)
+{
+    cluster.node(node).hostServer(0).setWriteFault(
+        [](const flash::Address &) { return true; });
+}
+
+void
+disarmWriteFault(core::Cluster &cluster, unsigned node)
+{
+    cluster.node(node).hostServer(0).setWriteFault(nullptr);
+}
+
+} // namespace
+
+TEST(KvShard, FailedAppendRollsBackToLastDurable)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(2));
+    kv::KvShard shard(sim, cluster.node(0).fs(), "t");
+
+    shard.put(7, val(0xaa), [](KvStatus) {});
+    sim.run();
+    std::uint64_t log_bytes = shard.logBytes();
+
+    // The overwrite's append fails: the put must ack Error and the
+    // key must roll back to the durable 0xaa version -- never the
+    // never-written 0xbb flash bytes.
+    armWriteFault(cluster, 0);
+    KvStatus put_st = KvStatus::Ok;
+    shard.put(7, val(0xbb), [&](KvStatus st) { put_st = st; });
+    sim.run();
+    EXPECT_EQ(put_st, KvStatus::Error);
+    EXPECT_EQ(shard.failedPuts(), 1u);
+    EXPECT_EQ(shard.liveBytes(), 64u);
+    EXPECT_EQ(shard.logBytes(), log_bytes);
+
+    PageBuffer got;
+    KvStatus st = KvStatus::Error;
+    shard.get(7, [&](PageBuffer v, KvStatus s, std::uint64_t) {
+        got = std::move(v);
+        st = s;
+    });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Ok);
+    EXPECT_EQ(got, val(0xaa));
+
+    // Healthy again: the next put overwrites normally.
+    disarmWriteFault(cluster, 0);
+    shard.put(7, val(0xcc), [&](KvStatus s) { put_st = s; });
+    sim.run();
+    EXPECT_EQ(put_st, KvStatus::Ok);
+    shard.get(7, [&](PageBuffer v, KvStatus, std::uint64_t) {
+        got = std::move(v);
+    });
+    sim.run();
+    EXPECT_EQ(got, val(0xcc));
+}
+
+TEST(KvShard, FailedFirstAppendLeavesKeyAbsent)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(2));
+    kv::KvShard shard(sim, cluster.node(0).fs(), "t");
+
+    armWriteFault(cluster, 0);
+    KvStatus put_st = KvStatus::Ok;
+    shard.put(1, val(0x11), [&](KvStatus st) { put_st = st; });
+    sim.run();
+    EXPECT_EQ(put_st, KvStatus::Error);
+    EXPECT_FALSE(shard.contains(1));
+    EXPECT_EQ(shard.liveBytes(), 0u);
+    EXPECT_EQ(shard.logBytes(), 0u);
+
+    KvStatus get_st = KvStatus::Ok;
+    shard.get(1, [&](PageBuffer, KvStatus st, std::uint64_t) {
+        get_st = st;
+    });
+    sim.run();
+    EXPECT_EQ(get_st, KvStatus::NotFound);
+}
+
+TEST(KvShard, ReadYourWritesDuringDoomedAppendThenRollback)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(2));
+    kv::KvShard shard(sim, cluster.node(0).fs(), "t");
+
+    shard.put(3, val(0xaa), [](KvStatus) {});
+    sim.run();
+
+    // A get issued while the (doomed) append is in flight serves
+    // the new value from the memtable: ordinary read-your-writes of
+    // a write that subsequently fails. After the failure the key
+    // rolls back.
+    armWriteFault(cluster, 0);
+    shard.put(3, val(0xbb), [](KvStatus) {});
+    PageBuffer during;
+    shard.get(3, [&](PageBuffer v, KvStatus, std::uint64_t) {
+        during = std::move(v);
+    });
+    sim.run();
+    EXPECT_EQ(during, val(0xbb));
+
+    PageBuffer after;
+    shard.get(3, [&](PageBuffer v, KvStatus, std::uint64_t) {
+        after = std::move(v);
+    });
+    sim.run();
+    EXPECT_EQ(after, val(0xaa));
+}
+
+TEST(KvShard, DeleteTombstoneBlocksRollbackResurrection)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(2));
+    kv::KvShard shard(sim, cluster.node(0).fs(), "t");
+
+    shard.put(4, val(0xaa), [](KvStatus) {});
+    sim.run();
+
+    // Doomed overwrite, then a delete before the failure lands: the
+    // failed append must not roll the key back to the (deleted)
+    // 0xaa version.
+    armWriteFault(cluster, 0);
+    shard.put(4, val(0xbb), [](KvStatus) {});
+    shard.del(4, [](KvStatus) {});
+    sim.run();
+
+    KvStatus get_st = KvStatus::Ok;
+    shard.get(4, [&](PageBuffer, KvStatus st, std::uint64_t) {
+        get_st = st;
+    });
+    sim.run();
+    EXPECT_EQ(get_st, KvStatus::NotFound);
+    EXPECT_FALSE(shard.contains(4));
+}
+
+// ---------------------------------------------------------------- //
+// Hot-key read path: coalescing + conditional gets
+// ---------------------------------------------------------------- //
+
+TEST(KvShard, CoalescesConcurrentFlashReads)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(2));
+    kv::KvShard shard(sim, cluster.node(0).fs(), "t");
+
+    shard.put(5, val(0x55), [](KvStatus) {});
+    sim.run(); // durable: memtable drained, reads go to flash
+
+    int done = 0;
+    for (int i = 0; i < 6; ++i) {
+        shard.get(5, [&](PageBuffer v, KvStatus st, std::uint64_t) {
+            EXPECT_EQ(st, KvStatus::Ok);
+            EXPECT_EQ(v, val(0x55));
+            ++done;
+        });
+    }
+    sim.run();
+    EXPECT_EQ(done, 6);
+    // One flash read served all six: five joined the first.
+    EXPECT_EQ(shard.coalescedGets(), 5u);
+}
+
+TEST(KvShard, ConditionalGetValidatesVersion)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(2));
+    kv::KvShard shard(sim, cluster.node(0).fs(), "t");
+
+    shard.put(9, val(0x99), [](KvStatus) {});
+    sim.run();
+
+    std::uint64_t version = 0;
+    shard.get(9, [&](PageBuffer, KvStatus, std::uint64_t ver) {
+        version = ver;
+    });
+    sim.run();
+    ASSERT_NE(version, 0u);
+
+    // Matching version: "not modified", no value bytes.
+    PageBuffer got = val(0x01);
+    KvStatus st = KvStatus::Error;
+    std::uint64_t ver2 = 0;
+    shard.getIfNewer(9, version,
+                     [&](PageBuffer v, KvStatus s,
+                         std::uint64_t ver) {
+        got = std::move(v);
+        st = s;
+        ver2 = ver;
+    });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Ok);
+    EXPECT_TRUE(got.empty());
+    EXPECT_EQ(ver2, version);
+    EXPECT_EQ(shard.validatedGets(), 1u);
+
+    // After an overwrite the same conditional get returns the fresh
+    // value and its new version.
+    shard.put(9, val(0x9a), [](KvStatus) {});
+    sim.run();
+    shard.getIfNewer(9, version,
+                     [&](PageBuffer v, KvStatus s,
+                         std::uint64_t ver) {
+        got = std::move(v);
+        st = s;
+        ver2 = ver;
+    });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Ok);
+    EXPECT_EQ(got, val(0x9a));
+    EXPECT_GT(ver2, version);
+    EXPECT_EQ(shard.validatedGets(), 1u);
+}
+
+// ---------------------------------------------------------------- //
+// Router hot-key cache
+// ---------------------------------------------------------------- //
+
+namespace {
+
+kv::KvParams
+cachedParams()
+{
+    kv::KvParams kp;
+    kp.cacheSlots = 64;
+    kp.cacheAdmitHits = 1; // admit on first fill (tests)
+    return kp;
+}
+
+/** A key that origin 0 must read from a remote replica. */
+Key
+remoteKeyFor(kv::KvRouter &router, net::NodeId origin)
+{
+    Key key = 0;
+    while (router.readReplica(origin, key) == origin)
+        ++key;
+    return key;
+}
+
+} // namespace
+
+TEST(KvRouter, CacheServesValidatedHotKey)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, cachedParams());
+
+    Key key = remoteKeyFor(router, 0);
+    net::NodeId replica = router.readReplica(0, key);
+    router.put(1, key, val(0x42), [](KvStatus) {});
+    sim.run();
+
+    // First get fetches and fills the cache; the second validates
+    // and serves locally -- the replica's shard answers with an
+    // O(1) index probe instead of a flash read.
+    PageBuffer got;
+    for (int i = 0; i < 2; ++i) {
+        got.clear();
+        router.get(0, key, [&](PageBuffer v, KvStatus st) {
+            EXPECT_EQ(st, KvStatus::Ok);
+            got = std::move(v);
+        });
+        sim.run();
+        EXPECT_EQ(got, val(0x42)) << "get " << i;
+    }
+    EXPECT_EQ(router.cacheServedGets(), 1u);
+    EXPECT_EQ(router.shard(replica).validatedGets(), 1u);
+    ASSERT_NE(router.cache(0), nullptr);
+    EXPECT_EQ(router.cache(0)->size(), 1u);
+}
+
+TEST(KvRouter, CacheNeverServesStaleAfterRemotePut)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, cachedParams());
+
+    Key key = remoteKeyFor(router, 0);
+    router.put(1, key, val(0x0a), [](KvStatus) {});
+    sim.run();
+
+    // Warm node 0's cache.
+    for (int i = 0; i < 2; ++i) {
+        router.get(0, key, [](PageBuffer, KvStatus) {});
+        sim.run();
+    }
+    std::uint64_t served = router.cacheServedGets();
+    EXPECT_GT(served, 0u);
+
+    // Another node overwrites the key. Node 0's cached version is
+    // now stale; the conditional get must self-detect and return
+    // the fresh value, never the cached one.
+    router.put(1, key, val(0x0b), [](KvStatus) {});
+    sim.run();
+
+    PageBuffer got;
+    KvStatus st = KvStatus::Error;
+    router.get(0, key, [&](PageBuffer v, KvStatus s) {
+        got = std::move(v);
+        st = s;
+    });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Ok);
+    EXPECT_EQ(got, val(0x0b));
+    EXPECT_GT(router.cacheStaleGets(), 0u);
+
+    // The refilled entry validates again on the next get.
+    router.get(0, key, [&](PageBuffer v, KvStatus) {
+        got = std::move(v);
+    });
+    sim.run();
+    EXPECT_EQ(got, val(0x0b));
+    EXPECT_GT(router.cacheServedGets(), served);
+}
+
+TEST(KvRouter, CacheInvalidatesOnDelete)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, cachedParams());
+
+    Key key = remoteKeyFor(router, 0);
+    router.put(1, key, val(0x0c), [](KvStatus) {});
+    sim.run();
+    for (int i = 0; i < 2; ++i) {
+        router.get(0, key, [](PageBuffer, KvStatus) {});
+        sim.run();
+    }
+    ASSERT_NE(router.cache(0), nullptr);
+    EXPECT_EQ(router.cache(0)->size(), 1u);
+
+    router.del(2, key, [](KvStatus) {});
+    sim.run();
+
+    KvStatus st = KvStatus::Ok;
+    router.get(0, key, [&](PageBuffer, KvStatus s) { st = s; });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::NotFound);
+    EXPECT_EQ(router.cache(0)->size(), 0u);
+}
+
+TEST(KvRouter, ReadYourWritesWithCacheEnabled)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, cachedParams());
+
+    Key key = remoteKeyFor(router, 0);
+    router.put(0, key, val(0x01), [](KvStatus) {});
+    sim.run();
+    for (int i = 0; i < 2; ++i) {
+        router.get(0, key, [](PageBuffer, KvStatus) {});
+        sim.run();
+    }
+
+    // The node that cached the key overwrites it; its own next get
+    // must see the new value (the put invalidates the origin's
+    // entry, and validation would catch it regardless).
+    router.put(0, key, val(0x02), [](KvStatus) {});
+    sim.run();
+    PageBuffer got;
+    router.get(0, key, [&](PageBuffer v, KvStatus st) {
+        EXPECT_EQ(st, KvStatus::Ok);
+        got = std::move(v);
+    });
+    sim.run();
+    EXPECT_EQ(got, val(0x02));
+}
+
+// ---------------------------------------------------------------- //
+// Partial write-all failure: divergence contract
+// ---------------------------------------------------------------- //
+
+TEST(KvRouter, DivergentWriteCountedAndContractHolds)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvParams kp;
+    kp.cacheSlots = 0; // isolate the replication behavior
+    kv::KvRouter router(sim, cluster, kp);
+
+    const Key key = 42;
+    auto own = router.owners(key);
+    ASSERT_EQ(own.size(), 2u);
+    router.put(own[0], key, val(0xaa), [](KvStatus) {});
+    sim.run();
+
+    // One replica's flash fails the overwrite: the write-all must
+    // ack Error and count the divergence.
+    armWriteFault(cluster, own[1]);
+    KvStatus st = KvStatus::Ok;
+    router.put(own[0], key, val(0xbb), [&](KvStatus s) { st = s; });
+    sim.run();
+    disarmWriteFault(cluster, own[1]);
+    EXPECT_EQ(st, KvStatus::Error);
+    EXPECT_EQ(router.divergentWrites(), 1u);
+
+    // Documented contract: the failed replica rolled back to its
+    // last durable version, the healthy one kept the new value, and
+    // read-one returns whichever the origin's deterministic routing
+    // picks -- but never garbage.
+    for (unsigned origin = 0; origin < 4; ++origin) {
+        net::NodeId replica =
+            router.readReplica(net::NodeId(origin), key);
+        PageBuffer got;
+        KvStatus gst = KvStatus::Error;
+        router.get(net::NodeId(origin), key,
+                   [&](PageBuffer v, KvStatus s) {
+            got = std::move(v);
+            gst = s;
+        });
+        sim.run();
+        EXPECT_EQ(gst, KvStatus::Ok) << "origin " << origin;
+        EXPECT_EQ(got, replica == own[1] ? val(0xaa) : val(0xbb))
+            << "origin " << origin << " replica " << replica;
+    }
 }

@@ -301,3 +301,161 @@ TEST(LogFs, RandomWorkloadTorture)
         }
     }
 }
+
+// ---------------------------------------------------------------- //
+// Append-failure semantics (fault injection)
+// ---------------------------------------------------------------- //
+
+TEST(LogFs, AppendFailureReservesRangeAndPoisonsFreshPages)
+{
+    Fixture f;
+    f.fs.create("f");
+    auto payload = f.bytes(f.geo.pageSize * 2, 5);
+
+    // Every program fails: the append must report failure, keep the
+    // reserved byte range (offsets handed to concurrent appends
+    // must stay stable), and poison the fresh pages so reads of the
+    // range report failure instead of silently returning zeroes.
+    f.server.setWriteFault(
+        [](const flash::Address &) { return true; });
+    bool ok = true;
+    f.fs.append("f", payload, [&](bool o) { ok = o; });
+    f.sim.run();
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(f.fs.size("f"), payload.size());
+    EXPECT_EQ(f.fs.pageWriteFailures(), 2u);
+
+    bool read_ok = true;
+    std::vector<std::uint8_t> got;
+    f.fs.read("f", 0, payload.size(),
+              [&](std::vector<std::uint8_t> data, bool o) {
+        got = std::move(data);
+        read_ok = o;
+    });
+    f.sim.run();
+    EXPECT_FALSE(read_ok);
+    EXPECT_EQ(got, std::vector<std::uint8_t>(payload.size(), 0));
+
+    // Healthy again: new appends land after the reserved range and
+    // read back fine; the poisoned range keeps reporting failure.
+    f.server.setWriteFault(nullptr);
+    auto tail = f.bytes(f.geo.pageSize, 9);
+    f.appendSync("f", tail);
+    EXPECT_EQ(f.readSync("f", payload.size(), tail.size()), tail);
+    f.fs.read("f", 0, f.fs.size("f"),
+              [&](std::vector<std::uint8_t>, bool o) {
+        read_ok = o;
+    });
+    f.sim.run();
+    EXPECT_FALSE(read_ok);
+}
+
+TEST(LogFs, FailedTailRewriteKeepsOldContentAndHeals)
+{
+    Fixture f;
+    f.fs.create("f");
+    auto first = f.bytes(100, 1);
+    f.appendSync("f", first);
+
+    // The tail-page rewrite fails: the aborted program leaves the
+    // page's previous contents intact, so the bytes before the
+    // failed append still read back correctly.
+    f.server.setWriteFault(
+        [](const flash::Address &) { return true; });
+    auto second = f.bytes(50, 2);
+    bool ok = true;
+    f.fs.append("f", second, [&](bool o) { ok = o; });
+    f.sim.run();
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(f.fs.size("f"), 150u);
+    EXPECT_EQ(f.readSync("f", 0, 100), first);
+
+    // The failed bytes stayed staged in the in-memory tail: the
+    // next successful append rewrites the shared tail page and
+    // heals the whole range.
+    f.server.setWriteFault(nullptr);
+    auto third = f.bytes(30, 3);
+    f.appendSync("f", third);
+    std::vector<std::uint8_t> expect = first;
+    expect.insert(expect.end(), second.begin(), second.end());
+    expect.insert(expect.end(), third.begin(), third.end());
+    EXPECT_EQ(f.fs.size("f"), expect.size());
+    EXPECT_EQ(f.readSync("f", 0, expect.size()), expect);
+}
+
+// ---------------------------------------------------------------- //
+// Read spreading onto a reserved spill interface
+// ---------------------------------------------------------------- //
+
+TEST(LogFs, ReadsSpreadToSpillInterfaceUnderLoad)
+{
+    sim::Simulator sim;
+    Geometry geo = Geometry::tiny();
+    FlashCard card{sim, geo, Timing::fast(), 64};
+    auto &port = card.splitter().addPort(64);
+    FlashServer server{sim, port, 2, 16};
+    fs::FsParams params;
+    params.spillInterface = 1;
+    params.readSpreadDepth = 1; // spread as soon as one is queued
+    LogFs lfs{sim, server, 0, geo, params};
+
+    lfs.create("hot");
+    std::vector<std::uint8_t> payload(geo.pageSize * 4);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = std::uint8_t(i * 13);
+    bool ok = false;
+    lfs.append("hot", payload, [&](bool o) { ok = o; });
+    sim.run();
+    ASSERT_TRUE(ok);
+
+    // A burst of whole-file reads: the primary queue backs up and
+    // page reads stripe onto the spill interface; the data stays
+    // correct regardless of which interface served it.
+    int done = 0;
+    for (int i = 0; i < 8; ++i) {
+        lfs.read("hot", 0, payload.size(),
+                 [&](std::vector<std::uint8_t> data, bool o) {
+            EXPECT_TRUE(o);
+            EXPECT_EQ(data, payload);
+            ++done;
+        });
+    }
+    sim.run();
+    EXPECT_EQ(done, 8);
+    EXPECT_GT(lfs.spreadReads(), 0u);
+}
+
+// ---------------------------------------------------------------- //
+// Tail-page group commit
+// ---------------------------------------------------------------- //
+
+TEST(LogFs, ConcurrentSmallAppendsGroupCommit)
+{
+    Fixture f;
+    f.fs.create("log");
+
+    // A burst of small appends issued back to back: rewrites of the
+    // shared tail page arriving while one program is in flight must
+    // batch into a single follow-up program, every ack must still
+    // fire, and the contents must concatenate exactly.
+    std::vector<std::uint8_t> expect;
+    int acks = 0;
+    bool all_ok = true;
+    const int appends = 24;
+    for (int i = 0; i < appends; ++i) {
+        auto chunk = f.bytes(97, std::uint8_t(i + 1));
+        expect.insert(expect.end(), chunk.begin(), chunk.end());
+        f.fs.append("log", chunk, [&](bool ok) {
+            all_ok = all_ok && ok;
+            ++acks;
+        });
+    }
+    f.sim.run();
+    EXPECT_EQ(acks, appends);
+    EXPECT_TRUE(all_ok);
+    EXPECT_EQ(f.fs.size("log"), expect.size());
+    EXPECT_EQ(f.readSync("log", 0, expect.size()), expect);
+    // Far fewer programs than appends: the burst group-committed.
+    EXPECT_GT(f.fs.batchedPageWrites(), 0u);
+    EXPECT_LT(f.fs.pagesWritten(), unsigned(appends));
+}
