@@ -5,9 +5,9 @@
  * RAMCloud comparison, with the ROADMAP's 20-node ring as the
  * headline configuration).
  *
- * Three experiments, all YCSB-style 95/5 read/write over 8 KB
- * flash pages with 256-byte values, replication R=2 (write-all /
- * read-one):
+ * Four experiments, all YCSB-style 95/5 read/write over 8 KB
+ * flash pages with 256-byte values, replication R=2 (quorum-acked
+ * writes, W=1 by default / read-one):
  *  - scaling: closed-loop throughput and p50/p99/p99.9 at 4, 8 and
  *    20 nodes (clients scale with nodes; throughput must scale
  *    monotonically);
@@ -16,19 +16,30 @@
  *    on few shards; validated cache hits + read coalescing + read
  *    spreading are what keep p99 flat);
  *  - open loop: Poisson arrivals below saturation at 8 nodes,
- *    where queueing delay becomes visible in the tail.
+ *    where queueing delay becomes visible in the tail;
+ *  - write quorum: W=1 vs W=2 at 20 nodes with read/write p99
+ *    attribution, the repair-lag high-water (max client-acked puts
+ *    simultaneously outstanding on straggler replicas), and a
+ *    post-run anti-entropy sweep confirming zero divergence.
  *
  * Emits BENCH_kv.json. Acceptance: the 20-node run sustains
- * >= 100k ops/s, scaling is monotone 4 -> 8 -> 20, and the cached
- * hot-shard p99 stays several-fold under the uncached one.
+ * >= 100k ops/s, scaling is monotone 4 -> 8 -> 20, the cached
+ * hot-shard p99 stays several-fold under the uncached one, and
+ * W=1 write p99 sits well under the W=2 write-all tail.
  *
- * `--smoke` runs one tiny hot-key config end to end (no JSON): the
- * sanitizer-preset CI gate.
+ * `--write-quorum W` overrides the default W=1 for the scaling /
+ * skew / open-loop sections (the W sweep always runs both).
+ *
+ * `--smoke` runs one tiny hot-key config end to end (no JSON);
+ * `--smoke-quorum` runs the quorum fault-injection scenario (W=1
+ * straggler failure healed by a repair sweep). Both are the
+ * sanitizer-preset CI gates.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -64,6 +75,7 @@ struct RunResult
     double theta = 0.0; //!< 0 = uniform
     bool openLoop = false;
     bool cached = true;
+    unsigned quorum = 1; //!< write quorum W
     double tput = 0.0;  //!< accepted ops per simulated second
     double p50us = 0.0, p99us = 0.0, p999us = 0.0;
     double readP99us = 0.0, writeP99us = 0.0; //!< tail attribution
@@ -72,13 +84,24 @@ struct RunResult
     std::uint64_t remoteOps = 0, localOps = 0;
     std::uint64_t cacheServed = 0, cacheStale = 0;
     std::uint64_t coalesced = 0, validated = 0;
+    /** Repair lag: max client-acked puts simultaneously
+     * outstanding on straggler replicas. */
+    unsigned repairLag = 0;
+    std::uint64_t divergent = 0;      //!< after the run
+    std::uint64_t divergentSwept = 0; //!< after one repair sweep
 };
+
+/** Default write quorum for the non-sweep sections
+ * (--write-quorum). */
+unsigned globalQuorum = 1;
 
 RunResult
 runConfig(unsigned nodes, bool zipfian, double theta, bool open_loop,
           double arrivals_per_sec, std::uint64_t total_ops,
-          bool cached = true)
+          bool cached = true, unsigned write_quorum = 0)
 {
+    if (write_quorum == 0)
+        write_quorum = globalQuorum;
     sim::Simulator sim;
     core::ClusterParams cp;
     cp.topology = net::Topology::ring(nodes, nodes >= 20 ? 4 : 2);
@@ -91,6 +114,7 @@ runConfig(unsigned nodes, bool zipfian, double theta, bool open_loop,
 
     kv::KvParams kp;
     kp.replication = 2;
+    kp.writeQuorum = write_quorum;
     kp.cacheSlots = cached ? 256 : 0;
     kv::KvRouter router(sim, cluster, kp);
     kv::KvService service(sim, router);
@@ -123,11 +147,25 @@ runConfig(unsigned nodes, bool zipfian, double theta, bool open_loop,
     if (!finished)
         sim::fatal("kv bench run did not finish");
 
+    // Post-run anti-entropy sweep: fault-free traffic must leave
+    // zero divergence, and the sweep itself must find nothing --
+    // a cheap end-to-end digest-consistency check at scale.
+    std::uint64_t divergent_before = router.divergentWrites();
+    bool swept = false;
+    router.repairSweep([&]() { swept = true; });
+    sim.run();
+    if (!swept)
+        sim::fatal("kv bench repair sweep did not finish");
+
     RunResult r;
     r.nodes = nodes;
     r.theta = zipfian ? theta : 0.0;
     r.openLoop = open_loop;
     r.cached = cached;
+    r.quorum = write_quorum;
+    r.repairLag = router.maxBackgroundWrites();
+    r.divergent = divergent_before;
+    r.divergentSwept = router.divergentWrites();
     r.tput = engine.throughputOpsPerSec();
     const auto &lat = engine.allLatency();
     r.p50us = sim::ticksToUs(lat.p50());
@@ -151,6 +189,7 @@ runConfig(unsigned nodes, bool zipfian, double theta, bool open_loop,
 std::vector<RunResult> scaling;
 std::vector<RunResult> skew;
 std::vector<RunResult> skewNoCache;
+std::vector<RunResult> quorumSweep;
 RunResult open_loop_run;
 
 void
@@ -160,6 +199,13 @@ runAll()
     for (unsigned nodes : {4u, 8u, 20u})
         scaling.push_back(runConfig(nodes, true, 0.99, false, 0.0,
                                     3000ull * nodes));
+
+    // Write-quorum sweep at 20 nodes: W=1 (quorum ack, stragglers
+    // in the background) vs W=2 (strict write-all). The write p99
+    // gap is the cost of waiting for the slowest replica.
+    for (unsigned w : {1u, 2u})
+        quorumSweep.push_back(runConfig(20, true, 0.99, false, 0.0,
+                                        60000, true, w));
 
     // Skew sweep at 8 nodes: uniform, then rising Zipfian theta,
     // with the hot-key cache on (default) and off (ablation).
@@ -204,7 +250,18 @@ printTable()
         row("8 nodes " + skew_label(r), r);
     for (const auto &r : skewNoCache)
         row("8n nocache " + skew_label(r), r);
+    for (const auto &r : quorumSweep)
+        row("20 nodes W=" + std::to_string(r.quorum), r);
     row("8 nodes open-loop", open_loop_run);
+    for (const auto &r : quorumSweep) {
+        std::printf("W=%u: read p99 %.1fus, write p99 %.1fus, "
+                    "repair lag %u, divergent %llu -> %llu after "
+                    "sweep\n",
+                    r.quorum, r.readP99us, r.writeP99us,
+                    r.repairLag,
+                    (unsigned long long)r.divergent,
+                    (unsigned long long)r.divergentSwept);
+    }
     const auto &head = scaling.back();
     std::printf("\nClosed-loop scaling must be monotone: %.0f -> "
                 "%.0f -> %.0f ops/s (target >= 100k at 20 "
@@ -227,6 +284,8 @@ BM_KvService(benchmark::State &state)
     for (auto _ : state) {
         scaling.clear();
         skew.clear();
+        skewNoCache.clear();
+        quorumSweep.clear();
         runAll();
     }
     state.counters["tput_20n"] = scaling.back().tput;
@@ -237,9 +296,139 @@ BENCHMARK(BM_KvService)->Iterations(1)->Unit(benchmark::kSecond);
 
 } // namespace
 
+namespace {
+
+/**
+ * Quorum fault-injection smoke (CI, sanitizer preset): W=1 puts
+ * against a cluster where one node fails every NAND program, so
+ * every put with that node as a straggler acks Ok and leaves a
+ * divergence -- which one anti-entropy sweep must drain to zero.
+ * Returns 0 on success, 1 on any contract violation. No JSON.
+ */
+int
+smokeQuorum()
+{
+    sim::Simulator sim;
+    core::ClusterParams cp;
+    cp.topology = net::Topology::ring(4, 2);
+    cp.node.geometry = kvGeometry();
+    cp.node.timing = flash::Timing{};
+    cp.node.cards = 2;
+    cp.node.controllerTags = 128;
+    cp.network.endpoints = kv::kvRequiredEndpoints;
+    core::Cluster cluster(sim, cp);
+
+    kv::KvParams kp;
+    kp.replication = 2;
+    kp.writeQuorum = 1;
+    kp.cacheSlots = 0;
+    kv::KvRouter router(sim, cluster, kp);
+
+    const unsigned faulty = 3;
+    const kv::Key keys = 200;
+    unsigned ok = 0;
+    for (kv::Key k = 0; k < keys; ++k) {
+        router.put(net::NodeId(k % 4), k,
+                   workload::WorkloadEngine::makeValue(k, 128),
+                   [&](kv::KvStatus st) {
+            if (st == kv::KvStatus::Ok)
+                ++ok;
+        });
+    }
+    sim.run();
+
+    // Overwrite everything with node `faulty` failing programs.
+    cluster.node(faulty).hostServer(0).setWriteFault(
+        [](const flash::Address &) { return true; });
+    unsigned ok2 = 0;
+    for (kv::Key k = 0; k < keys; ++k) {
+        router.put(net::NodeId(k % 4), k,
+                   workload::WorkloadEngine::makeValue(k ^ 0xff,
+                                                       128),
+                   [&](kv::KvStatus st) {
+            if (st == kv::KvStatus::Ok)
+                ++ok2;
+        });
+    }
+    sim.run();
+    cluster.node(faulty).hostServer(0).setWriteFault(nullptr);
+
+    std::uint64_t divergent = router.divergentWrites();
+    bool swept = false;
+    router.repairSweep([&]() { swept = true; });
+    sim.run();
+
+    std::printf("quorum smoke: %u/%u first puts ok, %u second, "
+                "%llu divergent -> %llu after sweep, %llu repairs "
+                "applied on node %u\n",
+                ok, unsigned(keys), ok2,
+                (unsigned long long)divergent,
+                (unsigned long long)router.divergentWrites(),
+                (unsigned long long)
+                    router.shard(net::NodeId(faulty))
+                        .repairsApplied(),
+                faulty);
+    if (ok != keys) {
+        std::fprintf(stderr, "fault-free puts failed\n");
+        return 1;
+    }
+    if (divergent == 0) {
+        std::fprintf(stderr,
+                     "fault injection produced no divergence\n");
+        return 1;
+    }
+    if (!swept || router.divergentWrites() != 0) {
+        std::fprintf(stderr,
+                     "anti-entropy did not drain divergence\n");
+        return 1;
+    }
+    // Every key must now read the overwrite value from every node.
+    unsigned bad = 0, reads = 0;
+    for (kv::Key k = 0; k < keys; ++k) {
+        for (unsigned origin = 0; origin < 4; ++origin) {
+            router.get(net::NodeId(origin), k,
+                       [&, k](flash::PageBuffer v,
+                              kv::KvStatus st) {
+                ++reads;
+                if (st != kv::KvStatus::Ok ||
+                    v != workload::WorkloadEngine::makeValue(
+                             k ^ 0xff, 128))
+                    ++bad;
+            });
+        }
+    }
+    sim.run();
+    if (reads != keys * 4 || bad != 0) {
+        std::fprintf(stderr,
+                     "%u/%u post-repair reads wrong\n", bad, reads);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--write-quorum") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--write-quorum needs a value\n");
+                return 1;
+            }
+            globalQuorum = unsigned(std::atoi(argv[++i]));
+            if (globalQuorum < 1 || globalQuorum > 2) {
+                std::fprintf(stderr,
+                             "--write-quorum must be 1 or 2\n");
+                return 1;
+            }
+            continue;
+        }
+        if (std::string(argv[i]) == "--smoke-quorum")
+            return smokeQuorum();
+    }
     // Smoke mode (CI, sanitizer preset): one tiny hot-key config
     // end to end -- preload, skewed traffic, cache + coalescing +
     // spreading exercised -- with no JSON side effects.
@@ -300,6 +489,17 @@ main(int argc, char **argv)
                                   "_tput_ops", r.tput);
         counters.emplace_back("skew_nocache_" + theta_label(r) +
                                   "_p99_us", r.p99us);
+    }
+    for (const auto &r : quorumSweep) {
+        std::string p = "quorum_w" + std::to_string(r.quorum) + "_";
+        counters.emplace_back(p + "tput_ops", r.tput);
+        counters.emplace_back(p + "p99_us", r.p99us);
+        counters.emplace_back(p + "read_p99_us", r.readP99us);
+        counters.emplace_back(p + "write_p99_us", r.writeP99us);
+        counters.emplace_back(p + "repair_lag",
+                              double(r.repairLag));
+        counters.emplace_back(p + "divergent_after_sweep",
+                              double(r.divergentSwept));
     }
     counters.emplace_back("open_tput_ops", open_loop_run.tput);
     counters.emplace_back("open_p50_us", open_loop_run.p50us);

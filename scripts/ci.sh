@@ -41,6 +41,13 @@ else
     exit 1
 fi
 
+echo "=== sanitize: quorum fault-injection smoke ==="
+# W=1 puts against a node that fails every NAND program: quorum
+# acks must still complete Ok, divergence must be counted, and one
+# anti-entropy sweep must drain it to zero -- under ASan/UBSan.
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ./build-sanitize/svc_kv --smoke-quorum
+
 echo "=== regenerate tracked bench JSONs ==="
 if [[ -x build/ablation_kernel && -x build/svc_kv ]]; then
     ./build/ablation_kernel
@@ -49,5 +56,37 @@ else
     echo "bench binaries missing (google-benchmark not found?)" >&2
     exit 1
 fi
+
+echo "=== perf smoke gate (BENCH_kv.json) ==="
+# The serving perf floor this PR establishes: 20-node throughput
+# must hold >= 1.9M ops/s and the quorum-acked write tail must stay
+# within 1.6x of the read tail. Catches regressions of either the
+# put path (quorum/batching) or the read path it rides on.
+bench_field() {
+    awk -F'[:,]' -v k="\"$1\"" '$1 ~ k { gsub(/[[:space:]]/, "", $2); print $2 }' \
+        BENCH_kv.json
+}
+tput20="$(bench_field nodes20_tput_ops)"
+rp99="$(bench_field nodes20_read_p99_us)"
+wp99="$(bench_field nodes20_write_p99_us)"
+div="$(bench_field quorum_w1_divergent_after_sweep)"
+if [[ -z "$tput20" || -z "$rp99" || -z "$wp99" || -z "$div" ]]; then
+    echo "perf gate: BENCH_kv.json missing fields" >&2
+    exit 1
+fi
+awk -v t="$tput20" 'BEGIN { exit !(t + 0 >= 1900000) }' || {
+    echo "perf gate: 20-node throughput $tput20 < 1.9M ops/s" >&2
+    exit 1
+}
+awk -v w="$wp99" -v r="$rp99" 'BEGIN { exit !(w + 0 <= 1.6 * r) }' || {
+    echo "perf gate: write p99 ${wp99}us > 1.6x read p99 ${rp99}us" >&2
+    exit 1
+}
+awk -v d="$div" 'BEGIN { exit !(d + 0 == 0) }' || {
+    echo "perf gate: divergence survived the repair sweep" >&2
+    exit 1
+}
+echo "perf gate ok: tput ${tput20} ops/s, read p99 ${rp99}us," \
+     "write p99 ${wp99}us, post-sweep divergence ${div}"
 
 echo "=== CI OK ==="

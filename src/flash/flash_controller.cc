@@ -15,6 +15,7 @@ FlashController::FlashController(sim::Simulator &sim, NandArray &nand,
         sim::fatal("FlashController needs at least one tag");
     tagState_.assign(tags, TagState::Free);
     tagAddr_.assign(tags, Address{});
+    tagGroup_.assign(tags, 0);
 }
 
 void
@@ -30,6 +31,7 @@ FlashController::sendCommand(const Command &cmd)
 
     Tag tag = cmd.tag;
     tagAddr_[tag] = cmd.addr;
+    tagGroup_[tag] = cmd.group;
 
     switch (cmd.op) {
       case Op::ReadPage:
@@ -77,7 +79,8 @@ FlashController::sendWriteData(Tag tag, PageBuffer data)
                 [this, tag](Status st) {
         tagState_[tag] = TagState::Free;
         client_->writeDone(tag, st);
-    });
+    },
+                tagGroup_[tag]);
 }
 
 } // namespace flash

@@ -88,6 +88,9 @@ class FlashController
     Client *client_ = nullptr;
     std::vector<TagState> tagState_;
     std::vector<Address> tagAddr_;
+    /** Program-coalescing group of the command on each tag (0 =
+     * ungrouped); handed to the NAND when the write data arrives. */
+    std::vector<std::uint32_t> tagGroup_;
 
     std::uint64_t readsIssued_ = 0;
     std::uint64_t writesIssued_ = 0;

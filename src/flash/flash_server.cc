@@ -94,7 +94,92 @@ FlashServer::writePage(unsigned ifc, const Address &addr,
     job.addr = addr;
     job.writeData = std::move(data);
     job.writeSink = std::move(sink);
+    if (ifcs_[ifc].batchMax != 0) {
+        stageWrite(ifc, std::move(job));
+        return;
+    }
     ifcs_[ifc].pending.push_back(std::move(job));
+    pump(ifc);
+}
+
+void
+FlashServer::enableWriteBatching(unsigned ifc, unsigned max_batch,
+                                 sim::Tick window)
+{
+    if (ifc >= ifcs_.size())
+        sim::panic("interface %u out of range", ifc);
+    if (max_batch < 2)
+        sim::fatal("write batching needs max_batch >= 2");
+    Interface &itf = ifcs_[ifc];
+    itf.batchMax = max_batch;
+    itf.batchWindow = window;
+}
+
+void
+FlashServer::stageWrite(unsigned ifc, Job job)
+{
+    Interface &itf = ifcs_[ifc];
+    std::uint32_t bus = job.addr.bus;
+    if (bus >= itf.writeLoad.size())
+        itf.writeLoad.resize(bus + 1, 0);
+    // No same-bus write ahead: this write pays no contention, so
+    // staging could only add latency. Issue it untouched. (A log's
+    // tail-page chain round-robins buses, so the serialized
+    // latency-critical chain always takes this path.)
+    if (itf.writeLoad[bus] == 0) {
+        ++itf.writeLoad[bus];
+        itf.pending.push_back(std::move(job));
+        pump(ifc);
+        return;
+    }
+    // A write to this bus is already staged, queued or in flight:
+    // this one would wait on the bus regardless, so gather it for
+    // a shared program window instead.
+    ++itf.writeLoad[bus];
+    if (bus >= itf.staged.size())
+        itf.staged.resize(bus + 1);
+    auto &slot = itf.staged[bus];
+    slot.push_back(std::move(job));
+    ++itf.stagedCount;
+    ++stagedTotal_;
+    if (slot.size() >= itf.batchMax) {
+        flushBatch(ifc, bus);
+        return;
+    }
+    if (slot.size() == 1) {
+        // Bounded wait: the batch flushes when the window expires
+        // even if neither the size cap nor the blocking write's
+        // completion got there first. A stale timer after an early
+        // flush is harmless -- it just flushes whatever has
+        // restaged since.
+        sim_.scheduleAfter(itf.batchWindow, [this, ifc, bus]() {
+            flushBatch(ifc, bus);
+        });
+    }
+}
+
+void
+FlashServer::flushBatch(unsigned ifc, std::uint32_t bus)
+{
+    Interface &itf = ifcs_[ifc];
+    if (bus >= itf.staged.size() || itf.staged[bus].empty())
+        return;
+    std::vector<Job> jobs = std::move(itf.staged[bus]);
+    itf.staged[bus].clear();
+    itf.stagedCount -= unsigned(jobs.size());
+    stagedTotal_ -= unsigned(jobs.size());
+    if (jobs.size() > 1) {
+        // One command group: the NAND lets these share a program
+        // window per chip (multi-plane one-pass program).
+        std::uint32_t group = nextGroup_++;
+        if (nextGroup_ == 0)
+            nextGroup_ = 1;
+        for (Job &j : jobs)
+            j.group = group;
+        batchedWrites_ += jobs.size();
+    }
+    for (Job &j : jobs)
+        itf.pending.push_back(std::move(j));
     pump(ifc);
 }
 
@@ -116,7 +201,8 @@ unsigned
 FlashServer::queueLength(unsigned ifc) const
 {
     const Interface &itf = ifcs_.at(ifc);
-    return unsigned(itf.pending.size()) + itf.inFlight;
+    return unsigned(itf.pending.size()) + itf.inFlight +
+        itf.stagedCount;
 }
 
 void
@@ -158,6 +244,7 @@ FlashServer::pump(unsigned ifc)
         cmd.op = info.job.op;
         cmd.addr = info.job.addr;
         cmd.tag = tag;
+        cmd.group = info.job.group;
         port_.sendCommand(cmd);
     }
 }
@@ -170,6 +257,8 @@ FlashServer::complete(Tag tag, PageBuffer data, Status status)
         sim::panic("completion for idle tag %u", tag);
     unsigned ifc = info.ifc;
     Interface &itf = ifcs_[ifc];
+    bool write_done = info.job.op == Op::WritePage;
+    std::uint32_t bus = info.job.addr.bus;
 
     Completion done;
     done.job = std::move(info.job);
@@ -180,8 +269,16 @@ FlashServer::complete(Tag tag, PageBuffer data, Status status)
     info.busy = false;
     --itf.inFlight;
 
+    if (write_done && itf.batchMax != 0 &&
+        bus < itf.writeLoad.size() && itf.writeLoad[bus] > 0)
+        --itf.writeLoad[bus];
+
     deliver(ifc);
     pump(ifc);
+    // The write that was blocking this bus completed: flush the
+    // batch gathered behind it rather than waiting out the window.
+    if (write_done && itf.batchMax != 0)
+        flushBatch(ifc, bus);
 }
 
 void

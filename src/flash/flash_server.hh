@@ -93,6 +93,46 @@ class FlashServer : public Client
     void writePage(unsigned ifc, const Address &addr, PageBuffer data,
                    WriteSink sink);
 
+    /**
+     * @name Program coalescing (write combining)
+     * An opt-in staging stage between writePage() and the command
+     * queue: writes destined for the same (interface, bus) that
+     * arrive within a bounded window are flushed together as one
+     * command group, letting the NAND overlap their plane programs
+     * (up to Timing::planesPerChip pages of a batch landing on a
+     * chip program concurrently instead of serializing) --
+     * concurrent small appends from different files amortize the
+     * program latency they would otherwise each pay in full.
+     *
+     * The stage never adds latency a write would not already see:
+     * a write stages ONLY while another write to the same bus is
+     * ahead of it in this interface (staged, queued or in flight)
+     * -- i.e. exactly when it would be waiting on that bus anyway
+     * and a shared program window can pay. A write with no same-bus
+     * write ahead (the common case: a log's tail-page chain
+     * round-robins across buses) issues immediately, untouched.
+     * Staged writes flush when the batch fills, when the window
+     * expires, or the moment the blocking write completes.
+     */
+    ///@{
+
+    /**
+     * Enable coalescing on @p ifc.
+     * @param max_batch writes flushed together at most (>= 2)
+     * @param window    ticks a staged write may wait while the
+     *                  interface is busy
+     */
+    void enableWriteBatching(unsigned ifc, unsigned max_batch,
+                             sim::Tick window);
+
+    /** Writes that were flushed in a batch of two or more. */
+    std::uint64_t batchedWrites() const { return batchedWrites_; }
+
+    /** Writes currently staged (all interfaces). */
+    unsigned stagedWrites() const { return stagedTotal_; }
+
+    ///@}
+
     /** Erase one physical block via interface @p ifc. */
     void eraseBlock(unsigned ifc, const Address &addr, WriteSink sink);
 
@@ -135,6 +175,7 @@ class FlashServer : public Client
         PageBuffer writeData;
         PageSink pageSink;
         WriteSink writeSink;
+        std::uint32_t group = 0; //!< program-coalescing batch id
     };
 
     struct Completion
@@ -153,6 +194,18 @@ class FlashServer : public Client
         unsigned inFlight = 0;
         //! completion reorder buffer keyed by sequence number
         std::map<std::uint64_t, Completion> reorder;
+        /** @name Write-coalescing stage (enableWriteBatching) */
+        ///@{
+        unsigned batchMax = 0;    //!< 0 = coalescing disabled
+        sim::Tick batchWindow = 0;
+        /** Staged write jobs keyed by bus (batches form per bus so
+         * a flushed group lands on one bus's chips together). */
+        std::vector<std::vector<Job>> staged;
+        unsigned stagedCount = 0;
+        /** Writes per bus currently staged, queued or in flight:
+         * the contention signal that gates staging. */
+        std::vector<unsigned> writeLoad;
+        ///@}
     };
 
     struct TagInfo
@@ -168,6 +221,11 @@ class FlashServer : public Client
     void deliver(unsigned ifc);
     unsigned tagBase(unsigned ifc) const { return ifc * depth_; }
 
+    /** Stage @p job on (ifc, bus) or decide it must issue now. */
+    void stageWrite(unsigned ifc, Job job);
+    /** Flush one (ifc, bus) batch into the command queue. */
+    void flushBatch(unsigned ifc, std::uint32_t bus);
+
     sim::Simulator &sim_;
     FlashSplitter::Port &port_;
     unsigned depth_;
@@ -176,6 +234,9 @@ class FlashServer : public Client
     std::unordered_map<std::uint32_t, std::vector<Address>> atu_;
     WriteFault writeFault_;
     std::uint64_t injectedWriteFaults_ = 0;
+    std::uint32_t nextGroup_ = 1;   //!< batch ids (0 = ungrouped)
+    std::uint64_t batchedWrites_ = 0;
+    unsigned stagedTotal_ = 0;
 };
 
 } // namespace flash

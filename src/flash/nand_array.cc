@@ -13,6 +13,7 @@ NandArray::NandArray(sim::Simulator &sim, const Geometry &geo,
       errorRng_(seed ^ 0xecc0ecc0ecc0ecc0ull)
 {
     chipBusy_.assign(geo.chips(), 0);
+    programWindows_.assign(geo.chips(), ProgramWindow{});
     buses_.resize(geo.buses);
 }
 
@@ -141,7 +142,8 @@ NandArray::read(const Address &addr,
 
 void
 NandArray::write(const Address &addr, PageBuffer data,
-                 std::function<void(Status)> done)
+                 std::function<void(Status)> done,
+                 std::uint32_t group)
 {
     const Geometry &geo = geometry();
     if (!addr.validFor(geo))
@@ -159,12 +161,40 @@ NandArray::write(const Address &addr, PageBuffer data,
 
     // Write data crosses the bus first, then the chip programs.
     busTransfer(addr.bus, wire_bytes,
-                [this, a, payload,
+                [this, a, payload, group,
                  done = std::move(done)]() mutable {
-        sim::Tick &chip_busy = chipBusy_[chipIndex(a)];
-        sim::Tick prog_start = std::max(sim_.now(), chip_busy);
-        sim::Tick prog_done = prog_start + timing_.programUs;
-        chip_busy = prog_done;
+        std::size_t ci = chipIndex(a);
+        sim::Tick &chip_busy = chipBusy_[ci];
+        ProgramWindow &win = programWindows_[ci];
+        sim::Tick prog_done;
+        if (group != 0 && win.group == group &&
+            win.progEnd > sim_.now() &&
+            chip_busy <= win.progEnd &&
+            win.pages < timing_.planesPerChip) {
+            // (chip_busy <= progEnd guards against another op --
+            // e.g. an interleaved read -- having claimed the chip
+            // since the window opened: planes overlap only with
+            // their own batch, never with foreign work.)
+            // Same coalesced batch, program still running: this
+            // page's plane programs OVERLAPPED with the open window
+            // instead of serializing a full tPROG behind it. The
+            // page itself still takes a full tPROG from the moment
+            // its data arrived -- no plane programs faster than the
+            // cells allow -- so the window extends to cover it.
+            prog_done = std::max(win.progEnd,
+                                 sim_.now() + timing_.programUs);
+            win.progEnd = prog_done;
+            chip_busy = std::max(chip_busy, prog_done);
+            ++win.pages;
+            ++coalescedPrograms_;
+        } else {
+            sim::Tick prog_start = std::max(sim_.now(), chip_busy);
+            prog_done = prog_start + timing_.programUs;
+            chip_busy = prog_done;
+            win.group = group;
+            win.progEnd = prog_done;
+            win.pages = 1;
+        }
         sim_.scheduleAt(prog_done + timing_.controllerOverhead,
                         [this, a, payload,
                          done = std::move(done)]() mutable {

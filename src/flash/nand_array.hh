@@ -71,9 +71,18 @@ class NandArray
     /**
      * Start a page write with data in hand; @p done fires when the
      * program completes.
+     *
+     * @p group is the program-coalescing batch id (Command::group).
+     * Writes of the same non-zero group landing on one chip overlap
+     * their plane programs (up to Timing::planesPerChip pages per
+     * window) instead of serializing one tPROG each; every page
+     * still takes a full tPROG from the moment its data arrived,
+     * and each page's data still crosses the bus individually.
+     * group 0 programs alone.
      */
     void write(const Address &addr, PageBuffer data,
-               std::function<void(Status)> done);
+               std::function<void(Status)> done,
+               std::uint32_t group = 0);
 
     /** Start a block erase. */
     void erase(const Address &addr, std::function<void(Status)> done);
@@ -98,6 +107,9 @@ class NandArray
     ///@{
     std::uint64_t pagesRead() const { return pagesRead_; }
     std::uint64_t pagesWritten() const { return pagesWritten_; }
+    /** Grouped writes that joined an already-open program window on
+     * their chip instead of paying their own tPROG. */
+    std::uint64_t coalescedPrograms() const { return coalescedPrograms_; }
     std::uint64_t blocksErased() const { return blocksErased_; }
     std::uint64_t bitsCorrected() const { return bitsCorrected_; }
     std::uint64_t uncorrectablePages() const { return uncorrectable_; }
@@ -141,11 +153,26 @@ class NandArray
     double bitErrorRate_ = 0.0;
     bool alwaysDecode_ = false;
 
+    /**
+     * Open multi-plane program window of one chip: grouped writes
+     * whose data arrives while the same group's program is still
+     * running on the chip complete with that program instead of
+     * starting their own (bounded by Timing::planesPerChip).
+     */
+    struct ProgramWindow
+    {
+        std::uint32_t group = 0;
+        sim::Tick progEnd = 0;
+        unsigned pages = 0;
+    };
+
     std::vector<sim::Tick> chipBusy_;
+    std::vector<ProgramWindow> programWindows_;
     std::vector<BusState> buses_;
 
     std::uint64_t pagesRead_ = 0;
     std::uint64_t pagesWritten_ = 0;
+    std::uint64_t coalescedPrograms_ = 0;
     std::uint64_t blocksErased_ = 0;
     std::uint64_t bitsCorrected_ = 0;
     std::uint64_t uncorrectable_ = 0;

@@ -36,6 +36,15 @@ struct Timing
     double busBytesPerSec = 150e6 * 9216.0 / 8192.0;
     /** Fixed controller pipeline overhead per command. */
     sim::Tick controllerOverhead = sim::usToTicks(1);
+    /**
+     * Planes per chip: pages of a coalesced write batch
+     * (Command::group) whose programs may overlap on a single chip,
+     * as multi-plane NAND programs do (each page still pays a full
+     * tPROG from the moment its data arrived). Ungrouped writes
+     * never overlap, so this only matters to clients that opt into
+     * the flash server's write-combining stage.
+     */
+    unsigned planesPerChip = 4;
 
     /** A fast timing set for unit tests. */
     static Timing

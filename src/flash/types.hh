@@ -37,12 +37,21 @@ enum class Status
 /**
  * A command as issued by a user of the flash interface: operation,
  * address and a tag identifying the request (section 3.1.1).
+ *
+ * `group` marks a program-coalescing batch: write commands carrying
+ * the same non-zero group id were issued together by the flash
+ * server's write-combining stage and may overlap their plane
+ * programs on a chip (multi-plane-style programming; each page
+ * still takes a full tPROG from its data arrival). 0 means
+ * ungrouped -- the command programs alone, exactly as before the
+ * coalescing stage existed.
  */
 struct Command
 {
     Op op = Op::ReadPage;
     Address addr;
     Tag tag = 0;
+    std::uint32_t group = 0;
 };
 
 /**

@@ -26,6 +26,9 @@ LogFs::LogFs(sim::Simulator &sim, flash::FlashServer &server,
         sim::fatal("spill interface %d invalid (primary %u of %u)",
                    params_.spillInterface, ifc_,
                    server_.interfaces());
+    if (params_.writeBatchMax >= 2)
+        server_.enableWriteBatching(ifc_, params_.writeBatchMax,
+                                    params_.writeBatchWindow);
     std::uint64_t total_blocks =
         std::uint64_t(geo_.buses) * geo_.chipsPerBus *
         geo_.blocksPerChip;

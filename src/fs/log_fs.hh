@@ -73,6 +73,21 @@ struct FsParams
     int spillInterface = -1;
     /** Primary-interface queue depth that triggers read spreading. */
     unsigned readSpreadDepth = 8;
+    /**
+     * Program coalescing on the primary interface: page writes from
+     * different files (or different pages of one file) headed for
+     * the same bus that arrive within writeBatchWindow of each other
+     * flush as one command group and share a NAND program window per
+     * chip (FlashServer::enableWriteBatching). 0 disables the stage.
+     * The stage is contention-gated: a write only ever stages while
+     * another write to the same bus is ahead of it, so an
+     * uncontended writer (a lone log's tail chain) is never slowed.
+     */
+    unsigned writeBatchMax = 4;
+    /** Ticks a staged page write may wait while the queue is busy
+     * (a small fraction of tPROG: enough to gather a concurrent
+     * burst, cheap against the program it may share). */
+    sim::Tick writeBatchWindow = sim::usToTicks(8);
 };
 
 /**

@@ -26,6 +26,12 @@ KvRouter::KvRouter(sim::Simulator &sim, core::Cluster &cluster,
         params_.replication > maxReplication)
         sim::fatal("replication factor %u invalid for %u nodes",
                    params_.replication, cluster_.size());
+    if (params_.writeQuorum == 0 ||
+        params_.writeQuorum > params_.replication)
+        sim::fatal("write quorum %u invalid for replication %u",
+                   params_.writeQuorum, params_.replication);
+    if (params_.repairChunk == 0)
+        sim::fatal("repair chunk must be >= 1");
     if (params_.vnodes == 0)
         sim::fatal("consistent hashing needs >= 1 vnode");
 
@@ -39,9 +45,12 @@ KvRouter::KvRouter(sim::Simulator &sim, core::Cluster &cluster,
     }
     std::sort(ring_.begin(), ring_.end());
 
+    if (params_.logStripes == 0)
+        sim::fatal("shard log needs >= 1 stripe");
     for (unsigned n = 0; n < cluster_.size(); ++n) {
         shards_.emplace_back(std::make_unique<KvShard>(
-            sim_, cluster_.node(n).fs(), params_.shardLog));
+            sim_, cluster_.node(n).fs(), params_.shardLog,
+            params_.logStripes));
         if (params_.cacheSlots > 0) {
             KvCache::Params cp;
             cp.slots = params_.cacheSlots;
@@ -56,22 +65,29 @@ KvRouter::KvRouter(sim::Simulator &sim, core::Cluster &cluster,
 }
 
 unsigned
+KvRouter::ownersFrom(std::size_t ring_index, NodeId *out,
+                     unsigned max) const
+{
+    unsigned count = 0;
+    for (std::size_t step = 0;
+         step < ring_.size() && count < max; ++step) {
+        if (ring_index == ring_.size())
+            ring_index = 0;
+        NodeId n = ring_[ring_index].second;
+        if (std::find(out, out + count, n) == out + count)
+            out[count++] = n;
+        ++ring_index;
+    }
+    return count;
+}
+
+unsigned
 KvRouter::ownersInto(Key key, NodeId *out, unsigned max) const
 {
     std::uint64_t h = mix64(key);
     auto it = std::lower_bound(ring_.begin(), ring_.end(),
                                std::make_pair(h, NodeId(0)));
-    unsigned count = 0;
-    for (std::size_t step = 0;
-         step < ring_.size() && count < max; ++step) {
-        if (it == ring_.end())
-            it = ring_.begin();
-        NodeId n = it->second;
-        if (std::find(out, out + count, n) == out + count)
-            out[count++] = n;
-        ++it;
-    }
-    return count;
+    return ownersFrom(std::size_t(it - ring_.begin()), out, max);
 }
 
 std::vector<NodeId>
@@ -84,6 +100,65 @@ KvRouter::owners(Key key) const
 
 NodeId
 KvRouter::readReplica(NodeId origin, Key key) const
+{
+    NodeId target;
+    if (steerTarget(origin, key, &target))
+        return target;
+    return defaultReadReplica(origin, key);
+}
+
+bool
+KvRouter::steerTarget(NodeId origin, Key key, NodeId *out) const
+{
+    // In-flight ledger: a quorum-acked write from THIS origin still
+    // draining to stragglers steers this origin's reads to a
+    // replica that acked it, or the writing client could read its
+    // own write's predecessor off a straggler. Reads from other
+    // origins keep the plain spread (see InflightWrite for why the
+    // narrow scope matters). Uses the entry's owner list, so the
+    // common unconstrained read never pays a second ring walk.
+    auto lit = inflightWrites_.find(key);
+    if (lit == inflightWrites_.end())
+        return false;
+    const InflightWrite &w = lit->second;
+    std::uint8_t mask = 0;
+    bool wrote = false;
+    for (const auto &wr : w.writers) {
+        if (wr.origin == origin && wr.ops > 0) {
+            wrote = true;
+            if (wr.ackedOp != 0)
+                mask = wr.ackedMask;
+            break;
+        }
+    }
+    if (!wrote)
+        return false;
+    // The origin's own shard applied its writes synchronously:
+    // local stays both correct and free.
+    for (unsigned i = 0; i < w.ownerCount; ++i) {
+        if (w.owners[i] == origin) {
+            *out = origin;
+            return true;
+        }
+    }
+    if (mask != 0) {
+        NodeId safe[maxReplication];
+        unsigned nsafe = 0;
+        for (unsigned i = 0; i < w.ownerCount; ++i) {
+            if (mask & (std::uint8_t(1) << i))
+                safe[nsafe++] = w.owners[i];
+        }
+        if (nsafe > 0) {
+            *out = safe[origin % nsafe];
+            return true;
+        }
+    }
+    // Nothing client-acked yet: no obligation to steer.
+    return false;
+}
+
+NodeId
+KvRouter::defaultReadReplica(NodeId origin, Key key) const
 {
     // Allocation-free: gets are the 95% case and run once per op.
     NodeId own[maxReplication];
@@ -100,7 +175,21 @@ KvRouter::readReplica(NodeId origin, Key key) const
 void
 KvRouter::get(NodeId origin, Key key, GetDone done)
 {
-    NodeId replica = readReplica(origin, key);
+    // A ledger-steered read may target a different replica than
+    // the origin's deterministic choice. Shard versions are
+    // per-shard counters and NOT comparable across replicas, so a
+    // steered read must go out unconditional and its result must
+    // not fill the cache -- a cached version from replica A
+    // coincidentally matching replica B's current version would
+    // confirm a stale value. (Steering windows are brief and the
+    // writing origin just invalidated its cached copy anyway, so
+    // this costs ~no hits.)
+    NodeId replica;
+    bool steered = false;
+    if (steerTarget(origin, key, &replica))
+        steered = replica != defaultReadReplica(origin, key);
+    else
+        replica = defaultReadReplica(origin, key);
     if (replica == origin) {
         ++localOps_;
         shards_[origin]->get(key,
@@ -117,9 +206,11 @@ KvRouter::get(NodeId origin, Key key, GetDone done)
     // with a header-only reply and the value is served locally.
     std::uint64_t cached_version = 0;
     if (KvCache *cache = cacheFor(origin)) {
-        cache->touch(key);
-        if (const KvCache::Entry *e = cache->lookup(key))
-            cached_version = e->version;
+        if (!steered) {
+            cache->touch(key);
+            if (const KvCache::Entry *e = cache->lookup(key))
+                cached_version = e->version;
+        }
     }
     std::uint64_t id = nextReqId_++;
     PendingOp &op = pending_[id];
@@ -129,6 +220,7 @@ KvRouter::get(NodeId origin, Key key, GetDone done)
     op.key = key;
     op.origin = origin;
     op.cachedVersion = cached_version;
+    op.steered = steered;
 
     KvRequest req;
     req.reqId = id;
@@ -141,7 +233,8 @@ KvRouter::get(NodeId origin, Key key, GetDone done)
 }
 
 void
-KvRouter::put(NodeId origin, Key key, PageBuffer value, AckDone done)
+KvRouter::put(NodeId origin, Key key, PageBuffer value, AckDone done,
+              SettledDone settled)
 {
     // The origin's cached copy (if any) is dead the moment the
     // overwrite is issued; validation would catch it, but dropping
@@ -151,12 +244,18 @@ KvRouter::put(NodeId origin, Key key, PageBuffer value, AckDone done)
 
     std::vector<NodeId> own = owners(key);
     std::uint64_t id = nextReqId_++;
+    std::uint64_t stamp = ++nextStamp_;
     PendingOp &op = pending_[id];
     op.remaining = unsigned(own.size());
     op.total = unsigned(own.size());
+    op.quorum = params_.writeQuorum;
+    op.write = true;
     op.ackDone = std::move(done);
+    op.settled = std::move(settled);
     op.key = key;
     op.origin = origin;
+    op.stamp = stamp;
+    ledgerOpen(key, origin, own.data(), unsigned(own.size()));
 
     auto bytes = kvHeaderBytes +
         static_cast<std::uint32_t>(value.size());
@@ -164,11 +263,12 @@ KvRouter::put(NodeId origin, Key key, PageBuffer value, AckDone done)
         // The last replica takes the buffer, the others a copy.
         PageBuffer copy =
             i + 1 < own.size() ? value : std::move(value);
-        if (own[i] == origin) {
+        NodeId replica = own[i];
+        if (replica == origin) {
             ++localOps_;
-            shards_[origin]->put(key, std::move(copy),
-                                 [this, id](KvStatus st) {
-                completeOne(id, st, PageBuffer{}, 0);
+            shards_[origin]->put(key, std::move(copy), stamp,
+                                 [this, id, replica](KvStatus st) {
+                completeOne(id, st, PageBuffer{}, 0, replica);
             });
             continue;
         }
@@ -177,33 +277,42 @@ KvRouter::put(NodeId origin, Key key, PageBuffer value, AckDone done)
         req.reqId = id;
         req.key = key;
         req.op = KvOp::Put;
+        req.stamp = stamp;
         req.value = std::move(copy);
         cluster_.network()
             .endpoint(origin, epKvService)
-            .send(own[i], bytes, std::move(req));
+            .send(replica, bytes, std::move(req));
     }
 }
 
 void
-KvRouter::del(NodeId origin, Key key, AckDone done)
+KvRouter::del(NodeId origin, Key key, AckDone done,
+              SettledDone settled)
 {
     if (KvCache *cache = cacheFor(origin))
         cache->invalidate(key);
 
     std::vector<NodeId> own = owners(key);
     std::uint64_t id = nextReqId_++;
+    std::uint64_t stamp = ++nextStamp_;
     PendingOp &op = pending_[id];
     op.remaining = unsigned(own.size());
     op.total = unsigned(own.size());
+    op.quorum = params_.writeQuorum;
+    op.write = true;
     op.ackDone = std::move(done);
+    op.settled = std::move(settled);
     op.key = key;
     op.origin = origin;
+    op.stamp = stamp;
+    ledgerOpen(key, origin, own.data(), unsigned(own.size()));
 
     for (NodeId n : own) {
         if (n == origin) {
             ++localOps_;
-            shards_[origin]->del(key, [this, id](KvStatus st) {
-                completeOne(id, st, PageBuffer{}, 0);
+            shards_[origin]->del(key, stamp,
+                                 [this, id, n](KvStatus st) {
+                completeOne(id, st, PageBuffer{}, 0, n);
             });
             continue;
         }
@@ -212,10 +321,104 @@ KvRouter::del(NodeId origin, Key key, AckDone done)
         req.reqId = id;
         req.key = key;
         req.op = KvOp::Delete;
+        req.stamp = stamp;
         cluster_.network()
             .endpoint(origin, epKvService)
             .send(n, kvHeaderBytes, std::move(req));
     }
+}
+
+void
+KvRouter::ledgerOpen(Key key, NodeId origin, const NodeId *own,
+                     unsigned count)
+{
+    InflightWrite &w = inflightWrites_[key];
+    if (w.ops == 0) {
+        w.ownerCount = count;
+        for (unsigned i = 0; i < count; ++i)
+            w.owners[i] = own[i];
+    }
+    ++w.ops;
+    // Register the writing origin: its reads are the ones the
+    // ledger must steer (read-your-writes is per session). Reuse a
+    // drained slot before growing.
+    InflightWrite::Writer *slot = nullptr;
+    for (auto &wr : w.writers) {
+        if (wr.origin == origin) {
+            slot = &wr;
+            break;
+        }
+        if (slot == nullptr && wr.ops == 0)
+            slot = &wr;
+    }
+    if (slot == nullptr || slot->origin != origin) {
+        if (slot == nullptr) {
+            w.writers.emplace_back();
+            slot = &w.writers.back();
+        } else {
+            *slot = InflightWrite::Writer{};
+        }
+        slot->origin = origin;
+    }
+    ++slot->ops;
+}
+
+void
+KvRouter::ledgerClientAcked(Key key, NodeId origin,
+                            std::uint64_t op_id,
+                            std::uint8_t acked_mask)
+{
+    auto it = inflightWrites_.find(key);
+    if (it == inflightWrites_.end())
+        return;
+    InflightWrite &w = it->second;
+    for (auto &wr : w.writers) {
+        if (wr.origin == origin && wr.ops > 0) {
+            wr.ackedOp = op_id;
+            wr.ackedMask = acked_mask;
+            return;
+        }
+    }
+}
+
+void
+KvRouter::ledgerLateAck(Key key, NodeId origin, std::uint64_t op_id,
+                        unsigned idx)
+{
+    auto it = inflightWrites_.find(key);
+    if (it == inflightWrites_.end())
+        return;
+    InflightWrite &w = it->second;
+    auto bit = std::uint8_t(std::uint8_t(1) << idx);
+    for (auto &wr : w.writers) {
+        if (wr.origin == origin && wr.ackedOp == op_id) {
+            wr.ackedMask |= bit;
+            return;
+        }
+    }
+}
+
+void
+KvRouter::ledgerOpDone(Key key, NodeId origin, std::uint64_t op_id)
+{
+    auto it = inflightWrites_.find(key);
+    if (it == inflightWrites_.end())
+        sim::panic("ledger completion for untracked key");
+    InflightWrite &w = it->second;
+    for (auto &wr : w.writers) {
+        if (wr.origin == origin && wr.ops > 0) {
+            --wr.ops;
+            // The op reached every replica: its steer (if it was
+            // the active one) is obsolete -- any replica serves it.
+            if (wr.ackedOp == op_id) {
+                wr.ackedOp = 0;
+                wr.ackedMask = 0;
+            }
+            break;
+        }
+    }
+    if (--w.ops == 0)
+        inflightWrites_.erase(it);
 }
 
 void
@@ -279,7 +482,8 @@ KvRouter::installAgents()
             .setReceiveHandler([this](net::Message msg) {
             auto resp = msg.payload.take<KvResponse>();
             completeOne(resp.reqId, resp.status,
-                        std::move(resp.value), resp.version);
+                        std::move(resp.value), resp.version,
+                        msg.src);
         });
     }
 }
@@ -304,7 +508,7 @@ KvRouter::serveLocal(NodeId node, KvRequest req,
         });
         return;
       case KvOp::Put:
-        shards_[node]->put(req.key, std::move(req.value),
+        shards_[node]->put(req.key, std::move(req.value), req.stamp,
                            [id, reply = std::move(reply)](
                                KvStatus st) {
             KvResponse resp;
@@ -314,7 +518,7 @@ KvRouter::serveLocal(NodeId node, KvRequest req,
         });
         return;
       case KvOp::Delete:
-        shards_[node]->del(req.key,
+        shards_[node]->del(req.key, req.stamp,
                            [id, reply = std::move(reply)](
                                KvStatus st) {
             KvResponse resp;
@@ -329,14 +533,17 @@ KvRouter::serveLocal(NodeId node, KvRequest req,
 
 void
 KvRouter::completeOne(std::uint64_t req_id, KvStatus st,
-                      PageBuffer value, std::uint64_t version)
+                      PageBuffer value, std::uint64_t version,
+                      NodeId from)
 {
     auto it = pending_.find(req_id);
     if (it == pending_.end())
         sim::panic("response for unknown KV request %llu",
                    static_cast<unsigned long long>(req_id));
     PendingOp &op = it->second;
-    if (st != KvStatus::Ok) {
+    if (st == KvStatus::Ok)
+        ++op.okAcks;
+    else {
         ++op.failed;
         if (op.status == KvStatus::Ok)
             op.status = st;
@@ -345,20 +552,309 @@ KvRouter::completeOne(std::uint64_t req_id, KvStatus st,
         op.value = std::move(value);
     if (version != 0)
         op.version = version;
-    if (--op.remaining != 0)
-        return;
-    PendingOp fin = std::move(op);
-    pending_.erase(it);
-    if (fin.getDone) {
+    bool last = --op.remaining == 0;
+
+    if (!op.write) {
+        if (!last)
+            return;
+        PendingOp fin = std::move(op);
+        pending_.erase(it);
         finishGet(std::move(fin));
         return;
     }
-    // Write-all epilogue: a mixed outcome (some replicas applied,
-    // some failed) leaves the copies divergent until the client
-    // retries -- count it (see kv_types.hh for the contract).
-    if (fin.failed != 0 && fin.failed < fin.total)
-        ++divergentWrites_;
-    fin.ackDone(fin.status);
+
+    // Write path. Record which replica acked Ok (durable implies
+    // applied): the bit feeds the read-your-writes steer.
+    if (st == KvStatus::Ok) {
+        auto lit = inflightWrites_.find(op.key);
+        if (lit != inflightWrites_.end()) {
+            const InflightWrite &w = lit->second;
+            for (unsigned i = 0; i < w.ownerCount; ++i) {
+                if (w.owners[i] == from) {
+                    op.ackedMask |= std::uint8_t(1) << i;
+                    if (op.clientAcked)
+                        ledgerLateAck(op.key, op.origin, req_id, i);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Quorum decision: the client completes on the W-th Ok, or as
+    // soon as the failures make W unreachable. With all replies in,
+    // one of the two has necessarily triggered.
+    AckDone fire_client;
+    KvStatus client_status = KvStatus::Ok;
+    if (!op.clientAcked) {
+        if (op.okAcks >= op.quorum) {
+            op.clientAcked = true;
+            fire_client = std::move(op.ackDone);
+        } else if (op.failed > op.total - op.quorum) {
+            op.clientAcked = true;
+            fire_client = std::move(op.ackDone);
+            client_status = op.status;
+        }
+    }
+
+    if (!last) {
+        // Stragglers still out: the op stays pending in the
+        // background. Fire the client last -- the callback may
+        // re-enter the router and grow pending_, invalidating op.
+        if (fire_client) {
+            ++backgroundWrites_;
+            if (backgroundWrites_ > maxBackgroundWrites_)
+                maxBackgroundWrites_ = backgroundWrites_;
+            if (client_status == KvStatus::Ok)
+                ledgerClientAcked(op.key, op.origin, req_id,
+                                  op.ackedMask);
+            fire_client(client_status);
+        }
+        return;
+    }
+
+    // Last replica reply: retire the op and the ledger entry, and
+    // record divergence (a mixed outcome means some replicas hold
+    // the new value and at least one rolled back -- repairSweep()
+    // owns closing that window; see kv_types.hh).
+    bool was_background = op.clientAcked && !fire_client;
+    Key key = op.key;
+    NodeId origin = op.origin;
+    unsigned failed = op.failed, total = op.total;
+    SettledDone settled = std::move(op.settled);
+    pending_.erase(it);
+    ledgerOpDone(key, origin, req_id);
+    if (was_background)
+        --backgroundWrites_;
+    if (failed != 0 && failed < total)
+        divergent_.insert(key);
+    if (fire_client)
+        fire_client(client_status);
+    if (settled)
+        settled();
+}
+
+// ---------------------------------------------------------------- //
+// Anti-entropy repair
+// ---------------------------------------------------------------- //
+
+/**
+ * One sweep in flight: a cursor over the ring's segments plus a
+ * count of asynchronous repair pushes still outstanding. The sweep
+ * walks segments in chunks (yielding to the event loop between
+ * chunks -- repair is maintenance, not serving), compares replica
+ * digests per segment, and fires repairs fire-and-forget; done runs
+ * only after the cursor finished AND every repair completed.
+ */
+struct KvRouter::SweepState
+{
+    std::function<void()> done;
+    std::size_t nextSeg = 0;
+    unsigned outstanding = 0; //!< async repairs in flight
+    bool traversalDone = false;
+    /** Tombstones below this stamp may prune on consistent ranges:
+     * older than every write in flight when the sweep started. */
+    std::uint64_t pruneBelow = 0;
+};
+
+void
+KvRouter::repairSweep(std::function<void()> done)
+{
+    if (sweepRunning_)
+        sim::fatal("anti-entropy sweep already running");
+    sweepRunning_ = true;
+    auto state = std::make_shared<SweepState>();
+    state->done = std::move(done);
+    // Tombstones older than every in-flight write are stable on
+    // digest-identical ranges: safe to drop everywhere at once.
+    state->pruneBelow = nextStamp_ + 1;
+    for (const auto &[id, op] : pending_) {
+        (void)id;
+        if (op.write && op.stamp < state->pruneBelow)
+            state->pruneBelow = op.stamp;
+    }
+    sweepChunk(state);
+}
+
+void
+KvRouter::sweepChunk(std::shared_ptr<SweepState> state)
+{
+    unsigned budget = params_.repairChunk;
+    while (budget-- > 0 && state->nextSeg < ring_.size())
+        sweepSegment(state, state->nextSeg++);
+    if (state->nextSeg < ring_.size()) {
+        // Yield between chunks: serving traffic interleaves.
+        sim_.scheduleAfter(0, [this, state]() {
+            sweepChunk(state);
+        });
+        return;
+    }
+    state->traversalDone = true;
+    sweepFinish(state);
+}
+
+void
+KvRouter::sweepFinish(const std::shared_ptr<SweepState> &state)
+{
+    if (!state->traversalDone || state->outstanding != 0)
+        return;
+    sweepRunning_ = false;
+    ++repairSweeps_;
+    if (state->done)
+        state->done();
+}
+
+void
+KvRouter::sweepSegment(std::shared_ptr<SweepState> state,
+                       std::size_t seg)
+{
+    // Every key hashing into segment seg -- the ring arc ending at
+    // point seg -- maps to the same replica set: the first R
+    // distinct nodes walking the ring from that point. Segment 0
+    // additionally owns the wrap-around arc past the last point.
+    NodeId own[maxReplication];
+    unsigned count = ownersFrom(seg, own, params_.replication);
+    if (count < 2)
+        return; // unreplicated: nothing to reconcile
+
+    std::uint64_t ranges[2][2];
+    unsigned nranges = 0;
+    constexpr std::uint64_t maxHash = ~std::uint64_t(0);
+    if (seg == 0) {
+        ranges[nranges][0] = 0;
+        ranges[nranges][1] = ring_.front().first;
+        ++nranges;
+        if (ring_.back().first != maxHash) {
+            ranges[nranges][0] = ring_.back().first + 1;
+            ranges[nranges][1] = maxHash;
+            ++nranges;
+        }
+    } else {
+        ranges[nranges][0] = ring_[seg - 1].first + 1;
+        ranges[nranges][1] = ring_[seg].first;
+        ++nranges;
+    }
+
+    for (unsigned r = 0; r < nranges; ++r)
+        sweepRange(state, own, count, ranges[r][0], ranges[r][1]);
+
+    // The segment was compared (and any repairs are in flight):
+    // keys here are no longer unaccountedly divergent. A repair
+    // push that FAILS re-marks its key below.
+    if (!divergent_.empty()) {
+        for (auto it = divergent_.begin();
+             it != divergent_.end();) {
+            std::uint64_t h = mix64(*it);
+            bool in_seg = false;
+            for (unsigned r = 0; r < nranges; ++r)
+                in_seg = in_seg || (h >= ranges[r][0] &&
+                                    h <= ranges[r][1]);
+            it = in_seg ? divergent_.erase(it) : std::next(it);
+        }
+    }
+}
+
+void
+KvRouter::sweepRange(std::shared_ptr<SweepState> state,
+                     const NodeId *own, unsigned count,
+                     std::uint64_t lo, std::uint64_t hi)
+{
+    if (lo > hi)
+        return;
+    // The cheap pass: identical content folds to identical digests,
+    // and consistent ranges (the overwhelming majority) cost no
+    // enumeration and no flash I/O at all.
+    std::uint64_t first = shards_[own[0]]->rangeDigest(lo, hi);
+    bool mismatch = false;
+    for (unsigned i = 1; i < count && !mismatch; ++i)
+        mismatch = shards_[own[i]]->rangeDigest(lo, hi) != first;
+    if (!mismatch) {
+        // Digest-identical replicas hold identical tombstones, so
+        // dropping the settled ones on every replica at once keeps
+        // the digests equal and the repair index bounded.
+        for (unsigned i = 0; i < count; ++i)
+            shards_[own[i]]->pruneTombstones(lo, hi,
+                                             state->pruneBelow);
+        return;
+    }
+    // Reconcile ALL replicas at once, not pairwise against the
+    // primary: with R >= 3 the primary can itself be one of the
+    // stale copies, and two equally-stale replicas must still be
+    // pulled up to the newest-stamped state wherever it lives.
+    struct Side
+    {
+        std::uint64_t stamp = 0;
+        bool live = false;
+        bool present = false;
+    };
+    struct MergedKey
+    {
+        Key key = 0;
+        Side sides[maxReplication];
+    };
+    std::map<std::uint64_t, MergedKey> merged;
+    for (unsigned i = 0; i < count; ++i) {
+        std::vector<KvShard::RangeEntry> entries;
+        shards_[own[i]]->rangeEntries(lo, hi, entries);
+        for (const auto &e : entries) {
+            MergedKey &m = merged[mix64(e.key)];
+            m.key = e.key;
+            m.sides[i] = Side{e.stamp, e.live, true};
+        }
+    }
+    for (auto &[hash, m] : merged) {
+        (void)hash;
+        // Newest-stamped side wins; absent counts as stamp 0.
+        unsigned newest = 0;
+        for (unsigned i = 1; i < count; ++i) {
+            if (m.sides[i].stamp > m.sides[newest].stamp)
+                newest = i;
+        }
+        if (m.sides[newest].stamp == 0)
+            continue; // inconceivable, but nothing to push
+        for (unsigned i = 0; i < count; ++i) {
+            if (i == newest)
+                continue;
+            if (m.sides[i].present &&
+                m.sides[i].stamp == m.sides[newest].stamp &&
+                m.sides[i].live == m.sides[newest].live)
+                continue; // this replica already agrees
+            repairKey(state, m.key, own[newest], own[i],
+                      m.sides[newest].stamp, m.sides[newest].live);
+        }
+    }
+}
+
+void
+KvRouter::repairKey(std::shared_ptr<SweepState> state, Key key,
+                    NodeId from, NodeId to, std::uint64_t stamp,
+                    bool live)
+{
+    ++state->outstanding;
+    auto finish = [this, state, key](KvStatus st) {
+        if (st == KvStatus::Error)
+            divergent_.insert(key); // push failed: still divergent
+        else
+            ++repairedKeys_; // reconciled (applied or caught up)
+        --state->outstanding;
+        sweepFinish(state);
+    };
+    if (!live) {
+        shards_[to]->repairDel(key, stamp, std::move(finish));
+        return;
+    }
+    shards_[from]->get(
+        key,
+        [this, state, key, to, stamp,
+         finish = std::move(finish)](PageBuffer v, KvStatus st,
+                                     std::uint64_t) mutable {
+        if (st != KvStatus::Ok) {
+            // Source read failed; leave the key for the next sweep.
+            finish(KvStatus::Error);
+            return;
+        }
+        shards_[to]->repairPut(key, std::move(v), stamp,
+                               std::move(finish));
+    });
 }
 
 void
@@ -384,7 +880,9 @@ KvRouter::finishGet(PendingOp fin)
     if (fin.status == KvStatus::Ok) {
         if (fin.cachedVersion != 0)
             ++cacheStale_; // self-detected: fresh value came back
-        if (cache)
+        // Steered results carry another replica's version space:
+        // never let them into the cache (see get()).
+        if (cache && !fin.steered)
             cache->fill(fin.key, fin.version, fin.value);
     } else if (fin.status == KvStatus::NotFound && cache) {
         cache->invalidate(fin.key);

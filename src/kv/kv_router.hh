@@ -10,9 +10,15 @@
  * storage gets involved, every node IS storage and the network is
  * the uniform-latency fabric of section 3.2). Keys map to owner
  * nodes through a fixed ring of hashed virtual nodes; writes go to
- * all R replicas (write-all), reads to one (read-one, preferring a
- * local replica so a well-placed client pays no network hop at
- * all).
+ * all R replicas but complete to the client after W acks (quorum
+ * write, default W=1 -- the put path runs at the speed of the
+ * fastest replica's NAND, not the slowest's); reads go to one
+ * (read-one, preferring a local replica so a well-placed client
+ * pays no network hop at all). A per-key in-flight ledger keeps
+ * read-one consistent while straggler replica writes drain in the
+ * background, and an anti-entropy sweep (repairSweep) heals the
+ * divergence a failed straggler leaves behind. kv_types.hh spells
+ * out the full contract.
  *
  * Hot-key read path: before a remote get leaves the origin node,
  * the router consults that node's KvCache. On a cached (value,
@@ -31,6 +37,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -48,12 +55,38 @@ namespace kv {
  */
 struct KvParams
 {
-    /** Copies of every key (write-all / read-one). */
+    /** Copies of every key. */
     unsigned replication = 2;
+    /**
+     * Replica acks required before a put/delete completes to the
+     * client (1..replication). The remaining replica writes finish
+     * in the background; a straggler that *fails* leaves divergence
+     * for repairSweep() to heal. replication (W=R) restores strict
+     * write-all acking.
+     */
+    unsigned writeQuorum = 1;
+    /** Ring segments reconciled per repair-sweep chunk before the
+     * sweep yields to the event loop. */
+    unsigned repairChunk = 64;
     /** Ring points per node; more points, smoother balance. */
     unsigned vnodes = 64;
     /** Shard log file name (one per node's file system). */
     std::string shardLog = "kv.shard.log";
+    /**
+     * Independent append chains per shard (KvShard stripes). One
+     * log file serializes a node's puts behind a single tail page
+     * (one program in flight at a time); striping multiplies the
+     * per-node write ceiling and feeds the flash server's
+     * program-coalescing stage when stripes land on one bus. The
+     * hot-shard write backlog under quorum acks is exactly what
+     * this bounds: stragglers drain at S chains, not one. More
+     * stripes also dilute group-commit amortization (fewer puts
+     * absorbed per tail-page program, so more chip-busy program
+     * windows stalling reads); the default is the empirical sweet
+     * spot of the 20-node serving bench, where both the write p99
+     * and throughput targets clear with margin.
+     */
+    unsigned logStripes = 5;
     /** Hot-key cache slots per node (0 disables the cache). */
     unsigned cacheSlots = 128;
     /** Sketch estimate required before a key may occupy a cache
@@ -96,19 +129,52 @@ class KvRouter
      */
     std::vector<net::NodeId> owners(Key key) const;
 
-    /** Replica @p origin reads @p key from (local when possible). */
+    /**
+     * Replica @p origin reads @p key from (local when possible).
+     * While a write of @p key is still draining to straggler
+     * replicas, the in-flight ledger narrows the choice to replicas
+     * known to have applied it, so a read after a quorum ack can
+     * never observe the pre-write value.
+     */
     net::NodeId readReplica(net::NodeId origin, Key key) const;
 
     /** Fetch @p key on behalf of a client attached to @p origin. */
     void get(net::NodeId origin, Key key, GetDone done);
 
-    /** Store @p key on all replicas; acks when every copy landed.
-     * See kv_types.hh for the partial-failure contract. */
-    void put(net::NodeId origin, Key key, flash::PageBuffer value,
-             AckDone done);
+    /** Fires when a write finished on EVERY replica (after the
+     * quorum ack); see put(). */
+    using SettledDone = std::function<void()>;
 
-    /** Delete @p key on all replicas. */
-    void del(net::NodeId origin, Key key, AckDone done);
+    /**
+     * Store @p key on all replicas; @p done acks the client after
+     * writeQuorum of them landed (kv_types.hh has the contract).
+     * @p settled (optional) fires once every replica completed --
+     * the hook admission control uses to keep the op's straggler
+     * work charged against the client's window: acking early must
+     * not let a closed-loop client pump extra concurrency into
+     * flash that is still digesting its durability debt, or the
+     * quorum win turns into a saturation loss.
+     */
+    void put(net::NodeId origin, Key key, flash::PageBuffer value,
+             AckDone done, SettledDone settled = nullptr);
+
+    /** Delete @p key on all replicas (same quorum ack / settled
+     * split as put). */
+    void del(net::NodeId origin, Key key, AckDone done,
+             SettledDone settled = nullptr);
+
+    /**
+     * One full anti-entropy sweep over the hash ring: for every
+     * ring segment (whose keys share one replica set), compare the
+     * replicas' range digests; on a mismatch, enumerate the range
+     * and push each differing key's newer-stamped state across
+     * (repairPut/repairDel on the stale shard). Runs chunked so it
+     * yields to the event loop (low priority); @p done fires after
+     * every segment was compared and every pushed repair completed.
+     * Afterwards divergentWrites() is zero -- every key the sweep
+     * visited is either reconciled or was already consistent.
+     */
+    void repairSweep(std::function<void()> done);
 
     /** Fetch several keys concurrently (read-one per key). */
     void multiGet(net::NodeId origin, std::vector<Key> keys,
@@ -133,9 +199,26 @@ class KvRouter
     /** Conditional gets whose cached version had gone stale (the
      * fresh value came back instead -- the self-detect path). */
     std::uint64_t cacheStaleGets() const { return cacheStale_; }
-    /** Write-alls that left replicas divergent: some replicas
-     * applied the write, at least one failed (see kv_types.hh). */
-    std::uint64_t divergentWrites() const { return divergentWrites_; }
+    /** Keys CURRENTLY divergent: a write applied on some replicas
+     * and failed on at least one, and no repair sweep has visited
+     * the key since (see kv_types.hh). Drains to zero after
+     * repairSweep(). */
+    std::uint64_t divergentWrites() const { return divergent_.size(); }
+    /** Writes completed to the client that still have straggler
+     * replica writes outstanding, right now. */
+    unsigned backgroundWrites() const { return backgroundWrites_; }
+    /** High-water mark of backgroundWrites(): the repair lag --
+     * the most client-acked puts ever simultaneously outstanding
+     * on straggler replicas. */
+    unsigned maxBackgroundWrites() const { return maxBackgroundWrites_; }
+    /** Repair pushes that completed without error: the target
+     * either applied the newer state or had already caught up by
+     * itself (KvShard::repairsApplied() counts actual mutations).
+     * A failed push is not counted -- its key goes back on the
+     * divergent list for the next sweep. */
+    std::uint64_t repairedKeys() const { return repairedKeys_; }
+    /** Completed anti-entropy sweeps. */
+    std::uint64_t repairSweeps() const { return repairSweeps_; }
     ///@}
 
     /** Upper bound on R, so read routing can use a stack buffer. */
@@ -144,33 +227,140 @@ class KvRouter
   private:
     unsigned ownersInto(Key key, net::NodeId *out,
                         unsigned max) const;
+    /** The ring walk behind owners(): first @p max distinct nodes
+     * starting at @p ring_index. Shared by key-owner lookup and the
+     * repair sweep's per-segment replica sets, so both always agree
+     * on what the replica set of a ring arc is. */
+    unsigned ownersFrom(std::size_t ring_index, net::NodeId *out,
+                        unsigned max) const;
 
     struct PendingOp
     {
         unsigned remaining = 0;      //!< outstanding replica acks
         unsigned total = 0;          //!< replicas addressed
         unsigned failed = 0;         //!< replicas that reported failure
+        unsigned okAcks = 0;         //!< replicas that reported Ok
+        unsigned quorum = 1;         //!< acks that complete the client
+        std::uint8_t ackedMask = 0;  //!< owner-index bits that acked Ok
+        bool write = false;          //!< put/delete (vs get)
+        bool clientAcked = false;    //!< client callback already fired
+        /** Get routed off the deterministic replica by the ledger:
+         * its version is from another replica's counter space, so
+         * it was sent unconditional and must not fill the cache. */
+        bool steered = false;
         KvStatus status = KvStatus::Ok;
         GetDone getDone;             //!< set for gets
         AckDone ackDone;             //!< set for puts/deletes
+        SettledDone settled;         //!< all-replica completion hook
         flash::PageBuffer value;     //!< get result
         Key key = 0;
         net::NodeId origin = 0;
         std::uint64_t cachedVersion = 0; //!< conditional get in flight
         std::uint64_t version = 0;       //!< version of the result
+        std::uint64_t stamp = 0;         //!< write stamp (0 for gets)
+    };
+
+    /**
+     * Per-key in-flight write ledger, the read-your-writes guard
+     * under W < R. The obligation is narrow and the tracking must
+     * be exactly as narrow: a session (node-homed) that received an
+     * Ok for its write may not subsequently read the pre-write
+     * value off a replica the write has not reached yet. So the
+     * ledger steers ONLY reads from an origin with a client-acked
+     * write still draining, and steers them ONLY to replicas that
+     * acked that specific op (acked = durable = applied; per-link
+     * FIFO means a replica that acked the origin's latest op also
+     * applied its earlier ones). Anything coarser -- steering every
+     * origin, or keying on "some write of this key is outstanding"
+     * -- funnels a hot Zipfian key's entire read load onto one
+     * replica (hot keys ALWAYS have a write outstanding) and
+     * resurrects the hot-shard tail that read spreading kills.
+     * Non-writing origins keep the plain deterministic spread; what
+     * they may transiently observe is unchanged from write-all, and
+     * a failed straggler is healed by repair either way.
+     */
+    struct InflightWrite
+    {
+        unsigned ops = 0; //!< outstanding write operations
+        unsigned ownerCount = 0;
+        net::NodeId owners[maxReplication] = {};
+        /** Per writing origin: the latest client-acked op still
+         * draining (opId 0 = none) and the owner-index bitmask of
+         * replicas that acked it. One slot per distinct origin with
+         * writes in flight (bounded by the cluster size; drained
+         * slots are reused) -- the guarantee must hold for EVERY
+         * writer, so there is deliberately no lossy overflow path:
+         * an approximate fallback mask could steer a writer to a
+         * replica that acked someone else's older op but not its
+         * own. */
+        struct Writer
+        {
+            net::NodeId origin = 0;
+            unsigned ops = 0;          //!< outstanding write ops
+            std::uint64_t ackedOp = 0; //!< latest client-acked op
+            std::uint8_t ackedMask = 0;
+        };
+        std::vector<Writer> writers;
     };
 
     KvCache *cacheFor(net::NodeId n) { return caches_[n].get(); }
+
+    /** The plain deterministic read choice, ignoring the ledger. */
+    net::NodeId defaultReadReplica(net::NodeId origin,
+                                   Key key) const;
+    /** Ledger constraint on @p origin's read of @p key: true (and
+     * *out set) when an outstanding client-acked write obliges the
+     * read to hit a specific replica. */
+    bool steerTarget(net::NodeId origin, Key key,
+                     net::NodeId *out) const;
 
     void installAgents();
     /** Serve one shard request arriving at (or issued on) @p node. */
     void serveLocal(net::NodeId node, KvRequest req,
                     std::function<void(KvResponse)> reply);
-    /** One replica (or the get replica) finished. */
+    /** One replica (or the get replica) finished; @p from is the
+     * node that served it (ledger bookkeeping for writes). */
     void completeOne(std::uint64_t req_id, KvStatus st,
-                     flash::PageBuffer value, std::uint64_t version);
+                     flash::PageBuffer value, std::uint64_t version,
+                     net::NodeId from);
     /** Finish a get: cache bookkeeping + the user callback. */
     void finishGet(PendingOp fin);
+    /** Open (or join) the key's ledger entry for one write op. */
+    void ledgerOpen(Key key, net::NodeId origin,
+                    const net::NodeId *own, unsigned count);
+    /** Op @p op_id of @p key was acked Ok by owner-index @p idx
+     * after the client already completed: extend its steer mask. */
+    void ledgerLateAck(Key key, net::NodeId origin,
+                       std::uint64_t op_id, unsigned idx);
+    /** Op @p op_id (origin @p origin) completed to the client with
+     * Ok while replicas are still draining: arm the steer. */
+    void ledgerClientAcked(Key key, net::NodeId origin,
+                           std::uint64_t op_id,
+                           std::uint8_t acked_mask);
+    /** One write op of @p key (issued by @p origin) fully
+     * completed on every replica. */
+    void ledgerOpDone(Key key, net::NodeId origin,
+                      std::uint64_t op_id);
+
+    struct SweepState; //!< one repairSweep in flight
+    /** Reconcile the next chunk of ring segments, then yield. */
+    void sweepChunk(std::shared_ptr<SweepState> state);
+    /** Complete the sweep when traversal and repairs are done. */
+    void sweepFinish(const std::shared_ptr<SweepState> &state);
+    /** Compare + repair one ring segment ([lo,hi] on the hash
+     * ring, replica set shared by every key in it). */
+    void sweepSegment(std::shared_ptr<SweepState> state,
+                      std::size_t seg);
+    /** Reconcile one (lo,hi) hash range across ALL of the
+     * segment's replicas at once (pairwise-vs-primary would miss a
+     * divergence between two non-primary replicas at R >= 3). */
+    void sweepRange(std::shared_ptr<SweepState> state,
+                    const net::NodeId *own, unsigned count,
+                    std::uint64_t lo, std::uint64_t hi);
+    /** Push @p key's newer side (@p from, at @p stamp) to @p to. */
+    void repairKey(std::shared_ptr<SweepState> state, Key key,
+                   net::NodeId from, net::NodeId to,
+                   std::uint64_t stamp, bool live);
 
     sim::Simulator &sim_;
     core::Cluster &cluster_;
@@ -182,13 +372,22 @@ class KvRouter
     std::vector<std::unique_ptr<KvCache>> caches_;
 
     std::uint64_t nextReqId_ = 1;
+    /** Cluster-wide write stamp source (anti-entropy ordering). */
+    std::uint64_t nextStamp_ = 0;
     std::unordered_map<std::uint64_t, PendingOp> pending_;
+    std::unordered_map<Key, InflightWrite> inflightWrites_;
+    /** Keys with observed divergence awaiting a repair sweep. */
+    std::unordered_set<Key> divergent_;
+    bool sweepRunning_ = false;
 
     std::uint64_t localOps_ = 0;
     std::uint64_t remoteOps_ = 0;
     std::uint64_t cacheServed_ = 0;
     std::uint64_t cacheStale_ = 0;
-    std::uint64_t divergentWrites_ = 0;
+    unsigned backgroundWrites_ = 0;
+    unsigned maxBackgroundWrites_ = 0;
+    std::uint64_t repairedKeys_ = 0;
+    std::uint64_t repairSweeps_ = 0;
 };
 
 } // namespace kv

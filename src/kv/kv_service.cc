@@ -94,11 +94,14 @@ KvService::put(ClientId client, Key key, PageBuffer value,
     submit(client,
            [this, origin, key, done_sh,
             value_sh](std::function<void()> slot) {
+        // The client completes at the quorum ack, but the window
+        // slot stays charged until every replica settled: the
+        // op's straggler writes still occupy flash and network,
+        // and admission must account them or quorum acks let a
+        // closed-loop client overrun the node (see KvRouter::put).
         router_.put(origin, key, std::move(*value_sh),
-                    [done_sh, slot = std::move(slot)](KvStatus st) {
-            slot();
-            (*done_sh)(st);
-        });
+                    [done_sh](KvStatus st) { (*done_sh)(st); },
+                    [slot = std::move(slot)]() { slot(); });
     },
            [done_sh]() { (*done_sh)(KvStatus::Overloaded); });
 }
@@ -112,10 +115,8 @@ KvService::del(ClientId client, Key key, KvRouter::AckDone done)
     submit(client,
            [this, origin, key, done_sh](std::function<void()> slot) {
         router_.del(origin, key,
-                    [done_sh, slot = std::move(slot)](KvStatus st) {
-            slot();
-            (*done_sh)(st);
-        });
+                    [done_sh](KvStatus st) { (*done_sh)(st); },
+                    [slot = std::move(slot)]() { slot(); });
     },
            [done_sh]() { (*done_sh)(KvStatus::Overloaded); });
 }

@@ -11,14 +11,22 @@
  * servers nor the integrated network; excess load is rejected with
  * KvStatus::Overloaded instead of growing queues without bound
  * (the difference between an open-loop melt-down and a served
- * SLO).
+ * SLO). A write's window slot stays charged until the op settled
+ * on EVERY replica, not just until its (possibly quorum-early)
+ * client ack -- straggler replica writes still occupy the system,
+ * and admission that ignored them would let W < R turn into an
+ * overload amplifier at saturation.
  *
  * Failure semantics seen by clients: every done callback fires
- * exactly once. Ok means the operation applied on every replica;
- * Error on a put means at least one replica failed and the copies
- * may be divergent until the client retries (kv_types.hh spells
- * out the full write-all/read-one contract); Overloaded means the
- * operation was never dispatched and changed nothing.
+ * exactly once. Ok on a put or delete means the operation is
+ * durable on at least W replicas (KvParams::writeQuorum; the
+ * remaining replica writes complete in the background, with
+ * read-your-writes preserved by the router's in-flight ledger and
+ * any straggler failure healed by anti-entropy repair); Error
+ * means the quorum was not reached and the copies may be divergent
+ * until repair or a retry (kv_types.hh spells out the full quorum
+ * contract); Overloaded means the operation was never dispatched
+ * and changed nothing.
  */
 
 #ifndef BLUEDBM_KV_KV_SERVICE_HH

@@ -11,15 +11,28 @@ namespace kv {
 using flash::PageBuffer;
 
 KvShard::KvShard(sim::Simulator &sim, fs::LogFs &fs,
-                 std::string log_name)
-    : sim_(sim), fs_(fs), logName_(std::move(log_name))
+                 std::string log_name, unsigned stripes)
+    : sim_(sim), fs_(fs)
 {
-    if (!fs_.create(logName_))
-        sim::fatal("shard log '%s' already exists", logName_.c_str());
+    if (stripes == 0)
+        sim::fatal("shard log needs >= 1 stripe");
+    if (stripes == 1) {
+        logNames_.push_back(std::move(log_name));
+    } else {
+        for (unsigned s = 0; s < stripes; ++s)
+            logNames_.push_back(log_name + "." +
+                                std::to_string(s));
+    }
+    for (const std::string &name : logNames_) {
+        if (!fs_.create(name))
+            sim::fatal("shard log '%s' already exists",
+                       name.c_str());
+    }
 }
 
 void
-KvShard::put(Key key, PageBuffer value, AckDone done)
+KvShard::put(Key key, PageBuffer value, std::uint64_t stamp,
+             AckDone done)
 {
     ++puts_;
     auto len = static_cast<std::uint32_t>(value.size());
@@ -30,38 +43,50 @@ KvShard::put(Key key, PageBuffer value, AckDone done)
     std::memcpy(record.data() + sizeof(key), &len, sizeof(len));
     std::memcpy(record.data() + recordHeaderBytes, value.data(),
                 value.size());
-    std::uint64_t value_offset = fs_.size(logName_) + recordHeaderBytes;
+    const std::string &log = fileFor(key);
+    std::uint64_t value_offset = fs_.size(log) + recordHeaderBytes;
     std::uint64_t record_bytes = record.size();
 
+    std::uint64_t hash = mix64(key);
     Entry &e = index_[key];
     // With no append in flight, the current entry (or absence) IS
     // the durable state: snapshot it as the rollback target for the
     // in-flight chain this put starts. The snapshot lives exactly
-    // as long as the chain does.
+    // as long as the chain does. An absent entry may still carry a
+    // tombstone stamp in the repair index; preserve it so a failed
+    // re-put rolls back to the tombstone, not to oblivion.
     if (inflightPuts_[key]++ == 0) {
         Durable &d = durable_[key];
         d.valueOffset = e.valueOffset;
         d.valueLen = e.valueLen;
         d.version = e.version;
+        d.stamp = e.stamp;
         d.live = e.version != 0;
+        if (!d.live) {
+            auto hit = byHash_.find(hash);
+            if (hit != byHash_.end())
+                d.stamp = hit->second.stamp; // tombstone stamp
+        }
     }
     if (e.version != 0)
         liveBytes_ -= e.valueLen; // overwrite: old version is dead
     e.valueOffset = value_offset;
     e.valueLen = len;
+    e.stamp = stamp;
     // Shard-global version: a delete + re-put must never collide
     // with a still-in-flight append of the key's previous life.
     std::uint64_t version = e.version = ++nextVersion_;
     liveBytes_ += len;
     logBytes_ += record_bytes;
+    byHash_[hash] = HashState{key, stamp, true};
 
     // Reads must see this version immediately (read-your-writes):
     // park it in the memtable until the append is durable.
     memtable_[key] = std::move(value);
 
-    fs_.append(logName_, std::move(record),
-               [this, key, version, value_offset, len, record_bytes,
-                done = std::move(done)](bool ok) {
+    fs_.append(log, std::move(record),
+               [this, key, hash, version, stamp, value_offset, len,
+                record_bytes, done = std::move(done)](bool ok) {
         auto it = index_.find(key);
         bool current =
             it != index_.end() && it->second.version == version;
@@ -88,9 +113,19 @@ KvShard::put(Key key, PageBuffer value, AckDone done)
                     it->second.valueOffset = d.valueOffset;
                     it->second.valueLen = d.valueLen;
                     it->second.version = d.version;
+                    it->second.stamp = d.stamp;
                     liveBytes_ += d.valueLen;
+                    byHash_[hash] = HashState{key, d.stamp, true};
                 } else {
                     index_.erase(it);
+                    // Roll the repair index back too: to the prior
+                    // tombstone when there was one, else to absence
+                    // -- so replica digests reflect the rollback.
+                    if (d.stamp != 0)
+                        byHash_[hash] =
+                            HashState{key, d.stamp, false};
+                    else
+                        byHash_.erase(hash);
                 }
             }
             if (last_inflight)
@@ -110,6 +145,7 @@ KvShard::put(Key key, PageBuffer value, AckDone done)
                 d.valueOffset = value_offset;
                 d.valueLen = len;
                 d.version = version;
+                d.stamp = stamp;
                 d.live = true;
             }
         }
@@ -168,7 +204,8 @@ KvShard::getIfNewer(Key key, std::uint64_t cached_version,
         return;
     }
     reads_[version].waiters.push_back(std::move(done));
-    fs_.read(logName_, it->second.valueOffset, it->second.valueLen,
+    fs_.read(fileFor(key), it->second.valueOffset,
+             it->second.valueLen,
              [this, version](std::vector<std::uint8_t> data,
                              bool ok) {
         auto git = reads_.find(version);
@@ -183,7 +220,7 @@ KvShard::getIfNewer(Key key, std::uint64_t cached_version,
 }
 
 void
-KvShard::del(Key key, AckDone done)
+KvShard::del(Key key, std::uint64_t stamp, AckDone done)
 {
     ++deletes_;
     auto it = index_.find(key);
@@ -200,12 +237,101 @@ KvShard::del(Key key, AckDone done)
         auto d = durable_.find(key);
         if (d != durable_.end()) {
             d->second.version = ++nextVersion_;
+            d->second.stamp = stamp;
             d->second.live = false;
         }
         st = KvStatus::Ok;
     }
+    // Record the tombstone even for a miss: a delete that reached
+    // only some replicas of a (divergent) key must leave matching
+    // repair-index state everywhere it DID arrive, or anti-entropy
+    // would re-detect the difference on every sweep.
+    byHash_[mix64(key)] = HashState{key, stamp, false};
     sim_.scheduleAfter(0,
                        [st, done = std::move(done)]() { done(st); });
+}
+
+std::uint64_t
+KvShard::rangeDigest(std::uint64_t lo, std::uint64_t hi) const
+{
+    if (lo > hi)
+        return 0;
+    std::uint64_t digest = 0;
+    for (auto it = byHash_.lower_bound(lo);
+         it != byHash_.end() && it->first <= hi; ++it) {
+        const HashState &hs = it->second;
+        // Order-independent fold of (key, stamp, liveness).
+        digest ^= mix64(it->first ^
+                        mix64(hs.stamp * 0x9e3779b97f4a7c15ull +
+                              (hs.live ? 1 : 2)));
+    }
+    return digest;
+}
+
+void
+KvShard::pruneTombstones(std::uint64_t lo, std::uint64_t hi,
+                         std::uint64_t below)
+{
+    if (lo > hi)
+        return;
+    auto it = byHash_.lower_bound(lo);
+    while (it != byHash_.end() && it->first <= hi) {
+        if (!it->second.live && it->second.stamp < below)
+            it = byHash_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+KvShard::rangeEntries(std::uint64_t lo, std::uint64_t hi,
+                      std::vector<RangeEntry> &out) const
+{
+    if (lo > hi)
+        return;
+    for (auto it = byHash_.lower_bound(lo);
+         it != byHash_.end() && it->first <= hi; ++it)
+        out.push_back(RangeEntry{it->second.key, it->second.stamp,
+                                 it->second.live});
+}
+
+void
+KvShard::repairPut(Key key, PageBuffer value, std::uint64_t stamp,
+                   AckDone done)
+{
+    auto hit = byHash_.find(mix64(key));
+    if (hit != byHash_.end() && hit->second.stamp >= stamp) {
+        // The shard caught up on its own (a newer write landed, or
+        // an earlier repair already applied): nothing to push.
+        sim_.scheduleAfter(0, [done = std::move(done)]() {
+            done(KvStatus::Ok);
+        });
+        return;
+    }
+    // Count only on success: a failed append rolls back and acks
+    // Error, and the router re-marks the key for the next sweep.
+    put(key, std::move(value), stamp,
+        [this, done = std::move(done)](KvStatus st) {
+        if (st == KvStatus::Ok)
+            ++repairsApplied_;
+        done(st);
+    });
+}
+
+void
+KvShard::repairDel(Key key, std::uint64_t stamp, AckDone done)
+{
+    auto hit = byHash_.find(mix64(key));
+    if (hit != byHash_.end() && hit->second.stamp >= stamp) {
+        sim_.scheduleAfter(0, [done = std::move(done)]() {
+            done(KvStatus::Ok);
+        });
+        return;
+    }
+    // del applies the tombstone unconditionally (NotFound just
+    // means the key was already absent): always a state change.
+    ++repairsApplied_;
+    del(key, stamp, std::move(done));
 }
 
 } // namespace kv

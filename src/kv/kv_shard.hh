@@ -28,6 +28,17 @@
  * index probe, no flash read, no value bytes. Duplicate in-flight
  * gets on the same key coalesce onto one LogFs read.
  *
+ * Anti-entropy support: shard versions are local counters and not
+ * comparable across replicas, so every write additionally carries a
+ * router-issued cluster-wide *stamp*. The shard keeps a hash-ordered
+ * side index of (key, stamp, live/tombstone) -- mix64 is a bijection,
+ * so one map entry per key -- from which it answers cheap per-range
+ * digests (rangeDigest) and enumerations (rangeEntries). The repair
+ * sweep compares digests between replicas and pushes the newer-
+ * stamped side across with repairPut()/repairDel(), which apply only
+ * when their stamp is strictly newer than everything the shard knows
+ * for the key, making repair idempotent and race-tolerant.
+ *
  * This is the storage half of the figure 17 scenario: every value
  * lives in flash, none are assumed cached in DRAM, and a get costs
  * at most one (queued) flash page read.
@@ -38,6 +49,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -69,9 +81,21 @@ class KvShard
     /**
      * @param sim      simulation kernel
      * @param fs       the node's log-structured file system
-     * @param log_name shard log file, created here (must be fresh)
+     * @param log_name shard log file name (must be fresh); with
+     *                 @p stripes > 1 the shard keeps `stripes`
+     *                 independent log files ("name.0" ..) and
+     *                 hashes keys across them
+     * @param stripes  independent append chains. One log file means
+     *                 one tail page and so one program in flight at
+     *                 a time -- a per-node put ceiling of roughly
+     *                 one NAND program window per group commit.
+     *                 Striping multiplies that ceiling and lets
+     *                 concurrent puts program different buses (or
+     *                 share a coalesced program window when stripes
+     *                 collide on one).
      */
-    KvShard(sim::Simulator &sim, fs::LogFs &fs, std::string log_name);
+    KvShard(sim::Simulator &sim, fs::LogFs &fs, std::string log_name,
+            unsigned stripes = 1);
 
     /**
      * Store @p value under @p key. The index and memtable are
@@ -79,8 +103,20 @@ class KvShard
      * ack fires when the log append is durable on flash, or with
      * KvStatus::Error after rolling the key back to its last
      * durable version when the append fails.
+     *
+     * @p stamp is the router's cluster-wide write stamp, recorded
+     * for anti-entropy digests (see file comment). The stampless
+     * overload draws from a shard-local counter -- fine for
+     * single-shard use, never for replicated writes.
      */
-    void put(Key key, flash::PageBuffer value, AckDone done);
+    void put(Key key, flash::PageBuffer value, std::uint64_t stamp,
+             AckDone done);
+    void
+    put(Key key, flash::PageBuffer value, AckDone done)
+    {
+        put(key, std::move(value), ++fallbackStamp_,
+            std::move(done));
+    }
 
     /**
      * Fetch the live version of @p key: from the memtable when the
@@ -102,8 +138,73 @@ class KvShard
     /**
      * Drop @p key. Index-only (metadata persistence is out of scope
      * for the simulation, as in LogFs); acks NotFound when absent.
+     * Always records a tombstone at @p stamp so replicas of a
+     * partially-failed delete converge under repair.
      */
-    void del(Key key, AckDone done);
+    void del(Key key, std::uint64_t stamp, AckDone done);
+    void
+    del(Key key, AckDone done)
+    {
+        del(key, ++fallbackStamp_, std::move(done));
+    }
+
+    /**
+     * @name Anti-entropy (KvRouter::repairSweep)
+     */
+    ///@{
+
+    /** One key's repair-relevant state. */
+    struct RangeEntry
+    {
+        Key key = 0;
+        std::uint64_t stamp = 0;
+        bool live = false; //!< false = tombstone
+    };
+
+    /**
+     * Order-independent digest of (key, stamp, liveness) for every
+     * key with mix64(key) in [lo, hi] (inclusive; empty when
+     * lo > hi). Replicas holding identical content for the range
+     * produce identical digests; any single-key difference flips it
+     * with overwhelming probability. Costs O(log keys + range size),
+     * no flash I/O.
+     */
+    std::uint64_t rangeDigest(std::uint64_t lo,
+                              std::uint64_t hi) const;
+
+    /** Append the range's entries (hash order) to @p out. */
+    void rangeEntries(std::uint64_t lo, std::uint64_t hi,
+                      std::vector<RangeEntry> &out) const;
+
+    /**
+     * Repair push: install @p value at @p stamp unless the shard
+     * already knows a state of @p key at or past that stamp (then a
+     * no-op acking Ok). Idempotent; safe to race with live traffic.
+     */
+    void repairPut(Key key, flash::PageBuffer value,
+                   std::uint64_t stamp, AckDone done);
+
+    /** Repair push of a tombstone; same stamp rules as repairPut. */
+    void repairDel(Key key, std::uint64_t stamp, AckDone done);
+
+    /** Repair pushes that actually changed state. */
+    std::uint64_t repairsApplied() const { return repairsApplied_; }
+
+    /**
+     * Drop tombstones in [lo, hi] (hash bounds, inclusive) with
+     * stamp < @p below. Called by the repair sweep on ranges whose
+     * replicas are digest-identical, with @p below older than any
+     * write still in flight: every replica then prunes the same
+     * set, digests stay equal, and the repair index stops growing
+     * monotonically under delete churn.
+     */
+    void pruneTombstones(std::uint64_t lo, std::uint64_t hi,
+                         std::uint64_t below);
+
+    /** Live keys + retained tombstones in the repair index. */
+    std::size_t repairIndexSize() const { return byHash_.size(); }
+
+    ///@}
 
     /** Whether a live version of @p key exists. */
     bool contains(Key key) const { return index_.count(key) != 0; }
@@ -146,6 +247,8 @@ class KvShard
          * retirement and read-cache validation (0 = freshly
          * default-constructed). */
         std::uint64_t version = 0;
+        /** Cluster-wide write stamp (anti-entropy ordering). */
+        std::uint64_t stamp = 0;
     };
 
     /**
@@ -159,6 +262,15 @@ class KvShard
         std::uint64_t valueOffset = 0;
         std::uint32_t valueLen = 0;
         std::uint64_t version = 0;
+        std::uint64_t stamp = 0;
+        bool live = false;
+    };
+
+    /** Value of the hash-ordered repair index (see byHash_). */
+    struct HashState
+    {
+        Key key = 0;
+        std::uint64_t stamp = 0;
         bool live = false;
     };
 
@@ -168,9 +280,19 @@ class KvShard
         std::vector<GetDone> waiters;
     };
 
+    /** Log file of @p key: stripes decorrelate from the routing
+     * ring by using different mix64 bits. */
+    const std::string &
+    fileFor(Key key) const
+    {
+        if (logNames_.size() == 1)
+            return logNames_[0];
+        return logNames_[(mix64(key) >> 32) % logNames_.size()];
+    }
+
     sim::Simulator &sim_;
     fs::LogFs &fs_;
-    std::string logName_;
+    std::vector<std::string> logNames_;
 
     std::unordered_map<Key, Entry> index_;
     /** Values whose append has not completed yet, newest version. */
@@ -184,7 +306,17 @@ class KvShard
      * serve (shard-global versions are never reused, so a version
      * pins both the key and the byte range). */
     std::unordered_map<std::uint64_t, ReadGroup> reads_;
+    /**
+     * Hash-ordered repair index: mix64(key) -> (key, stamp, live).
+     * Mirrors the *optimistic* state (updated with index_, including
+     * in-flight writes and rollbacks) and additionally holds
+     * tombstones, which index_ drops. Ordered so rangeDigest /
+     * rangeEntries answer ring-segment queries in O(log n + range).
+     */
+    std::map<std::uint64_t, HashState> byHash_;
     std::uint64_t nextVersion_ = 0;
+    /** Stamp source for the stampless put/del overloads. */
+    std::uint64_t fallbackStamp_ = 0;
 
     std::uint64_t liveBytes_ = 0;
     std::uint64_t logBytes_ = 0;
@@ -196,6 +328,7 @@ class KvShard
     std::uint64_t validatedGets_ = 0;
     std::uint64_t coalescedGets_ = 0;
     std::uint64_t failedPuts_ = 0;
+    std::uint64_t repairsApplied_ = 0;
 };
 
 } // namespace kv

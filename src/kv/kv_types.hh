@@ -45,16 +45,40 @@ constexpr unsigned kvRequiredEndpoints = 10;
 /**
  * Completion status of a KV operation.
  *
- * Replication / failure contract (write-all, read-one):
- *  - A put or delete acks Ok only when EVERY replica applied it.
- *  - A put that fails on some replica acks Error, and the replicas
- *    are left divergent: the failed replica rolls its index back to
- *    its last durable version (or absence), the others keep the new
- *    value. Until the client retries, read-one may return either
- *    the new or the previous value depending on which replica the
- *    (deterministic, origin-keyed) read routing picks. The router
- *    counts these outcomes (KvRouter::divergentWrites()); an
- *    anti-entropy repair pass is future work.
+ * Replication / failure contract (quorum write, read-one):
+ *  - A put or delete acks Ok to the client once W of its R replicas
+ *    report the operation durable (W = KvParams::writeQuorum,
+ *    default 1 -- the first replica to program its NAND completes
+ *    the client). The remaining replica writes finish in the
+ *    background. W = R restores the old write-all behavior: Ok
+ *    means every copy landed.
+ *  - What W < R guarantees: the acked value is durable on at least
+ *    W replicas, and read-your-writes holds throughout. While any
+ *    replica write is still outstanding, the router's per-key
+ *    in-flight ledger steers read-one to a replica known to have
+ *    applied the write (an acked replica, or the origin's own
+ *    shard, whose memtable applied it synchronously) -- a reader
+ *    can never observe the pre-write value after the client's ack,
+ *    even though a straggler replica still holds it.
+ *  - What W < R opens, and repair closes: a straggler program that
+ *    FAILS after the client was acked leaves the replicas
+ *    divergent -- the failed replica rolled back to its last
+ *    durable version, the acked ones hold the new value. The
+ *    router records the key (KvRouter::divergentWrites() counts
+ *    keys currently divergent) and the anti-entropy sweep
+ *    (KvRouter::repairSweep()) closes the window: shards expose
+ *    cheap per-key-range stamp digests, the sweep compares them
+ *    between replicas of each ring segment and re-pushes the
+ *    newer-stamped version, after which divergentWrites() drains
+ *    to zero. The same machinery heals a quorum-failed write-all
+ *    (W = R with a partial failure, acked Error).
+ *  - What a reader may observe mid-repair: for a key inside the
+ *    divergence window, read-one returns the new value from an
+ *    acked replica or the rolled-back value from the failed one,
+ *    depending on which replica the (deterministic, origin-keyed)
+ *    routing picks once the in-flight ledger entry retired -- but
+ *    never garbage, and never a mix. After the sweep visits the
+ *    key's range, every replica serves the newer version.
  *  - A failed append is never served as Ok with bytes that did not
  *    reach flash: the shard's index only ever points at durable log
  *    records (in-flight values are served from the memtable, which
@@ -94,6 +118,14 @@ struct KvRequest
      * fresh value comes back).
      */
     std::uint64_t cachedVersion = 0;
+    /**
+     * Router-issued write stamp (puts/deletes): one cluster-wide
+     * monotonic counter orders all writes of a key, so replicas --
+     * whose internal shard versions are not comparable -- can agree
+     * which side of a divergence is newer during anti-entropy
+     * repair. 0 on gets.
+     */
+    std::uint64_t stamp = 0;
     KvOp op = KvOp::Get;
     net::EndpointId replyEndpoint = epKvData;
     flash::PageBuffer value; //!< put payload; empty otherwise

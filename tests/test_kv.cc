@@ -889,7 +889,8 @@ TEST(KvRouter, DivergentWriteCountedAndContractHolds)
     sim::Simulator sim;
     core::Cluster cluster(sim, kvCluster(4));
     kv::KvParams kp;
-    kp.cacheSlots = 0; // isolate the replication behavior
+    kp.cacheSlots = 0;  // isolate the replication behavior
+    kp.writeQuorum = 2; // strict write-all: Ok = every copy landed
     kv::KvRouter router(sim, cluster, kp);
 
     const Key key = 42;
@@ -927,4 +928,335 @@ TEST(KvRouter, DivergentWriteCountedAndContractHolds)
         EXPECT_EQ(got, replica == own[1] ? val(0xaa) : val(0xbb))
             << "origin " << origin << " replica " << replica;
     }
+
+    // The sweep closes the window the failure opened: the stale
+    // replica receives the newer-stamped value and the divergence
+    // counter drains to zero.
+    bool swept = false;
+    router.repairSweep([&]() { swept = true; });
+    sim.run();
+    EXPECT_TRUE(swept);
+    EXPECT_EQ(router.divergentWrites(), 0u);
+    EXPECT_GE(router.repairedKeys(), 1u);
+    for (unsigned origin = 0; origin < 4; ++origin) {
+        PageBuffer got;
+        router.get(net::NodeId(origin), key,
+                   [&](PageBuffer v, KvStatus) {
+            got = std::move(v);
+        });
+        sim.run();
+        EXPECT_EQ(got, val(0xbb)) << "origin " << origin;
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Quorum acks + in-flight ledger + anti-entropy repair
+// ---------------------------------------------------------------- //
+
+namespace {
+
+kv::KvParams
+quorumParams(unsigned w)
+{
+    kv::KvParams kp;
+    kp.cacheSlots = 0; // isolate replication behavior
+    kp.writeQuorum = w;
+    return kp;
+}
+
+} // namespace
+
+TEST(KvRouter, QuorumAckCompletesBeforeStragglers)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, quorumParams(1));
+
+    const Key key = 42;
+    auto own = router.owners(key);
+    ASSERT_EQ(own.size(), 2u);
+
+    // Put from the primary's own node: the local shard programs its
+    // NAND while the remote replica still needs a network hop plus
+    // its own program. W=1 completes the client on the local ack,
+    // with the straggler tracked in the background.
+    bool acked = false;
+    unsigned bg_at_ack = 0;
+    router.put(own[0], key, val(0xbb), [&](KvStatus st) {
+        EXPECT_EQ(st, KvStatus::Ok);
+        acked = true;
+        bg_at_ack = router.backgroundWrites();
+    });
+    sim.run();
+    EXPECT_TRUE(acked);
+    // The op moved through the background phase (visible at ack
+    // time, where the straggler had not yet reported)...
+    EXPECT_EQ(bg_at_ack, 1u);
+    EXPECT_GE(router.maxBackgroundWrites(), 1u);
+    // ...and fully drained once the replica write completed.
+    EXPECT_EQ(router.backgroundWrites(), 0u);
+    for (net::NodeId n : own)
+        EXPECT_TRUE(router.shard(n).contains(key));
+    EXPECT_EQ(router.divergentWrites(), 0u);
+}
+
+TEST(KvRouter, ReadRacingBackgroundWriteReturnsAckedValue)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, quorumParams(1));
+
+    const Key key = 42;
+    auto own = router.owners(key);
+    ASSERT_EQ(own.size(), 2u);
+    router.put(own[0], key, val(0xaa), [](KvStatus) {});
+    sim.run();
+
+    // A writer homed on a NON-owner node whose deterministic read
+    // routing would pick a replica that may still be a straggler.
+    net::NodeId writer = 0;
+    bool found = false;
+    for (unsigned n = 0; n < 4 && !found; ++n) {
+        if (router.readReplica(net::NodeId(n), key) == own[1]) {
+            writer = net::NodeId(n);
+            found = true;
+        }
+    }
+    ASSERT_TRUE(found);
+    // Another non-writing origin, for the scoping check below.
+    net::NodeId bystander = writer;
+    for (unsigned n = 0; n < 4; ++n) {
+        if (net::NodeId(n) != writer &&
+            std::find(own.begin(), own.end(), net::NodeId(n)) ==
+                own.end())
+            bystander = net::NodeId(n);
+    }
+    ASSERT_NE(bystander, writer);
+
+    // Overwrite with W=1 from `writer` and read the key back the
+    // moment the quorum ack fires -- while the other replica write
+    // is still in the network or its NAND. The ledger must steer
+    // the writer's read to a replica that applied the write; the
+    // pre-write value may never surface after the ack.
+    PageBuffer got;
+    bool read_done = false;
+    router.put(writer, key, val(0xbb), [&](KvStatus st) {
+        EXPECT_EQ(st, KvStatus::Ok);
+        EXPECT_EQ(router.backgroundWrites(), 1u);
+        // Read-your-writes is per session (node-homed): only the
+        // writer is steered; a bystander keeps the deterministic
+        // spread so hot-key reads never funnel onto one replica.
+        EXPECT_EQ(router.readReplica(bystander, key),
+                  own[bystander % 2]);
+        router.get(writer, key, [&](PageBuffer v, KvStatus s) {
+            EXPECT_EQ(s, KvStatus::Ok);
+            got = std::move(v);
+            read_done = true;
+        });
+    });
+    sim.run();
+    EXPECT_TRUE(read_done);
+    EXPECT_EQ(got, val(0xbb));
+    // Ledger drained with the background write; routing is back to
+    // the plain deterministic choice.
+    EXPECT_EQ(router.backgroundWrites(), 0u);
+    EXPECT_EQ(router.readReplica(writer, key), own[1]);
+}
+
+TEST(KvRouter, QuorumFailedStragglerHealsViaAntiEntropy)
+{
+    // The ISSUE-4 acceptance scenario: a W=1 put whose straggler
+    // program fails must ack Ok, leave a counted divergence, and
+    // heal to zero under a repair sweep -- deterministically, with
+    // the fault injected at the flash server.
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, quorumParams(1));
+
+    const Key key = 42;
+    auto own = router.owners(key);
+    ASSERT_EQ(own.size(), 2u);
+    router.put(own[0], key, val(0xaa), [](KvStatus) {});
+    sim.run();
+
+    armWriteFault(cluster, own[1]);
+    KvStatus st = KvStatus::Error;
+    router.put(own[0], key, val(0xbb), [&](KvStatus s) { st = s; });
+    sim.run();
+    disarmWriteFault(cluster, own[1]);
+
+    // Quorum reached on the primary: the client saw Ok even though
+    // the straggler failed afterwards...
+    EXPECT_EQ(st, KvStatus::Ok);
+    EXPECT_EQ(router.shard(own[1]).failedPuts(), 1u);
+    // ...and the divergence is on the books.
+    EXPECT_EQ(router.divergentWrites(), 1u);
+
+    bool swept = false;
+    router.repairSweep([&]() { swept = true; });
+    sim.run();
+    EXPECT_TRUE(swept);
+    EXPECT_EQ(router.divergentWrites(), 0u);
+    EXPECT_GE(router.shard(own[1]).repairsApplied(), 1u);
+
+    // Every origin now reads the acked value from every replica.
+    for (unsigned origin = 0; origin < 4; ++origin) {
+        PageBuffer got;
+        KvStatus gst = KvStatus::Error;
+        router.get(net::NodeId(origin), key,
+                   [&](PageBuffer v, KvStatus s) {
+            got = std::move(v);
+            gst = s;
+        });
+        sim.run();
+        EXPECT_EQ(gst, KvStatus::Ok) << "origin " << origin;
+        EXPECT_EQ(got, val(0xbb)) << "origin " << origin;
+    }
+}
+
+TEST(KvRouter, RepairSweepNoopOnConsistentCluster)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, quorumParams(1));
+
+    for (Key k = 0; k < 64; ++k) {
+        router.put(net::NodeId(k % 4), k, val(std::uint8_t(k), 32),
+                   [](KvStatus) {});
+    }
+    sim.run();
+
+    // Replicas hold identical (key, stamp) content, so every range
+    // digest matches and the sweep pushes nothing.
+    bool swept = false;
+    router.repairSweep([&]() { swept = true; });
+    sim.run();
+    EXPECT_TRUE(swept);
+    EXPECT_EQ(router.repairedKeys(), 0u);
+    EXPECT_EQ(router.repairSweeps(), 1u);
+}
+
+TEST(KvRouter, RepairSweepPrunesSettledTombstones)
+{
+    // Deletes leave tombstones in every replica's repair index so
+    // partial deletes converge; once a sweep sees the range
+    // digest-identical with no writes in flight, those tombstones
+    // are settled history and must be dropped everywhere at once
+    // -- otherwise delete churn grows the index without bound.
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, quorumParams(1));
+
+    for (Key k = 0; k < 32; ++k)
+        router.put(net::NodeId(k % 4), k, val(std::uint8_t(k), 32),
+                   [](KvStatus) {});
+    sim.run();
+    for (Key k = 0; k < 16; ++k)
+        router.del(net::NodeId(k % 4), k, [](KvStatus) {});
+    sim.run();
+
+    std::size_t before = 0;
+    for (unsigned n = 0; n < 4; ++n)
+        before += router.shard(net::NodeId(n)).repairIndexSize();
+
+    bool swept = false;
+    router.repairSweep([&]() { swept = true; });
+    sim.run();
+    EXPECT_TRUE(swept);
+
+    // 16 deleted keys x R=2 tombstones pruned; the 16 live keys'
+    // entries stay.
+    std::size_t after = 0, live = 0;
+    for (unsigned n = 0; n < 4; ++n) {
+        after += router.shard(net::NodeId(n)).repairIndexSize();
+        live += router.shard(net::NodeId(n)).keyCount();
+    }
+    EXPECT_EQ(before - after, 32u);
+    EXPECT_EQ(after, live);
+    EXPECT_EQ(router.repairedKeys(), 0u); // pruning is not repair
+}
+
+TEST(KvRouter, RepairHealsNonPrimaryDivergenceAtR3)
+{
+    // Regression: the sweep must reconcile ALL replicas of a
+    // segment against the newest-stamped state, wherever it lives.
+    // With R=3 and the newest copy on a NON-primary replica
+    // (primary + third replica both failed their programs), a
+    // pairwise primary-vs-others comparison would pull the primary
+    // up but find primary == third replica "consistent" and leave
+    // the third stale.
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvParams kp;
+    kp.cacheSlots = 0;
+    kp.writeQuorum = 1;
+    kp.replication = 3;
+    kv::KvRouter router(sim, cluster, kp);
+
+    const Key key = 42;
+    auto own = router.owners(key);
+    ASSERT_EQ(own.size(), 3u);
+    router.put(own[0], key, val(0xaa), [](KvStatus) {});
+    sim.run();
+
+    // Fail programs on the primary and the third replica: only
+    // own[1] applies the overwrite, and W=1 still acks Ok.
+    armWriteFault(cluster, own[0]);
+    armWriteFault(cluster, own[2]);
+    KvStatus st = KvStatus::Error;
+    router.put(own[1], key, val(0xbb), [&](KvStatus s) { st = s; });
+    sim.run();
+    disarmWriteFault(cluster, own[0]);
+    disarmWriteFault(cluster, own[2]);
+    EXPECT_EQ(st, KvStatus::Ok);
+    EXPECT_EQ(router.divergentWrites(), 1u);
+
+    bool swept = false;
+    router.repairSweep([&]() { swept = true; });
+    sim.run();
+    EXPECT_TRUE(swept);
+    EXPECT_EQ(router.divergentWrites(), 0u);
+
+    // EVERY replica -- including the equally-stale third one --
+    // now serves the acked value.
+    for (net::NodeId n : own) {
+        PageBuffer got;
+        router.shard(n).get(key, [&](PageBuffer v, KvStatus s,
+                                     std::uint64_t) {
+            EXPECT_EQ(s, KvStatus::Ok);
+            got = std::move(v);
+        });
+        sim.run();
+        EXPECT_EQ(got, val(0xbb)) << "replica " << n;
+    }
+}
+
+TEST(KvRouter, RepairHealsDivergentDelete)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, quorumParams(2));
+
+    const Key key = 42;
+    auto own = router.owners(key);
+    router.put(own[0], key, val(0xaa), [](KvStatus) {});
+    sim.run();
+
+    // Delete the key on one replica only, behind the router's back
+    // (simulating the observable end state of a partial delete,
+    // whose tombstone carries the delete's newer router stamp):
+    // the replicas disagree about the key's existence.
+    router.shard(own[1]).del(key, /*stamp=*/1000, [](KvStatus) {});
+    sim.run();
+    EXPECT_TRUE(router.shard(own[0]).contains(key));
+    EXPECT_FALSE(router.shard(own[1]).contains(key));
+
+    // The sweep compares stamps: the tombstone is newer, so the
+    // delete propagates to the replica that still has the value.
+    bool swept = false;
+    router.repairSweep([&]() { swept = true; });
+    sim.run();
+    EXPECT_TRUE(swept);
+    EXPECT_FALSE(router.shard(own[0]).contains(key));
+    EXPECT_FALSE(router.shard(own[1]).contains(key));
 }

@@ -117,8 +117,8 @@ expectCloseToOracle(const sim::LatencyHistogram &h,
     std::sort(values.begin(), values.end());
     std::uint64_t exact = oracleQuantile(values, q);
     std::uint64_t approx = h.quantile(q);
-    // One sub-bucket of slack: 1/64 relative plus the integer edge.
-    double tol = static_cast<double>(exact) / 64.0 + 1.0;
+    // One sub-bucket of slack: 1/128 relative plus the integer edge.
+    double tol = static_cast<double>(exact) / 128.0 + 1.0;
     EXPECT_NEAR(static_cast<double>(approx),
                 static_cast<double>(exact), tol)
         << "quantile " << q;
@@ -169,6 +169,43 @@ TEST(LatencyHistogram, PercentilesMatchSortedOracle)
         expectCloseToOracle(h, values, q);
     EXPECT_EQ(h.quantile(1.0),
               *std::max_element(values.begin(), values.end()));
+}
+
+TEST(LatencyHistogram, RelativeErrorUnderOnePercent)
+{
+    // The contract the KV bench reporting leans on: any recorded
+    // value comes back from quantile() within 1% of itself, across
+    // the decades tick-denominated latencies span. (At 64
+    // sub-buckets this failed: ~1.6% error quantized p99s of
+    // adjacent bench scales into the same bucket edge.)
+    for (std::uint64_t v = 300; v < (std::uint64_t(1) << 33);
+         v = v * 3 + 17) {
+        sim::LatencyHistogram h;
+        h.record(v);
+        // A far-away outlier keeps quantile() from clamping to the
+        // exact max, so this probes the real bucket edge of v.
+        h.record(v * 100);
+        std::uint64_t got = h.quantile(0.5);
+        EXPECT_GE(got, v);
+        EXPECT_LE(static_cast<double>(got - v),
+                  0.01 * static_cast<double>(v))
+            << "value " << v;
+    }
+}
+
+TEST(LatencyHistogram, AdjacentScalePercentilesDistinguishable)
+{
+    // Regression for the bench artifact where 8-node and 20-node
+    // read p99s (981us-ish ticks ~0.5% apart) reported the identical
+    // bucket edge: values half a percent apart must land in
+    // different buckets anywhere in the latency range of interest.
+    sim::LatencyHistogram a, b;
+    std::uint64_t va = 981467, vb = 986606; // ~0.52% apart
+    a.record(va);
+    a.record(va * 100); // outlier defeats the exact-max clamp
+    b.record(vb);
+    b.record(vb * 100);
+    EXPECT_NE(a.quantile(0.5), b.quantile(0.5));
 }
 
 TEST(LatencyHistogram, HugeValuesDoNotOverflow)
