@@ -89,6 +89,10 @@ struct RunResult
     unsigned repairLag = 0;
     std::uint64_t divergent = 0;      //!< after the run
     std::uint64_t divergentSwept = 0; //!< after one repair sweep
+    /** Read-priority suspension engagement across all NAND arrays:
+     * reads that jumped an in-flight program, and program windows
+     * parked + resumed. */
+    std::uint64_t suspendedPrograms = 0, resumedPrograms = 0;
 };
 
 /** Default write quorum for the non-sweep sections
@@ -182,6 +186,11 @@ runConfig(unsigned nodes, bool zipfian, double theta, bool open_loop,
     for (unsigned n = 0; n < nodes; ++n) {
         r.coalesced += router.shard(net::NodeId(n)).coalescedGets();
         r.validated += router.shard(net::NodeId(n)).validatedGets();
+        for (unsigned c = 0; c < cluster.node(n).cardCount(); ++c) {
+            const auto &nand = cluster.node(n).card(c).nand();
+            r.suspendedPrograms += nand.suspendedPrograms();
+            r.resumedPrograms += nand.resumedPrograms();
+        }
     }
     return r;
 }
@@ -256,11 +265,14 @@ printTable()
     for (const auto &r : quorumSweep) {
         std::printf("W=%u: read p99 %.1fus, write p99 %.1fus, "
                     "repair lag %u, divergent %llu -> %llu after "
-                    "sweep\n",
+                    "sweep, %llu suspended / %llu resumed "
+                    "programs\n",
                     r.quorum, r.readP99us, r.writeP99us,
                     r.repairLag,
                     (unsigned long long)r.divergent,
-                    (unsigned long long)r.divergentSwept);
+                    (unsigned long long)r.divergentSwept,
+                    (unsigned long long)r.suspendedPrograms,
+                    (unsigned long long)r.resumedPrograms);
     }
     const auto &head = scaling.back();
     std::printf("\nClosed-loop scaling must be monotone: %.0f -> "
@@ -465,6 +477,10 @@ main(int argc, char **argv)
         counters.emplace_back(p + "read_p99_us", r.readP99us);
         counters.emplace_back(p + "write_p99_us", r.writeP99us);
         counters.emplace_back(p + "mean_us", r.meanUs);
+        counters.emplace_back(p + "suspended_programs",
+                              double(r.suspendedPrograms));
+        counters.emplace_back(p + "resumed_programs",
+                              double(r.resumedPrograms));
     }
     const auto &head = scaling.back();
     counters.emplace_back("nodes20_cache_served",

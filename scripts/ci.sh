@@ -58,24 +58,35 @@ else
 fi
 
 echo "=== perf smoke gate (BENCH_kv.json) ==="
-# The serving perf floor this PR establishes: 20-node throughput
-# must hold >= 1.9M ops/s and the quorum-acked write tail must stay
-# within 1.6x of the read tail. Catches regressions of either the
-# put path (quorum/batching) or the read path it rides on.
+# The serving perf floors: 20-node throughput must hold >= 1.9M
+# ops/s, the 4-node config (the one program interference used to
+# sink) must hold >= 400k, the quorum-acked write tail must stay
+# within 1.6x of the read tail, and read-priority suspension must
+# actually engage under the mixed load (a silently disabled
+# suspend-resume path would pass every latency gate on a lucky
+# run). Catches regressions of the put path (quorum/batching), the
+# read path, or the suspension machinery underneath both.
 bench_field() {
     awk -F'[:,]' -v k="\"$1\"" '$1 ~ k { gsub(/[[:space:]]/, "", $2); print $2 }' \
         BENCH_kv.json
 }
 tput20="$(bench_field nodes20_tput_ops)"
-rp99="$(bench_field nodes20_read_p99_us)"
-wp99="$(bench_field nodes20_write_p99_us)"
+tput4="$(bench_field nodes4_tput_ops)"
+rp99="$(bench_field quorum_w1_read_p99_us)"
+wp99="$(bench_field quorum_w1_write_p99_us)"
 div="$(bench_field quorum_w1_divergent_after_sweep)"
-if [[ -z "$tput20" || -z "$rp99" || -z "$wp99" || -z "$div" ]]; then
+susp="$(bench_field nodes20_suspended_programs)"
+if [[ -z "$tput20" || -z "$tput4" || -z "$rp99" || -z "$wp99" ||
+      -z "$div" || -z "$susp" ]]; then
     echo "perf gate: BENCH_kv.json missing fields" >&2
     exit 1
 fi
 awk -v t="$tput20" 'BEGIN { exit !(t + 0 >= 1900000) }' || {
     echo "perf gate: 20-node throughput $tput20 < 1.9M ops/s" >&2
+    exit 1
+}
+awk -v t="$tput4" 'BEGIN { exit !(t + 0 >= 400000) }' || {
+    echo "perf gate: 4-node throughput $tput4 < 400k ops/s" >&2
     exit 1
 }
 awk -v w="$wp99" -v r="$rp99" 'BEGIN { exit !(w + 0 <= 1.6 * r) }' || {
@@ -86,7 +97,12 @@ awk -v d="$div" 'BEGIN { exit !(d + 0 == 0) }' || {
     echo "perf gate: divergence survived the repair sweep" >&2
     exit 1
 }
-echo "perf gate ok: tput ${tput20} ops/s, read p99 ${rp99}us," \
-     "write p99 ${wp99}us, post-sweep divergence ${div}"
+awk -v s="$susp" 'BEGIN { exit !(s + 0 > 0) }' || {
+    echo "perf gate: suspension never engaged at 20 nodes" >&2
+    exit 1
+}
+echo "perf gate ok: tput ${tput20}/${tput4} ops/s (20n/4n)," \
+     "W=1 read p99 ${rp99}us, write p99 ${wp99}us," \
+     "post-sweep divergence ${div}, ${susp} suspended programs"
 
 echo "=== CI OK ==="

@@ -16,6 +16,7 @@ FlashController::FlashController(sim::Simulator &sim, NandArray &nand,
     tagState_.assign(tags, TagState::Free);
     tagAddr_.assign(tags, Address{});
     tagGroup_.assign(tags, 0);
+    tagPri_.assign(tags, Priority::Read);
 }
 
 void
@@ -32,6 +33,7 @@ FlashController::sendCommand(const Command &cmd)
     Tag tag = cmd.tag;
     tagAddr_[tag] = cmd.addr;
     tagGroup_[tag] = cmd.group;
+    tagPri_[tag] = cmd.pri;
 
     switch (cmd.op) {
       case Op::ReadPage:
@@ -40,7 +42,8 @@ FlashController::sendCommand(const Command &cmd)
         nand_.read(cmd.addr, [this, tag](ReadResult res) {
             tagState_[tag] = TagState::Free;
             client_->readDone(tag, std::move(res.data), res.status);
-        });
+        },
+                   cmd.pri, cmd.readOffset, cmd.readLen);
         break;
 
       case Op::WritePage:
@@ -61,7 +64,8 @@ FlashController::sendCommand(const Command &cmd)
         nand_.erase(cmd.addr, [this, tag](Status st) {
             tagState_[tag] = TagState::Free;
             client_->eraseDone(tag, st);
-        });
+        },
+                    cmd.pri);
         break;
     }
 }
@@ -80,7 +84,7 @@ FlashController::sendWriteData(Tag tag, PageBuffer data)
         tagState_[tag] = TagState::Free;
         client_->writeDone(tag, st);
     },
-                tagGroup_[tag]);
+                tagGroup_[tag], tagPri_[tag]);
 }
 
 } // namespace flash

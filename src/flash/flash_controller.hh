@@ -91,6 +91,8 @@ class FlashController
     /** Program-coalescing group of the command on each tag (0 =
      * ungrouped); handed to the NAND when the write data arrives. */
     std::vector<std::uint32_t> tagGroup_;
+    /** Traffic class of the command on each tag (see Priority). */
+    std::vector<Priority> tagPri_;
 
     std::uint64_t readsIssued_ = 0;
     std::uint64_t writesIssued_ = 0;

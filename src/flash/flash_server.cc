@@ -45,7 +45,7 @@ FlashServer::handlePages(std::uint32_t handle) const
 void
 FlashServer::streamRead(unsigned ifc, std::uint32_t handle,
                         std::uint64_t first, std::uint64_t count,
-                        PageSink sink)
+                        PageSink sink, Priority pri)
 {
     if (ifc >= ifcs_.size())
         sim::panic("interface %u out of range", ifc);
@@ -65,13 +65,16 @@ FlashServer::streamRead(unsigned ifc, std::uint32_t handle,
         job.op = Op::ReadPage;
         job.addr = pages[first + i];
         job.pageSink = sink;
+        job.pri = pri;
         ifcs_[ifc].pending.push_back(std::move(job));
     }
     pump(ifc);
 }
 
 void
-FlashServer::readPage(unsigned ifc, const Address &addr, PageSink sink)
+FlashServer::readPage(unsigned ifc, const Address &addr, PageSink sink,
+                      Priority pri, std::uint32_t offset,
+                      std::uint32_t len)
 {
     if (ifc >= ifcs_.size())
         sim::panic("interface %u out of range", ifc);
@@ -79,13 +82,16 @@ FlashServer::readPage(unsigned ifc, const Address &addr, PageSink sink)
     job.op = Op::ReadPage;
     job.addr = addr;
     job.pageSink = std::move(sink);
+    job.pri = pri;
+    job.readOffset = offset;
+    job.readLen = len;
     ifcs_[ifc].pending.push_back(std::move(job));
     pump(ifc);
 }
 
 void
 FlashServer::writePage(unsigned ifc, const Address &addr,
-                       PageBuffer data, WriteSink sink)
+                       PageBuffer data, WriteSink sink, Priority pri)
 {
     if (ifc >= ifcs_.size())
         sim::panic("interface %u out of range", ifc);
@@ -94,6 +100,7 @@ FlashServer::writePage(unsigned ifc, const Address &addr,
     job.addr = addr;
     job.writeData = std::move(data);
     job.writeSink = std::move(sink);
+    job.pri = pri;
     if (ifcs_[ifc].batchMax != 0) {
         stageWrite(ifc, std::move(job));
         return;
@@ -185,7 +192,7 @@ FlashServer::flushBatch(unsigned ifc, std::uint32_t bus)
 
 void
 FlashServer::eraseBlock(unsigned ifc, const Address &addr,
-                        WriteSink sink)
+                        WriteSink sink, Priority pri)
 {
     if (ifc >= ifcs_.size())
         sim::panic("interface %u out of range", ifc);
@@ -193,6 +200,7 @@ FlashServer::eraseBlock(unsigned ifc, const Address &addr,
     job.op = Op::EraseBlock;
     job.addr = addr;
     job.writeSink = std::move(sink);
+    job.pri = pri;
     ifcs_[ifc].pending.push_back(std::move(job));
     pump(ifc);
 }
@@ -224,8 +232,9 @@ FlashServer::pump(unsigned ifc)
         TagInfo &info = tagInfo_[tag];
         info.busy = true;
         info.ifc = ifc;
-        info.seq = itf.nextIssueSeq++;
         info.job = std::move(itf.pending.front());
+        info.stream = streamOf(info.job.op, info.job.pri);
+        info.seq = itf.nextIssueSeq[info.stream]++;
         itf.pending.pop_front();
         ++itf.inFlight;
 
@@ -245,6 +254,9 @@ FlashServer::pump(unsigned ifc)
         cmd.addr = info.job.addr;
         cmd.tag = tag;
         cmd.group = info.job.group;
+        cmd.pri = info.job.pri;
+        cmd.readOffset = info.job.readOffset;
+        cmd.readLen = info.job.readLen;
         port_.sendCommand(cmd);
     }
 }
@@ -264,7 +276,7 @@ FlashServer::complete(Tag tag, PageBuffer data, Status status)
     done.job = std::move(info.job);
     done.data = std::move(data);
     done.status = status;
-    itf.reorder.emplace(info.seq, std::move(done));
+    itf.reorder[info.stream].emplace(info.seq, std::move(done));
 
     info.busy = false;
     --itf.inFlight;
@@ -285,21 +297,27 @@ void
 FlashServer::deliver(unsigned ifc)
 {
     Interface &itf = ifcs_[ifc];
-    // Page buffers restore FIFO order: only the next sequence number
-    // may leave the reorder buffer.
-    while (true) {
-        auto it = itf.reorder.find(itf.nextDeliverSeq);
-        if (it == itf.reorder.end())
-            return;
-        Completion c = std::move(it->second);
-        itf.reorder.erase(it);
-        ++itf.nextDeliverSeq;
-        if (c.job.op == Op::ReadPage) {
-            if (c.job.pageSink)
-                c.job.pageSink(std::move(c.data), c.status);
-        } else {
-            if (c.job.writeSink)
-                c.job.writeSink(c.status);
+    // Page buffers restore FIFO order per stream: only the next
+    // sequence number of each class may leave its reorder buffer.
+    // Reads drain independently of writes/erases, so a read never
+    // waits on a slow (possibly suspended-and-resumed) program's
+    // completion slot.
+    for (unsigned stream = 0; stream < deliveryStreams; ++stream) {
+        while (true) {
+            auto it = itf.reorder[stream].find(
+                itf.nextDeliverSeq[stream]);
+            if (it == itf.reorder[stream].end())
+                break;
+            Completion c = std::move(it->second);
+            itf.reorder[stream].erase(it);
+            ++itf.nextDeliverSeq[stream];
+            if (c.job.op == Op::ReadPage) {
+                if (c.job.pageSink)
+                    c.job.pageSink(std::move(c.data), c.status);
+            } else {
+                if (c.job.writeSink)
+                    c.job.writeSink(c.status);
+            }
         }
     }
 }

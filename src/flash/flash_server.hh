@@ -30,6 +30,23 @@ namespace flash {
 
 /**
  * In-order page server over a splitter port.
+ *
+ * Ordering contract: completions are delivered in issue order PER
+ * DELIVERY STREAM on each interface -- serving (Priority::Read)
+ * reads, maintenance (Background) reads and writes/erases each in
+ * their own issue order -- not interleaved into one global
+ * sequence. A serving read therefore never waits behind a slow
+ * program for delivery, neither directly (essential for
+ * read-priority suspension at the NAND: a read that jumped a 400us
+ * program must not then queue behind that same program's
+ * completion slot) nor transitively behind a Background read that
+ * queued FIFO behind the program. The write/erase stream keeps the
+ * strict in-order completion the file system's tail-rewrite
+ * protocol depends on. No client of this class orders reads
+ * against in-flight writes (or across traffic classes) through the
+ * interface: the file systems only read page locations that a
+ * completed program installed, and every multi-page read delivers
+ * within one stream.
  */
 class FlashServer : public Client
 {
@@ -81,17 +98,34 @@ class FlashServer : public Client
      * @param first  first file page
      * @param count  number of pages
      * @param sink   called once per page, in file order
+     * @param pri    traffic class. Defaults to Background: a bulk
+     *               stream is throughput-bound (its delivery rides
+     *               the bus, not the array), so letting it suspend
+     *               in-flight programs would disturb writers for no
+     *               gain. Pass Priority::Read explicitly for a
+     *               latency-critical in-order stream.
      */
     void streamRead(unsigned ifc, std::uint32_t handle,
                     std::uint64_t first, std::uint64_t count,
-                    PageSink sink);
+                    PageSink sink,
+                    Priority pri = Priority::Background);
 
-    /** Read one physical page in order on interface @p ifc. */
-    void readPage(unsigned ifc, const Address &addr, PageSink sink);
+    /**
+     * Read one physical page in order on interface @p ifc.
+     *
+     * @p offset / @p len select partial page read-out (NAND random
+     * data-out): the sink receives exactly the @p len bytes of
+     * [offset, offset + len) and only the ECC words covering the
+     * range cross the flash bus. len 0 (default) reads the whole
+     * page.
+     */
+    void readPage(unsigned ifc, const Address &addr, PageSink sink,
+                  Priority pri = Priority::Read,
+                  std::uint32_t offset = 0, std::uint32_t len = 0);
 
     /** Write one physical page via interface @p ifc. */
     void writePage(unsigned ifc, const Address &addr, PageBuffer data,
-                   WriteSink sink);
+                   WriteSink sink, Priority pri = Priority::Read);
 
     /**
      * @name Program coalescing (write combining)
@@ -134,7 +168,8 @@ class FlashServer : public Client
     ///@}
 
     /** Erase one physical block via interface @p ifc. */
-    void eraseBlock(unsigned ifc, const Address &addr, WriteSink sink);
+    void eraseBlock(unsigned ifc, const Address &addr, WriteSink sink,
+                    Priority pri = Priority::Background);
 
     /**
      * Commands queued plus in flight on interface @p ifc: the
@@ -176,6 +211,9 @@ class FlashServer : public Client
         PageSink pageSink;
         WriteSink writeSink;
         std::uint32_t group = 0; //!< program-coalescing batch id
+        Priority pri = Priority::Read; //!< traffic class
+        std::uint32_t readOffset = 0; //!< partial read-out range
+        std::uint32_t readLen = 0;    //!< 0 = whole page
     };
 
     struct Completion
@@ -185,15 +223,32 @@ class FlashServer : public Client
         Status status = Status::Ok;
     };
 
+    /** Delivery streams per interface: serving reads, maintenance
+     * reads and writes/erases each reorder independently. A
+     * Background read queues the full array time behind a program
+     * (it never suspends), so sharing its stream with serving reads
+     * would head-of-line block them -- exactly what the split
+     * exists to prevent. */
+    static constexpr unsigned deliveryStreams = 3;
+
+    /** Delivery stream of a job (see above). */
+    static unsigned
+    streamOf(Op op, Priority pri)
+    {
+        if (op != Op::ReadPage)
+            return 1;
+        return pri == Priority::Read ? 0 : 2;
+    }
+
     /** Per-interface in-order machinery. */
     struct Interface
     {
         std::deque<Job> pending;     //!< not yet issued
-        std::uint64_t nextIssueSeq = 0;
-        std::uint64_t nextDeliverSeq = 0;
+        std::uint64_t nextIssueSeq[deliveryStreams] = {};
+        std::uint64_t nextDeliverSeq[deliveryStreams] = {};
         unsigned inFlight = 0;
-        //! completion reorder buffer keyed by sequence number
-        std::map<std::uint64_t, Completion> reorder;
+        //! per-stream completion reorder buffers keyed by sequence
+        std::map<std::uint64_t, Completion> reorder[deliveryStreams];
         /** @name Write-coalescing stage (enableWriteBatching) */
         ///@{
         unsigned batchMax = 0;    //!< 0 = coalescing disabled
@@ -211,7 +266,8 @@ class FlashServer : public Client
     struct TagInfo
     {
         unsigned ifc = 0;
-        std::uint64_t seq = 0;
+        std::uint64_t seq = 0;    //!< sequence within the stream
+        unsigned stream = 0;      //!< streamOf(job.op)
         Job job;
         bool busy = false;
     };

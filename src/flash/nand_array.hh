@@ -8,6 +8,16 @@
  * chips on different buses are fully independent; chips sharing a bus
  * overlap array operations but serialize page data transfers on the
  * bus; a single chip processes one array operation at a time.
+ *
+ * Read-priority suspend-resume: a Priority::Read page read arriving
+ * at a chip that is mid-program (or mid-erase) may suspend the
+ * running operation, sense with priority, and let the operation
+ * resume with its remaining time plus Timing::resumeUs -- see
+ * Timing for the full contract. Every in-flight array operation is
+ * tracked per chip so a suspension can shift the chip's whole
+ * scheduled timeline (the parked operation's completion, every
+ * queued operation behind it, and an open multi-plane program
+ * window as a unit) by the inserted delay.
  */
 
 #ifndef BLUEDBM_FLASH_NAND_ARRAY_HH
@@ -64,9 +74,25 @@ class NandArray
     /**
      * Start a page read; @p done fires when the last byte has crossed
      * the bus.
+     *
+     * The page contents are latched when the array sense actually
+     * happens, not when the read is issued: a read ordered behind a
+     * program or erase (FIFO or after the suspension budget is
+     * spent) observes the completed operation's bytes. A
+     * Priority::Read read may suspend an in-flight program/erase on
+     * the chip (see Timing); Priority::Background reads always
+     * queue FIFO.
+     *
+     * @p offset / @p len select partial page read-out (NAND random
+     * data-out): the sense still costs full tR, but only the ECC
+     * words covering [offset, offset + len) cross the bus, and
+     * ReadResult::data holds exactly those @p len bytes. len 0 (the
+     * default) reads the whole page.
      */
     void read(const Address &addr,
-              std::function<void(ReadResult)> done);
+              std::function<void(ReadResult)> done,
+              Priority pri = Priority::Read,
+              std::uint32_t offset = 0, std::uint32_t len = 0);
 
     /**
      * Start a page write with data in hand; @p done fires when the
@@ -82,10 +108,12 @@ class NandArray
      */
     void write(const Address &addr, PageBuffer data,
                std::function<void(Status)> done,
-               std::uint32_t group = 0);
+               std::uint32_t group = 0,
+               Priority pri = Priority::Read);
 
     /** Start a block erase. */
-    void erase(const Address &addr, std::function<void(Status)> done);
+    void erase(const Address &addr, std::function<void(Status)> done,
+               Priority pri = Priority::Background);
 
     /**
      * Raw NAND bit error rate applied to data read off the array
@@ -100,7 +128,27 @@ class NandArray
     sim::Tick
     chipBusyUntil(std::uint32_t bus, std::uint32_t chip) const
     {
-        return chipBusy_[bus * geometry().chipsPerBus + chip];
+        return chips_[bus * geometry().chipsPerBus + chip].busyUntil;
+    }
+
+    /**
+     * Tick at which the bus's current data transfer completes (the
+     * bus may hold further queued transfers behind it; see
+     * queuedTransfers()). Feeds the suspension heuristic: a read
+     * whose delivery is bus-bound gains nothing from suspending a
+     * program, so the array leaves the program alone.
+     */
+    sim::Tick
+    busBusyUntil(std::uint32_t bus) const
+    {
+        return buses_[bus].freeAt;
+    }
+
+    /** Transfers queued (not started) on @p bus right now. */
+    std::size_t
+    queuedTransfers(std::uint32_t bus) const
+    {
+        return buses_[bus].ready.size();
     }
 
     /** @name Statistics */
@@ -113,6 +161,29 @@ class NandArray
     std::uint64_t blocksErased() const { return blocksErased_; }
     std::uint64_t bitsCorrected() const { return bitsCorrected_; }
     std::uint64_t uncorrectablePages() const { return uncorrectable_; }
+    /** Raw bit flips injected into sensed data (pre-ECC). */
+    std::uint64_t bitsInjected() const { return bitsInjected_; }
+    /** Priority::Background page reads (maintenance traffic). */
+    std::uint64_t backgroundReads() const { return backgroundReads_; }
+    /** Priority::Background page writes (maintenance traffic). */
+    std::uint64_t backgroundWrites() const { return backgroundWrites_; }
+    /** Priority::Background block erases (maintenance traffic). */
+    std::uint64_t backgroundErases() const { return backgroundErases_; }
+    /** Reads served by suspending an in-flight program window (one
+     * count per read that jumped, including joins of an already
+     * open suspension window). */
+    std::uint64_t suspendedPrograms() const { return suspendedPrograms_; }
+    /** Program windows that were parked and later resumed (one
+     * count per suspension window opened on a program). */
+    std::uint64_t resumedPrograms() const { return resumedPrograms_; }
+    /** Reads served by suspending an in-flight erase. */
+    std::uint64_t suspendedErases() const { return suspendedErases_; }
+    /** Erases that were parked and later resumed. */
+    std::uint64_t resumedErases() const { return resumedErases_; }
+    /** Queued (not-yet-started) programs/erases displaced behind a
+     * priority read by queue insertion -- the no-penalty sibling of
+     * suspension, charged against the same per-op budget. */
+    std::uint64_t displacedPrograms() const { return displacedPrograms_; }
     ///@}
 
   private:
@@ -120,12 +191,49 @@ class NandArray
      * Work-conserving per-bus transfer scheduler: pages whose array
      * sense has completed queue here and the bus serves them in
      * readiness order, never idling while any chip has data waiting.
+     * freeAt feeds the suspension heuristic (busBusyUntil()).
      */
     struct BusState
     {
         sim::Tick freeAt = 0;
         std::deque<std::function<void()>> ready;
+        /** Wire time of the queued (not started) transfers; with
+         * partial read-out their sizes differ wildly, so the
+         * suspension heuristic sums real ticks instead of guessing
+         * from a count. */
+        sim::Tick queuedTicks = 0;
         bool busy = false;
+    };
+
+    /**
+     * One array operation scheduled on a chip: a sense, program or
+     * erase with its planned [start, end) array occupancy and the
+     * action to run at completion. Tracked so a suspension can
+     * shift the chip's timeline: the parked program/erase extends
+     * its end (charging one suspension), queued operations behind
+     * it displace whole, and the completion event is rescheduled.
+     */
+    struct ChipOp
+    {
+        std::uint64_t id = 0;
+        Op kind = Op::ReadPage;
+        sim::Tick start = 0;
+        sim::Tick end = 0;
+        unsigned suspends = 0;       //!< suspensions charged so far
+        sim::EventId event = sim::invalidEventId;
+        std::function<void()> fire;  //!< runs when the array op ends
+    };
+
+    /** Per-chip schedule: end of all planned work, the open
+     * suspension window's sense frontier, and the in-flight ops. */
+    struct ChipCtl
+    {
+        sim::Tick busyUntil = 0;
+        /** End of the last priority sense of the open suspension
+         * window; now < senseFrontier means the chip's running
+         * program/erase is currently parked. */
+        sim::Tick senseFrontier = 0;
+        std::vector<ChipOp> ops;
     };
 
     std::size_t
@@ -141,6 +249,37 @@ class NandArray
 
     /** Start the next queued transfer if the bus is idle. */
     void busPump(std::uint32_t bus);
+
+    /** Register an array op on chip @p ci and schedule its
+     * completion. */
+    void addChipOp(std::size_t ci, Op kind, sim::Tick start,
+                   sim::Tick end, std::function<void()> fire);
+
+    /** An op's completion event fired: retire it and run @p fire. */
+    void opComplete(std::size_t ci, std::uint64_t id);
+
+    /**
+     * Whether the program/erase occupying chip @p ci at @p now can
+     * absorb one more suspension (every member of an open program
+     * window must have budget; they are charged as a unit).
+     * @p is_erase reports the unit kind for stats.
+     */
+    bool suspendableUnit(const ChipCtl &chip, sim::Tick now,
+                         bool &is_erase) const;
+
+    /**
+     * Insert @p delta ticks into chip @p ci's timeline at @p now:
+     * the running program/erase unit extends its end and is charged
+     * one suspension, queued ops displace whole, an open program
+     * window's end shifts with its members, and every completion
+     * event is rescheduled. Running senses never move.
+     */
+    void shiftChip(std::size_t ci, sim::Tick now, sim::Tick delta);
+
+    /** Whether suspending for a read on (ci, bus) would actually
+     * improve its delivery (false when the read is bus-bound). */
+    bool worthSuspending(const ChipCtl &chip, std::uint32_t bus,
+                         sim::Tick now) const;
 
     /** Corrupt @p data / @p check in place per the bit error rate. */
     std::uint32_t injectErrors(PageBuffer &data,
@@ -162,13 +301,22 @@ class NandArray
     struct ProgramWindow
     {
         std::uint32_t group = 0;
+        /** Tick the window's array work starts (may be in the
+         * future when the lead write queued behind other chip
+         * work); joined pages share it so a queued window is never
+         * mistaken for a running one. */
+        sim::Tick progStart = 0;
         sim::Tick progEnd = 0;
         unsigned pages = 0;
     };
 
-    std::vector<sim::Tick> chipBusy_;
+    std::vector<ChipCtl> chips_;
     std::vector<ProgramWindow> programWindows_;
     std::vector<BusState> buses_;
+    std::uint64_t nextOpId_ = 1;
+    /** Reused by the queue-insertion scan (no per-read allocation
+     * once warmed up). */
+    std::vector<std::size_t> orderScratch_;
 
     std::uint64_t pagesRead_ = 0;
     std::uint64_t pagesWritten_ = 0;
@@ -176,6 +324,15 @@ class NandArray
     std::uint64_t blocksErased_ = 0;
     std::uint64_t bitsCorrected_ = 0;
     std::uint64_t uncorrectable_ = 0;
+    std::uint64_t bitsInjected_ = 0;
+    std::uint64_t backgroundReads_ = 0;
+    std::uint64_t backgroundWrites_ = 0;
+    std::uint64_t backgroundErases_ = 0;
+    std::uint64_t suspendedPrograms_ = 0;
+    std::uint64_t resumedPrograms_ = 0;
+    std::uint64_t suspendedErases_ = 0;
+    std::uint64_t resumedErases_ = 0;
+    std::uint64_t displacedPrograms_ = 0;
 };
 
 } // namespace flash

@@ -37,6 +37,49 @@ struct Timing
     /** Fixed controller pipeline overhead per command. */
     sim::Tick controllerOverhead = sim::usToTicks(1);
     /**
+     * @name Program/erase suspend-resume (read priority)
+     *
+     * An arriving Priority::Read page read may SUSPEND the program
+     * or erase currently occupying its chip, sense with priority,
+     * and let the suspended operation RESUME afterwards -- exactly
+     * the read-priority suspension real NAND controllers implement
+     * so that read tails decouple from write load.
+     *
+     * Timing contract:
+     *  - Suspending costs suspendUs before the priority sense may
+     *    start (the die parks its charge pumps).
+     *  - Resuming costs resumeUs after the last priority sense
+     *    completes before array work continues.
+     *  - The suspended operation keeps its REMAINING time: a
+     *    program suspended T ticks before completion completes
+     *    resumeUs + T after the resume point. Total array time is
+     *    never shortened -- suspension inserts delay, it never
+     *    skips cell work, so durability semantics are unchanged.
+     *  - A coalesced multi-plane program window (Command::group)
+     *    suspends and resumes as a unit: every page of the window
+     *    shifts by the same inserted delay.
+     *  - Each read that jumps an operation charges one suspension
+     *    against it; after maxSuspendsPerOp charges the operation
+     *    can no longer be suspended and later reads queue FIFO
+     *    behind it, bounding write/erase latency under sustained
+     *    read pressure (real controllers enforce the same cap).
+     *  - Operations that have not started yet simply shift behind
+     *    the suspension; they are displaced, not suspended, and
+     *    their own suspend budget is untouched.
+     *  - Priority::Background reads never suspend anything.
+     *
+     * maxSuspendsPerOp = 0 disables suspension entirely (pure FIFO
+     * chips, the pre-suspension model).
+     */
+    ///@{
+    /** Latency to park an in-flight program/erase (tPSPD). */
+    sim::Tick suspendUs = sim::usToTicks(5);
+    /** Penalty to resume a parked program/erase (tPRSM). */
+    sim::Tick resumeUs = sim::usToTicks(5);
+    /** Suspensions one program/erase may absorb (0 = disabled). */
+    unsigned maxSuspendsPerOp = 4;
+    ///@}
+    /**
      * Planes per chip: pages of a coalesced write batch
      * (Command::group) whose programs may overlap on a single chip,
      * as multi-plane NAND programs do (each page still pays a full
@@ -56,6 +99,8 @@ struct Timing
         t.eraseUs = sim::usToTicks(100);
         t.busBytesPerSec = 1e9;
         t.controllerOverhead = sim::usToTicks(0.1);
+        t.suspendUs = sim::usToTicks(0.5);
+        t.resumeUs = sim::usToTicks(0.5);
         return t;
     }
 };

@@ -24,6 +24,29 @@ using PageBuffer = std::vector<std::uint8_t>;
 /** Operations of the thin flash interface. */
 enum class Op { ReadPage, WritePage, EraseBlock };
 
+/**
+ * Traffic class of a flash command.
+ *
+ * `Read` marks latency-critical serving traffic: a Read-class page
+ * read may suspend the program or erase occupying its chip
+ * (Timing::suspendUs/resumeUs, bounded by Timing::maxSuspendsPerOp)
+ * instead of queueing the full array time behind it. `Background`
+ * marks maintenance traffic -- garbage collection, segment
+ * cleaning, anti-entropy repair -- which never suspends anything
+ * and is counted separately by the NAND array's statistics, so the
+ * array can always tell serving load from maintenance load.
+ *
+ * The class rides flash::Command through the controller and the
+ * flash server; reads default to Read, erases to Background, and
+ * writes to Read (a client ack usually waits on them) with the
+ * maintenance paths passing Background explicitly.
+ */
+enum class Priority : std::uint8_t
+{
+    Read,       //!< latency-critical; reads may suspend programs
+    Background, //!< maintenance; never suspends, FIFO behind chip work
+};
+
 /** Completion status of a flash operation. */
 enum class Status
 {
@@ -52,6 +75,19 @@ struct Command
     Address addr;
     Tag tag = 0;
     std::uint32_t group = 0;
+    /** Traffic class (see Priority): whether a read may suspend an
+     * in-flight program/erase, and how the op is accounted. */
+    Priority pri = Priority::Read;
+    /**
+     * Partial page read-out (reads only): transfer just the bytes
+     * of [readOffset, readOffset + readLen) off the page register
+     * -- NAND random data-out -- instead of the whole page. The
+     * array sense still costs full tR; only the bus transfer (and
+     * the ECC words it covers) shrinks. readLen 0 reads the whole
+     * page (readOffset must then be 0).
+     */
+    std::uint32_t readOffset = 0;
+    std::uint32_t readLen = 0;
 };
 
 /**

@@ -148,7 +148,7 @@ LogFs::publishHandle(const std::string &name, std::uint32_t handle)
 
 void
 LogFs::append(const std::string &name, std::vector<std::uint8_t> data,
-              Done done)
+              Done done, flash::Priority pri)
 {
     auto it = names_.find(name);
     if (it == names_.end())
@@ -195,7 +195,8 @@ LogFs::append(const std::string &name, std::vector<std::uint8_t> data,
                             staged.end());
         }
         ++ctx->outstanding;
-        queuePageWrite(file_id, fpage, std::move(page), finish_one);
+        queuePageWrite(file_id, fpage, std::move(page), finish_one,
+                       pri);
         off += take;
         ++fpage;
     }
@@ -208,7 +209,8 @@ LogFs::append(const std::string &name, std::vector<std::uint8_t> data,
 
 void
 LogFs::queuePageWrite(std::uint32_t file_id, std::uint64_t fpage,
-                      PageBuffer data, Done done)
+                      PageBuffer data, Done done,
+                      flash::Priority pri)
 {
     WriteSlot &slot = writeSlots_[slotKey(file_id, fpage)];
     if (!slot.flightWaiters.empty()) {
@@ -220,15 +222,19 @@ LogFs::queuePageWrite(std::uint32_t file_id, std::uint64_t fpage,
         slot.hasPending = true;
         slot.pendingData = std::move(data);
         slot.pendingWaiters.push_back(std::move(done));
+        // One serving-class waiter escalates the whole follow-up
+        // (pendingPri re-arms to Background with each flight).
+        if (pri == flash::Priority::Read)
+            slot.pendingPri = pri;
         return;
     }
     slot.flightWaiters.push_back(std::move(done));
-    issueSlot(file_id, fpage, std::move(data));
+    issueSlot(file_id, fpage, std::move(data), pri);
 }
 
 void
 LogFs::issueSlot(std::uint32_t file_id, std::uint64_t fpage,
-                 PageBuffer data)
+                 PageBuffer data, flash::Priority pri)
 {
     writeFilePage(file_id, fpage, std::move(data),
                   [this, file_id, fpage](bool ok) {
@@ -240,25 +246,28 @@ LogFs::issueSlot(std::uint32_t file_id, std::uint64_t fpage,
             // follow-up program absorbs them all. Re-arm before
             // firing callbacks, which may queue further rewrites.
             PageBuffer next = std::move(it->second.pendingData);
+            flash::Priority next_pri = it->second.pendingPri;
             it->second.flightWaiters =
                 std::move(it->second.pendingWaiters);
             it->second.pendingWaiters.clear();
             it->second.hasPending = false;
             it->second.pendingData.clear();
-            issueSlot(file_id, fpage, std::move(next));
+            it->second.pendingPri = flash::Priority::Background;
+            issueSlot(file_id, fpage, std::move(next), next_pri);
         } else {
             writeSlots_.erase(it);
         }
         for (auto &w : waiters)
             w(ok);
-    });
+    },
+                  pri);
 }
 
 void
 LogFs::writeFilePage(std::uint32_t file_id, std::uint64_t fpage,
-                     PageBuffer data, Done done)
+                     PageBuffer data, Done done, flash::Priority pri)
 {
-    allocatePage([this, file_id, fpage, data = std::move(data),
+    allocatePage([this, file_id, fpage, pri, data = std::move(data),
                   done = std::move(done)](Address addr) mutable {
         std::uint64_t linear = addr.linearize(geo_);
         ++blocks_[linear / geo_.pagesPerBlock].pendingWrites;
@@ -315,7 +324,8 @@ LogFs::writeFilePage(std::uint32_t file_id, std::uint64_t fpage,
             ++blocks_[linear / geo_.pagesPerBlock].livePages;
             ++pagesWritten_;
             done(true);
-        });
+        },
+                          pri);
     });
 }
 
@@ -385,17 +395,21 @@ LogFs::read(const std::string &name, std::uint64_t offset,
             ++spreadReads_;
         }
         ++ctx->outstanding;
+        // Partial page read-out: only the requested range's ECC
+        // words cross the flash bus -- a small-record read does not
+        // pay a full page transfer.
         server_.readPage(
             read_ifc, Address::fromLinear(geo_, phys),
-            [ctx, in_page, take, out_off,
-             maybe_finish](PageBuffer page, Status st) {
+            [ctx, take, out_off,
+             maybe_finish](PageBuffer range, Status st) {
             if (st == Status::Uncorrectable)
                 ctx->ok = false;
-            std::memcpy(ctx->out.data() + out_off,
-                        page.data() + in_page, take);
+            std::memcpy(ctx->out.data() + out_off, range.data(),
+                        take);
             --ctx->outstanding;
             maybe_finish();
-        });
+        },
+            flash::Priority::Read, in_page, take);
         pos += take;
     }
     ctx->issued_all = true;
@@ -521,6 +535,9 @@ LogFs::relocate(std::vector<std::uint64_t> pages, std::size_t next,
         return;
     }
     std::uint64_t phys = pages[next];
+    // Cleaner traffic is maintenance: its reads must never suspend
+    // a serving program, and its programs and erases count as
+    // background load at the array.
     server_.readPage(
         ifc_, Address::fromLinear(geo_, phys),
         [this, pages = std::move(pages), next, phys,
@@ -561,9 +578,11 @@ LogFs::relocate(std::vector<std::uint64_t> pages, std::size_t next,
                 }
                 relocate(std::move(pages), next + 1,
                          std::move(then));
-            });
+            },
+                flash::Priority::Background);
         });
-    });
+    },
+        flash::Priority::Background);
 }
 
 } // namespace fs

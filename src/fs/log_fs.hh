@@ -142,9 +142,18 @@ class LogFs
      * zeroes with ok=false. The failed bytes stay staged in the
      * in-memory tail when they fall in the tail page, so the next
      * successful append rewrites -- and heals -- that page.
+     *
+     * @p pri is the flash traffic class of the page programs:
+     * serving appends default to flash::Priority::Read (a client
+     * ack is waiting on them); maintenance appends -- anti-entropy
+     * repair pushes -- pass flash::Priority::Background so the NAND
+     * statistics attribute them to maintenance. When rewrites of
+     * one tail page batch, a single serving-class waiter escalates
+     * the whole follow-up program to the serving class.
      */
     void append(const std::string &name,
-                std::vector<std::uint8_t> data, Done done);
+                std::vector<std::uint8_t> data, Done done,
+                flash::Priority pri = flash::Priority::Read);
 
     /**
      * Read @p len bytes at @p offset of @p name. ok is false when
@@ -227,6 +236,9 @@ class LogFs
         bool hasPending = false;
         flash::PageBuffer pendingData;   //!< latest staging supersedes
         std::vector<Done> pendingWaiters;
+        /** Class of the pending follow-up program: Read as soon as
+         * any batched waiter is serving-class. */
+        flash::Priority pendingPri = flash::Priority::Background;
     };
 
     std::uint64_t blockIndex(const flash::Address &a) const;
@@ -242,10 +254,11 @@ class LogFs
     /** Queue one page program through the page's write slot
      * (batches rewrites while a program is in flight). */
     void queuePageWrite(std::uint32_t file_id, std::uint64_t fpage,
-                        flash::PageBuffer data, Done done);
+                        flash::PageBuffer data, Done done,
+                        flash::Priority pri);
     /** Issue the slot's program for (file, page). */
     void issueSlot(std::uint32_t file_id, std::uint64_t fpage,
-                   flash::PageBuffer data);
+                   flash::PageBuffer data, flash::Priority pri);
     static std::uint64_t
     slotKey(std::uint32_t file_id, std::uint64_t fpage)
     {
@@ -254,7 +267,8 @@ class LogFs
 
     /** Write one full page of @p inode at file page @p fpage. */
     void writeFilePage(std::uint32_t file_id, std::uint64_t fpage,
-                       flash::PageBuffer data, Done done);
+                       flash::PageBuffer data, Done done,
+                       flash::Priority pri);
 
     sim::Simulator &sim_;
     flash::FlashServer &server_;

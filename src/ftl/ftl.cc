@@ -288,6 +288,8 @@ Ftl::relocate(std::uint64_t victim, std::vector<std::uint64_t> pages,
     }
     std::uint64_t phys = pages[next];
     Address src = Address::fromLinear(geo_, phys);
+    // GC traffic is maintenance: Background reads never suspend a
+    // host program, and GC programs count as background load.
     server_.readPage(ifc_, src,
                      [this, victim, pages = std::move(pages), next,
                       phys, then = std::move(then)](
@@ -319,9 +321,11 @@ Ftl::relocate(std::uint64_t victim, std::vector<std::uint64_t> pages,
                 }
                 relocate(victim, std::move(pages), next + 1,
                          std::move(then));
-            });
+            },
+                flash::Priority::Background);
         });
-    });
+    },
+                     flash::Priority::Background);
 }
 
 } // namespace ftl

@@ -62,6 +62,31 @@ KvRouter::KvRouter(sim::Simulator &sim, core::Cluster &cluster,
     }
 
     installAgents();
+    if (params_.repairIntervalUs > 0)
+        armRepairTimer();
+}
+
+KvRouter::~KvRouter()
+{
+    *alive_ = false;
+    if (repairTimer_ != sim::invalidEventId)
+        sim_.cancel(repairTimer_);
+}
+
+void
+KvRouter::armRepairTimer()
+{
+    repairTimer_ = sim_.scheduleAfter(
+        sim::usToTicks(double(params_.repairIntervalUs)), [this]() {
+        repairTimer_ = sim::invalidEventId;
+        if (sweepRunning_) {
+            // A manual sweep is mid-flight: let it finish and try
+            // again next interval (sweeps never overlap).
+            armRepairTimer();
+            return;
+        }
+        repairSweep([this]() { armRepairTimer(); });
+    });
 }
 
 unsigned
@@ -659,8 +684,16 @@ struct KvRouter::SweepState
 void
 KvRouter::repairSweep(std::function<void()> done)
 {
-    if (sweepRunning_)
-        sim::fatal("anti-entropy sweep already running");
+    if (sweepRunning_) {
+        // A sweep is mid-flight (possibly the periodic timer's):
+        // queue this request and serve every queued caller with one
+        // fresh full sweep once the current one completes. The
+        // completion contract holds -- the caller's done still
+        // fires only after a whole-ring pass that started at or
+        // after the request.
+        queuedSweeps_.push_back(std::move(done));
+        return;
+    }
     sweepRunning_ = true;
     auto state = std::make_shared<SweepState>();
     state->done = std::move(done);
@@ -683,8 +716,9 @@ KvRouter::sweepChunk(std::shared_ptr<SweepState> state)
         sweepSegment(state, state->nextSeg++);
     if (state->nextSeg < ring_.size()) {
         // Yield between chunks: serving traffic interleaves.
-        sim_.scheduleAfter(0, [this, state]() {
-            sweepChunk(state);
+        sim_.scheduleAfter(0, [this, state, alive = alive_]() {
+            if (*alive)
+                sweepChunk(state);
         });
         return;
     }
@@ -701,6 +735,21 @@ KvRouter::sweepFinish(const std::shared_ptr<SweepState> &state)
     ++repairSweeps_;
     if (state->done)
         state->done();
+    // Requests that arrived mid-sweep get their own full pass (the
+    // done callback above may itself have started one; if so, that
+    // sweep's finish drains the queue instead).
+    if (!queuedSweeps_.empty() && !sweepRunning_) {
+        auto waiters = std::make_shared<
+            std::vector<std::function<void()>>>(
+            std::move(queuedSweeps_));
+        queuedSweeps_.clear();
+        repairSweep([waiters]() {
+            for (auto &w : *waiters) {
+                if (w)
+                    w();
+            }
+        });
+    }
 }
 
 void
@@ -830,7 +879,9 @@ KvRouter::repairKey(std::shared_ptr<SweepState> state, Key key,
                     bool live)
 {
     ++state->outstanding;
-    auto finish = [this, state, key](KvStatus st) {
+    auto finish = [this, state, key, alive = alive_](KvStatus st) {
+        if (!*alive)
+            return;
         if (st == KvStatus::Error)
             divergent_.insert(key); // push failed: still divergent
         else
@@ -844,9 +895,11 @@ KvRouter::repairKey(std::shared_ptr<SweepState> state, Key key,
     }
     shards_[from]->get(
         key,
-        [this, state, key, to, stamp,
+        [this, key, to, stamp, alive = alive_,
          finish = std::move(finish)](PageBuffer v, KvStatus st,
                                      std::uint64_t) mutable {
+        if (!*alive)
+            return;
         if (st != KvStatus::Ok) {
             // Source read failed; leave the key for the next sweep.
             finish(KvStatus::Error);

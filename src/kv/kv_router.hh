@@ -68,6 +68,17 @@ struct KvParams
     /** Ring segments reconciled per repair-sweep chunk before the
      * sweep yields to the event loop. */
     unsigned repairChunk = 64;
+    /**
+     * Microseconds between automatic anti-entropy sweeps (0 = off,
+     * the default: sweeps run only when repairSweep() is called).
+     * When set, the router schedules repairSweep() itself every
+     * interval (measured completion-to-start, so sweeps never
+     * overlap; an interval tick that finds a manual sweep running
+     * skips to the next interval). Note that an armed timer keeps
+     * the event queue non-empty forever: drive the simulation with
+     * runUntil(), not run().
+     */
+    std::uint64_t repairIntervalUs = 0;
     /** Ring points per node; more points, smoother balance. */
     unsigned vnodes = 64;
     /** Shard log file name (one per node's file system). */
@@ -118,6 +129,9 @@ class KvRouter
      */
     KvRouter(sim::Simulator &sim, core::Cluster &cluster,
              const KvParams &params = KvParams{});
+
+    /** Cancels the periodic repair timer, if armed. */
+    ~KvRouter();
 
     /** Replication factor in use. */
     unsigned replication() const { return params_.replication; }
@@ -173,6 +187,11 @@ class KvRouter
      * every segment was compared and every pushed repair completed.
      * Afterwards divergentWrites() is zero -- every key the sweep
      * visited is either reconciled or was already consistent.
+     *
+     * Sweeps never overlap: a call that lands while one is running
+     * (e.g. a manual sweep racing the periodic timer's) queues, and
+     * one fresh full pass serves every queued caller after the
+     * current sweep completes.
      */
     void repairSweep(std::function<void()> done);
 
@@ -379,6 +398,22 @@ class KvRouter
     /** Keys with observed divergence awaiting a repair sweep. */
     std::unordered_set<Key> divergent_;
     bool sweepRunning_ = false;
+    /** Callbacks of repairSweep() calls that arrived mid-sweep; a
+     * follow-up full pass serves them all. */
+    std::vector<std::function<void()>> queuedSweeps_;
+    /**
+     * Liveness flag captured by the sweep's detached continuations
+     * (chunk yields, repair-push completions). The periodic timer
+     * can start sweeps nobody is awaiting, so teardown mid-sweep is
+     * reachable from correct caller code; the destructor flips this
+     * and a continuation firing afterwards returns without touching
+     * the dead router.
+     */
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+    /** Arm the next periodic sweep (KvParams::repairIntervalUs). */
+    void armRepairTimer();
+    /** Pending periodic-sweep event (invalidEventId = none). */
+    sim::EventId repairTimer_ = sim::invalidEventId;
 
     std::uint64_t localOps_ = 0;
     std::uint64_t remoteOps_ = 0;

@@ -32,7 +32,7 @@ KvShard::KvShard(sim::Simulator &sim, fs::LogFs &fs,
 
 void
 KvShard::put(Key key, PageBuffer value, std::uint64_t stamp,
-             AckDone done)
+             AckDone done, flash::Priority pri)
 {
     ++puts_;
     auto len = static_cast<std::uint32_t>(value.size());
@@ -152,7 +152,8 @@ KvShard::put(Key key, PageBuffer value, std::uint64_t stamp,
         if (current)
             memtable_.erase(key); // no newer in-flight version
         done(KvStatus::Ok);
-    });
+    },
+               pri);
 }
 
 void
@@ -310,12 +311,15 @@ KvShard::repairPut(Key key, PageBuffer value, std::uint64_t stamp,
     }
     // Count only on success: a failed append rolls back and acks
     // Error, and the router re-marks the key for the next sweep.
+    // Repair is maintenance: its log append rides the background
+    // flash class and never suspends serving programs.
     put(key, std::move(value), stamp,
         [this, done = std::move(done)](KvStatus st) {
         if (st == KvStatus::Ok)
             ++repairsApplied_;
         done(st);
-    });
+    },
+        flash::Priority::Background);
 }
 
 void

@@ -108,9 +108,15 @@ class KvShard
      * for anti-entropy digests (see file comment). The stampless
      * overload draws from a shard-local counter -- fine for
      * single-shard use, never for replicated writes.
+     *
+     * @p pri is the flash traffic class of the log append: serving
+     * puts are flash::Priority::Read (a client waits on the ack);
+     * anti-entropy repair pushes pass Background so maintenance
+     * programs are accounted as such at the NAND.
      */
     void put(Key key, flash::PageBuffer value, std::uint64_t stamp,
-             AckDone done);
+             AckDone done,
+             flash::Priority pri = flash::Priority::Read);
     void
     put(Key key, flash::PageBuffer value, AckDone done)
     {

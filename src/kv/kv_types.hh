@@ -83,6 +83,21 @@ constexpr unsigned kvRequiredEndpoints = 10;
  *    reach flash: the shard's index only ever points at durable log
  *    records (in-flight values are served from the memtable, which
  *    the failure path discards).
+ *
+ * Flash traffic classes (see flash::Priority and flash::Timing's
+ * suspend-resume contract): every KV operation maps onto one of
+ * two NAND priority classes. Serving traffic -- client gets and
+ * the log appends behind client puts -- rides Priority::Read, so a
+ * get's page read may SUSPEND an in-flight NAND program or erase
+ * (bounded by Timing::maxSuspendsPerOp) instead of waiting the
+ * full array time behind it; this is what decouples the read tail
+ * from write load. Maintenance traffic -- anti-entropy repair
+ * pushes (KvRouter::repairSweep, manual or periodic via
+ * KvParams::repairIntervalUs) and the file system's segment
+ * cleaning underneath -- rides Priority::Background: it never
+ * suspends anything and is accounted separately at the array, so
+ * repair can run during serving without stealing read latency or
+ * blurring the load attribution.
  */
 enum class KvStatus : std::uint8_t
 {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "flash/flash_card.hh"
@@ -253,6 +254,54 @@ TEST(FlashServer, QueueLengthTracksPendingAndInFlight)
     f.sim.run();
     EXPECT_EQ(done, 12);
     EXPECT_EQ(f.server.queueLength(0), 0u);
+}
+
+TEST(FlashServer, ReadsDeliverIndependentlyOfSlowWrites)
+{
+    // Completion delivery is in order PER TRAFFIC CLASS: a read
+    // issued after a write must not wait in the reorder buffer for
+    // the (much slower) program's completion slot -- that would
+    // throw away everything read-priority suspension wins at the
+    // NAND.
+    Fixture f;
+    const auto ps = f.card.geometry().pageSize;
+    sim::Tick write_done = 0, read_done = 0;
+    f.server.writePage(0, Address{0, 0, 0, 0}, PageBuffer(ps, 0x11),
+                       [&](Status) { write_done = f.sim.now(); });
+    f.server.readPage(0, Address{1, 0, 0, 0},
+                      [&](PageBuffer, Status) {
+        read_done = f.sim.now();
+    });
+    f.sim.run();
+    ASSERT_NE(write_done, 0u);
+    ASSERT_NE(read_done, 0u);
+    EXPECT_LT(read_done, write_done);
+}
+
+TEST(FlashServer, PartialReadOutDeliversRange)
+{
+    Fixture f;
+    const auto ps = f.card.geometry().pageSize;
+    const Address addr{1, 1, 0, 0};
+    bool wrote = false;
+    PageBuffer data(ps);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i ^ 0x41);
+    f.server.writePage(0, addr, data, [&](Status) { wrote = true; });
+    f.sim.run();
+    ASSERT_TRUE(wrote);
+
+    PageBuffer got;
+    f.server.readPage(0, addr,
+                      [&](PageBuffer range, Status st) {
+        EXPECT_EQ(st, Status::Ok);
+        got = std::move(range);
+    },
+                      flash::Priority::Read, 37, 200);
+    f.sim.run();
+    ASSERT_EQ(got.size(), 200u);
+    EXPECT_TRUE(std::equal(got.begin(), got.end(),
+                           data.begin() + 37));
 }
 
 // ---------------------------------------------------------------- //

@@ -1260,3 +1260,74 @@ TEST(KvRouter, RepairHealsDivergentDelete)
     EXPECT_FALSE(router.shard(own[0]).contains(key));
     EXPECT_FALSE(router.shard(own[1]).contains(key));
 }
+
+TEST(KvRouter, PeriodicRepairSweepDrainsDivergenceUnattended)
+{
+    // With KvParams::repairIntervalUs set, the router schedules its
+    // own anti-entropy sweeps: injected divergence must drain to
+    // zero with no manual repairSweep() call. The armed timer keeps
+    // the event queue alive, so the test drives time with
+    // runUntil().
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvParams kp = quorumParams(1);
+    kp.repairIntervalUs = 20000;
+    kv::KvRouter router(sim, cluster, kp);
+
+    const Key key = 42;
+    auto own = router.owners(key);
+    ASSERT_EQ(own.size(), 2u);
+    router.put(own[0], key, val(0xaa), [](KvStatus) {});
+    sim.runUntil(sim::usToTicks(5000));
+
+    armWriteFault(cluster, own[1]);
+    KvStatus st = KvStatus::Error;
+    router.put(own[0], key, val(0xbb), [&](KvStatus s) { st = s; });
+    sim.runUntil(sim::usToTicks(10000));
+    disarmWriteFault(cluster, own[1]);
+
+    EXPECT_EQ(st, KvStatus::Ok);
+    EXPECT_EQ(router.divergentWrites(), 1u);
+    EXPECT_EQ(router.repairSweeps(), 0u);
+
+    // Two intervals later the scheduled sweep has visited the key.
+    sim.runUntil(sim::usToTicks(60000));
+    EXPECT_GE(router.repairSweeps(), 1u);
+    EXPECT_EQ(router.divergentWrites(), 0u);
+    EXPECT_GE(router.shard(own[1]).repairsApplied(), 1u);
+
+    // The healed value serves from every replica.
+    for (unsigned origin = 0; origin < 4; ++origin) {
+        PageBuffer got;
+        KvStatus gst = KvStatus::Error;
+        router.get(net::NodeId(origin), key,
+                   [&](PageBuffer v, KvStatus s) {
+            got = std::move(v);
+            gst = s;
+        });
+        sim.runUntil(sim.now() + sim::usToTicks(5000));
+        EXPECT_EQ(gst, KvStatus::Ok) << "origin " << origin;
+        EXPECT_EQ(got, val(0xbb)) << "origin " << origin;
+    }
+}
+
+TEST(KvRouter, OverlappingRepairSweepsCoalesce)
+{
+    // A repairSweep() call landing while another sweep is running
+    // (the periodic timer's, or another caller's) must not abort:
+    // it queues, and a follow-up full pass fires its callback.
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, quorumParams(1));
+    router.put(net::NodeId(0), 7, val(0x11), [](KvStatus) {});
+    sim.run();
+
+    bool first = false, second = false;
+    router.repairSweep([&]() { first = true; });
+    router.repairSweep([&]() { second = true; });
+    sim.run();
+    EXPECT_TRUE(first);
+    EXPECT_TRUE(second);
+    EXPECT_EQ(router.repairSweeps(), 2u);
+    EXPECT_EQ(router.divergentWrites(), 0u);
+}

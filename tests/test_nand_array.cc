@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "flash/nand_array.hh"
@@ -281,4 +282,357 @@ TEST(NandArray, AlwaysDecodeVerifiesCleanPages)
     f.sim.run();
     EXPECT_EQ(st, Status::Ok);
     EXPECT_EQ(nand.bitsCorrected(), 0u);
+}
+
+// ---------------------------------------------------------------- //
+// Stale-sense ordering and error-injection fidelity
+// ---------------------------------------------------------------- //
+
+TEST(NandArray, ReadBehindProgramToSamePageSeesNewBytes)
+{
+    // Regression: the read used to snapshot page contents at ISSUE
+    // time; queued behind an in-flight program to the same page, it
+    // returned pre-program bytes even though its sense was ordered
+    // after the program completed. With suspension disabled the
+    // read queues FIFO behind the program -- exactly the buggy
+    // schedule -- and must observe the programmed data.
+    Fixture f;
+    f.timing.maxSuspendsPerOp = 0;
+    NandArray nand(f.sim, f.geo, f.timing);
+    const Address addr{0, 0, 0, 0};
+    PageBuffer data(f.geo.pageSize, 0x7e);
+    nand.write(addr, data, [](Status st) {
+        EXPECT_EQ(st, Status::Ok);
+    });
+    // Mid-program: the chip is busy; the read's sense lands after
+    // the program's array time ends.
+    PageBuffer got;
+    f.sim.scheduleAt(f.timing.programUs / 2, [&]() {
+        ASSERT_GT(nand.chipBusyUntil(0, 0), f.sim.now());
+        nand.read(addr,
+                  [&](ReadResult res) { got = std::move(res.data); });
+    });
+    f.sim.run();
+    EXPECT_EQ(got, data);
+}
+
+TEST(NandArray, SuspendedReadObservesPreProgramBytes)
+{
+    // The flip side: a read that SUSPENDS the program senses before
+    // the cells were programmed, so it returns the old contents --
+    // physically what a real suspended program yields.
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    const Address addr{0, 0, 0, 0};
+    PageBuffer before = nand.store().read(addr);
+    PageBuffer data(f.geo.pageSize, 0x7e);
+    nand.write(addr, data, [](Status) {});
+    PageBuffer got;
+    f.sim.scheduleAt(f.timing.programUs / 2, [&]() {
+        nand.read(addr,
+                  [&](ReadResult res) { got = std::move(res.data); });
+    });
+    f.sim.run();
+    EXPECT_EQ(nand.suspendedPrograms(), 1u);
+    EXPECT_EQ(got, before);
+    // The program itself still completed with the new bytes.
+    EXPECT_EQ(nand.store().read(addr), data);
+}
+
+TEST(NandArray, HighBerInjectsFullPoissonTail)
+{
+    // The injector used to cap flips at 64 per page, silently
+    // truncating the Poisson tail at stress BERs. At 2e-2 the page
+    // expects (512 + 64) * 8 * 0.02 = ~92 flips -- past the old cap
+    // -- and the injected-bit stat must average accordingly.
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing, 123);
+    nand.setBitErrorRate(2e-2);
+    const int reads = 200;
+    int done = 0;
+    for (int i = 0; i < reads; ++i) {
+        Address a = Address::fromLinear(
+            f.geo, std::uint64_t(i) % f.geo.pages());
+        nand.read(a, [&](ReadResult) { ++done; });
+    }
+    f.sim.run();
+    ASSERT_EQ(done, reads);
+    double mean = double(nand.bitsInjected()) / reads;
+    EXPECT_GT(mean, 80.0);
+    EXPECT_LT(mean, 105.0);
+}
+
+TEST(NandArrayDeath, BerBeyondModelRangePanics)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    nand.setBitErrorRate(0.5);
+    nand.read(Address{0, 0, 0, 0}, [](ReadResult) {});
+    EXPECT_DEATH(f.sim.run(), "outside the error model");
+}
+
+// ---------------------------------------------------------------- //
+// Program/erase suspend-resume
+// ---------------------------------------------------------------- //
+
+TEST(NandArray, ReadSuspendsProgramAndBothAccountExactly)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    const Tick wire = wireTime(f.geo, f.timing);
+    Tick write_done = 0, read_done = 0;
+    nand.write(Address{0, 0, 0, 0}, PageBuffer(f.geo.pageSize, 1),
+               [&](Status st) {
+        EXPECT_EQ(st, Status::Ok);
+        write_done = f.sim.now();
+    });
+    const Tick issue = wire + f.timing.programUs / 2;
+    f.sim.scheduleAt(issue, [&]() {
+        nand.read(Address{0, 0, 0, 1},
+                  [&](ReadResult) { read_done = f.sim.now(); });
+    });
+    f.sim.run();
+    // The read pays suspend latency + its own sense + wire + pipe.
+    EXPECT_EQ(read_done, issue + f.timing.suspendUs +
+                  f.timing.readUs + wire +
+                  f.timing.controllerOverhead);
+    // The program pays exactly the inserted delay on top of its
+    // undisturbed completion: total program time never shrinks.
+    const Tick inserted = f.timing.suspendUs + f.timing.readUs +
+        f.timing.resumeUs;
+    EXPECT_EQ(write_done, wire + f.timing.programUs + inserted +
+                  f.timing.controllerOverhead);
+    EXPECT_EQ(nand.suspendedPrograms(), 1u);
+    EXPECT_EQ(nand.resumedPrograms(), 1u);
+}
+
+TEST(NandArray, BackgroundReadNeverSuspends)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    const Tick wire = wireTime(f.geo, f.timing);
+    nand.write(Address{0, 0, 0, 0}, PageBuffer(f.geo.pageSize, 1),
+               [](Status) {});
+    Tick read_done = 0;
+    const Tick issue = wire + f.timing.programUs / 2;
+    f.sim.scheduleAt(issue, [&]() {
+        nand.read(Address{0, 0, 0, 1},
+                  [&](ReadResult) { read_done = f.sim.now(); },
+                  flash::Priority::Background);
+    });
+    f.sim.run();
+    // FIFO: the sense waits out the program.
+    EXPECT_EQ(read_done, wire + f.timing.programUs +
+                  f.timing.readUs + wire +
+                  f.timing.controllerOverhead);
+    EXPECT_EQ(nand.suspendedPrograms(), 0u);
+    EXPECT_EQ(nand.backgroundReads(), 1u);
+}
+
+TEST(NandArray, SuspendBudgetExhaustionFallsBackToFifo)
+{
+    Fixture f;
+    f.timing.maxSuspendsPerOp = 1;
+    NandArray nand(f.sim, f.geo, f.timing);
+    const Tick wire = wireTime(f.geo, f.timing);
+    Tick write_done = 0;
+    nand.write(Address{0, 0, 0, 0}, PageBuffer(f.geo.pageSize, 1),
+               [&](Status) { write_done = f.sim.now(); });
+    Tick read1_done = 0, read2_done = 0;
+    const Tick issue = wire + f.timing.programUs / 4;
+    f.sim.scheduleAt(issue, [&]() {
+        nand.read(Address{0, 0, 0, 1},
+                  [&](ReadResult) { read1_done = f.sim.now(); });
+        // Second read while the window is open: the program's
+        // budget (1) is spent, so it queues FIFO behind the
+        // resumed program.
+        nand.read(Address{0, 0, 0, 2},
+                  [&](ReadResult) { read2_done = f.sim.now(); });
+    });
+    f.sim.run();
+    EXPECT_EQ(nand.suspendedPrograms(), 1u);
+    EXPECT_LT(read1_done, write_done);
+    // The second read completes only after the resumed program's
+    // array work ended (write_done includes the controller pipe).
+    EXPECT_GT(read2_done, write_done - f.timing.controllerOverhead);
+}
+
+TEST(NandArray, CoalescedWindowSuspendsAsUnit)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    const Tick wire = wireTime(f.geo, f.timing);
+    // Two grouped writes share a program window on one chip.
+    std::vector<Tick> write_done;
+    for (unsigned i = 0; i < 2; ++i) {
+        nand.write(Address{0, 0, 0, i},
+                   PageBuffer(f.geo.pageSize, std::uint8_t(i + 1)),
+                   [&](Status st) {
+            EXPECT_EQ(st, Status::Ok);
+            write_done.push_back(f.sim.now());
+        },
+                   7);
+    }
+    Tick read_done = 0;
+    const Tick issue = 2 * wire + f.timing.programUs / 2;
+    f.sim.scheduleAt(issue, [&]() {
+        nand.read(Address{0, 0, 0, 3},
+                  [&](ReadResult) { read_done = f.sim.now(); });
+    });
+    f.sim.run();
+    ASSERT_EQ(write_done.size(), 2u);
+    EXPECT_EQ(nand.coalescedPrograms(), 1u);
+    EXPECT_EQ(nand.suspendedPrograms(), 1u);
+    EXPECT_EQ(nand.resumedPrograms(), 1u);
+    const Tick inserted = f.timing.suspendUs + f.timing.readUs +
+        f.timing.resumeUs;
+    // Both window pages shift by exactly the one inserted delay:
+    // the window parks and resumes as a unit, and each page still
+    // pays its full tPROG from data arrival.
+    EXPECT_EQ(write_done[0], wire + f.timing.programUs + inserted +
+                  f.timing.controllerOverhead);
+    EXPECT_EQ(write_done[1], 2 * wire + f.timing.programUs +
+                  inserted + f.timing.controllerOverhead);
+    EXPECT_LT(read_done, write_done[0]);
+    // Data landed despite the shared, suspended window.
+    for (unsigned i = 0; i < 2; ++i)
+        EXPECT_EQ(nand.store().read(Address{0, 0, 0, i}),
+                  PageBuffer(f.geo.pageSize, std::uint8_t(i + 1)));
+}
+
+TEST(NandArray, EraseSuspension)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    nand.write(Address{0, 0, 2, 0}, PageBuffer(f.geo.pageSize, 1),
+               [](Status) {});
+    f.sim.run();
+    Tick base = f.sim.now();
+    Tick erase_done = 0, read_done = 0;
+    nand.erase(Address{0, 0, 2, 0}, [&](Status st) {
+        EXPECT_EQ(st, Status::Ok);
+        erase_done = f.sim.now();
+    });
+    const Tick issue = base + f.timing.eraseUs / 2;
+    f.sim.scheduleAt(issue, [&]() {
+        nand.read(Address{0, 0, 0, 0},
+                  [&](ReadResult) { read_done = f.sim.now(); });
+    });
+    f.sim.run();
+    const Tick inserted = f.timing.suspendUs + f.timing.readUs +
+        f.timing.resumeUs;
+    EXPECT_EQ(erase_done, base + f.timing.eraseUs + inserted +
+                  f.timing.controllerOverhead);
+    EXPECT_EQ(read_done, issue + f.timing.suspendUs +
+                  f.timing.readUs + wireTime(f.geo, f.timing) +
+                  f.timing.controllerOverhead);
+    EXPECT_EQ(nand.suspendedErases(), 1u);
+    EXPECT_EQ(nand.resumedErases(), 1u);
+    EXPECT_EQ(nand.suspendedPrograms(), 0u);
+    EXPECT_EQ(nand.backgroundErases(), 1u);
+    EXPECT_FALSE(nand.store().isProgrammed(Address{0, 0, 2, 0}));
+}
+
+TEST(NandArray, PriorityReadJumpsQueuedProgram)
+{
+    // A read arriving while a SENSE runs cannot suspend it, but a
+    // program queued behind that sense has not started: the read
+    // inserts before it (queue reordering, no suspend penalty) and
+    // the program is displaced by one sense, charged against the
+    // same yield budget.
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    const Tick wire = wireTime(f.geo, f.timing);
+    Tick read0_done = 0, write_done = 0, read1_done = 0;
+    nand.read(Address{0, 0, 0, 0},
+              [&](ReadResult) { read0_done = f.sim.now(); });
+    nand.write(Address{0, 0, 0, 1}, PageBuffer(f.geo.pageSize, 1),
+               [&](Status) { write_done = f.sim.now(); });
+    // During the running sense, with the program queued behind it.
+    f.sim.scheduleAt(f.timing.readUs / 2, [&]() {
+        nand.read(Address{0, 0, 0, 2},
+                  [&](ReadResult) { read1_done = f.sim.now(); });
+    });
+    f.sim.run();
+    EXPECT_EQ(nand.displacedPrograms(), 1u);
+    EXPECT_EQ(nand.suspendedPrograms(), 0u);
+    // The priority read senses right after the running sense,
+    // before the program.
+    EXPECT_EQ(read1_done, 2 * f.timing.readUs + wire +
+                  f.timing.controllerOverhead);
+    // The program starts one sense later than it would have.
+    EXPECT_EQ(write_done, 2 * f.timing.readUs + f.timing.programUs +
+                  f.timing.controllerOverhead);
+    EXPECT_LT(read0_done, read1_done);
+}
+
+TEST(NandArray, BusBusyUntilTracksCurrentTransfer)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    EXPECT_EQ(nand.busBusyUntil(0), 0u);
+    nand.read(Address{0, 0, 0, 0}, [](ReadResult) {});
+    f.sim.runUntil(f.timing.readUs);
+    EXPECT_EQ(nand.queuedTransfers(0), 0u);
+    f.sim.run();
+    // The last transfer's end is still recorded.
+    EXPECT_EQ(nand.busBusyUntil(0),
+              f.timing.readUs + wireTime(f.geo, f.timing));
+}
+
+TEST(NandArray, PartialReadOutTransfersOnlyCoveredWords)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    PageBuffer data(f.geo.pageSize);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    nand.write(Address{0, 0, 0, 0}, data, [](Status) {});
+    f.sim.run();
+
+    // An unaligned 100-byte range: data must match exactly and the
+    // completion must only pay the covered words' wire time.
+    const std::uint32_t off = 13, len = 100;
+    Tick start = f.sim.now();
+    Tick done_at = 0;
+    PageBuffer got;
+    nand.read(Address{0, 0, 0, 0},
+              [&](ReadResult res) {
+        got = std::move(res.data);
+        done_at = f.sim.now();
+    },
+              flash::Priority::Read, off, len);
+    f.sim.run();
+    ASSERT_EQ(got.size(), len);
+    EXPECT_TRUE(std::equal(got.begin(), got.end(),
+                           data.begin() + off));
+    std::uint32_t words = (off + len + 7) / 8 - off / 8;
+    Tick wire = sim::transferTicks(words * 9ull,
+                                   f.timing.busBytesPerSec);
+    EXPECT_EQ(done_at - start, f.timing.readUs + wire +
+                  f.timing.controllerOverhead);
+}
+
+TEST(NandArray, PartialReadOutSurvivesErrorInjection)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing, 55);
+    PageBuffer data(f.geo.pageSize, 0xc3);
+    nand.write(Address{0, 0, 0, 0}, data, [](Status) {});
+    f.sim.run();
+    nand.setBitErrorRate(5e-5);
+    int checked = 0;
+    for (int i = 0; i < 100; ++i) {
+        nand.read(Address{0, 0, 0, 0},
+                  [&](ReadResult res) {
+            if (res.status != Status::Uncorrectable) {
+                ASSERT_EQ(res.data.size(), 64u);
+                EXPECT_EQ(res.data, PageBuffer(64, 0xc3));
+                ++checked;
+            }
+        },
+                  flash::Priority::Read, 128, 64);
+        f.sim.run();
+    }
+    EXPECT_GT(checked, 80);
 }
