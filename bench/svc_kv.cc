@@ -195,11 +195,316 @@ runConfig(unsigned nodes, bool zipfian, double theta, bool open_loop,
     return r;
 }
 
+// ---------------------------------------------------------------- //
+// Elastic membership scenarios: node kill + throttled rebuild, and
+// ring expansion -- both under live closed-loop serving load.
+// ---------------------------------------------------------------- //
+
+/** One measured phase of a membership scenario. */
+struct MemberPhase
+{
+    double tput = 0.0;
+    double p50us = 0.0, p99us = 0.0;
+    std::uint64_t rejected = 0;
+};
+
+struct MemberResult
+{
+    MemberPhase steady;  //!< everyone healthy
+    MemberPhase window;  //!< crash detection / join handoff window
+    MemberPhase rebuild; //!< serving while the rebuild streams
+    MemberPhase post;    //!< recovered, everyone back
+    std::uint64_t readTimeouts = 0, retriedReads = 0;
+    std::uint64_t deadTransitions = 0, degradedWrites = 0;
+    std::uint64_t backoffs = 0;
+    std::uint64_t rebuildRepairs = 0; //!< repairs applied on victim
+    /** NAND background-class traffic over the rebuild window: the
+     * recovery stream is accounted as maintenance, not serving. */
+    std::uint64_t bgReads = 0, bgWrites = 0;
+    std::uint64_t movedKeys = 0;  //!< join/leave catch-up pushes
+    std::uint64_t ringEpoch = 0;
+    std::uint64_t divergentFinal = 0; //!< after the final sweep
+};
+
+/** Sum of background-class NAND ops across the cluster. */
+void
+sumBackground(core::Cluster &cluster, unsigned nodes,
+              std::uint64_t &reads, std::uint64_t &writes)
+{
+    reads = writes = 0;
+    for (unsigned n = 0; n < nodes; ++n) {
+        for (unsigned c = 0; c < cluster.node(n).cardCount(); ++c) {
+            const auto &nand = cluster.node(n).card(c).nand();
+            reads += nand.backgroundReads();
+            writes += nand.backgroundWrites();
+        }
+    }
+}
+
+/**
+ * Fail-stop crash of one node under 20-node-class Zipfian serving
+ * load, then a Background-priority rebuild, across four measured
+ * phases: steady, kill window (the crash lands mid-phase, so
+ * detection timeouts and failover retries are inside the
+ * measurement), rebuild window (the anti-entropy stream runs under
+ * live load from the surviving clients), and recovered. A final
+ * quiesced sweep must report zero divergence.
+ *
+ * @p tight uses sanitizer-friendly detection knobs so the smoke
+ * variant spends milliseconds, not simulated seconds.
+ */
+MemberResult
+runKillRebuild(unsigned nodes, std::uint64_t phase_ops, bool tight)
+{
+    sim::Simulator sim;
+    core::ClusterParams cp;
+    cp.topology = net::Topology::ring(nodes, nodes >= 20 ? 4 : 2);
+    cp.node.geometry = kvGeometry();
+    cp.node.timing = flash::Timing{};
+    cp.node.cards = 2;
+    cp.node.controllerTags = 128;
+    cp.network.endpoints = kv::kvRequiredEndpoints;
+    core::Cluster cluster(sim, cp);
+
+    kv::KvParams kp;
+    kp.replication = 2;
+    kp.writeQuorum = 1;
+    kp.cacheSlots = 256;
+    if (tight) {
+        kp.readTimeoutUs = 1000;
+        kp.writeTimeoutUs = 4000;
+        kp.suspectAfter = 2;
+        kp.deadGraceUs = 2000;
+    }
+    kv::KvRouter router(sim, cluster, kp);
+    kv::KvService service(sim, router);
+
+    workload::WorkloadParams wp;
+    wp.keys = 10000;
+    wp.valueBytes = 256;
+    wp.mix.readFrac = 0.95;
+    wp.zipfian = true;
+    wp.theta = 0.99;
+    wp.clientsPerNode = 8;
+    wp.pipeline = 4;
+    wp.client.window = 8;
+    wp.client.queueCap = 1024;
+    wp.honorRetryAfter = true;
+    wp.totalOps = phase_ops;
+    wp.seed = 99;
+    workload::WorkloadEngine engine(sim, cluster, router, service,
+                                    wp);
+
+    bool loaded = false;
+    engine.preload([&]() { loaded = true; });
+    sim.run();
+    if (!loaded)
+        sim::fatal("kill bench preload did not finish");
+
+    auto snap = [&]() {
+        MemberPhase p;
+        p.tput = engine.throughputOpsPerSec();
+        p.p50us = sim::ticksToUs(engine.allLatency().p50());
+        p.p99us = sim::ticksToUs(engine.allLatency().p99());
+        p.rejected = engine.rejectedOps();
+        return p;
+    };
+    auto phase = [&](const char *name) {
+        bool done = false;
+        engine.runPhase(phase_ops, [&]() { done = true; });
+        sim.run();
+        if (!done)
+            sim::fatal("kill bench %s phase did not finish", name);
+        return snap();
+    };
+
+    MemberResult r;
+    r.steady = phase("steady");
+
+    // The crash lands mid-phase: the window measurement contains
+    // the victim's dying in-flight ops, the detection timeouts,
+    // the failover retries and the degraded-quorum writes.
+    const net::NodeId victim(nodes - 1);
+    bool window_done = false;
+    engine.runPhase(phase_ops, [&]() { window_done = true; });
+    engine.pauseNode(victim);
+    router.killNode(victim);
+    sim.run();
+    if (!window_done)
+        sim::fatal("kill bench window phase did not finish");
+    r.window = snap();
+    r.readTimeouts = router.readTimeouts();
+    r.retriedReads = router.retriedReads();
+    r.deadTransitions = router.deadTransitions();
+    r.degradedWrites = router.degradedWrites();
+    if (router.member(victim) != kv::MemberState::Dead)
+        sim::fatal("victim not detected dead by end of window");
+
+    // Restart + rebuild under live load: the recovery stream rides
+    // flash Priority::Background while the surviving clients keep
+    // serving; the victim's own clients return when it does.
+    std::uint64_t bg_reads0 = 0, bg_writes0 = 0;
+    sumBackground(cluster, nodes, bg_reads0, bg_writes0);
+    router.reviveNode(victim);
+    bool rebuilt = false;
+    router.rebuildNode(victim, [&]() {
+        rebuilt = true;
+        engine.resumeNode(victim);
+    });
+    bool rebuild_done = false;
+    engine.runPhase(phase_ops, [&]() { rebuild_done = true; });
+    sim.run();
+    if (!rebuilt || !rebuild_done)
+        sim::fatal("kill bench rebuild phase did not finish");
+    r.rebuild = snap();
+    r.rebuildRepairs =
+        router.shard(victim).repairsApplied();
+    std::uint64_t bg_reads1 = 0, bg_writes1 = 0;
+    sumBackground(cluster, nodes, bg_reads1, bg_writes1);
+    r.bgReads = bg_reads1 - bg_reads0;
+    r.bgWrites = bg_writes1 - bg_writes0;
+    if (router.member(victim) != kv::MemberState::Live)
+        sim::fatal("victim not live after rebuild");
+
+    // Recovered: the full client population serves again.
+    r.post = phase("post");
+    r.backoffs = engine.backoffs();
+
+    // Quiesced final sweep: the crash window's divergence must be
+    // fully healed.
+    bool swept = false;
+    router.repairSweep([&]() { swept = true; });
+    sim.run();
+    if (!swept)
+        sim::fatal("kill bench final sweep did not finish");
+    r.divergentFinal = router.divergentWrites();
+    return r;
+}
+
+/**
+ * Ring expansion under live load: @p nodes serving (cluster built
+ * with one extra Standby node and KvParams::activeNodes), the join
+ * issued mid-phase so the dual-write handoff, Background catch-up
+ * sweep and atomic flip all land inside the window measurement.
+ */
+MemberResult
+runExpand(unsigned nodes, std::uint64_t phase_ops, bool tight)
+{
+    sim::Simulator sim;
+    core::ClusterParams cp;
+    cp.topology =
+        net::Topology::ring(nodes + 1, nodes + 1 >= 20 ? 4 : 2);
+    cp.node.geometry = kvGeometry();
+    cp.node.timing = flash::Timing{};
+    cp.node.cards = 2;
+    cp.node.controllerTags = 128;
+    cp.network.endpoints = kv::kvRequiredEndpoints;
+    core::Cluster cluster(sim, cp);
+
+    kv::KvParams kp;
+    kp.replication = 2;
+    kp.writeQuorum = 1;
+    kp.cacheSlots = 256;
+    kp.activeNodes = nodes; // the last node starts Standby
+    // Throttle the catch-up stream harder than the anti-entropy
+    // default: the handoff moves a large slice of the key space
+    // while every node keeps serving, and a wide-open chunk eats
+    // the controller tags foreground reads need.
+    kp.repairChunk = 16;
+    if (tight) {
+        kp.readTimeoutUs = 1000;
+        kp.writeTimeoutUs = 4000;
+        kp.suspectAfter = 2;
+        kp.deadGraceUs = 2000;
+    }
+    kv::KvRouter router(sim, cluster, kp);
+    kv::KvService service(sim, router);
+
+    workload::WorkloadParams wp;
+    wp.keys = 10000;
+    wp.valueBytes = 256;
+    wp.mix.readFrac = 0.95;
+    wp.zipfian = true;
+    wp.theta = 0.99;
+    wp.clientsPerNode = 8;
+    wp.clientNodes = nodes; // no sessions on the standby node
+    wp.pipeline = 4;
+    wp.client.window = 8;
+    wp.client.queueCap = 1024;
+    wp.honorRetryAfter = true;
+    wp.totalOps = phase_ops;
+    wp.seed = 99;
+    workload::WorkloadEngine engine(sim, cluster, router, service,
+                                    wp);
+
+    bool loaded = false;
+    engine.preload([&]() { loaded = true; });
+    sim.run();
+    if (!loaded)
+        sim::fatal("expand bench preload did not finish");
+
+    auto snap = [&]() {
+        MemberPhase p;
+        p.tput = engine.throughputOpsPerSec();
+        p.p50us = sim::ticksToUs(engine.allLatency().p50());
+        p.p99us = sim::ticksToUs(engine.allLatency().p99());
+        p.rejected = engine.rejectedOps();
+        return p;
+    };
+    auto phase = [&](const char *name) {
+        bool done = false;
+        engine.runPhase(phase_ops, [&]() { done = true; });
+        sim.run();
+        if (!done)
+            sim::fatal("expand bench %s phase did not finish",
+                       name);
+        return snap();
+    };
+
+    MemberResult r;
+    r.steady = phase("steady");
+
+    // The join lands mid-phase; sim.run() drains both the phase
+    // and the handoff, whichever finishes first.
+    const net::NodeId joiner(nodes);
+    bool joined = false;
+    bool window_done = false;
+    engine.runPhase(phase_ops, [&]() { window_done = true; });
+    router.joinNode(joiner, [&]() { joined = true; });
+    sim.run();
+    if (!window_done || !joined)
+        sim::fatal("expand bench join window did not finish");
+    r.window = snap();
+    if (router.member(joiner) != kv::MemberState::Live)
+        sim::fatal("joiner not live after handoff");
+    r.readTimeouts = router.readTimeouts();
+    r.retriedReads = router.retriedReads();
+    r.degradedWrites = router.degradedWrites();
+    r.movedKeys = router.movedKeys();
+    r.ringEpoch = router.ringEpoch();
+    if (router.shard(joiner).keyCount() == 0)
+        sim::fatal("joiner holds no keys after handoff");
+
+    // Expanded: the new node is a full read/write replica.
+    r.post = phase("post");
+    r.backoffs = engine.backoffs();
+
+    bool swept = false;
+    router.repairSweep([&]() { swept = true; });
+    sim.run();
+    if (!swept)
+        sim::fatal("expand bench final sweep did not finish");
+    r.divergentFinal = router.divergentWrites();
+    return r;
+}
+
 std::vector<RunResult> scaling;
 std::vector<RunResult> skew;
 std::vector<RunResult> skewNoCache;
 std::vector<RunResult> quorumSweep;
 RunResult open_loop_run;
+MemberResult killRun;
+MemberResult expandRun;
 
 void
 runAll()
@@ -231,6 +536,11 @@ runAll()
     // Open loop at 8 nodes: Poisson arrivals, 64 clients x 2000/s
     // = 128k ops/s offered, well under the closed-loop ceiling.
     open_loop_run = runConfig(8, true, 0.99, true, 2000.0, 24000);
+
+    // Elastic membership at rack scale: one node crashes and is
+    // rebuilt under load; a 21st node joins a 20-node serving ring.
+    killRun = runKillRebuild(20, 30000, false);
+    expandRun = runExpand(20, 30000, false);
 }
 
 void
@@ -288,6 +598,40 @@ printTable()
                 (unsigned long long)head.cacheStale,
                 (unsigned long long)head.coalesced,
                 (unsigned long long)head.validated);
+
+    bench::banner("Elastic membership under live load (20 nodes)");
+    std::printf("%22s %12s %9s %9s %10s\n", "phase", "ops/s",
+                "p50(us)", "p99(us)", "rejected");
+    auto mrow = [](const char *name, const MemberPhase &p) {
+        std::printf("%22s %12.0f %9.1f %9.1f %10llu\n", name,
+                    p.tput, p.p50us, p.p99us,
+                    (unsigned long long)p.rejected);
+    };
+    mrow("kill: steady", killRun.steady);
+    mrow("kill: crash window", killRun.window);
+    mrow("kill: rebuild window", killRun.rebuild);
+    mrow("kill: recovered", killRun.post);
+    mrow("join: steady", expandRun.steady);
+    mrow("join: handoff window", expandRun.window);
+    mrow("join: expanded", expandRun.post);
+    std::printf("crash: %llu timeouts, %llu retried reads, %llu "
+                "dead transitions, %llu degraded writes; rebuild "
+                "applied %llu repairs riding %llu background reads "
+                "/ %llu background writes; divergence after final "
+                "sweep %llu.\n",
+                (unsigned long long)killRun.readTimeouts,
+                (unsigned long long)killRun.retriedReads,
+                (unsigned long long)killRun.deadTransitions,
+                (unsigned long long)killRun.degradedWrites,
+                (unsigned long long)killRun.rebuildRepairs,
+                (unsigned long long)killRun.bgReads,
+                (unsigned long long)killRun.bgWrites,
+                (unsigned long long)killRun.divergentFinal);
+    std::printf("join: %llu keys moved, ring epoch %llu, "
+                "divergence after final sweep %llu.\n",
+                (unsigned long long)expandRun.movedKeys,
+                (unsigned long long)expandRun.ringEpoch,
+                (unsigned long long)expandRun.divergentFinal);
 }
 
 void
@@ -440,6 +784,75 @@ main(int argc, char **argv)
         }
         if (std::string(argv[i]) == "--smoke-quorum")
             return smokeQuorum();
+        // Membership smokes (CI, sanitizer preset): the full
+        // crash-rebuild / join scenarios at 4 serving nodes with
+        // tight detection knobs, gated on the robustness contract:
+        // zero divergence after recovery and a transition p99
+        // within 3x of steady state. No JSON side effects.
+        if (std::string(argv[i]) == "--kill-node") {
+            MemberResult r = runKillRebuild(4, 3000, true);
+            std::printf("kill smoke: steady p99 %.1fus, window "
+                        "p99 %.1fus, rebuild p99 %.1fus, %llu "
+                        "repairs, %llu bg writes, divergent "
+                        "%llu\n",
+                        r.steady.p99us, r.window.p99us,
+                        r.rebuild.p99us,
+                        (unsigned long long)r.rebuildRepairs,
+                        (unsigned long long)r.bgWrites,
+                        (unsigned long long)r.divergentFinal);
+            if (r.divergentFinal != 0) {
+                std::fprintf(stderr, "divergence survived the "
+                                     "rebuild + final sweep\n");
+                return 1;
+            }
+            if (r.deadTransitions == 0) {
+                std::fprintf(stderr,
+                             "crash was never detected\n");
+                return 1;
+            }
+            if (r.window.p99us > 3.0 * r.steady.p99us) {
+                std::fprintf(stderr,
+                             "kill-window p99 %.1fus exceeds 3x "
+                             "steady %.1fus\n",
+                             r.window.p99us, r.steady.p99us);
+                return 1;
+            }
+            return 0;
+        }
+        if (std::string(argv[i]) == "--expand") {
+            // Default detection knobs: a join involves no failure
+            // detection, and the tight timeouts sit below the
+            // 4-node steady tail, manufacturing spurious retries.
+            MemberResult r = runExpand(4, 3000, false);
+            std::printf("expand smoke: steady p99 %.1fus, handoff "
+                        "p99 %.1fus, %llu keys moved, epoch %llu, "
+                        "divergent %llu, %llu read timeouts, %llu "
+                        "retried reads, %llu degraded writes\n",
+                        r.steady.p99us, r.window.p99us,
+                        (unsigned long long)r.movedKeys,
+                        (unsigned long long)r.ringEpoch,
+                        (unsigned long long)r.divergentFinal,
+                        (unsigned long long)r.readTimeouts,
+                        (unsigned long long)r.retriedReads,
+                        (unsigned long long)r.degradedWrites);
+            if (r.divergentFinal != 0) {
+                std::fprintf(stderr, "divergence survived the "
+                                     "handoff + final sweep\n");
+                return 1;
+            }
+            if (r.movedKeys == 0 || r.ringEpoch != 1) {
+                std::fprintf(stderr, "join moved no keys\n");
+                return 1;
+            }
+            if (r.window.p99us > 3.0 * r.steady.p99us) {
+                std::fprintf(stderr,
+                             "handoff-window p99 %.1fus exceeds "
+                             "3x steady %.1fus\n",
+                             r.window.p99us, r.steady.p99us);
+                return 1;
+            }
+            return 0;
+        }
     }
     // Smoke mode (CI, sanitizer preset): one tiny hot-key config
     // end to end -- preload, skewed traffic, cache + coalescing +
@@ -523,6 +936,40 @@ main(int argc, char **argv)
     counters.emplace_back("open_p999_us", open_loop_run.p999us);
     counters.emplace_back("open_rejected",
                           double(open_loop_run.rejected));
+    auto mphase = [&](const std::string &p, const MemberPhase &m) {
+        counters.emplace_back(p + "tput_ops", m.tput);
+        counters.emplace_back(p + "p50_us", m.p50us);
+        counters.emplace_back(p + "p99_us", m.p99us);
+    };
+    mphase("member_kill_steady_", killRun.steady);
+    mphase("member_kill_window_", killRun.window);
+    mphase("member_kill_rebuild_", killRun.rebuild);
+    mphase("member_kill_post_", killRun.post);
+    counters.emplace_back("member_kill_read_timeouts",
+                          double(killRun.readTimeouts));
+    counters.emplace_back("member_kill_dead_transitions",
+                          double(killRun.deadTransitions));
+    counters.emplace_back("member_kill_degraded_writes",
+                          double(killRun.degradedWrites));
+    counters.emplace_back("member_kill_rebuild_repairs",
+                          double(killRun.rebuildRepairs));
+    counters.emplace_back("member_kill_bg_reads",
+                          double(killRun.bgReads));
+    counters.emplace_back("member_kill_bg_writes",
+                          double(killRun.bgWrites));
+    counters.emplace_back("member_kill_backoffs",
+                          double(killRun.backoffs));
+    counters.emplace_back("member_kill_divergent_final",
+                          double(killRun.divergentFinal));
+    mphase("member_expand_steady_", expandRun.steady);
+    mphase("member_expand_window_", expandRun.window);
+    mphase("member_expand_post_", expandRun.post);
+    counters.emplace_back("member_expand_moved_keys",
+                          double(expandRun.movedKeys));
+    counters.emplace_back("member_expand_ring_epoch",
+                          double(expandRun.ringEpoch));
+    counters.emplace_back("member_expand_divergent_final",
+                          double(expandRun.divergentFinal));
     bench::writeJson("BENCH_kv.json", counters);
     return 0;
 }

@@ -48,6 +48,21 @@ echo "=== sanitize: quorum fault-injection smoke ==="
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ./build-sanitize/svc_kv --smoke-quorum
 
+echo "=== sanitize: node-kill + rebuild smoke ==="
+# Fail-stop crash mid-phase under live load, Background-priority
+# rebuild, final anti-entropy sweep: the binary itself gates zero
+# post-rebuild divergence and a kill-window p99 within 3x of
+# steady state -- under ASan/UBSan.
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ./build-sanitize/svc_kv --kill-node
+
+echo "=== sanitize: ring-expansion smoke ==="
+# A standby node joins mid-phase: dual-write handoff, throttled
+# catch-up, atomic ring flip; gates zero divergence, moved keys,
+# and a handoff-window p99 within 3x of steady -- under ASan/UBSan.
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ./build-sanitize/svc_kv --expand
+
 echo "=== regenerate tracked bench JSONs ==="
 if [[ -x build/ablation_kernel && -x build/svc_kv ]]; then
     ./build/ablation_kernel
@@ -104,5 +119,51 @@ awk -v s="$susp" 'BEGIN { exit !(s + 0 > 0) }' || {
 echo "perf gate ok: tput ${tput20}/${tput4} ops/s (20n/4n)," \
      "W=1 read p99 ${rp99}us, write p99 ${wp99}us," \
      "post-sweep divergence ${div}, ${susp} suspended programs"
+
+echo "=== membership gate (BENCH_kv.json) ==="
+# Elastic-membership floors at 20 nodes: crashing a node must not
+# blow the serving tail past 3x steady state during detection, the
+# rebuild must leave zero divergence and actually ride the
+# Background flash class, and the ring expansion must move keys
+# while holding the same 3x transition bound.
+ksteady="$(bench_field member_kill_steady_p99_us)"
+kwindow="$(bench_field member_kill_window_p99_us)"
+kdiv="$(bench_field member_kill_divergent_final)"
+kbgw="$(bench_field member_kill_bg_writes)"
+krep="$(bench_field member_kill_rebuild_repairs)"
+esteady="$(bench_field member_expand_steady_p99_us)"
+ewindow="$(bench_field member_expand_window_p99_us)"
+ediv="$(bench_field member_expand_divergent_final)"
+emoved="$(bench_field member_expand_moved_keys)"
+if [[ -z "$ksteady" || -z "$kwindow" || -z "$kdiv" || -z "$kbgw" ||
+      -z "$krep" || -z "$esteady" || -z "$ewindow" ||
+      -z "$ediv" || -z "$emoved" ]]; then
+    echo "membership gate: BENCH_kv.json missing fields" >&2
+    exit 1
+fi
+awk -v w="$kwindow" -v s="$ksteady" 'BEGIN { exit !(w + 0 <= 3 * s) }' || {
+    echo "membership gate: kill-window p99 ${kwindow}us > 3x steady ${ksteady}us" >&2
+    exit 1
+}
+awk -v d="$kdiv" 'BEGIN { exit !(d + 0 == 0) }' || {
+    echo "membership gate: divergence survived the rebuild" >&2
+    exit 1
+}
+awk -v r="$krep" -v b="$kbgw" 'BEGIN { exit !(r + 0 > 0 && b + 0 > 0) }' || {
+    echo "membership gate: rebuild applied no background repairs" >&2
+    exit 1
+}
+awk -v w="$ewindow" -v s="$esteady" 'BEGIN { exit !(w + 0 <= 3 * s) }' || {
+    echo "membership gate: handoff-window p99 ${ewindow}us > 3x steady ${esteady}us" >&2
+    exit 1
+}
+awk -v d="$ediv" -v m="$emoved" 'BEGIN { exit !(d + 0 == 0 && m + 0 > 0) }' || {
+    echo "membership gate: expansion left divergence or moved no keys" >&2
+    exit 1
+}
+echo "membership gate ok: kill p99 ${ksteady}->${kwindow}us," \
+     "${krep} rebuild repairs (${kbgw} bg writes), divergence ${kdiv};" \
+     "join p99 ${esteady}->${ewindow}us, ${emoved} keys moved," \
+     "divergence ${ediv}"
 
 echo "=== CI OK ==="

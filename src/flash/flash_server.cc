@@ -325,6 +325,31 @@ FlashServer::deliver(unsigned ifc)
 void
 FlashServer::readDone(Tag tag, PageBuffer data, Status status)
 {
+    TagInfo &info = tagInfo_[tag];
+    if (readFault_ && info.busy && info.job.op == Op::ReadPage) {
+        ReadFaultAction act = readFault_(info.job.addr);
+        if (act.drop) {
+            // The response is lost above the flash server: the
+            // waiter hangs (its timeout machinery owns recovery),
+            // but the delivery slot retires so the interface's
+            // other reads keep flowing in order.
+            ++injectedReadFaults_;
+            info.job.pageSink = nullptr;
+            complete(tag, PageBuffer{}, status);
+            return;
+        }
+        if (act.delayTicks > 0) {
+            // Held response: the tag stays busy for the duration,
+            // backpressuring the interface like a wedged chip.
+            ++injectedReadFaults_;
+            sim_.scheduleAfter(act.delayTicks,
+                               [this, tag, status,
+                                data = std::move(data)]() mutable {
+                complete(tag, std::move(data), status);
+            });
+            return;
+        }
+    }
     complete(tag, std::move(data), status);
 }
 

@@ -192,6 +192,34 @@ class FlashServer : public Client
     void setWriteFault(WriteFault hook) { writeFault_ = std::move(hook); }
     /** Programs failed by the armed hook. */
     std::uint64_t injectedWriteFaults() const { return injectedWriteFaults_; }
+
+    /**
+     * What a read-fault hook does to one page read's RESPONSE (the
+     * command itself executed normally): drop it entirely, or hold
+     * it for delayTicks before delivery. Both-zero means no fault.
+     */
+    struct ReadFaultAction
+    {
+        bool drop = false;        //!< response lost above the server
+        sim::Tick delayTicks = 0; //!< response held this long
+    };
+    /**
+     * Arm a read-fault hook, the response-side sibling of
+     * setWriteFault: every completing page read is offered to the
+     * hook, which may drop its response (the waiter never hears
+     * back -- how a requester experiences a crashed or wedged
+     * node, the timeout-and-failover test vector) or delay it (a
+     * degraded chip / overloaded path). A dropped response still
+     * retires its delivery-stream slot, so later reads on the
+     * interface flow normally -- the hang is scoped to the faulted
+     * request, not the whole interface; a delayed response holds
+     * its tag busy for the duration, so sustained delays backpressure
+     * the interface exactly like a slow chip. Pass nullptr to disarm.
+     */
+    using ReadFault = std::function<ReadFaultAction(const Address &)>;
+    void setReadFault(ReadFault hook) { readFault_ = std::move(hook); }
+    /** Read responses dropped or delayed by the armed hook. */
+    std::uint64_t injectedReadFaults() const { return injectedReadFaults_; }
     ///@}
 
     /** @name Client interface (driven by the splitter port) */
@@ -290,6 +318,8 @@ class FlashServer : public Client
     std::unordered_map<std::uint32_t, std::vector<Address>> atu_;
     WriteFault writeFault_;
     std::uint64_t injectedWriteFaults_ = 0;
+    ReadFault readFault_;
+    std::uint64_t injectedReadFaults_ = 0;
     std::uint32_t nextGroup_ = 1;   //!< batch ids (0 = ungrouped)
     std::uint64_t batchedWrites_ = 0;
     unsigned stagedTotal_ = 0;

@@ -331,7 +331,7 @@ LogFs::writeFilePage(std::uint32_t file_id, std::uint64_t fpage,
 
 void
 LogFs::read(const std::string &name, std::uint64_t offset,
-            std::uint64_t len, ReadDone done)
+            std::uint64_t len, ReadDone done, flash::Priority pri)
 {
     auto it = names_.find(name);
     if (it == names_.end())
@@ -389,7 +389,8 @@ LogFs::read(const std::string &name, std::uint64_t offset,
         // to the reserved spill interface so a read-hot file is not
         // serialized behind the write path's command queue.
         unsigned read_ifc = ifc_;
-        if (params_.spillInterface >= 0 &&
+        if (pri == flash::Priority::Read &&
+            params_.spillInterface >= 0 &&
             server_.queueLength(ifc_) >= params_.readSpreadDepth) {
             read_ifc = unsigned(params_.spillInterface);
             ++spreadReads_;
@@ -409,7 +410,7 @@ LogFs::read(const std::string &name, std::uint64_t offset,
             --ctx->outstanding;
             maybe_finish();
         },
-            flash::Priority::Read, in_page, take);
+            pri, in_page, take);
         pos += take;
     }
     ctx->issued_all = true;

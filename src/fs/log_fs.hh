@@ -159,9 +159,19 @@ class LogFs
      * Read @p len bytes at @p offset of @p name. ok is false when
      * the range covers an uncorrectable page or a poisoned hole
      * left by a failed append.
+     *
+     * @p pri is the flash traffic class of the page reads: serving
+     * gets ride Priority::Read (may suspend programs, drain through
+     * the serving delivery stream); maintenance readers -- replica
+     * rebuild streaming a crashed node back to currency -- pass
+     * Background so recovery I/O never suspends serving programs
+     * and is attributed to the maintenance counters at the NAND.
+     * Background reads also skip read spreading: the spill
+     * interface is reserved headroom for serving tails.
      */
     void read(const std::string &name, std::uint64_t offset,
-              std::uint64_t len, ReadDone done);
+              std::uint64_t len, ReadDone done,
+              flash::Priority pri = flash::Priority::Read);
 
     /**
      * Physical locations of the file's pages, in file order: the

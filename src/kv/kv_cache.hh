@@ -26,6 +26,7 @@
 #define BLUEDBM_KV_KV_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <unordered_map>
 #include <utility>
@@ -106,6 +107,16 @@ class KvCache
 
     /** Drop @p key (deleted, or known stale). */
     void invalidate(Key key);
+
+    /**
+     * Drop every cached key @p pred claims; returns how many went.
+     * The membership layer uses this at a ring flip to purge keys
+     * whose owner set changed: a cached version from the old
+     * owner's counter space must never validate against the new
+     * owner's. A full scan -- the cache is a few hundred slots and
+     * ring flips are rare.
+     */
+    std::size_t invalidateIf(const std::function<bool(Key)> &pred);
 
     std::size_t size() const { return map_.size(); }
 

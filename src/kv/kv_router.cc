@@ -21,11 +21,15 @@ KvRouter::KvRouter(sim::Simulator &sim, core::Cluster &cluster,
                    "cluster has %u",
                    kvRequiredEndpoints,
                    cluster_.network().endpointCount());
-    if (params_.replication == 0 ||
-        params_.replication > cluster_.size() ||
+    unsigned active = params_.activeNodes == 0 ? cluster_.size()
+                                               : params_.activeNodes;
+    if (active > cluster_.size())
+        sim::fatal("activeNodes %u exceeds cluster size %u", active,
+                   cluster_.size());
+    if (params_.replication == 0 || params_.replication > active ||
         params_.replication > maxReplication)
-        sim::fatal("replication factor %u invalid for %u nodes",
-                   params_.replication, cluster_.size());
+        sim::fatal("replication factor %u invalid for %u active "
+                   "nodes", params_.replication, active);
     if (params_.writeQuorum == 0 ||
         params_.writeQuorum > params_.replication)
         sim::fatal("write quorum %u invalid for replication %u",
@@ -34,16 +38,25 @@ KvRouter::KvRouter(sim::Simulator &sim, core::Cluster &cluster,
         sim::fatal("repair chunk must be >= 1");
     if (params_.vnodes == 0)
         sim::fatal("consistent hashing needs >= 1 vnode");
+    if (params_.readRetries >= 2 * maxReplication)
+        sim::fatal("readRetries %u exceeds the per-op target "
+                   "budget", params_.readRetries);
 
-    // Fixed hash ring: vnodes points per node, sorted once. Every
+    // Hash ring: vnodes points per active node, sorted once. Every
     // node derives identical owners with no directory service.
-    ring_.reserve(std::size_t(cluster_.size()) * params_.vnodes);
-    for (unsigned n = 0; n < cluster_.size(); ++n) {
+    // Nodes beyond activeNodes start Standby: provisioned but
+    // owning no keys, joinable later.
+    ring_.reserve(std::size_t(active) * params_.vnodes);
+    for (unsigned n = 0; n < active; ++n) {
         for (unsigned v = 0; v < params_.vnodes; ++v)
             ring_.emplace_back(
                 mix64((std::uint64_t(n) << 32) | v), NodeId(n));
     }
     std::sort(ring_.begin(), ring_.end());
+
+    members_.resize(cluster_.size());
+    for (unsigned n = active; n < cluster_.size(); ++n)
+        members_[n].state = MemberState::Standby;
 
     if (params_.logStripes == 0)
         sim::fatal("shard log needs >= 1 stripe");
@@ -71,6 +84,19 @@ KvRouter::~KvRouter()
     *alive_ = false;
     if (repairTimer_ != sim::invalidEventId)
         sim_.cancel(repairTimer_);
+    for (Member &m : members_) {
+        if (m.graceTimer != sim::invalidEventId)
+            sim_.cancel(m.graceTimer);
+    }
+    // In-flight operations die with the router: their timers (and
+    // grace timers above) capture `this` raw, so every armed event
+    // must be cancelled before the memory goes away. The pending
+    // callbacks are simply dropped -- nobody is left to hear them.
+    for (auto &[id, op] : pending_) {
+        (void)id;
+        if (op.timer != sim::invalidEventId)
+            sim_.cancel(op.timer);
+    }
 }
 
 void
@@ -80,8 +106,9 @@ KvRouter::armRepairTimer()
         sim::usToTicks(double(params_.repairIntervalUs)), [this]() {
         repairTimer_ = sim::invalidEventId;
         if (sweepRunning_) {
-            // A manual sweep is mid-flight: let it finish and try
-            // again next interval (sweeps never overlap).
+            // A manual sweep (or a membership handoff) is
+            // mid-flight: let it finish and try again next
+            // interval (sweeps never overlap).
             armRepairTimer();
             return;
         }
@@ -89,16 +116,20 @@ KvRouter::armRepairTimer()
     });
 }
 
+// ---------------------------------------------------------------- //
+// Ring geometry
+// ---------------------------------------------------------------- //
+
 unsigned
-KvRouter::ownersFrom(std::size_t ring_index, NodeId *out,
-                     unsigned max) const
+KvRouter::ownersFromRing(const Ring &ring, std::size_t ring_index,
+                         NodeId *out, unsigned max)
 {
     unsigned count = 0;
     for (std::size_t step = 0;
-         step < ring_.size() && count < max; ++step) {
-        if (ring_index == ring_.size())
+         step < ring.size() && count < max; ++step) {
+        if (ring_index == ring.size())
             ring_index = 0;
-        NodeId n = ring_[ring_index].second;
+        NodeId n = ring[ring_index].second;
         if (std::find(out, out + count, n) == out + count)
             out[count++] = n;
         ++ring_index;
@@ -107,12 +138,44 @@ KvRouter::ownersFrom(std::size_t ring_index, NodeId *out,
 }
 
 unsigned
+KvRouter::ownersForHash(const Ring &ring, std::uint64_t h,
+                        NodeId *out, unsigned max)
+{
+    auto it = std::lower_bound(ring.begin(), ring.end(),
+                               std::make_pair(h, NodeId(0)));
+    return ownersFromRing(ring, std::size_t(it - ring.begin()), out,
+                          max);
+}
+
+unsigned
+KvRouter::segmentRanges(const Ring &ring, std::size_t seg,
+                        std::uint64_t ranges[2][2])
+{
+    // The arc ending at point seg; segment 0 additionally owns the
+    // wrap-around arc past the last point.
+    unsigned nranges = 0;
+    constexpr std::uint64_t maxHash = ~std::uint64_t(0);
+    if (seg == 0) {
+        ranges[nranges][0] = 0;
+        ranges[nranges][1] = ring.front().first;
+        ++nranges;
+        if (ring.back().first != maxHash) {
+            ranges[nranges][0] = ring.back().first + 1;
+            ranges[nranges][1] = maxHash;
+            ++nranges;
+        }
+    } else {
+        ranges[nranges][0] = ring[seg - 1].first + 1;
+        ranges[nranges][1] = ring[seg].first;
+        ++nranges;
+    }
+    return nranges;
+}
+
+unsigned
 KvRouter::ownersInto(Key key, NodeId *out, unsigned max) const
 {
-    std::uint64_t h = mix64(key);
-    auto it = std::lower_bound(ring_.begin(), ring_.end(),
-                               std::make_pair(h, NodeId(0)));
-    return ownersFrom(std::size_t(it - ring_.begin()), out, max);
+    return ownersForHash(ring_, mix64(key), out, max);
 }
 
 std::vector<NodeId>
@@ -123,11 +186,401 @@ KvRouter::owners(Key key) const
     return out;
 }
 
+// ---------------------------------------------------------------- //
+// Membership
+// ---------------------------------------------------------------- //
+
+MemberState
+KvRouter::member(NodeId n) const
+{
+    return members_.at(n).state;
+}
+
+unsigned
+KvRouter::liveNodes() const
+{
+    unsigned live = 0;
+    for (const Member &m : members_)
+        live += m.state == MemberState::Live ? 1 : 0;
+    return live;
+}
+
+void
+KvRouter::noteTimeout(NodeId n)
+{
+    Member &m = members_[n];
+    ++m.consecTimeouts;
+    if (m.state == MemberState::Live && params_.suspectAfter > 0 &&
+        m.consecTimeouts >= params_.suspectAfter) {
+        m.state = MemberState::Suspect;
+        ++suspectTransitions_;
+        if (params_.deadGraceUs > 0) {
+            // Grace period: a suspect that shows no life before
+            // this fires is declared Dead (writes then skip it and
+            // clamp their quorum -- see issueWrite).
+            m.graceTimer = sim_.scheduleAfter(
+                sim::usToTicks(double(params_.deadGraceUs)),
+                [this, n]() {
+                Member &mm = members_[n];
+                mm.graceTimer = sim::invalidEventId;
+                if (mm.state == MemberState::Suspect) {
+                    mm.state = MemberState::Dead;
+                    ++deadTransitions_;
+                }
+            });
+        }
+    }
+}
+
+void
+KvRouter::noteAlive(NodeId n)
+{
+    Member &m = members_[n];
+    // A crashed node's own local shard completions still route
+    // through completeOne; they are not network proof of life.
+    if (m.crashed)
+        return;
+    m.consecTimeouts = 0;
+    if (m.state == MemberState::Suspect) {
+        // Any response -- even one for a request that already
+        // timed out -- recovers a suspect. Dead stays Dead: it
+        // missed writes while skipped, only a rebuild readmits it.
+        m.state = MemberState::Live;
+        if (m.graceTimer != sim::invalidEventId) {
+            sim_.cancel(m.graceTimer);
+            m.graceTimer = sim::invalidEventId;
+        }
+    }
+}
+
+void
+KvRouter::killNode(NodeId n)
+{
+    Member &m = members_.at(n);
+    if (m.crashed)
+        return;
+    m.crashed = true;
+    // Fail-stop: the node's network agents drop everything from
+    // now (installAgents checks the flag). Detection is NOT
+    // short-circuited -- peers must discover the silence through
+    // the ordinary timeout path, exactly as with a real crash.
+    //
+    // Operations ORIGINATED at the dead node complete with Error:
+    // their clients died with it. Collect ids first -- completions
+    // re-enter the router and mutate pending_.
+    std::vector<std::uint64_t> doomed;
+    for (const auto &[id, op] : pending_) {
+        if (op.origin == n)
+            doomed.push_back(id);
+    }
+    for (std::uint64_t id : doomed) {
+        auto it = pending_.find(id);
+        if (it == pending_.end())
+            continue;
+        PendingOp op = std::move(it->second);
+        pending_.erase(it);
+        if (op.timer != sim::invalidEventId)
+            sim_.cancel(op.timer);
+        if (op.write) {
+            if (op.clientAcked)
+                --backgroundWrites_;
+            // The write may have reached some replicas before the
+            // crash killed its bookkeeping: repair owns the rest.
+            divergent_.insert(op.key);
+            ledgerOpDone(op.key, op.origin, id);
+            if (!op.clientAcked && op.ackDone)
+                op.ackDone(KvStatus::Error);
+            if (op.settled)
+                op.settled();
+        } else if (op.getDone) {
+            op.getDone(PageBuffer{}, KvStatus::Error);
+        }
+    }
+}
+
+void
+KvRouter::reviveNode(NodeId n)
+{
+    Member &m = members_.at(n);
+    if (!m.crashed)
+        sim::fatal("reviveNode(%u): node was not killed", n);
+    m.crashed = false;
+    m.consecTimeouts = 0;
+    if (m.graceTimer != sim::invalidEventId) {
+        sim_.cancel(m.graceTimer);
+        m.graceTimer = sim::invalidEventId;
+    }
+    // Joining, not Live: it receives writes again (so it stops
+    // falling further behind) but serves no reads until
+    // rebuildNode() streamed back what it missed.
+    m.state = MemberState::Joining;
+}
+
+void
+KvRouter::rebuildNode(NodeId n, std::function<void()> done)
+{
+    if (members_.at(n).state != MemberState::Joining)
+        sim::fatal("rebuildNode(%u): node is not Joining", n);
+    // The rebuild IS an anti-entropy sweep: with the node Joining
+    // (reconcilable again), every segment it owns compares unequal
+    // and the sweep pushes the missed history across, reading
+    // sources and appending at Priority::Background so serving
+    // reads never queue behind recovery I/O.
+    repairSweep([this, n, done = std::move(done)]() {
+        Member &m = members_[n];
+        if (m.state == MemberState::Joining) {
+            m.state = MemberState::Live;
+            m.consecTimeouts = 0;
+        }
+        if (done)
+            done();
+    });
+}
+
+void
+KvRouter::startExclusive(std::function<void()> fn)
+{
+    if (sweepRunning_) {
+        pendingExclusive_.push_back(std::move(fn));
+        return;
+    }
+    fn();
+}
+
+void
+KvRouter::releaseExclusive()
+{
+    // Ring changes first (they queued behind a sweep and block
+    // further sweeps while they run), then the queued sweeps.
+    if (!sweepRunning_ && !pendingExclusive_.empty()) {
+        auto fn = std::move(pendingExclusive_.front());
+        pendingExclusive_.erase(pendingExclusive_.begin());
+        fn();
+    }
+    if (!sweepRunning_ && !queuedSweeps_.empty()) {
+        auto waiters = std::make_shared<
+            std::vector<std::function<void()>>>(
+            std::move(queuedSweeps_));
+        queuedSweeps_.clear();
+        repairSweep([waiters]() {
+            for (auto &w : *waiters) {
+                if (w)
+                    w();
+            }
+        });
+    }
+}
+
+void
+KvRouter::joinNode(NodeId n, std::function<void()> done)
+{
+    if (n >= cluster_.size())
+        sim::fatal("joinNode(%u): no such node", n);
+    startExclusive([this, n, done = std::move(done)]() mutable {
+        beginRebalance(n, true, std::move(done));
+    });
+}
+
+void
+KvRouter::leaveNode(NodeId n, std::function<void()> done)
+{
+    if (n >= cluster_.size())
+        sim::fatal("leaveNode(%u): no such node", n);
+    startExclusive([this, n, done = std::move(done)]() mutable {
+        beginRebalance(n, false, std::move(done));
+    });
+}
+
+struct KvRouter::SweepState
+{
+    std::function<void()> done;
+    std::size_t nextSeg = 0;
+    unsigned outstanding = 0; //!< async repairs in flight
+    /** Traversal parked on the in-flight cap (repairChunk): the
+     * next repair completion below the cap restarts it. Without
+     * this, a rebalance catch-up issues every push in one tick and
+     * floods the controller tags foreground reads need. */
+    bool stalled = false;
+    bool traversalDone = false;
+    /** Join/leave catch-up: traverse the finer ring, reconcile
+     * old-union-new owner sets, count movedKeys, never prune. */
+    bool rebalance = false;
+    /** Tombstones below this stamp may prune on consistent ranges:
+     * older than every write in flight when the sweep started. */
+    std::uint64_t pruneBelow = 0;
+};
+
+void
+KvRouter::beginRebalance(NodeId n, bool joining,
+                         std::function<void()> done)
+{
+    // Re-validate here: the request may have queued behind a sweep
+    // and the world may have moved underneath it.
+    Member &m = members_[n];
+    if (joining) {
+        if (m.state != MemberState::Standby || m.crashed)
+            sim::fatal("joinNode(%u): node is not Standby", n);
+    } else {
+        if (m.state != MemberState::Live)
+            sim::fatal("leaveNode(%u): node is not Live", n);
+    }
+
+    auto rb = std::make_unique<Rebalance>();
+    rb->oldRing = ring_;
+    rb->newRing = ring_;
+    if (joining) {
+        rb->newRing.reserve(ring_.size() + params_.vnodes);
+        for (unsigned v = 0; v < params_.vnodes; ++v)
+            rb->newRing.emplace_back(
+                mix64((std::uint64_t(n) << 32) | v), n);
+        std::sort(rb->newRing.begin(), rb->newRing.end());
+    } else {
+        rb->newRing.erase(
+            std::remove_if(rb->newRing.begin(), rb->newRing.end(),
+                           [n](const std::pair<std::uint64_t,
+                                               NodeId> &p) {
+                return p.second == n;
+            }),
+            rb->newRing.end());
+        std::vector<bool> seen(cluster_.size(), false);
+        unsigned distinct = 0;
+        for (const auto &p : rb->newRing) {
+            if (!seen[p.second]) {
+                seen[p.second] = true;
+                ++distinct;
+            }
+        }
+        if (distinct < params_.replication)
+            sim::fatal("leaveNode(%u): %u nodes left cannot hold "
+                       "%u replicas", n, distinct,
+                       params_.replication);
+    }
+    // The finer ring (superset of points: new for a join, old for
+    // a leave) is the granularity whose segments have constant
+    // owner sets under BOTH rings -- what the catch-up walks.
+    rb->finer = joining ? &rb->newRing : &rb->oldRing;
+    rb->node = n;
+    rb->joining = joining;
+    rb->done = std::move(done);
+    if (joining)
+        m.state = MemberState::Joining;
+
+    // Phase 1 from here: issueWrite sees rebalance_ and dual-writes
+    // to the union owner set; the traversal below copies history.
+    // sweepRunning_ doubles as the exclusive lock -- no ordinary
+    // sweep (whose segment geometry assumes a stable ring) and no
+    // second membership change can start mid-handoff.
+    rebalance_ = std::move(rb);
+    sweepRunning_ = true;
+    auto state = std::make_shared<SweepState>();
+    state->rebalance = true;
+    sweepChunk(state);
+}
+
+void
+KvRouter::rebalanceSegment(std::shared_ptr<SweepState> state,
+                           std::size_t seg)
+{
+    const Rebalance &rb = *rebalance_;
+    std::uint64_t ranges[2][2];
+    unsigned nranges = segmentRanges(*rb.finer, seg, ranges);
+    for (unsigned r = 0; r < nranges; ++r) {
+        std::uint64_t lo = ranges[r][0], hi = ranges[r][1];
+        // Replica set of this arc: the union of its owners under
+        // the old and the new ring (constant across the arc, by
+        // choice of the finer ring). The newest-stamped state of
+        // every key in the arc ends up on every union member --
+        // in particular on the next owners that lack it.
+        NodeId uni[maxReplication];
+        unsigned nuni =
+            ownersForHash(rb.oldRing, lo, uni, params_.replication);
+        NodeId nown[maxReplication];
+        unsigned nnew =
+            ownersForHash(rb.newRing, lo, nown, params_.replication);
+        for (unsigned i = 0; i < nnew; ++i) {
+            if (std::find(uni, uni + nuni, nown[i]) != uni + nuni)
+                continue;
+            if (nuni >= maxReplication)
+                sim::fatal("owner union exceeds maxReplication");
+            uni[nuni++] = nown[i];
+        }
+        // Only reconcilable members participate; a Dead or crashed
+        // replica keeps its divergence marks for a later sweep.
+        NodeId rec[maxReplication];
+        unsigned nrec = 0;
+        for (unsigned i = 0; i < nuni; ++i) {
+            MemberState ms = members_[uni[i]].state;
+            if (!members_[uni[i]].crashed &&
+                (ms == MemberState::Live ||
+                 ms == MemberState::Suspect ||
+                 ms == MemberState::Joining))
+                rec[nrec++] = uni[i];
+        }
+        if (nrec >= 2)
+            sweepRange(state, rec, nrec, lo, hi, false);
+    }
+}
+
+void
+KvRouter::finishRebalance(const std::shared_ptr<SweepState> &state)
+{
+    (void)state;
+    // Phase 2, the flip: atomic within the event -- every operation
+    // issued after this line routes on the new ring.
+    std::unique_ptr<Rebalance> rb = std::move(rebalance_);
+    Ring old_ring = std::move(rb->oldRing);
+    ring_ = std::move(rb->newRing);
+    ++ringEpoch_;
+    Member &m = members_[rb->node];
+    if (rb->joining) {
+        m.state = MemberState::Live;
+        m.consecTimeouts = 0;
+    } else {
+        m.state = MemberState::Standby;
+    }
+    // Purge every cached key whose owner set changed: a cached
+    // version lives in ONE shard's counter space, and the arc that
+    // moved now validates against a different shard. In-flight
+    // conditional gets from before the flip are handled by the
+    // epoch gate in finishGet.
+    for (auto &c : caches_) {
+        if (!c)
+            continue;
+        c->invalidateIf([this, &old_ring](Key k) {
+            NodeId a[maxReplication], b[maxReplication];
+            std::uint64_t h = mix64(k);
+            unsigned na = ownersForHash(old_ring, h, a,
+                                        params_.replication);
+            unsigned nb =
+                ownersForHash(ring_, h, b, params_.replication);
+            if (na != nb)
+                return true;
+            for (unsigned i = 0; i < na; ++i) {
+                if (a[i] != b[i])
+                    return true;
+            }
+            return false;
+        });
+    }
+    sweepRunning_ = false;
+    if (rb->done)
+        rb->done();
+    releaseExclusive();
+}
+
+// ---------------------------------------------------------------- //
+// Read routing
+// ---------------------------------------------------------------- //
+
 NodeId
 KvRouter::readReplica(NodeId origin, Key key) const
 {
     NodeId target;
-    if (steerTarget(origin, key, &target))
+    if (steerTarget(origin, key, &target) &&
+        members_[target].state != MemberState::Dead)
+        return target;
+    bool diverted = false;
+    if (pickReadTarget(origin, key, &target, &diverted))
         return target;
     return defaultReadReplica(origin, key);
 }
@@ -197,24 +650,103 @@ KvRouter::defaultReadReplica(NodeId origin, Key key) const
     return own[origin % count];
 }
 
+bool
+KvRouter::pickReadTarget(NodeId origin, Key key, NodeId *out,
+                         bool *diverted) const
+{
+    NodeId own[maxReplication];
+    unsigned count = ownersInto(key, own, params_.replication);
+    if (count == 0)
+        return false;
+    NodeId plain = own[origin % count];
+    for (unsigned i = 0; i < count; ++i) {
+        if (own[i] == origin) {
+            plain = origin;
+            break;
+        }
+    }
+    // The origin's own shard needs no liveness check -- if the
+    // origin were gone, nobody would be asking.
+    if (plain == origin ||
+        members_[plain].state == MemberState::Live) {
+        *out = plain;
+        *diverted = false;
+        return true;
+    }
+    // Fail over, keeping the origin-keyed spread: a Live owner
+    // first; a Suspect one as last resort (it may merely be slow,
+    // and slow beats Error). Dead and Joining never serve reads --
+    // both are known to be missing writes.
+    const MemberState passes[2] = {MemberState::Live,
+                                   MemberState::Suspect};
+    for (MemberState want : passes) {
+        for (unsigned k = 0; k < count; ++k) {
+            NodeId cand = own[(origin + k) % count];
+            if (members_[cand].state != want)
+                continue;
+            *out = cand;
+            *diverted = cand != plain;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+KvRouter::pickRetryTarget(Key key, NodeId origin,
+                          const NodeId *tried, unsigned ntried,
+                          NodeId *out) const
+{
+    NodeId own[maxReplication];
+    unsigned count = ownersInto(key, own, params_.replication);
+    const MemberState passes[2] = {MemberState::Live,
+                                   MemberState::Suspect};
+    for (MemberState want : passes) {
+        for (unsigned i = 0; i < count; ++i) {
+            NodeId cand = own[i];
+            if (cand == origin ||
+                members_[cand].state != want)
+                continue;
+            if (std::find(tried, tried + ntried, cand) !=
+                tried + ntried)
+                continue;
+            *out = cand;
+            return true;
+        }
+    }
+    return false;
+}
+
 void
 KvRouter::get(NodeId origin, Key key, GetDone done)
 {
-    // A ledger-steered read may target a different replica than
-    // the origin's deterministic choice. Shard versions are
-    // per-shard counters and NOT comparable across replicas, so a
-    // steered read must go out unconditional and its result must
-    // not fill the cache -- a cached version from replica A
-    // coincidentally matching replica B's current version would
-    // confirm a stale value. (Steering windows are brief and the
-    // writing origin just invalidated its cached copy anyway, so
-    // this costs ~no hits.)
+    // Routing, in priority order: the read-your-writes steer, then
+    // the liveness-aware deterministic spread. A read that ends up
+    // anywhere but the PLAIN deterministic replica (steered,
+    // failed over, or later retried) must go out unconditional and
+    // must not fill the cache -- shard versions are per-shard
+    // counters, and a cached version from replica A coincidentally
+    // matching replica B's counter would confirm a stale value.
     NodeId replica;
     bool steered = false;
-    if (steerTarget(origin, key, &replica))
+    NodeId steer;
+    if (steerTarget(origin, key, &steer) &&
+        members_[steer].state != MemberState::Dead) {
+        replica = steer;
         steered = replica != defaultReadReplica(origin, key);
-    else
-        replica = defaultReadReplica(origin, key);
+    } else {
+        bool diverted = false;
+        if (!pickReadTarget(origin, key, &replica, &diverted)) {
+            // Every owner is Dead or Joining: nothing can serve
+            // this read. Fail asynchronously -- callers expect it.
+            ++failedReads_;
+            sim_.scheduleAfter(0, [done = std::move(done)]() {
+                done(PageBuffer{}, KvStatus::Error);
+            });
+            return;
+        }
+        steered = diverted;
+    }
     if (replica == origin) {
         ++localOps_;
         shards_[origin]->get(key,
@@ -239,13 +771,16 @@ KvRouter::get(NodeId origin, Key key, GetDone done)
     }
     std::uint64_t id = nextReqId_++;
     PendingOp &op = pending_[id];
+    op.sent[0] = replica;
+    op.sentCount = 1;
+    op.attempts = 1;
     op.remaining = 1;
-    op.total = 1;
     op.getDone = std::move(done);
     op.key = key;
     op.origin = origin;
     op.cachedVersion = cached_version;
     op.steered = steered;
+    op.epoch = ringEpoch_;
 
     KvRequest req;
     req.reqId = id;
@@ -255,11 +790,34 @@ KvRouter::get(NodeId origin, Key key, GetDone done)
     cluster_.network()
         .endpoint(origin, epKvService)
         .send(replica, kvHeaderBytes, std::move(req));
+    if (params_.readTimeoutUs > 0)
+        armOpTimer(id, params_.readTimeoutUs);
 }
+
+// ---------------------------------------------------------------- //
+// Write path
+// ---------------------------------------------------------------- //
 
 void
 KvRouter::put(NodeId origin, Key key, PageBuffer value, AckDone done,
               SettledDone settled)
+{
+    issueWrite(origin, key, KvOp::Put, std::move(value),
+               std::move(done), std::move(settled));
+}
+
+void
+KvRouter::del(NodeId origin, Key key, AckDone done,
+              SettledDone settled)
+{
+    issueWrite(origin, key, KvOp::Delete, PageBuffer{},
+               std::move(done), std::move(settled));
+}
+
+void
+KvRouter::issueWrite(NodeId origin, Key key, KvOp kvop,
+                     PageBuffer value, AckDone done,
+                     SettledDone settled)
 {
     // The origin's cached copy (if any) is dead the moment the
     // overwrite is issued; validation would catch it, but dropping
@@ -267,90 +825,124 @@ KvRouter::put(NodeId origin, Key key, PageBuffer value, AckDone done,
     if (KvCache *cache = cacheFor(origin))
         cache->invalidate(key);
 
-    std::vector<NodeId> own = owners(key);
+    NodeId own[maxReplication];
+    unsigned count = ownersInto(key, own, params_.replication);
+
+    // Quorum-eligible targets: the current ring's owners minus the
+    // Dead ones. Suspect and Joining owners are still written --
+    // a suspect may merely be slow, and a joining node must stop
+    // falling behind -- but a Dead replica is skipped outright:
+    // waiting out its timeout on every write would put the crash
+    // on the client latency path.
+    NodeId eligible[maxReplication];
+    unsigned nelig = 0;
+    bool clamped = false;
+    for (unsigned i = 0; i < count; ++i) {
+        if (members_[own[i]].state == MemberState::Dead)
+            clamped = true;
+        else
+            eligible[nelig++] = own[i];
+    }
+    if (clamped && nelig > 0) {
+        // Durable on fewer than the configured replicas: certain
+        // divergence, recorded up front so repair owns it, and the
+        // exposure is observable (degradedWrites).
+        divergent_.insert(key);
+        ++degradedWrites_;
+    }
+    if (nelig == 0) {
+        sim_.scheduleAfter(0, [done = std::move(done),
+                               settled = std::move(settled)]() {
+            if (done)
+                done(KvStatus::Error);
+            if (settled)
+                settled();
+        });
+        return;
+    }
+
+    // Dual-write (join/leave phase 1): next-ring-only owners ride
+    // along as aux targets, excluded from the quorum -- the client
+    // never waits on a node that is still catching up, but new
+    // writes stop widening the gap the catch-up sweep must close.
+    NodeId aux[maxReplication];
+    unsigned naux = 0;
+    if (rebalance_) {
+        NodeId nown[maxReplication];
+        unsigned nnew = ownersForHash(rebalance_->newRing,
+                                      mix64(key), nown,
+                                      params_.replication);
+        for (unsigned i = 0; i < nnew; ++i) {
+            if (std::find(own, own + count, nown[i]) != own + count)
+                continue;
+            if (members_[nown[i]].state == MemberState::Dead) {
+                divergent_.insert(key);
+                continue;
+            }
+            aux[naux++] = nown[i];
+        }
+    }
+
     std::uint64_t id = nextReqId_++;
     std::uint64_t stamp = ++nextStamp_;
-    PendingOp &op = pending_[id];
-    op.remaining = unsigned(own.size());
-    op.total = unsigned(own.size());
-    op.quorum = params_.writeQuorum;
-    op.write = true;
-    op.ackDone = std::move(done);
-    op.settled = std::move(settled);
-    op.key = key;
-    op.origin = origin;
-    op.stamp = stamp;
-    ledgerOpen(key, origin, own.data(), unsigned(own.size()));
+    unsigned total = nelig + naux;
+    NodeId targets[2 * maxReplication];
+    {
+        PendingOp &op = pending_[id];
+        for (unsigned i = 0; i < nelig; ++i)
+            op.sent[i] = eligible[i];
+        for (unsigned i = 0; i < naux; ++i)
+            op.sent[nelig + i] = aux[i];
+        op.sentCount = std::uint8_t(total);
+        op.eligible = std::uint8_t(nelig);
+        op.remaining = total;
+        op.quorum = std::min(params_.writeQuorum, nelig);
+        op.write = true;
+        op.ackDone = std::move(done);
+        op.settled = std::move(settled);
+        op.key = key;
+        op.origin = origin;
+        op.stamp = stamp;
+        op.epoch = ringEpoch_;
+        for (unsigned i = 0; i < total; ++i)
+            targets[i] = op.sent[i];
+    }
+    ledgerOpen(key, origin, eligible, nelig);
 
     auto bytes = kvHeaderBytes +
         static_cast<std::uint32_t>(value.size());
-    for (std::size_t i = 0; i < own.size(); ++i) {
+    for (unsigned i = 0; i < total; ++i) {
         // The last replica takes the buffer, the others a copy.
         PageBuffer copy =
-            i + 1 < own.size() ? value : std::move(value);
-        NodeId replica = own[i];
+            i + 1 < total ? value : std::move(value);
+        NodeId replica = targets[i];
         if (replica == origin) {
             ++localOps_;
-            shards_[origin]->put(key, std::move(copy), stamp,
-                                 [this, id, replica](KvStatus st) {
+            auto ack = [this, id, replica](KvStatus st) {
                 completeOne(id, st, PageBuffer{}, 0, replica);
-            });
+            };
+            if (kvop == KvOp::Put)
+                shards_[origin]->put(key, std::move(copy), stamp,
+                                     std::move(ack));
+            else
+                shards_[origin]->del(key, stamp, std::move(ack));
             continue;
         }
         ++remoteOps_;
         KvRequest req;
         req.reqId = id;
         req.key = key;
-        req.op = KvOp::Put;
+        req.op = kvop;
         req.stamp = stamp;
         req.value = std::move(copy);
         cluster_.network()
             .endpoint(origin, epKvService)
-            .send(replica, bytes, std::move(req));
+            .send(replica,
+                  kvop == KvOp::Put ? bytes : kvHeaderBytes,
+                  std::move(req));
     }
-}
-
-void
-KvRouter::del(NodeId origin, Key key, AckDone done,
-              SettledDone settled)
-{
-    if (KvCache *cache = cacheFor(origin))
-        cache->invalidate(key);
-
-    std::vector<NodeId> own = owners(key);
-    std::uint64_t id = nextReqId_++;
-    std::uint64_t stamp = ++nextStamp_;
-    PendingOp &op = pending_[id];
-    op.remaining = unsigned(own.size());
-    op.total = unsigned(own.size());
-    op.quorum = params_.writeQuorum;
-    op.write = true;
-    op.ackDone = std::move(done);
-    op.settled = std::move(settled);
-    op.key = key;
-    op.origin = origin;
-    op.stamp = stamp;
-    ledgerOpen(key, origin, own.data(), unsigned(own.size()));
-
-    for (NodeId n : own) {
-        if (n == origin) {
-            ++localOps_;
-            shards_[origin]->del(key, stamp,
-                                 [this, id, n](KvStatus st) {
-                completeOne(id, st, PageBuffer{}, 0, n);
-            });
-            continue;
-        }
-        ++remoteOps_;
-        KvRequest req;
-        req.reqId = id;
-        req.key = key;
-        req.op = KvOp::Delete;
-        req.stamp = stamp;
-        cluster_.network()
-            .endpoint(origin, epKvService)
-            .send(n, kvHeaderBytes, std::move(req));
-    }
+    if (params_.writeTimeoutUs > 0)
+        armOpTimer(id, params_.writeTimeoutUs);
 }
 
 void
@@ -487,14 +1079,26 @@ KvRouter::installAgents()
     auto &net = cluster_.network();
     for (unsigned n = 0; n < cluster_.size(); ++n) {
         // Shard agent: serve get/put/delete arriving from peers.
+        // The agents outlive nothing -- they capture the liveness
+        // flag because network deliveries already in flight can
+        // fire after the router died; and a crashed node's agent
+        // swallows everything (fail-stop: peers hear silence, the
+        // payload slot still recycles).
         net.endpoint(NodeId(n), epKvService)
-            .setReceiveHandler([this, n](net::Message msg) {
+            .setReceiveHandler([this, alive = alive_,
+                                n](net::Message msg) {
+            if (!*alive)
+                return;
             auto req = msg.payload.take<KvRequest>();
+            if (members_[n].crashed)
+                return;
             NodeId requester = msg.src;
             net::EndpointId reply_ep = req.replyEndpoint;
             serveLocal(NodeId(n), std::move(req),
-                       [this, n, requester,
+                       [this, alive, n, requester,
                         reply_ep](KvResponse resp) {
+                if (!*alive || members_[n].crashed)
+                    return;
                 auto bytes = kvHeaderBytes +
                     static_cast<std::uint32_t>(resp.value.size());
                 cluster_.network()
@@ -504,8 +1108,13 @@ KvRouter::installAgents()
         });
         // Response sink: complete the origin's pending operation.
         net.endpoint(NodeId(n), epKvData)
-            .setReceiveHandler([this](net::Message msg) {
+            .setReceiveHandler([this, alive = alive_,
+                                n](net::Message msg) {
+            if (!*alive)
+                return;
             auto resp = msg.payload.take<KvResponse>();
+            if (members_[n].crashed)
+                return;
             completeOne(resp.reqId, resp.status,
                         std::move(resp.value), resp.version,
                         msg.src);
@@ -557,53 +1166,158 @@ KvRouter::serveLocal(NodeId node, KvRequest req,
 }
 
 void
+KvRouter::armOpTimer(std::uint64_t id, std::uint64_t us)
+{
+    auto it = pending_.find(id);
+    if (it == pending_.end())
+        sim::panic("arming timer for unknown KV request");
+    PendingOp &op = it->second;
+    if (op.timer != sim::invalidEventId)
+        sim_.cancel(op.timer);
+    op.timer = sim_.scheduleAfter(
+        sim::usToTicks(double(us)), [this, id]() {
+        auto it2 = pending_.find(id);
+        if (it2 == pending_.end())
+            return;
+        PendingOp &op2 = it2->second;
+        op2.timer = sim::invalidEventId;
+        // Synthesize a failure for every unresponded target (for a
+        // read there is exactly one: the latest attempt; earlier
+        // ones closed their slots when THEIR timeout retried).
+        // Gather first -- completeOne may retire the op mid-loop.
+        NodeId silent[2 * maxReplication];
+        unsigned nsilent = 0;
+        for (unsigned i = 0; i < op2.sentCount; ++i) {
+            if (!(op2.respondedMask & (1u << i)))
+                silent[nsilent++] = op2.sent[i];
+        }
+        for (unsigned i = 0; i < nsilent; ++i)
+            completeOne(id, KvStatus::Error, PageBuffer{}, 0,
+                        silent[i], true);
+    });
+}
+
+void
 KvRouter::completeOne(std::uint64_t req_id, KvStatus st,
                       PageBuffer value, std::uint64_t version,
-                      NodeId from)
+                      NodeId from, bool timed_out)
 {
     auto it = pending_.find(req_id);
-    if (it == pending_.end())
-        sim::panic("response for unknown KV request %llu",
-                   static_cast<unsigned long long>(req_id));
-    PendingOp &op = it->second;
-    if (st == KvStatus::Ok)
-        ++op.okAcks;
-    else {
-        ++op.failed;
-        if (op.status == KvStatus::Ok)
-            op.status = st;
+    unsigned slot = ~0u;
+    if (it != pending_.end()) {
+        const PendingOp &probe = it->second;
+        for (unsigned i = 0; i < probe.sentCount; ++i) {
+            if (probe.sent[i] == from &&
+                !(probe.respondedMask & (1u << i))) {
+                slot = i;
+                break;
+            }
+        }
     }
-    if (!value.empty())
-        op.value = std::move(value);
-    if (version != 0)
-        op.version = version;
-    bool last = --op.remaining == 0;
+    if (it == pending_.end() || slot == ~0u) {
+        // The request already retired: it timed out (and possibly
+        // failed over), or its origin died. The response is
+        // dropped -- but it is proof its sender is alive, which
+        // matters exactly when the sender was slow enough to be
+        // suspected.
+        ++lateResponses_;
+        noteAlive(from);
+        return;
+    }
+    PendingOp &op = it->second;
+    op.respondedMask |= std::uint16_t(1u << slot);
+    --op.remaining;
+    if (timed_out) {
+        noteTimeout(from);
+        if (op.write)
+            ++writeTimeouts_;
+        else
+            ++readTimeouts_;
+    } else {
+        noteAlive(from);
+    }
 
     if (!op.write) {
-        if (!last)
+        // Read path: one target in flight at a time.
+        if (!timed_out && st != KvStatus::Error) {
+            if (op.timer != sim::invalidEventId)
+                sim_.cancel(op.timer);
+            PendingOp fin = std::move(op);
+            pending_.erase(it);
+            fin.status = st;
+            fin.version = version;
+            fin.value = std::move(value);
+            finishGet(std::move(fin));
             return;
+        }
+        // Timeout or storage error: fail over to another replica.
+        // The retry is unconditional and its result never fills
+        // the cache -- it answers from a different replica's
+        // version space (see get()).
+        NodeId next;
+        if (op.attempts <= params_.readRetries &&
+            pickRetryTarget(op.key, op.origin, op.sent,
+                            op.sentCount, &next)) {
+            ++retriedReads_;
+            ++remoteOps_;
+            op.steered = true;
+            op.cachedVersion = 0;
+            op.sent[op.sentCount++] = next;
+            ++op.attempts;
+            ++op.remaining;
+            KvRequest req;
+            req.reqId = req_id;
+            req.key = op.key;
+            req.op = KvOp::Get;
+            cluster_.network()
+                .endpoint(op.origin, epKvService)
+                .send(next, kvHeaderBytes, std::move(req));
+            if (params_.readTimeoutUs > 0)
+                armOpTimer(req_id, params_.readTimeoutUs);
+            return;
+        }
+        ++failedReads_;
+        if (op.timer != sim::invalidEventId)
+            sim_.cancel(op.timer);
         PendingOp fin = std::move(op);
         pending_.erase(it);
+        fin.status = KvStatus::Error;
+        fin.value = PageBuffer{};
         finishGet(std::move(fin));
         return;
     }
 
-    // Write path. Record which replica acked Ok (durable implies
-    // applied): the bit feeds the read-your-writes steer.
-    if (st == KvStatus::Ok) {
-        auto lit = inflightWrites_.find(op.key);
-        if (lit != inflightWrites_.end()) {
-            const InflightWrite &w = lit->second;
-            for (unsigned i = 0; i < w.ownerCount; ++i) {
-                if (w.owners[i] == from) {
-                    op.ackedMask |= std::uint8_t(1) << i;
-                    if (op.clientAcked)
-                        ledgerLateAck(op.key, op.origin, req_id, i);
-                    break;
+    // Write path. Eligible slots feed the quorum; aux (dual-write
+    // catch-up) slots only feed the divergence set -- the catch-up
+    // sweep owns whatever they miss.
+    if (slot < op.eligible) {
+        if (st == KvStatus::Ok) {
+            ++op.okAcks;
+            // Record which replica acked Ok (durable implies
+            // applied): the bit feeds the read-your-writes steer.
+            auto lit = inflightWrites_.find(op.key);
+            if (lit != inflightWrites_.end()) {
+                const InflightWrite &w = lit->second;
+                for (unsigned i = 0; i < w.ownerCount; ++i) {
+                    if (w.owners[i] == from) {
+                        op.ackedMask |= std::uint8_t(1) << i;
+                        if (op.clientAcked)
+                            ledgerLateAck(op.key, op.origin,
+                                          req_id, i);
+                        break;
+                    }
                 }
             }
+        } else {
+            ++op.failed;
+            if (op.status == KvStatus::Ok)
+                op.status = st;
         }
+    } else if (st != KvStatus::Ok) {
+        divergent_.insert(op.key);
     }
+
+    bool last = op.remaining == 0;
 
     // Quorum decision: the client completes on the W-th Ok, or as
     // soon as the failures make W unreachable. With all replies in,
@@ -614,7 +1328,7 @@ KvRouter::completeOne(std::uint64_t req_id, KvStatus st,
         if (op.okAcks >= op.quorum) {
             op.clientAcked = true;
             fire_client = std::move(op.ackDone);
-        } else if (op.failed > op.total - op.quorum) {
+        } else if (op.failed > op.eligible - op.quorum) {
             op.clientAcked = true;
             fire_client = std::move(op.ackDone);
             client_status = op.status;
@@ -639,18 +1353,20 @@ KvRouter::completeOne(std::uint64_t req_id, KvStatus st,
 
     // Last replica reply: retire the op and the ledger entry, and
     // record divergence (a mixed outcome means some replicas hold
-    // the new value and at least one rolled back -- repairSweep()
-    // owns closing that window; see kv_types.hh).
+    // the new value and at least one rolled back or went silent --
+    // repairSweep() owns closing that window; see kv_types.hh).
+    if (op.timer != sim::invalidEventId)
+        sim_.cancel(op.timer);
     bool was_background = op.clientAcked && !fire_client;
     Key key = op.key;
     NodeId origin = op.origin;
-    unsigned failed = op.failed, total = op.total;
+    unsigned failed = op.failed, eligible = op.eligible;
     SettledDone settled = std::move(op.settled);
     pending_.erase(it);
     ledgerOpDone(key, origin, req_id);
     if (was_background)
         --backgroundWrites_;
-    if (failed != 0 && failed < total)
+    if (failed != 0 && failed < eligible)
         divergent_.insert(key);
     if (fire_client)
         fire_client(client_status);
@@ -659,38 +1375,28 @@ KvRouter::completeOne(std::uint64_t req_id, KvStatus st,
 }
 
 // ---------------------------------------------------------------- //
-// Anti-entropy repair
+// Anti-entropy repair and catch-up traversal
 // ---------------------------------------------------------------- //
 
 /**
- * One sweep in flight: a cursor over the ring's segments plus a
- * count of asynchronous repair pushes still outstanding. The sweep
- * walks segments in chunks (yielding to the event loop between
- * chunks -- repair is maintenance, not serving), compares replica
- * digests per segment, and fires repairs fire-and-forget; done runs
- * only after the cursor finished AND every repair completed.
+ * One sweep (or rebalance catch-up) in flight: a cursor over the
+ * traversed ring's segments plus a count of asynchronous repair
+ * pushes still outstanding. The traversal walks segments in chunks
+ * (yielding to the event loop between chunks -- repair is
+ * maintenance, not serving), compares replica digests per segment,
+ * and fires repairs fire-and-forget; completion runs only after
+ * the cursor finished AND every repair completed.
  */
-struct KvRouter::SweepState
-{
-    std::function<void()> done;
-    std::size_t nextSeg = 0;
-    unsigned outstanding = 0; //!< async repairs in flight
-    bool traversalDone = false;
-    /** Tombstones below this stamp may prune on consistent ranges:
-     * older than every write in flight when the sweep started. */
-    std::uint64_t pruneBelow = 0;
-};
-
 void
 KvRouter::repairSweep(std::function<void()> done)
 {
     if (sweepRunning_) {
-        // A sweep is mid-flight (possibly the periodic timer's):
-        // queue this request and serve every queued caller with one
-        // fresh full sweep once the current one completes. The
-        // completion contract holds -- the caller's done still
-        // fires only after a whole-ring pass that started at or
-        // after the request.
+        // A sweep or membership handoff is mid-flight (possibly
+        // the periodic timer's): queue this request and serve
+        // every queued caller with one fresh full sweep once the
+        // current one completes. The completion contract holds --
+        // the caller's done still fires only after a whole-ring
+        // pass that started at or after the request.
         queuedSweeps_.push_back(std::move(done));
         return;
     }
@@ -711,10 +1417,26 @@ KvRouter::repairSweep(std::function<void()> done)
 void
 KvRouter::sweepChunk(std::shared_ptr<SweepState> state)
 {
+    const bool reb = state->rebalance;
+    std::size_t total =
+        reb ? rebalance_->finer->size() : ring_.size();
     unsigned budget = params_.repairChunk;
-    while (budget-- > 0 && state->nextSeg < ring_.size())
-        sweepSegment(state, state->nextSeg++);
-    if (state->nextSeg < ring_.size()) {
+    while (budget-- > 0 && state->nextSeg < total &&
+           state->outstanding < params_.repairChunk) {
+        if (reb)
+            rebalanceSegment(state, state->nextSeg++);
+        else
+            sweepSegment(state, state->nextSeg++);
+    }
+    if (state->nextSeg < total) {
+        if (state->outstanding >= params_.repairChunk) {
+            // In-flight cap reached: park the traversal until the
+            // pushes drain. This is the throttle that keeps a bulk
+            // catch-up (rebuild, join) from saturating the very
+            // nodes still serving foreground reads.
+            state->stalled = true;
+            return;
+        }
         // Yield between chunks: serving traffic interleaves.
         sim_.scheduleAfter(0, [this, state, alive = alive_]() {
             if (*alive)
@@ -731,25 +1453,19 @@ KvRouter::sweepFinish(const std::shared_ptr<SweepState> &state)
 {
     if (!state->traversalDone || state->outstanding != 0)
         return;
+    if (state->rebalance) {
+        finishRebalance(state);
+        return;
+    }
     sweepRunning_ = false;
     ++repairSweeps_;
     if (state->done)
         state->done();
-    // Requests that arrived mid-sweep get their own full pass (the
-    // done callback above may itself have started one; if so, that
-    // sweep's finish drains the queue instead).
-    if (!queuedSweeps_.empty() && !sweepRunning_) {
-        auto waiters = std::make_shared<
-            std::vector<std::function<void()>>>(
-            std::move(queuedSweeps_));
-        queuedSweeps_.clear();
-        repairSweep([waiters]() {
-            for (auto &w : *waiters) {
-                if (w)
-                    w();
-            }
-        });
-    }
+    // Whoever queued behind this sweep -- a ring change, or repair
+    // requests that arrived mid-sweep -- runs now. (The done
+    // callback above may itself have started a sweep; if so, THAT
+    // sweep's finish drains the queues instead.)
+    releaseExclusive();
 }
 
 void
@@ -758,37 +1474,45 @@ KvRouter::sweepSegment(std::shared_ptr<SweepState> state,
 {
     // Every key hashing into segment seg -- the ring arc ending at
     // point seg -- maps to the same replica set: the first R
-    // distinct nodes walking the ring from that point. Segment 0
-    // additionally owns the wrap-around arc past the last point.
+    // distinct nodes walking the ring from that point.
     NodeId own[maxReplication];
-    unsigned count = ownersFrom(seg, own, params_.replication);
+    unsigned count =
+        ownersFromRing(ring_, seg, own, params_.replication);
     if (count < 2)
         return; // unreplicated: nothing to reconcile
 
     std::uint64_t ranges[2][2];
-    unsigned nranges = 0;
-    constexpr std::uint64_t maxHash = ~std::uint64_t(0);
-    if (seg == 0) {
-        ranges[nranges][0] = 0;
-        ranges[nranges][1] = ring_.front().first;
-        ++nranges;
-        if (ring_.back().first != maxHash) {
-            ranges[nranges][0] = ring_.back().first + 1;
-            ranges[nranges][1] = maxHash;
-            ++nranges;
-        }
-    } else {
-        ranges[nranges][0] = ring_[seg - 1].first + 1;
-        ranges[nranges][1] = ring_[seg].first;
-        ++nranges;
+    unsigned nranges = segmentRanges(ring_, seg, ranges);
+
+    // Reconcilable replicas only: a crashed or Dead copy can
+    // neither answer digests nor take pushes. An incomplete
+    // segment is still reconciled among the survivors, but it
+    // keeps its divergence marks and prunes nothing -- the missing
+    // replica may hold older state that only its tombstones can
+    // kill, and only a sweep that sees the FULL set (after
+    // rebuildNode) may declare the segment clean.
+    NodeId rec[maxReplication];
+    unsigned nrec = 0;
+    for (unsigned i = 0; i < count; ++i) {
+        MemberState ms = members_[own[i]].state;
+        if (!members_[own[i]].crashed &&
+            (ms == MemberState::Live ||
+             ms == MemberState::Suspect ||
+             ms == MemberState::Joining))
+            rec[nrec++] = own[i];
     }
+    bool complete = nrec == count;
+    if (nrec >= 2) {
+        for (unsigned r = 0; r < nranges; ++r)
+            sweepRange(state, rec, nrec, ranges[r][0],
+                       ranges[r][1], complete);
+    }
+    if (!complete)
+        return;
 
-    for (unsigned r = 0; r < nranges; ++r)
-        sweepRange(state, own, count, ranges[r][0], ranges[r][1]);
-
-    // The segment was compared (and any repairs are in flight):
-    // keys here are no longer unaccountedly divergent. A repair
-    // push that FAILS re-marks its key below.
+    // The full segment was compared (and any repairs are in
+    // flight): keys here are no longer unaccountedly divergent. A
+    // repair push that FAILS re-marks its key below.
     if (!divergent_.empty()) {
         for (auto it = divergent_.begin();
              it != divergent_.end();) {
@@ -805,7 +1529,8 @@ KvRouter::sweepSegment(std::shared_ptr<SweepState> state,
 void
 KvRouter::sweepRange(std::shared_ptr<SweepState> state,
                      const NodeId *own, unsigned count,
-                     std::uint64_t lo, std::uint64_t hi)
+                     std::uint64_t lo, std::uint64_t hi,
+                     bool may_prune)
 {
     if (lo > hi)
         return;
@@ -819,10 +1544,14 @@ KvRouter::sweepRange(std::shared_ptr<SweepState> state,
     if (!mismatch) {
         // Digest-identical replicas hold identical tombstones, so
         // dropping the settled ones on every replica at once keeps
-        // the digests equal and the repair index bounded.
-        for (unsigned i = 0; i < count; ++i)
-            shards_[own[i]]->pruneTombstones(lo, hi,
-                                             state->pruneBelow);
+        // the digests equal and the repair index bounded. (Only
+        // when every configured replica took part: see
+        // sweepSegment.)
+        if (may_prune) {
+            for (unsigned i = 0; i < count; ++i)
+                shards_[own[i]]->pruneTombstones(
+                    lo, hi, state->pruneBelow);
+        }
         return;
     }
     // Reconcile ALL replicas at once, not pairwise against the
@@ -879,20 +1608,33 @@ KvRouter::repairKey(std::shared_ptr<SweepState> state, Key key,
                     bool live)
 {
     ++state->outstanding;
-    auto finish = [this, state, key, alive = alive_](KvStatus st) {
+    bool moved = state->rebalance;
+    auto finish = [this, state, key, moved,
+                   alive = alive_](KvStatus st) {
         if (!*alive)
             return;
         if (st == KvStatus::Error)
             divergent_.insert(key); // push failed: still divergent
+        else if (moved)
+            ++movedKeys_; // rebalance copy (handoff traffic)
         else
             ++repairedKeys_; // reconciled (applied or caught up)
         --state->outstanding;
+        if (state->stalled &&
+            state->outstanding < params_.repairChunk) {
+            state->stalled = false;
+            sweepChunk(state);
+            return;
+        }
         sweepFinish(state);
     };
     if (!live) {
         shards_[to]->repairDel(key, stamp, std::move(finish));
         return;
     }
+    // The source read rides Background with the push: recovery
+    // traffic must never suspend a serving program or queue a
+    // serving read behind it.
     shards_[from]->get(
         key,
         [this, key, to, stamp, alive = alive_,
@@ -907,7 +1649,8 @@ KvRouter::repairKey(std::shared_ptr<SweepState> state, Key key,
         }
         shards_[to]->repairPut(key, std::move(v), stamp,
                                std::move(finish));
-    });
+    },
+        flash::Priority::Background);
 }
 
 void
@@ -933,9 +1676,11 @@ KvRouter::finishGet(PendingOp fin)
     if (fin.status == KvStatus::Ok) {
         if (fin.cachedVersion != 0)
             ++cacheStale_; // self-detected: fresh value came back
-        // Steered results carry another replica's version space:
-        // never let them into the cache (see get()).
-        if (cache && !fin.steered)
+        // Steered / failed-over results carry another replica's
+        // version space, and results from before a ring flip may
+        // belong to an owner that no longer serves the key: never
+        // let either into the cache (see get()).
+        if (cache && !fin.steered && fin.epoch == ringEpoch_)
             cache->fill(fin.key, fin.version, fin.value);
     } else if (fin.status == KvStatus::NotFound && cache) {
         cache->invalidate(fin.key);

@@ -29,6 +29,12 @@ KvService::submit(ClientId client, Launch launch,
     Client &c = clients_.at(client);
     if (c.queue.size() >= c.params.queueCap) {
         ++rejected_;
+        // Size the retry-after hint to the backlog: one base unit
+        // per window's worth of queued work, so a client a hundred
+        // windows behind is told to stay away proportionally
+        // longer than one that just grazed the cap.
+        c.retryAfterUs = c.params.retryBaseUs *
+            (1 + c.queue.size() / std::max(1u, c.params.window));
         // Completes on a fresh event like every other path: callers
         // may rely on done never firing re-entrantly.
         sim_.scheduleAfter(0, [reject = std::move(reject)]() {

@@ -61,6 +61,13 @@ class KvService
         /** Operations parked awaiting a window slot before the
          * service starts rejecting with Overloaded. */
         unsigned queueCap = 256;
+        /**
+         * Base of the retry-after hint handed out with Overloaded
+         * rejections: the hint is this many microseconds per
+         * window's worth of queued backlog (so it grows with how
+         * far behind the client actually is). 0 disables hinting.
+         */
+        std::uint64_t retryBaseUs = 20;
     };
 
     KvService(sim::Simulator &sim, KvRouter &router)
@@ -109,6 +116,21 @@ class KvService
         return clients_.at(client).queue.size();
     }
 
+    /**
+     * Retry-after hint of the client's most recent Overloaded
+     * rejection, in simulated microseconds (0 = never rejected, or
+     * hinting disabled). Sized to the backlog at rejection time:
+     * a deeper queue hands out a longer hint. Well-behaved
+     * closed-loop clients (WorkloadParams::honorRetryAfter) pause
+     * for a jittered multiple of this instead of immediately
+     * re-submitting into a full queue -- which matters most while
+     * the cluster is absorbing failover or rebalance load.
+     */
+    std::uint64_t retryAfterUs(ClientId client) const
+    {
+        return clients_.at(client).retryAfterUs;
+    }
+
     /** @name Statistics */
     ///@{
     std::uint64_t admitted() const { return admitted_; }
@@ -129,6 +151,8 @@ class KvService
         ClientParams params;
         unsigned inFlight = 0;
         std::deque<Launch> queue;
+        /** Hint attached to the last Overloaded rejection. */
+        std::uint64_t retryAfterUs = 0;
     };
 
     /** Admit (or reject) one operation for @p client. @p reject

@@ -30,6 +30,11 @@ KvShard::KvShard(sim::Simulator &sim, fs::LogFs &fs,
     }
 }
 
+KvShard::~KvShard()
+{
+    *alive_ = false;
+}
+
 void
 KvShard::put(Key key, PageBuffer value, std::uint64_t stamp,
              AckDone done, flash::Priority pri)
@@ -85,8 +90,11 @@ KvShard::put(Key key, PageBuffer value, std::uint64_t stamp,
     memtable_[key] = std::move(value);
 
     fs_.append(log, std::move(record),
-               [this, key, hash, version, stamp, value_offset, len,
-                record_bytes, done = std::move(done)](bool ok) {
+               [this, alive = alive_, key, hash, version, stamp,
+                value_offset, len, record_bytes,
+                done = std::move(done)](bool ok) {
+        if (!*alive)
+            return; // shard (and its owner) died mid-append
         auto it = index_.find(key);
         bool current =
             it != index_.end() && it->second.version == version;
@@ -157,20 +165,23 @@ KvShard::put(Key key, PageBuffer value, std::uint64_t stamp,
 }
 
 void
-KvShard::get(Key key, GetDone done)
+KvShard::get(Key key, GetDone done, flash::Priority pri)
 {
-    getIfNewer(key, 0, std::move(done));
+    getIfNewer(key, 0, std::move(done), pri);
 }
 
 void
 KvShard::getIfNewer(Key key, std::uint64_t cached_version,
-                    GetDone done)
+                    GetDone done, flash::Priority pri)
 {
     ++gets_;
     auto it = index_.find(key);
     if (it == index_.end()) {
         ++misses_;
-        sim_.scheduleAfter(0, [done = std::move(done)]() {
+        sim_.scheduleAfter(0, [alive = alive_,
+                               done = std::move(done)]() {
+            if (!*alive)
+                return;
             done(PageBuffer{}, KvStatus::NotFound, 0);
         });
         return;
@@ -181,7 +192,10 @@ KvShard::getIfNewer(Key key, std::uint64_t cached_version,
         // probe is the whole cost -- no memtable copy, no flash
         // read, no value bytes.
         ++validatedGets_;
-        sim_.scheduleAfter(0, [version, done = std::move(done)]() {
+        sim_.scheduleAfter(0, [alive = alive_, version,
+                               done = std::move(done)]() {
+            if (!*alive)
+                return;
             done(PageBuffer{}, KvStatus::Ok, version);
         });
         return;
@@ -190,8 +204,11 @@ KvShard::getIfNewer(Key key, std::uint64_t cached_version,
     if (mem != memtable_.end()) {
         ++memtableHits_;
         PageBuffer value = mem->second; // copy: append still owns it
-        sim_.scheduleAfter(0, [version, value = std::move(value),
+        sim_.scheduleAfter(0, [alive = alive_, version,
+                               value = std::move(value),
                                done = std::move(done)]() mutable {
+            if (!*alive)
+                return;
             done(std::move(value), KvStatus::Ok, version);
         });
         return;
@@ -207,8 +224,10 @@ KvShard::getIfNewer(Key key, std::uint64_t cached_version,
     reads_[version].waiters.push_back(std::move(done));
     fs_.read(fileFor(key), it->second.valueOffset,
              it->second.valueLen,
-             [this, version](std::vector<std::uint8_t> data,
-                             bool ok) {
+             [this, alive = alive_,
+              version](std::vector<std::uint8_t> data, bool ok) {
+        if (!*alive)
+            return; // shard died mid-read; waiters died with it
         auto git = reads_.find(version);
         std::vector<GetDone> waiters =
             std::move(git->second.waiters);
@@ -217,7 +236,8 @@ KvShard::getIfNewer(Key key, std::uint64_t cached_version,
         for (std::size_t i = 0; i + 1 < waiters.size(); ++i)
             waiters[i](data, st, version); // copy for all but last
         waiters.back()(std::move(data), st, version);
-    });
+    },
+             pri);
 }
 
 void
@@ -248,8 +268,12 @@ KvShard::del(Key key, std::uint64_t stamp, AckDone done)
     // repair-index state everywhere it DID arrive, or anti-entropy
     // would re-detect the difference on every sweep.
     byHash_[mix64(key)] = HashState{key, stamp, false};
-    sim_.scheduleAfter(0,
-                       [st, done = std::move(done)]() { done(st); });
+    sim_.scheduleAfter(0, [alive = alive_, st,
+                           done = std::move(done)]() {
+        if (!*alive)
+            return;
+        done(st);
+    });
 }
 
 std::uint64_t
@@ -304,7 +328,10 @@ KvShard::repairPut(Key key, PageBuffer value, std::uint64_t stamp,
     if (hit != byHash_.end() && hit->second.stamp >= stamp) {
         // The shard caught up on its own (a newer write landed, or
         // an earlier repair already applied): nothing to push.
-        sim_.scheduleAfter(0, [done = std::move(done)]() {
+        sim_.scheduleAfter(0, [alive = alive_,
+                               done = std::move(done)]() {
+            if (!*alive)
+                return;
             done(KvStatus::Ok);
         });
         return;
@@ -327,7 +354,10 @@ KvShard::repairDel(Key key, std::uint64_t stamp, AckDone done)
 {
     auto hit = byHash_.find(mix64(key));
     if (hit != byHash_.end() && hit->second.stamp >= stamp) {
-        sim_.scheduleAfter(0, [done = std::move(done)]() {
+        sim_.scheduleAfter(0, [alive = alive_,
+                               done = std::move(done)]() {
+            if (!*alive)
+                return;
             done(KvStatus::Ok);
         });
         return;

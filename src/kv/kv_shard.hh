@@ -50,6 +50,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -98,6 +99,16 @@ class KvShard
             unsigned stripes = 1);
 
     /**
+     * Safe to destroy with appends or reads still in flight: the
+     * file system (whose lifetime exceeds the shard's) holds
+     * continuations that capture this shard, and they check a
+     * shared liveness flag before touching it. Outstanding
+     * completions are simply dropped -- their callers died with
+     * the shard's owner.
+     */
+    ~KvShard();
+
+    /**
      * Store @p value under @p key. The index and memtable are
      * updated immediately (reads see the new version at once); the
      * ack fires when the log append is durable on flash, or with
@@ -128,8 +139,15 @@ class KvShard
      * Fetch the live version of @p key: from the memtable when the
      * append is still in flight, else one flash read of the log
      * (shared with any identical get already in flight).
+     *
+     * @p pri is the flash traffic class of the log read: serving
+     * gets ride Priority::Read; maintenance readers (anti-entropy
+     * source reads, replica rebuild) pass Background so recovery
+     * never suspends serving programs. A Background get that
+     * coalesces onto an in-flight serving read simply shares it.
      */
-    void get(Key key, GetDone done);
+    void get(Key key, GetDone done,
+             flash::Priority pri = flash::Priority::Read);
 
     /**
      * Conditional fetch: like get(), but when the live entry's
@@ -139,7 +157,8 @@ class KvShard
      * copy is current. 0 means unconditional.
      */
     void getIfNewer(Key key, std::uint64_t cached_version,
-                    GetDone done);
+                    GetDone done,
+                    flash::Priority pri = flash::Priority::Read);
 
     /**
      * Drop @p key. Index-only (metadata persistence is out of scope
@@ -299,6 +318,10 @@ class KvShard
     sim::Simulator &sim_;
     fs::LogFs &fs_;
     std::vector<std::string> logNames_;
+    /** Flipped by the destructor; continuations held by fs_ / the
+     * simulator check it before touching the shard or invoking
+     * completion callbacks into the (equally dead) owner. */
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
     std::unordered_map<Key, Entry> index_;
     /** Values whose append has not completed yet, newest version. */

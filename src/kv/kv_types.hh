@@ -84,6 +84,70 @@ constexpr unsigned kvRequiredEndpoints = 10;
  *    records (in-flight values are served from the memtable, which
  *    the failure path discards).
  *
+ * Membership / elasticity contract (see MemberState and the
+ * KvRouter membership API):
+ *  - Every ring member is Live, Suspect, Dead or Joining; nodes
+ *    outside the ring (pre-join, post-leave) are Standby. Failure
+ *    detection is timeout-driven: remote requests carry per-request
+ *    timers (KvParams::readTimeoutUs / writeTimeoutUs); a node that
+ *    times out KvParams::suspectAfter consecutive times becomes
+ *    Suspect, and a Suspect node that produces no response for
+ *    KvParams::deadGraceUs becomes Dead. Any response -- even a
+ *    late one for an already-retired request -- is proof of life
+ *    and returns a Suspect node to Live. A Dead node never returns
+ *    on its own: it missed writes while it was skipped, so only an
+ *    explicit rebuild (reviveNode + rebuildNode, or the kill path's
+ *    equivalent) may readmit it, Joining until caught up.
+ *  - What clients observe per state. Reads never target Suspect,
+ *    Dead or Joining replicas while a Live one exists (Suspect is
+ *    the last resort before failing); a read that times out retries
+ *    another readable replica (bounded by KvParams::readRetries),
+ *    so a single crash costs affected reads one timeout + one
+ *    retry, not an error. Writes still address Suspect replicas
+ *    (they may merely be slow) but skip Dead ones entirely: the
+ *    write quorum W clamps to the live+suspect+joining owner count,
+ *    the skipped replica's key is marked divergent immediately, and
+ *    the degradedWrites counter records the exposure (an Ok under
+ *    clamp means durable on fewer than W configured replicas). A
+ *    write with NO addressable owner fails with Error. A write that
+ *    times out on a straggler completes as if that replica failed
+ *    (divergence recorded, repair owns it); the straggler's late
+ *    ack is dropped.
+ *  - Crash + rebuild: killNode() models a fail-stop crash (the node
+ *    drops all requests and responses; in-flight operations
+ *    ORIGINATED there complete with Error -- their clients died
+ *    with the node). Detection then runs the ordinary timeout
+ *    path. reviveNode() readmits the node as Joining -- written
+ *    again, not yet read -- and rebuildNode() streams it back to
+ *    currency with the anti-entropy machinery (stamp digests,
+ *    newest-stamp-wins pushes) at flash Priority::Background, so
+ *    serving reads never queue behind recovery I/O. When the sweep
+ *    completes the node returns to Live and divergentWrites()
+ *    drains to zero.
+ *  - Join / leave (two-phase handoff): joinNode()/leaveNode()
+ *    compute the next ring, then (phase 1) dual-write -- every
+ *    write addresses the union of current and next owners, with
+ *    next-only owners excluded from the quorum -- while a
+ *    Background catch-up sweep walks the union ring's segments and
+ *    pushes each key's newest-stamped state to its next owners.
+ *    Phase 2 flips the ring atomically (ring epoch bumps), drops
+ *    every cached entry whose owner set changed (a version from the
+ *    old owner's counter space must not validate against the new
+ *    owner), and the node becomes Live (join) or Standby (leave).
+ *    In-flight operations drain against the owner set they were
+ *    issued with; reads keep hitting the old owners -- who keep
+ *    their data -- until the flip, so serving continues throughout.
+ *    What a non-writing client may transiently observe right after
+ *    the flip is the same class of window W < R already opens (a
+ *    new owner an in-flight dual-write has not reached yet);
+ *    writing clients stay read-your-writes via the in-flight
+ *    ledger, which outlives the flip for ops opened before it.
+ *  - Overload under membership churn: Overloaded rejections carry a
+ *    retry-after hint (KvService::retryAfterUs) sized to the
+ *    client's queue backlog; well-behaved closed-loop clients back
+ *    off (jittered) instead of hammering a service that is
+ *    absorbing failover or rebalance load.
+ *
  * Flash traffic classes (see flash::Priority and flash::Timing's
  * suspend-resume contract): every KV operation maps onto one of
  * two NAND priority classes. Serving traffic -- client gets and
@@ -109,6 +173,20 @@ enum class KvStatus : std::uint8_t
 
 /** Operations of the shard protocol. */
 enum class KvOp : std::uint8_t { Get, Put, Delete };
+
+/**
+ * Membership state of one node, as the router sees it (the file
+ * comment's membership contract spells out the transitions and what
+ * clients observe in each state).
+ */
+enum class MemberState : std::uint8_t
+{
+    Live,    //!< in the ring, serving reads and writes
+    Suspect, //!< consecutive timeouts; written, read only as last resort
+    Dead,    //!< grace expired (or killed): skipped entirely
+    Joining, //!< in the ring for writes, catching up; never read
+    Standby, //!< not in the ring (pre-join / post-leave)
+};
 
 /** On-wire size of the fixed request/response header (command, key,
  * request id, routing fields). Value bytes ride on top. */

@@ -28,7 +28,11 @@ WorkloadEngine::WorkloadEngine(sim::Simulator &sim,
     if (params_.pipeline == 0)
         sim::fatal("closed-loop pipeline must be >= 1");
 
-    unsigned total_clients = clusterSize_ * params_.clientsPerNode;
+    originNodes_ = params_.clientNodes != 0 ? params_.clientNodes
+                                            : clusterSize_;
+    if (originNodes_ > clusterSize_)
+        sim::fatal("clientNodes exceeds the cluster");
+    unsigned total_clients = originNodes_ * params_.clientsPerNode;
     if (total_clients == 0)
         sim::fatal("workload needs at least one client");
 
@@ -43,7 +47,8 @@ WorkloadEngine::WorkloadEngine(sim::Simulator &sim,
     for (unsigned i = 0; i < total_clients; ++i) {
         ClientState &c = clients_[i];
         net::NodeId origin =
-            net::NodeId(i % clusterSize_); // spread across nodes
+            net::NodeId(i % originNodes_); // spread across nodes
+        c.origin = origin;
         c.id = service_.addClient(origin, params_.client);
         std::uint64_t cseed = kv::mix64(
             params_.seed ^ (0x9e3779b97f4a7c15ull * (i + 1)));
@@ -103,7 +108,7 @@ WorkloadEngine::pumpPreload()
     while (preloadNext_ < params_.keys &&
            preloadNext_ - preloadCompleted_ < window) {
         Key key = preloadNext_++;
-        router_.put(net::NodeId(key % clusterSize_), key,
+        router_.put(net::NodeId(key % originNodes_), key,
                     makeValue(key, params_.valueBytes),
                     [this](KvStatus st) {
             if (st != KvStatus::Ok)
@@ -129,6 +134,9 @@ void
 WorkloadEngine::opFinished(std::size_t ci, sim::Tick start,
                            sim::LatencyHistogram &hist, bool accepted)
 {
+    ClientState &c = clients_[ci];
+    if (c.inflight > 0)
+        --c.inflight;
     if (accepted) {
         sim::Tick lat = sim_.now() - start;
         hist.record(lat);
@@ -145,14 +153,36 @@ WorkloadEngine::opFinished(std::size_t ci, sim::Tick start,
             fin();
         return;
     }
-    if (!params_.openLoop)
-        refill(ci); // closed loop: completion begets the next op
+    if (params_.openLoop)
+        return;
+    // Closed loop: completion begets the next op -- except a
+    // rejection with retry-after honoring, which pauses the client
+    // for a jittered multiple of the service's hint first (the
+    // polite response to a full queue; jitter decorrelates the
+    // herd's retries).
+    if (!accepted && params_.honorRetryAfter) {
+        std::uint64_t us = service_.retryAfterUs(c.id);
+        if (us > 0) {
+            ++backoffs_;
+            double jitter = 0.5 + c.opRng.uniform();
+            std::uint64_t epoch = phaseEpoch_;
+            sim_.scheduleAfter(
+                sim::usToTicks(double(us) * jitter),
+                [this, ci, epoch]() {
+                if (epoch == phaseEpoch_)
+                    refill(ci);
+            });
+            return;
+        }
+    }
+    refill(ci);
 }
 
 void
 WorkloadEngine::issueOne(std::size_t ci)
 {
     ClientState &c = clients_[ci];
+    ++c.inflight;
     double u = c.opRng.uniform();
     sim::Tick start = sim_.now();
 
@@ -197,10 +227,116 @@ void
 WorkloadEngine::refill(std::size_t ci)
 {
     ClientState &c = clients_[ci];
-    if (c.issued >= c.quota)
+    if (c.paused || c.issued >= c.quota)
         return;
     ++c.issued;
     issueOne(ci);
+}
+
+void
+WorkloadEngine::pauseNode(net::NodeId node)
+{
+    // The node's clients stop issuing; their unissued quota spreads
+    // over the survivors so the running phase still reaches its op
+    // target. Survivors that already drained their quota (or are
+    // waiting below their pipeline depth) get kicked directly --
+    // nothing else would ever refill an idle client.
+    std::uint64_t stranded = 0;
+    std::vector<std::size_t> alive;
+    for (std::size_t ci = 0; ci < clients_.size(); ++ci) {
+        ClientState &c = clients_[ci];
+        if (c.origin == node) {
+            if (!c.paused) {
+                c.paused = true;
+                stranded += c.quota - c.issued;
+                c.quota = c.issued;
+            }
+        } else if (!c.paused) {
+            alive.push_back(ci);
+        }
+    }
+    if (stranded == 0 || alive.empty())
+        return;
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+        clients_[alive[i]].quota += stranded / alive.size() +
+            (i < stranded % alive.size() ? 1 : 0);
+    }
+    if (params_.openLoop)
+        return;
+    for (std::size_t ci : alive) {
+        ClientState &c = clients_[ci];
+        while (c.inflight < params_.pipeline && c.issued < c.quota)
+            refill(ci);
+    }
+}
+
+void
+WorkloadEngine::resumeNode(net::NodeId node)
+{
+    for (std::size_t ci = 0; ci < clients_.size(); ++ci) {
+        ClientState &c = clients_[ci];
+        if (c.origin != node || !c.paused)
+            continue;
+        c.paused = false;
+        if (!params_.openLoop) {
+            while (c.inflight < params_.pipeline &&
+                   c.issued < c.quota)
+                refill(ci);
+        }
+    }
+}
+
+void
+WorkloadEngine::runPhase(std::uint64_t ops, std::function<void()> done)
+{
+    if (params_.openLoop)
+        sim::fatal("runPhase is closed-loop only");
+    if (runDone_)
+        sim::fatal("runPhase while a phase is still running");
+    ++phaseEpoch_; // park leftover backoff wakeups
+    readLat_.reset();
+    writeLat_.reset();
+    scanLat_.reset();
+    allLat_.reset();
+    completed_ = 0;
+    rejected_ = 0;
+    notFound_ = 0;
+    backoffs_ = 0;
+
+    std::vector<std::size_t> alive;
+    for (std::size_t ci = 0; ci < clients_.size(); ++ci) {
+        ClientState &c = clients_[ci];
+        c.quota = 0;
+        c.issued = 0;
+        if (!c.paused)
+            alive.push_back(ci);
+    }
+    if (alive.empty())
+        sim::fatal("runPhase with every client paused");
+
+    runDone_ = std::move(done);
+    targetOps_ = ops;
+    startTick_ = sim_.now();
+    endTick_ = startTick_;
+    if (ops == 0) {
+        sim_.scheduleAfter(0, [this]() {
+            auto fin = std::move(runDone_);
+            runDone_ = nullptr;
+            if (fin)
+                fin();
+        });
+        return;
+    }
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+        clients_[alive[i]].quota = ops / alive.size() +
+            (i < ops % alive.size() ? 1 : 0);
+    }
+    for (std::size_t ci : alive) {
+        auto burst = std::min<std::uint64_t>(params_.pipeline,
+                                             clients_[ci].quota);
+        for (std::uint64_t p = 0; p < burst; ++p)
+            refill(ci);
+    }
 }
 
 void

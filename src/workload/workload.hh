@@ -58,8 +58,23 @@ struct WorkloadParams
     bool zipfian = true;          //!< else uniform
     double theta = 0.99;          //!< Zipfian skew
     unsigned clientsPerNode = 8;
+    /**
+     * Home clients (and preload origins) on only the first this
+     * many nodes; 0 = every cluster node. Membership scenarios
+     * build the cluster with standby nodes (KvParams::activeNodes)
+     * that must carry no client sessions until they join.
+     */
+    unsigned clientNodes = 0;
     /** Concurrent operations each closed-loop client sustains. */
     unsigned pipeline = 1;
+    /**
+     * Closed loop: when an operation is rejected Overloaded, pause
+     * the client for a jittered multiple of the service's
+     * retry-after hint (KvService::retryAfterUs) before issuing
+     * again, instead of hammering a full queue. Rejections still
+     * count as completions either way.
+     */
+    bool honorRetryAfter = false;
     /** Per-client admission parameters handed to the service. */
     kv::KvService::ClientParams client;
     bool openLoop = false;
@@ -95,6 +110,29 @@ class WorkloadEngine
      */
     void run(std::function<void()> done);
 
+    /**
+     * Issue @p ops operations as a fresh measured phase: histograms
+     * and counters reset, quotas redistribute over the currently
+     * unpaused clients, and @p done fires when the last completion
+     * lands. Membership scenarios chain phases (steady -> kill
+     * window -> recovered) and read per-phase tails in between.
+     * Closed-loop only.
+     */
+    void runPhase(std::uint64_t ops, std::function<void()> done);
+
+    /**
+     * Stop the clients homed on @p node from issuing further
+     * operations (a killed node's clients die with it). Their
+     * unissued quota moves to the surviving clients so the running
+     * phase still completes; operations already in flight complete
+     * normally (the router fails a killed node's in-flight ops).
+     */
+    void pauseNode(net::NodeId node);
+
+    /** Let @p node's clients issue again (from the next phase, or
+     * immediately if the running phase has quota left). */
+    void resumeNode(net::NodeId node);
+
     /** Deterministic value bytes for @p key. */
     static flash::PageBuffer makeValue(kv::Key key,
                                        std::uint32_t bytes);
@@ -113,18 +151,23 @@ class WorkloadEngine
     std::uint64_t completedOps() const { return completed_; }
     std::uint64_t rejectedOps() const { return rejected_; }
     std::uint64_t notFoundOps() const { return notFound_; }
+    /** Overloaded rejections answered with a retry-after pause. */
+    std::uint64_t backoffs() const { return backoffs_; }
     ///@}
 
   private:
     struct ClientState
     {
         kv::KvService::ClientId id = 0;
+        net::NodeId origin = 0;
         sim::Rng opRng;                   //!< op type + value draw
         std::unique_ptr<ZipfianKeys> zipf;
         std::unique_ptr<UniformKeys> uniform;
         std::unique_ptr<PoissonArrivals> arrivals;
         std::uint64_t quota = 0;
         std::uint64_t issued = 0;
+        unsigned inflight = 0;
+        bool paused = false; //!< node killed / left: issues nothing
     };
 
     kv::Key nextKey(ClientState &c);
@@ -143,9 +186,15 @@ class WorkloadEngine
     kv::KvService &service_;
     WorkloadParams params_;
     unsigned clusterSize_ = 0;
+    /** Nodes carrying client sessions (params_.clientNodes or the
+     * whole cluster). */
+    unsigned originNodes_ = 0;
 
     std::vector<ClientState> clients_;
     std::uint64_t targetOps_ = 0;
+    /** Bumped by runPhase: parks stale backoff wakeups from the
+     * previous phase. */
+    std::uint64_t phaseEpoch_ = 0;
 
     /** Preload progress (engine-owned: callbacks capture `this`,
      * so the engine must outlive its simulation, which run()'s
@@ -159,6 +208,7 @@ class WorkloadEngine
     std::uint64_t completed_ = 0;
     std::uint64_t rejected_ = 0;
     std::uint64_t notFound_ = 0;
+    std::uint64_t backoffs_ = 0;
     std::function<void()> runDone_;
 
     sim::LatencyHistogram readLat_;

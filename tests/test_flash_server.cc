@@ -420,3 +420,71 @@ TEST(FlashServer, BatchedWritesSurviveFaultInjection)
     }
     EXPECT_EQ(server.injectedWriteFaults(), 1u);
 }
+
+TEST(FlashServer, ReadFaultDropSwallowsResponse)
+{
+    Fixture f;
+
+    // The armed hook loses the completion above the flash: the
+    // waiter never hears back (its timeout machinery owns
+    // recovery), but the delivery slot retires so later reads on
+    // the interface still flow in order.
+    f.server.setReadFault([](const Address &) {
+        FlashServer::ReadFaultAction act;
+        act.drop = true;
+        return act;
+    });
+    bool heard = false;
+    f.server.readPage(0, Address{0, 0, 0, 0},
+                      [&](PageBuffer, Status) { heard = true; });
+    f.sim.run();
+    EXPECT_FALSE(heard);
+    EXPECT_EQ(f.server.injectedReadFaults(), 1u);
+
+    // Disarmed, the interface serves normally again.
+    f.server.setReadFault(nullptr);
+    Status st = Status::Uncorrectable;
+    f.server.readPage(0, Address{0, 0, 0, 0},
+                      [&](PageBuffer, Status s) { st = s; });
+    f.sim.run();
+    EXPECT_EQ(st, Status::Ok);
+    EXPECT_EQ(f.server.injectedReadFaults(), 1u);
+}
+
+TEST(FlashServer, ReadFaultDelayShiftsCompletion)
+{
+    Fixture f;
+
+    // Baseline: one unfaulted read's completion time.
+    sim::Tick healthy = 0;
+    f.server.readPage(0, Address{0, 0, 0, 0},
+                      [&](PageBuffer, Status st) {
+        EXPECT_EQ(st, Status::Ok);
+        healthy = f.sim.now();
+    });
+    f.sim.run();
+    ASSERT_GT(healthy, 0u);
+
+    // A held response: the data still arrives intact, but only
+    // after the injected delay (the tag stays busy meanwhile, like
+    // a wedged chip backpressuring the interface).
+    const sim::Tick delay = 10 * healthy + 1;
+    f.server.setReadFault([delay](const Address &) {
+        FlashServer::ReadFaultAction act;
+        act.delayTicks = delay;
+        return act;
+    });
+    sim::Tick begin = f.sim.now();
+    sim::Tick delayed = 0;
+    PageBuffer got;
+    f.server.readPage(0, Address{0, 0, 0, 0},
+                      [&](PageBuffer data, Status st) {
+        EXPECT_EQ(st, Status::Ok);
+        got = std::move(data);
+        delayed = f.sim.now();
+    });
+    f.sim.run();
+    EXPECT_GE(delayed - begin, delay);
+    EXPECT_EQ(got, f.card.nand().store().read(Address{0, 0, 0, 0}));
+    EXPECT_EQ(f.server.injectedReadFaults(), 1u);
+}

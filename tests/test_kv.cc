@@ -1331,3 +1331,474 @@ TEST(KvRouter, OverlappingRepairSweepsCoalesce)
     EXPECT_EQ(router.repairSweeps(), 2u);
     EXPECT_EQ(router.divergentWrites(), 0u);
 }
+
+// ---------------------------------------------------------------- //
+// Elastic membership: failure detection, crash + rebuild, join/leave
+// ---------------------------------------------------------------- //
+
+namespace {
+
+/** Tight detection knobs so membership tests run in simulated
+ * milliseconds: short per-request timeouts, one-strike suspicion,
+ * short death grace. */
+kv::KvParams
+memberParams(unsigned w, std::uint64_t timeout_us = 500,
+             unsigned suspect_after = 1,
+             std::uint64_t grace_us = 500)
+{
+    kv::KvParams kp;
+    kp.cacheSlots = 0; // isolate routing + membership behavior
+    kp.writeQuorum = w;
+    kp.readTimeoutUs = timeout_us;
+    kp.writeTimeoutUs = timeout_us;
+    kp.readRetries = 2;
+    kp.suspectAfter = suspect_after;
+    kp.deadGraceUs = grace_us;
+    return kp;
+}
+
+/** A (key, origin) pair whose deterministic read replica is the
+ * key's PRIMARY and whose origin is not itself an owner -- so the
+ * read is remote and fails over visibly when the primary dies. */
+void
+findRemotePrimaryRead(kv::KvRouter &router, unsigned nodes,
+                      kv::Key &key, net::NodeId &origin)
+{
+    for (kv::Key k = 1; k < 256; ++k) {
+        auto own = router.owners(k);
+        for (unsigned n = 0; n < nodes; ++n) {
+            net::NodeId cand(n);
+            if (std::find(own.begin(), own.end(), cand) !=
+                own.end())
+                continue;
+            if (router.readReplica(cand, k) == own[0]) {
+                key = k;
+                origin = cand;
+                return;
+            }
+        }
+    }
+    FAIL() << "no remote-primary (key, origin) pair found";
+}
+
+} // namespace
+
+TEST(KvRouter, DtorWithInflightQuorumWritesIsSafe)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    {
+        kv::KvRouter router(sim, cluster, quorumParams(1));
+        for (Key k = 0; k < 16; ++k) {
+            router.put(net::NodeId(k % 4), k, val(0x5a),
+                       [](KvStatus) {});
+        }
+        // Give the quorum acks a head start while straggler
+        // replica writes and their ledger entries are still open...
+        sim.runUntil(sim::usToTicks(30));
+        // ...then tear the router down mid-operation.
+    }
+    // The cluster's file systems still hold append continuations
+    // and response messages addressed to the dead router; draining
+    // them must be a no-op, not a use-after-free.
+    sim.run();
+}
+
+TEST(KvRouter, ReadFailsOverAfterNodeKill)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster,
+                        memberParams(2, 500, 2, 1500));
+
+    Key key = 0;
+    net::NodeId origin = 0;
+    findRemotePrimaryRead(router, 4, key, origin);
+    auto own = router.owners(key);
+    router.put(own[0], key, val(0xcd), [](KvStatus) {});
+    sim.run();
+
+    router.killNode(own[0]);
+
+    // First read: addressed to the (undetected) dead primary,
+    // times out, retries the surviving replica, serves the value.
+    PageBuffer got;
+    KvStatus st = KvStatus::Error;
+    router.get(origin, key, [&](PageBuffer v, KvStatus s) {
+        got = std::move(v);
+        st = s;
+    });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Ok);
+    EXPECT_EQ(got, val(0xcd));
+    EXPECT_GE(router.readTimeouts(), 1u);
+    EXPECT_GE(router.retriedReads(), 1u);
+    // One timeout: below the suspicion threshold of 2.
+    EXPECT_EQ(router.member(own[0]), kv::MemberState::Live);
+
+    // Second read: the second consecutive timeout marks the node
+    // Suspect, and the grace period (drained by run()) buries it.
+    router.get(origin, key, [&](PageBuffer v, KvStatus s) {
+        got = std::move(v);
+        st = s;
+    });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Ok);
+    EXPECT_EQ(got, val(0xcd));
+    EXPECT_GE(router.suspectTransitions(), 1u);
+    EXPECT_EQ(router.deadTransitions(), 1u);
+    EXPECT_EQ(router.member(own[0]), kv::MemberState::Dead);
+    EXPECT_EQ(router.liveNodes(), 3u);
+
+    // Third read: Dead replicas are routed around up front -- no
+    // timeout, no retry, just the surviving replica.
+    std::uint64_t timeouts = router.readTimeouts();
+    router.get(origin, key, [&](PageBuffer v, KvStatus s) {
+        got = std::move(v);
+        st = s;
+    });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Ok);
+    EXPECT_EQ(got, val(0xcd));
+    EXPECT_EQ(router.readTimeouts(), timeouts);
+}
+
+TEST(KvRouter, KillRebuildDrainsDivergence)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, memberParams(1));
+
+    const Key key = 7;
+    auto own = router.owners(key);
+    router.put(own[0], key, val(0xaa), [](KvStatus) {});
+    sim.run();
+
+    router.killNode(own[1]);
+
+    // Write into the crash window: the quorum-of-1 ack comes from
+    // the primary, the dead replica's slot times out, the key is
+    // marked divergent, and detection buries the replica.
+    KvStatus st = KvStatus::Error;
+    router.put(own[0], key, val(0xbb),
+               [&](KvStatus s) { st = s; });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Ok);
+    EXPECT_GE(router.writeTimeouts(), 1u);
+    EXPECT_EQ(router.divergentWrites(), 1u);
+    EXPECT_EQ(router.member(own[1]), kv::MemberState::Dead);
+
+    // A sweep with the replica still dead compares what it can but
+    // must NOT clear the divergence mark: the dead replica has not
+    // been reconciled.
+    bool swept = false;
+    router.repairSweep([&]() { swept = true; });
+    sim.run();
+    EXPECT_TRUE(swept);
+    EXPECT_EQ(router.divergentWrites(), 1u);
+
+    // Restart + rebuild: Joining (written, not read) until the
+    // rebuild sweep streams it back to currency, then Live with
+    // the divergence drained.
+    router.reviveNode(own[1]);
+    EXPECT_EQ(router.member(own[1]), kv::MemberState::Joining);
+    bool rebuilt = false;
+    router.rebuildNode(own[1], [&]() { rebuilt = true; });
+    sim.run();
+    EXPECT_TRUE(rebuilt);
+    EXPECT_EQ(router.member(own[1]), kv::MemberState::Live);
+    EXPECT_EQ(router.divergentWrites(), 0u);
+    EXPECT_EQ(router.liveNodes(), 4u);
+
+    // Both replicas now serve the value written while it was dead,
+    // whichever one read-one picks.
+    for (unsigned o = 0; o < 4; ++o) {
+        PageBuffer got;
+        router.get(net::NodeId(o), key,
+                   [&](PageBuffer v, KvStatus) {
+            got = std::move(v);
+        });
+        sim.run();
+        EXPECT_EQ(got, val(0xbb)) << "origin " << o;
+    }
+}
+
+TEST(KvRouter, WriteQuorumClampsToLiveReplicas)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster, memberParams(2));
+
+    const Key key = 11;
+    auto own = router.owners(key);
+    router.put(own[0], key, val(0xaa), [](KvStatus) {});
+    sim.run();
+
+    // Undetected crash: the write-all still addresses the dead
+    // replica, times out, and fails the W=2 quorum.
+    router.killNode(own[1]);
+    KvStatus st = KvStatus::Ok;
+    router.put(own[0], key, val(0xbb),
+               [&](KvStatus s) { st = s; });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Error);
+    EXPECT_EQ(router.member(own[1]), kv::MemberState::Dead);
+
+    // Detected: the quorum clamps to the one live owner, the write
+    // acks Ok, and the exposure is counted.
+    router.put(own[0], key, val(0xcc),
+               [&](KvStatus s) { st = s; });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Ok);
+    EXPECT_GE(router.degradedWrites(), 1u);
+    EXPECT_GE(router.divergentWrites(), 1u);
+
+    // Reads divert around the dead owner and serve the clamped
+    // write's value. (Not from the dead node itself: a crashed
+    // node has no clients -- a local read there would see its own
+    // stale shard, which is why WorkloadEngine::pauseNode exists.)
+    for (unsigned o = 0; o < 4; ++o) {
+        if (net::NodeId(o) == own[1])
+            continue;
+        PageBuffer got;
+        KvStatus gst = KvStatus::Error;
+        router.get(net::NodeId(o), key,
+                   [&](PageBuffer v, KvStatus s) {
+            got = std::move(v);
+            gst = s;
+        });
+        sim.run();
+        EXPECT_EQ(gst, KvStatus::Ok) << "origin " << o;
+        EXPECT_EQ(got, val(0xcc)) << "origin " << o;
+    }
+
+    // Kill the last owner too: once detection buries it, a write
+    // with no addressable owner fails outright.
+    router.killNode(own[0]);
+    router.put(own[1], key, val(0xdd),
+               [&](KvStatus s) { st = s; });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Error);
+    EXPECT_EQ(router.member(own[0]), kv::MemberState::Dead);
+    router.put(own[1], key, val(0xee),
+               [&](KvStatus s) { st = s; });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Error);
+}
+
+TEST(KvRouter, SuspectRecoversOnLateResponse)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    // Long grace: the node must survive long enough for its late
+    // response to prove it alive.
+    kv::KvRouter router(sim, cluster,
+                        memberParams(1, 500, 1, 100000));
+
+    Key key = 0;
+    net::NodeId origin = 0;
+    findRemotePrimaryRead(router, 4, key, origin);
+    auto own = router.owners(key);
+    router.put(own[0], key, val(0xab), [](KvStatus) {});
+    sim.run();
+
+    // The primary is slow, not dead: hold every flash read on it
+    // well past the request timeout.
+    for (unsigned card = 0; card < 2; ++card) {
+        cluster.node(own[0]).hostServer(card).setReadFault(
+            [](const flash::Address &) {
+            flash::FlashServer::ReadFaultAction act;
+            act.delayTicks = sim::usToTicks(2000);
+            return act;
+        });
+    }
+
+    PageBuffer got;
+    KvStatus st = KvStatus::Error;
+    router.get(origin, key, [&](PageBuffer v, KvStatus s) {
+        got = std::move(v);
+        st = s;
+    });
+    sim.run();
+
+    // The read failed over and served; the straggling response
+    // landed after its request was retired -- counted, dropped,
+    // and taken as proof of life: the node is Live again.
+    EXPECT_EQ(st, KvStatus::Ok);
+    EXPECT_EQ(got, val(0xab));
+    EXPECT_GE(router.retriedReads(), 1u);
+    EXPECT_GE(router.suspectTransitions(), 1u);
+    EXPECT_GE(router.lateResponses(), 1u);
+    EXPECT_EQ(router.member(own[0]), kv::MemberState::Live);
+    EXPECT_EQ(router.deadTransitions(), 0u);
+
+    for (unsigned card = 0; card < 2; ++card)
+        cluster.node(own[0]).hostServer(card).setReadFault(nullptr);
+}
+
+TEST(KvRouter, JoinExpandsRingAndServes)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvParams kp;
+    kp.cacheSlots = 0;
+    kp.activeNodes = 3; // node 3 built but outside the ring
+    kv::KvRouter router(sim, cluster, kp);
+
+    EXPECT_EQ(router.member(net::NodeId(3)),
+              kv::MemberState::Standby);
+    EXPECT_EQ(router.liveNodes(), 3u);
+
+    const Key keys = 48;
+    std::vector<std::uint8_t> fill(keys);
+    for (Key k = 0; k < keys; ++k) {
+        fill[k] = std::uint8_t(k);
+        router.put(net::NodeId(k % 3), k, val(fill[k]),
+                   [](KvStatus) {});
+    }
+    sim.run();
+    for (Key k = 0; k < keys; ++k) {
+        auto own = router.owners(k);
+        EXPECT_EQ(std::count(own.begin(), own.end(),
+                             net::NodeId(3)), 0)
+            << "standby node owns key " << k;
+    }
+
+    // Expand onto node 3, with writes racing the two-phase
+    // handoff (they dual-write to the union of old and new
+    // owners, so the flip loses nothing).
+    bool joined = false;
+    router.joinNode(net::NodeId(3), [&]() { joined = true; });
+    for (Key k = 0; k < 8; ++k) {
+        fill[k] = std::uint8_t(0xe0 + k);
+        router.put(net::NodeId(k % 3), k, val(fill[k]),
+                   [](KvStatus) {});
+    }
+    sim.run();
+
+    EXPECT_TRUE(joined);
+    EXPECT_EQ(router.member(net::NodeId(3)),
+              kv::MemberState::Live);
+    EXPECT_EQ(router.liveNodes(), 4u);
+    EXPECT_EQ(router.ringEpoch(), 1u);
+    EXPECT_GT(router.movedKeys(), 0u);
+    EXPECT_GT(router.shard(net::NodeId(3)).keyCount(), 0u);
+
+    bool owns_any = false;
+    for (Key k = 0; k < keys && !owns_any; ++k) {
+        auto own = router.owners(k);
+        owns_any = std::count(own.begin(), own.end(),
+                              net::NodeId(3)) != 0;
+    }
+    EXPECT_TRUE(owns_any);
+
+    // Every key serves its latest value from every origin.
+    for (Key k = 0; k < keys; ++k) {
+        for (unsigned o = 0; o < 4; ++o) {
+            PageBuffer got;
+            KvStatus st = KvStatus::Error;
+            router.get(net::NodeId(o), k,
+                       [&](PageBuffer v, KvStatus s) {
+                got = std::move(v);
+                st = s;
+            });
+            sim.run();
+            EXPECT_EQ(st, KvStatus::Ok)
+                << "key " << k << " origin " << o;
+            EXPECT_EQ(got, val(fill[k]))
+                << "key " << k << " origin " << o;
+        }
+    }
+    EXPECT_EQ(router.divergentWrites(), 0u);
+}
+
+TEST(KvRouter, LeaveDrainsNodeAndServes)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvParams kp;
+    kp.cacheSlots = 0;
+    kv::KvRouter router(sim, cluster, kp);
+
+    const Key keys = 48;
+    std::vector<std::uint8_t> fill(keys);
+    for (Key k = 0; k < keys; ++k) {
+        fill[k] = std::uint8_t(k);
+        router.put(net::NodeId(k % 4), k, val(fill[k]),
+                   [](KvStatus) {});
+    }
+    sim.run();
+
+    // Drain node 2 out of the ring, with writes racing the
+    // handoff.
+    bool left = false;
+    router.leaveNode(net::NodeId(2), [&]() { left = true; });
+    for (Key k = 0; k < 8; ++k) {
+        fill[k] = std::uint8_t(0xd0 + k);
+        router.put(net::NodeId(k % 4), k, val(fill[k]),
+                   [](KvStatus) {});
+    }
+    sim.run();
+
+    EXPECT_TRUE(left);
+    EXPECT_EQ(router.member(net::NodeId(2)),
+              kv::MemberState::Standby);
+    EXPECT_EQ(router.liveNodes(), 3u);
+    EXPECT_EQ(router.ringEpoch(), 1u);
+    EXPECT_GT(router.movedKeys(), 0u);
+    for (Key k = 0; k < keys; ++k) {
+        auto own = router.owners(k);
+        EXPECT_EQ(std::count(own.begin(), own.end(),
+                             net::NodeId(2)), 0)
+            << "departed node owns key " << k;
+    }
+
+    // Every key serves from every origin -- including the departed
+    // node, which remains a valid requester.
+    for (Key k = 0; k < keys; ++k) {
+        for (unsigned o = 0; o < 4; ++o) {
+            PageBuffer got;
+            KvStatus st = KvStatus::Error;
+            router.get(net::NodeId(o), k,
+                       [&](PageBuffer v, KvStatus s) {
+                got = std::move(v);
+                st = s;
+            });
+            sim.run();
+            EXPECT_EQ(st, KvStatus::Ok)
+                << "key " << k << " origin " << o;
+            EXPECT_EQ(got, val(fill[k]))
+                << "key " << k << " origin " << o;
+        }
+    }
+    EXPECT_EQ(router.divergentWrites(), 0u);
+}
+
+TEST(KvService, OverloadedRejectionCarriesRetryAfterHint)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(2));
+    kv::KvRouter router(sim, cluster);
+    kv::KvService service(sim, router);
+
+    kv::KvService::ClientParams cp;
+    cp.window = 1;
+    cp.queueCap = 2;
+    cp.retryBaseUs = 20;
+    auto client = service.addClient(net::NodeId(0), cp);
+    EXPECT_EQ(service.retryAfterUs(client), 0u);
+
+    unsigned rejected = 0;
+    for (int i = 0; i < 8; ++i) {
+        service.get(client, Key(i),
+                    [&](PageBuffer, KvStatus st) {
+            if (st == KvStatus::Overloaded)
+                ++rejected;
+        });
+    }
+    sim.run();
+    EXPECT_GT(rejected, 0u);
+    // Rejections happened at a full queue (2 ops = 2 windows of
+    // backlog): base * (1 + 2/1).
+    EXPECT_EQ(service.retryAfterUs(client), 60u);
+}

@@ -303,3 +303,93 @@ TEST(WorkloadEngine, DeterministicAcrossRuns)
     EXPECT_EQ(a, b);
     EXPECT_NE(a, c);
 }
+
+// ---------------------------------------------------------------- //
+// Retry-after backoff + phased runs with pause/resume
+// ---------------------------------------------------------------- //
+
+TEST(Workload, HonorsRetryAfterBackoff)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster);
+    kv::KvService service(sim, router);
+
+    WorkloadParams wp;
+    wp.keys = 200;
+    wp.valueBytes = 64;
+    wp.totalOps = 2000;
+    wp.clientsPerNode = 2;
+    // Pipeline deeper than the admission window + queue: the
+    // overflow is rejected Overloaded, and honoring clients answer
+    // each rejection with a jittered retry-after pause instead of
+    // an instant resubmit.
+    wp.pipeline = 8;
+    wp.client.window = 2;
+    wp.client.queueCap = 2;
+    wp.honorRetryAfter = true;
+    wp.mix.readFrac = 0.5;
+    WorkloadEngine engine(sim, cluster, router, service, wp);
+
+    bool loaded = false;
+    engine.preload([&]() { loaded = true; });
+    sim.run();
+    ASSERT_TRUE(loaded);
+
+    bool done = false;
+    engine.run([&]() { done = true; });
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(engine.completedOps(), wp.totalOps);
+    EXPECT_GT(engine.rejectedOps(), 0u);
+    EXPECT_GT(engine.backoffs(), 0u);
+    EXPECT_LE(engine.backoffs(), engine.rejectedOps());
+}
+
+TEST(Workload, PhasedRunRedistributesAroundPausedNode)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvRouter router(sim, cluster);
+    kv::KvService service(sim, router);
+
+    WorkloadParams wp;
+    wp.keys = 200;
+    wp.valueBytes = 64;
+    wp.clientsPerNode = 2;
+    wp.clientNodes = 3; // node 3 carries no client sessions
+    wp.pipeline = 2;
+    WorkloadEngine engine(sim, cluster, router, service, wp);
+    EXPECT_EQ(service.clientCount(), 3u * wp.clientsPerNode);
+
+    bool loaded = false;
+    engine.preload([&]() { loaded = true; });
+    sim.run();
+    ASSERT_TRUE(loaded);
+
+    // Phase 1: everyone serving.
+    bool p1 = false;
+    engine.runPhase(600, [&]() { p1 = true; });
+    sim.run();
+    EXPECT_TRUE(p1);
+    EXPECT_EQ(engine.completedOps(), 600u);
+    EXPECT_GT(engine.readLatency().count(), 0u);
+
+    // Phase 2: node 1's clients die mid-phase (ops already in
+    // flight). Their quota moves to the survivors and the phase
+    // still reaches its op target.
+    bool p2 = false;
+    engine.runPhase(600, [&]() { p2 = true; });
+    engine.pauseNode(net::NodeId(1));
+    sim.run();
+    EXPECT_TRUE(p2);
+    EXPECT_EQ(engine.completedOps(), 600u);
+
+    // Phase 3: the node is back; per-phase counters reset.
+    engine.resumeNode(net::NodeId(1));
+    bool p3 = false;
+    engine.runPhase(300, [&]() { p3 = true; });
+    sim.run();
+    EXPECT_TRUE(p3);
+    EXPECT_EQ(engine.completedOps(), 300u);
+}
