@@ -23,6 +23,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -35,6 +36,7 @@
 #include "net/topology.hh"
 #include "sim/event_queue.hh"
 #include "sim/simulator.hh"
+#include "sim/trace.hh"
 
 using namespace bluedbm;
 using sim::Tick;
@@ -228,6 +230,69 @@ runThroughput()
 }
 
 /**
+ * The pooled queue again, but every event also performs the tracer
+ * touches an instrumented hop makes when tracing is off: a
+ * beginTrace that early-outs on the disabled check plus
+ * beginSpan/mark/endSpan on the untraced (0) handle it returned --
+ * exactly the per-hop cost the kv/flash request paths now pay for
+ * the unsampled majority of operations. ci.sh gates the slowdown
+ * versus events_per_sec_pooled at < 2%.
+ */
+double
+runThroughputTracedOff()
+{
+    struct Ctx
+    {
+        sim::EventQueue q;
+        sim::Tracer tracer; // default Params: disabled
+        std::uint64_t fired = 0;
+    } ctx;
+
+    struct Chain
+    {
+        Ctx *ctx;
+        std::function<void()> done;
+        std::uint64_t lane;
+
+        void
+        operator()()
+        {
+            Ctx *c = ctx;
+            Tick now = c->q.now();
+            std::uint64_t h =
+                c->tracer.beginTrace("ev", now, lane);
+            std::uint64_t s = c->tracer.beginSpan(h, "hop", now);
+            c->tracer.mark(s, "fire", now);
+            c->tracer.endSpan(s, now);
+            c->tracer.endTrace(h, now);
+            if (++c->fired + kWindow > kEvents) {
+                if (done)
+                    done();
+                return;
+            }
+            c->q.schedule(now + spreadTicks(lane + c->fired),
+                          Chain{c, std::move(done), lane});
+        }
+    };
+
+    std::uint64_t completed = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kWindow; ++i) {
+        std::uint64_t cookie[3] = {i, i ^ 0x9e3779b9u, i + 17};
+        ctx.q.schedule(spreadTicks(i),
+                       Chain{&ctx,
+                             [&completed, cookie]() {
+                                 completed += cookie[0] & 1;
+                             },
+                             i});
+    }
+    ctx.q.run();
+    double sec = secondsSince(t0);
+    benchmark::DoNotOptimize(completed);
+    return double(ctx.q.executed()) / sec;
+}
+
+/**
  * Cancellation churn: for every fired event, one extra event is
  * scheduled and cancelled (the timeout-guard pattern). Exercises the
  * hash sets of the legacy queue vs the generation bump of the pooled
@@ -316,14 +381,31 @@ runAll()
 {
     gCounters.clear();
 
-    double legacy_tp = runThroughput<LegacyEventQueue>();
-    double pooled_tp = runThroughput<sim::EventQueue>();
+    // Best-of-3, interleaved: the tracing-overhead ratio gates at
+    // 2%, far below run-to-run interference on a shared machine.
+    // Interference only ever slows a run down, so the max over
+    // interleaved repetitions compares the variants' clean speeds.
+    double legacy_tp = 0.0, pooled_tp = 0.0, traced_off_tp = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+        if (rep < 3)
+            legacy_tp = std::max(legacy_tp,
+                                 runThroughput<LegacyEventQueue>());
+        pooled_tp =
+            std::max(pooled_tp, runThroughput<sim::EventQueue>());
+        traced_off_tp =
+            std::max(traced_off_tp, runThroughputTracedOff());
+    }
     double legacy_cc = runCancelChurn<LegacyEventQueue>();
     double pooled_cc = runCancelChurn<sim::EventQueue>();
 
     gCounters.emplace_back("events_per_sec_legacy", legacy_tp);
     gCounters.emplace_back("events_per_sec_pooled", pooled_tp);
     gCounters.emplace_back("events_speedup", pooled_tp / legacy_tp);
+    gCounters.emplace_back("events_per_sec_traced_off",
+                           traced_off_tp);
+    gCounters.emplace_back("tracing_off_ratio",
+                           pooled_tp > 0 ? traced_off_tp / pooled_tp
+                                         : 0.0);
     gCounters.emplace_back("cancel_events_per_sec_legacy", legacy_cc);
     gCounters.emplace_back("cancel_events_per_sec_pooled", pooled_cc);
     gCounters.emplace_back("cancel_speedup", legacy_cc > 0

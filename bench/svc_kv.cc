@@ -38,16 +38,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench/bench_util.hh"
 #include "core/cluster.hh"
 #include "kv/kv_router.hh"
 #include "kv/kv_service.hh"
+#include "sim/metrics.hh"
 #include "sim/simulator.hh"
+#include "sim/trace.hh"
 #include "workload/workload.hh"
 
 using namespace bluedbm;
@@ -68,6 +72,77 @@ kvGeometry()
     g.pageSize = 8192;
     return g;
 }
+
+/** Per-stage p99 attribution cut from the always-on kv.stage.*
+ * histograms: where a measured phase's tail latency was spent. */
+struct StageTails
+{
+    double admissionP99us = 0.0; //!< window-slot wait at the service
+    double netP99us = 0.0;       //!< network round trip minus service
+    double shardP99us = 0.0;     //!< shard service (fs + memtable)
+    double flashQueueP99us = 0.0; //!< read-class flash queueing
+    double nandP99us = 0.0;       //!< read-class NAND service
+};
+
+/**
+ * Phase cutter over the always-on stage histograms: copy at phase
+ * start, subtract at phase end (LatencyHistogram::subtract), so the
+ * same five histograms yield steady / crash-window / handoff tails
+ * without per-phase plumbing in the serving path.
+ */
+class StageProbe
+{
+  public:
+    explicit StageProbe(sim::Simulator &sim)
+        : adm_(&sim.metrics().histogram("kv.stage.admission")),
+          net_(&sim.metrics().histogram("kv.stage.net")),
+          shard_(&sim.metrics().histogram("kv.stage.shard")),
+          flashQ_(&sim.metrics().histogram("kv.stage.flash_queue",
+                                           {{"class", "read"}})),
+          nand_(&sim.metrics().histogram("kv.stage.nand",
+                                         {{"class", "read"}}))
+    {
+        rebase();
+    }
+
+    /** Start a fresh phase window (e.g. after preload). */
+    void
+    rebase()
+    {
+        baseAdm_ = *adm_;
+        baseNet_ = *net_;
+        baseShard_ = *shard_;
+        baseFlashQ_ = *flashQ_;
+        baseNand_ = *nand_;
+    }
+
+    /** Tails recorded since the last rebase(); rebases after. */
+    StageTails
+    cut()
+    {
+        StageTails t;
+        t.admissionP99us = phaseP99(*adm_, baseAdm_);
+        t.netP99us = phaseP99(*net_, baseNet_);
+        t.shardP99us = phaseP99(*shard_, baseShard_);
+        t.flashQueueP99us = phaseP99(*flashQ_, baseFlashQ_);
+        t.nandP99us = phaseP99(*nand_, baseNand_);
+        rebase();
+        return t;
+    }
+
+  private:
+    static double
+    phaseP99(sim::LatencyHistogram cur,
+             const sim::LatencyHistogram &base)
+    {
+        cur.subtract(base);
+        return cur.count() ? sim::ticksToUs(cur.p99()) : 0.0;
+    }
+
+    sim::LatencyHistogram *adm_, *net_, *shard_, *flashQ_, *nand_;
+    sim::LatencyHistogram baseAdm_, baseNet_, baseShard_,
+        baseFlashQ_, baseNand_;
+};
 
 struct RunResult
 {
@@ -93,20 +168,97 @@ struct RunResult
      * reads that jumped an in-flight program, and program windows
      * parked + resumed. */
     std::uint64_t suspendedPrograms = 0, resumedPrograms = 0;
+    /** Where the measured phase's p99 was spent. */
+    StageTails stages;
+    /** Tracing (traced runs only). */
+    std::uint64_t tracesStarted = 0, tracesRetained = 0;
+    std::uint64_t tracesSlow = 0;
+    /** Sampled get traces with a NAND leaf whose top-level span
+     * durations were checked against the root duration. */
+    std::uint64_t tracedChecked = 0;
+    /** Max |sum(top-level spans) - end-to-end| over the checked
+     * traces, in microseconds (one simulated clock: must be 0). */
+    double tracedSpanSumErrUs = 0.0;
 };
 
 /** Default write quorum for the non-sweep sections
  * (--write-quorum). */
 unsigned globalQuorum = 1;
 
+/** --trace-out: Chrome trace-event JSON path (traced runs). */
+std::string gTraceOut;
+/** --slow-trace-us: always-retain threshold for the slow-request
+ * log of traced runs (0 = sampling only). */
+std::uint64_t gSlowTraceUs = 0;
+
+/**
+ * Span-tree self-check over the retained traces: for every sampled
+ * kv.get that reached NAND (the paper's uncached data path), the
+ * durations of the root's direct children -- svc.queue then route,
+ * which themselves telescope over net.req / shard.get / net.resp --
+ * must sum exactly to the root's duration, because every span is
+ * clocked by the one simulated clock. Traces that hit a timeout
+ * retry (rpc.timeout mark) legitimately hold a straggler span that
+ * overlaps the retry and are skipped.
+ */
+void
+checkSpanSums(const sim::Tracer &tracer, RunResult &r)
+{
+    for (const auto &t : tracer.retained()) {
+        if (t.spans.empty() ||
+            std::string_view(t.spans[0].name) != "kv.get")
+            continue;
+        bool has_nand = false, timed_out = false;
+        for (const auto &s : t.spans) {
+            if (std::string_view(s.name).substr(0, 5) == "nand.")
+                has_nand = true;
+        }
+        for (const auto &m : t.marks) {
+            if (std::string_view(m.name) == "rpc.timeout")
+                timed_out = true;
+        }
+        if (!has_nand || timed_out)
+            continue;
+        sim::Tick sum = 0;
+        bool open = false;
+        for (std::size_t i = 1; i < t.spans.size(); ++i) {
+            const auto &s = t.spans[i];
+            if (s.parent != 0)
+                continue; // not a direct child of the root
+            if (s.end == 0)
+                open = true;
+            else
+                sum += s.end - s.begin;
+        }
+        if (open)
+            continue;
+        sim::Tick e2e = t.spans[0].end - t.spans[0].begin;
+        sim::Tick err = sum > e2e ? sum - e2e : e2e - sum;
+        r.tracedSpanSumErrUs = std::max(r.tracedSpanSumErrUs,
+                                        sim::ticksToUs(err));
+        ++r.tracedChecked;
+    }
+}
+
 RunResult
 runConfig(unsigned nodes, bool zipfian, double theta, bool open_loop,
           double arrivals_per_sec, std::uint64_t total_ops,
-          bool cached = true, unsigned write_quorum = 0)
+          bool cached = true, unsigned write_quorum = 0,
+          bool traced = false)
 {
     if (write_quorum == 0)
         write_quorum = globalQuorum;
     sim::Simulator sim;
+    if (traced) {
+        sim::Tracer::Params tp;
+        tp.enabled = true;
+        tp.sampleEvery = 16;
+        tp.slowThresholdTicks = gSlowTraceUs
+            ? sim::usToTicks(double(gSlowTraceUs))
+            : sim::Tick(0);
+        tp.maxRetained = 4096;
+        sim.tracer().configure(tp);
+    }
     core::ClusterParams cp;
     cp.topology = net::Topology::ring(nodes, nodes >= 20 ? 4 : 2);
     cp.node.geometry = kvGeometry();
@@ -139,17 +291,20 @@ runConfig(unsigned nodes, bool zipfian, double theta, bool open_loop,
     wp.seed = 99;
     workload::WorkloadEngine engine(sim, cluster, router, service,
                                     wp);
+    StageProbe probe(sim);
 
     bool loaded = false;
     engine.preload([&]() { loaded = true; });
     sim.run();
     if (!loaded)
         sim::fatal("kv bench preload did not finish");
+    probe.rebase(); // preload ops are not part of the phase
     bool finished = false;
     engine.run([&]() { finished = true; });
     sim.run();
     if (!finished)
         sim::fatal("kv bench run did not finish");
+    StageTails stages = probe.cut();
 
     // Post-run anti-entropy sweep: fault-free traffic must leave
     // zero divergence, and the sweep itself must find nothing --
@@ -167,6 +322,17 @@ runConfig(unsigned nodes, bool zipfian, double theta, bool open_loop,
     r.openLoop = open_loop;
     r.cached = cached;
     r.quorum = write_quorum;
+    r.stages = stages;
+    if (traced) {
+        r.tracesStarted = sim.tracer().started();
+        r.tracesRetained = sim.tracer().retained().size();
+        r.tracesSlow = sim.tracer().retainedSlow();
+        checkSpanSums(sim.tracer(), r);
+        if (!gTraceOut.empty() &&
+            !sim.tracer().writeChromeJson(gTraceOut))
+            sim::fatal("could not write trace JSON to %s",
+                       gTraceOut.c_str());
+    }
     r.repairLag = router.maxBackgroundWrites();
     r.divergent = divergent_before;
     r.divergentSwept = router.divergentWrites();
@@ -206,6 +372,16 @@ struct MemberPhase
     double tput = 0.0;
     double p50us = 0.0, p99us = 0.0;
     std::uint64_t rejected = 0;
+    /** Where this phase's p99 was spent. */
+    StageTails stages;
+    /** Registry-counter activity inside this phase alone
+     * (Snapshot::deltaSince across the phase boundary): detection
+     * timeouts and membership transitions must land in the phase
+     * that caused them, not leak into steady state. */
+    std::uint64_t readTimeouts = 0;
+    std::uint64_t degradedWrites = 0;
+    std::uint64_t suspectTransitions = 0;
+    std::uint64_t deadTransitions = 0;
 };
 
 struct MemberResult
@@ -295,11 +471,14 @@ runKillRebuild(unsigned nodes, std::uint64_t phase_ops, bool tight)
     workload::WorkloadEngine engine(sim, cluster, router, service,
                                     wp);
 
+    StageProbe probe(sim);
     bool loaded = false;
     engine.preload([&]() { loaded = true; });
     sim.run();
     if (!loaded)
         sim::fatal("kill bench preload did not finish");
+    probe.rebase();
+    auto base = sim.metrics().snapshot();
 
     auto snap = [&]() {
         MemberPhase p;
@@ -307,6 +486,18 @@ runKillRebuild(unsigned nodes, std::uint64_t phase_ops, bool tight)
         p.p50us = sim::ticksToUs(engine.allLatency().p50());
         p.p99us = sim::ticksToUs(engine.allLatency().p99());
         p.rejected = engine.rejectedOps();
+        p.stages = probe.cut();
+        // Phase-scoped counter deltas: the membership counters are
+        // cumulative, so each phase owns exactly the activity
+        // between two snapshots.
+        auto delta = sim.metrics().snapshot().deltaSince(base);
+        p.readTimeouts = delta.total("kv.router.read_timeouts");
+        p.degradedWrites = delta.total("kv.router.degraded_writes");
+        p.suspectTransitions =
+            delta.total("kv.router.suspect_transitions");
+        p.deadTransitions =
+            delta.total("kv.router.dead_transitions");
+        base = sim.metrics().snapshot();
         return p;
     };
     auto phase = [&](const char *name) {
@@ -437,11 +628,14 @@ runExpand(unsigned nodes, std::uint64_t phase_ops, bool tight)
     workload::WorkloadEngine engine(sim, cluster, router, service,
                                     wp);
 
+    StageProbe probe(sim);
     bool loaded = false;
     engine.preload([&]() { loaded = true; });
     sim.run();
     if (!loaded)
         sim::fatal("expand bench preload did not finish");
+    probe.rebase();
+    auto base = sim.metrics().snapshot();
 
     auto snap = [&]() {
         MemberPhase p;
@@ -449,6 +643,15 @@ runExpand(unsigned nodes, std::uint64_t phase_ops, bool tight)
         p.p50us = sim::ticksToUs(engine.allLatency().p50());
         p.p99us = sim::ticksToUs(engine.allLatency().p99());
         p.rejected = engine.rejectedOps();
+        p.stages = probe.cut();
+        auto delta = sim.metrics().snapshot().deltaSince(base);
+        p.readTimeouts = delta.total("kv.router.read_timeouts");
+        p.degradedWrites = delta.total("kv.router.degraded_writes");
+        p.suspectTransitions =
+            delta.total("kv.router.suspect_transitions");
+        p.deadTransitions =
+            delta.total("kv.router.dead_transitions");
+        base = sim.metrics().snapshot();
         return p;
     };
     auto phase = [&](const char *name) {
@@ -503,6 +706,7 @@ std::vector<RunResult> skew;
 std::vector<RunResult> skewNoCache;
 std::vector<RunResult> quorumSweep;
 RunResult open_loop_run;
+RunResult traced_run;
 MemberResult killRun;
 MemberResult expandRun;
 
@@ -536,6 +740,13 @@ runAll()
     // Open loop at 8 nodes: Poisson arrivals, 64 clients x 2000/s
     // = 128k ops/s offered, well under the closed-loop ceiling.
     open_loop_run = runConfig(8, true, 0.99, true, 2000.0, 24000);
+
+    // Traced run: the headline config again, smaller, with the
+    // tracer sampling 1-in-16 ops. Every sampled get that reached
+    // NAND must telescope (span sums == e2e); --trace-out exports
+    // the span trees as Chrome trace-event JSON for Perfetto.
+    traced_run = runConfig(20, true, 0.99, false, 0.0, 12000, true,
+                           0, true);
 
     // Elastic membership at rack scale: one node crashes and is
     // rebuilt under load; a 21st node joins a 20-node serving ring.
@@ -598,6 +809,31 @@ printTable()
                 (unsigned long long)head.cacheStale,
                 (unsigned long long)head.coalesced,
                 (unsigned long long)head.validated);
+
+    bench::banner("Per-stage p99 attribution (us): why the tail "
+                  "moved");
+    std::printf("%22s %10s %8s %8s %8s %8s\n", "config",
+                "admission", "net", "shard", "flashq", "nand");
+    auto srow = [](const std::string &name, const StageTails &s) {
+        std::printf("%22s %10.1f %8.1f %8.1f %8.1f %8.1f\n",
+                    name.c_str(), s.admissionP99us, s.netP99us,
+                    s.shardP99us, s.flashQueueP99us, s.nandP99us);
+    };
+    for (const auto &r : scaling)
+        srow(std::to_string(r.nodes) + " nodes zipf0.99",
+             r.stages);
+    srow("kill: steady", killRun.steady.stages);
+    srow("kill: crash window", killRun.window.stages);
+    srow("join: handoff window", expandRun.window.stages);
+    std::printf("\nTraced run (20 nodes, 1-in-16 sampling): %llu "
+                "ops traced, %llu retained (%llu slow); %llu "
+                "NAND-reaching gets span-sum-checked, max error "
+                "%.3f us (one clock: must be 0).\n",
+                (unsigned long long)traced_run.tracesStarted,
+                (unsigned long long)traced_run.tracesRetained,
+                (unsigned long long)traced_run.tracesSlow,
+                (unsigned long long)traced_run.tracedChecked,
+                traced_run.tracedSpanSumErrUs);
 
     bench::banner("Elastic membership under live load (20 nodes)");
     std::printf("%22s %12s %9s %9s %10s\n", "phase", "ops/s",
@@ -767,6 +1003,36 @@ smokeQuorum()
 int
 main(int argc, char **argv)
 {
+    // Tracing flags first (and stripped from argv: the benchmark
+    // library rejects flags it does not know): --trace-out enables
+    // the tracer on the traced run / smoke and exports the retained
+    // span trees as Chrome trace-event JSON; --slow-trace-us arms
+    // the always-on slow-request log at that threshold.
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string a(argv[i]);
+        if (a == "--trace-out") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--trace-out needs a path\n");
+                return 1;
+            }
+            gTraceOut = argv[++i];
+            continue;
+        }
+        if (a == "--slow-trace-us") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--slow-trace-us needs a value\n");
+                return 1;
+            }
+            gSlowTraceUs = std::strtoull(argv[++i], nullptr, 10);
+            continue;
+        }
+        argv[kept++] = argv[i];
+    }
+    argc = kept;
+    argv[argc] = nullptr;
+
     for (int i = 1; i < argc; ++i) {
         if (std::string(argv[i]) == "--write-quorum") {
             if (i + 1 >= argc) {
@@ -794,12 +1060,15 @@ main(int argc, char **argv)
             std::printf("kill smoke: steady p99 %.1fus, window "
                         "p99 %.1fus, rebuild p99 %.1fus, %llu "
                         "repairs, %llu bg writes, divergent "
-                        "%llu\n",
+                        "%llu; timeouts by phase steady/window "
+                        "%llu/%llu\n",
                         r.steady.p99us, r.window.p99us,
                         r.rebuild.p99us,
                         (unsigned long long)r.rebuildRepairs,
                         (unsigned long long)r.bgWrites,
-                        (unsigned long long)r.divergentFinal);
+                        (unsigned long long)r.divergentFinal,
+                        (unsigned long long)r.steady.readTimeouts,
+                        (unsigned long long)r.window.readTimeouts);
             if (r.divergentFinal != 0) {
                 std::fprintf(stderr, "divergence survived the "
                                      "rebuild + final sweep\n");
@@ -808,6 +1077,49 @@ main(int argc, char **argv)
             if (r.deadTransitions == 0) {
                 std::fprintf(stderr,
                              "crash was never detected\n");
+                return 1;
+            }
+            // Phase attribution of the membership counters: the
+            // crash window -- not steady state -- must account for
+            // the timeout surge and every dead transition. (The
+            // tight knobs sit below the 4-node steady tail, so a
+            // few spurious steady timeouts are expected; the crash
+            // must still dominate.) The two phase deltas must also
+            // sum back to the cumulative counter, or the snapshot
+            // machinery is dropping activity.
+            if (r.steady.deadTransitions != 0 ||
+                r.window.deadTransitions == 0) {
+                std::fprintf(stderr,
+                             "dead transitions misattributed: "
+                             "steady %llu, window %llu\n",
+                             (unsigned long long)
+                                 r.steady.deadTransitions,
+                             (unsigned long long)
+                                 r.window.deadTransitions);
+                return 1;
+            }
+            if (r.window.readTimeouts <= r.steady.readTimeouts) {
+                std::fprintf(stderr,
+                             "crash window does not own the "
+                             "timeout surge: steady %llu, window "
+                             "%llu\n",
+                             (unsigned long long)
+                                 r.steady.readTimeouts,
+                             (unsigned long long)
+                                 r.window.readTimeouts);
+                return 1;
+            }
+            if (r.steady.readTimeouts + r.window.readTimeouts !=
+                r.readTimeouts) {
+                std::fprintf(stderr,
+                             "phase deltas do not sum to the "
+                             "cumulative counter: %llu + %llu != "
+                             "%llu\n",
+                             (unsigned long long)
+                                 r.steady.readTimeouts,
+                             (unsigned long long)
+                                 r.window.readTimeouts,
+                             (unsigned long long)r.readTimeouts);
                 return 1;
             }
             if (r.window.p99us > 3.0 * r.steady.p99us) {
@@ -859,16 +1171,51 @@ main(int argc, char **argv)
     // spreading exercised -- with no JSON side effects.
     for (int i = 1; i < argc; ++i) {
         if (std::string(argv[i]) == "--smoke") {
-            RunResult r = runConfig(4, true, 0.99, false, 0.0, 4000);
+            bool traced = !gTraceOut.empty() || gSlowTraceUs != 0;
+            RunResult r = runConfig(4, true, 0.99, false, 0.0,
+                                    4000, true, 0, traced);
             std::printf("smoke: %.0f ops/s, p99 %.1f us "
                         "(read %.1f / write %.1f), "
                         "%llu cache-served, %llu coalesced\n",
                         r.tput, r.p99us, r.readP99us, r.writeP99us,
                         (unsigned long long)r.cacheServed,
                         (unsigned long long)r.coalesced);
+            std::printf("smoke stages p99 (us): admission %.1f, "
+                        "net %.1f, shard %.1f, flashq %.1f, "
+                        "nand %.1f\n",
+                        r.stages.admissionP99us, r.stages.netP99us,
+                        r.stages.shardP99us,
+                        r.stages.flashQueueP99us,
+                        r.stages.nandP99us);
             if (r.tput <= 0.0) {
                 std::fprintf(stderr, "smoke run made no progress\n");
                 return 1;
+            }
+            if (traced) {
+                std::printf("smoke traces: %llu started, %llu "
+                            "retained (%llu slow), %llu "
+                            "span-sum-checked, max err %.3f us\n",
+                            (unsigned long long)r.tracesStarted,
+                            (unsigned long long)r.tracesRetained,
+                            (unsigned long long)r.tracesSlow,
+                            (unsigned long long)r.tracedChecked,
+                            r.tracedSpanSumErrUs);
+                if (r.tracesStarted == 0 ||
+                    r.tracesRetained == 0) {
+                    std::fprintf(stderr,
+                                 "tracing retained nothing\n");
+                    return 1;
+                }
+                if (r.tracedChecked == 0 ||
+                    r.tracedSpanSumErrUs != 0.0) {
+                    std::fprintf(stderr,
+                                 "span-sum check failed: %llu "
+                                 "checked, max err %.3f us\n",
+                                 (unsigned long long)
+                                     r.tracedChecked,
+                                 r.tracedSpanSumErrUs);
+                    return 1;
+                }
             }
             return 0;
         }
@@ -881,6 +1228,17 @@ main(int argc, char **argv)
     printTable();
 
     bench::JsonCounters counters;
+    auto stageFields = [&](const std::string &p,
+                           const StageTails &s) {
+        counters.emplace_back(p + "stage_admission_p99_us",
+                              s.admissionP99us);
+        counters.emplace_back(p + "stage_net_p99_us", s.netP99us);
+        counters.emplace_back(p + "stage_shard_p99_us",
+                              s.shardP99us);
+        counters.emplace_back(p + "stage_flash_queue_p99_us",
+                              s.flashQueueP99us);
+        counters.emplace_back(p + "stage_nand_p99_us", s.nandP99us);
+    };
     for (const auto &r : scaling) {
         std::string p = "nodes" + std::to_string(r.nodes) + "_";
         counters.emplace_back(p + "tput_ops", r.tput);
@@ -894,6 +1252,7 @@ main(int argc, char **argv)
                               double(r.suspendedPrograms));
         counters.emplace_back(p + "resumed_programs",
                               double(r.resumedPrograms));
+        stageFields(p, r.stages);
     }
     const auto &head = scaling.back();
     counters.emplace_back("nodes20_cache_served",
@@ -936,10 +1295,29 @@ main(int argc, char **argv)
     counters.emplace_back("open_p999_us", open_loop_run.p999us);
     counters.emplace_back("open_rejected",
                           double(open_loop_run.rejected));
+    counters.emplace_back("traced_tput_ops", traced_run.tput);
+    counters.emplace_back("traced_p99_us", traced_run.p99us);
+    counters.emplace_back("traced_started",
+                          double(traced_run.tracesStarted));
+    counters.emplace_back("traced_retained",
+                          double(traced_run.tracesRetained));
+    counters.emplace_back("traced_slow",
+                          double(traced_run.tracesSlow));
+    counters.emplace_back("traced_span_checked",
+                          double(traced_run.tracedChecked));
+    counters.emplace_back("traced_span_sum_err_us",
+                          traced_run.tracedSpanSumErrUs);
     auto mphase = [&](const std::string &p, const MemberPhase &m) {
         counters.emplace_back(p + "tput_ops", m.tput);
         counters.emplace_back(p + "p50_us", m.p50us);
         counters.emplace_back(p + "p99_us", m.p99us);
+        counters.emplace_back(p + "read_timeouts",
+                              double(m.readTimeouts));
+        counters.emplace_back(p + "degraded_writes",
+                              double(m.degradedWrites));
+        counters.emplace_back(p + "dead_transitions",
+                              double(m.deadTransitions));
+        stageFields(p, m.stages);
     };
     mphase("member_kill_steady_", killRun.steady);
     mphase("member_kill_window_", killRun.window);

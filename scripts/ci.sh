@@ -41,6 +41,49 @@ else
     exit 1
 fi
 
+echo "=== sanitize: traced KV smoke + span-tree check ==="
+# The same smoke with the request tracer on: --trace-out exports the
+# sampled span trees as Chrome trace-event JSON. The binary gates
+# the span-sum identity (stage durations telescope to e2e latency);
+# the python check then proves the artifact itself is loadable and
+# that at least one sampled operation's tree is complete from the
+# service root down to a NAND leaf -- all under ASan/UBSan.
+TRACE_JSON="build-sanitize/smoke_trace.json"
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ./build-sanitize/svc_kv --smoke --trace-out "${TRACE_JSON}" \
+    --slow-trace-us 2000
+python3 - "${TRACE_JSON}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)  # must parse as strict JSON
+events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+if not events:
+    sys.exit("trace JSON holds no span events")
+# Group spans by trace (pid) and walk one NAND leaf to its root.
+traces = {}
+for e in events:
+    traces.setdefault(e["pid"], {})[e["args"]["span"]] = e
+complete = 0
+for spans in traces.values():
+    names = {e["name"] for e in spans.values()}
+    if "svc.queue" not in names:
+        continue
+    for e in spans.values():
+        if not e["name"].startswith("nand."):
+            continue
+        hop = e
+        while hop["args"]["parent"] != -1:
+            hop = spans[hop["args"]["parent"]]
+        if hop["name"].startswith("kv."):
+            complete += 1
+            break
+if complete == 0:
+    sys.exit("no sampled trace is complete from admission "
+             "(svc.queue under a kv.* root) to a NAND leaf")
+print(f"trace check ok: {len(traces)} traces retained, "
+      f"{complete} complete to a NAND leaf")
+EOF
+
 echo "=== sanitize: quorum fault-injection smoke ==="
 # W=1 puts against a node that fails every NAND program: quorum
 # acks must still complete Ok, divergence must be counted, and one
@@ -71,6 +114,28 @@ else
     echo "bench binaries missing (google-benchmark not found?)" >&2
     exit 1
 fi
+
+echo "=== tracing overhead gate (BENCH_kernel.json) ==="
+# Tracing must be free when disabled: the kernel ablation runs the
+# pooled event queue with and without per-event tracer touches
+# (disabled tracer / untraced handles, best-of-5 per variant), and
+# the traced-off rate must hold >= 98% of the plain one.
+kernel_field() {
+    awk -F'[:,]' -v k="\"$1\"" '$1 ~ k { gsub(/[[:space:]]/, "", $2); print $2 }' \
+        BENCH_kernel.json
+}
+troff="$(kernel_field tracing_off_ratio)"
+if [[ -z "$troff" ]]; then
+    echo "tracing gate: BENCH_kernel.json missing tracing_off_ratio" >&2
+    exit 1
+fi
+awk -v r="$troff" 'BEGIN { exit !(r + 0 >= 0.98) }' || {
+    echo "tracing gate: disabled tracing costs $(awk -v r="$troff" \
+        'BEGIN { printf "%.1f", 100 * (1 - r) }')% of event" \
+        "throughput (ratio ${troff} < 0.98)" >&2
+    exit 1
+}
+echo "tracing gate ok: traced-off/pooled ratio ${troff}"
 
 echo "=== perf smoke gate (BENCH_kv.json) ==="
 # The serving perf floors: 20-node throughput must hold >= 1.9M
@@ -116,9 +181,26 @@ awk -v s="$susp" 'BEGIN { exit !(s + 0 > 0) }' || {
     echo "perf gate: suspension never engaged at 20 nodes" >&2
     exit 1
 }
+# Span-sum acceptance on the traced 20-node run: sampled gets that
+# reached NAND must telescope exactly -- their top-level span
+# durations sum to the measured end-to-end latency (one simulated
+# clock, so the tolerance is zero).
+tchecked="$(bench_field traced_span_checked)"
+terr="$(bench_field traced_span_sum_err_us)"
+if [[ -z "$tchecked" || -z "$terr" ]]; then
+    echo "perf gate: BENCH_kv.json missing traced-run fields" >&2
+    exit 1
+fi
+awk -v c="$tchecked" -v e="$terr" \
+    'BEGIN { exit !(c + 0 >= 1 && e + 0 == 0) }' || {
+    echo "perf gate: span-sum check failed (${tchecked} checked," \
+         "max err ${terr}us)" >&2
+    exit 1
+}
 echo "perf gate ok: tput ${tput20}/${tput4} ops/s (20n/4n)," \
      "W=1 read p99 ${rp99}us, write p99 ${wp99}us," \
-     "post-sweep divergence ${div}, ${susp} suspended programs"
+     "post-sweep divergence ${div}, ${susp} suspended programs," \
+     "${tchecked} traced gets telescoped exactly"
 
 echo "=== membership gate (BENCH_kv.json) ==="
 # Elastic-membership floors at 20 nodes: crashing a node must not
@@ -161,9 +243,29 @@ awk -v d="$ediv" -v m="$emoved" 'BEGIN { exit !(d + 0 == 0 && m + 0 > 0) }' || {
     echo "membership gate: expansion left divergence or moved no keys" >&2
     exit 1
 }
+# Phase attribution of the membership counters (registry snapshot
+# deltas): the crash window -- not steady state -- must account for
+# the detection timeouts and the dead transition. At 20 nodes the
+# default detection knobs sit far above the steady tail, so steady
+# must own exactly zero.
+ksteadyto="$(bench_field member_kill_steady_read_timeouts)"
+kwindowto="$(bench_field member_kill_window_read_timeouts)"
+kwindowdead="$(bench_field member_kill_window_dead_transitions)"
+if [[ -z "$ksteadyto" || -z "$kwindowto" || -z "$kwindowdead" ]]; then
+    echo "membership gate: BENCH_kv.json missing phase-delta fields" >&2
+    exit 1
+fi
+awk -v s="$ksteadyto" -v w="$kwindowto" -v d="$kwindowdead" \
+    'BEGIN { exit !(s + 0 == 0 && w + 0 > 0 && d + 0 > 0) }' || {
+    echo "membership gate: crash window does not own the detection" \
+         "cost (steady ${ksteadyto} / window ${kwindowto} timeouts," \
+         "${kwindowdead} dead transitions in window)" >&2
+    exit 1
+}
 echo "membership gate ok: kill p99 ${ksteady}->${kwindow}us," \
      "${krep} rebuild repairs (${kbgw} bg writes), divergence ${kdiv};" \
      "join p99 ${esteady}->${ewindow}us, ${emoved} keys moved," \
-     "divergence ${ediv}"
+     "divergence ${ediv}; crash window owns ${kwindowto} timeouts" \
+     "(steady ${ksteadyto})"
 
 echo "=== CI OK ==="

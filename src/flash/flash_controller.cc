@@ -17,6 +17,7 @@ FlashController::FlashController(sim::Simulator &sim, NandArray &nand,
     tagAddr_.assign(tags, Address{});
     tagGroup_.assign(tags, 0);
     tagPri_.assign(tags, Priority::Read);
+    tagTrace_.assign(tags, 0);
 }
 
 void
@@ -34,6 +35,7 @@ FlashController::sendCommand(const Command &cmd)
     tagAddr_[tag] = cmd.addr;
     tagGroup_[tag] = cmd.group;
     tagPri_[tag] = cmd.pri;
+    tagTrace_[tag] = cmd.trace;
 
     switch (cmd.op) {
       case Op::ReadPage:
@@ -43,7 +45,7 @@ FlashController::sendCommand(const Command &cmd)
             tagState_[tag] = TagState::Free;
             client_->readDone(tag, std::move(res.data), res.status);
         },
-                   cmd.pri, cmd.readOffset, cmd.readLen);
+                   cmd.pri, cmd.readOffset, cmd.readLen, cmd.trace);
         break;
 
       case Op::WritePage:
@@ -65,7 +67,7 @@ FlashController::sendCommand(const Command &cmd)
             tagState_[tag] = TagState::Free;
             client_->eraseDone(tag, st);
         },
-                    cmd.pri);
+                    cmd.pri, cmd.trace);
         break;
     }
 }
@@ -84,7 +86,7 @@ FlashController::sendWriteData(Tag tag, PageBuffer data)
         tagState_[tag] = TagState::Free;
         client_->writeDone(tag, st);
     },
-                tagGroup_[tag], tagPri_[tag]);
+                tagGroup_[tag], tagPri_[tag], tagTrace_[tag]);
 }
 
 } // namespace flash

@@ -93,6 +93,9 @@ class FlashController
     std::vector<std::uint32_t> tagGroup_;
     /** Traffic class of the command on each tag (see Priority). */
     std::vector<Priority> tagPri_;
+    /** Tracing continuation of the command on each tag
+     * (Command::trace); handed to the NAND with the operation. */
+    std::vector<std::uint64_t> tagTrace_;
 
     std::uint64_t readsIssued_ = 0;
     std::uint64_t writesIssued_ = 0;

@@ -1,5 +1,6 @@
 #include "flash/flash_server.hh"
 
+#include <string>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -10,7 +11,25 @@ namespace flash {
 FlashServer::FlashServer(sim::Simulator &sim,
                          FlashSplitter::Port &port,
                          unsigned interfaces, unsigned queue_depth)
-    : sim_(sim), port_(port), depth_(queue_depth)
+    : sim_(sim), port_(port), depth_(queue_depth),
+      inst_(sim.metrics().nextInstance("flash_server")),
+      injectedWriteFaults_(sim.metrics().counter(
+          "flash.injected_write_faults",
+          {{"inst", std::to_string(inst_)}})),
+      injectedReadFaults_(sim.metrics().counter(
+          "flash.injected_read_faults",
+          {{"inst", std::to_string(inst_)}})),
+      batchedWrites_(sim.metrics().counter(
+          "flash.batched_writes",
+          {{"inst", std::to_string(inst_)}})),
+      stageQueueRead_(sim.metrics().histogram(
+          "kv.stage.flash_queue", {{"class", "read"}})),
+      stageQueueBg_(sim.metrics().histogram(
+          "kv.stage.flash_queue", {{"class", "bg"}})),
+      stageNandRead_(sim.metrics().histogram(
+          "kv.stage.nand", {{"class", "read"}})),
+      stageNandBg_(sim.metrics().histogram(
+          "kv.stage.nand", {{"class", "bg"}}))
 {
     if (interfaces == 0 || queue_depth == 0)
         sim::fatal("FlashServer needs >=1 interface and depth");
@@ -20,6 +39,18 @@ FlashServer::FlashServer(sim::Simulator &sim,
     ifcs_.resize(interfaces);
     tagInfo_.resize(interfaces * queue_depth);
     port_.setClient(this);
+    for (unsigned i = 0; i < interfaces; ++i) {
+        // Live queue depth as a computed gauge: no shadow counter
+        // to keep in sync, snapshots just call queueLength().
+        sim.metrics().registerGauge(
+            "flash.queue_len",
+            {{"inst", std::to_string(inst_)},
+             {"ifc", std::to_string(i)}},
+            [this, i]() { return double(queueLength(i)); });
+    }
+    sim.metrics().registerGauge(
+        "flash.staged_writes", {{"inst", std::to_string(inst_)}},
+        [this]() { return double(stagedTotal_); });
 }
 
 void
@@ -66,6 +97,7 @@ FlashServer::streamRead(unsigned ifc, std::uint32_t handle,
         job.addr = pages[first + i];
         job.pageSink = sink;
         job.pri = pri;
+        job.enqueued = sim_.now();
         ifcs_[ifc].pending.push_back(std::move(job));
     }
     pump(ifc);
@@ -74,7 +106,7 @@ FlashServer::streamRead(unsigned ifc, std::uint32_t handle,
 void
 FlashServer::readPage(unsigned ifc, const Address &addr, PageSink sink,
                       Priority pri, std::uint32_t offset,
-                      std::uint32_t len)
+                      std::uint32_t len, std::uint64_t trace)
 {
     if (ifc >= ifcs_.size())
         sim::panic("interface %u out of range", ifc);
@@ -85,13 +117,18 @@ FlashServer::readPage(unsigned ifc, const Address &addr, PageSink sink,
     job.pri = pri;
     job.readOffset = offset;
     job.readLen = len;
+    job.trace = trace;
+    job.enqueued = sim_.now();
+    job.queueSpan =
+        sim_.tracer().beginSpan(trace, "flash.queue", job.enqueued);
     ifcs_[ifc].pending.push_back(std::move(job));
     pump(ifc);
 }
 
 void
 FlashServer::writePage(unsigned ifc, const Address &addr,
-                       PageBuffer data, WriteSink sink, Priority pri)
+                       PageBuffer data, WriteSink sink, Priority pri,
+                       std::uint64_t trace)
 {
     if (ifc >= ifcs_.size())
         sim::panic("interface %u out of range", ifc);
@@ -101,6 +138,10 @@ FlashServer::writePage(unsigned ifc, const Address &addr,
     job.writeData = std::move(data);
     job.writeSink = std::move(sink);
     job.pri = pri;
+    job.trace = trace;
+    job.enqueued = sim_.now();
+    job.queueSpan =
+        sim_.tracer().beginSpan(trace, "flash.queue", job.enqueued);
     if (ifcs_[ifc].batchMax != 0) {
         stageWrite(ifc, std::move(job));
         return;
@@ -183,7 +224,7 @@ FlashServer::flushBatch(unsigned ifc, std::uint32_t bus)
             nextGroup_ = 1;
         for (Job &j : jobs)
             j.group = group;
-        batchedWrites_ += jobs.size();
+        batchedWrites_.inc(jobs.size());
     }
     for (Job &j : jobs)
         itf.pending.push_back(std::move(j));
@@ -192,7 +233,8 @@ FlashServer::flushBatch(unsigned ifc, std::uint32_t bus)
 
 void
 FlashServer::eraseBlock(unsigned ifc, const Address &addr,
-                        WriteSink sink, Priority pri)
+                        WriteSink sink, Priority pri,
+                        std::uint64_t trace)
 {
     if (ifc >= ifcs_.size())
         sim::panic("interface %u out of range", ifc);
@@ -201,6 +243,10 @@ FlashServer::eraseBlock(unsigned ifc, const Address &addr,
     job.addr = addr;
     job.writeSink = std::move(sink);
     job.pri = pri;
+    job.trace = trace;
+    job.enqueued = sim_.now();
+    job.queueSpan =
+        sim_.tracer().beginSpan(trace, "flash.queue", job.enqueued);
     ifcs_[ifc].pending.push_back(std::move(job));
     pump(ifc);
 }
@@ -238,11 +284,25 @@ FlashServer::pump(unsigned ifc)
         itf.pending.pop_front();
         ++itf.inFlight;
 
+        // Stage boundary: the job leaves the queue. Always-on
+        // histogram; the spans only exist for traced ops.
+        sim::Tick now = sim_.now();
+        info.issued = now;
+        (info.job.pri == Priority::Read ? stageQueueRead_
+                                        : stageQueueBg_)
+            .record(now - info.job.enqueued);
+        if (info.job.queueSpan != 0) {
+            sim_.tracer().endSpan(info.job.queueSpan, now);
+            info.job.queueSpan = 0;
+        }
+        info.opSpan =
+            sim_.tracer().beginSpan(info.job.trace, "flash.op", now);
+
         if (info.job.op == Op::WritePage && writeFault_ &&
             writeFault_(info.job.addr)) {
             // Injected program failure: the command never reaches
             // the card, so the page keeps its previous contents.
-            ++injectedWriteFaults_;
+            injectedWriteFaults_.inc();
             sim_.scheduleAfter(0, [this, tag]() {
                 complete(tag, PageBuffer{}, Status::IllegalWrite);
             });
@@ -257,6 +317,7 @@ FlashServer::pump(unsigned ifc)
         cmd.pri = info.job.pri;
         cmd.readOffset = info.job.readOffset;
         cmd.readLen = info.job.readLen;
+        cmd.trace = info.opSpan;
         port_.sendCommand(cmd);
     }
 }
@@ -271,6 +332,16 @@ FlashServer::complete(Tag tag, PageBuffer data, Status status)
     Interface &itf = ifcs_[ifc];
     bool write_done = info.job.op == Op::WritePage;
     std::uint32_t bus = info.job.addr.bus;
+
+    // Stage boundary: NAND service time (issue to completion,
+    // including any read-fault delay the response absorbed).
+    sim::Tick now = sim_.now();
+    (info.job.pri == Priority::Read ? stageNandRead_ : stageNandBg_)
+        .record(now - info.issued);
+    if (info.opSpan != 0) {
+        sim_.tracer().endSpan(info.opSpan, now);
+        info.opSpan = 0;
+    }
 
     Completion done;
     done.job = std::move(info.job);
@@ -333,7 +404,7 @@ FlashServer::readDone(Tag tag, PageBuffer data, Status status)
             // waiter hangs (its timeout machinery owns recovery),
             // but the delivery slot retires so the interface's
             // other reads keep flowing in order.
-            ++injectedReadFaults_;
+            injectedReadFaults_.inc();
             info.job.pageSink = nullptr;
             complete(tag, PageBuffer{}, status);
             return;
@@ -341,7 +412,7 @@ FlashServer::readDone(Tag tag, PageBuffer data, Status status)
         if (act.delayTicks > 0) {
             // Held response: the tag stays busy for the duration,
             // backpressuring the interface like a wedged chip.
-            ++injectedReadFaults_;
+            injectedReadFaults_.inc();
             sim_.scheduleAfter(act.delayTicks,
                                [this, tag, status,
                                 data = std::move(data)]() mutable {

@@ -121,11 +121,18 @@ class FlashServer : public Client
      */
     void readPage(unsigned ifc, const Address &addr, PageSink sink,
                   Priority pri = Priority::Read,
-                  std::uint32_t offset = 0, std::uint32_t len = 0);
+                  std::uint32_t offset = 0, std::uint32_t len = 0,
+                  std::uint64_t trace = 0);
 
-    /** Write one physical page via interface @p ifc. */
+    /** Write one physical page via interface @p ifc.
+     *
+     * @p trace (here and on readPage/eraseBlock; sim::Tracer
+     * handle, 0 = untraced) parents a `flash.queue` span (enqueue
+     * to issue) and a `flash.op` span (issue to completion, with
+     * the NAND leaf inside) for this operation. */
     void writePage(unsigned ifc, const Address &addr, PageBuffer data,
-                   WriteSink sink, Priority pri = Priority::Read);
+                   WriteSink sink, Priority pri = Priority::Read,
+                   std::uint64_t trace = 0);
 
     /**
      * @name Program coalescing (write combining)
@@ -160,7 +167,7 @@ class FlashServer : public Client
                              sim::Tick window);
 
     /** Writes that were flushed in a batch of two or more. */
-    std::uint64_t batchedWrites() const { return batchedWrites_; }
+    std::uint64_t batchedWrites() const { return batchedWrites_.value(); }
 
     /** Writes currently staged (all interfaces). */
     unsigned stagedWrites() const { return stagedTotal_; }
@@ -169,7 +176,8 @@ class FlashServer : public Client
 
     /** Erase one physical block via interface @p ifc. */
     void eraseBlock(unsigned ifc, const Address &addr, WriteSink sink,
-                    Priority pri = Priority::Background);
+                    Priority pri = Priority::Background,
+                    std::uint64_t trace = 0);
 
     /**
      * Commands queued plus in flight on interface @p ifc: the
@@ -191,7 +199,7 @@ class FlashServer : public Client
     using WriteFault = std::function<bool(const Address &)>;
     void setWriteFault(WriteFault hook) { writeFault_ = std::move(hook); }
     /** Programs failed by the armed hook. */
-    std::uint64_t injectedWriteFaults() const { return injectedWriteFaults_; }
+    std::uint64_t injectedWriteFaults() const { return injectedWriteFaults_.value(); }
 
     /**
      * What a read-fault hook does to one page read's RESPONSE (the
@@ -219,7 +227,7 @@ class FlashServer : public Client
     using ReadFault = std::function<ReadFaultAction(const Address &)>;
     void setReadFault(ReadFault hook) { readFault_ = std::move(hook); }
     /** Read responses dropped or delayed by the armed hook. */
-    std::uint64_t injectedReadFaults() const { return injectedReadFaults_; }
+    std::uint64_t injectedReadFaults() const { return injectedReadFaults_.value(); }
     ///@}
 
     /** @name Client interface (driven by the splitter port) */
@@ -242,6 +250,9 @@ class FlashServer : public Client
         Priority pri = Priority::Read; //!< traffic class
         std::uint32_t readOffset = 0; //!< partial read-out range
         std::uint32_t readLen = 0;    //!< 0 = whole page
+        std::uint64_t trace = 0;     //!< caller's tracing span
+        std::uint64_t queueSpan = 0; //!< open flash.queue span
+        sim::Tick enqueued = 0;      //!< when the job entered the server
     };
 
     struct Completion
@@ -298,6 +309,8 @@ class FlashServer : public Client
         unsigned stream = 0;      //!< streamOf(job.op)
         Job job;
         bool busy = false;
+        sim::Tick issued = 0;        //!< when the command left pump()
+        std::uint64_t opSpan = 0;    //!< open flash.op span
     };
 
     void pump(unsigned ifc);
@@ -317,12 +330,29 @@ class FlashServer : public Client
     std::vector<TagInfo> tagInfo_;
     std::unordered_map<std::uint32_t, std::vector<Address>> atu_;
     WriteFault writeFault_;
-    std::uint64_t injectedWriteFaults_ = 0;
     ReadFault readFault_;
-    std::uint64_t injectedReadFaults_ = 0;
     std::uint32_t nextGroup_ = 1;   //!< batch ids (0 = ungrouped)
-    std::uint64_t batchedWrites_ = 0;
     unsigned stagedTotal_ = 0;
+
+    /** Construction serial among flash servers; the "inst" label of
+     * the flash.* metrics below. */
+    unsigned inst_;
+    // Registry-backed statistics (accessors above are thin reads).
+    sim::Counter &injectedWriteFaults_;
+    sim::Counter &injectedReadFaults_;
+    sim::Counter &batchedWrites_;
+    /**
+     * Always-on per-stage latency attribution, shared by every
+     * flash server of the simulation (no inst label: the bench
+     * reports cluster-wide stage distributions). Ticks; labeled by
+     * traffic class ("read" serving vs "bg" maintenance).
+     * kv.stage.flash_queue = job enqueue to command issue,
+     * kv.stage.nand = command issue to completion.
+     */
+    sim::LatencyHistogram &stageQueueRead_;
+    sim::LatencyHistogram &stageQueueBg_;
+    sim::LatencyHistogram &stageNandRead_;
+    sim::LatencyHistogram &stageNandBg_;
 };
 
 } // namespace flash

@@ -2,15 +2,44 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <utility>
 
 namespace bluedbm {
 namespace flash {
 
+namespace {
+
+/** Registry cell for one per-array counter, labeled by instance. */
+sim::Counter &
+cell(sim::Simulator &sim, unsigned inst, const char *name)
+{
+    return sim.metrics().counter(name,
+                                 {{"inst", std::to_string(inst)}});
+}
+
+} // namespace
+
 NandArray::NandArray(sim::Simulator &sim, const Geometry &geo,
                      const Timing &timing, std::uint64_t seed)
     : sim_(sim), timing_(timing), store_(geo, seed),
-      errorRng_(seed ^ 0xecc0ecc0ecc0ecc0ull)
+      errorRng_(seed ^ 0xecc0ecc0ecc0ecc0ull),
+      inst_(sim.metrics().nextInstance("nand")),
+      pagesRead_(cell(sim, inst_, "nand.pages_read")),
+      pagesWritten_(cell(sim, inst_, "nand.pages_written")),
+      coalescedPrograms_(cell(sim, inst_, "nand.coalesced_programs")),
+      blocksErased_(cell(sim, inst_, "nand.blocks_erased")),
+      bitsCorrected_(cell(sim, inst_, "nand.bits_corrected")),
+      uncorrectable_(cell(sim, inst_, "nand.uncorrectable_pages")),
+      bitsInjected_(cell(sim, inst_, "nand.bits_injected")),
+      backgroundReads_(cell(sim, inst_, "nand.background_reads")),
+      backgroundWrites_(cell(sim, inst_, "nand.background_writes")),
+      backgroundErases_(cell(sim, inst_, "nand.background_erases")),
+      suspendedPrograms_(cell(sim, inst_, "nand.suspended_programs")),
+      resumedPrograms_(cell(sim, inst_, "nand.resumed_programs")),
+      suspendedErases_(cell(sim, inst_, "nand.suspended_erases")),
+      resumedErases_(cell(sim, inst_, "nand.resumed_erases")),
+      displacedPrograms_(cell(sim, inst_, "nand.displaced_programs"))
 {
     chips_.resize(geo.chips());
     programWindows_.assign(geo.chips(), ProgramWindow{});
@@ -61,7 +90,7 @@ NandArray::injectErrors(PageBuffer &data,
         else
             check[byte - data.size()] ^= mask;
     }
-    bitsInjected_ += flips;
+    bitsInjected_.inc(flips);
     return flips;
 }
 
@@ -201,7 +230,8 @@ NandArray::worthSuspending(const ChipCtl &chip, std::uint32_t bus,
 void
 NandArray::read(const Address &addr,
                 std::function<void(ReadResult)> done, Priority pri,
-                std::uint32_t offset, std::uint32_t len)
+                std::uint32_t offset, std::uint32_t len,
+                std::uint64_t trace)
 {
     const Geometry &geo = geometry();
     if (!addr.validFor(geo))
@@ -231,9 +261,23 @@ NandArray::read(const Address &addr,
         std::min(word1 * 8, geo.pageSize) - slice0;
     std::uint64_t wire_bytes = std::uint64_t(slice_bytes) +
         Secded72::checkBytes(slice_bytes);
-    ++pagesRead_;
+    pagesRead_.inc();
     if (pri == Priority::Background)
-        ++backgroundReads_;
+        backgroundReads_.inc();
+
+    // The trace's NAND leaf: covers everything from here (the array
+    // accepting the sense) to the last byte delivered, nesting under
+    // the flash server's op span. Closed by wrapping the completion;
+    // handle 0 skips all of it.
+    sim::Tracer::Handle span =
+        sim_.tracer().beginSpan(trace, "nand.read", now);
+    if (span != 0) {
+        done = [this, span,
+                inner = std::move(done)](ReadResult r) mutable {
+            sim_.tracer().endSpan(span, sim_.now());
+            inner(std::move(r));
+        };
+    }
 
     std::uint32_t bus = addr.bus;
     Address a = addr;
@@ -268,9 +312,9 @@ NandArray::read(const Address &addr,
                 if (injected > 0 || alwaysDecode_) {
                     EccResult ecc =
                         Secded72::decode(res->data, *check);
-                    bitsCorrected_ += ecc.correctedBits;
+                    bitsCorrected_.inc(ecc.correctedBits);
                     if (ecc.uncorrectable) {
-                        ++uncorrectable_;
+                        uncorrectable_.inc();
                         res->status = Status::Uncorrectable;
                     } else if (ecc.correctedBits > 0) {
                         res->status = Status::Corrected;
@@ -303,7 +347,9 @@ NandArray::read(const Address &addr,
                 sim::Tick sense_start = chip.senseFrontier;
                 chip.senseFrontier = sense_start + timing_.readUs;
                 shiftChip(ci, now, timing_.readUs);
-                ++(is_erase ? suspendedErases_ : suspendedPrograms_);
+                (is_erase ? suspendedErases_ : suspendedPrograms_)
+                    .inc();
+                sim_.tracer().mark(span, "nand.suspend", now);
                 sim_.scheduleAt(sense_start + timing_.readUs,
                                 std::move(deliver));
                 return;
@@ -320,8 +366,14 @@ NandArray::read(const Address &addr,
             shiftChip(ci, now,
                       timing_.suspendUs + timing_.readUs +
                           timing_.resumeUs);
-            ++(is_erase ? suspendedErases_ : suspendedPrograms_);
-            ++(is_erase ? resumedErases_ : resumedPrograms_);
+            (is_erase ? suspendedErases_ : suspendedPrograms_).inc();
+            (is_erase ? resumedErases_ : resumedPrograms_).inc();
+            sim_.tracer().mark(span, "nand.suspend", now);
+            // The parked unit resumes the moment the priority sense
+            // ends (plus resumeUs of re-ramp charged to the unit);
+            // both instants are known now, so mark them now.
+            sim_.tracer().mark(span, "nand.resume",
+                               sense_start + timing_.readUs);
             sim_.scheduleAt(sense_start + timing_.readUs,
                             std::move(deliver));
             return;
@@ -386,7 +438,8 @@ NandArray::read(const Address &addr,
                 win.progEnd += timing_.readUs;
             }
             chip.busyUntil += timing_.readUs;
-            displacedPrograms_ += order.size() - suffix;
+            displacedPrograms_.inc(order.size() - suffix);
+            sim_.tracer().mark(span, "nand.insert", now);
             addChipOp(ci, Op::ReadPage, insert_at,
                       insert_at + timing_.readUs,
                       std::move(deliver));
@@ -407,7 +460,8 @@ NandArray::read(const Address &addr,
 void
 NandArray::write(const Address &addr, PageBuffer data,
                  std::function<void(Status)> done,
-                 std::uint32_t group, Priority pri)
+                 std::uint32_t group, Priority pri,
+                 std::uint64_t trace)
 {
     const Geometry &geo = geometry();
     if (!addr.validFor(geo))
@@ -419,9 +473,18 @@ NandArray::write(const Address &addr, PageBuffer data,
 
     std::uint64_t wire_bytes =
         geo.pageSize + Secded72::checkBytes(geo.pageSize);
-    ++pagesWritten_;
+    pagesWritten_.inc();
     if (pri == Priority::Background)
-        ++backgroundWrites_;
+        backgroundWrites_.inc();
+    sim::Tracer::Handle span =
+        sim_.tracer().beginSpan(trace, "nand.write", sim_.now());
+    if (span != 0) {
+        done = [this, span,
+                inner = std::move(done)](Status st) mutable {
+            sim_.tracer().endSpan(span, sim_.now());
+            inner(st);
+        };
+    }
     Address a = addr;
     auto payload = std::make_shared<PageBuffer>(std::move(data));
 
@@ -458,7 +521,7 @@ NandArray::write(const Address &addr, PageBuffer data,
             win.progEnd = prog_done;
             chip.busyUntil = std::max(chip.busyUntil, prog_done);
             ++win.pages;
-            ++coalescedPrograms_;
+            coalescedPrograms_.inc();
         } else {
             prog_start = std::max(now, chip.busyUntil);
             prog_done = prog_start + timing_.programUs;
@@ -486,7 +549,7 @@ NandArray::write(const Address &addr, PageBuffer data,
 
 void
 NandArray::erase(const Address &addr, std::function<void(Status)> done,
-                 Priority pri)
+                 Priority pri, std::uint64_t trace)
 {
     if (!addr.validFor(geometry()))
         sim::panic("NAND erase at invalid address %s",
@@ -499,9 +562,18 @@ NandArray::erase(const Address &addr, std::function<void(Status)> done,
     sim::Tick finish = start + timing_.eraseUs;
     chip.busyUntil = finish;
 
-    ++blocksErased_;
+    blocksErased_.inc();
     if (pri == Priority::Background)
-        ++backgroundErases_;
+        backgroundErases_.inc();
+    sim::Tracer::Handle span =
+        sim_.tracer().beginSpan(trace, "nand.erase", now);
+    if (span != 0) {
+        done = [this, span,
+                inner = std::move(done)](Status st) mutable {
+            sim_.tracer().endSpan(span, sim_.now());
+            inner(st);
+        };
+    }
     Address a = addr;
     addChipOp(ci, Op::EraseBlock, start, finish,
               [this, a, done = std::move(done)]() mutable {

@@ -88,11 +88,17 @@ class NandArray
      * words covering [offset, offset + len) cross the bus, and
      * ReadResult::data holds exactly those @p len bytes. len 0 (the
      * default) reads the whole page.
+     *
+     * @p trace (sim::Tracer handle; 0 = untraced) hangs a
+     * `nand.read` leaf span -- plus `nand.suspend` / `nand.resume` /
+     * `nand.insert` marks when this read jumps chip work -- off the
+     * issuing layer's span.
      */
     void read(const Address &addr,
               std::function<void(ReadResult)> done,
               Priority pri = Priority::Read,
-              std::uint32_t offset = 0, std::uint32_t len = 0);
+              std::uint32_t offset = 0, std::uint32_t len = 0,
+              std::uint64_t trace = 0);
 
     /**
      * Start a page write with data in hand; @p done fires when the
@@ -109,11 +115,13 @@ class NandArray
     void write(const Address &addr, PageBuffer data,
                std::function<void(Status)> done,
                std::uint32_t group = 0,
-               Priority pri = Priority::Read);
+               Priority pri = Priority::Read,
+               std::uint64_t trace = 0);
 
     /** Start a block erase. */
     void erase(const Address &addr, std::function<void(Status)> done,
-               Priority pri = Priority::Background);
+               Priority pri = Priority::Background,
+               std::uint64_t trace = 0);
 
     /**
      * Raw NAND bit error rate applied to data read off the array
@@ -151,39 +159,44 @@ class NandArray
         return buses_[bus].ready.size();
     }
 
-    /** @name Statistics */
+    /** @name Statistics
+     *
+     * Registry-backed (sim.metrics(), names `nand.*` labeled by
+     * array instance); these accessors are thin reads of the same
+     * cells the registry exposes, kept for existing callers.
+     */
     ///@{
-    std::uint64_t pagesRead() const { return pagesRead_; }
-    std::uint64_t pagesWritten() const { return pagesWritten_; }
+    std::uint64_t pagesRead() const { return pagesRead_.value(); }
+    std::uint64_t pagesWritten() const { return pagesWritten_.value(); }
     /** Grouped writes that joined an already-open program window on
      * their chip instead of paying their own tPROG. */
-    std::uint64_t coalescedPrograms() const { return coalescedPrograms_; }
-    std::uint64_t blocksErased() const { return blocksErased_; }
-    std::uint64_t bitsCorrected() const { return bitsCorrected_; }
-    std::uint64_t uncorrectablePages() const { return uncorrectable_; }
+    std::uint64_t coalescedPrograms() const { return coalescedPrograms_.value(); }
+    std::uint64_t blocksErased() const { return blocksErased_.value(); }
+    std::uint64_t bitsCorrected() const { return bitsCorrected_.value(); }
+    std::uint64_t uncorrectablePages() const { return uncorrectable_.value(); }
     /** Raw bit flips injected into sensed data (pre-ECC). */
-    std::uint64_t bitsInjected() const { return bitsInjected_; }
+    std::uint64_t bitsInjected() const { return bitsInjected_.value(); }
     /** Priority::Background page reads (maintenance traffic). */
-    std::uint64_t backgroundReads() const { return backgroundReads_; }
+    std::uint64_t backgroundReads() const { return backgroundReads_.value(); }
     /** Priority::Background page writes (maintenance traffic). */
-    std::uint64_t backgroundWrites() const { return backgroundWrites_; }
+    std::uint64_t backgroundWrites() const { return backgroundWrites_.value(); }
     /** Priority::Background block erases (maintenance traffic). */
-    std::uint64_t backgroundErases() const { return backgroundErases_; }
+    std::uint64_t backgroundErases() const { return backgroundErases_.value(); }
     /** Reads served by suspending an in-flight program window (one
      * count per read that jumped, including joins of an already
      * open suspension window). */
-    std::uint64_t suspendedPrograms() const { return suspendedPrograms_; }
+    std::uint64_t suspendedPrograms() const { return suspendedPrograms_.value(); }
     /** Program windows that were parked and later resumed (one
      * count per suspension window opened on a program). */
-    std::uint64_t resumedPrograms() const { return resumedPrograms_; }
+    std::uint64_t resumedPrograms() const { return resumedPrograms_.value(); }
     /** Reads served by suspending an in-flight erase. */
-    std::uint64_t suspendedErases() const { return suspendedErases_; }
+    std::uint64_t suspendedErases() const { return suspendedErases_.value(); }
     /** Erases that were parked and later resumed. */
-    std::uint64_t resumedErases() const { return resumedErases_; }
+    std::uint64_t resumedErases() const { return resumedErases_.value(); }
     /** Queued (not-yet-started) programs/erases displaced behind a
      * priority read by queue insertion -- the no-penalty sibling of
      * suspension, charged against the same per-op budget. */
-    std::uint64_t displacedPrograms() const { return displacedPrograms_; }
+    std::uint64_t displacedPrograms() const { return displacedPrograms_.value(); }
     ///@}
 
   private:
@@ -318,21 +331,29 @@ class NandArray
      * once warmed up). */
     std::vector<std::size_t> orderScratch_;
 
-    std::uint64_t pagesRead_ = 0;
-    std::uint64_t pagesWritten_ = 0;
-    std::uint64_t coalescedPrograms_ = 0;
-    std::uint64_t blocksErased_ = 0;
-    std::uint64_t bitsCorrected_ = 0;
-    std::uint64_t uncorrectable_ = 0;
-    std::uint64_t bitsInjected_ = 0;
-    std::uint64_t backgroundReads_ = 0;
-    std::uint64_t backgroundWrites_ = 0;
-    std::uint64_t backgroundErases_ = 0;
-    std::uint64_t suspendedPrograms_ = 0;
-    std::uint64_t resumedPrograms_ = 0;
-    std::uint64_t suspendedErases_ = 0;
-    std::uint64_t resumedErases_ = 0;
-    std::uint64_t displacedPrograms_ = 0;
+    /** Construction serial among NAND arrays of this simulation;
+     * the "inst" label of every nand.* metric below. */
+    unsigned inst_;
+
+    // Statistics cells live in the simulator's metrics registry
+    // (registered at construction, labeled inst=<array serial>);
+    // the references bump exactly as cheaply as the plain members
+    // they replaced.
+    sim::Counter &pagesRead_;
+    sim::Counter &pagesWritten_;
+    sim::Counter &coalescedPrograms_;
+    sim::Counter &blocksErased_;
+    sim::Counter &bitsCorrected_;
+    sim::Counter &uncorrectable_;
+    sim::Counter &bitsInjected_;
+    sim::Counter &backgroundReads_;
+    sim::Counter &backgroundWrites_;
+    sim::Counter &backgroundErases_;
+    sim::Counter &suspendedPrograms_;
+    sim::Counter &resumedPrograms_;
+    sim::Counter &suspendedErases_;
+    sim::Counter &resumedErases_;
+    sim::Counter &displacedPrograms_;
 };
 
 } // namespace flash

@@ -88,6 +88,13 @@ struct Command
      */
     std::uint32_t readOffset = 0;
     std::uint32_t readLen = 0;
+    /**
+     * Tracing continuation (sim::Tracer::Handle; 0 = untraced): the
+     * span the issuing layer opened for this command. The NAND
+     * array hangs its op span and suspend/resume/insertion marks
+     * off it. Untimed simulation metadata -- never serialized.
+     */
+    std::uint64_t trace = 0;
 };
 
 /**

@@ -15,11 +15,32 @@ using flash::Address;
 using flash::PageBuffer;
 using flash::Status;
 
+namespace {
+
+sim::Counter &
+cell(sim::Simulator &sim, unsigned inst, const char *name)
+{
+    return sim.metrics().counter(name,
+                                 {{"inst", std::to_string(inst)}});
+}
+
+} // namespace
+
 LogFs::LogFs(sim::Simulator &sim, flash::FlashServer &server,
              unsigned ifc, const flash::Geometry &geo,
              const FsParams &params)
-    : sim_(sim), server_(server), ifc_(ifc), params_(params), geo_(geo)
+    : sim_(sim), server_(server), ifc_(ifc), params_(params), geo_(geo),
+      inst_(sim.metrics().nextInstance("fs")),
+      pagesWritten_(cell(sim, inst_, "fs.pages_written")),
+      pagesCleaned_(cell(sim, inst_, "fs.pages_cleaned")),
+      blocksErased_(cell(sim, inst_, "fs.blocks_erased")),
+      writeFailures_(cell(sim, inst_, "fs.write_failures")),
+      spreadReads_(cell(sim, inst_, "fs.spread_reads")),
+      batchedWrites_(cell(sim, inst_, "fs.batched_page_writes"))
 {
+    sim.metrics().registerGauge(
+        "fs.free_blocks", {{"inst", std::to_string(inst_)}},
+        [this]() { return double(freeBlocks_.size()); });
     if (params_.spillInterface >= 0 &&
         (unsigned(params_.spillInterface) >= server_.interfaces() ||
          unsigned(params_.spillInterface) == ifc_))
@@ -148,13 +169,16 @@ LogFs::publishHandle(const std::string &name, std::uint32_t handle)
 
 void
 LogFs::append(const std::string &name, std::vector<std::uint8_t> data,
-              Done done, flash::Priority pri)
+              Done done, flash::Priority pri, std::uint64_t trace)
 {
     auto it = names_.find(name);
     if (it == names_.end())
         sim::fatal("append to missing file '%s'", name.c_str());
     std::uint32_t file_id = it->second;
     Inode &ino = inodes_.at(file_id);
+
+    std::uint64_t span =
+        sim_.tracer().beginSpan(trace, "fs.append", sim_.now());
 
     // Stage the new bytes after any partial tail already on flash.
     std::vector<std::uint8_t> staged = std::move(ino.tail);
@@ -174,9 +198,10 @@ LogFs::append(const std::string &name, std::vector<std::uint8_t> data,
     };
     auto ctx = std::make_shared<Ctx>();
     ctx->done = std::move(done);
-    auto finish_one = [this, ctx](bool ok) {
+    auto finish_one = [this, ctx, span](bool ok) {
         ctx->ok = ctx->ok && ok;
         if (--ctx->outstanding == 0 && ctx->issued_all) {
+            sim_.tracer().endSpan(span, sim_.now());
             sim_.scheduleAfter(0, [ctx]() { ctx->done(ctx->ok); });
         }
     };
@@ -196,13 +221,14 @@ LogFs::append(const std::string &name, std::vector<std::uint8_t> data,
         }
         ++ctx->outstanding;
         queuePageWrite(file_id, fpage, std::move(page), finish_one,
-                       pri);
+                       pri, span);
         off += take;
         ++fpage;
     }
     ctx->issued_all = true;
     if (ctx->outstanding == 0) {
         // Zero-length append.
+        sim_.tracer().endSpan(span, sim_.now());
         sim_.scheduleAfter(0, [ctx]() { ctx->done(true); });
     }
 }
@@ -210,7 +236,7 @@ LogFs::append(const std::string &name, std::vector<std::uint8_t> data,
 void
 LogFs::queuePageWrite(std::uint32_t file_id, std::uint64_t fpage,
                       PageBuffer data, Done done,
-                      flash::Priority pri)
+                      flash::Priority pri, std::uint64_t trace)
 {
     WriteSlot &slot = writeSlots_[slotKey(file_id, fpage)];
     if (!slot.flightWaiters.empty()) {
@@ -218,7 +244,7 @@ LogFs::queuePageWrite(std::uint32_t file_id, std::uint64_t fpage,
         // new staging contains every byte of the earlier pending
         // one (tail stagings grow monotonically from the page
         // boundary), so the latest content serves all waiters.
-        ++batchedWrites_;
+        batchedWrites_.inc();
         slot.hasPending = true;
         slot.pendingData = std::move(data);
         slot.pendingWaiters.push_back(std::move(done));
@@ -226,15 +252,18 @@ LogFs::queuePageWrite(std::uint32_t file_id, std::uint64_t fpage,
         // (pendingPri re-arms to Background with each flight).
         if (pri == flash::Priority::Read)
             slot.pendingPri = pri;
+        if (slot.pendingTrace == 0)
+            slot.pendingTrace = trace;
         return;
     }
     slot.flightWaiters.push_back(std::move(done));
-    issueSlot(file_id, fpage, std::move(data), pri);
+    issueSlot(file_id, fpage, std::move(data), pri, trace);
 }
 
 void
 LogFs::issueSlot(std::uint32_t file_id, std::uint64_t fpage,
-                 PageBuffer data, flash::Priority pri)
+                 PageBuffer data, flash::Priority pri,
+                 std::uint64_t trace)
 {
     writeFilePage(file_id, fpage, std::move(data),
                   [this, file_id, fpage](bool ok) {
@@ -247,27 +276,32 @@ LogFs::issueSlot(std::uint32_t file_id, std::uint64_t fpage,
             // firing callbacks, which may queue further rewrites.
             PageBuffer next = std::move(it->second.pendingData);
             flash::Priority next_pri = it->second.pendingPri;
+            std::uint64_t next_trace = it->second.pendingTrace;
             it->second.flightWaiters =
                 std::move(it->second.pendingWaiters);
             it->second.pendingWaiters.clear();
             it->second.hasPending = false;
             it->second.pendingData.clear();
             it->second.pendingPri = flash::Priority::Background;
-            issueSlot(file_id, fpage, std::move(next), next_pri);
+            it->second.pendingTrace = 0;
+            issueSlot(file_id, fpage, std::move(next), next_pri,
+                      next_trace);
         } else {
             writeSlots_.erase(it);
         }
         for (auto &w : waiters)
             w(ok);
     },
-                  pri);
+                  pri, trace);
 }
 
 void
 LogFs::writeFilePage(std::uint32_t file_id, std::uint64_t fpage,
-                     PageBuffer data, Done done, flash::Priority pri)
+                     PageBuffer data, Done done, flash::Priority pri,
+                     std::uint64_t trace)
 {
-    allocatePage([this, file_id, fpage, pri, data = std::move(data),
+    allocatePage([this, file_id, fpage, pri, trace,
+                  data = std::move(data),
                   done = std::move(done)](Address addr) mutable {
         std::uint64_t linear = addr.linearize(geo_);
         ++blocks_[linear / geo_.pagesPerBlock].pendingWrites;
@@ -282,7 +316,7 @@ LogFs::writeFilePage(std::uint32_t file_id, std::uint64_t fpage,
                 // before this append); a fresh page becomes a
                 // poisoned hole so reads of the range report
                 // failure instead of silently returning zeroes.
-                ++writeFailures_;
+                writeFailures_.inc();
                 auto iit = inodes_.find(file_id);
                 if (iit != inodes_.end()) {
                     Inode &ino = iit->second;
@@ -322,16 +356,17 @@ LogFs::writeFilePage(std::uint32_t file_id, std::uint64_t fpage,
             ino.pages[fpage] = linear;
             reverse_[linear] = RevEntry{file_id, fpage};
             ++blocks_[linear / geo_.pagesPerBlock].livePages;
-            ++pagesWritten_;
+            pagesWritten_.inc();
             done(true);
         },
-                          pri);
+                          pri, trace);
     });
 }
 
 void
 LogFs::read(const std::string &name, std::uint64_t offset,
-            std::uint64_t len, ReadDone done, flash::Priority pri)
+            std::uint64_t len, ReadDone done, flash::Priority pri,
+            std::uint64_t trace)
 {
     auto it = names_.find(name);
     if (it == names_.end())
@@ -341,6 +376,9 @@ LogFs::read(const std::string &name, std::uint64_t offset,
         offset = ino.bytes;
     if (offset + len > ino.bytes)
         len = ino.bytes - offset;
+
+    std::uint64_t span =
+        sim_.tracer().beginSpan(trace, "fs.read", sim_.now());
 
     struct Ctx
     {
@@ -353,8 +391,9 @@ LogFs::read(const std::string &name, std::uint64_t offset,
     auto ctx = std::make_shared<Ctx>();
     ctx->out.assign(len, 0);
     ctx->done = std::move(done);
-    auto maybe_finish = [this, ctx]() {
+    auto maybe_finish = [this, ctx, span]() {
         if (ctx->outstanding == 0 && ctx->issued_all) {
+            sim_.tracer().endSpan(span, sim_.now());
             sim_.scheduleAfter(0, [ctx]() {
                 ctx->done(std::move(ctx->out), ctx->ok);
             });
@@ -393,7 +432,7 @@ LogFs::read(const std::string &name, std::uint64_t offset,
             params_.spillInterface >= 0 &&
             server_.queueLength(ifc_) >= params_.readSpreadDepth) {
             read_ifc = unsigned(params_.spillInterface);
-            ++spreadReads_;
+            spreadReads_.inc();
         }
         ++ctx->outstanding;
         // Partial page read-out: only the requested range's ECC
@@ -410,7 +449,7 @@ LogFs::read(const std::string &name, std::uint64_t offset,
             --ctx->outstanding;
             maybe_finish();
         },
-            pri, in_page, take);
+            pri, in_page, take, span);
         pos += take;
     }
     ctx->issued_all = true;
@@ -515,7 +554,7 @@ LogFs::cleanStep()
                 if (blocks_[victim].livePages != 0)
                     sim::panic("cleaned block with %u live pages",
                                blocks_[victim].livePages);
-                ++blocksErased_;
+                blocksErased_.inc();
                 blocks_[victim].state = BlockState::Free;
                 freeBlocks_.push_back(victim);
             }
@@ -573,7 +612,7 @@ LogFs::relocate(std::vector<std::uint64_t> pages, std::size_t next,
                             reverse_[new_linear] = entry;
                             ++blocks_[new_linear /
                                       geo_.pagesPerBlock].livePages;
-                            ++pagesCleaned_;
+                            pagesCleaned_.inc();
                         }
                     }
                 }

@@ -153,7 +153,8 @@ class LogFs
      */
     void append(const std::string &name,
                 std::vector<std::uint8_t> data, Done done,
-                flash::Priority pri = flash::Priority::Read);
+                flash::Priority pri = flash::Priority::Read,
+                std::uint64_t trace = 0);
 
     /**
      * Read @p len bytes at @p offset of @p name. ok is false when
@@ -168,10 +169,16 @@ class LogFs
      * and is attributed to the maintenance counters at the NAND.
      * Background reads also skip read spreading: the spill
      * interface is reserved headroom for serving tails.
+     *
+     * @p trace (here and on append(); sim::Tracer handle, 0 =
+     * untraced) parents an `fs.read` / `fs.append` span covering
+     * the call to its completion, with the flash server's queue and
+     * op spans nested inside.
      */
     void read(const std::string &name, std::uint64_t offset,
               std::uint64_t len, ReadDone done,
-              flash::Priority pri = flash::Priority::Read);
+              flash::Priority pri = flash::Priority::Read,
+              std::uint64_t trace = 0);
 
     /**
      * Physical locations of the file's pages, in file order: the
@@ -188,19 +195,23 @@ class LogFs
      */
     void publishHandle(const std::string &name, std::uint32_t handle);
 
-    /** @name Statistics */
+    /** @name Statistics
+     *
+     * Registry-backed (`fs.*`, labeled by instance); the accessors
+     * are thin reads kept for existing callers.
+     */
     ///@{
-    std::uint64_t pagesWritten() const { return pagesWritten_; }
-    std::uint64_t pagesCleaned() const { return pagesCleaned_; }
-    std::uint64_t blocksErased() const { return blocksErased_; }
+    std::uint64_t pagesWritten() const { return pagesWritten_.value(); }
+    std::uint64_t pagesCleaned() const { return pagesCleaned_.value(); }
+    std::uint64_t blocksErased() const { return blocksErased_.value(); }
     unsigned freeBlocks() const { return unsigned(freeBlocks_.size()); }
     /** Page programs that completed with a failure status. */
-    std::uint64_t pageWriteFailures() const { return writeFailures_; }
+    std::uint64_t pageWriteFailures() const { return writeFailures_.value(); }
     /** Page reads diverted to the spill interface. */
-    std::uint64_t spreadReads() const { return spreadReads_; }
+    std::uint64_t spreadReads() const { return spreadReads_.value(); }
     /** Page rewrites absorbed by an already-pending program
      * (group commit of back-to-back tail appends). */
-    std::uint64_t batchedPageWrites() const { return batchedWrites_; }
+    std::uint64_t batchedPageWrites() const { return batchedWrites_.value(); }
     ///@}
 
   private:
@@ -249,6 +260,9 @@ class LogFs
         /** Class of the pending follow-up program: Read as soon as
          * any batched waiter is serving-class. */
         flash::Priority pendingPri = flash::Priority::Background;
+        /** Tracing span of the follow-up program: the first traced
+         * contributor of the batch carries it. */
+        std::uint64_t pendingTrace = 0;
     };
 
     std::uint64_t blockIndex(const flash::Address &a) const;
@@ -265,10 +279,11 @@ class LogFs
      * (batches rewrites while a program is in flight). */
     void queuePageWrite(std::uint32_t file_id, std::uint64_t fpage,
                         flash::PageBuffer data, Done done,
-                        flash::Priority pri);
+                        flash::Priority pri, std::uint64_t trace);
     /** Issue the slot's program for (file, page). */
     void issueSlot(std::uint32_t file_id, std::uint64_t fpage,
-                   flash::PageBuffer data, flash::Priority pri);
+                   flash::PageBuffer data, flash::Priority pri,
+                   std::uint64_t trace);
     static std::uint64_t
     slotKey(std::uint32_t file_id, std::uint64_t fpage)
     {
@@ -278,7 +293,7 @@ class LogFs
     /** Write one full page of @p inode at file page @p fpage. */
     void writeFilePage(std::uint32_t file_id, std::uint64_t fpage,
                        flash::PageBuffer data, Done done,
-                       flash::Priority pri);
+                       flash::Priority pri, std::uint64_t trace);
 
     sim::Simulator &sim_;
     flash::FlashServer &server_;
@@ -309,12 +324,16 @@ class LogFs
     std::uint32_t nextBus_ = 0;
     bool cleaning_ = false;
 
-    std::uint64_t pagesWritten_ = 0;
-    std::uint64_t pagesCleaned_ = 0;
-    std::uint64_t blocksErased_ = 0;
-    std::uint64_t writeFailures_ = 0;
-    std::uint64_t spreadReads_ = 0;
-    std::uint64_t batchedWrites_ = 0;
+    /** Construction serial among file systems; the "inst" label of
+     * the fs.* metrics below. */
+    unsigned inst_;
+    // Registry-backed statistics (accessors above are thin reads).
+    sim::Counter &pagesWritten_;
+    sim::Counter &pagesCleaned_;
+    sim::Counter &blocksErased_;
+    sim::Counter &writeFailures_;
+    sim::Counter &spreadReads_;
+    sim::Counter &batchedWrites_;
 };
 
 } // namespace fs

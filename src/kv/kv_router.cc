@@ -14,7 +14,29 @@ using net::NodeId;
 
 KvRouter::KvRouter(sim::Simulator &sim, core::Cluster &cluster,
                    const KvParams &params)
-    : sim_(sim), cluster_(cluster), params_(params)
+    : sim_(sim), cluster_(cluster), params_(params),
+      localOps_(sim.metrics().counter("kv.router.local_ops")),
+      remoteOps_(sim.metrics().counter("kv.router.remote_ops")),
+      cacheServed_(sim.metrics().counter("kv.router.cache_served")),
+      cacheStale_(sim.metrics().counter("kv.router.cache_stale")),
+      repairedKeys_(sim.metrics().counter("kv.router.repaired_keys")),
+      repairSweeps_(sim.metrics().counter("kv.router.repair_sweeps")),
+      readTimeouts_(sim.metrics().counter("kv.router.read_timeouts")),
+      writeTimeouts_(
+          sim.metrics().counter("kv.router.write_timeouts")),
+      retriedReads_(sim.metrics().counter("kv.router.retried_reads")),
+      failedReads_(sim.metrics().counter("kv.router.failed_reads")),
+      degradedWrites_(
+          sim.metrics().counter("kv.router.degraded_writes")),
+      lateResponses_(
+          sim.metrics().counter("kv.router.late_responses")),
+      suspectTransitions_(
+          sim.metrics().counter("kv.router.suspect_transitions")),
+      deadTransitions_(
+          sim.metrics().counter("kv.router.dead_transitions")),
+      movedKeys_(sim.metrics().counter("kv.router.moved_keys")),
+      stageNet_(sim.metrics().histogram("kv.stage.net")),
+      stageShard_(sim.metrics().histogram("kv.stage.shard"))
 {
     if (cluster_.network().endpointCount() < kvRequiredEndpoints)
         sim::fatal("KV service needs >= %u network endpoints, "
@@ -72,6 +94,54 @@ KvRouter::KvRouter(sim::Simulator &sim, core::Cluster &cluster,
         } else {
             caches_.emplace_back(nullptr);
         }
+    }
+
+    // Quantities that move both ways (or are maxima) stay plain
+    // members, published as gauges. The router may die before the
+    // Simulator in tests, so every gauge checks the liveness flag.
+    auto alive = alive_;
+    sim.metrics().registerGauge(
+        "kv.router.background_writes", {}, [this, alive]() {
+        return *alive ? double(backgroundWrites_) : 0.0;
+    });
+    sim.metrics().registerGauge(
+        "kv.router.max_background_writes", {}, [this, alive]() {
+        return *alive ? double(maxBackgroundWrites_) : 0.0;
+    });
+    sim.metrics().registerGauge(
+        "kv.router.divergent_keys", {}, [this, alive]() {
+        return *alive ? double(divergent_.size()) : 0.0;
+    });
+    // KvCache is a passive structure with no Simulator of its own;
+    // the router publishes each node's cache stats on its behalf.
+    for (unsigned n = 0; n < cluster_.size(); ++n) {
+        if (!caches_[n])
+            continue;
+        const KvCache *c = caches_[n].get();
+        sim::MetricLabels labels{{"inst", std::to_string(n)}};
+        struct CacheStat
+        {
+            const char *name;
+            std::uint64_t (KvCache::*read)() const;
+        };
+        static constexpr CacheStat stats[] = {
+            {"kv.cache.lookups", &KvCache::lookups},
+            {"kv.cache.hits", &KvCache::hits},
+            {"kv.cache.admitted", &KvCache::admitted},
+            {"kv.cache.rejected_fills", &KvCache::rejectedFills},
+            {"kv.cache.evictions", &KvCache::evictions},
+            {"kv.cache.invalidations", &KvCache::invalidations},
+        };
+        for (const CacheStat &s : stats) {
+            sim.metrics().registerGauge(
+                s.name, labels, [c, alive, read = s.read]() {
+                return *alive ? double((c->*read)()) : 0.0;
+            });
+        }
+        sim.metrics().registerGauge(
+            "kv.cache.size", labels, [c, alive]() {
+            return *alive ? double(c->size()) : 0.0;
+        });
     }
 
     installAgents();
@@ -213,7 +283,7 @@ KvRouter::noteTimeout(NodeId n)
     if (m.state == MemberState::Live && params_.suspectAfter > 0 &&
         m.consecTimeouts >= params_.suspectAfter) {
         m.state = MemberState::Suspect;
-        ++suspectTransitions_;
+        suspectTransitions_.inc();
         if (params_.deadGraceUs > 0) {
             // Grace period: a suspect that shows no life before
             // this fires is declared Dead (writes then skip it and
@@ -225,7 +295,7 @@ KvRouter::noteTimeout(NodeId n)
                 mm.graceTimer = sim::invalidEventId;
                 if (mm.state == MemberState::Suspect) {
                     mm.state = MemberState::Dead;
-                    ++deadTransitions_;
+                    deadTransitions_.inc();
                 }
             });
         }
@@ -281,6 +351,7 @@ KvRouter::killNode(NodeId n)
         pending_.erase(it);
         if (op.timer != sim::invalidEventId)
             sim_.cancel(op.timer);
+        sim_.tracer().endSpan(op.routeSpan, sim_.now());
         if (op.write) {
             if (op.clientAcked)
                 --backgroundWrites_;
@@ -718,8 +789,11 @@ KvRouter::pickRetryTarget(Key key, NodeId origin,
 }
 
 void
-KvRouter::get(NodeId origin, Key key, GetDone done)
+KvRouter::get(NodeId origin, Key key, GetDone done,
+              std::uint64_t trace)
 {
+    std::uint64_t route =
+        sim_.tracer().beginSpan(trace, "route", sim_.now());
     // Routing, in priority order: the read-your-writes steer, then
     // the liveness-aware deterministic spread. A read that ends up
     // anywhere but the PLAIN deterministic replica (steered,
@@ -739,7 +813,8 @@ KvRouter::get(NodeId origin, Key key, GetDone done)
         if (!pickReadTarget(origin, key, &replica, &diverted)) {
             // Every owner is Dead or Joining: nothing can serve
             // this read. Fail asynchronously -- callers expect it.
-            ++failedReads_;
+            failedReads_.inc();
+            sim_.tracer().endSpan(route, sim_.now());
             sim_.scheduleAfter(0, [done = std::move(done)]() {
                 done(PageBuffer{}, KvStatus::Error);
             });
@@ -748,16 +823,28 @@ KvRouter::get(NodeId origin, Key key, GetDone done)
         steered = diverted;
     }
     if (replica == origin) {
-        ++localOps_;
+        localOps_.inc();
+        sim::Tick t0 = sim_.now();
+        std::uint64_t span =
+            sim_.tracer().beginSpan(route, "shard.get", t0);
+        // `this` is safe to capture raw: the continuation only runs
+        // while the shard is alive, and the shard dies with us.
         shards_[origin]->get(key,
-                             [done = std::move(done)](
+                             [this, t0, span, route,
+                              done = std::move(done)](
                                  PageBuffer v, KvStatus st,
                                  std::uint64_t) {
+            sim::Tick now = sim_.now();
+            stageShard_.record(now - t0);
+            stageNet_.record(0);
+            sim_.tracer().endSpan(span, now);
+            sim_.tracer().endSpan(route, now);
             done(std::move(v), st);
-        });
+        },
+                             flash::Priority::Read, span);
         return;
     }
-    ++remoteOps_;
+    remoteOps_.inc();
     // Hot-key cache: a cached (value, version) pair turns this into
     // a conditional get. The replica confirms an unchanged version
     // with a header-only reply and the value is served locally.
@@ -767,6 +854,8 @@ KvRouter::get(NodeId origin, Key key, GetDone done)
             cache->touch(key);
             if (const KvCache::Entry *e = cache->lookup(key))
                 cached_version = e->version;
+            else
+                sim_.tracer().mark(route, "cache.miss", sim_.now());
         }
     }
     std::uint64_t id = nextReqId_++;
@@ -781,12 +870,17 @@ KvRouter::get(NodeId origin, Key key, GetDone done)
     op.cachedVersion = cached_version;
     op.steered = steered;
     op.epoch = ringEpoch_;
+    op.trace = trace;
+    op.routeSpan = route;
+    op.sentTick = sim_.now();
 
     KvRequest req;
     req.reqId = id;
     req.key = key;
     req.op = KvOp::Get;
     req.cachedVersion = cached_version;
+    req.trace =
+        sim_.tracer().beginSpan(route, "net.req", op.sentTick);
     cluster_.network()
         .endpoint(origin, epKvService)
         .send(replica, kvHeaderBytes, std::move(req));
@@ -800,25 +894,27 @@ KvRouter::get(NodeId origin, Key key, GetDone done)
 
 void
 KvRouter::put(NodeId origin, Key key, PageBuffer value, AckDone done,
-              SettledDone settled)
+              SettledDone settled, std::uint64_t trace)
 {
     issueWrite(origin, key, KvOp::Put, std::move(value),
-               std::move(done), std::move(settled));
+               std::move(done), std::move(settled), trace);
 }
 
 void
 KvRouter::del(NodeId origin, Key key, AckDone done,
-              SettledDone settled)
+              SettledDone settled, std::uint64_t trace)
 {
     issueWrite(origin, key, KvOp::Delete, PageBuffer{},
-               std::move(done), std::move(settled));
+               std::move(done), std::move(settled), trace);
 }
 
 void
 KvRouter::issueWrite(NodeId origin, Key key, KvOp kvop,
                      PageBuffer value, AckDone done,
-                     SettledDone settled)
+                     SettledDone settled, std::uint64_t trace)
 {
+    std::uint64_t route =
+        sim_.tracer().beginSpan(trace, "route", sim_.now());
     // The origin's cached copy (if any) is dead the moment the
     // overwrite is issued; validation would catch it, but dropping
     // it now saves the wasted conditional round.
@@ -848,9 +944,10 @@ KvRouter::issueWrite(NodeId origin, Key key, KvOp kvop,
         // divergence, recorded up front so repair owns it, and the
         // exposure is observable (degradedWrites).
         divergent_.insert(key);
-        ++degradedWrites_;
+        degradedWrites_.inc();
     }
     if (nelig == 0) {
+        sim_.tracer().endSpan(route, sim_.now());
         sim_.scheduleAfter(0, [done = std::move(done),
                                settled = std::move(settled)]() {
             if (done)
@@ -904,6 +1001,9 @@ KvRouter::issueWrite(NodeId origin, Key key, KvOp kvop,
         op.origin = origin;
         op.stamp = stamp;
         op.epoch = ringEpoch_;
+        op.trace = trace;
+        op.routeSpan = route;
+        op.sentTick = sim_.now();
         for (unsigned i = 0; i < total; ++i)
             targets[i] = op.sent[i];
     }
@@ -917,24 +1017,35 @@ KvRouter::issueWrite(NodeId origin, Key key, KvOp kvop,
             i + 1 < total ? value : std::move(value);
         NodeId replica = targets[i];
         if (replica == origin) {
-            ++localOps_;
-            auto ack = [this, id, replica](KvStatus st) {
+            localOps_.inc();
+            sim::Tick t0 = sim_.now();
+            std::uint64_t span = sim_.tracer().beginSpan(
+                route,
+                kvop == KvOp::Put ? "shard.put" : "shard.del", t0);
+            auto ack = [this, id, replica, t0, span](KvStatus st) {
+                sim::Tick now = sim_.now();
+                stageShard_.record(now - t0);
+                stageNet_.record(0);
+                sim_.tracer().endSpan(span, now);
                 completeOne(id, st, PageBuffer{}, 0, replica);
             };
             if (kvop == KvOp::Put)
                 shards_[origin]->put(key, std::move(copy), stamp,
-                                     std::move(ack));
+                                     std::move(ack),
+                                     flash::Priority::Read, span);
             else
                 shards_[origin]->del(key, stamp, std::move(ack));
             continue;
         }
-        ++remoteOps_;
+        remoteOps_.inc();
         KvRequest req;
         req.reqId = id;
         req.key = key;
         req.op = kvop;
         req.stamp = stamp;
         req.value = std::move(copy);
+        req.trace =
+            sim_.tracer().beginSpan(route, "net.req", sim_.now());
         cluster_.network()
             .endpoint(origin, epKvService)
             .send(replica,
@@ -1040,7 +1151,7 @@ KvRouter::ledgerOpDone(Key key, NodeId origin, std::uint64_t op_id)
 
 void
 KvRouter::multiGet(NodeId origin, std::vector<Key> keys,
-                   MultiGetDone done)
+                   MultiGetDone done, std::uint64_t trace)
 {
     struct Ctx
     {
@@ -1069,7 +1180,8 @@ KvRouter::multiGet(NodeId origin, std::vector<Key> keys,
             if (--ctx->remaining == 0)
                 ctx->done(std::move(ctx->values),
                           std::move(ctx->statuses));
-        });
+        },
+            trace);
     }
 }
 
@@ -1115,9 +1227,10 @@ KvRouter::installAgents()
             auto resp = msg.payload.take<KvResponse>();
             if (members_[n].crashed)
                 return;
+            sim_.tracer().endSpan(resp.trace, sim_.now());
             completeOne(resp.reqId, resp.status,
                         std::move(resp.value), resp.version,
-                        msg.src);
+                        msg.src, false, resp.serviceTicks);
         });
     }
 }
@@ -1127,40 +1240,77 @@ KvRouter::serveLocal(NodeId node, KvRequest req,
                      std::function<void(KvResponse)> reply)
 {
     std::uint64_t id = req.reqId;
+    // The request's net.req span ends on arrival; the shard span
+    // opens as its sibling (both children of the origin's route
+    // span), and the reply opens net.resp the same way. `start`
+    // feeds KvResponse::serviceTicks, the always-on serving-side
+    // time the origin uses to split the round trip into
+    // kv.stage.shard and kv.stage.net without any tracing.
+    // Capturing `this` raw in the shard continuations is safe: they
+    // only run while the shard is alive, and the shard dies with us.
+    sim::Tick start = sim_.now();
+    sim_.tracer().endSpan(req.trace, start);
     switch (req.op) {
-      case KvOp::Get:
+      case KvOp::Get: {
+        std::uint64_t span =
+            sim_.tracer().beginSibling(req.trace, "shard.get", start);
         shards_[node]->getIfNewer(
             req.key, req.cachedVersion,
-            [id, reply = std::move(reply)](PageBuffer v, KvStatus st,
-                                           std::uint64_t version) {
+            [this, id, start, span,
+             reply = std::move(reply)](PageBuffer v, KvStatus st,
+                                       std::uint64_t version) {
+            sim::Tick now = sim_.now();
             KvResponse resp;
             resp.reqId = id;
             resp.status = st;
             resp.version = version;
             resp.value = std::move(v);
+            resp.serviceTicks = now - start;
+            sim_.tracer().endSpan(span, now);
+            resp.trace =
+                sim_.tracer().beginSibling(span, "net.resp", now);
             reply(std::move(resp));
-        });
+        },
+            flash::Priority::Read, span);
         return;
-      case KvOp::Put:
+      }
+      case KvOp::Put: {
+        std::uint64_t span =
+            sim_.tracer().beginSibling(req.trace, "shard.put", start);
         shards_[node]->put(req.key, std::move(req.value), req.stamp,
-                           [id, reply = std::move(reply)](
-                               KvStatus st) {
+                           [this, id, start, span,
+                            reply = std::move(reply)](KvStatus st) {
+            sim::Tick now = sim_.now();
             KvResponse resp;
             resp.reqId = id;
             resp.status = st;
+            resp.serviceTicks = now - start;
+            sim_.tracer().endSpan(span, now);
+            resp.trace =
+                sim_.tracer().beginSibling(span, "net.resp", now);
             reply(std::move(resp));
-        });
+        },
+                           flash::Priority::Read, span);
         return;
-      case KvOp::Delete:
+      }
+      case KvOp::Delete: {
+        std::uint64_t span =
+            sim_.tracer().beginSibling(req.trace, "shard.del", start);
         shards_[node]->del(req.key, req.stamp,
-                           [id, reply = std::move(reply)](
-                               KvStatus st) {
+                           [this, id, start, span,
+                            reply = std::move(reply)](KvStatus st) {
+            sim::Tick now = sim_.now();
             KvResponse resp;
             resp.reqId = id;
             resp.status = st;
+            resp.serviceTicks = now - start;
+            sim_.tracer().endSpan(span, now);
+            resp.trace =
+                sim_.tracer().beginSibling(span, "net.resp", now);
             reply(std::move(resp));
         });
         return;
+      }
     }
     sim::panic("unknown KV op");
 }
@@ -1200,7 +1350,8 @@ KvRouter::armOpTimer(std::uint64_t id, std::uint64_t us)
 void
 KvRouter::completeOne(std::uint64_t req_id, KvStatus st,
                       PageBuffer value, std::uint64_t version,
-                      NodeId from, bool timed_out)
+                      NodeId from, bool timed_out,
+                      sim::Tick service_ticks)
 {
     auto it = pending_.find(req_id);
     unsigned slot = ~0u;
@@ -1220,7 +1371,7 @@ KvRouter::completeOne(std::uint64_t req_id, KvStatus st,
         // dropped -- but it is proof its sender is alive, which
         // matters exactly when the sender was slow enough to be
         // suspected.
-        ++lateResponses_;
+        lateResponses_.inc();
         noteAlive(from);
         return;
     }
@@ -1229,12 +1380,23 @@ KvRouter::completeOne(std::uint64_t req_id, KvStatus st,
     --op.remaining;
     if (timed_out) {
         noteTimeout(from);
+        sim_.tracer().mark(op.routeSpan, "rpc.timeout", sim_.now());
         if (op.write)
-            ++writeTimeouts_;
+            writeTimeouts_.inc();
         else
-            ++readTimeouts_;
+            readTimeouts_.inc();
     } else {
         noteAlive(from);
+        if (from != op.origin) {
+            // Always-on stage attribution: the serving side
+            // reported its own time, the rest of the round trip is
+            // the network's.
+            sim::Tick rtt = sim_.now() - op.sentTick;
+            stageShard_.record(service_ticks);
+            stageNet_.record(rtt > service_ticks
+                                 ? rtt - service_ticks
+                                 : 0);
+        }
     }
 
     if (!op.write) {
@@ -1258,17 +1420,20 @@ KvRouter::completeOne(std::uint64_t req_id, KvStatus st,
         if (op.attempts <= params_.readRetries &&
             pickRetryTarget(op.key, op.origin, op.sent,
                             op.sentCount, &next)) {
-            ++retriedReads_;
-            ++remoteOps_;
+            retriedReads_.inc();
+            remoteOps_.inc();
             op.steered = true;
             op.cachedVersion = 0;
             op.sent[op.sentCount++] = next;
             ++op.attempts;
             ++op.remaining;
+            op.sentTick = sim_.now();
             KvRequest req;
             req.reqId = req_id;
             req.key = op.key;
             req.op = KvOp::Get;
+            req.trace = sim_.tracer().beginSpan(
+                op.routeSpan, "net.req", op.sentTick);
             cluster_.network()
                 .endpoint(op.origin, epKvService)
                 .send(next, kvHeaderBytes, std::move(req));
@@ -1276,7 +1441,7 @@ KvRouter::completeOne(std::uint64_t req_id, KvStatus st,
                 armOpTimer(req_id, params_.readTimeoutUs);
             return;
         }
-        ++failedReads_;
+        failedReads_.inc();
         if (op.timer != sim::invalidEventId)
             sim_.cancel(op.timer);
         PendingOp fin = std::move(op);
@@ -1340,6 +1505,11 @@ KvRouter::completeOne(std::uint64_t req_id, KvStatus st,
         // background. Fire the client last -- the callback may
         // re-enter the router and grow pending_, invalidating op.
         if (fire_client) {
+            // The route span measures client-perceived latency: it
+            // ends at the ack, not at settlement. Straggler spans
+            // left open are closed when the caller ends the trace.
+            sim_.tracer().endSpan(op.routeSpan, sim_.now());
+            op.routeSpan = 0;
             ++backgroundWrites_;
             if (backgroundWrites_ > maxBackgroundWrites_)
                 maxBackgroundWrites_ = backgroundWrites_;
@@ -1362,7 +1532,9 @@ KvRouter::completeOne(std::uint64_t req_id, KvStatus st,
     NodeId origin = op.origin;
     unsigned failed = op.failed, eligible = op.eligible;
     SettledDone settled = std::move(op.settled);
+    std::uint64_t route_span = op.routeSpan;
     pending_.erase(it);
+    sim_.tracer().endSpan(route_span, sim_.now());
     ledgerOpDone(key, origin, req_id);
     if (was_background)
         --backgroundWrites_;
@@ -1458,7 +1630,7 @@ KvRouter::sweepFinish(const std::shared_ptr<SweepState> &state)
         return;
     }
     sweepRunning_ = false;
-    ++repairSweeps_;
+    repairSweeps_.inc();
     if (state->done)
         state->done();
     // Whoever queued behind this sweep -- a ring change, or repair
@@ -1616,9 +1788,9 @@ KvRouter::repairKey(std::shared_ptr<SweepState> state, Key key,
         if (st == KvStatus::Error)
             divergent_.insert(key); // push failed: still divergent
         else if (moved)
-            ++movedKeys_; // rebalance copy (handoff traffic)
+            movedKeys_.inc(); // rebalance copy (handoff traffic)
         else
-            ++repairedKeys_; // reconciled (applied or caught up)
+            repairedKeys_.inc(); // reconciled (applied or caught up)
         --state->outstanding;
         if (state->stalled &&
             state->outstanding < params_.repairChunk) {
@@ -1656,26 +1828,33 @@ KvRouter::repairKey(std::shared_ptr<SweepState> state, Key key,
 void
 KvRouter::finishGet(PendingOp fin)
 {
+    sim::Tick now = sim_.now();
     KvCache *cache = cacheFor(fin.origin);
     if (fin.status == KvStatus::Ok && fin.cachedVersion != 0 &&
         fin.version == fin.cachedVersion) {
         // "Not modified": the replica confirmed our cached copy.
         if (cache) {
             if (const KvCache::Entry *e = cache->lookup(fin.key)) {
-                ++cacheServed_;
+                cacheServed_.inc();
+                sim_.tracer().mark(fin.routeSpan, "cache.hit", now);
+                sim_.tracer().endSpan(fin.routeSpan, now);
                 fin.getDone(e->value, KvStatus::Ok);
                 return;
             }
         }
         // Evicted while the validation was in flight (rare): fall
         // back to a plain fetch, which cannot loop -- the entry is
-        // gone, so the retry goes out unconditional.
-        get(fin.origin, fin.key, std::move(fin.getDone));
+        // gone, so the retry goes out unconditional. The re-issue
+        // opens a fresh route span under the original parent.
+        sim_.tracer().endSpan(fin.routeSpan, now);
+        get(fin.origin, fin.key, std::move(fin.getDone), fin.trace);
         return;
     }
     if (fin.status == KvStatus::Ok) {
-        if (fin.cachedVersion != 0)
-            ++cacheStale_; // self-detected: fresh value came back
+        if (fin.cachedVersion != 0) {
+            cacheStale_.inc(); // self-detected: fresh value came back
+            sim_.tracer().mark(fin.routeSpan, "cache.stale", now);
+        }
         // Steered / failed-over results carry another replica's
         // version space, and results from before a ring flip may
         // belong to an owner that no longer serves the key: never
@@ -1685,6 +1864,7 @@ KvRouter::finishGet(PendingOp fin)
     } else if (fin.status == KvStatus::NotFound && cache) {
         cache->invalidate(fin.key);
     }
+    sim_.tracer().endSpan(fin.routeSpan, now);
     fin.getDone(std::move(fin.value), fin.status);
 }
 

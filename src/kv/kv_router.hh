@@ -204,8 +204,18 @@ class KvRouter
      */
     net::NodeId readReplica(net::NodeId origin, Key key) const;
 
-    /** Fetch @p key on behalf of a client attached to @p origin. */
-    void get(net::NodeId origin, Key key, GetDone done);
+    /**
+     * Fetch @p key on behalf of a client attached to @p origin.
+     *
+     * @p trace (here and on put/del/multiGet; sim::Tracer handle,
+     * 0 = untraced) parents a "route" span covering the whole
+     * routed operation, under which the network hops (net.req /
+     * net.resp), the serving shard (shard.get / shard.put /
+     * shard.del, with the flash spans inside) and retry/timeout
+     * marks hang. See docs/observability.md for the taxonomy.
+     */
+    void get(net::NodeId origin, Key key, GetDone done,
+             std::uint64_t trace = 0);
 
     /** Fires when a write finished on EVERY replica (after the
      * quorum ack); see put(). */
@@ -222,12 +232,14 @@ class KvRouter
      * quorum win turns into a saturation loss.
      */
     void put(net::NodeId origin, Key key, flash::PageBuffer value,
-             AckDone done, SettledDone settled = nullptr);
+             AckDone done, SettledDone settled = nullptr,
+             std::uint64_t trace = 0);
 
     /** Delete @p key on all replicas (same quorum ack / settled
      * split as put). */
     void del(net::NodeId origin, Key key, AckDone done,
-             SettledDone settled = nullptr);
+             SettledDone settled = nullptr,
+             std::uint64_t trace = 0);
 
     /**
      * One full anti-entropy sweep over the hash ring: for every
@@ -253,9 +265,10 @@ class KvRouter
      */
     void repairSweep(std::function<void()> done);
 
-    /** Fetch several keys concurrently (read-one per key). */
+    /** Fetch several keys concurrently (read-one per key); each
+     * key's route span hangs under @p trace. */
     void multiGet(net::NodeId origin, std::vector<Key> keys,
-                  MultiGetDone done);
+                  MultiGetDone done, std::uint64_t trace = 0);
 
     /**
      * @name Elastic membership
@@ -335,19 +348,23 @@ class KvRouter
     /** Node @p n's hot-key cache; null when disabled. */
     KvCache *cache(net::NodeId n) { return caches_.at(n).get(); }
 
-    /** @name Statistics */
+    /** @name Statistics
+     *
+     * Registry-backed (`kv.router.*`); the accessors are thin
+     * reads kept for existing callers.
+     */
     ///@{
     /** Operations whose shard was on the requesting node. */
-    std::uint64_t localOps() const { return localOps_; }
+    std::uint64_t localOps() const { return localOps_.value(); }
     /** Shard requests that crossed the network. */
-    std::uint64_t remoteOps() const { return remoteOps_; }
+    std::uint64_t remoteOps() const { return remoteOps_.value(); }
     /** Remote gets served from the origin's cache after a
      * header-only version validation (no flash read, no value
      * bytes on the wire). */
-    std::uint64_t cacheServedGets() const { return cacheServed_; }
+    std::uint64_t cacheServedGets() const { return cacheServed_.value(); }
     /** Conditional gets whose cached version had gone stale (the
      * fresh value came back instead -- the self-detect path). */
-    std::uint64_t cacheStaleGets() const { return cacheStale_; }
+    std::uint64_t cacheStaleGets() const { return cacheStale_.value(); }
     /** Keys CURRENTLY divergent: a write applied on some replicas
      * and failed (or was skipped / timed out) on at least one, and
      * no repair sweep has reconciled the key since (see
@@ -366,32 +383,32 @@ class KvRouter
      * itself (KvShard::repairsApplied() counts actual mutations).
      * A failed push is not counted -- its key goes back on the
      * divergent list for the next sweep. */
-    std::uint64_t repairedKeys() const { return repairedKeys_; }
+    std::uint64_t repairedKeys() const { return repairedKeys_.value(); }
     /** Completed anti-entropy sweeps. */
-    std::uint64_t repairSweeps() const { return repairSweeps_; }
+    std::uint64_t repairSweeps() const { return repairSweeps_.value(); }
     /** Remote reads that timed out (including spurious ones whose
      * response later arrived -- see lateResponses). */
-    std::uint64_t readTimeouts() const { return readTimeouts_; }
+    std::uint64_t readTimeouts() const { return readTimeouts_.value(); }
     /** Replica writes timed out and completed as failed. */
-    std::uint64_t writeTimeouts() const { return writeTimeouts_; }
+    std::uint64_t writeTimeouts() const { return writeTimeouts_.value(); }
     /** Reads re-sent to another replica after a timeout/error. */
-    std::uint64_t retriedReads() const { return retriedReads_; }
+    std::uint64_t retriedReads() const { return retriedReads_.value(); }
     /** Reads that exhausted their retries and returned Error. */
-    std::uint64_t failedReads() const { return failedReads_; }
+    std::uint64_t failedReads() const { return failedReads_.value(); }
     /** Writes acked under a clamped quorum (>= 1 owner skipped as
      * Dead): durable on fewer than the configured W replicas. */
-    std::uint64_t degradedWrites() const { return degradedWrites_; }
+    std::uint64_t degradedWrites() const { return degradedWrites_.value(); }
     /** Responses for already-retired requests (a timeout fired
      * first, or the origin died). Dropped -- but counted as proof
      * of life for the sender. */
-    std::uint64_t lateResponses() const { return lateResponses_; }
+    std::uint64_t lateResponses() const { return lateResponses_.value(); }
     /** Live -> Suspect transitions. */
-    std::uint64_t suspectTransitions() const { return suspectTransitions_; }
+    std::uint64_t suspectTransitions() const { return suspectTransitions_.value(); }
     /** Suspect -> Dead transitions (grace expiries). */
-    std::uint64_t deadTransitions() const { return deadTransitions_; }
+    std::uint64_t deadTransitions() const { return deadTransitions_.value(); }
     /** Keys copied by join/leave catch-up sweeps (rebalance
      * traffic; rebuild and straggler repair count repairedKeys). */
-    std::uint64_t movedKeys() const { return movedKeys_; }
+    std::uint64_t movedKeys() const { return movedKeys_.value(); }
     ///@}
 
     /** Upper bound on R, so read routing can use a stack buffer. */
@@ -471,6 +488,17 @@ class KvRouter
         std::uint64_t version = 0;       //!< version of the result
         std::uint64_t stamp = 0;         //!< write stamp (0 for gets)
         std::uint64_t epoch = 0;         //!< ring epoch at issue
+        /** Caller's trace handle (parent of routeSpan; 0 =
+         * untraced). Kept so a cache-miss re-issue can open a
+         * fresh route span at the right level. */
+        std::uint64_t trace = 0;
+        /** The op's "route" span (0 = untraced or already ended:
+         * a write ends it at the client ack, not at settlement). */
+        std::uint64_t routeSpan = 0;
+        /** Tick of the latest network send: per-response network
+         * time is (arrival - sentTick) - KvResponse::serviceTicks
+         * (always-on kv.stage.net attribution, no tracer needed). */
+        sim::Tick sentTick = 0;
         /** Pending timeout expiry (invalidEventId = none). */
         sim::EventId timer = sim::invalidEventId;
     };
@@ -566,14 +594,18 @@ class KvRouter
     /** Shared body of put()/del(). */
     void issueWrite(net::NodeId origin, Key key, KvOp kvop,
                     flash::PageBuffer value, AckDone done,
-                    SettledDone settled);
+                    SettledDone settled, std::uint64_t trace);
     /** One replica (or the get replica) finished; @p from is the
      * node that served it (ledger bookkeeping for writes).
      * @p timed_out marks a synthesized completion from the op's
-     * timeout timer rather than a real response. */
+     * timeout timer rather than a real response. @p service_ticks
+     * is KvResponse::serviceTicks for a remote response (feeds the
+     * kv.stage.net / kv.stage.shard histograms); local completions
+     * record their stages at the call site and pass 0. */
     void completeOne(std::uint64_t req_id, KvStatus st,
                      flash::PageBuffer value, std::uint64_t version,
-                     net::NodeId from, bool timed_out = false);
+                     net::NodeId from, bool timed_out = false,
+                     sim::Tick service_ticks = 0);
     /** Arm (or re-arm) op @p id's timeout timer for @p us. */
     void armOpTimer(std::uint64_t id, std::uint64_t us);
     /** Finish a get: cache bookkeeping + the user callback. */
@@ -685,23 +717,38 @@ class KvRouter
     /** Pending periodic-sweep event (invalidEventId = none). */
     sim::EventId repairTimer_ = sim::invalidEventId;
 
-    std::uint64_t localOps_ = 0;
-    std::uint64_t remoteOps_ = 0;
-    std::uint64_t cacheServed_ = 0;
-    std::uint64_t cacheStale_ = 0;
+    /** Live background-write count / high-water mark: both move
+     * down (or are maxima), so they stay plain members exposed as
+     * kv.router.* gauges rather than monotone registry counters. */
     unsigned backgroundWrites_ = 0;
     unsigned maxBackgroundWrites_ = 0;
-    std::uint64_t repairedKeys_ = 0;
-    std::uint64_t repairSweeps_ = 0;
-    std::uint64_t readTimeouts_ = 0;
-    std::uint64_t writeTimeouts_ = 0;
-    std::uint64_t retriedReads_ = 0;
-    std::uint64_t failedReads_ = 0;
-    std::uint64_t degradedWrites_ = 0;
-    std::uint64_t lateResponses_ = 0;
-    std::uint64_t suspectTransitions_ = 0;
-    std::uint64_t deadTransitions_ = 0;
-    std::uint64_t movedKeys_ = 0;
+
+    // Registry-backed statistics (kv.router.*; the accessors above
+    // are thin reads). The router is one-per-cluster, so these
+    // carry no "inst" label.
+    sim::Counter &localOps_;
+    sim::Counter &remoteOps_;
+    sim::Counter &cacheServed_;
+    sim::Counter &cacheStale_;
+    sim::Counter &repairedKeys_;
+    sim::Counter &repairSweeps_;
+    sim::Counter &readTimeouts_;
+    sim::Counter &writeTimeouts_;
+    sim::Counter &retriedReads_;
+    sim::Counter &failedReads_;
+    sim::Counter &degradedWrites_;
+    sim::Counter &lateResponses_;
+    sim::Counter &suspectTransitions_;
+    sim::Counter &deadTransitions_;
+    sim::Counter &movedKeys_;
+    /** Always-on per-stage latency attribution (ticks, one sample
+     * per response): kv.stage.shard is the serving side's
+     * request-arrival-to-reply time, kv.stage.net the remainder of
+     * the round trip (local completions record shard time directly
+     * and 0 network). Cluster-wide cells shared with KvService's
+     * kv.stage.admission -- see docs/observability.md. */
+    sim::LatencyHistogram &stageNet_;
+    sim::LatencyHistogram &stageShard_;
 };
 
 } // namespace kv

@@ -28,7 +28,7 @@ KvService::submit(ClientId client, Launch launch,
 {
     Client &c = clients_.at(client);
     if (c.queue.size() >= c.params.queueCap) {
-        ++rejected_;
+        rejected_.inc();
         // Size the retry-after hint to the backlog: one base unit
         // per window's worth of queued work, so a client a hundred
         // windows behind is told to stay away proportionally
@@ -42,7 +42,7 @@ KvService::submit(ClientId client, Launch launch,
         });
         return;
     }
-    ++admitted_;
+    admitted_.inc();
     c.queue.push_back(std::move(launch));
     pump(client);
     // High-water mark of operations actually left waiting (an op
@@ -73,18 +73,33 @@ void
 KvService::get(ClientId client, Key key, KvRouter::GetDone done)
 {
     net::NodeId origin = clients_.at(client).origin;
+    // Root of the op's span tree; 0 when the op was not sampled
+    // (every tracer call below then early-outs). The trace covers
+    // the client-perceived lifetime, queueing included.
+    sim::Tick enq = sim_.now();
+    std::uint64_t root = sim_.tracer().beginTrace("kv.get", enq, key);
+    std::uint64_t qspan =
+        sim_.tracer().beginSpan(root, "svc.queue", enq);
     auto done_sh =
         std::make_shared<KvRouter::GetDone>(std::move(done));
     submit(client,
-           [this, origin, key, done_sh](std::function<void()> slot) {
+           [this, origin, key, done_sh, root, qspan,
+            enq](std::function<void()> slot) {
+        sim::Tick launched = sim_.now();
+        stageAdmission_.record(launched - enq);
+        sim_.tracer().endSpan(qspan, launched);
         router_.get(origin, key,
-                    [done_sh, slot = std::move(slot)](
-                        PageBuffer v, KvStatus st) {
+                    [&sim = sim_, done_sh, root,
+                     slot = std::move(slot)](PageBuffer v,
+                                             KvStatus st) {
             slot();
+            sim.tracer().endTrace(root, sim.now());
             (*done_sh)(std::move(v), st);
-        });
+        },
+                    root);
     },
-           [done_sh]() {
+           [&sim = sim_, done_sh, root]() {
+        sim.tracer().endTrace(root, sim.now());
         (*done_sh)(PageBuffer{}, KvStatus::Overloaded);
     });
 }
@@ -97,19 +112,34 @@ KvService::put(ClientId client, Key key, PageBuffer value,
     auto done_sh =
         std::make_shared<KvRouter::AckDone>(std::move(done));
     auto value_sh = std::make_shared<PageBuffer>(std::move(value));
+    sim::Tick enq = sim_.now();
+    std::uint64_t root = sim_.tracer().beginTrace("kv.put", enq, key);
+    std::uint64_t qspan =
+        sim_.tracer().beginSpan(root, "svc.queue", enq);
     submit(client,
-           [this, origin, key, done_sh,
-            value_sh](std::function<void()> slot) {
+           [this, origin, key, done_sh, value_sh, root, qspan,
+            enq](std::function<void()> slot) {
+        sim::Tick launched = sim_.now();
+        stageAdmission_.record(launched - enq);
+        sim_.tracer().endSpan(qspan, launched);
         // The client completes at the quorum ack, but the window
         // slot stays charged until every replica settled: the
         // op's straggler writes still occupy flash and network,
         // and admission must account them or quorum acks let a
         // closed-loop client overrun the node (see KvRouter::put).
+        // The trace ends with the client too -- endTrace closes
+        // any straggler replica span still open at that instant.
         router_.put(origin, key, std::move(*value_sh),
-                    [done_sh](KvStatus st) { (*done_sh)(st); },
-                    [slot = std::move(slot)]() { slot(); });
+                    [&sim = sim_, done_sh, root](KvStatus st) {
+            sim.tracer().endTrace(root, sim.now());
+            (*done_sh)(st);
+        },
+                    [slot = std::move(slot)]() { slot(); }, root);
     },
-           [done_sh]() { (*done_sh)(KvStatus::Overloaded); });
+           [&sim = sim_, done_sh, root]() {
+        sim.tracer().endTrace(root, sim.now());
+        (*done_sh)(KvStatus::Overloaded);
+    });
 }
 
 void
@@ -118,13 +148,27 @@ KvService::del(ClientId client, Key key, KvRouter::AckDone done)
     net::NodeId origin = clients_.at(client).origin;
     auto done_sh =
         std::make_shared<KvRouter::AckDone>(std::move(done));
+    sim::Tick enq = sim_.now();
+    std::uint64_t root = sim_.tracer().beginTrace("kv.del", enq, key);
+    std::uint64_t qspan =
+        sim_.tracer().beginSpan(root, "svc.queue", enq);
     submit(client,
-           [this, origin, key, done_sh](std::function<void()> slot) {
+           [this, origin, key, done_sh, root, qspan,
+            enq](std::function<void()> slot) {
+        sim::Tick launched = sim_.now();
+        stageAdmission_.record(launched - enq);
+        sim_.tracer().endSpan(qspan, launched);
         router_.del(origin, key,
-                    [done_sh](KvStatus st) { (*done_sh)(st); },
-                    [slot = std::move(slot)]() { slot(); });
+                    [&sim = sim_, done_sh, root](KvStatus st) {
+            sim.tracer().endTrace(root, sim.now());
+            (*done_sh)(st);
+        },
+                    [slot = std::move(slot)]() { slot(); }, root);
     },
-           [done_sh]() { (*done_sh)(KvStatus::Overloaded); });
+           [&sim = sim_, done_sh, root]() {
+        sim.tracer().endTrace(root, sim.now());
+        (*done_sh)(KvStatus::Overloaded);
+    });
 }
 
 void
@@ -136,18 +180,30 @@ KvService::multiGet(ClientId client, std::vector<Key> keys,
         std::make_shared<KvRouter::MultiGetDone>(std::move(done));
     auto keys_sh =
         std::make_shared<std::vector<Key>>(std::move(keys));
+    sim::Tick enq = sim_.now();
+    std::uint64_t root = sim_.tracer().beginTrace(
+        "kv.scan", enq, keys_sh->empty() ? 0 : keys_sh->front());
+    std::uint64_t qspan =
+        sim_.tracer().beginSpan(root, "svc.queue", enq);
     submit(client,
-           [this, origin, done_sh,
-            keys_sh](std::function<void()> slot) {
+           [this, origin, done_sh, keys_sh, root, qspan,
+            enq](std::function<void()> slot) {
+        sim::Tick launched = sim_.now();
+        stageAdmission_.record(launched - enq);
+        sim_.tracer().endSpan(qspan, launched);
         router_.multiGet(origin, std::move(*keys_sh),
-                         [done_sh, slot = std::move(slot)](
+                         [&sim = sim_, done_sh, root,
+                          slot = std::move(slot)](
                              std::vector<PageBuffer> values,
                              std::vector<KvStatus> sts) {
             slot();
+            sim.tracer().endTrace(root, sim.now());
             (*done_sh)(std::move(values), std::move(sts));
-        });
+        },
+                         root);
     },
-           [done_sh, keys_sh]() {
+           [&sim = sim_, done_sh, keys_sh, root]() {
+        sim.tracer().endTrace(root, sim.now());
         (*done_sh)(std::vector<PageBuffer>(keys_sh->size()),
                    std::vector<KvStatus>(keys_sh->size(),
                                          KvStatus::Overloaded));

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "kv/kv_router.hh"
@@ -71,9 +72,21 @@ class KvService
     };
 
     KvService(sim::Simulator &sim, KvRouter &router)
-        : sim_(sim), router_(router)
+        : sim_(sim), router_(router),
+          admitted_(sim.metrics().counter("kv.svc.admitted")),
+          rejected_(sim.metrics().counter("kv.svc.rejected")),
+          stageAdmission_(
+              sim.metrics().histogram("kv.stage.admission"))
     {
+        // The service may die before the Simulator in tests, so the
+        // gauge checks the liveness flag before touching members.
+        sim.metrics().registerGauge(
+            "kv.svc.max_queued", {}, [this, alive = alive_]() {
+            return *alive ? double(maxQueued_) : 0.0;
+        });
     }
+
+    ~KvService() { *alive_ = false; }
 
     /** Open a session homed on node @p origin. */
     ClientId addClient(net::NodeId origin,
@@ -131,10 +144,14 @@ class KvService
         return clients_.at(client).retryAfterUs;
     }
 
-    /** @name Statistics */
+    /** @name Statistics
+     *
+     * Registry-backed (`kv.svc.*`); the accessors are thin reads
+     * kept for existing callers.
+     */
     ///@{
-    std::uint64_t admitted() const { return admitted_; }
-    std::uint64_t rejected() const { return rejected_; }
+    std::uint64_t admitted() const { return admitted_.value(); }
+    std::uint64_t rejected() const { return rejected_.value(); }
     /** High-water mark of any client's wait queue. */
     std::size_t maxQueued() const { return maxQueued_; }
     ///@}
@@ -166,10 +183,20 @@ class KvService
     sim::Simulator &sim_;
     KvRouter &router_;
     std::deque<Client> clients_; //!< stable storage, index = id
+    /** Flipped by the destructor; guards the max_queued gauge. */
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
-    std::uint64_t admitted_ = 0;
-    std::uint64_t rejected_ = 0;
+    /** High-water mark (not monotone-increment): stays a plain
+     * member, published as the kv.svc.max_queued gauge. */
     std::size_t maxQueued_ = 0;
+
+    // Registry-backed statistics (accessors above are thin reads).
+    sim::Counter &admitted_;
+    sim::Counter &rejected_;
+    /** Always-on admission-wait histogram (ticks, one sample per
+     * admitted op): submit() to window-slot launch. The front end
+     * of the kv.stage.* breakdown -- see docs/observability.md. */
+    sim::LatencyHistogram &stageAdmission_;
 };
 
 } // namespace kv

@@ -10,10 +10,44 @@ namespace kv {
 
 using flash::PageBuffer;
 
+namespace {
+
+/** Registry cell labeled with this shard's instance serial. */
+sim::Counter &
+cell(sim::Simulator &sim, unsigned inst, const char *name)
+{
+    return sim.metrics().counter(name,
+                                 {{"inst", std::to_string(inst)}});
+}
+
+} // namespace
+
 KvShard::KvShard(sim::Simulator &sim, fs::LogFs &fs,
                  std::string log_name, unsigned stripes)
-    : sim_(sim), fs_(fs)
+    : sim_(sim), fs_(fs),
+      inst_(sim.metrics().nextInstance("shard")),
+      gets_(cell(sim, inst_, "kv.shard.gets")),
+      puts_(cell(sim, inst_, "kv.shard.puts")),
+      deletes_(cell(sim, inst_, "kv.shard.deletes")),
+      misses_(cell(sim, inst_, "kv.shard.misses")),
+      memtableHits_(cell(sim, inst_, "kv.shard.memtable_hits")),
+      validatedGets_(cell(sim, inst_, "kv.shard.validated_gets")),
+      coalescedGets_(cell(sim, inst_, "kv.shard.coalesced_gets")),
+      failedPuts_(cell(sim, inst_, "kv.shard.failed_puts")),
+      repairsApplied_(cell(sim, inst_, "kv.shard.repairs_applied"))
 {
+    // Unlike most models a shard may die before the Simulator (see
+    // ~KvShard), so its gauges check the liveness flag.
+    sim.metrics().registerGauge(
+        "kv.shard.live_bytes", {{"inst", std::to_string(inst_)}},
+        [this, alive = alive_]() {
+        return *alive ? static_cast<double>(liveBytes_) : 0.0;
+    });
+    sim.metrics().registerGauge(
+        "kv.shard.log_bytes", {{"inst", std::to_string(inst_)}},
+        [this, alive = alive_]() {
+        return *alive ? static_cast<double>(logBytes_) : 0.0;
+    });
     if (stripes == 0)
         sim::fatal("shard log needs >= 1 stripe");
     if (stripes == 1) {
@@ -37,9 +71,9 @@ KvShard::~KvShard()
 
 void
 KvShard::put(Key key, PageBuffer value, std::uint64_t stamp,
-             AckDone done, flash::Priority pri)
+             AckDone done, flash::Priority pri, std::uint64_t trace)
 {
-    ++puts_;
+    puts_.inc();
     auto len = static_cast<std::uint32_t>(value.size());
 
     // Log record: [key][len][value bytes], appended at the frontier.
@@ -111,7 +145,7 @@ KvShard::put(Key key, PageBuffer value, std::uint64_t stamp,
             // if no newer operation superseded this one, roll the
             // key back to its last durable version so a later get
             // can never serve never-written flash bytes as Ok.
-            ++failedPuts_;
+            failedPuts_.inc();
             logBytes_ -= record_bytes;
             if (current) {
                 memtable_.erase(key);
@@ -161,23 +195,25 @@ KvShard::put(Key key, PageBuffer value, std::uint64_t stamp,
             memtable_.erase(key); // no newer in-flight version
         done(KvStatus::Ok);
     },
-               pri);
+               pri, trace);
 }
 
 void
-KvShard::get(Key key, GetDone done, flash::Priority pri)
+KvShard::get(Key key, GetDone done, flash::Priority pri,
+             std::uint64_t trace)
 {
-    getIfNewer(key, 0, std::move(done), pri);
+    getIfNewer(key, 0, std::move(done), pri, trace);
 }
 
 void
 KvShard::getIfNewer(Key key, std::uint64_t cached_version,
-                    GetDone done, flash::Priority pri)
+                    GetDone done, flash::Priority pri,
+                    std::uint64_t trace)
 {
-    ++gets_;
+    gets_.inc();
     auto it = index_.find(key);
     if (it == index_.end()) {
-        ++misses_;
+        misses_.inc();
         sim_.scheduleAfter(0, [alive = alive_,
                                done = std::move(done)]() {
             if (!*alive)
@@ -191,7 +227,8 @@ KvShard::getIfNewer(Key key, std::uint64_t cached_version,
         // The requester's cached copy is current: an O(1) index
         // probe is the whole cost -- no memtable copy, no flash
         // read, no value bytes.
-        ++validatedGets_;
+        validatedGets_.inc();
+        sim_.tracer().mark(trace, "shard.validated", sim_.now());
         sim_.scheduleAfter(0, [alive = alive_, version,
                                done = std::move(done)]() {
             if (!*alive)
@@ -202,7 +239,8 @@ KvShard::getIfNewer(Key key, std::uint64_t cached_version,
     }
     auto mem = memtable_.find(key);
     if (mem != memtable_.end()) {
-        ++memtableHits_;
+        memtableHits_.inc();
+        sim_.tracer().mark(trace, "shard.memtable", sim_.now());
         PageBuffer value = mem->second; // copy: append still owns it
         sim_.scheduleAfter(0, [alive = alive_, version,
                                value = std::move(value),
@@ -217,7 +255,8 @@ KvShard::getIfNewer(Key key, std::uint64_t cached_version,
     // in-flight flash read instead of issuing their own.
     auto rit = reads_.find(version);
     if (rit != reads_.end()) {
-        ++coalescedGets_;
+        coalescedGets_.inc();
+        sim_.tracer().mark(trace, "shard.coalesced", sim_.now());
         rit->second.waiters.push_back(std::move(done));
         return;
     }
@@ -237,13 +276,13 @@ KvShard::getIfNewer(Key key, std::uint64_t cached_version,
             waiters[i](data, st, version); // copy for all but last
         waiters.back()(std::move(data), st, version);
     },
-             pri);
+             pri, trace);
 }
 
 void
 KvShard::del(Key key, std::uint64_t stamp, AckDone done)
 {
-    ++deletes_;
+    deletes_.inc();
     auto it = index_.find(key);
     KvStatus st = KvStatus::NotFound;
     if (it != index_.end()) {
@@ -343,7 +382,7 @@ KvShard::repairPut(Key key, PageBuffer value, std::uint64_t stamp,
     put(key, std::move(value), stamp,
         [this, done = std::move(done)](KvStatus st) {
         if (st == KvStatus::Ok)
-            ++repairsApplied_;
+            repairsApplied_.inc();
         done(st);
     },
         flash::Priority::Background);
@@ -364,7 +403,7 @@ KvShard::repairDel(Key key, std::uint64_t stamp, AckDone done)
     }
     // del applies the tombstone unconditionally (NotFound just
     // means the key was already absent): always a state change.
-    ++repairsApplied_;
+    repairsApplied_.inc();
     del(key, stamp, std::move(done));
 }
 

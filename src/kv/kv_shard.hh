@@ -127,7 +127,8 @@ class KvShard
      */
     void put(Key key, flash::PageBuffer value, std::uint64_t stamp,
              AckDone done,
-             flash::Priority pri = flash::Priority::Read);
+             flash::Priority pri = flash::Priority::Read,
+             std::uint64_t trace = 0);
     void
     put(Key key, flash::PageBuffer value, AckDone done)
     {
@@ -145,9 +146,16 @@ class KvShard
      * source reads, replica rebuild) pass Background so recovery
      * never suspends serving programs. A Background get that
      * coalesces onto an in-flight serving read simply shares it.
+     *
+     * @p trace (on get/getIfNewer/put; sim::Tracer handle, 0 =
+     * untraced) is threaded into the file system so the fs.read /
+     * fs.append span (and the flash spans inside it) nest under the
+     * caller's span; served-from-memory outcomes leave a mark
+     * instead (shard.memtable / shard.validated / shard.coalesced).
      */
     void get(Key key, GetDone done,
-             flash::Priority pri = flash::Priority::Read);
+             flash::Priority pri = flash::Priority::Read,
+             std::uint64_t trace = 0);
 
     /**
      * Conditional fetch: like get(), but when the live entry's
@@ -158,7 +166,8 @@ class KvShard
      */
     void getIfNewer(Key key, std::uint64_t cached_version,
                     GetDone done,
-                    flash::Priority pri = flash::Priority::Read);
+                    flash::Priority pri = flash::Priority::Read,
+                    std::uint64_t trace = 0);
 
     /**
      * Drop @p key. Index-only (metadata persistence is out of scope
@@ -213,7 +222,7 @@ class KvShard
     void repairDel(Key key, std::uint64_t stamp, AckDone done);
 
     /** Repair pushes that actually changed state. */
-    std::uint64_t repairsApplied() const { return repairsApplied_; }
+    std::uint64_t repairsApplied() const { return repairsApplied_.value(); }
 
     /**
      * Drop tombstones in [lo, hi] (hash bounds, inclusive) with
@@ -240,21 +249,25 @@ class KvShard
     /** Bytes of live values (excludes dead log versions). */
     std::uint64_t liveBytes() const { return liveBytes_; }
 
-    /** @name Statistics */
+    /** @name Statistics
+     *
+     * Registry-backed (`kv.shard.*`, labeled by instance); the
+     * accessors are thin reads kept for existing callers.
+     */
     ///@{
-    std::uint64_t gets() const { return gets_; }
-    std::uint64_t puts() const { return puts_; }
-    std::uint64_t deletes() const { return deletes_; }
-    std::uint64_t misses() const { return misses_; }
+    std::uint64_t gets() const { return gets_.value(); }
+    std::uint64_t puts() const { return puts_.value(); }
+    std::uint64_t deletes() const { return deletes_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
     /** Gets served from the in-flight write-back memtable. */
-    std::uint64_t memtableHits() const { return memtableHits_; }
+    std::uint64_t memtableHits() const { return memtableHits_.value(); }
     /** Conditional gets answered "not modified" (no flash read). */
-    std::uint64_t validatedGets() const { return validatedGets_; }
+    std::uint64_t validatedGets() const { return validatedGets_.value(); }
     /** Gets that joined an in-flight flash read instead of issuing
      * their own. */
-    std::uint64_t coalescedGets() const { return coalescedGets_; }
+    std::uint64_t coalescedGets() const { return coalescedGets_.value(); }
     /** Puts whose log append failed (rolled back, acked Error). */
-    std::uint64_t failedPuts() const { return failedPuts_; }
+    std::uint64_t failedPuts() const { return failedPuts_.value(); }
     /** Bytes appended to the shard log (live + since-dead; failed
      * appends are rolled back out). */
     std::uint64_t logBytes() const { return logBytes_; }
@@ -349,15 +362,20 @@ class KvShard
 
     std::uint64_t liveBytes_ = 0;
     std::uint64_t logBytes_ = 0;
-    std::uint64_t gets_ = 0;
-    std::uint64_t puts_ = 0;
-    std::uint64_t deletes_ = 0;
-    std::uint64_t misses_ = 0;
-    std::uint64_t memtableHits_ = 0;
-    std::uint64_t validatedGets_ = 0;
-    std::uint64_t coalescedGets_ = 0;
-    std::uint64_t failedPuts_ = 0;
-    std::uint64_t repairsApplied_ = 0;
+
+    /** Construction serial among shards; the "inst" label of the
+     * kv.shard.* metrics below. */
+    unsigned inst_;
+    // Registry-backed statistics (accessors above are thin reads).
+    sim::Counter &gets_;
+    sim::Counter &puts_;
+    sim::Counter &deletes_;
+    sim::Counter &misses_;
+    sim::Counter &memtableHits_;
+    sim::Counter &validatedGets_;
+    sim::Counter &coalescedGets_;
+    sim::Counter &failedPuts_;
+    sim::Counter &repairsApplied_;
 };
 
 } // namespace kv

@@ -221,6 +221,17 @@ struct KvRequest
     std::uint64_t stamp = 0;
     KvOp op = KvOp::Get;
     net::EndpointId replyEndpoint = epKvData;
+    /**
+     * Tracing continuation (sim::Tracer::Handle of the request's
+     * network-hop span; 0 = untraced). Simulation metadata, not
+     * protocol state: it is NOT part of kvHeaderBytes -- a real
+     * deployment would pack a trace id into spare header bits. The
+     * receiving shard hangs its service span off this handle, which
+     * is how one span tree follows the op across nodes (the single
+     * simulated clock makes the remote timestamps exact). See
+     * docs/observability.md for the span taxonomy.
+     */
+    std::uint64_t trace = 0;
     flash::PageBuffer value; //!< put payload; empty otherwise
 };
 
@@ -237,6 +248,18 @@ struct KvResponse
      * the requester serves its cached copy.
      */
     std::uint64_t version = 0;
+    /**
+     * Ticks the serving node spent on this op (receipt of the
+     * request to the response send). The origin subtracts this from
+     * the measured round trip to attribute the remainder to the
+     * network stage (kv.stage.net) without any tracing enabled --
+     * the always-on per-stage breakdown BENCH_kv reports. Untimed
+     * metadata, like KvRequest::trace.
+     */
+    std::uint64_t serviceTicks = 0;
+    /** Tracing continuation for the response's network hop
+     * (sim::Tracer::Handle; 0 = untraced). See KvRequest::trace. */
+    std::uint64_t trace = 0;
     KvStatus status = KvStatus::Ok;
     flash::PageBuffer value; //!< get result; empty otherwise
 };

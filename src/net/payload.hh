@@ -204,8 +204,9 @@ class PayloadRef
 class PayloadPool
 {
   public:
-    /** In-slot capacity; covers every built-in protocol struct. */
-    static constexpr std::size_t slotBytes = 64;
+    /** In-slot capacity; covers every built-in protocol struct
+     * (sized for KvRequest, which grew a trace handle). */
+    static constexpr std::size_t slotBytes = 80;
 
     PayloadPool() = default;
 

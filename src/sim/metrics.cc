@@ -1,0 +1,167 @@
+#include "sim/metrics.hh"
+
+#include <algorithm>
+
+namespace bluedbm {
+namespace sim {
+
+std::string
+MetricsRegistry::key(std::string_view name,
+                     const MetricLabels &labels)
+{
+    std::string k(name);
+    if (labels.empty())
+        return k;
+    MetricLabels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    k += '{';
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        if (i)
+            k += ',';
+        k += sorted[i].first;
+        k += '=';
+        k += sorted[i].second;
+    }
+    k += '}';
+    return k;
+}
+
+std::string_view
+MetricsRegistry::baseName(std::string_view key)
+{
+    auto brace = key.find('{');
+    return brace == std::string_view::npos ? key
+                                           : key.substr(0, brace);
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name, MetricLabels labels)
+{
+    auto &slot = counters_[key(name, labels)];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+LatencyHistogram &
+MetricsRegistry::histogram(std::string_view name,
+                           MetricLabels labels)
+{
+    auto &slot = histograms_[key(name, labels)];
+    if (!slot)
+        slot = std::make_unique<LatencyHistogram>();
+    return *slot;
+}
+
+void
+MetricsRegistry::registerGauge(std::string_view name,
+                               MetricLabels labels,
+                               std::function<double()> fn)
+{
+    gauges_[key(name, labels)] = std::move(fn);
+}
+
+unsigned
+MetricsRegistry::nextInstance(std::string_view kind)
+{
+    auto it = instances_.find(kind);
+    if (it == instances_.end())
+        it = instances_.emplace(std::string(kind), 0).first;
+    return it->second++;
+}
+
+std::uint64_t
+MetricsRegistry::counterTotal(std::string_view name) const
+{
+    std::uint64_t total = 0;
+    for (const auto &[k, c] : counters_) {
+        if (baseName(k) == name)
+            total += c->value();
+    }
+    return total;
+}
+
+LatencyHistogram
+MetricsRegistry::histogramTotal(std::string_view name) const
+{
+    LatencyHistogram total;
+    for (const auto &[k, h] : histograms_) {
+        if (baseName(k) == name)
+            total.merge(*h);
+    }
+    return total;
+}
+
+double
+MetricsRegistry::gaugeTotal(std::string_view name) const
+{
+    double total = 0.0;
+    for (const auto &[k, g] : gauges_) {
+        if (baseName(k) == name && g)
+            total += g();
+    }
+    return total;
+}
+
+std::uint64_t
+MetricsRegistry::Snapshot::value(std::string_view key) const
+{
+    auto it = counters.find(std::string(key));
+    return it == counters.end() ? 0 : it->second;
+}
+
+std::uint64_t
+MetricsRegistry::Snapshot::total(std::string_view name) const
+{
+    std::uint64_t sum = 0;
+    for (const auto &[k, v] : counters) {
+        if (baseName(k) == name)
+            sum += v;
+    }
+    return sum;
+}
+
+MetricsRegistry::Snapshot
+MetricsRegistry::Snapshot::deltaSince(const Snapshot &earlier) const
+{
+    Snapshot d;
+    for (const auto &[k, v] : counters) {
+        auto it = earlier.counters.find(k);
+        std::uint64_t base =
+            it == earlier.counters.end() ? 0 : it->second;
+        d.counters.emplace(k, v - base);
+    }
+    return d;
+}
+
+MetricsRegistry::Snapshot
+MetricsRegistry::snapshot() const
+{
+    Snapshot s;
+    for (const auto &[k, c] : counters_)
+        s.counters.emplace(k, c->value());
+    return s;
+}
+
+void
+MetricsRegistry::forEachCounter(
+    const std::function<void(const std::string &, std::uint64_t)>
+        &fn) const
+{
+    for (const auto &[k, c] : counters_)
+        fn(k, c->value());
+}
+
+void
+MetricsRegistry::forEachGauge(
+    const std::function<void(const std::string &, double)> &fn)
+    const
+{
+    for (const auto &[k, g] : gauges_) {
+        if (g)
+            fn(k, g());
+    }
+}
+
+} // namespace sim
+} // namespace bluedbm

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unified metrics registry: named counters, gauges and histograms
+ * with labeled dimensions, registered by components at construction.
+ *
+ * Before this existed every model grew its own `std::uint64_t`
+ * members plus an accessor per counter, and every bench had to know
+ * which component to ask for which number. The registry inverts
+ * that: a component asks the registry (reached through its
+ * Simulator) for a counter/histogram under a stable dotted name plus
+ * labels, keeps the returned reference, and bumps it exactly as
+ * cheaply as the raw member it replaces. Benches and gates then read
+ * *names*, not component APIs, and can aggregate across label sets
+ * (per node, per traffic class, per stage) or diff snapshots across
+ * phases without the component's help.
+ *
+ * Naming convention (see docs/observability.md):
+ *   <component>.<noun>[_<unit>]   e.g. kv.router.read_timeouts,
+ *                                      kv.stage.nand (ticks)
+ * Labels are free-form key=value pairs; the conventional ones are
+ *   inst  - per-instance serial from nextInstance() (construction
+ *           order; equals the node index for one-per-node models)
+ *   class - flash traffic class ("read" / "bg")
+ *   stage - pipeline stage of a latency histogram
+ *
+ * Counter/histogram references returned by the registry stay valid
+ * for the registry's lifetime (entries are never erased).
+ */
+
+#ifndef BLUEDBM_SIM_METRICS_HH
+#define BLUEDBM_SIM_METRICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace bluedbm {
+namespace sim {
+
+/** Labels of one metric instance: key=value pairs, canonicalized
+ * (sorted by key) when forming the metric's identity. */
+using MetricLabels =
+    std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * Monotone counter. Components hold a reference and bump it on the
+ * hot path; readers reach the same cell through the registry.
+ */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * The per-simulation metrics registry. One instance lives in each
+ * Simulator (sim.metrics()); every component of that simulated
+ * cluster registers against it, so tearing down the Simulator tears
+ * down exactly that run's metrics.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Get or create the counter @p name / @p labels. The reference
+     * stays valid for the registry's lifetime. */
+    Counter &counter(std::string_view name, MetricLabels labels = {});
+
+    /** Get or create the latency histogram @p name / @p labels
+     * (samples are ticks unless the name says otherwise). */
+    LatencyHistogram &histogram(std::string_view name,
+                                MetricLabels labels = {});
+
+    /**
+     * Register a computed gauge: @p fn is evaluated at read time
+     * (snapshots, dumps), so live quantities like queue depths need
+     * no shadow bookkeeping. @p fn must outlive the registry or the
+     * owning component must never be destroyed before the Simulator
+     * -- the standard lifetime contract of this codebase's models.
+     * Re-registering the same name+labels replaces the function.
+     */
+    void registerGauge(std::string_view name, MetricLabels labels,
+                       std::function<double()> fn);
+
+    /** Per-kind construction serial (0, 1, 2, ...): gives
+     * one-per-node components a deterministic "inst" label without
+     * threading node ids through every constructor. */
+    unsigned nextInstance(std::string_view kind);
+
+    /** Sum of one counter name across all its label sets. */
+    std::uint64_t counterTotal(std::string_view name) const;
+
+    /** Merge of one histogram name across all its label sets. */
+    LatencyHistogram histogramTotal(std::string_view name) const;
+
+    /** Sum of one gauge name across all its label sets. */
+    double gaugeTotal(std::string_view name) const;
+
+    /**
+     * Point-in-time copy of every counter (by full key). Snapshots
+     * subtract, which is how phase-scoped deltas are taken:
+     *
+     *   auto before = reg.snapshot();
+     *   ... run the crash window ...
+     *   auto win = reg.snapshot().deltaSince(before);
+     *   win.total("kv.router.read_timeouts");
+     */
+    struct Snapshot
+    {
+        /** full key ("name{k=v,...}") -> value */
+        std::map<std::string, std::uint64_t> counters;
+
+        /** Value of one full key (0 when absent). */
+        std::uint64_t value(std::string_view key) const;
+        /** Sum across every label set of @p name. */
+        std::uint64_t total(std::string_view name) const;
+        /** Per-key difference this-minus-earlier (counters are
+         * monotone, so this is the activity in between). */
+        Snapshot deltaSince(const Snapshot &earlier) const;
+    };
+    Snapshot snapshot() const;
+
+    /** Visit every counter as (full key, value), sorted by key. */
+    void forEachCounter(
+        const std::function<void(const std::string &,
+                                 std::uint64_t)> &fn) const;
+    /** Visit every gauge as (full key, value()), sorted by key. */
+    void forEachGauge(const std::function<void(const std::string &,
+                                               double)> &fn) const;
+
+    /** Canonical full key: name + sorted "{k=v,...}" suffix. */
+    static std::string key(std::string_view name,
+                           const MetricLabels &labels);
+
+  private:
+    /** Bare metric name of a full key (strips the label suffix). */
+    static std::string_view baseName(std::string_view key);
+
+    // unique_ptr entries: references handed out survive rehashing.
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>>
+        histograms_;
+    std::map<std::string, std::function<double()>> gauges_;
+    std::map<std::string, unsigned, std::less<>> instances_;
+};
+
+} // namespace sim
+} // namespace bluedbm
+
+#endif // BLUEDBM_SIM_METRICS_HH

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/metrics.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace bluedbm {
@@ -67,6 +69,16 @@ class Simulator
     /** Total events executed so far. */
     std::uint64_t eventsExecuted() const { return events_.executed(); }
 
+    /** This simulation's metrics registry: every component of the
+     * cluster registers its counters/gauges/histograms here. */
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    /** This simulation's request tracer (disabled by default; see
+     * src/sim/trace.hh). */
+    Tracer &tracer() { return tracer_; }
+    const Tracer &tracer() const { return tracer_; }
+
     /**
      * Keep @p resource alive until after the event queue is
      * destroyed. Pending events may capture handles into
@@ -81,6 +93,11 @@ class Simulator
     }
 
   private:
+    /** Declared before retained_/events_: pending events and
+     * retained resources may reference metrics cells and trace
+     * slots, so both observability arenas must outlive them. */
+    MetricsRegistry metrics_;
+    Tracer tracer_;
     /** Declared before events_: destroyed only after every pending
      * event (and any resource handle it captured) is gone. */
     std::vector<std::shared_ptr<void>> retained_;

@@ -65,6 +65,35 @@ class Accumulator
     /** Largest sample (-inf when empty). */
     double max() const { return max_; }
 
+    /** Fold another accumulator's samples into this one. */
+    void
+    merge(const Accumulator &o)
+    {
+        count_ += o.count_;
+        sum_ += o.sum_;
+        sumSq_ += o.sumSq_;
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+
+    /**
+     * Remove an earlier snapshot of *this* accumulator, leaving the
+     * statistics of the samples recorded since. Only valid against
+     * a copy taken from this same accumulator (monotone history);
+     * min/max cannot be un-merged and keep their all-time values.
+     */
+    void
+    subtract(const Accumulator &earlier)
+    {
+        count_ -= earlier.count_;
+        sum_ -= earlier.sum_;
+        sumSq_ -= earlier.sumSq_;
+        if (count_ == 0) {
+            min_ = std::numeric_limits<double>::infinity();
+            max_ = -std::numeric_limits<double>::infinity();
+        }
+    }
+
     /** Forget all samples. */
     void
     reset()
@@ -234,6 +263,44 @@ class LatencyHistogram
     std::uint64_t p95() const { return quantile(0.95); }
     std::uint64_t p99() const { return quantile(0.99); }
     std::uint64_t p999() const { return quantile(0.999); }
+
+    /**
+     * Fold another histogram's samples into this one. Bucket
+     * geometry is identical by construction, so the merged
+     * histogram reports exactly what recording every sample of
+     * both into one histogram would have -- this is how per-client
+     * and per-stage histograms aggregate without re-sampling.
+     */
+    void
+    merge(const LatencyHistogram &o)
+    {
+        acc_.merge(o.acc_);
+        minExact_ = std::min(minExact_, o.minExact_);
+        maxExact_ = std::max(maxExact_, o.maxExact_);
+        for (std::size_t i = 0; i < counts_.size(); ++i)
+            counts_[i] += o.counts_[i];
+    }
+
+    /**
+     * Remove an earlier snapshot (a plain copy) of *this* histogram,
+     * leaving the distribution of the samples recorded since -- how
+     * a phase-scoped tail (crash window, handoff window) is cut out
+     * of an always-on stage histogram. Exact-extreme tracking
+     * cannot be un-merged: min()/max() degrade to the all-time
+     * values (quantiles are unaffected except for clamping at the
+     * all-time max).
+     */
+    void
+    subtract(const LatencyHistogram &earlier)
+    {
+        acc_.subtract(earlier.acc_);
+        for (std::size_t i = 0; i < counts_.size(); ++i)
+            counts_[i] -= earlier.counts_[i];
+        if (acc_.count() == 0) {
+            minExact_ = ~std::uint64_t(0);
+            maxExact_ = 0;
+        }
+    }
 
     /** Forget all samples. */
     void

@@ -1,0 +1,209 @@
+#include "sim/trace.hh"
+
+#include <cstdio>
+
+namespace bluedbm {
+namespace sim {
+
+Tracer::Slot *
+Tracer::resolve(Handle h, std::uint16_t *span_out)
+{
+    if (h == 0)
+        return nullptr;
+    auto slot = std::uint32_t(h & 0xffffffffu) - 1;
+    auto gen = std::uint16_t((h >> 32) & 0xffffu);
+    auto span = std::uint16_t(h >> 48);
+    if (slot >= slots_.size())
+        return nullptr;
+    Slot &s = slots_[slot];
+    if (!s.open || s.gen != gen ||
+        span >= s.trace.spans.size())
+        return nullptr;
+    if (span_out)
+        *span_out = span;
+    return &s;
+}
+
+Tracer::Handle
+Tracer::beginTraceLive(const char *name, Tick now, std::uint64_t key)
+{
+    std::uint32_t idx;
+    if (!freeSlots_.empty()) {
+        idx = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        idx = std::uint32_t(slots_.size());
+        slots_.emplace_back();
+    }
+    Slot &s = slots_[idx];
+    s.open = true;
+    s.trace.serial = ++started_;
+    s.trace.key = key;
+    s.trace.why = "";
+    s.trace.spans.push_back(Span{name, now, 0, noParent});
+    return pack(idx, s.gen, 0);
+}
+
+Tracer::Handle
+Tracer::beginSpanLive(Handle parent, const char *name, Tick now)
+{
+    std::uint16_t pspan = 0;
+    Slot *s = resolve(parent, &pspan);
+    if (s == nullptr)
+        return 0;
+    if (s->trace.spans.size() >= 0xffff)
+        return 0; // span index must fit the handle
+    auto idx = std::uint16_t(s->trace.spans.size());
+    s->trace.spans.push_back(Span{name, now, 0, pspan});
+    return pack(std::uint32_t(s - slots_.data()), s->gen, idx);
+}
+
+Tracer::Handle
+Tracer::beginSiblingLive(Handle peer, const char *name, Tick now)
+{
+    std::uint16_t pspan = 0;
+    Slot *s = resolve(peer, &pspan);
+    if (s == nullptr)
+        return 0;
+    if (s->trace.spans.size() >= 0xffff)
+        return 0;
+    auto idx = std::uint16_t(s->trace.spans.size());
+    std::uint32_t parent = s->trace.spans[pspan].parent;
+    s->trace.spans.push_back(Span{name, now, 0, parent});
+    return pack(std::uint32_t(s - slots_.data()), s->gen, idx);
+}
+
+void
+Tracer::endSpanLive(Handle h, Tick now)
+{
+    std::uint16_t span = 0;
+    Slot *s = resolve(h, &span);
+    if (s == nullptr)
+        return;
+    Span &sp = s->trace.spans[span];
+    if (sp.end == 0)
+        sp.end = now;
+}
+
+void
+Tracer::markLive(Handle h, const char *name, Tick now)
+{
+    std::uint16_t span = 0;
+    Slot *s = resolve(h, &span);
+    if (s == nullptr)
+        return;
+    s->trace.marks.push_back(Mark{name, now, span});
+}
+
+void
+Tracer::endTraceLive(Handle h, Tick now)
+{
+    Slot *s = resolve(h, nullptr);
+    if (s == nullptr)
+        return;
+    for (Span &sp : s->trace.spans) {
+        if (sp.end == 0)
+            sp.end = now;
+    }
+    const Span &root = s->trace.spans.front();
+    Tick dur = root.end - root.begin;
+    bool slow = params_.slowThresholdTicks > 0 &&
+        dur >= params_.slowThresholdTicks;
+    bool sampled = params_.sampleEvery > 0 &&
+        s->trace.serial % params_.sampleEvery == 0;
+    if (slow || sampled) {
+        if (done_.size() < params_.maxRetained) {
+            s->trace.why = slow ? "slow" : "sampled";
+            done_.push_back(std::move(s->trace));
+            if (slow)
+                ++slowKept_;
+            else
+                ++sampledKept_;
+        } else {
+            ++dropped_;
+        }
+    }
+    // Recycle: clear (keeping vector capacity when not moved out)
+    // and invalidate every outstanding handle via the generation.
+    s->trace.spans.clear();
+    s->trace.marks.clear();
+    s->open = false;
+    if (++s->gen == 0)
+        s->gen = 1;
+    freeSlots_.push_back(std::uint32_t(s - slots_.data()));
+}
+
+unsigned
+Tracer::depthOf(const Trace &t, std::uint32_t span)
+{
+    unsigned depth = 0;
+    while (span != noParent && span < t.spans.size() &&
+           t.spans[span].parent != noParent) {
+        span = t.spans[span].parent;
+        ++depth;
+    }
+    return depth;
+}
+
+bool
+Tracer::writeChromeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "tracer: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\"displayTimeUnit\":\"ms\","
+                    "\"traceEvents\":[\n");
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            std::fprintf(f, ",\n");
+        first = false;
+    };
+    for (const Trace &t : done_) {
+        auto pid = static_cast<unsigned long long>(t.serial);
+        sep();
+        std::fprintf(f,
+                     "{\"name\":\"process_name\",\"ph\":\"M\","
+                     "\"pid\":%llu,\"args\":{\"name\":"
+                     "\"trace %llu (%s) key=%llu\"}}",
+                     pid, pid, t.why,
+                     static_cast<unsigned long long>(t.key));
+        for (std::size_t i = 0; i < t.spans.size(); ++i) {
+            const Span &sp = t.spans[i];
+            sep();
+            long long parent = sp.parent == noParent
+                ? -1
+                : static_cast<long long>(sp.parent);
+            std::fprintf(
+                f,
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                "\"ts\":%.6f,\"dur\":%.6f,\"pid\":%llu,"
+                "\"tid\":%u,\"args\":{\"span\":%zu,"
+                "\"parent\":%lld,\"key\":%llu}}",
+                sp.name, t.why, ticksToUs(sp.begin),
+                ticksToUs(sp.end - sp.begin), pid,
+                depthOf(t, std::uint32_t(i)), i, parent,
+                static_cast<unsigned long long>(t.key));
+        }
+        for (const Mark &m : t.marks) {
+            sep();
+            std::fprintf(
+                f,
+                "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+                "\"ts\":%.6f,\"pid\":%llu,\"tid\":%u,"
+                "\"args\":{\"span\":%u}}",
+                m.name, ticksToUs(m.at), pid,
+                depthOf(t, m.span), m.span);
+        }
+    }
+    std::fprintf(f, "\n]}\n");
+    bool ok = std::ferror(f) == 0;
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+}
+
+} // namespace sim
+} // namespace bluedbm

@@ -69,6 +69,25 @@ WorkloadEngine::WorkloadEngine(sim::Simulator &sim,
             (i < params_.totalOps % total_clients ? 1 : 0);
     }
     targetOps_ = params_.totalOps;
+
+    // Phase-local progress, published as gauges (runPhase resets
+    // them, which a monotone sim::Counter cannot express). Guarded:
+    // benches may snapshot after the engine is gone.
+    struct Stat
+    {
+        const char *name;
+        const std::uint64_t *value;
+    };
+    const Stat stats[] = {{"workload.completed", &completed_},
+                          {"workload.rejected", &rejected_},
+                          {"workload.not_found", &notFound_},
+                          {"workload.backoffs", &backoffs_}};
+    for (const Stat &s : stats) {
+        sim.metrics().registerGauge(
+            s.name, {}, [alive = alive_, v = s.value]() {
+            return *alive ? double(*v) : 0.0;
+        });
+    }
 }
 
 PageBuffer

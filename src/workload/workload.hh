@@ -96,6 +96,8 @@ class WorkloadEngine
                    kv::KvRouter &router, kv::KvService &service,
                    const WorkloadParams &params);
 
+    ~WorkloadEngine() { *alive_ = false; }
+
     /**
      * Insert every key once (replicated by the router), bounded
      * in-flight. Run the simulator until @p done fires before
@@ -205,10 +207,14 @@ class WorkloadEngine
 
     sim::Tick startTick_ = 0;
     sim::Tick endTick_ = 0;
+    /** Phase-local (runPhase resets them), so they are registry
+     * gauges -- workload.* -- rather than monotone counters. */
     std::uint64_t completed_ = 0;
     std::uint64_t rejected_ = 0;
     std::uint64_t notFound_ = 0;
     std::uint64_t backoffs_ = 0;
+    /** Flipped by the destructor; guards the workload.* gauges. */
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
     std::function<void()> runDone_;
 
     sim::LatencyHistogram readLat_;

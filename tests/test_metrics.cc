@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the metrics registry: identity, labels, totals,
+ * gauges and delta snapshots.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+#include "sim/simulator.hh"
+
+using namespace bluedbm;
+using sim::MetricsRegistry;
+
+TEST(MetricsRegistry, CounterIdentityByNameAndLabels)
+{
+    MetricsRegistry reg;
+    sim::Counter &a = reg.counter("kv.ops", {{"inst", "0"}});
+    sim::Counter &b = reg.counter("kv.ops", {{"inst", "0"}});
+    sim::Counter &c = reg.counter("kv.ops", {{"inst", "1"}});
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &c);
+    a.inc();
+    a.inc(4);
+    c.inc();
+    EXPECT_EQ(b.value(), 5u);
+    EXPECT_EQ(reg.counterTotal("kv.ops"), 6u);
+    // Label order must not change identity.
+    sim::Counter &d =
+        reg.counter("x", {{"a", "1"}, {"b", "2"}});
+    sim::Counter &e =
+        reg.counter("x", {{"b", "2"}, {"a", "1"}});
+    EXPECT_EQ(&d, &e);
+}
+
+TEST(MetricsRegistry, TotalDoesNotMatchNamePrefixes)
+{
+    MetricsRegistry reg;
+    reg.counter("kv.ops").inc(3);
+    reg.counter("kv.ops_failed").inc(5);
+    EXPECT_EQ(reg.counterTotal("kv.ops"), 3u);
+}
+
+TEST(MetricsRegistry, HistogramMergesAcrossLabels)
+{
+    MetricsRegistry reg;
+    reg.histogram("stage.nand", {{"class", "read"}}).record(100);
+    reg.histogram("stage.nand", {{"class", "bg"}}).record(300);
+    sim::LatencyHistogram all = reg.histogramTotal("stage.nand");
+    EXPECT_EQ(all.count(), 2u);
+    EXPECT_EQ(all.min(), 100u);
+    EXPECT_EQ(all.max(), 300u);
+}
+
+TEST(MetricsRegistry, GaugesEvaluateAtReadTime)
+{
+    MetricsRegistry reg;
+    double depth = 3;
+    reg.registerGauge("q.depth", {{"ifc", "0"}},
+                      [&depth]() { return depth; });
+    reg.registerGauge("q.depth", {{"ifc", "1"}},
+                      []() { return 2.0; });
+    EXPECT_DOUBLE_EQ(reg.gaugeTotal("q.depth"), 5.0);
+    depth = 10;
+    EXPECT_DOUBLE_EQ(reg.gaugeTotal("q.depth"), 12.0);
+}
+
+TEST(MetricsRegistry, InstanceSerialsPerKind)
+{
+    MetricsRegistry reg;
+    EXPECT_EQ(reg.nextInstance("kv.shard"), 0u);
+    EXPECT_EQ(reg.nextInstance("kv.shard"), 1u);
+    EXPECT_EQ(reg.nextInstance("nand"), 0u);
+    EXPECT_EQ(reg.nextInstance("kv.shard"), 2u);
+}
+
+TEST(MetricsRegistry, DeltaSnapshotsIsolatePhases)
+{
+    MetricsRegistry reg;
+    sim::Counter &timeouts =
+        reg.counter("kv.router.read_timeouts");
+    timeouts.inc(7); // steady-state phase
+    auto steadyEnd = reg.snapshot();
+    timeouts.inc(5); // crash window
+    // A counter born mid-run must still delta from zero.
+    reg.counter("late.comer").inc(2);
+    auto windowEnd = reg.snapshot();
+    auto window = windowEnd.deltaSince(steadyEnd);
+    EXPECT_EQ(window.total("kv.router.read_timeouts"), 5u);
+    EXPECT_EQ(window.total("late.comer"), 2u);
+    EXPECT_EQ(steadyEnd.total("kv.router.read_timeouts"), 7u);
+    EXPECT_EQ(
+        window.value(
+            MetricsRegistry::key("kv.router.read_timeouts", {})),
+        5u);
+}
+
+TEST(MetricsRegistry, SimulatorOwnsRegistryAndTracer)
+{
+    sim::Simulator sim;
+    sim.metrics().counter("a").inc();
+    EXPECT_EQ(sim.metrics().counterTotal("a"), 1u);
+    EXPECT_FALSE(sim.tracer().enabled());
+    std::uint64_t seen = 0;
+    sim.metrics().forEachCounter(
+        [&](const std::string &k, std::uint64_t v) {
+            EXPECT_EQ(k, "a");
+            seen += v;
+        });
+    EXPECT_EQ(seen, 1u);
+}

@@ -228,3 +228,72 @@ TEST(LatencyHistogram, ResetClearsState)
     h.record(7);
     EXPECT_EQ(h.quantile(1.0), 7u);
 }
+
+TEST(LatencyHistogram, MergeMatchesSingleHistogramOracle)
+{
+    // Aggregation contract: merging per-client/per-stage histograms
+    // must report exactly what one histogram fed every sample would
+    // -- identical counts, extremes, mean and quantiles (bucket
+    // geometry is shared, so merge is a lossless bucket-wise sum).
+    sim::Rng rng(7);
+    sim::LatencyHistogram parts[4];
+    sim::LatencyHistogram all;
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 80000; ++i) {
+        std::uint64_t v = 50000 + rng.below(20000);
+        if (rng.chance(0.03))
+            v += rng.below(3000000); // tail
+        values.push_back(v);
+        parts[i % 4].record(v);
+        all.record(v);
+    }
+    sim::LatencyHistogram merged;
+    for (const auto &p : parts)
+        merged.merge(p);
+    EXPECT_EQ(merged.count(), all.count());
+    EXPECT_EQ(merged.min(), all.min());
+    EXPECT_EQ(merged.max(), all.max());
+    EXPECT_DOUBLE_EQ(merged.mean(), all.mean());
+    for (double q : {0.10, 0.50, 0.90, 0.95, 0.99, 0.999, 1.0}) {
+        EXPECT_EQ(merged.quantile(q), all.quantile(q))
+            << "quantile " << q;
+        expectCloseToOracle(merged, values, q);
+    }
+}
+
+TEST(LatencyHistogram, MergeIntoEmptyAndOfEmpty)
+{
+    sim::LatencyHistogram a, b;
+    a.record(123);
+    a.merge(b); // merging empty changes nothing
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.max(), 123u);
+    b.merge(a); // merging into empty adopts everything
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_EQ(b.min(), 123u);
+    EXPECT_EQ(b.quantile(1.0), 123u);
+}
+
+TEST(LatencyHistogram, SubtractRecoversPhaseDistribution)
+{
+    // Phase attribution contract: copy an always-on histogram at a
+    // phase boundary, subtract the copy at the end, and the result
+    // must match a histogram that saw only the phase's samples.
+    sim::Rng rng(11);
+    sim::LatencyHistogram h;
+    sim::LatencyHistogram phaseOnly;
+    for (int i = 0; i < 5000; ++i)
+        h.record(1000 + rng.below(500)); // pre-phase traffic
+    sim::LatencyHistogram before = h;
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t v = 800000 + rng.below(400000);
+        h.record(v);
+        phaseOnly.record(v);
+    }
+    h.subtract(before);
+    EXPECT_EQ(h.count(), phaseOnly.count());
+    EXPECT_DOUBLE_EQ(h.mean(), phaseOnly.mean());
+    for (double q : {0.50, 0.99})
+        EXPECT_EQ(h.quantile(q), phaseOnly.quantile(q))
+            << "quantile " << q;
+}

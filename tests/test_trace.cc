@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for the request tracer: span trees, sampling and slow
+ * retention, stale-handle safety, and the Chrome JSON export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/trace.hh"
+
+using namespace bluedbm;
+using sim::Tracer;
+
+namespace {
+
+Tracer::Params
+keepAll()
+{
+    Tracer::Params p;
+    p.enabled = true;
+    p.sampleEvery = 1;
+    return p;
+}
+
+} // namespace
+
+TEST(Tracer, DisabledReturnsNullHandles)
+{
+    Tracer t;
+    EXPECT_FALSE(t.enabled());
+    auto root = t.beginTrace("kv.get", 100);
+    EXPECT_EQ(root, 0u);
+    // Every downstream call is a silent no-op on handle 0.
+    EXPECT_EQ(t.beginSpan(root, "child", 110), 0u);
+    t.endSpan(root, 120);
+    t.mark(root, "m", 115);
+    t.endTrace(root, 130);
+    EXPECT_EQ(t.started(), 0u);
+    EXPECT_TRUE(t.retained().empty());
+}
+
+TEST(Tracer, BuildsSpanTreeWithExactTimes)
+{
+    Tracer t;
+    t.configure(keepAll());
+    auto root = t.beginTrace("kv.get", 100, 42);
+    auto route = t.beginSpan(root, "route", 110);
+    auto rpc = t.beginSpan(route, "rpc", 120);
+    auto netReq = t.beginSpan(rpc, "net.req", 120);
+    t.endSpan(netReq, 150);
+    // The remote side only holds netReq's handle; its shard span
+    // must come out as a sibling (child of rpc), not a child.
+    auto shard = t.beginSibling(netReq, "shard.get", 150);
+    t.mark(shard, "cache.miss", 151);
+    t.endSpan(shard, 300);
+    t.endSpan(rpc, 330);
+    t.endSpan(route, 330);
+    t.endTrace(root, 335);
+
+    ASSERT_EQ(t.retained().size(), 1u);
+    const Tracer::Trace &tr = t.retained()[0];
+    EXPECT_EQ(tr.key, 42u);
+    ASSERT_EQ(tr.spans.size(), 5u);
+    EXPECT_EQ(tr.spans[0].parent, Tracer::noParent);
+    EXPECT_EQ(tr.spans[0].begin, 100u);
+    EXPECT_EQ(tr.spans[0].end, 335u); // closed by endTrace
+    EXPECT_STREQ(tr.spans[3].name, "net.req");
+    EXPECT_EQ(tr.spans[3].parent, 2u); // child of rpc
+    EXPECT_STREQ(tr.spans[4].name, "shard.get");
+    EXPECT_EQ(tr.spans[4].parent, 2u); // SIBLING of net.req
+    EXPECT_EQ(tr.spans[4].begin, 150u);
+    EXPECT_EQ(tr.spans[4].end, 300u);
+    ASSERT_EQ(tr.marks.size(), 1u);
+    EXPECT_EQ(tr.marks[0].span, 4u);
+    EXPECT_EQ(Tracer::depthOf(tr, 4), 3u);
+    EXPECT_EQ(Tracer::depthOf(tr, 0), 0u);
+}
+
+TEST(Tracer, SamplingKeepsEveryNth)
+{
+    Tracer t;
+    Tracer::Params p;
+    p.enabled = true;
+    p.sampleEvery = 10;
+    t.configure(p);
+    for (int i = 0; i < 100; ++i) {
+        auto h = t.beginTrace("op", 10 * i);
+        t.endTrace(h, 10 * i + 5);
+    }
+    EXPECT_EQ(t.started(), 100u);
+    EXPECT_EQ(t.retainedSampled(), 10u);
+    EXPECT_EQ(t.retained().size(), 10u);
+    for (const auto &tr : t.retained())
+        EXPECT_STREQ(tr.why, "sampled");
+}
+
+TEST(Tracer, SlowRequestLogIsAlwaysOn)
+{
+    Tracer t;
+    Tracer::Params p;
+    p.enabled = true;
+    p.sampleEvery = 0; // no sampling at all
+    p.slowThresholdTicks = 1000;
+    t.configure(p);
+    auto fast = t.beginTrace("op", 0);
+    t.endTrace(fast, 999);
+    auto slow = t.beginTrace("op", 2000);
+    t.endTrace(slow, 3000); // exactly at threshold: slow
+    EXPECT_EQ(t.retainedSlow(), 1u);
+    ASSERT_EQ(t.retained().size(), 1u);
+    EXPECT_STREQ(t.retained()[0].why, "slow");
+    EXPECT_EQ(t.retained()[0].spans[0].begin, 2000u);
+}
+
+TEST(Tracer, StaleHandlesAfterRecycleAreIgnored)
+{
+    Tracer t;
+    Tracer::Params p;
+    p.enabled = true;
+    p.sampleEvery = 0; // recycle everything
+    t.configure(p);
+    auto h1 = t.beginTrace("a", 0);
+    auto child = t.beginSpan(h1, "c", 1);
+    t.endTrace(h1, 10);
+    // The slot recycles into a new trace; old handles must not
+    // touch it (this is the late-straggler-response case).
+    auto h2 = t.beginTrace("b", 20);
+    t.endSpan(child, 25);
+    t.mark(h1, "ghost", 26);
+    EXPECT_EQ(t.beginSpan(child, "ghost", 27), 0u);
+    auto c2 = t.beginSpan(h2, "c2", 28);
+    t.endTrace(h2, 30);
+    (void)c2;
+    EXPECT_EQ(t.started(), 2u);
+    EXPECT_TRUE(t.retained().empty());
+}
+
+TEST(Tracer, RetentionCapCountsDrops)
+{
+    Tracer t;
+    Tracer::Params p;
+    p.enabled = true;
+    p.sampleEvery = 1;
+    p.maxRetained = 3;
+    t.configure(p);
+    for (int i = 0; i < 10; ++i) {
+        auto h = t.beginTrace("op", i);
+        t.endTrace(h, i + 1);
+    }
+    EXPECT_EQ(t.retained().size(), 3u);
+    EXPECT_EQ(t.droppedRetained(), 7u);
+}
+
+TEST(Tracer, ChromeJsonExportsCompleteEvents)
+{
+    Tracer t;
+    t.configure(keepAll());
+    auto root = t.beginTrace("kv.get", sim::usToTicks(10), 7);
+    auto child = t.beginSpan(root, "route", sim::usToTicks(11));
+    t.mark(child, "nand.suspend", sim::usToTicks(12));
+    t.endSpan(child, sim::usToTicks(14));
+    t.endTrace(root, sim::usToTicks(15));
+
+    std::string path = ::testing::TempDir() + "trace_ut.json";
+    ASSERT_TRUE(t.writeChromeJson(path));
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string json = ss.str();
+    // Structural spot checks (the CI gate runs a real JSON parser).
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"kv.get\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"parent\":-1"), std::string::npos);
+    EXPECT_NE(json.find("\"parent\":0"), std::string::npos);
+    // ts is simulated microseconds: the root begins at 10us.
+    EXPECT_NE(json.find("\"ts\":10.000000"), std::string::npos);
+    std::remove(path.c_str());
+}
