@@ -20,6 +20,7 @@
 #include "isp/table_scan.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
+#include "sim/logging.hh"
 
 using namespace bluedbm;
 using sim::Tick;
@@ -66,7 +67,9 @@ measure(double selectivity)
             schema.store(page.data() + r * schema.recordBytes(),
                          0, rng.below(1000000));
         }
-        node.card(c).nand().store().program(a, std::move(page));
+        if (node.card(c).nand().store().program(
+                a, std::move(page)) != flash::Status::Ok)
+            sim::fatal("table preload program failed");
     }
     node.ispServer(0).defineHandle(11, addrs[0]);
     node.ispServer(1).defineHandle(11, addrs[1]);

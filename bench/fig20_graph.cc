@@ -19,6 +19,7 @@
 #include "isp/graph_engine.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
+#include "sim/logging.hh"
 
 using namespace bluedbm;
 using core::Cluster;
@@ -62,7 +63,10 @@ struct Bench
         for (std::uint64_t v = 0; v < kVertices; ++v) {
             flash::Address addr =
                 flash::Address::fromStriped(geo, v);
-            store.program(addr, graph.serialize(v, geo.pageSize));
+            if (store.program(addr,
+                              graph.serialize(v, geo.pageSize)) !=
+                flash::Status::Ok)
+                sim::fatal("graph preload program failed");
         }
     }
 

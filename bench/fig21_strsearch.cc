@@ -23,6 +23,7 @@
 #include "host/host_cpu.hh"
 #include "isp/string_search.hh"
 #include "sim/simulator.hh"
+#include "sim/logging.hh"
 
 using namespace bluedbm;
 using sim::Tick;
@@ -70,7 +71,9 @@ runIspSearch()
                     long(p * geo.pageSize),
                 corpus.text.begin() +
                     long((p + 1) * geo.pageSize));
-            store.program(a, std::move(page));
+            if (store.program(a, std::move(page)) !=
+                flash::Status::Ok)
+                sim::fatal("corpus preload program failed");
         }
     }
     node.ispServer(0).defineHandle(5, addrs);

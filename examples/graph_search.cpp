@@ -19,6 +19,7 @@
 #include "core/cluster.hh"
 #include "isp/graph_engine.hh"
 #include "sim/simulator.hh"
+#include "sim/logging.hh"
 
 using namespace bluedbm;
 
@@ -39,8 +40,10 @@ main()
     auto graph = analytics::PageGraph::random(vertices, 6, 77);
     for (std::uint64_t v = 0; v < vertices; ++v) {
         core::GlobalAddress ga = cluster.globalPage(v);
-        cluster.node(ga.node).card(ga.card).nand().store().program(
-            ga.addr, graph.serialize(v, page));
+        if (cluster.node(ga.node).card(ga.card).nand().store()
+                .program(ga.addr, graph.serialize(v, page)) !=
+            flash::Status::Ok)
+            sim::fatal("graph preload program failed");
     }
     std::printf("graph: %llu vertices (degree 6) across %u nodes\n",
                 (unsigned long long)vertices, cluster.size());

@@ -20,6 +20,7 @@
 #include "isp/nearest_neighbor.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
+#include "sim/logging.hh"
 
 using namespace bluedbm;
 
@@ -45,11 +46,13 @@ main()
         for (auto &b : dataset[i])
             b = std::uint8_t(rng.next());
         core::GlobalAddress ga = cluster.globalPage(i);
-        cluster.node(ga.node)
-            .card(ga.card)
-            .nand()
-            .store()
-            .program(ga.addr, dataset[i]);
+        flash::Status st = cluster.node(ga.node)
+                               .card(ga.card)
+                               .nand()
+                               .store()
+                               .program(ga.addr, dataset[i]);
+        if (st != flash::Status::Ok)
+            sim::fatal("dataset preload program failed");
         index.insert(i, dataset[i].data());
     }
     std::printf("dataset: %llu items of %u bytes across %u nodes\n",

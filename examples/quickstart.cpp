@@ -13,6 +13,7 @@
 
 #include "core/cluster.hh"
 #include "sim/simulator.hh"
+#include "sim/logging.hh"
 
 using namespace bluedbm;
 
@@ -36,7 +37,8 @@ main()
 
     // --- 2. Store a file through the log-structured file system.
     auto &node0 = cluster.node(0);
-    node0.fs().create("greeting");
+    if (!node0.fs().create("greeting"))
+        sim::fatal("create(greeting) failed");
     std::string text =
         "hello from the in-store processor! BlueDBM reads flash "
         "without the operating system in the way. ";

@@ -15,6 +15,7 @@
 #include "core/cluster.hh"
 #include "isp/string_search.hh"
 #include "sim/simulator.hh"
+#include "sim/logging.hh"
 
 using namespace bluedbm;
 
@@ -35,7 +36,8 @@ main(int argc, char **argv)
     //        it as files in the FS.
     auto corpus = analytics::makeCorpus(
         256 * 1024, needle, /*occurrences=*/9, /*seed=*/3);
-    node.fs().create("corpus.txt");
+    if (!node.fs().create("corpus.txt"))
+        sim::fatal("create(corpus.txt) failed");
     bool ok = false;
     node.fs().append("corpus.txt", corpus.text,
                      [&](bool o) { ok = o; });

@@ -19,6 +19,7 @@
 #include "sim/random.hh"
 #include "core/cluster.hh"
 #include "sim/simulator.hh"
+#include "sim/logging.hh"
 
 using namespace bluedbm;
 
@@ -100,7 +101,8 @@ main()
             expected[w] += c;
 
         auto &node = cluster.node(n);
-        node.fs().create("shard");
+        if (!node.fs().create("shard"))
+            sim::fatal("create(shard) failed");
         node.fs().append("shard", text, [](bool) {});
         sim.run();
         node.ispServer(0).defineHandle(

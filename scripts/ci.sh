@@ -1,16 +1,37 @@
 #!/usr/bin/env bash
 #
-# CI gate: build the release and sanitizer presets, run the full
-# test suite on both (any ASan/UBSan finding fails the run), then
-# regenerate the tracked perf JSONs (BENCH_kernel.json from the
-# kernel ablation, BENCH_kv.json from the KV service bench) so the
-# perf trajectory stays machine-readable across PRs.
+# CI gate: static analysis first (bluedbm-lint, the hardened lint
+# build and standalone-header compilation -- cheap failures
+# short-circuit the expensive smokes), then build the release and
+# sanitizer presets, run the full test suite on both (any
+# ASan/UBSan finding fails the run), then regenerate the tracked
+# perf JSONs (BENCH_kernel.json from the kernel ablation,
+# BENCH_kv.json from the KV service bench) so the perf trajectory
+# stays machine-readable across PRs.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc)"
+
+echo "=== static analysis: bluedbm-lint ==="
+# Determinism, hot-path allocation discipline, [[nodiscard]] surface
+# and include hygiene; zero unsuppressed findings or the run stops
+# here. docs/static_analysis.md has the rule catalog.
+python3 tools/lint/bluedbm_lint.py
+
+echo "=== static analysis: lint self-tests ==="
+# Both directions of the gate: every rule fires on its known-bad
+# fixture and stays quiet on known-good code.
+python3 tools/lint/test_lint.py
+
+echo "=== static analysis: hardened build + standalone headers ==="
+# -Wconversion -Wshadow -Wextra-semi -Wnon-virtual-dtor
+# -Wdouble-promotion promoted to errors across src/, plus one
+# generated TU per public header proving each compiles standalone.
+cmake --preset lint
+cmake --build --preset lint -j"${JOBS}"
 
 echo "=== release: configure + build ==="
 cmake --preset release

@@ -32,6 +32,8 @@ class PageGraph
      * Generate a random digraph where every vertex has @p out_degree
      * distinct successors.
      */
+    // lint: allow(determinism) seeded factory over sim::Rng -- the
+    // name collides with libc random() but every draw is reproducible
     static PageGraph random(std::uint64_t vertices,
                             unsigned out_degree,
                             std::uint64_t seed = 1);

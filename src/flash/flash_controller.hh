@@ -45,7 +45,7 @@ class FlashController
     unsigned tagCount() const { return unsigned(tagState_.size()); }
 
     /** Whether @p tag is free to carry a new command. */
-    bool
+    [[nodiscard]] bool
     tagFree(Tag tag) const
     {
         return tagState_[tag] == TagState::Free;

@@ -1,5 +1,7 @@
 #include "flash/flash_server.hh"
 
+// lint: hot-path
+
 #include <string>
 #include <utility>
 
@@ -36,8 +38,11 @@ FlashServer::FlashServer(sim::Simulator &sim,
     if (interfaces * queue_depth > port.tagCount())
         sim::fatal("FlashServer needs %u tags but port has %u",
                    interfaces * queue_depth, port.tagCount());
-    ifcs_.resize(interfaces);
-    tagInfo_.resize(interfaces * queue_depth);
+    // Direct construction: Interface holds move-only Jobs in a
+    // deque, so resize()'s copy-relocation path must never be
+    // instantiated. Neither vector grows after this.
+    ifcs_ = std::vector<Interface>(interfaces);
+    tagInfo_ = std::vector<TagInfo>(interfaces * queue_depth);
     port_.setClient(this);
     for (unsigned i = 0; i < interfaces; ++i) {
         // Live queue depth as a computed gauge: no shadow counter
@@ -91,11 +96,17 @@ FlashServer::streamRead(unsigned ifc, std::uint32_t handle,
                    static_cast<unsigned long long>(count),
                    pages.size());
 
+    if (count == 0)
+        return;
+    std::uint32_t sid = nextStreamId_++;
+    if (nextStreamId_ == 0)
+        nextStreamId_ = 1;
+    streams_.emplace(sid, StreamState{std::move(sink), count});
     for (std::uint64_t i = 0; i < count; ++i) {
         Job job;
         job.op = Op::ReadPage;
         job.addr = pages[first + i];
-        job.pageSink = sink;
+        job.streamId = sid;
         job.pri = pri;
         job.enqueued = sim_.now();
         ifcs_[ifc].pending.push_back(std::move(job));
@@ -383,8 +394,28 @@ FlashServer::deliver(unsigned ifc)
             itf.reorder[stream].erase(it);
             ++itf.nextDeliverSeq[stream];
             if (c.job.op == Op::ReadPage) {
-                if (c.job.pageSink)
+                if (c.job.streamId != 0) {
+                    auto sit = streams_.find(c.job.streamId);
+                    if (sit == streams_.end())
+                        sim::panic("page for unknown stream %u",
+                                   c.job.streamId);
+                    // The sink may reenter streamRead() and rehash
+                    // streams_ (iterators die, value references
+                    // survive): retire the slot before invoking,
+                    // and never touch the iterator after the call.
+                    StreamState &st = sit->second;
+                    bool last = --st.remaining == 0;
+                    if (last) {
+                        PageSink sink = std::move(st.sink);
+                        streams_.erase(sit);
+                        if (!c.job.dropped)
+                            sink(std::move(c.data), c.status);
+                    } else if (!c.job.dropped) {
+                        st.sink(std::move(c.data), c.status);
+                    }
+                } else if (c.job.pageSink) {
                     c.job.pageSink(std::move(c.data), c.status);
+                }
             } else {
                 if (c.job.writeSink)
                     c.job.writeSink(c.status);
@@ -405,7 +436,8 @@ FlashServer::readDone(Tag tag, PageBuffer data, Status status)
             // but the delivery slot retires so the interface's
             // other reads keep flowing in order.
             injectedReadFaults_.inc();
-            info.job.pageSink = nullptr;
+            info.job.pageSink.reset();
+            info.job.dropped = true;
             complete(tag, PageBuffer{}, status);
             return;
         }

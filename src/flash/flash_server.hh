@@ -14,15 +14,18 @@
 #ifndef BLUEDBM_FLASH_FLASH_SERVER_HH
 #define BLUEDBM_FLASH_FLASH_SERVER_HH
 
+// lint: hot-path
+
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <functional> // lint: allow(hot-path-alloc) test-only fault hooks below
 #include <map>
 #include <unordered_map>
 #include <vector>
 
 #include "flash/flash_splitter.hh"
 #include "flash/types.hh"
+#include "sim/inline_function.hh"
 #include "sim/simulator.hh"
 
 namespace bluedbm {
@@ -51,10 +54,11 @@ namespace flash {
 class FlashServer : public Client
 {
   public:
-    /** Callback delivering one in-order page. */
-    using PageSink = std::function<void(PageBuffer, Status)>;
+    /** Callback delivering one in-order page (move-only, SBO --
+     * every served page crosses one of these). */
+    using PageSink = sim::InlineFunction<void(PageBuffer, Status)>;
     /** Callback signalling completion of a write. */
-    using WriteSink = std::function<void(Status)>;
+    using WriteSink = sim::InlineFunction<void(Status)>;
 
     /**
      * @param sim         simulation kernel
@@ -196,6 +200,9 @@ class FlashServer : public Client
      * page. Pass nullptr to disarm.
      */
     ///@{
+    // lint: allow(hot-path-alloc) test-only fault hook, armed by
+    // tests and disarmed in production paths; never on the per-op
+    // fast path unless a test installed it
     using WriteFault = std::function<bool(const Address &)>;
     void setWriteFault(WriteFault hook) { writeFault_ = std::move(hook); }
     /** Programs failed by the armed hook. */
@@ -224,6 +231,8 @@ class FlashServer : public Client
      * its tag busy for the duration, so sustained delays backpressure
      * the interface exactly like a slow chip. Pass nullptr to disarm.
      */
+    // lint: allow(hot-path-alloc) test-only fault hook (see
+    // WriteFault)
     using ReadFault = std::function<ReadFaultAction(const Address &)>;
     void setReadFault(ReadFault hook) { readFault_ = std::move(hook); }
     /** Read responses dropped or delayed by the armed hook. */
@@ -246,6 +255,13 @@ class FlashServer : public Client
         PageBuffer writeData;
         PageSink pageSink;
         WriteSink writeSink;
+        /** Non-zero: a streamRead() page; the sink lives once in
+         * streams_ instead of being copied into every Job (the
+         * sinks are move-only). */
+        std::uint32_t streamId = 0;
+        /** Read-fault drop: deliver retires the slot but skips the
+         * sink. */
+        bool dropped = false;
         std::uint32_t group = 0; //!< program-coalescing batch id
         Priority pri = Priority::Read; //!< traffic class
         std::uint32_t readOffset = 0; //!< partial read-out range
@@ -323,10 +339,21 @@ class FlashServer : public Client
     /** Flush one (ifc, bus) batch into the command queue. */
     void flushBatch(unsigned ifc, std::uint32_t bus);
 
+    /** One streamRead() in flight: the shared sink and pages left
+     * to deliver. Erased when the last page (dropped or not)
+     * retires. */
+    struct StreamState
+    {
+        PageSink sink;
+        std::uint64_t remaining = 0;
+    };
+
     sim::Simulator &sim_;
     FlashSplitter::Port &port_;
     unsigned depth_;
     std::vector<Interface> ifcs_;
+    std::unordered_map<std::uint32_t, StreamState> streams_;
+    std::uint32_t nextStreamId_ = 1;
     std::vector<TagInfo> tagInfo_;
     std::unordered_map<std::uint32_t, std::vector<Address>> atu_;
     WriteFault writeFault_;

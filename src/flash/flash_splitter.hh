@@ -49,7 +49,7 @@ class FlashSplitter : public Client
         unsigned tagCount() const { return tags_; }
 
         /** Whether a port-local tag is currently unused. */
-        bool
+        [[nodiscard]] bool
         tagFree(Tag tag) const
         {
             return ctrlTagOf_[tag] == noTag && !queuedTag_[tag];

@@ -91,7 +91,7 @@ struct Address
     }
 
     /** Whether this address is inside @p g. */
-    bool
+    [[nodiscard]] bool
     validFor(const Geometry &g) const
     {
         return bus < g.buses && chip < g.chipsPerBus &&

@@ -1,5 +1,7 @@
 #include "flash/nand_array.hh"
 
+// lint: hot-path
+
 #include <algorithm>
 #include <cmath>
 #include <string>
@@ -43,7 +45,10 @@ NandArray::NandArray(sim::Simulator &sim, const Geometry &geo,
 {
     chips_.resize(geo.chips());
     programWindows_.assign(geo.chips(), ProgramWindow{});
-    buses_.resize(geo.buses);
+    // Direct construction: BusState holds a deque of move-only
+    // thunks, so resize()'s copy-relocation path must never be
+    // instantiated. The vector never grows after this.
+    buses_ = std::vector<BusState>(geo.buses);
 }
 
 std::uint32_t
@@ -96,19 +101,21 @@ NandArray::injectErrors(PageBuffer &data,
 
 void
 NandArray::busTransfer(std::uint32_t bus, std::uint64_t wire_bytes,
-                       std::function<void()> deliver)
+                       Thunk deliver)
 {
     BusState &state = buses_[bus];
     sim::Tick xfer =
         sim::transferTicks(wire_bytes, timing_.busBytesPerSec);
     state.queuedTicks += xfer;
     state.ready.push_back(
-        [this, bus, xfer, deliver = std::move(deliver)]() {
+        [this, bus, xfer, deliver = std::move(deliver)]() mutable {
         BusState &s = buses_[bus];
         s.busy = true;
         s.queuedTicks -= xfer;
         s.freeAt = sim_.now() + xfer;
-        sim_.scheduleAt(s.freeAt, [this, bus, deliver]() {
+        sim_.scheduleAt(s.freeAt,
+                        [this, bus,
+                         deliver = std::move(deliver)]() mutable {
             buses_[bus].busy = false;
             deliver();
             busPump(bus);
@@ -130,7 +137,7 @@ NandArray::busPump(std::uint32_t bus)
 
 void
 NandArray::addChipOp(std::size_t ci, Op kind, sim::Tick start,
-                     sim::Tick end, std::function<void()> fire)
+                     sim::Tick end, Thunk fire)
 {
     ChipCtl &chip = chips_[ci];
     chip.ops.emplace_back();
@@ -152,7 +159,7 @@ NandArray::opComplete(std::size_t ci, std::uint64_t id)
     for (auto it = chip.ops.begin(); it != chip.ops.end(); ++it) {
         if (it->id != id)
             continue;
-        std::function<void()> fire = std::move(it->fire);
+        Thunk fire = std::move(it->fire);
         chip.ops.erase(it);
         fire();
         return;
@@ -228,8 +235,7 @@ NandArray::worthSuspending(const ChipCtl &chip, std::uint32_t bus,
 }
 
 void
-NandArray::read(const Address &addr,
-                std::function<void(ReadResult)> done, Priority pri,
+NandArray::read(const Address &addr, ReadDone done, Priority pri,
                 std::uint32_t offset, std::uint32_t len,
                 std::uint64_t trace)
 {
@@ -287,49 +293,54 @@ NandArray::read(const Address &addr,
     // issue time. (Within one chip nothing can alter the cells
     // during the sense itself, so latching at sense end equals
     // latching at sense start.)
+    // The result and check bytes move through the stage captures --
+    // sense -> bus transfer -> controller overhead each run exactly
+    // once in sequence, so ownership hands off without shared state.
     auto deliver = [this, a, bus, wire_bytes, offset, len, word0,
                     slice0, slice_bytes,
                     done = std::move(done)]() mutable {
-        auto res = std::make_shared<ReadResult>();
-        auto check = std::make_shared<std::vector<std::uint8_t>>();
-        res->data = store_.read(a, check.get());
-        if (slice_bytes != res->data.size()) {
-            res->data.erase(res->data.begin(),
-                            res->data.begin() + slice0);
-            res->data.resize(slice_bytes);
-            check->erase(check->begin(), check->begin() + word0);
-            check->resize(Secded72::checkBytes(slice_bytes));
+        ReadResult res;
+        std::vector<std::uint8_t> check;
+        res.data = store_.read(a, &check);
+        if (slice_bytes != res.data.size()) {
+            res.data.erase(res.data.begin(),
+                           res.data.begin() + slice0);
+            res.data.resize(slice_bytes);
+            check.erase(check.begin(), check.begin() + word0);
+            check.resize(Secded72::checkBytes(slice_bytes));
         }
         busTransfer(bus, wire_bytes,
-                    [this, res, check, offset, len, slice0,
+                    [this, res = std::move(res),
+                     check = std::move(check), offset, len, slice0,
                      done = std::move(done)]() mutable {
             sim_.scheduleAfter(timing_.controllerOverhead,
-                               [this, res, check, offset, len,
-                                slice0,
-                                done = std::move(done)]() {
+                               [this, res = std::move(res),
+                                check = std::move(check), offset,
+                                len, slice0,
+                                done = std::move(done)]() mutable {
                 std::uint32_t injected =
-                    injectErrors(res->data, *check);
+                    injectErrors(res.data, check);
                 if (injected > 0 || alwaysDecode_) {
                     EccResult ecc =
-                        Secded72::decode(res->data, *check);
+                        Secded72::decode(res.data, check);
                     bitsCorrected_.inc(ecc.correctedBits);
                     if (ecc.uncorrectable) {
                         uncorrectable_.inc();
-                        res->status = Status::Uncorrectable;
+                        res.status = Status::Uncorrectable;
                     } else if (ecc.correctedBits > 0) {
-                        res->status = Status::Corrected;
+                        res.status = Status::Corrected;
                     }
-                    res->correctedBits = ecc.correctedBits;
+                    res.correctedBits = ecc.correctedBits;
                 }
-                if (res->data.size() != len) {
+                if (res.data.size() != len) {
                     // Trim the word-aligned slice to the bytes the
                     // caller asked for.
                     std::uint32_t lead = offset - slice0;
-                    res->data.erase(res->data.begin(),
-                                    res->data.begin() + lead);
-                    res->data.resize(len);
+                    res.data.erase(res.data.begin(),
+                                   res.data.begin() + lead);
+                    res.data.resize(len);
                 }
-                done(std::move(*res));
+                done(std::move(res));
             });
         });
     };
@@ -459,7 +470,7 @@ NandArray::read(const Address &addr,
 
 void
 NandArray::write(const Address &addr, PageBuffer data,
-                 std::function<void(Status)> done,
+                 StatusDone done,
                  std::uint32_t group, Priority pri,
                  std::uint64_t trace)
 {
@@ -486,11 +497,11 @@ NandArray::write(const Address &addr, PageBuffer data,
         };
     }
     Address a = addr;
-    auto payload = std::make_shared<PageBuffer>(std::move(data));
 
-    // Write data crosses the bus first, then the chip programs.
+    // Write data crosses the bus first, then the chip programs; the
+    // payload moves stage to stage (each runs once, in order).
     busTransfer(addr.bus, wire_bytes,
-                [this, a, payload, group,
+                [this, a, payload = std::move(data), group,
                  done = std::move(done)]() mutable {
         std::size_t ci = chipIndex(a);
         ChipCtl &chip = chips_[ci];
@@ -532,15 +543,16 @@ NandArray::write(const Address &addr, PageBuffer data,
             win.pages = 1;
         }
         addChipOp(ci, Op::WritePage, prog_start, prog_done,
-                  [this, a, payload,
+                  [this, a, payload = std::move(payload),
                    done = std::move(done)]() mutable {
             // The cells hold the data the moment the program's
             // array time ends: a sense ordered after this tick
             // observes the new bytes. The client completion still
             // pays the controller pipeline on top.
-            Status st = store_.program(a, std::move(*payload));
+            Status st = store_.program(a, std::move(payload));
             sim_.scheduleAfter(timing_.controllerOverhead,
-                               [st, done = std::move(done)]() {
+                               [st,
+                                done = std::move(done)]() mutable {
                 done(st);
             });
         });
@@ -548,7 +560,7 @@ NandArray::write(const Address &addr, PageBuffer data,
 }
 
 void
-NandArray::erase(const Address &addr, std::function<void(Status)> done,
+NandArray::erase(const Address &addr, StatusDone done,
                  Priority pri, std::uint64_t trace)
 {
     if (!addr.validFor(geometry()))
@@ -579,7 +591,7 @@ NandArray::erase(const Address &addr, std::function<void(Status)> done,
               [this, a, done = std::move(done)]() mutable {
         Status st = store_.eraseBlock(a);
         sim_.scheduleAfter(timing_.controllerOverhead,
-                           [st, done = std::move(done)]() {
+                           [st, done = std::move(done)]() mutable {
             done(st);
         });
     });

@@ -23,10 +23,10 @@
 #ifndef BLUEDBM_FLASH_NAND_ARRAY_HH
 #define BLUEDBM_FLASH_NAND_ARRAY_HH
 
+// lint: hot-path
+
 #include <cstdint>
 #include <deque>
-#include <functional>
-#include <memory>
 #include <vector>
 
 #include "flash/geometry.hh"
@@ -34,6 +34,7 @@
 #include "flash/timing.hh"
 #include "flash/types.hh"
 #include "sim/bandwidth.hh"
+#include "sim/inline_function.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
 
@@ -56,6 +57,13 @@ struct ReadResult
 class NandArray
 {
   public:
+    /** Completion callbacks: move-only, SBO -- a NAND op retires
+     * millions of times per simulated second, so captures live in
+     * the wrapper's cache line instead of the heap. */
+    using ReadDone = sim::InlineFunction<void(ReadResult)>;
+    using StatusDone = sim::InlineFunction<void(Status)>;
+    using Thunk = sim::InlineFunction<void()>;
+
     /**
      * @param sim    simulation kernel
      * @param geo    card geometry
@@ -94,8 +102,7 @@ class NandArray
      * `nand.insert` marks when this read jumps chip work -- off the
      * issuing layer's span.
      */
-    void read(const Address &addr,
-              std::function<void(ReadResult)> done,
+    void read(const Address &addr, ReadDone done,
               Priority pri = Priority::Read,
               std::uint32_t offset = 0, std::uint32_t len = 0,
               std::uint64_t trace = 0);
@@ -113,13 +120,13 @@ class NandArray
      * group 0 programs alone.
      */
     void write(const Address &addr, PageBuffer data,
-               std::function<void(Status)> done,
+               StatusDone done,
                std::uint32_t group = 0,
                Priority pri = Priority::Read,
                std::uint64_t trace = 0);
 
     /** Start a block erase. */
-    void erase(const Address &addr, std::function<void(Status)> done,
+    void erase(const Address &addr, StatusDone done,
                Priority pri = Priority::Background,
                std::uint64_t trace = 0);
 
@@ -209,7 +216,7 @@ class NandArray
     struct BusState
     {
         sim::Tick freeAt = 0;
-        std::deque<std::function<void()>> ready;
+        std::deque<Thunk> ready;
         /** Wire time of the queued (not started) transfers; with
          * partial read-out their sizes differ wildly, so the
          * suspension heuristic sums real ticks instead of guessing
@@ -234,7 +241,7 @@ class NandArray
         sim::Tick end = 0;
         unsigned suspends = 0;       //!< suspensions charged so far
         sim::EventId event = sim::invalidEventId;
-        std::function<void()> fire;  //!< runs when the array op ends
+        Thunk fire;                  //!< runs when the array op ends
     };
 
     /** Per-chip schedule: end of all planned work, the open
@@ -258,7 +265,7 @@ class NandArray
     /** Queue a transfer of @p wire_bytes on @p bus; @p deliver runs
      * when the last byte has crossed. */
     void busTransfer(std::uint32_t bus, std::uint64_t wire_bytes,
-                     std::function<void()> deliver);
+                     Thunk deliver);
 
     /** Start the next queued transfer if the bus is idle. */
     void busPump(std::uint32_t bus);
@@ -266,7 +273,7 @@ class NandArray
     /** Register an array op on chip @p ci and schedule its
      * completion. */
     void addChipOp(std::size_t ci, Op kind, sim::Tick start,
-                   sim::Tick end, std::function<void()> fire);
+                   sim::Tick end, Thunk fire);
 
     /** An op's completion event fired: retire it and run @p fire. */
     void opComplete(std::size_t ci, std::uint64_t id);
@@ -277,7 +284,7 @@ class NandArray
      * window must have budget; they are charged as a unit).
      * @p is_erase reports the unit kind for stats.
      */
-    bool suspendableUnit(const ChipCtl &chip, sim::Tick now,
+    [[nodiscard]] bool suspendableUnit(const ChipCtl &chip, sim::Tick now,
                          bool &is_erase) const;
 
     /**
@@ -291,7 +298,7 @@ class NandArray
 
     /** Whether suspending for a read on (ci, bus) would actually
      * improve its delivery (false when the read is bus-bound). */
-    bool worthSuspending(const ChipCtl &chip, std::uint32_t bus,
+    [[nodiscard]] bool worthSuspending(const ChipCtl &chip, std::uint32_t bus,
                          sim::Tick now) const;
 
     /** Corrupt @p data / @p check in place per the bit error rate. */

@@ -49,7 +49,7 @@ class PageStore
      * @param data exactly geometry().pageSize bytes
      * @return Ok, or IllegalWrite if the page is not erased
      */
-    Status program(const Address &addr, PageBuffer data);
+    [[nodiscard]] Status program(const Address &addr, PageBuffer data);
 
     /**
      * Read a page's stored bytes (or synthetic content when never
@@ -68,10 +68,10 @@ class PageStore
      * @return Ok, or BadBlock if the block is marked bad or has
      *         exceeded its program/erase endurance
      */
-    Status eraseBlock(const Address &addr);
+    [[nodiscard]] Status eraseBlock(const Address &addr);
 
     /** Whether @p addr has been programmed since its last erase. */
-    bool isProgrammed(const Address &addr) const;
+    [[nodiscard]] bool isProgrammed(const Address &addr) const;
 
     /** Lifetime erase count of the block containing @p addr. */
     std::uint32_t eraseCount(const Address &addr) const;
@@ -80,7 +80,7 @@ class PageStore
     void markBad(const Address &addr);
 
     /** Whether the block containing @p addr is bad. */
-    bool isBad(const Address &addr) const;
+    [[nodiscard]] bool isBad(const Address &addr) const;
 
     /**
      * Program/erase endurance. Blocks whose erase count reaches the

@@ -115,16 +115,16 @@ class LogFs
     std::uint32_t pageSize() const { return geo_.pageSize; }
 
     /** Create an empty file. False if it already exists. */
-    bool create(const std::string &name);
+    [[nodiscard]] bool create(const std::string &name);
 
     /** Whether @p name exists. */
-    bool exists(const std::string &name) const;
+    [[nodiscard]] bool exists(const std::string &name) const;
 
     /** Size of @p name in bytes; 0 if missing. */
     std::uint64_t size(const std::string &name) const;
 
     /** Delete @p name, invalidating its pages. */
-    bool remove(const std::string &name);
+    [[nodiscard]] bool remove(const std::string &name);
 
     /** Names of all files. */
     std::vector<std::string> list() const;

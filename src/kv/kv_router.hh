@@ -572,18 +572,18 @@ class KvRouter
     /** Ledger constraint on @p origin's read of @p key: true (and
      * *out set) when an outstanding client-acked write obliges the
      * read to hit a specific replica. */
-    bool steerTarget(net::NodeId origin, Key key,
+    [[nodiscard]] bool steerTarget(net::NodeId origin, Key key,
                      net::NodeId *out) const;
     /** Liveness-aware read routing: the plain choice when it is
      * Live, else a Live owner, else a Suspect one (last resort).
      * False when no owner is readable. *diverted reports whether
      * the pick differs from the plain choice (cache gate). */
-    bool pickReadTarget(net::NodeId origin, Key key,
+    [[nodiscard]] bool pickReadTarget(net::NodeId origin, Key key,
                         net::NodeId *out, bool *diverted) const;
     /** A readable replica for a read retry, excluding @p origin
      * (local ops have no timeout machinery) and every node in
      * @p tried (the already-attempted sent[] prefix). */
-    bool pickRetryTarget(Key key, net::NodeId origin,
+    [[nodiscard]] bool pickRetryTarget(Key key, net::NodeId origin,
                          const net::NodeId *tried, unsigned ntried,
                          net::NodeId *out) const;
 

@@ -241,7 +241,7 @@ class KvShard
     ///@}
 
     /** Whether a live version of @p key exists. */
-    bool contains(Key key) const { return index_.count(key) != 0; }
+    [[nodiscard]] bool contains(Key key) const { return index_.count(key) != 0; }
 
     /** Number of live keys. */
     std::size_t keyCount() const { return index_.size(); }

@@ -1,5 +1,7 @@
 #include "net/link.hh"
 
+// lint: hot-path
+
 #include <utility>
 
 #include "sim/logging.hh"

@@ -16,6 +16,8 @@
 #ifndef BLUEDBM_NET_LINK_HH
 #define BLUEDBM_NET_LINK_HH
 
+// lint: hot-path
+
 #include <cstdint>
 #include <deque>
 

@@ -1,5 +1,7 @@
 #include "net/network.hh"
 
+// lint: hot-path
+
 #include <queue>
 #include <utility>
 
@@ -135,6 +137,7 @@ StorageNetwork::StorageNetwork(sim::Simulator &sim,
                                const Topology &topo,
                                const Params &params)
     : sim_(sim), topo_(topo), params_(params),
+      // lint: allow(hot-path-alloc) construction-time pool setup
       payloadPool_(std::make_shared<PayloadPool>())
 {
     // Pending events capture Messages whose payloads live in this
@@ -154,6 +157,7 @@ StorageNetwork::StorageNetwork(sim::Simulator &sim,
             LaneEnd end;
             end.owner = dir == 0 ? spec.nodeA : spec.nodeB;
             end.peer = dir == 0 ? spec.nodeB : spec.nodeA;
+            // lint: allow(hot-path-alloc) construction-time lane setup
             end.lane = std::make_unique<Lane>(sim_, params_.lane);
             std::size_t idx = lanes_.size();
             auto on_deliver = [this, idx](Message msg) {
@@ -174,6 +178,7 @@ StorageNetwork::StorageNetwork(sim::Simulator &sim,
     for (unsigned n = 0; n < topo_.nodes; ++n) {
         for (unsigned e = 0; e < params_.endpoints; ++e) {
             endpoints_[n].emplace_back(std::unique_ptr<Endpoint>(
+                // lint: allow(hot-path-alloc) construction-time endpoint setup
                 new Endpoint(*this, NodeId(n), EndpointId(e),
                              params_.recvCapacity)));
         }

@@ -22,6 +22,8 @@
 #ifndef BLUEDBM_NET_NETWORK_HH
 #define BLUEDBM_NET_NETWORK_HH
 
+// lint: hot-path
+
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -252,6 +254,8 @@ class StorageNetwork
      * freed lanes -- don't run a simulator past its network's
      * lifetime). Declared before anything that can hold Messages so
      * it also outlives every member holding a PayloadRef. */
+    // lint: allow(hot-path-alloc) construction-time: the pool is
+    // shared with every lane once, never per message
     std::shared_ptr<PayloadPool> payloadPool_;
 
     std::vector<LaneEnd> lanes_;

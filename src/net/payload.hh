@@ -32,6 +32,8 @@
 #ifndef BLUEDBM_NET_PAYLOAD_HH
 #define BLUEDBM_NET_PAYLOAD_HH
 
+// lint: hot-path
+
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -250,6 +252,8 @@ class PayloadPool
             PayloadRef ref;
             ref.setTypeMode(detail::payloadTypeId<V>(),
                             PayloadRef::Mode::Heap);
+            // lint: allow(hot-path-alloc) documented fallback: a value
+            // too big for the slab slot takes one heap allocation
             ref.store_.heap.ptr = new V(std::forward<T>(value));
             ref.store_.heap.destroy = [](void *p) {
                 delete static_cast<V *>(p);

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+// lint: hot-path
+
 #include <utility>
 
 #include "sim/logging.hh"

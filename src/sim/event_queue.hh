@@ -56,6 +56,8 @@
 #ifndef BLUEDBM_SIM_EVENT_QUEUE_HH
 #define BLUEDBM_SIM_EVENT_QUEUE_HH
 
+// lint: hot-path
+
 #include <cstdint>
 #include <vector>
 

@@ -23,6 +23,8 @@
 #ifndef BLUEDBM_SIM_INLINE_FUNCTION_HH
 #define BLUEDBM_SIM_INLINE_FUNCTION_HH
 
+// lint: hot-path
+
 #include <cstddef>
 #include <new>
 #include <type_traits>
@@ -132,6 +134,8 @@ class InlineFunction<R(Args...), InlineBytes>
             if constexpr (kInline)
                 ::new (buf) Fn(std::forward<F>(f));
             else
+                // lint: allow(hot-path-alloc) documented fallback: a capture
+                // too big for the inline buffer takes one heap allocation
                 ::new (buf) Fn *(new Fn(std::forward<F>(f)));
         }
 

@@ -334,8 +334,9 @@ class LatencyHistogram
         if (v < subCount)
             return static_cast<std::size_t>(v);
         // 2^k <= v < 2^(k+1) with k >= subBits + 1; keep the top
-        // subBits mantissa bits below the leading one.
-        unsigned k = std::bit_width(v) - 1;
+        // subBits mantissa bits below the leading one. v >= subCount
+        // here, so bit_width(v) >= 1 and the subtraction never wraps.
+        unsigned k = unsigned(std::bit_width(v)) - 1u;
         std::uint64_t sub = (v >> (k - subBits)) -
             (std::uint64_t(1) << subBits);
         return std::size_t(subCount) +

@@ -199,7 +199,7 @@ TEST(Cluster, FsAndFtlCoexistOnOneNode)
     Cluster cluster(sim, tinyCluster(2));
     auto &node = cluster.node(0);
 
-    node.fs().create("file");
+    ASSERT_TRUE(node.fs().create("file"));
     std::vector<std::uint8_t> data(1000, 0x42);
     bool fs_ok = false;
     node.fs().append("file", data, [&](bool ok) { fs_ok = ok; });

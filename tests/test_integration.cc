@@ -76,7 +76,7 @@ TEST(Integration, RemoteReadsReturnExactRemoteBytes)
     std::map<unsigned, std::vector<std::uint8_t>> payloads;
     for (unsigned n = 0; n < 4; ++n) {
         auto &node = cluster.node(n);
-        node.fs().create("shard");
+        ASSERT_TRUE(node.fs().create("shard"));
         std::vector<std::uint8_t> data(3000 + n * 100);
         sim::Rng rng(n);
         for (auto &b : data)
@@ -118,7 +118,7 @@ TEST(Integration, DistributedSearchAcrossNodes)
                                             500 + n);
         expected[n] = corpus.needlePositions;
         auto &node = cluster.node(n);
-        node.fs().create("hay");
+        ASSERT_TRUE(node.fs().create("hay"));
         bool ok = false;
         node.fs().append("hay", corpus.text,
                          [&](bool o) { ok = o; });
@@ -261,7 +261,7 @@ TEST(Integration, FsAndFtlSurviveConcurrentRemoteTraffic)
     auto &n0 = cluster.node(0);
     const auto page = flash::Geometry::tiny().pageSize;
 
-    n0.fs().create("busy");
+    ASSERT_TRUE(n0.fs().create("busy"));
     bool fs_ok = false, ftl_ok = false;
     n0.fs().append("busy", std::vector<std::uint8_t>(page * 3, 0x33),
                    [&](bool ok) { fs_ok = ok; });

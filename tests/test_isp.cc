@@ -153,7 +153,7 @@ TEST(StringSearch, FindsPlantedNeedlesExactly)
 {
     SearchFixture f;
     auto corpus = analytics::makeCorpus(20000, "N33dle!", 12, 9);
-    f.fs.create("hay");
+    ASSERT_TRUE(f.fs.create("hay"));
     bool ok = false;
     f.fs.append("hay", corpus.text, [&](bool o) { ok = o; });
     f.sim.run();
@@ -173,7 +173,7 @@ TEST(StringSearch, MatchSpanningPageBoundaryFound)
     std::uint64_t start = f.geo.pageSize - 4;
     std::copy(needle.begin(), needle.end(),
               hay.begin() + long(start));
-    f.fs.create("hay");
+    ASSERT_TRUE(f.fs.create("hay"));
     f.fs.append("hay", hay, [](bool) {});
     f.sim.run();
 
@@ -198,7 +198,7 @@ TEST(StringSearch, MatchInSegmentOverlapNotDuplicated)
                   hay.begin() + long(pos));
         expect.push_back(pos);
     }
-    f.fs.create("hay");
+    ASSERT_TRUE(f.fs.create("hay"));
     f.fs.append("hay", hay, [](bool) {});
     f.sim.run();
 
@@ -213,7 +213,7 @@ TEST(StringSearch, NoMatchesOnCleanHaystack)
     // Remove the single needle by overwriting it.
     corpus.text[corpus.needlePositions[0]] = 'a';
     corpus.text[corpus.needlePositions[0] + 1] = 'b';
-    f.fs.create("hay");
+    ASSERT_TRUE(f.fs.create("hay"));
     f.fs.append("hay", corpus.text, [](bool) {});
     f.sim.run();
     SearchResult res = f.searchFile("hay", "Z!");
@@ -226,7 +226,7 @@ TEST(StringSearch, ScansAtFlashStreamBandwidth)
     SearchFixture f;
     const std::uint64_t bytes = f.geo.pageSize * 64;
     auto corpus = analytics::makeCorpus(bytes, "W0w!", 5, 13);
-    f.fs.create("hay");
+    ASSERT_TRUE(f.fs.create("hay"));
     f.fs.append("hay", corpus.text, [](bool) {});
     f.sim.run();
 

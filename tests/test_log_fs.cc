@@ -87,9 +87,9 @@ TEST(LogFs, CreateExistsRemove)
 TEST(LogFs, ListIsSorted)
 {
     Fixture f;
-    f.fs.create("zeta");
-    f.fs.create("alpha");
-    f.fs.create("mid");
+    ASSERT_TRUE(f.fs.create("zeta"));
+    ASSERT_TRUE(f.fs.create("alpha"));
+    ASSERT_TRUE(f.fs.create("mid"));
     auto names = f.fs.list();
     ASSERT_EQ(names.size(), 3u);
     EXPECT_EQ(names[0], "alpha");
@@ -100,7 +100,7 @@ TEST(LogFs, ListIsSorted)
 TEST(LogFs, AppendReadRoundTripPageAligned)
 {
     Fixture f;
-    f.fs.create("data");
+    ASSERT_TRUE(f.fs.create("data"));
     auto payload = f.bytes(f.geo.pageSize * 3, 5);
     f.appendSync("data", payload);
     EXPECT_EQ(f.fs.size("data"), payload.size());
@@ -110,7 +110,7 @@ TEST(LogFs, AppendReadRoundTripPageAligned)
 TEST(LogFs, AppendReadRoundTripUnaligned)
 {
     Fixture f;
-    f.fs.create("data");
+    ASSERT_TRUE(f.fs.create("data"));
     auto payload = f.bytes(f.geo.pageSize + 100, 3);
     f.appendSync("data", payload);
     EXPECT_EQ(f.fs.size("data"), payload.size());
@@ -120,7 +120,7 @@ TEST(LogFs, AppendReadRoundTripUnaligned)
 TEST(LogFs, MultipleAppendsConcatenate)
 {
     Fixture f;
-    f.fs.create("log");
+    ASSERT_TRUE(f.fs.create("log"));
     auto a = f.bytes(300, 1);
     auto b = f.bytes(f.geo.pageSize, 2);
     auto c = f.bytes(77, 3);
@@ -139,7 +139,7 @@ TEST(LogFs, MultipleAppendsConcatenate)
 TEST(LogFs, SubRangeReads)
 {
     Fixture f;
-    f.fs.create("data");
+    ASSERT_TRUE(f.fs.create("data"));
     auto payload = f.bytes(f.geo.pageSize * 2 + 50, 9);
     f.appendSync("data", payload);
     for (std::uint64_t off : {0ul, 100ul, 511ul, 512ul, 1000ul}) {
@@ -154,7 +154,7 @@ TEST(LogFs, SubRangeReads)
 TEST(LogFs, ReadPastEndIsClipped)
 {
     Fixture f;
-    f.fs.create("small");
+    ASSERT_TRUE(f.fs.create("small"));
     f.appendSync("small", f.bytes(100, 4));
     auto got = f.readSync("small", 50, 1000);
     EXPECT_EQ(got.size(), 50u);
@@ -163,7 +163,7 @@ TEST(LogFs, ReadPastEndIsClipped)
 TEST(LogFs, PhysicalAddressesMatchContent)
 {
     Fixture f;
-    f.fs.create("data");
+    ASSERT_TRUE(f.fs.create("data"));
     auto payload = f.bytes(f.geo.pageSize * 4, 6);
     f.appendSync("data", payload);
 
@@ -180,7 +180,7 @@ TEST(LogFs, PhysicalAddressesMatchContent)
 TEST(LogFs, PhysicalAddressesStripeAcrossBuses)
 {
     Fixture f;
-    f.fs.create("data");
+    ASSERT_TRUE(f.fs.create("data"));
     f.appendSync("data", f.bytes(f.geo.pageSize * 8, 7));
     auto addrs = f.fs.physicalAddresses("data");
     std::set<std::uint32_t> buses;
@@ -193,7 +193,7 @@ TEST(LogFs, PhysicalAddressesStripeAcrossBuses)
 TEST(LogFs, PublishHandleFeedsFlashServerAtu)
 {
     Fixture f;
-    f.fs.create("data");
+    ASSERT_TRUE(f.fs.create("data"));
     auto payload = f.bytes(f.geo.pageSize * 3, 8);
     f.appendSync("data", payload);
     f.fs.publishHandle("data", 77);
@@ -213,7 +213,7 @@ TEST(LogFs, PublishHandleFeedsFlashServerAtu)
 TEST(LogFs, OverwriteTailDoesNotCorruptEarlierData)
 {
     Fixture f;
-    f.fs.create("grow");
+    ASSERT_TRUE(f.fs.create("grow"));
     // Many small appends force repeated tail-page rewrites.
     std::vector<std::uint8_t> expect;
     for (int i = 0; i < 40; ++i) {
@@ -234,9 +234,10 @@ TEST(LogFs, CleanerReclaimsDeletedFiles)
     int generations = 30;
     for (int g = 0; g < generations; ++g) {
         std::string name = "tmp" + std::to_string(g % 3);
-        if (f.fs.exists(name))
-            f.fs.remove(name);
-        f.fs.create(name);
+        if (f.fs.exists(name)) {
+            ASSERT_TRUE(f.fs.remove(name));
+        }
+        ASSERT_TRUE(f.fs.create(name));
         f.appendSync(name,
                      f.bytes(f.geo.pageSize * file_pages,
                              std::uint8_t(g)));
@@ -265,7 +266,7 @@ TEST(LogFs, RandomWorkloadTorture)
         double dice = rng.uniform();
         if (dice < 0.55) {
             if (!f.fs.exists(name)) {
-                f.fs.create(name);
+                ASSERT_TRUE(f.fs.create(name));
                 reference[name] = {};
             }
             auto chunk = f.bytes(
@@ -276,7 +277,7 @@ TEST(LogFs, RandomWorkloadTorture)
             f.appendSync(name, chunk);
         } else if (dice < 0.75) {
             if (f.fs.exists(name)) {
-                f.fs.remove(name);
+                ASSERT_TRUE(f.fs.remove(name));
                 reference.erase(name);
             }
         } else {
@@ -309,7 +310,7 @@ TEST(LogFs, RandomWorkloadTorture)
 TEST(LogFs, AppendFailureReservesRangeAndPoisonsFreshPages)
 {
     Fixture f;
-    f.fs.create("f");
+    ASSERT_TRUE(f.fs.create("f"));
     auto payload = f.bytes(f.geo.pageSize * 2, 5);
 
     // Every program fails: the append must report failure, keep the
@@ -353,7 +354,7 @@ TEST(LogFs, AppendFailureReservesRangeAndPoisonsFreshPages)
 TEST(LogFs, FailedTailRewriteKeepsOldContentAndHeals)
 {
     Fixture f;
-    f.fs.create("f");
+    ASSERT_TRUE(f.fs.create("f"));
     auto first = f.bytes(100, 1);
     f.appendSync("f", first);
 
@@ -399,7 +400,7 @@ TEST(LogFs, ReadsSpreadToSpillInterfaceUnderLoad)
     params.readSpreadDepth = 1; // spread as soon as one is queued
     LogFs lfs{sim, server, 0, geo, params};
 
-    lfs.create("hot");
+    ASSERT_TRUE(lfs.create("hot"));
     std::vector<std::uint8_t> payload(geo.pageSize * 4);
     for (std::size_t i = 0; i < payload.size(); ++i)
         payload[i] = std::uint8_t(i * 13);
@@ -432,7 +433,7 @@ TEST(LogFs, ReadsSpreadToSpillInterfaceUnderLoad)
 TEST(LogFs, ConcurrentSmallAppendsGroupCommit)
 {
     Fixture f;
-    f.fs.create("log");
+    ASSERT_TRUE(f.fs.create("log"));
 
     // A burst of small appends issued back to back: rewrites of the
     // shared tail page arriving while one program is in flight must

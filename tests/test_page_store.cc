@@ -106,8 +106,8 @@ TEST(PageStore, EraseCountsAccumulate)
     PageStore store(g);
     Address a{0, 0, 1, 0};
     EXPECT_EQ(store.eraseCount(a), 0u);
-    store.eraseBlock(a);
-    store.eraseBlock(a);
+    ASSERT_EQ(store.eraseBlock(a), Status::Ok);
+    ASSERT_EQ(store.eraseBlock(a), Status::Ok);
     EXPECT_EQ(store.eraseCount(a), 2u);
     EXPECT_EQ(store.erases(), 2u);
 }
@@ -153,9 +153,9 @@ TEST(PageStore, StoredPagesTracksRealData)
     EXPECT_EQ(store.storedPages(), 0u);
     store.read(Address{0, 0, 0, 0}); // synthetic read stores nothing
     EXPECT_EQ(store.storedPages(), 0u);
-    store.program(Address{0, 0, 0, 0}, pattern(g, 1));
+    ASSERT_EQ(store.program(Address{0, 0, 0, 0}, pattern(g, 1)), Status::Ok);
     EXPECT_EQ(store.storedPages(), 1u);
-    store.eraseBlock(Address{0, 0, 0, 0});
+    ASSERT_EQ(store.eraseBlock(Address{0, 0, 0, 0}), Status::Ok);
     EXPECT_EQ(store.storedPages(), 0u);
 }
 

@@ -69,7 +69,7 @@ struct Fixture
             schema.store(rec, 2, flag);
             table.push_back({id, value, flag});
         }
-        fs.create("table");
+        ASSERT_TRUE(fs.create("table"));
         bool ok = false;
         fs.append("table", bytes, [&](bool o) { ok = o; });
         sim.run();

@@ -1,0 +1,18 @@
+// Fixture: every line here must trip the determinism rule.
+#include <random>
+
+unsigned long
+badEntropy()
+{
+    std::random_device rd;
+    unsigned long x = rd();
+    x ^= (unsigned long)rand();
+    auto t = std::chrono::steady_clock::now();
+    (void)t;
+    auto w = std::chrono::system_clock::now();
+    (void)w;
+    x ^= (unsigned long)time(nullptr);
+    std::mt19937_64 gen(x);
+    std::uniform_int_distribution<unsigned long> dist(0, 100);
+    return dist(gen);
+}

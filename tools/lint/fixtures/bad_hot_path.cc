@@ -1,0 +1,29 @@
+// lint: hot-path
+// Fixture: allocation / type-erasure tokens that must all trip
+// hot-path-alloc in a marked file.
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+struct Big
+{
+    std::uint64_t v[16];
+};
+
+void
+badHotPath()
+{
+    std::function<void()> f = []() {};
+    f();
+    std::any a = 1;
+    (void)a;
+    auto sp = std::make_shared<Big>();
+    (void)sp;
+    std::shared_ptr<Big> sp2;
+    (void)sp2;
+    auto up = std::make_unique<Big>();
+    (void)up;
+    Big *raw = new Big();
+    delete raw;
+}

@@ -1,0 +1,27 @@
+// Fixture: deterministic code that must produce no findings.
+// Mentions of banned names in comments (rand(), std::random_device,
+// system_clock) and strings must be ignored by the stripper.
+#include <cstdint>
+
+struct Rng
+{
+    std::uint64_t s = 1;
+    std::uint64_t
+    next()
+    {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    }
+};
+
+const char *kMsg = "do not call rand() or time() here";
+
+std::uint64_t
+goodEntropy(Rng &rng)
+{
+    // A seeded generator drawn at simulated time() -- the tokens in
+    // this comment must not count.
+    return rng.next();
+}

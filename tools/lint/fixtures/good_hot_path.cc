@@ -1,0 +1,28 @@
+// lint: hot-path
+// Fixture: a marked file whose allocations are all allowed forms --
+// placement new, plus a justified fallback suppression.
+#include <cstdint>
+#include <new>
+
+struct Slot
+{
+    alignas(8) unsigned char buf[64];
+};
+
+struct Node
+{
+    std::uint64_t v = 0;
+};
+
+Node *
+goodHotPath(Slot &s, bool oversized)
+{
+    // Placement new targets pooled storage: allowed.
+    Node *n = ::new (static_cast<void *>(s.buf)) Node();
+    if (oversized) {
+        // lint: allow(hot-path-alloc) documented fallback for the
+        // oversized case, mirroring InlineFunction's heap path
+        return new Node();
+    }
+    return n;
+}
