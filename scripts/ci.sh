@@ -127,6 +127,16 @@ echo "=== sanitize: ring-expansion smoke ==="
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ./build-sanitize/svc_kv --expand
 
+echo "=== sanitize: aged-flash smoke ==="
+# Pre-worn card at 80-90% occupancy under live load: wear-driven
+# bit errors, the read-retry ladder, page poisoning + replica heal,
+# bad-block retirement with live relocation, and capacity-pressure
+# shedding. The binary gates aged p99 <= 3x fresh, zero post-heal
+# divergence/corruption, a retired block, and the occupancy band
+# -- all under ASan/UBSan (docs/aging.md).
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ./build-sanitize/svc_kv --age
+
 echo "=== regenerate tracked bench JSONs ==="
 if [[ -x build/ablation_kernel && -x build/svc_kv ]]; then
     ./build/ablation_kernel
@@ -288,5 +298,78 @@ echo "membership gate ok: kill p99 ${ksteady}->${kwindow}us," \
      "join p99 ${esteady}->${ewindow}us, ${emoved} keys moved," \
      "divergence ${ediv}; crash window owns ${kwindowto} timeouts" \
      "(steady ${ksteadyto})"
+
+echo "=== aging gate (BENCH_kv.json) ==="
+# Aged-flash floors (docs/aging.md): serving on a worn card at
+# 80-90% occupancy must hold p99 within 3x of fresh, every
+# uncorrectable page must heal from a replica (zero divergence,
+# zero corrupt keys, zero bad read-backs after convergence), wear
+# must actually bite (>= 1 retired block, live pages relocated),
+# and write amplification must be reported sane alongside the
+# erase-count distribution.
+afresh="$(bench_field age_fresh_p99_us)"
+aaged="$(bench_field age_aged_p99_us)"
+adiv="$(bench_field age_divergent_final)"
+acorrupt="$(bench_field age_corrupt_final)"
+abad="$(bench_field age_read_back_bad)"
+aretired="$(bench_field age_retired_blocks)"
+areloc="$(bench_field age_relocated_pages)"
+awa="$(bench_field age_write_amp)"
+autil="$(bench_field age_utilization)"
+auncorr="$(bench_field age_uncorrectable_pages)"
+if [[ -z "$afresh" || -z "$aaged" || -z "$adiv" || -z "$acorrupt" ||
+      -z "$abad" || -z "$aretired" || -z "$areloc" || -z "$awa" ||
+      -z "$autil" || -z "$auncorr" ]]; then
+    echo "aging gate: BENCH_kv.json missing age_* fields" >&2
+    exit 1
+fi
+awk -v a="$aaged" -v f="$afresh" 'BEGIN { exit !(a + 0 <= 3 * f) }' || {
+    echo "aging gate: aged p99 ${aaged}us > 3x fresh ${afresh}us" >&2
+    exit 1
+}
+awk -v d="$adiv" -v c="$acorrupt" -v b="$abad" \
+    'BEGIN { exit !(d + 0 == 0 && c + 0 == 0 && b + 0 == 0) }' || {
+    echo "aging gate: corruption survived convergence" \
+         "(divergent ${adiv}, corrupt ${acorrupt}, bad ${abad})" >&2
+    exit 1
+}
+awk -v u="$auncorr" -v r="$aretired" -v l="$areloc" \
+    'BEGIN { exit !(u + 0 > 0 && r + 0 >= 1 && l + 0 > 0) }' || {
+    echo "aging gate: wear never bit (${auncorr} uncorrectable," \
+         "${aretired} retired, ${areloc} relocated)" >&2
+    exit 1
+}
+awk -v w="$awa" 'BEGIN { exit !(w + 0 >= 1) }' || {
+    echo "aging gate: write amplification ${awa} < 1" >&2
+    exit 1
+}
+awk -v u="$autil" 'BEGIN { exit !(u + 0 >= 0.78 && u + 0 <= 0.93) }' || {
+    echo "aging gate: occupancy ${autil} outside the 80-90% band" >&2
+    exit 1
+}
+echo "aging gate ok: p99 ${afresh}->${aaged}us, WA ${awa}," \
+     "occupancy ${autil}, ${aretired} retired / ${areloc} relocated," \
+     "${auncorr} uncorrectable all healed"
+
+echo "=== figure JSON bit-identity (wear defaults off) ==="
+# The wear model defaults OFF (NandArray::setWearModel unarmed):
+# the tracked figure reproductions must regenerate bit-identical,
+# proving this PR's aging machinery costs the paper's numbers
+# nothing.
+for fig in fig12_latency:BENCH_fig12.json fig13_bandwidth:BENCH_fig13.json; do
+    bin="build/${fig%%:*}"
+    json="${fig##*:}"
+    if [[ ! -x "$bin" ]]; then
+        echo "figure gate: $bin missing" >&2
+        exit 1
+    fi
+    cp "$json" "build/${json}.tracked"
+    "./$bin" > /dev/null
+    cmp "$json" "build/${json}.tracked" || {
+        echo "figure gate: $json changed with wear defaults off" >&2
+        exit 1
+    }
+done
+echo "figure gate ok: fig12/fig13 JSONs bit-identical"
 
 echo "=== CI OK ==="

@@ -21,6 +21,25 @@ FlashServer::FlashServer(sim::Simulator &sim,
       injectedReadFaults_(sim.metrics().counter(
           "flash.injected_read_faults",
           {{"inst", std::to_string(inst_)}})),
+      injectedReadDrops_(sim.metrics().counter(
+          "flash.injected_read_faults",
+          {{"inst", std::to_string(inst_)}, {"mode", "drop"}})),
+      injectedReadDelays_(sim.metrics().counter(
+          "flash.injected_read_faults",
+          {{"inst", std::to_string(inst_)}, {"mode", "delay"}})),
+      injectedReadUncorrectable_(sim.metrics().counter(
+          "flash.injected_read_faults",
+          {{"inst", std::to_string(inst_)},
+           {"mode", "uncorrectable"}})),
+      retriedReads_(sim.metrics().counter(
+          "flash.read_retries",
+          {{"inst", std::to_string(inst_)}})),
+      retrySuccesses_(sim.metrics().counter(
+          "flash.read_retry_successes",
+          {{"inst", std::to_string(inst_)}})),
+      retryFailures_(sim.metrics().counter(
+          "flash.read_retry_failures",
+          {{"inst", std::to_string(inst_)}})),
       batchedWrites_(sim.metrics().counter(
           "flash.batched_writes",
           {{"inst", std::to_string(inst_)}})),
@@ -425,17 +444,43 @@ FlashServer::deliver(unsigned ifc)
 }
 
 void
+FlashServer::resendRead(Tag tag)
+{
+    TagInfo &info = tagInfo_[tag];
+    Command cmd;
+    cmd.op = info.job.op;
+    cmd.addr = info.job.addr;
+    cmd.tag = tag;
+    cmd.group = info.job.group;
+    cmd.pri = info.job.pri;
+    cmd.readOffset = info.job.readOffset;
+    cmd.readLen = info.job.readLen;
+    cmd.trace = info.opSpan;
+    port_.sendCommand(cmd);
+}
+
+void
 FlashServer::readDone(Tag tag, PageBuffer data, Status status)
 {
     TagInfo &info = tagInfo_[tag];
     if (readFault_ && info.busy && info.job.op == Op::ReadPage) {
         ReadFaultAction act = readFault_(info.job.addr);
+        if (act.uncorrectable) {
+            // Forced decode failure: the bytes are delivered as-is
+            // (a real failed decode hands up its best guess), only
+            // the verdict flips. Falls through to the retry ladder
+            // like an organic uncorrectable.
+            injectedReadFaults_.inc();
+            injectedReadUncorrectable_.inc();
+            status = Status::Uncorrectable;
+        }
         if (act.drop) {
             // The response is lost above the flash server: the
             // waiter hangs (its timeout machinery owns recovery),
             // but the delivery slot retires so the interface's
             // other reads keep flowing in order.
             injectedReadFaults_.inc();
+            injectedReadDrops_.inc();
             info.job.pageSink.reset();
             info.job.dropped = true;
             complete(tag, PageBuffer{}, status);
@@ -445,12 +490,38 @@ FlashServer::readDone(Tag tag, PageBuffer data, Status status)
             // Held response: the tag stays busy for the duration,
             // backpressuring the interface like a wedged chip.
             injectedReadFaults_.inc();
+            injectedReadDelays_.inc();
             sim_.scheduleAfter(act.delayTicks,
                                [this, tag, status,
                                 data = std::move(data)]() mutable {
-                complete(tag, std::move(data), status);
+                readRetryCheck(tag, std::move(data), status);
             });
             return;
+        }
+    }
+    readRetryCheck(tag, std::move(data), status);
+}
+
+void
+FlashServer::readRetryCheck(Tag tag, PageBuffer data, Status status)
+{
+    TagInfo &info = tagInfo_[tag];
+    if (info.busy && info.job.op == Op::ReadPage) {
+        if (status == Status::Uncorrectable) {
+            if (info.job.retries < retryLimit_) {
+                // Re-sense on the same tag: the delivery-stream
+                // slot (seq) is preserved, so interface ordering
+                // never observes the retry; the NAND re-rolls its
+                // error draw at the block's current wear.
+                ++info.job.retries;
+                retriedReads_.inc();
+                resendRead(tag);
+                return;
+            }
+            if (retryLimit_ > 0)
+                retryFailures_.inc();
+        } else if (info.job.retries > 0) {
+            retrySuccesses_.inc();
         }
     }
     complete(tag, std::move(data), status);

@@ -210,13 +210,20 @@ class FlashServer : public Client
 
     /**
      * What a read-fault hook does to one page read's RESPONSE (the
-     * command itself executed normally): drop it entirely, or hold
-     * it for delayTicks before delivery. Both-zero means no fault.
+     * command itself executed normally): drop it entirely, hold it
+     * for delayTicks before delivery, or force its status to
+     * Uncorrectable (a decode failure without waiting for wear --
+     * the recovery ladder's test vector; the page data is delivered
+     * as-is, exactly what a failed decode hands up). All-zero/false
+     * means no fault. An uncorrectable verdict still rides the
+     * retry ladder: the hook is consulted again on each re-sense,
+     * so a fail-N-then-pass hook exercises retry success.
      */
     struct ReadFaultAction
     {
         bool drop = false;        //!< response lost above the server
         sim::Tick delayTicks = 0; //!< response held this long
+        bool uncorrectable = false; //!< status forced to Uncorrectable
     };
     /**
      * Arm a read-fault hook, the response-side sibling of
@@ -235,8 +242,29 @@ class FlashServer : public Client
     // WriteFault)
     using ReadFault = std::function<ReadFaultAction(const Address &)>;
     void setReadFault(ReadFault hook) { readFault_ = std::move(hook); }
-    /** Read responses dropped or delayed by the armed hook. */
+    /** Read responses dropped, delayed or corrupted by the hook. */
     std::uint64_t injectedReadFaults() const { return injectedReadFaults_.value(); }
+    ///@}
+
+    /**
+     * @name Read-retry ladder
+     * A page read completing Uncorrectable is re-sensed up to
+     * @p retries times before the verdict is delivered: each retry
+     * re-issues the command on the same tag (the delivery-stream
+     * slot is preserved, so interface ordering is untouched) and
+     * re-rolls the NAND's error draw -- a marginal page often reads
+     * clean on a second sense, like a real controller's read-retry
+     * voltage steps. 0 (the default) delivers the first verdict.
+     */
+    ///@{
+    void setReadRetries(unsigned retries) { retryLimit_ = retries; }
+    unsigned readRetries() const { return retryLimit_; }
+    /** Re-senses issued by the ladder. */
+    std::uint64_t retriedReads() const { return retriedReads_.value(); }
+    /** Reads that recovered (non-Uncorrectable) after >=1 retry. */
+    std::uint64_t retrySuccesses() const { return retrySuccesses_.value(); }
+    /** Reads still Uncorrectable with the budget exhausted. */
+    std::uint64_t retryFailures() const { return retryFailures_.value(); }
     ///@}
 
     /** @name Client interface (driven by the splitter port) */
@@ -266,6 +294,7 @@ class FlashServer : public Client
         Priority pri = Priority::Read; //!< traffic class
         std::uint32_t readOffset = 0; //!< partial read-out range
         std::uint32_t readLen = 0;    //!< 0 = whole page
+        unsigned retries = 0;        //!< re-senses spent on this read
         std::uint64_t trace = 0;     //!< caller's tracing span
         std::uint64_t queueSpan = 0; //!< open flash.queue span
         sim::Tick enqueued = 0;      //!< when the job entered the server
@@ -360,6 +389,14 @@ class FlashServer : public Client
     ReadFault readFault_;
     std::uint32_t nextGroup_ = 1;   //!< batch ids (0 = ungrouped)
     unsigned stagedTotal_ = 0;
+    unsigned retryLimit_ = 0;       //!< read-retry ladder budget
+
+    /** Re-issue @p tag's read command for one more sense. */
+    void resendRead(Tag tag);
+
+    /** Route a read verdict through the retry ladder, then
+     * complete(). */
+    void readRetryCheck(Tag tag, PageBuffer data, Status status);
 
     /** Construction serial among flash servers; the "inst" label of
      * the flash.* metrics below. */
@@ -367,6 +404,12 @@ class FlashServer : public Client
     // Registry-backed statistics (accessors above are thin reads).
     sim::Counter &injectedWriteFaults_;
     sim::Counter &injectedReadFaults_;
+    sim::Counter &injectedReadDrops_;
+    sim::Counter &injectedReadDelays_;
+    sim::Counter &injectedReadUncorrectable_;
+    sim::Counter &retriedReads_;
+    sim::Counter &retrySuccesses_;
+    sim::Counter &retryFailures_;
     sim::Counter &batchedWrites_;
     /**
      * Always-on per-stage latency attribution, shared by every

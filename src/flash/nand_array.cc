@@ -51,11 +51,25 @@ NandArray::NandArray(sim::Simulator &sim, const Geometry &geo,
     buses_ = std::vector<BusState>(geo.buses);
 }
 
+double
+NandArray::effectiveBitErrorRate(const Address &addr) const
+{
+    double rate = bitErrorRate_;
+    if (wearBer0_ > 0.0) {
+        double cycles =
+            static_cast<double>(store_.eraseCount(addr)) /
+            static_cast<double>(wearKnee_);
+        rate += wearBer0_ * (1.0 + std::pow(cycles, wearAlpha_));
+    }
+    return rate;
+}
+
 std::uint32_t
 NandArray::injectErrors(PageBuffer &data,
-                        std::vector<std::uint8_t> &check)
+                        std::vector<std::uint8_t> &check,
+                        double rate)
 {
-    if (bitErrorRate_ <= 0.0)
+    if (rate <= 0.0)
         return 0;
     // The expected number of flipped bits per page is usually small;
     // draw a count from the binomial's Poisson approximation and
@@ -65,14 +79,14 @@ NandArray::injectErrors(PageBuffer &data,
     // silently under-inject.
     double total_bits =
         static_cast<double>(data.size() + check.size()) * 8.0;
-    double expect = total_bits * bitErrorRate_;
+    double expect = total_bits * rate;
     if (expect > 500.0) {
         // exp(-expect) underflows and the inverse transform would
         // degenerate; no plausible NAND (or SECDED model) lives
         // out here.
         sim::panic("bit error rate %g (%.0f expected flips/page) "
                    "is outside the error model's range",
-                   bitErrorRate_, expect);
+                   rate, expect);
     }
     auto cap = static_cast<std::uint32_t>(total_bits);
     std::uint32_t flips = 0;
@@ -302,6 +316,9 @@ NandArray::read(const Address &addr, ReadDone done, Priority pri,
         ReadResult res;
         std::vector<std::uint8_t> check;
         res.data = store_.read(a, &check);
+        // Wear is sampled at the sense, like the cell contents: the
+        // raw BER of this read reflects the block's erase count NOW.
+        double ber = effectiveBitErrorRate(a);
         if (slice_bytes != res.data.size()) {
             res.data.erase(res.data.begin(),
                            res.data.begin() + slice0);
@@ -312,14 +329,15 @@ NandArray::read(const Address &addr, ReadDone done, Priority pri,
         busTransfer(bus, wire_bytes,
                     [this, res = std::move(res),
                      check = std::move(check), offset, len, slice0,
+                     ber,
                      done = std::move(done)]() mutable {
             sim_.scheduleAfter(timing_.controllerOverhead,
                                [this, res = std::move(res),
                                 check = std::move(check), offset,
-                                len, slice0,
+                                len, slice0, ber,
                                 done = std::move(done)]() mutable {
                 std::uint32_t injected =
-                    injectErrors(res.data, check);
+                    injectErrors(res.data, check, ber);
                 if (injected > 0 || alwaysDecode_) {
                     EccResult ecc =
                         Secded72::decode(res.data, check);

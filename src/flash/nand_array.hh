@@ -136,6 +136,26 @@ class NandArray
      */
     void setBitErrorRate(double ber) { bitErrorRate_ = ber; }
 
+    /**
+     * Wear-driven bit errors: on top of the flat rate, a page read
+     * from a block with PageStore erase count `n` sees an extra
+     * `ber0 * (1 + (n / knee)^alpha)` raw BER, evaluated when the
+     * sense latches (a block erased between issue and sense is read
+     * at its new wear level). `ber0 = 0` (the default) disables the
+     * model entirely so fresh-flash figures are untouched.
+     */
+    void
+    setWearModel(double ber0, std::uint32_t knee, double alpha)
+    {
+        wearBer0_ = ber0;
+        wearKnee_ = knee == 0 ? 1 : knee;
+        wearAlpha_ = alpha;
+    }
+
+    /** Raw BER a sense of @p addr would see right now (flat rate
+     * plus the wear curve at the block's current erase count). */
+    double effectiveBitErrorRate(const Address &addr) const;
+
     /** Always run the ECC decoder, even when no errors are injected. */
     void setAlwaysDecode(bool on) { alwaysDecode_ = on; }
 
@@ -301,15 +321,20 @@ class NandArray
     [[nodiscard]] bool worthSuspending(const ChipCtl &chip, std::uint32_t bus,
                          sim::Tick now) const;
 
-    /** Corrupt @p data / @p check in place per the bit error rate. */
+    /** Corrupt @p data / @p check in place at raw BER @p rate (the
+     * flat rate plus any wear term, resolved at sense time). */
     std::uint32_t injectErrors(PageBuffer &data,
-                               std::vector<std::uint8_t> &check);
+                               std::vector<std::uint8_t> &check,
+                               double rate);
 
     sim::Simulator &sim_;
     Timing timing_;
     PageStore store_;
     sim::Rng errorRng_;
     double bitErrorRate_ = 0.0;
+    double wearBer0_ = 0.0;
+    std::uint32_t wearKnee_ = 1;
+    double wearAlpha_ = 1.0;
     bool alwaysDecode_ = false;
 
     /**

@@ -1,5 +1,6 @@
 #include "flash/page_store.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -139,6 +140,41 @@ PageStore::eraseCount(const Address &addr) const
 {
     auto it = blocks_.find(blockKey(addr));
     return it == blocks_.end() ? 0 : it->second.eraseCount;
+}
+
+PageStore::EraseStats
+PageStore::eraseStats() const
+{
+    std::uint64_t card_blocks = std::uint64_t(geo_.buses) *
+        geo_.chipsPerBus * geo_.blocksPerChip;
+    std::vector<std::uint32_t> counts;
+    counts.reserve(card_blocks);
+    // Sparse map: blocks absent from blocks_ were never erased.
+    counts.assign(card_blocks, 0);
+    for (const auto &kv : blocks_)
+        counts[kv.first] = kv.second.eraseCount;
+    std::sort(counts.begin(), counts.end());
+    EraseStats st;
+    if (counts.empty())
+        return st;
+    st.min = counts.front();
+    st.p50 = counts[counts.size() / 2];
+    st.max = counts.back();
+    for (std::uint32_t c : counts)
+        st.total += c;
+    return st;
+}
+
+void
+PageStore::addWear(const Address &addr, std::uint32_t cycles)
+{
+    if (!addr.validFor(geo_))
+        sim::panic("addWear at invalid address %s",
+                   addr.toString().c_str());
+    BlockState &blk = blocks_[blockKey(addr)];
+    if (blk.programmed.empty())
+        blk.programmed.assign(geo_.pagesPerBlock, false);
+    blk.eraseCount += cycles;
 }
 
 void

@@ -76,6 +76,34 @@ class PageStore
     /** Lifetime erase count of the block containing @p addr. */
     std::uint32_t eraseCount(const Address &addr) const;
 
+    /** Erase-count distribution over the whole card. */
+    struct EraseStats
+    {
+        std::uint32_t min = 0;
+        std::uint32_t p50 = 0;
+        std::uint32_t max = 0;
+        std::uint64_t total = 0;
+    };
+
+    /**
+     * Erase-count distribution across ALL blocks of the card --
+     * blocks never touched count as 0, so a skewed workload's
+     * wear imbalance shows up as min << max.
+     */
+    EraseStats eraseStats() const;
+
+    /**
+     * Pre-age the block containing @p addr by @p cycles program/erase
+     * cycles without disturbing its contents. Bench helper: aging a
+     * card organically would cost millions of simulated erases. The
+     * block does NOT turn bad here even past the erase limit; the
+     * next real erase trips the endurance check.
+     */
+    void addWear(const Address &addr, std::uint32_t cycles);
+
+    /** Number of blocks currently marked bad. */
+    std::size_t badBlockCount() const { return badBlocks_.size(); }
+
     /** Mark a block as factory-bad. */
     void markBad(const Address &addr);
 

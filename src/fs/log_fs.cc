@@ -36,8 +36,21 @@ LogFs::LogFs(sim::Simulator &sim, flash::FlashServer &server,
       blocksErased_(cell(sim, inst_, "fs.blocks_erased")),
       writeFailures_(cell(sim, inst_, "fs.write_failures")),
       spreadReads_(cell(sim, inst_, "fs.spread_reads")),
-      batchedWrites_(cell(sim, inst_, "fs.batched_page_writes"))
+      batchedWrites_(cell(sim, inst_, "fs.batched_page_writes")),
+      retiredBlocks_(cell(sim, inst_, "fs.retired_blocks")),
+      poisonedPages_(cell(sim, inst_, "fs.poisoned_pages")),
+      reserveAlarms_(cell(sim, inst_, "fs.reserve_alarms")),
+      foregroundAssists_(cell(sim, inst_, "fs.foreground_assists")),
+      cleanParks_(cell(sim, inst_, "fs.clean_parks")),
+      trimmedPages_(cell(sim, inst_, "fs.trimmed_pages"))
 {
+    // The red-line must sit below the cleaning trigger so ordinary
+    // cleaning engages before pressure shedding; clamp rather than
+    // reject so callers that only tightened cleanLowWater keep
+    // working.
+    if (params_.cleanLowWater > 0 &&
+        params_.pressureLowWater >= params_.cleanLowWater)
+        params_.pressureLowWater = params_.cleanLowWater - 1;
     sim.metrics().registerGauge(
         "fs.free_blocks", {{"inst", std::to_string(inst_)}},
         [this]() { return double(freeBlocks_.size()); });
@@ -130,7 +143,8 @@ LogFs::remove(const std::string &name)
         return false;
     Inode &ino = inodes_.at(it->second);
     for (std::uint64_t phys : ino.pages) {
-        if (phys == invalidPage || phys == failedPage)
+        if (phys == invalidPage || phys == failedPage ||
+            phys == trimmedPage)
             continue;
         auto rit = reverse_.find(phys);
         if (rit != reverse_.end()) {
@@ -141,6 +155,90 @@ LogFs::remove(const std::string &name)
     inodes_.erase(it->second);
     names_.erase(it);
     return true;
+}
+
+bool
+LogFs::trim(const std::string &name, std::uint64_t fpage)
+{
+    auto it = names_.find(name);
+    if (it == names_.end())
+        return false;
+    Inode &ino = inodes_.at(it->second);
+    if (fpage >= ino.pages.size())
+        return false;
+    std::uint64_t phys = ino.pages[fpage];
+    if (phys == invalidPage || phys == failedPage ||
+        phys == trimmedPage)
+        return false;
+    auto rit = reverse_.find(phys);
+    if (rit != reverse_.end()) {
+        reverse_.erase(rit);
+        --blocks_[phys / geo_.pagesPerBlock].livePages;
+    }
+    ino.pages[fpage] = trimmedPage;
+    trimmedPages_.inc();
+    return true;
+}
+
+void
+LogFs::retireBlock(std::uint64_t bidx)
+{
+    BlockInfo &blk = blocks_[bidx];
+    if (blk.state == BlockState::Retired)
+        return;
+    // Pull the block from wherever the allocator could still hand
+    // it out: the free list, or an open bus frontier.
+    auto fit =
+        std::find(freeBlocks_.begin(), freeBlocks_.end(), bidx);
+    if (fit != freeBlocks_.end())
+        freeBlocks_.erase(fit);
+    for (ActiveBlock &frontier : active_) {
+        if (frontier.open && frontier.block == bidx)
+            frontier.open = false;
+    }
+    blk.state = BlockState::Retired;
+    retiredBlocks_.inc();
+    if (freeBlocks_.size() < params_.cleanLowWater)
+        reserveAlarms_.inc();
+    // Surviving live pages drain out at maintenance priority; the
+    // block is never erased or reused, offsets of the moved pages
+    // stay valid through the same remapping the cleaner uses.
+    std::vector<std::uint64_t> live;
+    std::uint64_t base = bidx * geo_.pagesPerBlock;
+    for (std::uint32_t p = 0; p < geo_.pagesPerBlock; ++p) {
+        if (reverse_.count(base + p))
+            live.push_back(base + p);
+    }
+    if (!live.empty())
+        relocate(std::move(live), 0, [this]() { pumpAlloc(); });
+    maybeClean();
+}
+
+void
+LogFs::poisonPage(std::uint32_t file_id, std::uint64_t fpage,
+                  std::uint64_t phys)
+{
+    auto iit = inodes_.find(file_id);
+    if (iit == inodes_.end() || fpage >= iit->second.pages.size() ||
+        iit->second.pages[fpage] != phys)
+        return; // remapped or removed since the verdict
+    auto rit = reverse_.find(phys);
+    if (rit != reverse_.end()) {
+        reverse_.erase(rit);
+        --blocks_[phys / geo_.pagesPerBlock].livePages;
+    }
+    iit->second.pages[fpage] = failedPage;
+    poisonedPages_.inc();
+}
+
+flash::Priority
+LogFs::cleanPriority()
+{
+    if (underPressure()) {
+        foregroundAssists_.inc();
+        return flash::Priority::Read;
+    }
+    return flash::Priority::Background;
 }
 
 std::vector<Address>
@@ -154,7 +252,8 @@ LogFs::physicalAddresses(const std::string &name) const
     std::vector<Address> out;
     out.reserve(ino.pages.size());
     for (std::uint64_t phys : ino.pages) {
-        if (phys == invalidPage || phys == failedPage)
+        if (phys == invalidPage || phys == failedPage ||
+            phys == trimmedPage)
             sim::panic("file '%s' has a hole", name.c_str());
         out.push_back(Address::fromLinear(geo_, phys));
     }
@@ -317,6 +416,13 @@ LogFs::writeFilePage(std::uint32_t file_id, std::uint64_t fpage,
                 // poisoned hole so reads of the range report
                 // failure instead of silently returning zeroes.
                 writeFailures_.inc();
+                if (st == Status::BadBlock) {
+                    // The hardware's verdict, not a semantic
+                    // violation: remap the block out of service so
+                    // the frontier stops landing programs on it and
+                    // its surviving live pages move out.
+                    retireBlock(linear / geo_.pagesPerBlock);
+                }
                 auto iit = inodes_.find(file_id);
                 if (iit != inodes_.end()) {
                     Inode &ino = iit->second;
@@ -345,7 +451,8 @@ LogFs::writeFilePage(std::uint32_t file_id, std::uint64_t fpage,
             // rewrite always installs last. A successful rewrite
             // also heals a poisoned hole left by a failed one.
             if (ino.pages[fpage] != invalidPage &&
-                ino.pages[fpage] != failedPage) {
+                ino.pages[fpage] != failedPage &&
+                ino.pages[fpage] != trimmedPage) {
                 std::uint64_t old = ino.pages[fpage];
                 auto rit = reverse_.find(old);
                 if (rit != reverse_.end()) {
@@ -417,9 +524,15 @@ LogFs::read(const std::string &name, std::uint64_t offset,
             continue;
         }
         if (ino.pages[fpage] == failedPage) {
-            // Poisoned hole: a failed append's fresh page. Zeroes,
+            // Poisoned hole: a failed append's fresh page, or a
+            // page whose flash copy stayed uncorrectable. Zeroes,
             // and the read as a whole reports failure.
             ctx->ok = false;
+            pos += take;
+            continue;
+        }
+        if (ino.pages[fpage] == trimmedPage) {
+            // Trimmed by the index layer: logically dead bytes.
             pos += take;
             continue;
         }
@@ -438,12 +551,19 @@ LogFs::read(const std::string &name, std::uint64_t offset,
         // Partial page read-out: only the requested range's ECC
         // words cross the flash bus -- a small-record read does not
         // pay a full page transfer.
+        std::uint32_t file_id = it->second;
         server_.readPage(
             read_ifc, Address::fromLinear(geo_, phys),
-            [ctx, take, out_off,
+            [this, ctx, take, out_off, file_id, fpage, phys,
              maybe_finish](PageBuffer range, Status st) {
-            if (st == Status::Uncorrectable)
+            if (st == Status::Uncorrectable) {
+                // The flash server's retry ladder already re-sensed
+                // and gave up: this copy is gone. Unmap it so the
+                // block stays cleanable and later reads fail fast;
+                // healing comes from a rewrite or a replica.
                 ctx->ok = false;
+                poisonPage(file_id, fpage, phys);
+            }
             std::memcpy(ctx->out.data() + out_off, range.data(),
                         take);
             --ctx->outstanding;
@@ -457,55 +577,84 @@ LogFs::read(const std::string &name, std::uint64_t offset,
 }
 
 void
-LogFs::allocatePage(std::function<void(Address)> got)
+LogFs::allocatePage(std::function<void(Address)> got, bool clean)
 {
-    allocWaiters_.push_back(std::move(got));
+    allocWaiters_.push_back(AllocWaiter{std::move(got), clean});
     pumpAlloc();
+}
+
+bool
+LogFs::tryGrant(bool clean, Address *out)
+{
+    const std::uint64_t blocks_per_bus =
+        std::uint64_t(geo_.chipsPerBus) * geo_.blocksPerChip;
+    for (std::uint32_t attempt = 0; attempt < geo_.buses;
+         ++attempt) {
+        std::uint32_t bus = nextBus_;
+        nextBus_ = (nextBus_ + 1) % geo_.buses;
+        ActiveBlock &frontier = active_[bus];
+        if (!frontier.open) {
+            // Opening a fresh frontier consumes a free block; only
+            // the cleaner may take the last cleanReserve blocks (an
+            // open frontier's remaining pages are fair game for
+            // anyone -- they are already paid for).
+            if (!clean && freeBlocks_.size() <= cleanReserve)
+                continue;
+            auto it = freeBlocks_.begin();
+            for (; it != freeBlocks_.end(); ++it) {
+                if (*it / blocks_per_bus == bus)
+                    break;
+            }
+            if (it == freeBlocks_.end())
+                continue; // this bus is out of free blocks
+            frontier.block = *it;
+            freeBlocks_.erase(it);
+            blocks_[frontier.block].state = BlockState::Active;
+            frontier.nextPage = 0;
+            frontier.open = true;
+            maybeClean();
+        }
+        Address addr = blockAddress(frontier.block);
+        addr.page = frontier.nextPage++;
+        if (frontier.nextPage == geo_.pagesPerBlock) {
+            blocks_[frontier.block].state = BlockState::Closed;
+            frontier.open = false;
+        }
+        *out = addr;
+        return true;
+    }
+    return false;
 }
 
 void
 LogFs::pumpAlloc()
 {
-    const std::uint64_t blocks_per_bus =
-        std::uint64_t(geo_.chipsPerBus) * geo_.blocksPerChip;
     while (!allocWaiters_.empty()) {
-        bool granted = false;
-        for (std::uint32_t attempt = 0; attempt < geo_.buses;
-             ++attempt) {
-            std::uint32_t bus = nextBus_;
-            nextBus_ = (nextBus_ + 1) % geo_.buses;
-            ActiveBlock &frontier = active_[bus];
-            if (!frontier.open) {
-                auto it = freeBlocks_.begin();
-                for (; it != freeBlocks_.end(); ++it) {
-                    if (*it / blocks_per_bus == bus)
-                        break;
+        // FIFO, except that a cleaner relocation may overtake an
+        // ordinary waiter parked on the reserve: the cleaner is the
+        // only producer of free blocks, so holding it behind the
+        // very append it must unblock would deadlock reclamation.
+        std::size_t idx = allocWaiters_.size();
+        Address addr;
+        if (tryGrant(allocWaiters_.front().clean, &addr)) {
+            idx = 0;
+        } else {
+            for (std::size_t i = 1; i < allocWaiters_.size(); ++i) {
+                if (allocWaiters_[i].clean &&
+                    tryGrant(true, &addr)) {
+                    idx = i;
+                    break;
                 }
-                if (it == freeBlocks_.end())
-                    continue; // this bus is out of free blocks
-                frontier.block = *it;
-                freeBlocks_.erase(it);
-                blocks_[frontier.block].state = BlockState::Active;
-                frontier.nextPage = 0;
-                frontier.open = true;
-                maybeClean();
             }
-            Address addr = blockAddress(frontier.block);
-            addr.page = frontier.nextPage++;
-            if (frontier.nextPage == geo_.pagesPerBlock) {
-                blocks_[frontier.block].state = BlockState::Closed;
-                frontier.open = false;
-            }
-            auto got = std::move(allocWaiters_.front());
-            allocWaiters_.pop_front();
-            got(addr);
-            granted = true;
-            break;
         }
-        if (!granted) {
+        if (idx == allocWaiters_.size()) {
             maybeClean();
             return;
         }
+        auto got = std::move(allocWaiters_[idx].got);
+        allocWaiters_.erase(allocWaiters_.begin() +
+                            std::ptrdiff_t(idx));
+        got(addr);
     }
 }
 
@@ -537,7 +686,12 @@ LogFs::cleanStep()
             victim = b;
         }
     }
-    if (victim == invalidPage) {
+    if (victim == invalidPage || best >= geo_.pagesPerBlock) {
+        // No victim, or the best one is fully live: a clean pass
+        // would burn a program per page and free nothing. At high
+        // utilization the reclaimable garbage can run out below the
+        // high water; stop instead of relocating live data forever.
+        // The next garbage-making append re-arms the cleaner.
         cleaning_ = false;
         return;
     }
@@ -548,15 +702,28 @@ LogFs::cleanStep()
             live.push_back(base + p);
     }
     relocate(std::move(live), 0, [this, victim]() {
+        if (blocks_[victim].livePages != 0) {
+            // Relocation failures (program faults, destination
+            // blocks going bad mid-clean) left live pages behind:
+            // park the victim Closed instead of erasing data that
+            // never moved. A later pass re-picks it and retries;
+            // every relocation attempt costs flash time, so the
+            // retry is naturally paced.
+            cleanParks_.inc();
+            cleanStep();
+            return;
+        }
         server_.eraseBlock(ifc_, blockAddress(victim),
                            [this, victim](Status st) {
             if (st == Status::Ok) {
-                if (blocks_[victim].livePages != 0)
-                    sim::panic("cleaned block with %u live pages",
-                               blocks_[victim].livePages);
                 blocksErased_.inc();
                 blocks_[victim].state = BlockState::Free;
                 freeBlocks_.push_back(victim);
+            } else {
+                // Endurance tripped (the PageStore keeps the data,
+                // but every live page already moved out): the block
+                // leaves service for good.
+                retireBlock(victim);
             }
             pumpAlloc();
             cleanStep();
@@ -577,13 +744,30 @@ LogFs::relocate(std::vector<std::uint64_t> pages, std::size_t next,
     std::uint64_t phys = pages[next];
     // Cleaner traffic is maintenance: its reads must never suspend
     // a serving program, and its programs and erases count as
-    // background load at the array.
+    // background load at the array -- except under capacity
+    // pressure, where the moves escalate to the serving class
+    // (bounded foreground assist) so the reserve recovers before
+    // the allocator stalls.
+    flash::Priority pri = cleanPriority();
     server_.readPage(
         ifc_, Address::fromLinear(geo_, phys),
-        [this, pages = std::move(pages), next, phys,
-         then = std::move(then)](PageBuffer data, Status) mutable {
+        [this, pages = std::move(pages), next, phys, pri,
+         then = std::move(then)](PageBuffer data,
+                                 Status rst) mutable {
+        if (rst == Status::Uncorrectable) {
+            // The source copy is gone (retry ladder exhausted):
+            // relocating garbage would silently corrupt the file.
+            // Poison the page -- the block stays cleanable and the
+            // loss surfaces to readers, who heal from a replica.
+            auto rit = reverse_.find(phys);
+            if (rit != reverse_.end())
+                poisonPage(rit->second.fileId,
+                           rit->second.filePage, phys);
+            relocate(std::move(pages), next + 1, std::move(then));
+            return;
+        }
         allocatePage([this, pages = std::move(pages), next, phys,
-                      data = std::move(data),
+                      pri, data = std::move(data),
                       then = std::move(then)](Address dst) mutable {
             std::uint64_t new_linear = dst.linearize(geo_);
             ++blocks_[new_linear / geo_.pagesPerBlock].pendingWrites;
@@ -594,6 +778,12 @@ LogFs::relocate(std::vector<std::uint64_t> pages, std::size_t next,
                     mutable {
                 --blocks_[new_linear / geo_.pagesPerBlock]
                       .pendingWrites;
+                if (st == Status::BadBlock) {
+                    // The destination went bad under us: remap it
+                    // out of service; this source page stays live
+                    // in the victim and a later pass retries.
+                    retireBlock(new_linear / geo_.pagesPerBlock);
+                }
                 if (st == Status::Ok) {
                     auto rit = reverse_.find(phys);
                     if (rit != reverse_.end()) {
@@ -619,10 +809,11 @@ LogFs::relocate(std::vector<std::uint64_t> pages, std::size_t next,
                 relocate(std::move(pages), next + 1,
                          std::move(then));
             },
-                flash::Priority::Background);
-        });
+                pri);
+        },
+                     /*clean=*/true);
     },
-        flash::Priority::Background);
+        pri);
 }
 
 } // namespace fs

@@ -88,6 +88,16 @@ struct FsParams
      * (a small fraction of tPROG: enough to gather a concurrent
      * burst, cheap against the program it may share). */
     sim::Tick writeBatchWindow = sim::usToTicks(8);
+    /**
+     * Capacity red-line: at or below this many free blocks the FS
+     * reports pressure (underPressure(); kv::KvShard sheds puts
+     * with a retryable status) and the cleaner's page moves
+     * escalate from Background pacing to foreground
+     * (flash::Priority::Read) assists until the line is recrossed.
+     * Must sit below cleanLowWater so ordinary cleaning engages
+     * first.
+     */
+    unsigned pressureLowWater = 2;
 };
 
 /**
@@ -125,6 +135,20 @@ class LogFs
 
     /** Delete @p name, invalidating its pages. */
     [[nodiscard]] bool remove(const std::string &name);
+
+    /**
+     * Drop the physical backing of file page @p fpage of @p name:
+     * the page's bytes read as zeroes (ok = true) from now on and
+     * the physical page stops counting as live, so the cleaner can
+     * reclaim its block without moving it. The log's byte range is
+     * untouched -- offsets of later records stay valid. This is how
+     * an index that knows a record is dead (kv::KvShard after every
+     * record of a page is superseded) turns logical garbage into
+     * reclaimable flash space. False if the file is missing or the
+     * page has no backing to drop.
+     */
+    [[nodiscard]] bool trim(const std::string &name,
+                            std::uint64_t fpage);
 
     /** Names of all files. */
     std::vector<std::string> list() const;
@@ -205,6 +229,8 @@ class LogFs
     std::uint64_t pagesCleaned() const { return pagesCleaned_.value(); }
     std::uint64_t blocksErased() const { return blocksErased_.value(); }
     unsigned freeBlocks() const { return unsigned(freeBlocks_.size()); }
+    /** Blocks the card holds (any state). */
+    unsigned totalBlocks() const { return unsigned(blocks_.size()); }
     /** Page programs that completed with a failure status. */
     std::uint64_t pageWriteFailures() const { return writeFailures_.value(); }
     /** Page reads diverted to the spill interface. */
@@ -212,14 +238,59 @@ class LogFs
     /** Page rewrites absorbed by an already-pending program
      * (group commit of back-to-back tail appends). */
     std::uint64_t batchedPageWrites() const { return batchedWrites_.value(); }
+    /** Blocks permanently pulled from service (wear-out / bad). */
+    std::uint64_t retiredBlocks() const { return retiredBlocks_.value(); }
+    /** Pages whose flash copy stayed uncorrectable and was
+     * unmapped; the range reads as zeroes with ok = false. */
+    std::uint64_t poisonedPages() const { return poisonedPages_.value(); }
+    /** Retirements that left the free reserve under cleanLowWater. */
+    std::uint64_t reserveAlarms() const { return reserveAlarms_.value(); }
+    /** Cleaner page moves escalated to the serving class under
+     * capacity pressure. */
+    std::uint64_t foregroundAssists() const { return foregroundAssists_.value(); }
+    /** Clean passes that parked a victim still holding live pages
+     * (relocation failures mid-clean) instead of erasing it. */
+    std::uint64_t cleanParks() const { return cleanParks_.value(); }
+    /** File pages trimmed by the index layer. */
+    std::uint64_t trimmedPages() const { return trimmedPages_.value(); }
     ///@}
 
+    /** Whether free blocks are at or below the capacity red-line
+     * (FsParams::pressureLowWater). */
+    [[nodiscard]] bool
+    underPressure() const
+    {
+        return freeBlocks_.size() <= params_.pressureLowWater;
+    }
+
+    /** Whether free blocks are down to the cleaner's relocation
+     * reserve: even maintenance-class appends (replica repair),
+     * which bypass the ordinary red-line, must shed here -- the
+     * last block is what lets the cleaner keep making forward
+     * progress at all. */
+    [[nodiscard]] bool
+    exhausted() const
+    {
+        return freeBlocks_.size() <= cleanReserve;
+    }
+
   private:
+    /** Free blocks the allocator holds back for cleaner relocation:
+     * an ordinary append may never open the last free block, or a
+     * burst of admitted appends could strand the cleaner with no
+     * destination and deadlock reclamation. */
+    static constexpr std::size_t cleanReserve = 1;
     static constexpr std::uint64_t invalidPage = ~std::uint64_t(0);
     /** A fresh page whose program failed: a poisoned hole. */
     static constexpr std::uint64_t failedPage = ~std::uint64_t(0) - 1;
+    /** A page trimmed by the index layer: reads as zeroes, ok. */
+    static constexpr std::uint64_t trimmedPage = ~std::uint64_t(0) - 2;
 
-    enum class BlockState : std::uint8_t { Free, Active, Closed };
+    /** Retired: permanently out of service (endurance tripped or a
+     * program hit a bad block); never refreed, never a clean
+     * victim. */
+    enum class BlockState : std::uint8_t { Free, Active, Closed,
+                                           Retired };
 
     struct Inode
     {
@@ -268,12 +339,41 @@ class LogFs
     std::uint64_t blockIndex(const flash::Address &a) const;
     flash::Address blockAddress(std::uint64_t bidx) const;
 
-    void allocatePage(std::function<void(flash::Address)> got);
+    /** Hand out the next log page. @p clean marks a cleaner
+     * relocation: it alone may dip into the reserve (see
+     * cleanReserve) and may overtake ordinary waiters parked on
+     * it. */
+    void allocatePage(std::function<void(flash::Address)> got,
+                      bool clean = false);
     void pumpAlloc();
+    /** Try to grant one page under @p clean's reserve rules. */
+    [[nodiscard]] bool tryGrant(bool clean, flash::Address *out);
     void maybeClean();
     void cleanStep();
     void relocate(std::vector<std::uint64_t> pages, std::size_t next,
                   std::function<void()> then);
+
+    /**
+     * Pull block @p bidx out of service permanently: drop it from
+     * the free list / its bus frontier, and kick off a Background
+     * relocation of any pages still live in it. Idempotent.
+     */
+    void retireBlock(std::uint64_t bidx);
+
+    /**
+     * The flash copy of (file, page) at linear @p phys stayed
+     * uncorrectable: unmap it (livePages drops, the cleaner can
+     * reclaim the block) and mark the file page as a poisoned hole
+     * so reads report failure until a rewrite -- or a replica
+     * repair one level up -- heals it. No-op if the mapping moved.
+     */
+    void poisonPage(std::uint32_t file_id, std::uint64_t fpage,
+                    std::uint64_t phys);
+
+    /** Traffic class for cleaner page moves: Background normally,
+     * the serving class when free blocks are under the red-line
+     * (bounded foreground assist). */
+    flash::Priority cleanPriority();
 
     /** Queue one page program through the page's write slot
      * (batches rewrites while a program is in flight). */
@@ -310,7 +410,12 @@ class LogFs
     std::unordered_map<std::uint64_t, WriteSlot> writeSlots_;
     std::vector<BlockInfo> blocks_;
     std::deque<std::uint64_t> freeBlocks_;
-    std::deque<std::function<void(flash::Address)>> allocWaiters_;
+    struct AllocWaiter
+    {
+        std::function<void(flash::Address)> got;
+        bool clean = false; //!< cleaner relocation: reserve-eligible
+    };
+    std::deque<AllocWaiter> allocWaiters_;
 
     /** One log frontier per bus: file data stripes across channels
      * so in-store processors can stream at full card bandwidth. */
@@ -334,6 +439,12 @@ class LogFs
     sim::Counter &writeFailures_;
     sim::Counter &spreadReads_;
     sim::Counter &batchedWrites_;
+    sim::Counter &retiredBlocks_;
+    sim::Counter &poisonedPages_;
+    sim::Counter &reserveAlarms_;
+    sim::Counter &foregroundAssists_;
+    sim::Counter &cleanParks_;
+    sim::Counter &trimmedPages_;
 };
 
 } // namespace fs

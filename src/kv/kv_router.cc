@@ -35,6 +35,8 @@ KvRouter::KvRouter(sim::Simulator &sim, core::Cluster &cluster,
       deadTransitions_(
           sim.metrics().counter("kv.router.dead_transitions")),
       movedKeys_(sim.metrics().counter("kv.router.moved_keys")),
+      localCorruption_(
+          sim.metrics().counter("kv.router.local_corruption")),
       stageNet_(sim.metrics().histogram("kv.stage.net")),
       stageShard_(sim.metrics().histogram("kv.stage.shard"))
 {
@@ -830,14 +832,31 @@ KvRouter::get(NodeId origin, Key key, GetDone done,
         // `this` is safe to capture raw: the continuation only runs
         // while the shard is alive, and the shard dies with us.
         shards_[origin]->get(key,
-                             [this, t0, span, route,
+                             [this, origin, key, t0, span, route,
                               done = std::move(done)](
                                  PageBuffer v, KvStatus st,
-                                 std::uint64_t) {
+                                 std::uint64_t) mutable {
             sim::Tick now = sim_.now();
             stageShard_.record(now - t0);
             stageNet_.record(0);
             sim_.tracer().endSpan(span, now);
+            if (st == KvStatus::Error) {
+                // The local durable copy is unreadable (the flash
+                // server's retry ladder exhausted; the shard marked
+                // the key corrupt). Serve the client from another
+                // replica and heal the local copy on the way.
+                localCorruption_.inc();
+                divergent_.insert(key);
+                sim_.tracer().mark(route, "local.corrupt", now);
+                NodeId other;
+                if (pickRetryTarget(key, origin, nullptr, 0,
+                                    &other)) {
+                    healLocalGet(origin, other, key, route,
+                                 std::move(done));
+                    return;
+                }
+                failedReads_.inc();
+            }
             sim_.tracer().endSpan(route, now);
             done(std::move(v), st);
         },
@@ -886,6 +905,50 @@ KvRouter::get(NodeId origin, Key key, GetDone done,
         .send(replica, kvHeaderBytes, std::move(req));
     if (params_.readTimeoutUs > 0)
         armOpTimer(id, params_.readTimeoutUs);
+}
+
+void
+KvRouter::healLocalGet(NodeId origin, NodeId from, Key key,
+                       std::uint64_t route, GetDone done)
+{
+    // Failover read at serving priority (the client is waiting);
+    // the write-back push below rides Background inside repairPut.
+    retriedReads_.inc();
+    std::uint64_t span = sim_.tracer().beginSpan(
+        route, "shard.heal_get", sim_.now());
+    shards_[from]->get(
+        key,
+        [this, origin, from, key, span, route,
+         done = std::move(done)](PageBuffer v, KvStatus st,
+                                 std::uint64_t) mutable {
+        sim::Tick now = sim_.now();
+        sim_.tracer().endSpan(span, now);
+        if (st == KvStatus::Ok) {
+            // Push the surviving copy back under ITS stamp: the
+            // corrupt local entry admits the push even at an equal
+            // stamp (see KvShard::HashState), and the guard makes
+            // the heal idempotent against racing writes.
+            std::uint64_t stamp = 0;
+            bool live = false;
+            if (shards_[from]->keyState(key, &stamp, &live) &&
+                live) {
+                PageBuffer copy = v;
+                shards_[origin]->repairPut(
+                    key, std::move(copy), stamp,
+                    [this, alive = alive_](KvStatus rst) {
+                    if (!*alive)
+                        return;
+                    if (rst == KvStatus::Ok)
+                        repairedKeys_.inc();
+                });
+            }
+        } else if (st == KvStatus::Error) {
+            failedReads_.inc();
+        }
+        sim_.tracer().endSpan(route, now);
+        done(std::move(v), st);
+    },
+        flash::Priority::Read, span);
 }
 
 // ---------------------------------------------------------------- //
@@ -1412,6 +1475,13 @@ KvRouter::completeOne(std::uint64_t req_id, KvStatus st,
             finishGet(std::move(fin));
             return;
         }
+        // A real storage Error (not a synthesized timeout) means
+        // the serving replica's durable copy is unreadable -- it
+        // marked itself corrupt. Record the divergence so the next
+        // sweep pushes a healthy copy across even if every retry
+        // below also fails.
+        if (!timed_out && st == KvStatus::Error)
+            divergent_.insert(op.key);
         // Timeout or storage error: fail over to another replica.
         // The retry is unconditional and its result never fills
         // the cache -- it answers from a different replica's
@@ -1735,6 +1805,7 @@ KvRouter::sweepRange(std::shared_ptr<SweepState> state,
         std::uint64_t stamp = 0;
         bool live = false;
         bool present = false;
+        bool corrupt = false;
     };
     struct MergedKey
     {
@@ -1748,23 +1819,33 @@ KvRouter::sweepRange(std::shared_ptr<SweepState> state,
         for (const auto &e : entries) {
             MergedKey &m = merged[mix64(e.key)];
             m.key = e.key;
-            m.sides[i] = Side{e.stamp, e.live, true};
+            m.sides[i] = Side{e.stamp, e.live, true, e.corrupt};
         }
     }
     for (auto &[hash, m] : merged) {
         (void)hash;
-        // Newest-stamped side wins; absent counts as stamp 0.
-        unsigned newest = 0;
-        for (unsigned i = 1; i < count; ++i) {
-            if (m.sides[i].stamp > m.sides[newest].stamp)
+        // Newest-stamped INTACT side wins; absent counts as stamp
+        // 0. A corrupt side is never the source -- its stamp says
+        // what it USED to hold, but the bytes are gone, so pushing
+        // from it would spread garbage (and its repairPut source
+        // read would fail anyway).
+        unsigned newest = count;
+        for (unsigned i = 0; i < count; ++i) {
+            if (m.sides[i].corrupt)
+                continue;
+            if (newest == count ||
+                m.sides[i].stamp > m.sides[newest].stamp)
                 newest = i;
         }
-        if (m.sides[newest].stamp == 0)
-            continue; // inconceivable, but nothing to push
+        if (newest == count || m.sides[newest].stamp == 0)
+            continue; // every copy corrupt (or absent): unhealable
         for (unsigned i = 0; i < count; ++i) {
             if (i == newest)
                 continue;
-            if (m.sides[i].present &&
+            // A corrupt replica NEVER "agrees", whatever its stamp:
+            // equal-stamp rot is exactly the case the corrupt flag
+            // exists to repair.
+            if (m.sides[i].present && !m.sides[i].corrupt &&
                 m.sides[i].stamp == m.sides[newest].stamp &&
                 m.sides[i].live == m.sides[newest].live)
                 continue; // this replica already agrees
@@ -1785,8 +1866,12 @@ KvRouter::repairKey(std::shared_ptr<SweepState> state, Key key,
                    alive = alive_](KvStatus st) {
         if (!*alive)
             return;
-        if (st == KvStatus::Error)
-            divergent_.insert(key); // push failed: still divergent
+        if (st != KvStatus::Ok && st != KvStatus::NotFound)
+            // Push failed (unreadable source, shed append, ...):
+            // still divergent. NotFound is repairDel finding the key
+            // already absent -- the tombstone applied, so that copy
+            // DID converge.
+            divergent_.insert(key);
         else if (moved)
             movedKeys_.inc(); // rebalance copy (handoff traffic)
         else

@@ -409,6 +409,13 @@ class KvRouter
     /** Keys copied by join/leave catch-up sweeps (rebalance
      * traffic; rebuild and straggler repair count repairedKeys). */
     std::uint64_t movedKeys() const { return movedKeys_.value(); }
+    /** Local reads that hit an unreadable (uncorrectable) durable
+     * copy on the origin's own shard. Each one fails over to a
+     * healthy replica for the client AND pushes the surviving copy
+     * back into the corrupt shard (stamp-guarded repairPut), so
+     * aged-flash data loss heals on the read path instead of
+     * waiting for the next anti-entropy sweep. */
+    std::uint64_t localCorruptions() const { return localCorruption_.value(); }
     ///@}
 
     /** Upper bound on R, so read routing can use a stack buffer. */
@@ -608,6 +615,11 @@ class KvRouter
                      sim::Tick service_ticks = 0);
     /** Arm (or re-arm) op @p id's timeout timer for @p us. */
     void armOpTimer(std::uint64_t id, std::uint64_t us);
+    /** Origin's local read of @p key hit a corrupt durable copy:
+     * serve the client from replica @p from and push the surviving
+     * copy back into the origin's shard (see localCorruptions()). */
+    void healLocalGet(net::NodeId origin, net::NodeId from, Key key,
+                      std::uint64_t route, GetDone done);
     /** Finish a get: cache bookkeeping + the user callback. */
     void finishGet(PendingOp fin);
     /** Open (or join) the key's ledger entry for one write op. */
@@ -741,6 +753,7 @@ class KvRouter
     sim::Counter &suspectTransitions_;
     sim::Counter &deadTransitions_;
     sim::Counter &movedKeys_;
+    sim::Counter &localCorruption_;
     /** Always-on per-stage latency attribution (ticks, one sample
      * per response): kv.stage.shard is the serving side's
      * request-arrival-to-reply time, kv.stage.net the remainder of

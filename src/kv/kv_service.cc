@@ -117,8 +117,8 @@ KvService::put(ClientId client, Key key, PageBuffer value,
     std::uint64_t qspan =
         sim_.tracer().beginSpan(root, "svc.queue", enq);
     submit(client,
-           [this, origin, key, done_sh, value_sh, root, qspan,
-            enq](std::function<void()> slot) {
+           [this, client, origin, key, done_sh, value_sh, root,
+            qspan, enq](std::function<void()> slot) {
         sim::Tick launched = sim_.now();
         stageAdmission_.record(launched - enq);
         sim_.tracer().endSpan(qspan, launched);
@@ -130,8 +130,21 @@ KvService::put(ClientId client, Key key, PageBuffer value,
         // The trace ends with the client too -- endTrace closes
         // any straggler replica span still open at that instant.
         router_.put(origin, key, std::move(*value_sh),
-                    [&sim = sim_, done_sh, root](KvStatus st) {
-            sim.tracer().endTrace(root, sim.now());
+                    [this, alive = alive_, client, done_sh,
+                     root](KvStatus st) {
+            sim_.tracer().endTrace(root, sim_.now());
+            if (st == KvStatus::Pressure && *alive) {
+                // Capacity red line at the owning shard: surface
+                // the standard Overloaded + retry-after contract,
+                // with the hint sized for block reclaim rather
+                // than a queue blip, so well-behaved clients back
+                // off long enough for the cleaner to free space.
+                pressured_.inc();
+                Client &cl = clients_.at(client);
+                if (cl.params.pressureRetryUs > 0)
+                    cl.retryAfterUs = cl.params.pressureRetryUs;
+                st = KvStatus::Overloaded;
+            }
             (*done_sh)(st);
         },
                     [slot = std::move(slot)]() { slot(); }, root);

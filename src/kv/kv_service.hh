@@ -69,12 +69,23 @@ class KvService
          * far behind the client actually is). 0 disables hinting.
          */
         std::uint64_t retryBaseUs = 20;
+        /**
+         * Retry-after hint attached when a put is shed at the
+         * flash capacity red line (KvStatus::Pressure, surfaced to
+         * the client as Overloaded). Sized to the time a cleaner
+         * pass needs to reclaim a block (erase + relocations) --
+         * much longer than an admission-queue blip, which is why
+         * it is a separate knob from retryBaseUs. 0 disables
+         * hinting.
+         */
+        std::uint64_t pressureRetryUs = 500;
     };
 
     KvService(sim::Simulator &sim, KvRouter &router)
         : sim_(sim), router_(router),
           admitted_(sim.metrics().counter("kv.svc.admitted")),
           rejected_(sim.metrics().counter("kv.svc.rejected")),
+          pressured_(sim.metrics().counter("kv.svc.pressured")),
           stageAdmission_(
               sim.metrics().histogram("kv.stage.admission"))
     {
@@ -152,6 +163,9 @@ class KvService
     ///@{
     std::uint64_t admitted() const { return admitted_.value(); }
     std::uint64_t rejected() const { return rejected_.value(); }
+    /** Puts shed by a shard at the capacity red line and surfaced
+     * to the client as Overloaded with the pressureRetryUs hint. */
+    std::uint64_t pressureRejects() const { return pressured_.value(); }
     /** High-water mark of any client's wait queue. */
     std::size_t maxQueued() const { return maxQueued_; }
     ///@}
@@ -193,6 +207,7 @@ class KvService
     // Registry-backed statistics (accessors above are thin reads).
     sim::Counter &admitted_;
     sim::Counter &rejected_;
+    sim::Counter &pressured_;
     /** Always-on admission-wait histogram (ticks, one sample per
      * admitted op): submit() to window-slot launch. The front end
      * of the kv.stage.* breakdown -- see docs/observability.md. */

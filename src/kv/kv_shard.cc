@@ -34,7 +34,9 @@ KvShard::KvShard(sim::Simulator &sim, fs::LogFs &fs,
       validatedGets_(cell(sim, inst_, "kv.shard.validated_gets")),
       coalescedGets_(cell(sim, inst_, "kv.shard.coalesced_gets")),
       failedPuts_(cell(sim, inst_, "kv.shard.failed_puts")),
-      repairsApplied_(cell(sim, inst_, "kv.shard.repairs_applied"))
+      repairsApplied_(cell(sim, inst_, "kv.shard.repairs_applied")),
+      pressuredPuts_(cell(sim, inst_, "kv.shard.pressured_puts")),
+      corruptKeys_(cell(sim, inst_, "kv.shard.corrupt_keys"))
 {
     // Unlike most models a shard may die before the Simulator (see
     // ~KvShard), so its gauges check the liveness flag.
@@ -74,6 +76,31 @@ KvShard::put(Key key, PageBuffer value, std::uint64_t stamp,
              AckDone done, flash::Priority pri, std::uint64_t trace)
 {
     puts_.inc();
+    // Capacity red line: below the file system's reserved free-block
+    // floor, shed the put with a retryable status instead of
+    // appending. Consuming the last free blocks would leave the
+    // cleaner nowhere to relocate live pages and wedge the card;
+    // reads (which consume no capacity) are never shed. Background
+    // (maintenance-class) appends are admitted all the way down to
+    // the cleaner's own relocation reserve: repair pushes are few
+    // and bounded (KvRouter throttles them at repairChunk in
+    // flight), and shedding them at the ordinary red line would
+    // make pressure self-sustaining -- anti-entropy could never
+    // converge on a card the cleaner holds near the line, which is
+    // exactly when replicas have diverged the most.
+    bool shed = pri == flash::Priority::Background
+                    ? fs_.exhausted()
+                    : fs_.underPressure();
+    if (shed) {
+        pressuredPuts_.inc();
+        sim_.scheduleAfter(0, [alive = alive_,
+                               done = std::move(done)]() {
+            if (!*alive)
+                return;
+            done(KvStatus::Pressure);
+        });
+        return;
+    }
     auto len = static_cast<std::uint32_t>(value.size());
 
     // Log record: [key][len][value bytes], appended at the frontier.
@@ -107,6 +134,14 @@ KvShard::put(Key key, PageBuffer value, std::uint64_t stamp,
                 d.stamp = hit->second.stamp; // tombstone stamp
         }
     }
+    // Record the version this put supersedes: when THIS append
+    // becomes durable the superseded record's bytes are dead and
+    // get charged to their log pages (see markDead). Deferred to
+    // the completion so a failed append's rollback never finds its
+    // restore target already trimmed.
+    bool prev_live = e.version != 0;
+    std::uint64_t prev_offset = e.valueOffset;
+    std::uint32_t prev_len = e.valueLen;
     if (e.version != 0)
         liveBytes_ -= e.valueLen; // overwrite: old version is dead
     e.valueOffset = value_offset;
@@ -125,7 +160,8 @@ KvShard::put(Key key, PageBuffer value, std::uint64_t stamp,
 
     fs_.append(log, std::move(record),
                [this, alive = alive_, key, hash, version, stamp,
-                value_offset, len, record_bytes,
+                value_offset, len, record_bytes, prev_live,
+                prev_offset, prev_len,
                 done = std::move(done)](bool ok) {
         if (!*alive)
             return; // shard (and its owner) died mid-append
@@ -147,6 +183,17 @@ KvShard::put(Key key, PageBuffer value, std::uint64_t stamp,
             // can never serve never-written flash bytes as Ok.
             failedPuts_.inc();
             logBytes_ -= record_bytes;
+            // The failed record's byte range is garbage forever
+            // (log offsets are never reused): account it as dead.
+            // Only when no NEWER put is in flight, though -- a
+            // newer put captured this range as ITS rollback
+            // predecessor and will account it on its own
+            // completion; marking twice could trim a page whose
+            // dead-byte count was double-charged.
+            if (current || it == index_.end())
+                markDead(fileFor(key),
+                         value_offset - recordHeaderBytes,
+                         std::uint64_t(len) + recordHeaderBytes);
             if (current) {
                 memtable_.erase(key);
                 liveBytes_ -= it->second.valueLen;
@@ -191,6 +238,19 @@ KvShard::put(Key key, PageBuffer value, std::uint64_t stamp,
                 d.live = true;
             }
         }
+        // Durable, so the version it superseded is now safely dead
+        // (no failure can roll back to it any more). A put whose
+        // key was deleted while the append was in flight is dead on
+        // arrival: its own bytes are accounted too (the delete
+        // skipped them precisely because this append was pending).
+        if (prev_live)
+            markDead(fileFor(key),
+                     prev_offset - recordHeaderBytes,
+                     std::uint64_t(prev_len) + recordHeaderBytes);
+        if (it == index_.end())
+            markDead(fileFor(key),
+                     value_offset - recordHeaderBytes,
+                     std::uint64_t(len) + recordHeaderBytes);
         if (current)
             memtable_.erase(key); // no newer in-flight version
         done(KvStatus::Ok);
@@ -263,7 +323,7 @@ KvShard::getIfNewer(Key key, std::uint64_t cached_version,
     reads_[version].waiters.push_back(std::move(done));
     fs_.read(fileFor(key), it->second.valueOffset,
              it->second.valueLen,
-             [this, alive = alive_,
+             [this, alive = alive_, key,
               version](std::vector<std::uint8_t> data, bool ok) {
         if (!*alive)
             return; // shard died mid-read; waiters died with it
@@ -272,6 +332,18 @@ KvShard::getIfNewer(Key key, std::uint64_t cached_version,
             std::move(git->second.waiters);
         reads_.erase(git); // before callbacks: they may re-enter
         KvStatus st = ok ? KvStatus::Ok : KvStatus::Error;
+        if (!ok) {
+            // The durable copy is gone (uncorrectable after the
+            // flash server's retry ladder). If the entry we read
+            // is still the live version, flag it in the repair
+            // index: digests now differ from the healthy replica
+            // even at equal stamps, and an equal-stamp repair push
+            // is allowed through to heal it (see HashState).
+            auto iit = index_.find(key);
+            if (iit != index_.end() &&
+                iit->second.version == version)
+                markCorrupt(key);
+        }
         for (std::size_t i = 0; i + 1 < waiters.size(); ++i)
             waiters[i](data, st, version); // copy for all but last
         waiters.back()(std::move(data), st, version);
@@ -287,8 +359,6 @@ KvShard::del(Key key, std::uint64_t stamp, AckDone done)
     KvStatus st = KvStatus::NotFound;
     if (it != index_.end()) {
         liveBytes_ -= it->second.valueLen;
-        index_.erase(it);
-        memtable_.erase(key);
         // Tombstone at a fresh version while appends are in
         // flight: a pending older append that completes (or fails)
         // after this delete must neither reinstate nor roll back
@@ -299,7 +369,18 @@ KvShard::del(Key key, std::uint64_t stamp, AckDone done)
             d->second.version = ++nextVersion_;
             d->second.stamp = stamp;
             d->second.live = false;
+        } else {
+            // Quiescent key: its record is durable and now dead --
+            // charge it to its log pages for reclamation. (With a
+            // chain in flight the completions do the accounting;
+            // see put().)
+            markDead(fileFor(key),
+                     it->second.valueOffset - recordHeaderBytes,
+                     std::uint64_t(it->second.valueLen) +
+                         recordHeaderBytes);
         }
+        index_.erase(it);
+        memtable_.erase(key);
         st = KvStatus::Ok;
     }
     // Record the tombstone even for a miss: a delete that reached
@@ -324,10 +405,15 @@ KvShard::rangeDigest(std::uint64_t lo, std::uint64_t hi) const
     for (auto it = byHash_.lower_bound(lo);
          it != byHash_.end() && it->first <= hi; ++it) {
         const HashState &hs = it->second;
-        // Order-independent fold of (key, stamp, liveness).
+        // Order-independent fold of (key, stamp, liveness,
+        // corruption). Corruption is folded in so a replica whose
+        // copy rotted at the SAME stamp as its healthy peer still
+        // produces a differing digest -- otherwise the sweep would
+        // skip the range and the corrupt key could never heal.
         digest ^= mix64(it->first ^
                         mix64(hs.stamp * 0x9e3779b97f4a7c15ull +
-                              (hs.live ? 1 : 2)));
+                              (hs.live ? 1 : 2) +
+                              (hs.corrupt ? 2 : 0)));
     }
     return digest;
 }
@@ -356,7 +442,8 @@ KvShard::rangeEntries(std::uint64_t lo, std::uint64_t hi,
     for (auto it = byHash_.lower_bound(lo);
          it != byHash_.end() && it->first <= hi; ++it)
         out.push_back(RangeEntry{it->second.key, it->second.stamp,
-                                 it->second.live});
+                                 it->second.live,
+                                 it->second.corrupt});
 }
 
 void
@@ -364,9 +451,13 @@ KvShard::repairPut(Key key, PageBuffer value, std::uint64_t stamp,
                    AckDone done)
 {
     auto hit = byHash_.find(mix64(key));
-    if (hit != byHash_.end() && hit->second.stamp >= stamp) {
+    if (hit != byHash_.end() && !hit->second.corrupt &&
+        hit->second.stamp >= stamp) {
         // The shard caught up on its own (a newer write landed, or
-        // an earlier repair already applied): nothing to push.
+        // an earlier repair already applied): nothing to push. A
+        // CORRUPT local copy never blocks the push, whatever its
+        // stamp: its bytes are gone, so a replica's equal-stamp
+        // (or even older) copy is strictly better than garbage.
         sim_.scheduleAfter(0, [alive = alive_,
                                done = std::move(done)]() {
             if (!*alive)
@@ -392,7 +483,8 @@ void
 KvShard::repairDel(Key key, std::uint64_t stamp, AckDone done)
 {
     auto hit = byHash_.find(mix64(key));
-    if (hit != byHash_.end() && hit->second.stamp >= stamp) {
+    if (hit != byHash_.end() && !hit->second.corrupt &&
+        hit->second.stamp >= stamp) {
         sim_.scheduleAfter(0, [alive = alive_,
                                done = std::move(done)]() {
             if (!*alive)
@@ -405,6 +497,70 @@ KvShard::repairDel(Key key, std::uint64_t stamp, AckDone done)
     // means the key was already absent): always a state change.
     repairsApplied_.inc();
     del(key, stamp, std::move(done));
+}
+
+bool
+KvShard::keyState(Key key, std::uint64_t *stamp, bool *live,
+                  bool *corrupt) const
+{
+    auto hit = byHash_.find(mix64(key));
+    if (hit == byHash_.end())
+        return false;
+    *stamp = hit->second.stamp;
+    *live = hit->second.live;
+    if (corrupt != nullptr)
+        *corrupt = hit->second.corrupt;
+    return true;
+}
+
+void
+KvShard::markCorrupt(Key key)
+{
+    auto hit = byHash_.find(mix64(key));
+    if (hit == byHash_.end() || !hit->second.live ||
+        hit->second.corrupt)
+        return;
+    hit->second.corrupt = true;
+    corruptKeys_.inc();
+}
+
+std::size_t
+KvShard::corruptKeyCount() const
+{
+    std::size_t n = 0;
+    for (const auto &kv : byHash_)
+        if (kv.second.corrupt)
+            ++n;
+    return n;
+}
+
+void
+KvShard::markDead(const std::string &log, std::uint64_t offset,
+                  std::uint64_t len)
+{
+    if (len == 0)
+        return;
+    const std::uint32_t psz = fs_.pageSize();
+    auto &pages = deadBytes_[log];
+    std::uint64_t first = offset / psz;
+    std::uint64_t last = (offset + len - 1) / psz;
+    for (std::uint64_t p = first; p <= last; ++p) {
+        std::uint64_t pstart = p * psz;
+        std::uint64_t pend = pstart + psz;
+        auto lo = offset > pstart ? offset : pstart;
+        auto hi = offset + len < pend ? offset + len : pend;
+        std::uint32_t &dead = pages[p];
+        dead += static_cast<std::uint32_t>(hi - lo);
+        if (dead >= psz) {
+            // Every byte of the page belongs to dead records: drop
+            // its physical backing so the cleaner sees the page as
+            // reclaimable. trim() can refuse (page already poisoned
+            // or never mapped); the dead-byte entry is retired
+            // either way -- its bytes can die only once.
+            (void)fs_.trim(log, p);
+            pages.erase(p);
+        }
+    }
 }
 
 } // namespace kv

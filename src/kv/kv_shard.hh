@@ -193,6 +193,9 @@ class KvShard
         Key key = 0;
         std::uint64_t stamp = 0;
         bool live = false; //!< false = tombstone
+        /** The local durable copy is unreadable (uncorrectable
+         * flash page); an equal-stamp replica copy must win. */
+        bool corrupt = false;
     };
 
     /**
@@ -238,6 +241,16 @@ class KvShard
     /** Live keys + retained tombstones in the repair index. */
     std::size_t repairIndexSize() const { return byHash_.size(); }
 
+    /**
+     * Repair-index state of @p key (stamp, liveness, corruption);
+     * false when the shard has never seen it. The router's
+     * read-path heal uses the healthy replica's stamp here so its
+     * push into the corrupt replica is correctly stamp-guarded.
+     */
+    [[nodiscard]] bool keyState(Key key, std::uint64_t *stamp,
+                                bool *live,
+                                bool *corrupt = nullptr) const;
+
     ///@}
 
     /** Whether a live version of @p key exists. */
@@ -268,6 +281,14 @@ class KvShard
     std::uint64_t coalescedGets() const { return coalescedGets_.value(); }
     /** Puts whose log append failed (rolled back, acked Error). */
     std::uint64_t failedPuts() const { return failedPuts_.value(); }
+    /** Puts shed with KvStatus::Pressure because the file system
+     * was at its free-block red line (see kv_types.hh). */
+    std::uint64_t pressuredPuts() const { return pressuredPuts_.value(); }
+    /** Keys whose durable copy read back uncorrectable and are now
+     * marked corrupt in the repair index (healed by replica push). */
+    std::uint64_t corruptKeys() const { return corruptKeys_.value(); }
+    /** Keys currently marked corrupt (drains to 0 as repair heals). */
+    std::size_t corruptKeyCount() const;
     /** Bytes appended to the shard log (live + since-dead; failed
      * appends are rolled back out). */
     std::uint64_t logBytes() const { return logBytes_; }
@@ -310,6 +331,15 @@ class KvShard
         Key key = 0;
         std::uint64_t stamp = 0;
         bool live = false;
+        /**
+         * The key's durable flash copy came back uncorrectable: the
+         * stamp still describes WHICH write the shard holds, but
+         * the bytes are gone. Folded into rangeDigest (so the sweep
+         * detects equal-stamp corruption) and honored by repairPut
+         * (an equal-stamp push heals instead of no-oping). Cleared
+         * by any successful write of the key.
+         */
+        bool corrupt = false;
     };
 
     /** Waiters coalesced onto one in-flight flash read. */
@@ -317,6 +347,22 @@ class KvShard
     {
         std::vector<GetDone> waiters;
     };
+
+    /**
+     * Account @p len bytes at @p offset of @p log as dead (their
+     * record was superseded, deleted, or rolled back) and trim any
+     * log page that became fully dead, releasing its physical flash
+     * page to the cleaner. Called only for byte ranges whose pages
+     * have already been programmed at least once (durable records,
+     * or failed appends after their program completions), so the
+     * trim never races an unmapped in-flight page.
+     */
+    void markDead(const std::string &log, std::uint64_t offset,
+                  std::uint64_t len);
+
+    /** Mark @p key's repair-index entry corrupt (durable copy read
+     * back uncorrectable) so the anti-entropy machinery heals it. */
+    void markCorrupt(Key key);
 
     /** Log file of @p key: stripes decorrelate from the routing
      * ring by using different mix64 bits. */
@@ -362,6 +408,17 @@ class KvShard
 
     std::uint64_t liveBytes_ = 0;
     std::uint64_t logBytes_ = 0;
+    /**
+     * Dead bytes per log page (log name -> page index -> bytes),
+     * fed by markDead(). A page whose records are all dead is
+     * trimmed from the file system -- without this, a shard log's
+     * pages are permanently live and the cleaner can never reclaim
+     * a block, so sustained overwrites would wedge an aged card.
+     * Entries are dropped once their page is trimmed.
+     */
+    std::unordered_map<std::string,
+                       std::unordered_map<std::uint64_t, std::uint32_t>>
+        deadBytes_;
 
     /** Construction serial among shards; the "inst" label of the
      * kv.shard.* metrics below. */
@@ -376,6 +433,8 @@ class KvShard
     sim::Counter &coalescedGets_;
     sim::Counter &failedPuts_;
     sim::Counter &repairsApplied_;
+    sim::Counter &pressuredPuts_;
+    sim::Counter &corruptKeys_;
 };
 
 } // namespace kv

@@ -148,6 +148,31 @@ constexpr unsigned kvRequiredEndpoints = 10;
  *    off (jittered) instead of hammering a service that is
  *    absorbing failover or rebalance load.
  *
+ * Aged-flash contract (wear, corruption, capacity -- docs/aging.md
+ * spells out the full ladder):
+ *  - Bit errors climb with block wear. A page read whose SECDED
+ *    decode fails is re-sensed by the flash server (bounded
+ *    readRetries); a read that stays uncorrectable poisons the
+ *    page in the file system and surfaces to the shard as a
+ *    storage Error. The shard marks the key's index entry corrupt,
+ *    and the router heals it from the other replica: on the read
+ *    path (a fresh copy is fetched and re-put through the
+ *    stamp-guarded repair path, then served) and in the
+ *    anti-entropy sweep (corrupt entries are folded into the range
+ *    digests, so divergence drains to zero even when both sides
+ *    hold the same stamp). Clients observe at most one slow read
+ *    (heal-then-retry), never garbage bytes served as Ok.
+ *  - Pressure is a first-class status: when a shard's log device
+ *    falls at or below its free-block red-line
+ *    (fs::FsParams::pressureLowWater), puts and deletes return
+ *    Pressure instead of consuming the last reserve blocks the
+ *    cleaner needs. KvService maps Pressure to an Overloaded
+ *    rejection with the same retry-after hint as admission
+ *    overload, so closed-loop clients back off (jittered) while
+ *    the cleaner -- escalated to bounded foreground assists --
+ *    recovers the reserve. Reads are never shed for capacity:
+ *    serving gets proceed normally under pressure.
+ *
  * Flash traffic classes (see flash::Priority and flash::Timing's
  * suspend-resume contract): every KV operation maps onto one of
  * two NAND priority classes. Serving traffic -- client gets and
@@ -169,6 +194,11 @@ enum class KvStatus : std::uint8_t
     NotFound,   //!< no live version of the key
     Overloaded, //!< rejected at admission (client queue full)
     Error,      //!< storage error underneath
+    /** Write shed at the shard: the log device is at its capacity
+     * red-line and the write would consume reserve blocks the
+     * cleaner needs. Retryable -- KvService maps it to an
+     * Overloaded rejection with a retry-after hint. */
+    Pressure,
 };
 
 /** Operations of the shard protocol. */

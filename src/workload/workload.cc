@@ -127,20 +127,35 @@ WorkloadEngine::pumpPreload()
     while (preloadNext_ < params_.keys &&
            preloadNext_ - preloadCompleted_ < window) {
         Key key = preloadNext_++;
-        router_.put(net::NodeId(key % originNodes_), key,
-                    makeValue(key, params_.valueBytes),
-                    [this](KvStatus st) {
-            if (st != KvStatus::Ok)
-                sim::fatal("preload put failed");
-            if (++preloadCompleted_ == params_.keys) {
-                auto fin = std::move(preloadDone_);
-                preloadDone_ = nullptr;
-                fin();
-                return;
-            }
-            pumpPreload();
-        });
+        preloadPut(key);
     }
+}
+
+void
+WorkloadEngine::preloadPut(Key key)
+{
+    router_.put(net::NodeId(key % originNodes_), key,
+                makeValue(key, params_.valueBytes),
+                [this, key](KvStatus st) {
+        if (st == KvStatus::Pressure || st == KvStatus::Overloaded) {
+            // Capacity red line (or quorum of shedding replicas):
+            // the status is retryable by contract, and a bulk load
+            // at high utilization WILL graze it -- the cleaner
+            // needs flash time to free blocks. Pause and re-issue.
+            sim_.scheduleAfter(sim::usToTicks(500),
+                               [this, key]() { preloadPut(key); });
+            return;
+        }
+        if (st != KvStatus::Ok)
+            sim::fatal("preload put failed");
+        if (++preloadCompleted_ == params_.keys) {
+            auto fin = std::move(preloadDone_);
+            preloadDone_ = nullptr;
+            fin();
+            return;
+        }
+        pumpPreload();
+    });
 }
 
 Key

@@ -174,6 +174,9 @@ class WorkloadEngine
 
     kv::Key nextKey(ClientState &c);
     void pumpPreload();
+    /** One bulk-load put; re-issues itself after a pause when the
+     * shard sheds it at the capacity red line. */
+    void preloadPut(kv::Key key);
     void issueOne(std::size_t ci);
     /** Closed loop: issue the client's next op if quota remains. */
     void refill(std::size_t ci);

@@ -488,3 +488,82 @@ TEST(FlashServer, ReadFaultDelayShiftsCompletion)
     EXPECT_EQ(got, f.card.nand().store().read(Address{0, 0, 0, 0}));
     EXPECT_EQ(f.server.injectedReadFaults(), 1u);
 }
+
+// ---------------------------------------------------------------- //
+// Uncorrectable fault mode and the read-retry ladder
+// ---------------------------------------------------------------- //
+
+TEST(FlashServer, ReadFaultUncorrectableForcesVerdict)
+{
+    Fixture f;
+    f.server.setReadFault([](const Address &) {
+        FlashServer::ReadFaultAction act;
+        act.uncorrectable = true;
+        return act;
+    });
+    Status st = Status::Ok;
+    PageBuffer got;
+    f.server.readPage(0, Address{0, 0, 0, 0},
+                      [&](PageBuffer data, Status s) {
+        st = s;
+        got = std::move(data);
+    });
+    f.sim.run();
+    EXPECT_EQ(st, Status::Uncorrectable);
+    // The bytes still arrive -- a real failed decode hands up its
+    // best guess -- only the verdict is forced.
+    EXPECT_EQ(got, f.card.nand().store().read(Address{0, 0, 0, 0}));
+    EXPECT_EQ(f.server.injectedReadFaults(), 1u);
+}
+
+TEST(FlashServer, RetryLadderRecoversMarginalRead)
+{
+    Fixture f;
+    f.server.setReadRetries(2);
+    // Fail the first sense only: the re-sense reads clean, like a
+    // marginal page under a read-retry voltage step.
+    int senses = 0;
+    f.server.setReadFault([&](const Address &) {
+        FlashServer::ReadFaultAction act;
+        act.uncorrectable = ++senses == 1;
+        return act;
+    });
+    Status st = Status::Uncorrectable;
+    f.server.readPage(0, Address{0, 0, 0, 0},
+                      [&](PageBuffer, Status s) { st = s; });
+    f.sim.run();
+    EXPECT_EQ(st, Status::Ok);
+    EXPECT_EQ(senses, 2);
+    EXPECT_EQ(f.server.retriedReads(), 1u);
+    EXPECT_EQ(f.server.retrySuccesses(), 1u);
+    EXPECT_EQ(f.server.retryFailures(), 0u);
+}
+
+TEST(FlashServer, RetryLadderExhaustsBudgetAndReportsFailure)
+{
+    Fixture f;
+    f.server.setReadRetries(2);
+    f.server.setReadFault([](const Address &) {
+        FlashServer::ReadFaultAction act;
+        act.uncorrectable = true;
+        return act;
+    });
+    Status st = Status::Ok;
+    f.server.readPage(0, Address{0, 0, 0, 0},
+                      [&](PageBuffer, Status s) { st = s; });
+    f.sim.run();
+    EXPECT_EQ(st, Status::Uncorrectable);
+    // Budget of 2: three senses total, then the verdict stands.
+    EXPECT_EQ(f.server.retriedReads(), 2u);
+    EXPECT_EQ(f.server.retryFailures(), 1u);
+    EXPECT_EQ(f.server.retrySuccesses(), 0u);
+
+    // The ladder re-sensed on the SAME delivery slot: the
+    // interface still serves later reads in order.
+    f.server.setReadFault(nullptr);
+    Status ok_st = Status::Uncorrectable;
+    f.server.readPage(0, Address{1, 0, 0, 0},
+                      [&](PageBuffer, Status s) { ok_st = s; });
+    f.sim.run();
+    EXPECT_EQ(ok_st, Status::Ok);
+}

@@ -1802,3 +1802,177 @@ TEST(KvService, OverloadedRejectionCarriesRetryAfterHint)
     // backlog): base * (1 + 2/1).
     EXPECT_EQ(service.retryAfterUs(client), 60u);
 }
+
+// ---------------------------------------------------------------- //
+// Aged flash: corrupt-read heal + capacity-pressure shedding
+// ---------------------------------------------------------------- //
+
+namespace {
+
+/**
+ * Append page-sized ballast to @p fs until its free-block red line
+ * trips. Stops AT underPressure() -- pushing further would park
+ * appends on the cleaner's reserve and never complete.
+ */
+bool
+fillToPressure(sim::Simulator &sim, fs::LogFs &fs)
+{
+    if (!fs.create("ballast"))
+        return false;
+    std::vector<std::uint8_t> chunk(512, 0xb5);
+    for (int i = 0; i < 4096 && !fs.underPressure(); ++i) {
+        bool ok = false;
+        fs.append("ballast", chunk, [&](bool s) { ok = s; });
+        sim.run();
+        if (!ok)
+            return false;
+    }
+    return fs.underPressure();
+}
+
+} // namespace
+
+TEST(KvRouter, CorruptLocalReadHealsFromReplica)
+{
+    // The read-path heal ladder end to end: an uncorrectable local
+    // read marks the key corrupt, the client is served from the
+    // surviving replica, and the healthy bytes are pushed back into
+    // the corrupt shard under the replica's stamp.
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(4));
+    kv::KvParams kp;
+    kp.cacheSlots = 0; // isolate the heal path
+    kv::KvRouter router(sim, cluster, kp);
+
+    const Key key = 42;
+    auto own = router.owners(key);
+    ASSERT_EQ(own.size(), 2u);
+    // An owner origin reads its own shard: the local-read heal path.
+    ASSERT_EQ(router.readReplica(own[0], key), own[0]);
+    router.put(own[0], key, val(0xaa), [](KvStatus) {});
+    sim.run();
+
+    // Every sense on the primary's fs flash comes back
+    // uncorrectable: the durable local copy is gone for good.
+    cluster.node(own[0]).hostServer(0).setReadFault(
+        [](const flash::Address &) {
+        flash::FlashServer::ReadFaultAction act;
+        act.uncorrectable = true;
+        return act;
+    });
+
+    PageBuffer got;
+    KvStatus st = KvStatus::Error;
+    router.get(own[0], key, [&](PageBuffer v, KvStatus s) {
+        got = std::move(v);
+        st = s;
+    });
+    sim.run();
+
+    // The client never saw the corruption: the replica served it.
+    EXPECT_EQ(st, KvStatus::Ok);
+    EXPECT_EQ(got, val(0xaa));
+    EXPECT_EQ(router.localCorruptions(), 1u);
+    EXPECT_GE(router.shard(own[0]).corruptKeys(), 1u);
+
+    // The write-back heal re-appended the value locally (writes are
+    // unaffected by the read fault), clearing the corrupt mark.
+    cluster.node(own[0]).hostServer(0).setReadFault(nullptr);
+    sim.run();
+    EXPECT_EQ(router.shard(own[0]).corruptKeyCount(), 0u);
+
+    // The healed local copy serves again, no replica detour.
+    got.clear();
+    st = KvStatus::Error;
+    router.get(own[0], key, [&](PageBuffer v, KvStatus s) {
+        got = std::move(v);
+        st = s;
+    });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Ok);
+    EXPECT_EQ(got, val(0xaa));
+    EXPECT_EQ(router.localCorruptions(), 1u);
+}
+
+TEST(KvShard, PutShedsAtRedLineWhileRepairStillLands)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(2));
+    fs::LogFs &fs = cluster.node(0).fs();
+    kv::KvShard shard(sim, cluster.node(0).fs(), "t");
+
+    ASSERT_TRUE(fillToPressure(sim, fs));
+    ASSERT_FALSE(fs.exhausted());
+
+    // Serving put: shed with Pressure at the red line, nothing
+    // written, nothing rolled back.
+    KvStatus st = KvStatus::Ok;
+    shard.put(7, val(0x07), [&](KvStatus s) { st = s; });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Pressure);
+    EXPECT_EQ(shard.pressuredPuts(), 1u);
+    EXPECT_FALSE(shard.contains(7));
+
+    // Maintenance write (anti-entropy push): Background class sheds
+    // only at exhaustion, so healing proceeds under the same
+    // pressure that rejects new client data.
+    KvStatus rst = KvStatus::Error;
+    shard.repairPut(9, val(0x09), /*stamp=*/1000,
+                    [&](KvStatus s) { rst = s; });
+    sim.run();
+    EXPECT_EQ(rst, KvStatus::Ok);
+    EXPECT_TRUE(shard.contains(9));
+
+    // Reads never block on capacity: the repaired key serves.
+    PageBuffer got;
+    shard.get(9, [&](PageBuffer v, KvStatus, std::uint64_t) {
+        got = std::move(v);
+    });
+    sim.run();
+    EXPECT_EQ(got, val(0x09));
+}
+
+TEST(KvService, PressureSurfacesAsOverloadedWithRetryAfter)
+{
+    sim::Simulator sim;
+    core::Cluster cluster(sim, kvCluster(2));
+    kv::KvParams kp;
+    kp.cacheSlots = 0;
+    kp.replication = 1; // one owner: its red line decides the put
+    kv::KvRouter router(sim, cluster, kp);
+    kv::KvService service(sim, router);
+
+    const Key key = 42;
+    net::NodeId owner = router.owners(key)[0];
+    auto client = service.addClient(owner);
+    EXPECT_EQ(service.retryAfterUs(client), 0u);
+
+    // Store the key while capacity is healthy...
+    KvStatus st = KvStatus::Error;
+    service.put(client, key, val(0xaa),
+                [&](KvStatus s) { st = s; });
+    sim.run();
+    ASSERT_EQ(st, KvStatus::Ok);
+
+    // ...then trip the owner's red line and overwrite: the shard's
+    // Pressure surfaces to the client as the standard Overloaded +
+    // retry-after contract, sized for block reclaim.
+    ASSERT_TRUE(fillToPressure(sim, cluster.node(owner).fs()));
+    service.put(client, key, val(0xbb),
+                [&](KvStatus s) { st = s; });
+    sim.run();
+    EXPECT_EQ(st, KvStatus::Overloaded);
+    EXPECT_EQ(service.pressureRejects(), 1u);
+    EXPECT_EQ(service.retryAfterUs(client), 500u);
+
+    // Degraded, not down: reads still serve the durable value.
+    PageBuffer got;
+    KvStatus gst = KvStatus::Error;
+    service.get(client, key, [&](PageBuffer v, KvStatus s) {
+        got = std::move(v);
+        gst = s;
+    });
+    sim.run();
+    EXPECT_EQ(gst, KvStatus::Ok);
+    EXPECT_EQ(got, val(0xaa));
+}

@@ -525,3 +525,138 @@ TEST(LogFs, CrossFileAppendsBatchOntoSharedProgramWindows)
         }
     }
 }
+
+// ---------------------------------------------------------------- //
+// Aged flash: poisoned pages, bad-block retirement, parked cleans
+// ---------------------------------------------------------------- //
+
+TEST(LogFs, UncorrectableReadPoisonsPageForGood)
+{
+    Fixture f;
+    ASSERT_TRUE(f.fs.create("f"));
+    auto payload = f.bytes(f.geo.pageSize * 2, 5);
+    f.appendSync("f", payload);
+
+    // Every sense fails (retry budget 0): the read reports failure
+    // and the dead copies are unmapped -- poisoned -- so their
+    // blocks stay reclaimable.
+    f.server.setReadFault([](const flash::Address &) {
+        FlashServer::ReadFaultAction act;
+        act.uncorrectable = true;
+        return act;
+    });
+    bool ok = true;
+    f.fs.read("f", 0, payload.size(),
+              [&](std::vector<std::uint8_t>, bool o) { ok = o; });
+    f.sim.run();
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(f.fs.poisonedPages(), 2u);
+
+    // The hole is permanent even with the fault gone: the flash
+    // copy was unmapped, so reads keep reporting failure (zeroes,
+    // ok = false) until a replica one level up heals the range.
+    f.server.setReadFault(nullptr);
+    ok = true;
+    std::vector<std::uint8_t> got;
+    f.fs.read("f", 0, payload.size(),
+              [&](std::vector<std::uint8_t> data, bool o) {
+        got = std::move(data);
+        ok = o;
+    });
+    f.sim.run();
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(got, std::vector<std::uint8_t>(payload.size(), 0));
+    EXPECT_EQ(f.fs.poisonedPages(), 2u); // no double poison
+}
+
+TEST(LogFs, BadBlockRetirementRelocatesAndPreservesOffsets)
+{
+    Fixture f;
+    ASSERT_TRUE(f.fs.create("keep"));
+    auto keep = f.bytes(f.geo.pageSize, 5);
+    f.appendSync("keep", keep);
+    auto before = f.fs.physicalAddresses("keep");
+    ASSERT_EQ(before.size(), 1u);
+
+    // The hardware declares keep's block bad: the next program
+    // landing on that frontier fails with Status::BadBlock, the
+    // block is remapped out of service, and its surviving live
+    // page drains out at maintenance priority.
+    f.card.nand().store().markBad(before[0]);
+    ASSERT_TRUE(f.fs.create("filler"));
+    unsigned acks = 0, fails = 0;
+    for (int i = 0; i < 2; ++i) {
+        f.fs.append("filler",
+                    f.bytes(f.geo.pageSize, std::uint8_t(i)),
+                    [&](bool o) {
+            ++acks;
+            fails += o ? 0 : 1;
+        });
+    }
+    f.sim.run();
+    EXPECT_EQ(acks, 2u);
+    EXPECT_EQ(fails, 1u); // exactly the program on the bad block
+    EXPECT_EQ(f.fs.retiredBlocks(), 1u);
+
+    // "keep" survived with its byte offsets intact: same size,
+    // same contents, new physical home off the retired block.
+    EXPECT_EQ(f.fs.size("keep"), keep.size());
+    EXPECT_EQ(f.readSync("keep", 0, keep.size()), keep);
+    auto after = f.fs.physicalAddresses("keep");
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_NE(after[0].linearize(f.geo) / f.geo.pagesPerBlock,
+              before[0].linearize(f.geo) / f.geo.pagesPerBlock);
+    EXPECT_EQ(f.fs.pagesCleaned(), 1u); // the one relocation
+}
+
+TEST(LogFs, ProgramFaultMidCleanParksVictimInsteadOfErasing)
+{
+    Fixture f;
+    // Interleave two files in uneven chunks so their pages mix
+    // within blocks (the allocator round-robins buses per page),
+    // then delete one: every closed block is a PART-live victim,
+    // so cleaning must relocate before erasing. 150 rounds of 3
+    // pages fill ~29 of the card's 32 blocks -- past the cleaner's
+    // low water, without parking appends on the reserve.
+    ASSERT_TRUE(f.fs.create("live"));
+    ASSERT_TRUE(f.fs.create("dead"));
+    std::vector<std::uint8_t> expect;
+    for (int i = 0; i < 150; ++i) {
+        auto chunk = f.bytes(f.geo.pageSize * 2, std::uint8_t(i));
+        expect.insert(expect.end(), chunk.begin(), chunk.end());
+        f.appendSync("live", chunk);
+        f.appendSync("dead", f.bytes(f.geo.pageSize,
+                                     std::uint8_t(0x80 + i)));
+    }
+    ASSERT_TRUE(f.fs.remove("dead"));
+
+    // A bounded burst of program failures while the cleaner works:
+    // relocation writes fail, the victim keeps its unmoved live
+    // pages, and the pass must PARK it (no erase of data that
+    // never moved, no panic) and retry later.
+    int faults = 60;
+    f.server.setWriteFault(
+        [&](const flash::Address &) { return faults-- > 0; });
+    ASSERT_TRUE(f.fs.create("spur"));
+    for (int i = 0; i < 48; ++i) {
+        // Enough single-page appends to drain the open frontiers
+        // and force fresh block opens -- the events that kick
+        // maybeClean below the low water.
+        // Appends opening fresh blocks kick maybeClean; their own
+        // programs may also eat faults, which is fine -- the
+        // cleaner's relocations burn through the rest.
+        f.fs.append("spur", f.bytes(f.geo.pageSize, 0x55),
+                    [](bool) {});
+        f.sim.run();
+    }
+    EXPECT_GT(f.fs.cleanParks(), 0u);
+
+    // Device healed: cleaning resumes, reclaims the garbage, and
+    // the surviving file is bit-exact -- parked passes never cost
+    // data.
+    f.server.setWriteFault(nullptr);
+    for (int i = 0; i < 4; ++i)
+        f.appendSync("live", f.bytes(64, std::uint8_t(0xf0 + i)));
+    EXPECT_GT(f.fs.blocksErased(), 0u);
+    EXPECT_EQ(f.readSync("live", 0, expect.size()), expect);
+}

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "flash/nand_array.hh"
@@ -611,6 +612,75 @@ TEST(NandArray, PartialReadOutTransfersOnlyCoveredWords)
                                    f.timing.busBytesPerSec);
     EXPECT_EQ(done_at - start, f.timing.readUs + wire +
                   f.timing.controllerOverhead);
+}
+
+// ---------------------------------------------------------------- //
+// Wear-driven bit errors
+// ---------------------------------------------------------------- //
+
+TEST(NandArray, WearModelFollowsEraseCountCurve)
+{
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing);
+    const Address a{0, 0, 0, 0};
+    // Off by default: fresh-flash figures are untouched.
+    EXPECT_EQ(nand.effectiveBitErrorRate(a), 0.0);
+
+    nand.setBitErrorRate(1e-6);
+    nand.setWearModel(2e-5, 1000, 2.5);
+    // At zero erases the wear term is exactly ber0 ...
+    EXPECT_DOUBLE_EQ(nand.effectiveBitErrorRate(a), 1e-6 + 2e-5);
+    // ... at the knee it doubles ...
+    nand.store().addWear(a, 1000);
+    EXPECT_DOUBLE_EQ(nand.effectiveBitErrorRate(a),
+                     1e-6 + 2 * 2e-5);
+    // ... and past it the power law dominates.
+    nand.store().addWear(a, 1400);
+    EXPECT_DOUBLE_EQ(nand.effectiveBitErrorRate(a),
+                     1e-6 + 2e-5 * (1.0 + std::pow(2.4, 2.5)));
+    // Wear is per block: a neighbor of the same chip is unaged.
+    EXPECT_DOUBLE_EQ(nand.effectiveBitErrorRate(Address{0, 0, 1, 0}),
+                     1e-6 + 2e-5);
+}
+
+TEST(NandArray, WearRaisesDecodeFailuresMonotonically)
+{
+    // SECDED oracle: at each wear level the decoder's verdicts are
+    // the ground truth, and non-Ok verdicts (Corrected +
+    // Uncorrectable) must climb with the raw BER the wear curve
+    // injects. Expected flips/page at 4608 wire bits: fresh
+    // ~0.09, knee ~0.18, 2600 erases ~1.1.
+    Fixture f;
+    NandArray nand(f.sim, f.geo, f.timing, 11);
+    nand.setWearModel(2e-5, 1000, 2.5);
+    const Address fresh{0, 0, 0, 0};
+    const Address knee{0, 0, 1, 0};
+    const Address aged{0, 0, 2, 0};
+    nand.store().addWear(knee, 1000);
+    nand.store().addWear(aged, 2600);
+
+    auto decode_errors = [&](const Address &blk) {
+        int errs = 0;
+        const int reads = 400;
+        for (int i = 0; i < reads; ++i) {
+            Address p = blk;
+            p.page = std::uint32_t(i) % f.geo.pagesPerBlock;
+            nand.read(p, [&](ReadResult res) {
+                if (res.status != Status::Ok)
+                    ++errs;
+            });
+        }
+        f.sim.run();
+        return errs;
+    };
+    int e_fresh = decode_errors(fresh);
+    int e_knee = decode_errors(knee);
+    int e_aged = decode_errors(aged);
+    EXPECT_LT(e_fresh, e_knee);
+    EXPECT_LT(e_knee, e_aged);
+    // The aged block is past the ECC's comfort zone: a solid
+    // majority of its pages take at least one flip per sense.
+    EXPECT_GT(e_aged, 150);
 }
 
 TEST(NandArray, PartialReadOutSurvivesErrorInjection)

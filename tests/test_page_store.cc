@@ -159,6 +159,56 @@ TEST(PageStore, StoredPagesTracksRealData)
     EXPECT_EQ(store.storedPages(), 0u);
 }
 
+TEST(PageStore, EraseStatsCoverWholeCard)
+{
+    Geometry g = Geometry::tiny();
+    PageStore store(g);
+    auto zero = store.eraseStats();
+    EXPECT_EQ(zero.min, 0u);
+    EXPECT_EQ(zero.p50, 0u);
+    EXPECT_EQ(zero.max, 0u);
+    EXPECT_EQ(zero.total, 0u);
+
+    // Two of the card's blocks erased, unevenly: untouched blocks
+    // count as zero, so skewed wear shows up as min << max.
+    Address a{0, 0, 0, 0}, b{1, 1, 3, 0};
+    ASSERT_EQ(store.eraseBlock(a), Status::Ok);
+    ASSERT_EQ(store.eraseBlock(a), Status::Ok);
+    ASSERT_EQ(store.eraseBlock(a), Status::Ok);
+    ASSERT_EQ(store.eraseBlock(b), Status::Ok);
+    auto s = store.eraseStats();
+    EXPECT_EQ(s.min, 0u);
+    EXPECT_EQ(s.p50, 0u); // 2 of 32 blocks touched: median still 0
+    EXPECT_EQ(s.max, 3u);
+    EXPECT_EQ(s.total, 4u);
+}
+
+TEST(PageStore, AddWearAgesWithoutTrippingEndurance)
+{
+    Geometry g = Geometry::tiny();
+    PageStore store(g);
+    Address a{0, 0, 0, 0};
+    ASSERT_EQ(store.program(a, pattern(g, 3)), Status::Ok);
+    store.setEraseLimit(100);
+
+    // Pre-aging to (and past) the limit neither destroys contents
+    // nor marks the block bad: addWear only moves the odometer.
+    store.addWear(a, 150);
+    EXPECT_EQ(store.eraseCount(a), 150u);
+    EXPECT_FALSE(store.isBad(a));
+    EXPECT_EQ(store.read(a), pattern(g, 3));
+    EXPECT_EQ(store.badBlockCount(), 0u);
+
+    // The next REAL erase is what trips the endurance check -- and
+    // the aborted erase keeps the contents, so live pages of a
+    // worn-out block can still be relocated.
+    EXPECT_EQ(store.eraseBlock(a), Status::BadBlock);
+    EXPECT_TRUE(store.isBad(a));
+    EXPECT_EQ(store.badBlockCount(), 1u);
+    EXPECT_EQ(store.read(a), pattern(g, 3));
+    EXPECT_EQ(store.eraseStats().max, 151u);
+}
+
 /** Property: random program/erase sequences never corrupt other pages. */
 TEST(PageStore, RandomOpsPreserveIndependence)
 {
