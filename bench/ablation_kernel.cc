@@ -2,7 +2,7 @@
  * @file
  * Ablation: the simulation kernel's hot path.
  *
- * Compares the pooled event queue (slab slots + 4-ary heap +
+ * Compares the pooled event queue (slab slots + ladder queue +
  * generation handles + InlineFunction callbacks) against the legacy
  * implementation it replaced -- `std::function` entries in a
  * `std::priority_queue` with two `unordered_set`s for pending /
@@ -15,7 +15,9 @@
  *    flash timings, flit hops and credit returns), captures of
  *    this-pointer + two integers;
  *  - cancel: schedule/cancel churn (the shape of timeout guards);
- *  - messages: endpoint-to-endpoint sends across one serial lane.
+ *  - messages: endpoint-to-endpoint sends across one serial lane;
+ *  - cluster: 4..100-node rings streaming antipodal traffic, the
+ *    scale point the ladder queue and next-hop routing exist for.
  *
  * Emits BENCH_kernel.json so the perf trajectory is tracked from
  * this PR onward. The pooled queue must hold >= 3x legacy events/sec.
@@ -334,11 +336,24 @@ runCancelChurn()
     return double(ctx.q.executed()) / sec;
 }
 
+/** The shape of a real protocol header: too big for PayloadRef's
+ * 16-byte inline buffer, so every send rides a recycled slab slot of
+ * the payload pool (like the kv/flash request structs do). */
+struct BenchRequest
+{
+    std::uint64_t seq;
+    std::uint64_t key;
+    std::uint64_t cookie;
+};
+
 /**
  * Message path: two nodes, one cable; kMessages small requests pumped
  * through an endpoint pair with the receiver draining at line rate.
  * Counts sends per wall-clock second across the whole stack (payload
- * boxing, lane credits, cut-through wire model, delivery).
+ * boxing, lane credits, cut-through wire model, delivery). Payloads
+ * are 24-byte protocol structs, so the run also reports the payload
+ * pool's slab high-water mark (slots only ever grow to the maximum
+ * simultaneously-in-flight count).
  */
 double
 runMessages(bench::JsonCounters &out)
@@ -348,7 +363,7 @@ runMessages(bench::JsonCounters &out)
     net::StorageNetwork net(sim, net::Topology::line(2));
     std::uint64_t received = 0;
     net.endpoint(1, 2).setReceiveHandler([&](net::Message msg) {
-        benchmark::DoNotOptimize(msg.payload.take<std::uint64_t>());
+        benchmark::DoNotOptimize(msg.payload.take<BenchRequest>().seq);
         ++received;
     });
 
@@ -357,7 +372,9 @@ runMessages(bench::JsonCounters &out)
     std::function<void()> pump = [&]() {
         // Keep a batch in flight; reschedule while traffic remains.
         for (unsigned b = 0; b < 64 && sent < kMessages; ++b, ++sent)
-            net.endpoint(0, 2).send(1, 256, sent);
+            net.endpoint(0, 2).send(
+                1, 256,
+                BenchRequest{sent, sent * 2654435761u, ~sent});
         if (sent < kMessages)
             sim.scheduleAfter(sim::nsToTicks(300), pump);
     };
@@ -369,9 +386,82 @@ runMessages(bench::JsonCounters &out)
         sim::panic("message bench lost traffic: %llu of %llu",
                    static_cast<unsigned long long>(received),
                    static_cast<unsigned long long>(kMessages));
+    if (net.payloadPool().slotCount() == 0)
+        sim::panic("payload pool never engaged: the bench payload "
+                   "must exceed the inline buffer");
     out.emplace_back("message_payload_pool_slots",
                      double(net.payloadPool().slotCount()));
     return double(kMessages) / sec;
+}
+
+/**
+ * Cluster-scale kernel sweep: ring clusters (the paper's 4-lane ring
+ * at 20+ nodes) where every node streams antipodal traffic -- the
+ * worst-case hop count -- through the full network stack. Reports,
+ * per scale point, aggregate wall-clock event throughput, event
+ * density per simulated second, and the resident routing-table
+ * footprint. The 100-node point is the scale target the ladder event
+ * queue and the next-hop routing tables exist for; ci.sh gates the
+ * density trajectory monotone in cluster size and the 100-node
+ * routing footprint compressed.
+ */
+void
+runClusterSweep(bench::JsonCounters &out)
+{
+    constexpr std::uint64_t kPerNode = 1000;
+    for (unsigned nodes : {4u, 8u, 20u, 100u}) {
+        sim::Simulator sim;
+        net::StorageNetwork net(
+            sim, net::Topology::ring(nodes, nodes >= 20 ? 4 : 2));
+        std::uint64_t received = 0;
+        for (unsigned nd = 0; nd < nodes; ++nd) {
+            // End-to-end credits bound in-flight bytes well below the
+            // lane buffers: everyone streaming at once must not wedge
+            // the ring's credit chain into a circular wait.
+            net.endpoint(nd, 2).enableEndToEnd(8);
+            net.endpoint(nd, 2).setReceiveHandler(
+                [&received](net::Message msg) {
+                    benchmark::DoNotOptimize(msg.bytes);
+                    ++received;
+                });
+        }
+
+        auto t0 = std::chrono::steady_clock::now();
+        std::vector<std::uint64_t> sentPer(nodes, 0);
+        std::vector<std::function<void()>> pumps(nodes);
+        for (unsigned nd = 0; nd < nodes; ++nd) {
+            pumps[nd] = [&, nd]() {
+                std::uint64_t &s = sentPer[nd];
+                for (unsigned b = 0; b < 16 && s < kPerNode; ++b, ++s)
+                    net.endpoint(nd, 2).send(
+                        (nd + nodes / 2) % nodes, 256,
+                        BenchRequest{s, nd, s ^ nd});
+                if (s < kPerNode)
+                    sim.scheduleAfter(sim::nsToTicks(300),
+                                      [&, nd]() { pumps[nd](); });
+            };
+        }
+        for (unsigned nd = 0; nd < nodes; ++nd)
+            pumps[nd]();
+        sim.run();
+        double wall = secondsSince(t0);
+
+        if (received != nodes * kPerNode)
+            sim::panic("cluster sweep lost traffic at %u nodes", nodes);
+        double sim_sec = double(sim.now()) * 1e-12; // ticks are ps
+        char name[64];
+        std::snprintf(name, sizeof(name), "cluster_n%u_events_per_sec",
+                      nodes);
+        out.emplace_back(name,
+                         double(sim.eventsExecuted()) / wall);
+        std::snprintf(name, sizeof(name),
+                      "cluster_n%u_sim_events_per_sec", nodes);
+        out.emplace_back(name,
+                         double(sim.eventsExecuted()) / sim_sec);
+        std::snprintf(name, sizeof(name), "routing_table_bytes_n%u",
+                      nodes);
+        out.emplace_back(name, double(net.routingTableBytes()));
+    }
 }
 
 bench::JsonCounters gCounters;
@@ -414,6 +504,8 @@ runAll()
 
     double msgs = runMessages(gCounters);
     gCounters.emplace_back("messages_per_sec", msgs);
+
+    runClusterSweep(gCounters);
 }
 
 void

@@ -145,7 +145,6 @@ class Lane
     std::uint32_t credits_;
     std::uint64_t deliveredBytes_ = 0;
     std::uint64_t deliveredMsgs_ = 0;
-    bool pumpScheduled_ = false;
 };
 
 } // namespace net

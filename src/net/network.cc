@@ -75,12 +75,23 @@ void
 Endpoint::setReceiveHandler(Handler handler)
 {
     handler_ = std::move(handler);
-    if (!recvQueue_.empty()) {
-        net_.sim_.scheduleAfter(0, [this]() {
-            while (auto msg = receive())
-                handler_(std::move(*msg));
-        });
-    }
+    if (!recvQueue_.empty())
+        scheduleDrain();
+}
+
+void
+Endpoint::scheduleDrain()
+{
+    if (drainScheduled_)
+        return;
+    drainScheduled_ = true;
+    net_.sim_.scheduleAfter(0, [this]() {
+        drainScheduled_ = false;
+        while (handler_ && !recvQueue_.empty()) {
+            auto msg = receive();
+            handler_(std::move(*msg));
+        }
+    });
 }
 
 void
@@ -106,14 +117,8 @@ Endpoint::deliver(Message msg, HopHook release)
     ++received_;
     if (release)
         release();
-    if (handler_) {
-        net_.sim_.scheduleAfter(0, [this]() {
-            while (handler_ && !recvQueue_.empty()) {
-                auto msg2 = receive();
-                handler_(std::move(*msg2));
-            }
-        });
-    }
+    if (handler_)
+        scheduleDrain();
 }
 
 void
@@ -189,11 +194,12 @@ void
 StorageNetwork::computeRoutes()
 {
     unsigned n = topo_.nodes;
-    routes_.assign(params_.endpoints,
-                   std::vector<std::vector<int>>(
-                       n, std::vector<int>(n, -1)));
+    nextHop_.assign(std::size_t(n) * n, RouteSlot{});
+    ecmpLanes_.clear();
 
-    // Distances to each destination via BFS over the lane graph.
+    // One BFS per destination yields every node's next-hop set for
+    // that destination directly; the per-endpoint spread is applied
+    // at lookup time (e % count), so no per-endpoint tables exist.
     for (NodeId dst = 0; dst < n; ++dst) {
         std::vector<int> dist(n, -1);
         std::queue<NodeId> bfs;
@@ -214,21 +220,27 @@ StorageNetwork::computeRoutes()
         for (NodeId v = 0; v < n; ++v) {
             if (v == dst)
                 continue;
-            // All outgoing lanes on a shortest path.
-            std::vector<int> candidates;
+            // All outgoing lanes on a shortest path, in port order
+            // (the order the old tables enumerated them, so the
+            // endpoint -> lane assignment is unchanged).
+            RouteSlot slot;
+            slot.base = static_cast<std::uint32_t>(ecmpLanes_.size());
             for (std::size_t l : outLanes_[v]) {
                 if (dist[lanes_[l].peer] == dist[v] - 1)
-                    candidates.push_back(int(l));
+                    ecmpLanes_.push_back(
+                        static_cast<std::uint32_t>(l));
             }
-            if (candidates.empty())
+            slot.count =
+                static_cast<std::uint32_t>(ecmpLanes_.size()) -
+                slot.base;
+            if (slot.count == 0)
                 sim::panic("no route from %u to %u", v, dst);
-            // Deterministic per-endpoint choice spreads endpoints
-            // across equal-cost paths (paper section 3.2.3).
-            for (unsigned e = 0; e < params_.endpoints; ++e)
-                routes_[e][v][dst] =
-                    candidates[e % candidates.size()];
+            nextHop_[std::size_t(v) * n + dst] = slot;
         }
     }
+    // Tables are immutable after construction; drop growth slack so
+    // routingTableBytes() reports what actually stays resident.
+    ecmpLanes_.shrink_to_fit();
 }
 
 Endpoint &
@@ -248,7 +260,7 @@ StorageNetwork::routeHops(EndpointId e, NodeId src, NodeId dst) const
     unsigned hops = 0;
     NodeId v = src;
     while (v != dst) {
-        int l = routes_[e][v][dst];
+        int l = routeLane(e, v, dst);
         if (l < 0)
             sim::panic("broken route %u->%u", src, dst);
         v = lanes_[std::size_t(l)].peer;
@@ -262,7 +274,19 @@ StorageNetwork::routeHops(EndpointId e, NodeId src, NodeId dst) const
 int
 StorageNetwork::routeLane(EndpointId e, NodeId node, NodeId dst) const
 {
-    return routes_[e][node][dst];
+    const RouteSlot &s = nextHop_[std::size_t(node) * topo_.nodes + dst];
+    if (s.count == 0)
+        return -1; // local
+    // Deterministic per-endpoint choice spreads endpoints across
+    // equal-cost paths (paper section 3.2.3).
+    return int(ecmpLanes_[s.base + e % s.count]);
+}
+
+std::size_t
+StorageNetwork::routingTableBytes() const
+{
+    return nextHop_.capacity() * sizeof(RouteSlot) +
+           ecmpLanes_.capacity() * sizeof(std::uint32_t);
 }
 
 std::uint64_t
@@ -290,7 +314,7 @@ StorageNetwork::inject(Message msg)
         });
         return;
     }
-    int l = routes_[msg.endpoint][msg.src][msg.dst];
+    int l = routeLane(msg.endpoint, msg.src, msg.dst);
     lanes_[std::size_t(l)].lane->send(std::move(msg));
 }
 
@@ -323,7 +347,7 @@ StorageNetwork::route(NodeId node, Message msg, HopHook release)
                                                 std::move(release));
         return;
     }
-    int l = routes_[msg.endpoint][node][msg.dst];
+    int l = routeLane(msg.endpoint, node, msg.dst);
     // Credits of the upstream lane are held until this message is
     // accepted onto the wire of the next lane: backpressure chains.
     lanes_[std::size_t(l)].lane->send(std::move(msg),

@@ -129,6 +129,13 @@ class Endpoint
     /** Called by the network when a message arrives for us. */
     void deliver(Message msg, HopHook release);
 
+    /** Arm the auto-drain event if it is not already pending. One
+     * drain event empties the whole receive buffer, so a burst of
+     * same-tick arrivals across many ports costs one event, not one
+     * per arrival -- delivery event churn stays independent of the
+     * cluster's total port count. */
+    void scheduleDrain();
+
     /** Called when an end-to-end credit comes back from @p from. */
     void creditReturned(NodeId from);
 
@@ -137,6 +144,7 @@ class Endpoint
     EndpointId id_;
     std::size_t recvCapacity_;
     Handler handler_;
+    bool drainScheduled_ = false; //!< auto-drain event pending
 
     std::deque<Message> sendQueue_;
     struct Parked
@@ -211,6 +219,11 @@ class StorageNetwork
      */
     int routeLane(EndpointId e, NodeId node, NodeId dst) const;
 
+    /** Bytes resident in the routing tables (next-hop slots plus the
+     * shared equal-cost candidate pool) -- the footprint the
+     * table-compression work is gated on. */
+    std::size_t routingTableBytes() const;
+
     /** Total payload bytes delivered by all lanes. */
     std::uint64_t totalLaneBytes() const;
 
@@ -261,8 +274,22 @@ class StorageNetwork
     std::vector<LaneEnd> lanes_;
     //! node -> list of outgoing lane indices (ordered by port)
     std::vector<std::vector<std::size_t>> outLanes_;
-    //! routes_[e][src][dst] = index into lanes_ (or -1 if local)
-    std::vector<std::vector<std::vector<int>>> routes_;
+
+    /** Next-hop slot for one (src, dst) pair: the equal-cost
+     * shortest-path out-lanes live at ecmpLanes_[base .. base+count).
+     * Endpoint e deterministically takes candidate e % count -- the
+     * same per-endpoint spread the old routes_[e][src][dst] tables
+     * encoded, but shared across endpoints: O(n^2) slots plus one
+     * candidate pool instead of O(endpoints * n^2) full tables. */
+    struct RouteSlot
+    {
+        std::uint32_t base = 0;  //!< offset into ecmpLanes_
+        std::uint32_t count = 0; //!< candidates; 0 = local
+    };
+    //! nextHop_[src * nodes + dst]
+    std::vector<RouteSlot> nextHop_;
+    //! shared equal-cost candidate lane indices, in port order
+    std::vector<std::uint32_t> ecmpLanes_;
     //! endpoints_[node][e]
     std::vector<std::vector<std::unique_ptr<Endpoint>>> endpoints_;
 };

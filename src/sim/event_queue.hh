@@ -6,30 +6,55 @@
  * for equal ticks, by insertion order, giving deterministic execution.
  * Cancellation is supported through EventId handles.
  *
- * ## Design: pooled slots + 4-ary heap + generation handles
+ * ## Design: pooled slots + ladder queue + generation handles
  *
  * The hot path is allocation-free. Event callbacks live in a slab of
  * reusable 64-byte slots (one cache line each); scheduling order is
- * kept by a 4-ary min-heap of 16-byte (tick, seq, slot) records laid
- * out so that every sibling quadruple occupies exactly one aligned
- * cache line -- a sift-down touches one line per level instead of
- * two, which is where a simulator popping millions of events spends
- * its time. Neither structure allocates per event: slots recycle
- * through a LIFO free list and all arrays only ever grow to the
- * high-water mark of simultaneously pending events. Callbacks are
- * stored as `InlineFunction<void(), 56>`, so the common capture --
- * a this-pointer plus a couple of integers, or a moved-in network
- * message -- sits inside the slot instead of on the heap, and
+ * kept by a *ladder queue* (a multi-resolution calendar) of 16-byte
+ * (tick, seq, slot) records. Where the previous 4-ary heap paid
+ * O(log n) per pop -- ~90 ns at a 256K pending window, the kernel
+ * bottleneck at cluster scale -- the ladder pays amortized O(1):
+ *
+ *  - far-future records land in an unsorted *top* list (one append);
+ *  - when the near-time structures drain, the top is spread once
+ *    into *rung 0*: up to 64 buckets of equal tick width;
+ *  - consuming a bucket either sorts it into the *bottom* (when it
+ *    is small or single-tick) or spreads it into a finer rung below;
+ *  - the bottom is a fully sorted array consumed from the cheap end,
+ *    so the steady-state pop is a bounds check and a pop_back;
+ *  - records scheduled for the *current* tick (the scheduleAfter(0)
+ *    follow-up pattern) bypass all of that through a same-tick FIFO
+ *    whose append order is by construction the firing order.
+ *
+ * Each record is touched a bounded number of times (once per rung it
+ * falls through, once in the bottom sort), so pops cost O(1)
+ * amortized regardless of the pending-window size. Neither structure
+ * allocates per event: slots recycle through a LIFO free list,
+ * bucket/bottom vectors recycle their capacity, and all arrays only
+ * ever grow to the high-water mark of simultaneously pending events.
+ * Callbacks are stored as `InlineFunction<void(), 56>`, so the common
+ * capture -- a this-pointer plus a couple of integers, or a moved-in
+ * network message -- sits inside the slot instead of on the heap, and
  * `step()` *moves* the callback out before firing (copies are
  * impossible: the callback type is move-only).
+ *
+ * ## Determinism contract
+ *
+ * The queue pops the globally minimal live record under the strict
+ * order (tick, then wrap-aware seq). The ladder only ever *partitions*
+ * records by tick range and sorts each partition with that same
+ * comparator before consumption, so the execution order is exactly
+ * the order the heap produced: same-seed runs are bit-reproducible
+ * across the refactor (gated by fig12/fig13 bit-identity and the
+ * heap-vs-ladder oracle in tests/test_event_queue.cc).
  *
  * An `EventId` encodes {slot, generation}: the slot index in the high
  * 32 bits and the slot's generation at schedule time in the low 32.
  * `cancel()` is O(1): it validates the generation, bumps it, destroys
- * the callback and recycles the slot -- no hash lookup, no heap
- * surgery. The heap record is left behind and lazily discarded when
- * it reaches the root: each slot remembers the `(seq, tick)` of its
- * live heap record, so a record that no longer matches both is stale
+ * the callback and recycles the slot -- no hash lookup, no structure
+ * surgery. The ladder record is left behind and lazily discarded when
+ * it surfaces: each slot remembers the `(seq, tick)` of its live
+ * record, so a record that no longer matches both is stale
  * (cancelled, fired, or the slot was reused; matching the tick too
  * makes a post-wrap seq alias harmless). Firing or cancelling
  * bumps the slot generation, so a handle can never cancel a newer
@@ -58,6 +83,7 @@
 
 // lint: hot-path
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -140,6 +166,9 @@ class EventQueue
     /** Slots ever allocated (high-water mark of pending events). */
     std::size_t poolSlots() const { return fns_.size(); }
 
+    /** Slots permanently retired after generation exhaustion. */
+    std::uint64_t retiredSlots() const { return retiredSlots_; }
+
     /**
      * Run events until the queue drains or @p limit is reached.
      *
@@ -160,10 +189,28 @@ class EventQueue
      */
     bool step();
 
+    /**
+     * Test hook: jump a live event's slot to the last usable
+     * generation so a single fire/cancel exhausts the 32-bit space
+     * (reaching it organically takes 2^32 events of churn). Returns
+     * the rewritten handle for the same event; the original handle
+     * is dead. Never use outside tests.
+     */
+    EventId debugExhaustGeneration(EventId id);
+
   private:
-    /** activeSeq value meaning "no live heap record". nextSeq_ skips
-     * it, so a live record can never alias the sentinel. */
+    /** activeSeq value meaning "no live ladder record". nextSeq_
+     * skips it, so a live record can never alias the sentinel. */
     static constexpr std::uint32_t noSeq = 0xffffffffu;
+
+    /** Buckets per rung; spreading divides a span by this factor. */
+    static constexpr std::size_t kBuckets = 64;
+    /** Bucket size at or below which it is sorted into the bottom
+     * instead of spread into a finer rung. */
+    static constexpr std::size_t kBottomLimit = 64;
+    /** Rung depth bound; width shrinks 64x per level, so 12 levels
+     * cover the full 64-bit tick range down to width 1. */
+    static constexpr std::size_t kMaxRungs = 12;
 
     /** Callback storage: exactly one cache line per event. */
     struct alignas(64) CallbackSlot
@@ -172,9 +219,9 @@ class EventQueue
     };
 
     /** Cold per-slot bookkeeping, dense so stale checks stay cheap.
-     * A heap record is live iff BOTH its seq and its tick match the
-     * slot: seq alone could alias after a 2^32 wrap when a stale
-     * record lingers in the heap, and the tick disambiguates (an
+     * A ladder record is live iff BOTH its seq and its tick match
+     * the slot: seq alone could alias after a 2^32 wrap when a stale
+     * record lingers in a rung, and the tick disambiguates (an
      * alias at the very same tick is behaviorally identical). */
     struct SlotMeta
     {
@@ -183,39 +230,34 @@ class EventQueue
         Tick when = 0;                //!< tick of the live record
     };
 
-    /** Heap record: 16 bytes so one sibling group is one line. */
-    struct HeapNode
+    /** Ladder record: 16 bytes, four per cache line. */
+    struct Rec
     {
         Tick when;
         std::uint32_t seq;  //!< schedule order; ties equal ticks
         std::uint32_t slot;
     };
 
-    /** Sibling quadruples are cache-line aligned (see node()). */
-    struct alignas(64) NodeGroup
+    /** One ladder rung: kBuckets equal-width tick partitions of the
+     * parent bucket (or the top span) it was spread from. Buckets
+     * before @ref cur have been consumed. */
+    struct Rung
     {
-        HeapNode n[4];
+        Tick start = 0;        //!< tick at bucket 0's lower edge
+        Tick width = 1;        //!< bucket width in ticks
+        std::size_t cur = 0;   //!< next bucket to consume
+        std::size_t count = 0; //!< records across buckets >= cur
+        std::array<std::vector<Rec>, kBuckets> buckets;
     };
 
     /** (tick, seq) ordering; seq compare is wrap-aware (see file
      * comment). */
     static bool
-    before(const HeapNode &a, const HeapNode &b)
+    before(const Rec &a, const Rec &b)
     {
         if (a.when != b.when)
             return a.when < b.when;
         return static_cast<std::int32_t>(a.seq - b.seq) < 0;
-    }
-
-    /**
-     * Logical heap index -> storage. Three leading slots are skipped
-     * so every sibling group {4k+1 .. 4k+4} lands in one aligned
-     * NodeGroup.
-     */
-    HeapNode &
-    node(std::size_t k)
-    {
-        return heap_[(k + 3) >> 2].n[(k + 3) & 3];
     }
 
     std::uint32_t acquireSlot();
@@ -223,28 +265,62 @@ class EventQueue
 
     /** Whether @p nd is the current occupant of its slot. */
     bool
-    liveRecord(const HeapNode &nd) const
+    liveRecord(const Rec &nd) const
     {
         const SlotMeta &m = meta_[nd.slot];
         return m.activeSeq == nd.seq && m.when == nd.when;
     }
 
-    void heapPush(HeapNode nd);
-    /** Remove the root and restore heap order (hole-based sift). */
-    void heapPopRoot();
-    /** Drop stale (cancelled / superseded) records off the root. */
-    void dropStale();
+    /** Lower tick edge of rung @p r's next unconsumed bucket
+     * (saturating: may exceed any schedulable tick when consumed
+     * past the end). */
+    Tick rungCurStart(const Rung &r) const;
+
+    /** Route one record into top / a rung / the bottom. */
+    void insertRecord(const Rec &rec);
+    /** Sorted insert into the bottom (cheap-end fast path). */
+    void insertBottom(const Rec &rec);
+    /** Drop stale records from @p v in place. */
+    void pruneStale(std::vector<Rec> &v);
+    /** Spread the top list into rung 0. Top must be non-empty. */
+    void spreadTop();
+    /** Refill the empty bottom from the rungs/top.
+     * @return false when no records remain anywhere. */
+    bool refillBottom();
+    /** Surface the minimal live record in nowQ_/bottom_.
+     * @return false when the queue holds no live records. */
+    bool prepareHead();
 
     std::vector<CallbackSlot> fns_;
     std::vector<SlotMeta> meta_;
     std::vector<std::uint32_t> freeSlots_;
-    std::vector<NodeGroup> heap_;
-    std::size_t heapSize_ = 0;
+
+    /** Same-tick FIFO: records scheduled for when == now(). Append
+     * order equals firing order, so no sort is ever needed; consumed
+     * from nowHead_ and recycled wholesale when drained. */
+    std::vector<Rec> nowQ_;
+    std::size_t nowHead_ = 0;
+    /** Sorted *descending* by before(): the next event to fire is
+     * back(), so consumption is pop_back. */
+    std::vector<Rec> bottom_;
+    /** rungs_[0] is the coarsest (spread from top); deeper rungs
+     * subdivide one consumed bucket of the rung above. */
+    std::array<Rung, kMaxRungs> rungs_;
+    std::size_t nRungs_ = 0;
+    /** Unsorted far-future records (when >= topStart_). */
+    std::vector<Rec> top_;
+    /** Ticks at or above this insert into top_. Raised when the top
+     * is spread; reset to now() when the queue drains completely. */
+    Tick topStart_ = 0;
+    /** Whether prepareHead() surfaced the head in nowQ_ (else it is
+     * bottom_.back()). */
+    bool headInNow_ = false;
 
     Tick curTick_ = 0;
     std::uint32_t nextSeq_ = 0;
     std::uint64_t liveEvents_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t retiredSlots_ = 0;
 };
 
 } // namespace sim

@@ -69,6 +69,13 @@ class Simulator
     /** Total events executed so far. */
     std::uint64_t eventsExecuted() const { return events_.executed(); }
 
+    /** Event-slab high-water mark (slots ever created). Bounded by
+     * peak concurrent events, not by events executed: a steady-state
+     * run recycles slots, so this staying small while
+     * eventsExecuted() runs into the millions is the kernel's
+     * zero-allocation invariant made observable. */
+    std::size_t eventPoolSlots() const { return events_.poolSlots(); }
+
     /** This simulation's metrics registry: every component of the
      * cluster registers its counters/gauges/histograms here. */
     MetricsRegistry &metrics() { return metrics_; }

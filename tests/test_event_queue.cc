@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -279,4 +282,220 @@ TEST(Simulator, CancelThroughFacade)
     s.run();
     EXPECT_FALSE(ran);
     EXPECT_TRUE(s.idle());
+}
+
+// ---------------------------------------------------------------- //
+// Ladder-queue edge cases
+// ---------------------------------------------------------------- //
+
+TEST(EventQueueLadder, CancelHeavyChurnRecyclesAndKeepsOrder)
+{
+    EventQueue q;
+    // The timeout-guard pattern at scale: waves of far-future guards
+    // that are all cancelled before they can fire. Stale ladder
+    // records must be pruned lazily and slots recycled immediately.
+    std::vector<sim::EventId> guards;
+    for (int round = 0; round < 200; ++round) {
+        for (int i = 0; i < 100; ++i)
+            guards.push_back(
+                q.schedule(1000000 + Tick(i) * 1000, [] {}));
+        for (auto id : guards)
+            EXPECT_TRUE(q.cancel(id));
+        guards.clear();
+    }
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pending(), 0u);
+    // Slots recycle: the pool is bounded by the per-wave maximum.
+    EXPECT_LE(q.poolSlots(), 100u);
+    // The structure still orders correctly after the churn.
+    std::vector<int> order;
+    q.schedule(5000, [&] { order.push_back(2); });
+    q.schedule(50, [&] { order.push_back(1); });
+    q.schedule(50000000, [&] { order.push_back(3); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueLadder, FarFutureTimersCrossEpochs)
+{
+    EventQueue q;
+    // Ticks are picoseconds: spans from sub-ns link events to
+    // multi-second timers force top spreads, multi-level rungs and
+    // re-spreads as the epochs drain.
+    std::vector<Tick> whens;
+    for (Tick w = 1; w < Tick(4e15); w = w * 3 + 1)
+        whens.push_back(w);
+    std::vector<Tick> fired;
+    for (Tick w : whens)
+        q.schedule(w, [w, &fired] { fired.push_back(w); });
+    // Mid-run cross-epoch inserts: each firing schedules a short
+    // follow-up that lands far below the remaining timers.
+    std::vector<Tick> extra;
+    for (Tick w : whens) {
+        if (w > 1000)
+            q.schedule(w - 1, [&q, &extra] {
+                q.schedule(q.now() + 7, [&q, &extra] {
+                    extra.push_back(q.now());
+                });
+            });
+    }
+    q.run();
+    ASSERT_EQ(fired.size(), whens.size());
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+    EXPECT_EQ(fired, whens);
+    // Every follow-up fired at its precise short offset:
+    // (w - 1) + 7 for each timer above the threshold.
+    std::vector<Tick> expect_extra;
+    for (Tick w : whens)
+        if (w > 1000)
+            expect_extra.push_back(w + 6);
+    EXPECT_EQ(extra, expect_extra);
+}
+
+TEST(EventQueueLadder, SameTickBurstMidRunKeepsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    // First event at tick 100 schedules same-tick follow-ups; a
+    // pre-scheduled peer at tick 100 has an earlier sequence number
+    // and must fire before them.
+    q.schedule(100, [&q, &order] {
+        order.push_back(0);
+        for (int i = 1; i <= 3; ++i)
+            q.schedule(100, [&order, i] { order.push_back(i); });
+    });
+    q.schedule(100, [&order] { order.push_back(10); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 10, 1, 2, 3}));
+    EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueueLadder, GenerationExhaustionRetiresSlot)
+{
+    EventQueue q;
+    sim::EventId a = q.schedule(10, [] {});
+    // Jump the slot to the last usable generation (organically that
+    // takes 2^32 fire/cancel cycles on one slot).
+    sim::EventId jam = q.debugExhaustGeneration(a);
+    std::uint32_t slot = sim::eventIdSlot(jam);
+    EXPECT_EQ(sim::eventIdGeneration(jam), 0xffffffffu);
+    EXPECT_FALSE(q.cancel(a)); // the pre-jump handle is dead
+    EXPECT_TRUE(q.cancel(jam));
+    // The generation wrapped: the slot is permanently retired, not
+    // recycled, so no future handle can alias it.
+    EXPECT_EQ(q.retiredSlots(), 1u);
+    EXPECT_FALSE(q.cancel(jam));
+    sim::EventId b = q.schedule(20, [] {});
+    EXPECT_NE(sim::eventIdSlot(b), slot);
+    q.run();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueLadder, GenerationExhaustionByFiringRetiresSlot)
+{
+    EventQueue q;
+    bool ran = false;
+    sim::EventId a = q.schedule(10, [&ran] { ran = true; });
+    q.debugExhaustGeneration(a);
+    q.run();
+    EXPECT_TRUE(ran); // firing still works on the last generation
+    EXPECT_EQ(q.retiredSlots(), 1u);
+}
+
+/**
+ * Ordering oracle: drive the ladder queue and an exact reference
+ * model (a multiset ordered by (tick, 64-bit schedule sequence) --
+ * the order the replaced 4-ary heap produced) through the same
+ * seeded schedule/cancel/pop churn, and require identical execution
+ * order throughout. This is the determinism contract the fig12/13
+ * bit-identity gates rest on.
+ */
+TEST(EventQueueLadder, MatchesHeapOrderOracleUnderSeededChurn)
+{
+    EventQueue q;
+    std::uint64_t lcg = 0x00c0ffee;
+    auto rnd = [&lcg]() {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return lcg >> 33;
+    };
+
+    struct RefEv
+    {
+        Tick when;
+        std::uint64_t seq;
+        int tag;
+    };
+    auto before = [](const RefEv &a, const RefEv &b) {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    };
+    std::multiset<RefEv, decltype(before)> ref(before);
+    std::uint64_t refSeq = 0;
+
+    struct Live
+    {
+        sim::EventId id;
+        int tag;
+        std::multiset<RefEv, decltype(before)>::iterator it;
+    };
+    std::vector<Live> live;
+    std::vector<int> fired;
+    int nextTag = 0;
+
+    auto popBoth = [&]() {
+        bool stepped = q.step();
+        ASSERT_EQ(stepped, !ref.empty());
+        if (!stepped)
+            return;
+        auto it = ref.begin();
+        ASSERT_EQ(q.now(), it->when);
+        ASSERT_FALSE(fired.empty());
+        ASSERT_EQ(fired.back(), it->tag);
+        for (std::size_t k = 0; k < live.size(); ++k) {
+            if (live[k].tag == it->tag) {
+                live[k] = live.back();
+                live.pop_back();
+                break;
+            }
+        }
+        ref.erase(it);
+    };
+
+    for (int round = 0; round < 30000; ++round) {
+        unsigned r = unsigned(rnd() % 100);
+        if (r < 50 || live.size() < 4) {
+            // Schedule with delays spanning same-tick bursts to
+            // epoch-crossing far-future timers.
+            std::uint64_t pick = rnd() % 5;
+            Tick delay = pick == 0 ? 0
+                : pick == 1        ? rnd() % 64
+                : pick == 2        ? rnd() % 8192
+                : pick == 3        ? rnd() % 1000000
+                                   : rnd() % 1000000000000ull;
+            Tick when = q.now() + delay;
+            int tag = nextTag++;
+            sim::EventId id = q.schedule(
+                when, [tag, &fired] { fired.push_back(tag); });
+            auto it = ref.insert(RefEv{when, refSeq++, tag});
+            live.push_back(Live{id, tag, it});
+        } else if (r < 72 && !live.empty()) {
+            std::size_t k = std::size_t(rnd() % live.size());
+            ASSERT_TRUE(q.cancel(live[k].id));
+            ref.erase(live[k].it);
+            live[k] = live.back();
+            live.pop_back();
+        } else {
+            popBoth();
+            if (HasFatalFailure())
+                return;
+        }
+    }
+    while (!ref.empty()) {
+        popBoth();
+        if (HasFatalFailure())
+            return;
+    }
+    EXPECT_FALSE(q.step());
+    EXPECT_TRUE(q.empty());
 }

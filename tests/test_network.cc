@@ -327,3 +327,39 @@ TEST(Network, AllPairsDeliveryOnMesh)
     sim.run();
     EXPECT_EQ(got, expected);
 }
+
+TEST(Network, RoutingMemoryIndependentOfEndpointCount)
+{
+    // Next-hop RouteSlots are per (src,dst) pair over one shared
+    // ECMP candidate pool; the per-endpoint spread happens at
+    // lookup time (e % count), so adding endpoints must not grow
+    // the resident tables at all.
+    sim::Simulator sim1, sim2;
+    auto few = defaultParams();
+    few.endpoints = 2;
+    auto many = defaultParams();
+    many.endpoints = 16;
+    StorageNetwork a(sim1, Topology::ring(8, 2), few);
+    StorageNetwork b(sim2, Topology::ring(8, 2), many);
+    EXPECT_GT(a.routingTableBytes(), 0u);
+    EXPECT_EQ(a.routingTableBytes(), b.routingTableBytes());
+}
+
+TEST(Network, EcmpSpreadRotatesByEndpointModuloPathCount)
+{
+    // ring(4, 4): four equal-cost parallel lanes between neighbors.
+    // The per-endpoint rotation is e % count over the candidate
+    // slice, so endpoints 4 apart must share a lane and the four
+    // residue classes must cover all four lanes.
+    sim::Simulator sim;
+    auto params = defaultParams();
+    params.endpoints = 9;
+    StorageNetwork net(sim, Topology::ring(4, 4), params);
+    std::set<int> lanes;
+    for (net::EndpointId e = 1; e <= 4; ++e) {
+        lanes.insert(net.routeLane(e, 0, 1));
+        EXPECT_EQ(net.routeLane(e, 0, 1),
+                  net.routeLane(net::EndpointId(e + 4), 0, 1));
+    }
+    EXPECT_EQ(lanes.size(), 4u);
+}
